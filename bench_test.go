@@ -1,0 +1,191 @@
+// Package repro_test hosts the benchmark entry points: one testing.B per
+// table and figure of the paper, each regenerating the artifact at quick
+// scale through the same drivers cmd/ckbench uses at paper scale.
+//
+// Benchmarks report two custom metrics where meaningful:
+//
+//	us/rtt      — modelled round-trip time (pingpong benches)
+//	improve-%   — CkDirect's improvement over the baseline (app benches)
+//
+// Wall-clock ns/op measures the simulator itself, which is incidental;
+// the virtual-time metrics are the reproduction's results.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/matmul"
+	"repro/internal/apps/openatom"
+	"repro/internal/apps/pingpong"
+	"repro/internal/apps/stencil"
+	"repro/internal/bench"
+	"repro/internal/netmodel"
+)
+
+// BenchmarkTable1PingpongIB regenerates paper Table 1 (one representative
+// cell per protocol; run cmd/ckbench -exp table1 for the full table).
+func BenchmarkTable1PingpongIB(b *testing.B) {
+	modes := []pingpong.Mode{
+		pingpong.CharmMsg, pingpong.CkDirect, pingpong.MPI, pingpong.MPIPut, pingpong.MPIAlt,
+	}
+	for _, mode := range modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			var rtt float64
+			for i := 0; i < b.N; i++ {
+				rtt = pingpong.Run(pingpong.Config{
+					Platform: netmodel.AbeIB, Mode: mode, Size: 30000, Iters: 10,
+				}).RTTMicros()
+			}
+			b.ReportMetric(rtt, "us/rtt")
+		})
+	}
+}
+
+// BenchmarkTable2PingpongBGP regenerates paper Table 2.
+func BenchmarkTable2PingpongBGP(b *testing.B) {
+	modes := []pingpong.Mode{
+		pingpong.CharmMsg, pingpong.CkDirect, pingpong.MPI, pingpong.MPIPut,
+	}
+	for _, mode := range modes {
+		b.Run(mode.String(), func(b *testing.B) {
+			var rtt float64
+			for i := 0; i < b.N; i++ {
+				rtt = pingpong.Run(pingpong.Config{
+					Platform: netmodel.SurveyorBGP, Mode: mode, Size: 30000, Iters: 10,
+				}).RTTMicros()
+			}
+			b.ReportMetric(rtt, "us/rtt")
+		})
+	}
+}
+
+// BenchmarkFig2aStencilIB regenerates paper Figure 2(a) at quick scale.
+func BenchmarkFig2aStencilIB(b *testing.B) {
+	benchStencil(b, netmodel.AbeIB, 32)
+}
+
+// BenchmarkFig2bStencilBGP regenerates paper Figure 2(b) at quick scale.
+func BenchmarkFig2bStencilBGP(b *testing.B) {
+	benchStencil(b, netmodel.SurveyorBGP, 64)
+}
+
+func benchStencil(b *testing.B, plat *netmodel.Platform, pes int) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		_, _, pct = stencil.Improvement(stencil.Config{
+			Platform: plat,
+			PEs:      pes, Virtualization: 8,
+			NX: 256, NY: 256, NZ: 128,
+			Iters: 2, Warmup: 1,
+		})
+	}
+	b.ReportMetric(pct, "improve-%")
+}
+
+// BenchmarkFig3MatmulBGP regenerates the Blue Gene/P half of Figure 3.
+func BenchmarkFig3MatmulBGP(b *testing.B) {
+	benchMatmul(b, netmodel.SurveyorBGP, 128)
+}
+
+// BenchmarkFig3MatmulAbe regenerates the Abe half of Figure 3.
+func BenchmarkFig3MatmulAbe(b *testing.B) {
+	benchMatmul(b, netmodel.AbeIB, 64)
+}
+
+func benchMatmul(b *testing.B, plat *netmodel.Platform, pes int) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		_, _, pct = matmul.Improvement(matmul.Config{
+			Platform: plat, PEs: pes, N: 2048, Iters: 2, Warmup: 1,
+		})
+	}
+	b.ReportMetric(pct, "improve-%")
+}
+
+// BenchmarkFig4OpenAtomAbe regenerates Figure 4 (full step and PC-only).
+func BenchmarkFig4OpenAtomAbe(b *testing.B) {
+	benchOpenAtom(b, netmodel.AbeIB, 2)
+}
+
+// BenchmarkFig5OpenAtomBGP regenerates Figure 5.
+func BenchmarkFig5OpenAtomBGP(b *testing.B) {
+	benchOpenAtom(b, netmodel.SurveyorBGP, 0)
+}
+
+func benchOpenAtom(b *testing.B, plat *netmodel.Platform, coresPerNode int) {
+	for _, scope := range []openatom.Scope{openatom.FullStep, openatom.PCOnly} {
+		b.Run(scope.String(), func(b *testing.B) {
+			var pct float64
+			for i := 0; i < b.N; i++ {
+				_, _, pct = openatom.Improvement(openatom.Config{
+					Platform: plat,
+					Scope:    scope,
+					PEs:      32, CoresPerNode: coresPerNode,
+					NStates: 64, NPlanes: 8, Grain: 16, Points: 512,
+					Steps: 2, Warmup: 1,
+				})
+			}
+			b.ReportMetric(pct, "improve-%")
+		})
+	}
+}
+
+// BenchmarkAblationPollingWindow regenerates the §5.2 polling ablation.
+func BenchmarkAblationPollingWindow(b *testing.B) {
+	var naiveOverMsg float64
+	for i := 0; i < b.N; i++ {
+		t := bench.AblationPolling(bench.Quick)
+		msg := t.Row("charm messages")
+		naive := t.Row("ckdirect naive Ready")
+		last := len(msg) - 1
+		naiveOverMsg = (naive[last]/msg[last] - 1) * 100
+	}
+	b.ReportMetric(naiveOverMsg, "naive-slowdown-%")
+}
+
+// BenchmarkAblationCostComponents regenerates the cost decomposition.
+func BenchmarkAblationCostComponents(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		t := bench.AblationCosts()
+		total = t.Row("total one-way")[0]
+	}
+	b.ReportMetric(total, "us/oneway-100B")
+}
+
+// BenchmarkAblationInfoHeader regenerates the BG/P context-delivery
+// ablation.
+func BenchmarkAblationInfoHeader(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		t := bench.AblationInfoHeader(bench.Quick)
+		gap = t.Rows[1].Values[0] - t.Rows[0].Values[0]
+	}
+	b.ReportMetric(gap, "lookup-penalty-us")
+}
+
+// BenchmarkAblationPutGet regenerates the §2 put-vs-get comparison.
+func BenchmarkAblationPutGet(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		t := bench.AblationPutGet(bench.Quick)
+		put := t.Row("abe-infiniband put")
+		get := t.Row("abe-infiniband get")
+		penalty = get[0] - put[0]
+	}
+	b.ReportMetric(penalty, "get-penalty-us-100B")
+}
+
+// BenchmarkSimulatorThroughput measures the DES engine itself: simulated
+// message deliveries per wall-clock second at stencil-like load.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := stencil.Run(stencil.Config{
+			Platform: netmodel.SurveyorBGP, Mode: stencil.Ckd,
+			PEs: 64, Virtualization: 8,
+			NX: 256, NY: 256, NZ: 128,
+			Iters: 2, Warmup: 1,
+		})
+		b.ReportMetric(float64(res.TotalEvents), "events/run")
+	}
+}

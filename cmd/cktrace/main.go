@@ -1,0 +1,147 @@
+// Command cktrace runs an application with the Projections-style
+// timeline recorder attached and reports per-PE utilization plus the
+// heaviest spans — or writes the raw Chrome trace-event JSON for
+// chrome://tracing / Perfetto.
+//
+//	cktrace -app stencil -pes 8 -mode ckd
+//	cktrace -app fem -pes 16 -mode msg -out trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/apps/fem"
+	"repro/internal/apps/matmul"
+	"repro/internal/apps/openatom"
+	"repro/internal/apps/stencil"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "stencil", "stencil | matmul | openatom | fem")
+		platName = flag.String("platform", "abe", "abe | bgp")
+		pes      = flag.Int("pes", 8, "processing elements")
+		modeName = flag.String("mode", "ckd", "msg | ckd")
+		out      = flag.String("out", "", "write Chrome trace JSON here instead of the summary")
+	)
+	flag.Parse()
+
+	var plat *netmodel.Platform
+	switch *platName {
+	case "abe", "ib":
+		plat = netmodel.AbeIB
+	case "bgp":
+		plat = netmodel.SurveyorBGP
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platName))
+	}
+	ckd := *modeName == "ckd"
+	if !ckd && *modeName != "msg" {
+		fatal(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	tl := trace.NewTimeline(0)
+	var total sim.Time
+	switch *appName {
+	case "stencil":
+		mode := stencil.Msg
+		if ckd {
+			mode = stencil.Ckd
+		}
+		res := stencil.Run(stencil.Config{
+			Platform: plat, Mode: mode, PEs: *pes, Virtualization: 4,
+			NX: 128, NY: 128, NZ: 64, Iters: 3, Warmup: 1, Timeline: tl,
+		})
+		total = res.IterTime * sim.Time(res.Iters)
+	case "matmul":
+		mode := matmul.Msg
+		if ckd {
+			mode = matmul.Ckd
+		}
+		res := matmul.Run(matmul.Config{
+			Platform: plat, Mode: mode, PEs: *pes, N: 512,
+			Iters: 2, Warmup: 1, Timeline: tl,
+		})
+		total = res.IterTime * sim.Time(res.Iters)
+	case "openatom":
+		mode := openatom.Msg
+		if ckd {
+			mode = openatom.Ckd
+		}
+		res := openatom.Run(openatom.Config{
+			Platform: plat, Mode: mode, PEs: *pes,
+			NStates: 32, NPlanes: 4, Grain: 8, Points: 256,
+			Steps: 2, Warmup: 1, Timeline: tl,
+		})
+		total = res.StepTime * sim.Time(res.Steps)
+	case "fem":
+		mode := fem.Msg
+		if ckd {
+			mode = fem.Ckd
+		}
+		res := fem.Run(fem.Config{
+			Platform: plat, Mode: mode, PEs: *pes, Virtualization: 2,
+			NX: 128, NY: 128, Iters: 3, Warmup: 1, Timeline: tl,
+		})
+		total = res.IterTime * sim.Time(res.Iters)
+	default:
+		fatal(fmt.Errorf("unknown app %q", *appName))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tl.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d spans to %s\n", len(tl.Spans()), *out)
+		return
+	}
+
+	// Summary: horizon, per-PE utilization, heaviest spans.
+	spans := tl.Spans()
+	var horizon sim.Time
+	for _, s := range spans {
+		if s.End > horizon {
+			horizon = s.End
+		}
+	}
+	fmt.Printf("%s on %d PEs of %s, mode %s: %d spans, horizon %v (measured window %v)\n",
+		*appName, *pes, plat.Name, *modeName, len(spans), horizon, total)
+	fmt.Println("\nPE utilization over the whole run:")
+	for pe := 0; pe < *pes; pe++ {
+		u := tl.Utilization(pe, horizon)
+		bar := int(u * 40)
+		fmt.Printf("  PE %3d  %6.1f%%  %s\n", pe, u*100, barString(bar))
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		return spans[i].End-spans[i].Start > spans[j].End-spans[j].Start
+	})
+	fmt.Println("\nheaviest spans:")
+	for i := 0; i < 5 && i < len(spans); i++ {
+		s := spans[i]
+		fmt.Printf("  PE %3d  %-10s %v  [%v .. %v]\n", s.PE, s.Name, s.End-s.Start, s.Start, s.End)
+	}
+}
+
+func barString(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cktrace:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,86 @@
+// Command fem runs the supplementary unstructured-mesh FEM study (the
+// paper's §1 application class): an explicit solver whose partition
+// boundaries produce an irregular, static communication graph.
+//
+//	fem -platform abe -pes 32 -mesh 2048x2048 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps/fem"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "abe", "abe | bgp")
+		pes      = flag.Int("pes", 16, "processing elements")
+		mesh     = flag.String("mesh", "512x512", "quad grid NXxNY (2*NX*NY triangles)")
+		vr       = flag.Int("vr", 2, "mesh partitions per PE")
+		iters    = flag.Int("iters", 3, "measured iterations")
+		warmup   = flag.Int("warmup", 1, "warmup iterations")
+		modeName = flag.String("mode", "ckd", "msg | ckd")
+		compare  = flag.Bool("compare", false, "run both modes and report the improvement")
+		validate = flag.Bool("validate", false, "move real vertex data and verify against the serial reference (small meshes)")
+	)
+	flag.Parse()
+
+	var plat *netmodel.Platform
+	switch *platName {
+	case "abe", "ib":
+		plat = netmodel.AbeIB
+	case "bgp":
+		plat = netmodel.SurveyorBGP
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platName))
+	}
+	parts := strings.Split(*mesh, "x")
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("mesh %q not NXxNY", *mesh))
+	}
+	nx, err1 := strconv.Atoi(parts[0])
+	ny, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || nx <= 0 || ny <= 0 {
+		fatal(fmt.Errorf("bad mesh %q", *mesh))
+	}
+	cfg := fem.Config{
+		Platform: plat,
+		PEs:      *pes, Virtualization: *vr,
+		NX: nx, NY: ny,
+		Iters: *iters, Warmup: *warmup,
+		Validate: *validate,
+	}
+	if *compare {
+		msg, ckd, pct := fem.Improvement(cfg)
+		fmt.Printf("fem %s (%d triangles) on %d PEs of %s, %d partitions (%dx%d)\n",
+			*mesh, 2*nx*ny, *pes, plat.Name, msg.Parts, msg.PartGrid[0], msg.PartGrid[1])
+		fmt.Printf("  msg: %v per iteration\n", msg.IterTime)
+		fmt.Printf("  ckd: %v per iteration (%d channels)\n", ckd.IterTime, ckd.Channels)
+		fmt.Printf("  improvement: %.2f%%\n", pct)
+		return
+	}
+	switch *modeName {
+	case "msg":
+		cfg.Mode = fem.Msg
+	case "ckd":
+		cfg.Mode = fem.Ckd
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeName))
+	}
+	res := fem.Run(cfg)
+	fmt.Printf("fem %s, mode %v, %d PEs: %v per iteration (%d partitions, %d channels)\n",
+		*mesh, cfg.Mode, *pes, res.IterTime, res.Parts, res.Channels)
+	if *validate {
+		fmt.Printf("  residual %.6g, shared-vertex consistency: %v\n", res.Residual, res.SharedConsistent)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fem:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,72 @@
+// Command matmul runs the §4.2 study: 3-D-decomposed parallel matrix
+// multiplication with messages or CkDirect.
+//
+//	matmul -platform bgp -pes 4096 -n 2048 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/matmul"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "abe", "abe | bgp")
+		pes      = flag.Int("pes", 64, "processing elements")
+		n        = flag.Int("n", 2048, "matrix edge")
+		iters    = flag.Int("iters", 2, "measured multiplies")
+		warmup   = flag.Int("warmup", 1, "warmup multiplies")
+		modeName = flag.String("mode", "ckd", "msg | ckd")
+		compare  = flag.Bool("compare", false, "run both modes and report the improvement")
+		validate = flag.Bool("validate", false, "move real matrices and verify the product (small n)")
+	)
+	flag.Parse()
+
+	var plat *netmodel.Platform
+	switch *platName {
+	case "abe", "ib":
+		plat = netmodel.AbeIB
+	case "bgp":
+		plat = netmodel.SurveyorBGP
+	default:
+		fmt.Fprintf(os.Stderr, "matmul: unknown platform %q\n", *platName)
+		os.Exit(2)
+	}
+	cfg := matmul.Config{
+		Platform: plat,
+		PEs:      *pes,
+		N:        *n,
+		Iters:    *iters, Warmup: *warmup,
+		Validate: *validate,
+	}
+	if *compare {
+		msg, ckd, pct := matmul.Improvement(cfg)
+		fmt.Printf("matmul %dx%d on %d PEs of %s (chare grid %dx%dx%d)\n",
+			*n, *n, *pes, plat.Name, msg.Grid[0], msg.Grid[1], msg.Grid[2])
+		fmt.Printf("  msg: %v per multiply\n", msg.IterTime)
+		fmt.Printf("  ckd: %v per multiply\n", ckd.IterTime)
+		fmt.Printf("  improvement: %.2f%%\n", pct)
+		if *validate {
+			fmt.Printf("  max error: msg %.2e, ckd %.2e\n", msg.MaxError, ckd.MaxError)
+		}
+		return
+	}
+	switch *modeName {
+	case "msg":
+		cfg.Mode = matmul.Msg
+	case "ckd":
+		cfg.Mode = matmul.Ckd
+	default:
+		fmt.Fprintf(os.Stderr, "matmul: unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+	res := matmul.Run(cfg)
+	fmt.Printf("matmul %dx%d, mode %v, %d PEs: %v per multiply\n", *n, *n, cfg.Mode, *pes, res.IterTime)
+	if *validate {
+		fmt.Printf("  max error %.2e\n", res.MaxError)
+	}
+}

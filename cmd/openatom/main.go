@@ -1,0 +1,87 @@
+// Command openatom runs the §5 production-code proxy: the OpenAtom
+// PairCalculator phase with message or CkDirect point transfers.
+//
+//	openatom -platform abe -pes 256 -cores-per-node 2 -scope pc-only -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/openatom"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	var (
+		platName  = flag.String("platform", "abe", "abe | bgp")
+		pes       = flag.Int("pes", 64, "processing elements")
+		cores     = flag.Int("cores-per-node", 0, "override cores per node (paper's Abe study: 2)")
+		nstates   = flag.Int("states", 256, "electronic states")
+		nplanes   = flag.Int("planes", 16, "planes per state")
+		grain     = flag.Int("grain", 64, "PairCalculator state-block size")
+		points    = flag.Int("points", 4096, "complex coefficients per (state, plane)")
+		fftWeight = flag.Float64("fft-weight", 24, "relative weight of the non-PC phase")
+		steps     = flag.Int("steps", 2, "measured time steps")
+		warmup    = flag.Int("warmup", 1, "warmup steps")
+		scopeName = flag.String("scope", "full", "full | pc-only")
+		modeName  = flag.String("mode", "ckd", "msg | ckd | ckd-naive")
+		compare   = flag.Bool("compare", false, "run msg and ckd and report the improvement")
+	)
+	flag.Parse()
+
+	var plat *netmodel.Platform
+	switch *platName {
+	case "abe", "ib":
+		plat = netmodel.AbeIB
+	case "bgp":
+		plat = netmodel.SurveyorBGP
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platName))
+	}
+	var scope openatom.Scope
+	switch *scopeName {
+	case "full":
+		scope = openatom.FullStep
+	case "pc-only", "pc":
+		scope = openatom.PCOnly
+	default:
+		fatal(fmt.Errorf("unknown scope %q", *scopeName))
+	}
+	cfg := openatom.Config{
+		Platform: plat,
+		Scope:    scope,
+		PEs:      *pes, CoresPerNode: *cores,
+		NStates: *nstates, NPlanes: *nplanes, Grain: *grain, Points: *points,
+		FFTWeight: *fftWeight,
+		Steps:     *steps, Warmup: *warmup,
+	}
+	if *compare {
+		msg, ckd, pct := openatom.Improvement(cfg)
+		fmt.Printf("openatom proxy on %d PEs of %s, scope %v (%d CkDirect channels)\n",
+			*pes, plat.Name, scope, ckd.Channels)
+		fmt.Printf("  msg: %v per step\n", msg.StepTime)
+		fmt.Printf("  ckd: %v per step\n", ckd.StepTime)
+		fmt.Printf("  improvement: %.2f%%\n", pct)
+		return
+	}
+	switch *modeName {
+	case "msg":
+		cfg.Mode = openatom.Msg
+	case "ckd":
+		cfg.Mode = openatom.Ckd
+	case "ckd-naive":
+		cfg.Mode = openatom.CkdNaive
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeName))
+	}
+	res := openatom.Run(cfg)
+	fmt.Printf("openatom proxy, mode %v, scope %v, %d PEs: %v per step (%d channels)\n",
+		cfg.Mode, scope, *pes, res.StepTime, res.Channels)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "openatom:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,82 @@
+// Command pingpong runs the §3 microbenchmark for one stack at one or
+// more message sizes.
+//
+//	pingpong -platform abe -mode ckdirect -sizes 100,1000,100000 -iters 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps/pingpong"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "abe", "abe | bgp")
+		modeName = flag.String("mode", "ckdirect", "charm-msg | ckdirect | mpi | mpi-put | mpi-alt")
+		sizesArg = flag.String("sizes", "100,1000,5000,10000,20000,30000,40000,70000,100000,500000", "comma-separated payload sizes in bytes")
+		iters    = flag.Int("iters", 1000, "round trips to average over")
+	)
+	flag.Parse()
+
+	plat, err := platform(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := mode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pingpong on %s, mode %v, %d iterations\n", plat.Name, mode, *iters)
+	fmt.Printf("%12s %14s\n", "size (B)", "RTT (us)")
+	for _, field := range strings.Split(*sizesArg, ",") {
+		size, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			fatal(fmt.Errorf("bad size %q: %v", field, err))
+		}
+		res := pingpong.Run(pingpong.Config{
+			Platform: plat,
+			Mode:     mode,
+			Size:     size,
+			Iters:    *iters,
+			Virtual:  size > 65536,
+		})
+		fmt.Printf("%12d %14.3f\n", size, res.RTTMicros())
+	}
+}
+
+func platform(name string) (*netmodel.Platform, error) {
+	switch name {
+	case "abe", "infiniband", "ib":
+		return netmodel.AbeIB, nil
+	case "bgp", "bluegene", "surveyor":
+		return netmodel.SurveyorBGP, nil
+	}
+	return nil, fmt.Errorf("unknown platform %q (want abe|bgp)", name)
+}
+
+func mode(name string) (pingpong.Mode, error) {
+	switch name {
+	case "charm-msg", "msg":
+		return pingpong.CharmMsg, nil
+	case "ckdirect", "ckd":
+		return pingpong.CkDirect, nil
+	case "mpi":
+		return pingpong.MPI, nil
+	case "mpi-put":
+		return pingpong.MPIPut, nil
+	case "mpi-alt", "mpich-vmi":
+		return pingpong.MPIAlt, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pingpong:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,122 @@
+// Command stencil runs the §4.1 halo-exchange study: 3-D Jacobi with
+// message-based or CkDirect halo exchange, or both side by side.
+//
+//	stencil -platform bgp -pes 256 -domain 1024x1024x512 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps/stencil"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		platName  = flag.String("platform", "abe", "abe | bgp")
+		pes       = flag.Int("pes", 64, "processing elements")
+		domain    = flag.String("domain", "1024x1024x512", "global domain NXxNYxNZ")
+		vr        = flag.Int("vr", 8, "virtualization ratio (chares per PE)")
+		iters     = flag.Int("iters", 3, "measured iterations")
+		warmup    = flag.Int("warmup", 1, "warmup iterations")
+		modeName  = flag.String("mode", "ckd", "msg | ckd")
+		compare   = flag.Bool("compare", false, "run both modes and report the improvement")
+		validate  = flag.Bool("validate", false, "move real data and check against the serial reference (small domains)")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	)
+	flag.Parse()
+
+	plat, err := platform(*platName)
+	if err != nil {
+		fatal(err)
+	}
+	nx, ny, nz, err := parseDomain(*domain)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := stencil.Config{
+		Platform: plat,
+		PEs:      *pes, Virtualization: *vr,
+		NX: nx, NY: ny, NZ: nz,
+		Iters: *iters, Warmup: *warmup,
+		Validate: *validate,
+	}
+	var tl *trace.Timeline
+	if *traceFile != "" {
+		tl = trace.NewTimeline(0)
+		cfg.Timeline = tl
+	}
+	defer func() {
+		if tl == nil {
+			return
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tl.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d spans to %s (open in chrome://tracing or Perfetto)\n",
+			len(tl.Spans()), *traceFile)
+	}()
+	if *compare {
+		msg, ckd, pct := stencil.Improvement(cfg)
+		fmt.Printf("stencil %s on %d PEs of %s, chare grid %v (%d chares)\n",
+			*domain, *pes, plat.Name, msg.ChareGrid, msg.Chares)
+		fmt.Printf("  msg: %v per iteration\n", msg.IterTime)
+		fmt.Printf("  ckd: %v per iteration\n", ckd.IterTime)
+		fmt.Printf("  improvement: %.2f%%\n", pct)
+		return
+	}
+	switch *modeName {
+	case "msg":
+		cfg.Mode = stencil.Msg
+	case "ckd":
+		cfg.Mode = stencil.Ckd
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *modeName))
+	}
+	res := stencil.Run(cfg)
+	fmt.Printf("stencil %s, mode %v, %d PEs: %v per iteration (%d chares, grid %v)\n",
+		*domain, cfg.Mode, *pes, res.IterTime, res.Chares, res.ChareGrid)
+	if *validate {
+		fmt.Printf("  residual %.6g, field checksum %.6f\n", res.Residual, res.FieldSum)
+	}
+}
+
+func platform(name string) (*netmodel.Platform, error) {
+	switch name {
+	case "abe", "ib":
+		return netmodel.AbeIB, nil
+	case "bgp":
+		return netmodel.SurveyorBGP, nil
+	}
+	return nil, fmt.Errorf("unknown platform %q", name)
+}
+
+func parseDomain(s string) (nx, ny, nz int, err error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("domain %q not NXxNYxNZ", s)
+	}
+	dims := make([]int, 3)
+	for i, p := range parts {
+		dims[i], err = strconv.Atoi(p)
+		if err != nil || dims[i] <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad dimension %q", p)
+		}
+	}
+	return dims[0], dims[1], dims[2], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stencil:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,166 @@
+// halo3d: a small 3-D Jacobi stencil with CkDirect halo exchange, built
+// directly on the public API (the full-featured version with the MSG/CKD
+// comparison lives in internal/apps/stencil; this example shows the
+// pattern a user would write).
+//
+// A 2x2x1 chare grid iterates a Jacobi relaxation; each chare exchanges
+// boundary faces with its neighbours over persistent CkDirect channels
+// and a global reduction separates iterations.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/pkg/ckdsim"
+)
+
+const (
+	block = 8 // cells per chare per dimension
+	iters = 5
+	oob   = 0x7FF8_FACE_FACE_0001
+)
+
+type chare struct {
+	ix, iy     int
+	cur, next  []float64
+	sendX      []byte // face toward +x / -x neighbour (one each, see wiring)
+	sendY      []byte
+	inFaces    map[string][]byte
+	inHandles  []*ckdsim.Handle
+	outHandles []*ckdsim.Handle
+	got, need  int
+}
+
+func main() {
+	sys := ckdsim.NewSystem(ckdsim.AbeIB(), 4, ckdsim.Options{Checked: true})
+	rts, mgr, mach := sys.RTS(), sys.CkDirect(), sys.Machine()
+
+	grid := rts.NewArray("grid", func(ix ckdsim.Index) int {
+		return ix[0] + 2*ix[1] // one chare per PE
+	})
+	chares := map[[2]int]*chare{}
+	for iy := 0; iy < 2; iy++ {
+		for ix := 0; ix < 2; ix++ {
+			c := &chare{
+				ix: ix, iy: iy,
+				cur:     make([]float64, block*block),
+				next:    make([]float64, block*block),
+				inFaces: map[string][]byte{},
+			}
+			for i := range c.cur {
+				c.cur[i] = float64((i*7+ix*3+iy*11)%13) / 13
+			}
+			chares[[2]int{ix, iy}] = c
+			grid.Insert(ckdsim.Idx2(ix, iy), c)
+		}
+	}
+
+	// Wire channels: each chare sends its +x face to the x-neighbour and
+	// its +y face to the y-neighbour (periodic 2x2 torus for brevity).
+	faceBytes := block * 8
+	for key, c := range chares {
+		pe := key[0] + 2*key[1]
+		c.sendX = make([]byte, faceBytes)
+		c.sendY = make([]byte, faceBytes)
+		for _, dir := range []string{"x", "y"} {
+			nb := chares[[2]int{(key[0] + 1) % 2, key[1]}]
+			send := c.sendX
+			if dir == "y" {
+				nb = chares[[2]int{key[0], (key[1] + 1) % 2}]
+				send = c.sendY
+			}
+			nbPE := nb.ix + 2*nb.iy
+			recv := make([]byte, faceBytes)
+			nb.inFaces[dir] = recv
+			nb.need++
+			nbc := nb
+			var h *ckdsim.Handle
+			var err error
+			h, err = mgr.CreateHandle(nbPE, mach.WrapRegion(nbPE, recv), oob,
+				func(ctx *ckdsim.Ctx) { nbc.onFace(ctx, grid, mgr) })
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := mgr.AssocLocal(h, pe, mach.WrapRegion(pe, send)); err != nil {
+				log.Fatal(err)
+			}
+			nb.inHandles = append(nb.inHandles, h)
+			c.outHandles = append(c.outHandles, h)
+		}
+	}
+
+	iterEP := grid.EntryMethod("iterate", func(ctx *ckdsim.Ctx, msg *ckdsim.Message) {
+		c := ctx.Obj().(*chare)
+		c.extractFaces()
+		for _, h := range c.outHandles {
+			if err := mgr.Put(h); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	round := 0
+	grid.SetReductionClient(ckdsim.Sum, func(ctx *ckdsim.Ctx, vals []float64) {
+		round++
+		fmt.Printf("iteration %d done at t=%v, residual %.6f\n", round, ctx.Now(), vals[0])
+		if round < iters {
+			ctx.Broadcast(grid, iterEP, &ckdsim.Message{Size: 8})
+		}
+	})
+	rts.StartAt(0, func(ctx *ckdsim.Ctx) {
+		ctx.Broadcast(grid, iterEP, &ckdsim.Message{Size: 8})
+	})
+	total := sys.Run()
+	fmt.Printf("%d iterations in %v of virtual time on 4 PEs\n", iters, total)
+	if errs := sys.Errors(); len(errs) > 0 {
+		log.Fatalf("contract violations: %v", errs)
+	}
+}
+
+func (c *chare) extractFaces() {
+	for i := 0; i < block; i++ {
+		// +x face: last column; +y face: last row.
+		binary.LittleEndian.PutUint64(c.sendX[i*8:], math.Float64bits(c.cur[i*block+block-1]))
+		binary.LittleEndian.PutUint64(c.sendY[i*8:], math.Float64bits(c.cur[(block-1)*block+i]))
+	}
+}
+
+func (c *chare) onFace(ctx *ckdsim.Ctx, grid *ckdsim.Array, mgr *ckdsim.Manager) {
+	c.got++
+	if c.got < c.need {
+		return
+	}
+	c.got = 0
+	// Relax: average each cell with its west/north neighbour, reading
+	// ghosts from the arrived faces.
+	ctx.Charge(ckdsim.Microseconds(float64(block*block) * 0.004))
+	residual := 0.0
+	for y := 0; y < block; y++ {
+		for x := 0; x < block; x++ {
+			v := c.cur[y*block+x]
+			w := ghostOr(c, "x", y, x-1)
+			n := ghostOr(c, "y", x, y-1)
+			nv := (v + w + n) / 3
+			c.next[y*block+x] = nv
+			residual += math.Abs(nv - v)
+		}
+	}
+	c.cur, c.next = c.next, c.cur
+	for _, h := range c.inHandles {
+		mgr.Ready(h)
+	}
+	grid.ContributeFrom(ckdsim.Idx2(c.ix, c.iy), residual)
+}
+
+func ghostOr(c *chare, dir string, lane, idx int) float64 {
+	if idx >= 0 {
+		if dir == "x" {
+			return c.cur[lane*block+idx]
+		}
+		return c.cur[idx*block+lane]
+	}
+	face := c.inFaces[dir]
+	return math.Float64frombits(binary.LittleEndian.Uint64(face[lane*8:]))
+}

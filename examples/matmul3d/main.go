@@ -1,0 +1,42 @@
+// matmul3d: runs the paper's §4.2 experiment at a small, verifiable
+// scale — a 3-D-decomposed parallel matrix multiplication — with both
+// transports, checks that the products are exact, and reports the
+// CkDirect speedup. This example drives the full application package
+// rather than re-implementing it; see examples/halo3d for a from-scratch
+// public-API program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/matmul"
+	"repro/internal/netmodel"
+)
+
+func main() {
+	cfg := matmul.Config{
+		Platform: netmodel.AbeIB,
+		PEs:      8,
+		N:        128,
+		Iters:    3,
+		Warmup:   1,
+		Validate: true,
+	}
+
+	cfg.Mode = matmul.Msg
+	msg := matmul.Run(cfg)
+	cfg.Mode = matmul.Ckd
+	ckd := matmul.Run(cfg)
+
+	fmt.Printf("3-D matmul, %dx%d matrices on %d PEs (chare grid %dx%dx%d)\n",
+		cfg.N, cfg.N, cfg.PEs, msg.Grid[0], msg.Grid[1], msg.Grid[2])
+	fmt.Printf("  messages : %v per multiply (max error %.2e)\n", msg.IterTime, msg.MaxError)
+	fmt.Printf("  ckdirect : %v per multiply (max error %.2e)\n", ckd.IterTime, ckd.MaxError)
+	if msg.MaxError > 1e-9 || ckd.MaxError > 1e-9 {
+		log.Fatal("product verification failed")
+	}
+	pct := (1 - float64(ckd.IterTime)/float64(msg.IterTime)) * 100
+	fmt.Printf("  improvement: %.1f%% — the receive-side copies and scheduler dispatches\n", pct)
+	fmt.Println("  that CkDirect eliminates grow with the processor count (paper Fig. 3)")
+}

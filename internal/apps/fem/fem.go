@@ -1,0 +1,147 @@
+package fem
+
+import (
+	"fmt"
+
+	"repro/internal/charm"
+	"repro/internal/ckdirect"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mode selects the shared-vertex exchange transport.
+type Mode int
+
+// Transport variants.
+const (
+	Msg Mode = iota
+	Ckd
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Msg {
+		return "msg"
+	}
+	return "ckd"
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Platform *netmodel.Platform
+	Mode     Mode
+	PEs      int
+	// NX, NY is the quad-grid resolution (2*NX*NY triangles).
+	NX, NY int
+	// Virtualization is the number of mesh partitions per PE.
+	Virtualization int
+	Iters, Warmup  int
+	// DT is the explicit step size (default 0.1).
+	DT float64
+	// Validate moves real vertex data and checks against the serial
+	// reference.
+	Validate bool
+	// Timeline, when set, records Projections-style execution spans.
+	Timeline *trace.Timeline
+}
+
+// Result reports timing and validation data.
+type Result struct {
+	Config
+	Parts    int
+	PartGrid [2]int
+	IterTime sim.Time
+	Residual float64
+	Field    []float64 // final vertex values (validate mode)
+	// SharedConsistent reports whether every part held bit-identical
+	// values for shared vertices at the end (validate mode).
+	SharedConsistent bool
+	Channels         int
+	TotalEvents      uint64
+}
+
+// Improvement runs both transports and returns the percentage gain.
+func Improvement(cfg Config) (msg, ckd Result, pct float64) {
+	cfg.Mode = Msg
+	msg = Run(cfg)
+	cfg.Mode = Ckd
+	ckd = Run(cfg)
+	pct = (1 - float64(ckd.IterTime)/float64(msg.IterTime)) * 100
+	return
+}
+
+// partGrid factors parts into a near-square (gx, gy) that divides the
+// quad grid.
+func partGrid(want, nx, ny int) [2]int {
+	g := [2]int{1, 1}
+	for g[0]*g[1] < want {
+		if (g[0] >= g[1] || g[0]*2 > nx) && g[1]*2 <= ny {
+			g[1] *= 2
+		} else if g[0]*2 <= nx {
+			g[0] *= 2
+		} else {
+			break
+		}
+	}
+	return g
+}
+
+// Run executes one FEM configuration.
+func Run(cfg Config) Result {
+	if cfg.PEs <= 0 {
+		panic("fem: PEs must be positive")
+	}
+	if cfg.NX <= 0 || cfg.NY <= 0 {
+		cfg.NX, cfg.NY = 128, 128
+	}
+	if cfg.Virtualization <= 0 {
+		cfg.Virtualization = 4
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 3
+	}
+	if cfg.DT == 0 {
+		cfg.DT = 0.1
+	}
+	grid := partGrid(cfg.PEs*cfg.Virtualization, cfg.NX, cfg.NY)
+	mesh := NewRectMesh(cfg.NX, cfg.NY)
+	part := PartitionRect(mesh, cfg.NX, cfg.NY, grid[0], grid[1])
+
+	eng := sim.NewEngine()
+	mach, net := cfg.Platform.BuildMachine(eng, cfg.PEs)
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(),
+		charm.Options{Checked: true, VirtualPayloads: !cfg.Validate})
+	if cfg.Timeline != nil {
+		rts.SetTimeline(cfg.Timeline)
+	}
+	a := &app{cfg: cfg, mesh: mesh, part: part, grid: grid, rts: rts}
+	if cfg.Mode == Ckd {
+		a.mgr = ckdirect.NewManager(rts)
+	}
+	a.build()
+	a.start()
+	eng.Run()
+	if errs := rts.Errors(); len(errs) > 0 {
+		panic(fmt.Sprintf("fem: runtime contract violation: %v", errs[0]))
+	}
+	want := cfg.Warmup + cfg.Iters + 1
+	if len(a.barriers) < want {
+		panic(fmt.Sprintf("fem: only %d/%d iterations completed", len(a.barriers), want))
+	}
+	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
+	res := Result{
+		Config:      cfg,
+		Parts:       part.Parts,
+		PartGrid:    grid,
+		IterTime:    measured / sim.Time(cfg.Iters),
+		Residual:    a.lastResidual,
+		Channels:    a.channels,
+		TotalEvents: eng.Executed(),
+	}
+	if cfg.Validate {
+		res.Field = a.gather()
+		res.SharedConsistent = a.sharedConsistent()
+	}
+	return res
+}

@@ -1,0 +1,221 @@
+// Package fem implements a supplementary application from the paper's
+// motivating class (§1: "QM/MM, non-adaptive finite element simulations,
+// etc." — the kind of code ParFUM [9] hosts): an explicit solver on an
+// unstructured 2-D triangle mesh, partitioned across chares, with the
+// per-iteration shared-vertex exchange done either with Charm++ messages
+// or with CkDirect channels.
+//
+// Unlike the stencil, the communication graph is irregular: partitions
+// have different neighbour counts, and channel payloads range from a
+// single corner vertex (8 bytes) to a full partition edge. The pattern is
+// still static and iteration-synchronized — exactly CkDirect's target.
+package fem
+
+import "sort"
+
+// Mesh is an unstructured triangle mesh: element -> vertex connectivity.
+// It is generated from a structured quad grid (two triangles per quad),
+// but nothing downstream exploits the regularity.
+type Mesh struct {
+	NumVerts int
+	// Elems is the connectivity: each element lists its 3 vertices.
+	Elems [][3]int
+	// Degree counts, per vertex, the total number of (element, edge)
+	// incidences — the normalization of the update rule.
+	Degree []int
+}
+
+// NewRectMesh triangulates an nx x ny quad grid into 2*nx*ny elements
+// over (nx+1)*(ny+1) vertices.
+func NewRectMesh(nx, ny int) *Mesh {
+	vid := func(i, j int) int { return j*(nx+1) + i }
+	m := &Mesh{NumVerts: (nx + 1) * (ny + 1)}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			a, b := vid(i, j), vid(i+1, j)
+			c, d := vid(i, j+1), vid(i+1, j+1)
+			m.Elems = append(m.Elems, [3]int{a, b, c}, [3]int{b, d, c})
+		}
+	}
+	m.Degree = make([]int, m.NumVerts)
+	for _, e := range m.Elems {
+		for _, v := range e {
+			m.Degree[v] += 2 // two edges of each incident element touch v
+		}
+	}
+	return m
+}
+
+// Partition assigns each element to one of gx*gy parts by the grid
+// position of its quad (elements come in pairs per quad).
+type Partition struct {
+	Parts int
+	// Owner[e] is the part owning element e.
+	Owner []int
+	// PartElems lists each part's elements in global order.
+	PartElems [][]int
+	// PartVerts lists, per part, the global ids of every vertex any of
+	// its elements touch (sorted).
+	PartVerts [][]int
+	// Shared lists, for each ordered part pair that shares vertices, the
+	// sorted shared vertex ids.
+	Shared map[[2]int][]int
+}
+
+// PartitionRect partitions the NewRectMesh(nx, ny) element order into a
+// gx x gy block grid.
+func PartitionRect(m *Mesh, nx, ny, gx, gy int) *Partition {
+	p := &Partition{
+		Parts:     gx * gy,
+		Owner:     make([]int, len(m.Elems)),
+		PartElems: make([][]int, gx*gy),
+		PartVerts: make([][]int, gx*gy),
+		Shared:    make(map[[2]int][]int),
+	}
+	for e := range m.Elems {
+		quad := e / 2
+		qi, qj := quad%nx, quad/nx
+		pi := qi * gx / nx
+		pj := qj * gy / ny
+		part := pj*gx + pi
+		p.Owner[e] = part
+		p.PartElems[part] = append(p.PartElems[part], e)
+	}
+	// Vertex -> set of touching parts.
+	touch := make(map[int][]int) // vertex -> sorted unique parts
+	for e, elem := range m.Elems {
+		part := p.Owner[e]
+		for _, v := range elem {
+			parts := touch[v]
+			found := false
+			for _, q := range parts {
+				if q == part {
+					found = true
+					break
+				}
+			}
+			if !found {
+				touch[v] = append(parts, part)
+			}
+		}
+	}
+	seenVert := make([]map[int]bool, p.Parts)
+	for i := range seenVert {
+		seenVert[i] = make(map[int]bool)
+	}
+	for v := 0; v < m.NumVerts; v++ {
+		parts := touch[v]
+		sort.Ints(parts)
+		for _, a := range parts {
+			if !seenVert[a][v] {
+				seenVert[a][v] = true
+				p.PartVerts[a] = append(p.PartVerts[a], v)
+			}
+			for _, b := range parts {
+				if a != b {
+					key := [2]int{a, b}
+					p.Shared[key] = append(p.Shared[key], v)
+				}
+			}
+		}
+	}
+	for i := range p.PartVerts {
+		sort.Ints(p.PartVerts[i])
+	}
+	for k := range p.Shared {
+		sort.Ints(p.Shared[k])
+	}
+	return p
+}
+
+// Neighbours returns the sorted parts that share at least one vertex
+// with part a.
+func (p *Partition) Neighbours(a int) []int {
+	var out []int
+	for k := range p.Shared {
+		if k[0] == a {
+			out = append(out, k[1])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// seedVertex is the deterministic initial condition shared with the
+// serial reference.
+func seedVertex(v int) float64 {
+	return float64((v*137+29)%1009) / 1009
+}
+
+// SerialReference runs iters explicit diffusion steps on the whole mesh
+// with the *same* summation contract as the distributed solver: the
+// contributions to a vertex are combined in ascending part order
+// (floating-point addition is commutative but not associative, so a
+// fixed combination order is what lets every part hold bit-identical
+// values for shared vertices — and lets validate-mode runs demand bit
+// equality). A tolerance comparison against the naive global-order sum
+// is in the tests.
+func SerialReference(m *Mesh, p *Partition, dt float64, iters int) []float64 {
+	u := make([]float64, m.NumVerts)
+	for v := range u {
+		u[v] = seedVertex(v)
+	}
+	for it := 0; it < iters; it++ {
+		// Per-part partial accumulations, in part-local element order.
+		partials := make([][]float64, p.Parts)
+		for part := 0; part < p.Parts; part++ {
+			acc := make([]float64, m.NumVerts)
+			for _, e := range p.PartElems[part] {
+				accumulateElement(u, acc, m.Elems[e])
+			}
+			partials[part] = acc
+		}
+		next := make([]float64, m.NumVerts)
+		for v := 0; v < m.NumVerts; v++ {
+			sum := 0.0
+			for part := 0; part < p.Parts; part++ {
+				if containsVert(p.PartVerts[part], v) {
+					sum += partials[part][v]
+				}
+			}
+			next[v] = u[v] + dt*sum/float64(m.Degree[v])
+		}
+		u = next
+	}
+	return u
+}
+
+// accumulateElement adds one element's edge contributions.
+func accumulateElement(u, acc []float64, elem [3]int) {
+	for i := 0; i < 3; i++ {
+		a, b := elem[i], elem[(i+1)%3]
+		acc[a] += u[b] - u[a]
+		acc[b] += u[a] - u[b]
+	}
+}
+
+// NaiveReference is the straightforward global-element-order solver used
+// for the tolerance cross-check.
+func NaiveReference(m *Mesh, dt float64, iters int) []float64 {
+	u := make([]float64, m.NumVerts)
+	for v := range u {
+		u[v] = seedVertex(v)
+	}
+	for it := 0; it < iters; it++ {
+		acc := make([]float64, m.NumVerts)
+		for _, elem := range m.Elems {
+			accumulateElement(u, acc, elem)
+		}
+		next := make([]float64, m.NumVerts)
+		for v := range u {
+			next[v] = u[v] + dt*acc[v]/float64(m.Degree[v])
+		}
+		u = next
+	}
+	return u
+}
+
+func containsVert(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}

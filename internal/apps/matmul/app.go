@@ -1,0 +1,529 @@
+package matmul
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/charm"
+	"repro/internal/ckdirect"
+	"repro/internal/linalg"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+const oobPattern uint64 = 0x7FF8C0FFEE000001
+
+// Shard kinds for message tags.
+const (
+	kindA = iota
+	kindB
+	kindC
+)
+
+type app struct {
+	cfg  Config
+	grid [3]int
+	rts  *charm.RTS
+	mgr  *ckdirect.Manager
+	arr  *charm.Array
+
+	iterEP, shardEP charm.EP
+	chares          []*chare
+	barriers        []sim.Time
+	totalIters      int
+
+	// Block geometry (elements).
+	rowsA, colsA int // A block: N/gx x N/gz
+	rowsB, colsB int // B block: N/gz x N/gy
+	rowsC, colsC int // C block: N/gx x N/gy
+	shardARows   int // rowsA / gy
+	shardBRows   int // rowsB / gx
+	stripRows    int // rowsC / gz
+}
+
+type chare struct {
+	app     *app
+	idx     charm.Index // (x, y, z)
+	pe      int
+	x, y, z int
+
+	// Assembled blocks (validate mode; nil in model mode).
+	aBuf, bBuf []byte
+	// Outgoing shards: one buffer for A (fanned out to gy-1 handles), one
+	// for B (gx-1 handles), and per-destination C strips.
+	aShard, bShard []byte
+	cStripsOut     [][]byte
+	// Incoming C strips staged per source z, accumulated after compute.
+	cStageIn [][]byte
+	// cAccum is this chare's final strip of C.
+	cAccum []float64
+
+	// CkDirect channels.
+	aIn, bIn, cIn    []*ckdirect.Handle // my incoming channels (indexed by source coord)
+	aOut, bOut, cOut []*ckdirect.Handle // channels I put on (indexed by dest coord)
+
+	recvA, recvB, recvC int
+	computed            bool
+	pendingC            [][]byte // strips that arrived before my compute finished
+}
+
+func (a *app) build() {
+	gx, gy, gz := a.grid[0], a.grid[1], a.grid[2]
+	n := a.cfg.N
+	a.rowsA, a.colsA = n/gx, n/gz
+	a.rowsB, a.colsB = n/gz, n/gy
+	a.rowsC, a.colsC = n/gx, n/gy
+	a.shardARows = a.rowsA / gy
+	a.shardBRows = a.rowsB / gx
+	a.stripRows = a.rowsC / gz
+	a.totalIters = a.cfg.Warmup + a.cfg.Iters + 1
+
+	a.arr = a.rts.NewArray("matmul", func(ix charm.Index) int {
+		lin := ix[0] + gx*(ix[1]+gy*ix[2])
+		return lin * a.cfg.PEs / (gx * gy * gz)
+	})
+	for z := 0; z < gz; z++ {
+		for y := 0; y < gy; y++ {
+			for x := 0; x < gx; x++ {
+				c := &chare{app: a, idx: charm.Idx3(x, y, z), x: x, y: y, z: z}
+				c.pe = a.arr.PEOf(c.idx)
+				if a.cfg.Validate {
+					c.allocData()
+				}
+				if c.cStripsOut == nil {
+					c.cStripsOut = make([][]byte, gz)
+				}
+				a.chares = append(a.chares, c)
+				a.arr.Insert(c.idx, c)
+			}
+		}
+	}
+
+	a.iterEP = a.arr.EntryMethod("iterate", func(ctx *charm.Ctx, msg *charm.Message) {
+		ctx.Obj().(*chare).iterate(ctx)
+	})
+	a.shardEP = a.arr.EntryMethod("shard", func(ctx *charm.Ctx, msg *charm.Message) {
+		c := ctx.Obj().(*chare)
+		kind := msg.Tag & 0xF
+		src := msg.Tag >> 4
+		c.onShard(ctx, kind, src, msg.Data, msg.Size)
+	})
+	a.arr.SetReductionClient(charm.Sum, func(ctx *charm.Ctx, vals []float64) {
+		a.barriers = append(a.barriers, ctx.Now())
+		if len(a.barriers) < a.totalIters {
+			ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+		}
+	})
+	if a.cfg.Mode == Ckd {
+		a.buildChannels()
+	}
+}
+
+// Element addressing into the global matrices for validation.
+
+// seedA and seedB define the deterministic inputs.
+func seedA(i, j int) float64 { return float64((i*7+j*3)%13) / 13 }
+func seedB(i, j int) float64 { return float64((i*5+j*11)%17) / 17 }
+
+func (c *chare) allocData() {
+	a := c.app
+	c.aBuf = make([]byte, a.rowsA*a.colsA*8)
+	c.bBuf = make([]byte, a.rowsB*a.colsB*8)
+	c.aShard = make([]byte, a.shardARows*a.colsA*8)
+	c.bShard = make([]byte, a.shardBRows*a.colsB*8)
+	c.cAccum = make([]float64, a.stripRows*a.colsC)
+	c.cStripsOut = make([][]byte, a.grid[2])
+	for dz := 0; dz < a.grid[2]; dz++ {
+		if dz != c.z {
+			c.cStripsOut[dz] = make([]byte, a.cStripBytes())
+		}
+	}
+
+	// Fill the owned shards from the global seeds. A shard: rows
+	// [x*rowsA + y*shardARows, ...), cols [z*colsA, ...).
+	for r := 0; r < a.shardARows; r++ {
+		gi := c.x*a.rowsA + c.y*a.shardARows + r
+		for j := 0; j < a.colsA; j++ {
+			putF64(c.aShard, r*a.colsA+j, seedA(gi, c.z*a.colsA+j))
+		}
+	}
+	// B shard: rows [z*rowsB + x*shardBRows, ...), cols [y*colsB, ...).
+	for r := 0; r < a.shardBRows; r++ {
+		gi := c.z*a.rowsB + c.x*a.shardBRows + r
+		for j := 0; j < a.colsB; j++ {
+			putF64(c.bShard, r*a.colsB+j, seedB(gi, c.y*a.colsB+j))
+		}
+	}
+	// Place own shards into the assemblies once; peers' slots are filled
+	// by communication every iteration.
+	copy(c.aSlot(c.y), c.aShard)
+	copy(c.bSlot(c.x), c.bShard)
+}
+
+// aSlot returns the assembly slice where the shard from source y' lands.
+func (c *chare) aSlot(srcY int) []byte {
+	a := c.app
+	start := srcY * a.shardARows * a.colsA * 8
+	return c.aBuf[start : start+a.shardARows*a.colsA*8]
+}
+
+// bSlot returns the assembly slice for the shard from source x'.
+func (c *chare) bSlot(srcX int) []byte {
+	a := c.app
+	start := srcX * a.shardBRows * a.colsB * 8
+	return c.bBuf[start : start+a.shardBRows*a.colsB*8]
+}
+
+func (a *app) aShardBytes() int { return a.shardARows * a.colsA * 8 }
+func (a *app) bShardBytes() int { return a.shardBRows * a.colsB * 8 }
+func (a *app) cStripBytes() int { return a.stripRows * a.colsC * 8 }
+
+// buildChannels wires the persistent CkDirect channels: A shards land
+// directly in the destination's assembly slot, B shards likewise, C
+// strips land in per-source staging buffers.
+func (a *app) buildChannels() {
+	mach := a.rts.Machine()
+	gx, gy, gz := a.grid[0], a.grid[1], a.grid[2]
+	virtual := !a.cfg.Validate
+
+	region := func(pe int, backing []byte, size int) *machine.Region {
+		if virtual {
+			return mach.AllocRegion(pe, size, true)
+		}
+		return mach.WrapRegion(pe, backing)
+	}
+
+	// Receivers create handles.
+	for _, c := range a.chares {
+		c := c
+		c.aIn = make([]*ckdirect.Handle, gy)
+		c.bIn = make([]*ckdirect.Handle, gx)
+		c.cIn = make([]*ckdirect.Handle, gz)
+		c.cStageIn = make([][]byte, gz)
+		for sy := 0; sy < gy; sy++ {
+			if sy == c.y {
+				continue
+			}
+			var backing []byte
+			if !virtual {
+				backing = c.aSlot(sy)
+			}
+			h, err := a.mgr.CreateHandle(c.pe, region(c.pe, backing, a.aShardBytes()), oobPattern,
+				func(ctx *charm.Ctx) { c.onShard(ctx, kindA, -1, nil, a.aShardBytes()) })
+			if err != nil {
+				panic(err)
+			}
+			c.aIn[sy] = h
+		}
+		for sx := 0; sx < gx; sx++ {
+			if sx == c.x {
+				continue
+			}
+			var backing []byte
+			if !virtual {
+				backing = c.bSlot(sx)
+			}
+			h, err := a.mgr.CreateHandle(c.pe, region(c.pe, backing, a.bShardBytes()), oobPattern,
+				func(ctx *charm.Ctx) { c.onShard(ctx, kindB, -1, nil, a.bShardBytes()) })
+			if err != nil {
+				panic(err)
+			}
+			c.bIn[sx] = h
+		}
+		for sz := 0; sz < gz; sz++ {
+			if sz == c.z {
+				continue
+			}
+			sz := sz
+			if !virtual {
+				c.cStageIn[sz] = make([]byte, a.cStripBytes())
+			}
+			h, err := a.mgr.CreateHandle(c.pe, region(c.pe, c.cStageIn[sz], a.cStripBytes()), oobPattern,
+				func(ctx *charm.Ctx) { c.onShard(ctx, kindC, sz, c.cStageIn[sz], a.cStripBytes()) })
+			if err != nil {
+				panic(err)
+			}
+			c.cIn[sz] = h
+		}
+	}
+	// Senders associate. One A buffer serves gy-1 channels; one B buffer
+	// serves gx-1; C strips each have their own buffer.
+	for _, c := range a.chares {
+		c.aOut = make([]*ckdirect.Handle, gy)
+		c.bOut = make([]*ckdirect.Handle, gx)
+		c.cOut = make([]*ckdirect.Handle, gz)
+		if c.cStripsOut == nil {
+			c.cStripsOut = make([][]byte, gz)
+		}
+		aReg := region(c.pe, c.aShard, a.aShardBytes())
+		for dy := 0; dy < gy; dy++ {
+			if dy == c.y {
+				continue
+			}
+			peer := a.arr.Obj(charm.Idx3(c.x, dy, c.z)).(*chare)
+			h := peer.aIn[c.y]
+			if err := a.mgr.AssocLocal(h, c.pe, aReg); err != nil {
+				panic(err)
+			}
+			c.aOut[dy] = h
+		}
+		bReg := region(c.pe, c.bShard, a.bShardBytes())
+		for dx := 0; dx < gx; dx++ {
+			if dx == c.x {
+				continue
+			}
+			peer := a.arr.Obj(charm.Idx3(dx, c.y, c.z)).(*chare)
+			h := peer.bIn[c.x]
+			if err := a.mgr.AssocLocal(h, c.pe, bReg); err != nil {
+				panic(err)
+			}
+			c.bOut[dx] = h
+		}
+		for dz := 0; dz < gz; dz++ {
+			if dz == c.z {
+				continue
+			}
+			peer := a.arr.Obj(charm.Idx3(c.x, c.y, dz)).(*chare)
+			h := peer.cIn[c.z]
+			if err := a.mgr.AssocLocal(h, c.pe, region(c.pe, c.cStripsOut[dz], a.cStripBytes())); err != nil {
+				panic(err)
+			}
+			c.cOut[dz] = h
+		}
+	}
+}
+
+func (a *app) start() {
+	a.rts.StartAt(0, func(ctx *charm.Ctx) {
+		ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+	})
+}
+
+// iterate starts one multiply on this chare: ship the A and B shards to
+// the replication partners. Being message-driven, the compute may already
+// have fired from onShard if every peer shard landed before this entry
+// ran; ship order does not affect correctness.
+func (c *chare) iterate(ctx *charm.Ctx) {
+	a := c.app
+	gx, gy := a.grid[0], a.grid[1]
+	for dy := 0; dy < gy; dy++ {
+		if dy == c.y {
+			continue
+		}
+		c.ship(ctx, kindA, charm.Idx3(c.x, dy, c.z), c.aOut, dy, c.aShard, a.aShardBytes())
+	}
+	for dx := 0; dx < gx; dx++ {
+		if dx == c.x {
+			continue
+		}
+		c.ship(ctx, kindB, charm.Idx3(dx, c.y, c.z), c.bOut, dx, c.bShard, a.bShardBytes())
+	}
+	c.maybeCompute(ctx)
+}
+
+// ship sends one shard by message or put.
+func (c *chare) ship(ctx *charm.Ctx, kind int, dst charm.Index, handles []*ckdirect.Handle, dstCoord int, data []byte, size int) {
+	a := c.app
+	if a.cfg.Mode == Msg {
+		srcCoord := [3]int{c.y, c.x, c.z}[kind]
+		ctx.Send(a.arr, dst, a.shardEP, &charm.Message{
+			Size: size,
+			Data: data,
+			Tag:  kind | srcCoord<<4,
+		})
+		return
+	}
+	if err := a.mgr.Put(handles[dstCoord]); err != nil {
+		panic(err)
+	}
+}
+
+// onShard handles an arrived shard of any kind, from either transport.
+// For the message transport the shard must first be copied into its
+// place in the assembly — the cost CkDirect eliminates (§4.2).
+func (c *chare) onShard(ctx *charm.Ctx, kind, src int, data []byte, size int) {
+	a := c.app
+	if a.cfg.Mode == Msg {
+		ctx.Charge(sim.Nanoseconds(a.cfg.Platform.CopyPerByteNS * float64(size)))
+		if a.cfg.Validate && kind != kindC {
+			switch kind {
+			case kindA:
+				copy(c.aSlot(src), data)
+			case kindB:
+				copy(c.bSlot(src), data)
+			}
+		}
+	}
+	switch kind {
+	case kindA:
+		c.recvA++
+	case kindB:
+		c.recvB++
+	case kindC:
+		c.recvC++
+		if !c.computed {
+			c.pendingC = append(c.pendingC, data)
+		} else {
+			c.addStrip(ctx, data)
+		}
+	}
+	c.maybeCompute(ctx)
+	c.maybeFinish(ctx)
+}
+
+// maybeCompute fires the DGEMM once both assemblies are complete.
+func (c *chare) maybeCompute(ctx *charm.Ctx) {
+	a := c.app
+	if c.computed || c.recvA < a.grid[1]-1 || c.recvB < a.grid[0]-1 {
+		return
+	}
+	c.computed = true
+	flops := linalg.GemmFlops(a.rowsA, a.colsA, a.colsB)
+	ctx.Charge(sim.Nanoseconds(a.cfg.Platform.FlopNS * float64(flops)))
+
+	var partial *linalg.Matrix
+	if a.cfg.Validate {
+		for i := range c.cAccum {
+			c.cAccum[i] = 0
+		}
+		ab := bytesToMatrix(c.aBuf, a.rowsA, a.colsA)
+		bb := bytesToMatrix(c.bBuf, a.rowsB, a.colsB)
+		partial = linalg.NewMatrix(a.rowsC, a.colsC)
+		linalg.Gemm(partial, ab, bb)
+		// Own strip accumulates locally.
+		c.accumulateStrip(partial)
+	}
+	// Scatter the other strips along the z line.
+	for dz := 0; dz < a.grid[2]; dz++ {
+		if dz == c.z {
+			continue
+		}
+		if a.cfg.Validate {
+			encodeStrip(partial, dz*a.stripRows, a.stripRows, c.cStripsOut[dz])
+		}
+		if a.cfg.Mode == Msg {
+			ctx.Send(a.arr, charm.Idx3(c.x, c.y, dz), a.shardEP, &charm.Message{
+				Size: a.cStripBytes(),
+				Data: c.cStripsOut[dz],
+				Tag:  kindC | c.z<<4,
+			})
+		} else {
+			if err := a.mgr.Put(c.cOut[dz]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// Strips that arrived early can now be accumulated.
+	for _, data := range c.pendingC {
+		c.addStrip(ctx, data)
+	}
+	c.pendingC = c.pendingC[:0]
+	c.maybeFinish(ctx)
+}
+
+// accumulateStrip adds this chare's own rows of the partial into cAccum.
+func (c *chare) accumulateStrip(partial *linalg.Matrix) {
+	a := c.app
+	rowOff := c.z * a.stripRows
+	for r := 0; r < a.stripRows; r++ {
+		for j := 0; j < a.colsC; j++ {
+			c.cAccum[r*a.colsC+j] += partial.At(rowOff+r, j)
+		}
+	}
+}
+
+// addStrip accumulates an arrived strip (already the right rows of the
+// sender's partial) into cAccum, charging one add per element.
+func (c *chare) addStrip(ctx *charm.Ctx, data []byte) {
+	a := c.app
+	elems := a.stripRows * a.colsC
+	ctx.Charge(sim.Nanoseconds(a.cfg.Platform.FlopNS * float64(elems)))
+	if a.cfg.Validate && data != nil {
+		for i := 0; i < elems; i++ {
+			c.cAccum[i] += getF64(data, i)
+		}
+	}
+}
+
+// maybeFinish closes the iteration on this chare once compute and all C
+// strips are in.
+func (c *chare) maybeFinish(ctx *charm.Ctx) {
+	a := c.app
+	if !c.computed || c.recvC < a.grid[2]-1 {
+		return
+	}
+	c.recvA, c.recvB, c.recvC = 0, 0, 0
+	c.computed = false
+	if a.cfg.Mode == Ckd {
+		for _, h := range c.aIn {
+			if h != nil {
+				a.mgr.Ready(h)
+			}
+		}
+		for _, h := range c.bIn {
+			if h != nil {
+				a.mgr.Ready(h)
+			}
+		}
+		for _, h := range c.cIn {
+			if h != nil {
+				a.mgr.Ready(h)
+			}
+		}
+	}
+	a.arr.ContributeFrom(c.idx, 1)
+}
+
+// verify reassembles C from the chares and compares against a serial
+// reference product.
+func (a *app) verify() float64 {
+	n := a.cfg.N
+	am := linalg.NewMatrix(n, n)
+	bm := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			am.Set(i, j, seedA(i, j))
+			bm.Set(i, j, seedB(i, j))
+		}
+	}
+	want := linalg.NewMatrix(n, n)
+	linalg.Gemm(want, am, bm)
+
+	got := linalg.NewMatrix(n, n)
+	for _, c := range a.chares {
+		// Chare (x,y,z) owns rows [x*rowsC + z*stripRows, ...) and cols
+		// [y*colsC, ...) of C.
+		for r := 0; r < a.stripRows; r++ {
+			gi := c.x*a.rowsC + c.z*a.stripRows + r
+			for j := 0; j < a.colsC; j++ {
+				got.Set(gi, c.y*a.colsC+j, c.cAccum[r*a.colsC+j])
+			}
+		}
+	}
+	return linalg.MaxAbsDiff(got, want)
+}
+
+func putF64(b []byte, i int, v float64) {
+	binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+}
+
+func getF64(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+func bytesToMatrix(b []byte, rows, cols int) *linalg.Matrix {
+	m := linalg.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = getF64(b, i)
+	}
+	return m
+}
+
+func encodeStrip(partial *linalg.Matrix, rowOff, rows int, out []byte) {
+	cols := partial.Cols
+	for r := 0; r < rows; r++ {
+		for j := 0; j < cols; j++ {
+			putF64(out, r*cols+j, partial.At(rowOff+r, j))
+		}
+	}
+}

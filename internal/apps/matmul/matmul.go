@@ -1,0 +1,155 @@
+// Package matmul implements the paper's second application study (§4.2):
+// parallel matrix multiplication with a 3-D decomposition for 2-D
+// matrices (Agarwal et al.), comparing Charm++ messages with CkDirect.
+//
+// A chare grid of gx × gy × gz elements computes C = A·B for N×N
+// matrices. Chare (x,y,z) is responsible for the partial product
+// A[x,z]·B[z,y]. Each iteration:
+//
+//  1. Replication — every chare sends its shard of A to the chares
+//     sharing its (x,z) coordinates and its shard of B to the chares
+//     sharing its (z,y) coordinates (the paper's "replicate A along one
+//     dimension, B along another").
+//  2. Compute — DGEMM on the assembled blocks (charged at the platform's
+//     FlopNS; validated with a real linalg.Gemm at small scales).
+//  3. C exchange — each chare scatters its partial C in strips to the
+//     chares of its (x,y) line, which accumulate their strip of C.
+//
+// With messages, every arriving shard must be copied into its place in
+// the local assembly of A and B — CkDirect instead lands the shard
+// directly in the assembly buffer ("a row in the middle of a matrix"),
+// which eliminates both the copy and the scheduler dispatch. That is the
+// asymmetry behind Figure 3.
+package matmul
+
+import (
+	"fmt"
+
+	"repro/internal/charm"
+	"repro/internal/ckdirect"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mode selects the communication variant.
+type Mode int
+
+// Matmul variants.
+const (
+	Msg Mode = iota
+	Ckd
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Msg {
+		return "msg"
+	}
+	return "ckd"
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Platform *netmodel.Platform
+	Mode     Mode
+	PEs      int
+	// N is the matrix edge (paper: 2048).
+	N int
+	// Iters are measured iterations (each is a full multiply); Warmup
+	// iterations run first.
+	Iters, Warmup int
+	// Validate runs real matrices through the pipeline and checks the
+	// product (small N only).
+	Validate bool
+	// Timeline, when set, records Projections-style execution spans.
+	Timeline *trace.Timeline
+}
+
+// Result reports timing and validation data.
+type Result struct {
+	Config
+	Grid        [3]int
+	IterTime    sim.Time
+	MaxError    float64 // |C - reference| in validate mode
+	TotalEvents uint64
+}
+
+// Improvement runs both variants and returns the percentage improvement
+// of CKD over MSG in iteration time (Figure 3's gap).
+func Improvement(cfg Config) (msg, ckd Result, pct float64) {
+	cfg.Mode = Msg
+	msg = Run(cfg)
+	cfg.Mode = Ckd
+	ckd = Run(cfg)
+	pct = (1 - float64(ckd.IterTime)/float64(msg.IterTime)) * 100
+	return
+}
+
+// chooseGrid factors pes into a near-cubic (gx, gy, gz) by repeated
+// doubling, mirroring how the 3-D algorithm is deployed on power-of-two
+// partitions.
+func chooseGrid(pes int) [3]int {
+	g := [3]int{1, 1, 1}
+	for i := 0; g[0]*g[1]*g[2] < pes; i++ {
+		g[i%3] *= 2
+	}
+	return g
+}
+
+// Run executes one matmul configuration.
+func Run(cfg Config) Result {
+	if cfg.PEs <= 0 {
+		panic("matmul: PEs must be positive")
+	}
+	if cfg.N <= 0 {
+		cfg.N = 2048
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 2
+	}
+	grid := chooseGrid(cfg.PEs)
+	for d := 0; d < 3; d++ {
+		if cfg.N%grid[d] != 0 || cfg.N/grid[d] < 1 {
+			panic(fmt.Sprintf("matmul: N=%d not divisible by grid %v", cfg.N, grid))
+		}
+	}
+	// The shard subdivisions must also divide the blocks evenly.
+	if (cfg.N/grid[0])%grid[1] != 0 || (cfg.N/grid[2])%grid[0] != 0 || (cfg.N/grid[0])%grid[2] != 0 {
+		panic(fmt.Sprintf("matmul: N=%d incompatible with grid %v shard split", cfg.N, grid))
+	}
+
+	eng := sim.NewEngine()
+	mach, net := cfg.Platform.BuildMachine(eng, cfg.PEs)
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(),
+		charm.Options{Checked: true, VirtualPayloads: !cfg.Validate})
+
+	if cfg.Timeline != nil {
+		rts.SetTimeline(cfg.Timeline)
+	}
+	a := &app{cfg: cfg, grid: grid, rts: rts}
+	if cfg.Mode == Ckd {
+		a.mgr = ckdirect.NewManager(rts)
+	}
+	a.build()
+	a.start()
+	eng.Run()
+	if errs := rts.Errors(); len(errs) > 0 {
+		panic(fmt.Sprintf("matmul: runtime contract violation: %v", errs[0]))
+	}
+	want := cfg.Warmup + cfg.Iters + 1
+	if len(a.barriers) < want {
+		panic(fmt.Sprintf("matmul: only %d/%d iterations completed", len(a.barriers), want))
+	}
+	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
+	res := Result{
+		Config:      cfg,
+		Grid:        grid,
+		IterTime:    measured / sim.Time(cfg.Iters),
+		TotalEvents: eng.Executed(),
+	}
+	if cfg.Validate {
+		res.MaxError = a.verify()
+	}
+	return res
+}

@@ -1,0 +1,66 @@
+package matmul
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netmodel"
+)
+
+// TestPropertyRandomConfigsProduceExactProduct: random PE counts, matrix
+// sizes and platforms — the distributed product equals the serial
+// reference through both transports.
+func TestPropertyRandomConfigsProduceExactProduct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	prop := func(pesR, nR, itersR uint8, onBGP bool) bool {
+		pes := 1 << (int(pesR) % 5) // 1..16
+		// N must be divisible by the grid and shard splits; multiples of
+		// 16 cover every grid this PE range produces.
+		n := (int(nR)%4 + 1) * 16
+		iters := int(itersR)%2 + 1
+		plat := netmodel.AbeIB
+		if onBGP {
+			plat = netmodel.SurveyorBGP
+		}
+		for _, mode := range []Mode{Msg, Ckd} {
+			res := Run(Config{
+				Platform: plat, Mode: mode, PEs: pes, N: n,
+				Iters: iters, Warmup: 0, Validate: true,
+			})
+			if res.MaxError > 1e-9 {
+				t.Logf("mode %v pes=%d n=%d: max error %g", mode, pes, n, res.MaxError)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyIterationTimeIndependentOfIters: in a deterministic
+// simulation, per-iteration time must not depend on how many iterations
+// are measured.
+func TestPropertyIterationTimeStable(t *testing.T) {
+	prop := func(pesR uint8) bool {
+		pes := 1 << (int(pesR)%3 + 1) // 2..8
+		base := Config{Platform: netmodel.SurveyorBGP, Mode: Ckd, PEs: pes, N: 256, Warmup: 1}
+		short := base
+		short.Iters = 1
+		long := base
+		long.Iters = 4
+		a, b := Run(short), Run(long)
+		diff := a.IterTime - b.IterTime
+		if diff < 0 {
+			diff = -diff
+		}
+		// Allow sub-microsecond rounding from the division.
+		return diff < 1000
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package openatom
+
+import (
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/ckdirect"
+	"repro/internal/netmodel"
+)
+
+// TestLearnerDiscoversPairCalculatorFlows runs the message-based OpenAtom
+// proxy under the CkDirect channel learner and checks that it discovers
+// exactly the communication the paper chose to optimize: the GS→PC point
+// transfers — stable size, stable partners, repeated every step — and
+// none of the phase-A / backward / control traffic whose sizes or value
+// make poor channels.
+func TestLearnerDiscoversPairCalculatorFlows(t *testing.T) {
+	var learner *ckdirect.Learner
+	testPostBuild = func(rts *charm.RTS) {
+		// The learner needs a manager even on a message-mode run.
+		learner = ckdirect.NewLearner(ckdirect.NewManager(rts))
+	}
+	defer func() { testPostBuild = nil }()
+
+	cfg := Config{
+		Platform: netmodel.AbeIB,
+		Mode:     Msg,
+		Scope:    PCOnly,
+		PEs:      8,
+		NStates:  16, NPlanes: 2, Grain: 4, Points: 512,
+		Steps: 4, Warmup: 1,
+	}
+	Run(cfg)
+	if learner == nil {
+		t.Fatal("hook never ran")
+	}
+	sug := learner.Advise()
+	if len(sug) == 0 {
+		t.Fatal("learner found no channel-worthy flows in an iterative code")
+	}
+	pcFlows := 0
+	for _, s := range sug {
+		switch s.Array {
+		case "pc":
+			pcFlows++
+			if s.Size != cfg.Points*16 {
+				t.Fatalf("pc flow with size %d, want %d", s.Size, cfg.Points*16)
+			}
+		case "gs":
+			// Backward path messages are also stable (same size every
+			// step) — the learner may legitimately propose them; the
+			// paper left them unoptimized for engineering reasons, not
+			// because they are unstable.
+		default:
+			t.Fatalf("unexpected array in suggestion: %q", s.Array)
+		}
+	}
+	if pcFlows == 0 {
+		t.Fatal("learner missed the GS->PC point transfers entirely")
+	}
+	// Every suggested flow saw at least MinRepeats messages.
+	for _, s := range sug {
+		if s.Messages < 3 {
+			t.Fatalf("suggestion with only %d messages: %+v", s.Messages, s)
+		}
+		if s.SavingPerMsg <= 0 {
+			t.Fatalf("non-positive saving: %+v", s)
+		}
+	}
+}

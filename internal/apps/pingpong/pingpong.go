@@ -1,0 +1,288 @@
+// Package pingpong implements the paper's microbenchmark (§3): round-trip
+// time between two processors on different nodes, for every communication
+// stack in the repository — default Charm++ messages, CkDirect channels,
+// MPI two-sided, and MPI_Put under PSCW.
+package pingpong
+
+import (
+	"fmt"
+
+	"repro/internal/charm"
+	"repro/internal/ckdirect"
+	"repro/internal/machine"
+	"repro/internal/mpisim"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mode selects the communication stack under test.
+type Mode int
+
+// Benchmark modes, matching the rows of Tables 1 and 2.
+const (
+	CharmMsg Mode = iota // default Charm++ messaging
+	CkDirect             // CkDirect channels
+	MPI                  // two-sided MPI (MVAPICH2 on Abe, IBM MPI on BG/P)
+	MPIPut               // MPI_Put with post-start-complete-wait
+	MPIAlt               // MPICH-VMI (Abe only)
+)
+
+// String names the mode like the paper's table rows.
+func (m Mode) String() string {
+	switch m {
+	case CharmMsg:
+		return "charm-msg"
+	case CkDirect:
+		return "ckdirect"
+	case MPI:
+		return "mpi"
+	case MPIPut:
+		return "mpi-put"
+	case MPIAlt:
+		return "mpi-alt"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Config parameterizes one pingpong run.
+type Config struct {
+	Platform *netmodel.Platform
+	Mode     Mode
+	Size     int // user payload bytes
+	Iters    int // round trips to average over (paper: 1000)
+	// Virtual skips real payload allocation (timing is identical; see the
+	// equivalence tests).
+	Virtual bool
+}
+
+// Result is the measured outcome.
+type Result struct {
+	Config
+	RTT sim.Time // average round-trip time
+}
+
+// RTTMicros returns the average round trip in microseconds, the unit of
+// the paper's tables.
+func (r Result) RTTMicros() float64 { return r.RTT.Micros() }
+
+// Run executes the benchmark and returns the averaged round-trip time.
+func Run(cfg Config) Result {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 100
+	}
+	if cfg.Size <= 0 {
+		panic("pingpong: non-positive size")
+	}
+	switch cfg.Mode {
+	case CharmMsg:
+		return runCharm(cfg)
+	case CkDirect:
+		return runCkDirect(cfg)
+	case MPI, MPIPut, MPIAlt:
+		return runMPI(cfg)
+	}
+	panic(fmt.Sprintf("pingpong: unknown mode %v", cfg.Mode))
+}
+
+// peers returns the two endpoint PEs, placed on different nodes, and the
+// machine size needed to host them.
+func peers(plat *netmodel.Platform) (a, b, pes int) {
+	return 0, plat.CoresPerNode, plat.CoresPerNode + 1
+}
+
+func runCharm(cfg Config) Result {
+	eng := sim.NewEngine()
+	peA, peB, pes := peers(cfg.Platform)
+	mach, net := cfg.Platform.BuildMachine(eng, pes)
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{})
+
+	arr := rts.NewArray("pingpong", func(ix charm.Index) int {
+		if ix[0] == 0 {
+			return peA
+		}
+		return peB
+	})
+	arr.Insert(charm.Idx1(0), nil)
+	arr.Insert(charm.Idx1(1), nil)
+
+	var start, end sim.Time
+	left := cfg.Iters
+	var pingEP, pongEP charm.EP
+	pingEP = arr.EntryMethod("ping", func(ctx *charm.Ctx, msg *charm.Message) {
+		ctx.Send(arr, charm.Idx1(0), pongEP, &charm.Message{Size: cfg.Size})
+	})
+	pongEP = arr.EntryMethod("pong", func(ctx *charm.Ctx, msg *charm.Message) {
+		left--
+		if left == 0 {
+			end = ctx.Now()
+			return
+		}
+		ctx.Send(arr, charm.Idx1(1), pingEP, &charm.Message{Size: cfg.Size})
+	})
+	rts.StartAt(peA, func(ctx *charm.Ctx) {
+		start = ctx.Now()
+		ctx.Send(arr, charm.Idx1(1), pingEP, &charm.Message{Size: cfg.Size})
+	})
+	eng.Run()
+	return result(cfg, start, end)
+}
+
+func runCkDirect(cfg Config) Result {
+	eng := sim.NewEngine()
+	peA, peB, pes := peers(cfg.Platform)
+	mach, net := cfg.Platform.BuildMachine(eng, pes)
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Checked: true})
+	mgr := ckdirect.NewManager(rts)
+
+	const oob = 0xFFF8BADF00D00001
+	alloc := func(pe int) *machine.Region {
+		size := cfg.Size
+		if size < 8 {
+			size = 8
+		}
+		return mach.AllocRegion(pe, size, cfg.Virtual)
+	}
+	sendA, recvB := alloc(peA), alloc(peB) // A -> B channel buffers
+	sendB, recvA := alloc(peB), alloc(peA) // B -> A channel buffers
+	fill(sendA)
+	fill(sendB)
+
+	var start, end sim.Time
+	left := cfg.Iters
+	var hAB, hBA *ckdirect.Handle
+	var err error
+	// B's callback: data from A arrived; re-arm and pong back.
+	hAB, err = mgr.CreateHandle(peB, recvB, oob, func(ctx *charm.Ctx) {
+		mgr.Ready(hAB)
+		must(mgr.Put(hBA))
+	})
+	must(err)
+	// A's callback: pong arrived; count and ping again.
+	hBA, err = mgr.CreateHandle(peA, recvA, oob, func(ctx *charm.Ctx) {
+		mgr.Ready(hBA)
+		left--
+		if left == 0 {
+			end = ctx.Now()
+			return
+		}
+		must(mgr.Put(hAB))
+	})
+	must(err)
+	must(mgr.AssocLocal(hAB, peA, sendA))
+	must(mgr.AssocLocal(hBA, peB, sendB))
+
+	rts.StartAt(peA, func(ctx *charm.Ctx) {
+		start = ctx.Now()
+		must(mgr.Put(hAB))
+	})
+	eng.Run()
+	if errs := rts.Errors(); len(errs) > 0 {
+		panic(fmt.Sprintf("pingpong: ckdirect misuse: %v", errs[0]))
+	}
+	return result(cfg, start, end)
+}
+
+func runMPI(cfg Config) Result {
+	eng := sim.NewEngine()
+	rkA, rkB, pes := peers(cfg.Platform)
+	mach, net := cfg.Platform.BuildMachine(eng, pes)
+	table := cfg.Platform.MPI
+	if cfg.Mode == MPIAlt {
+		if cfg.Platform.MPIAlt == nil {
+			panic("pingpong: platform has no alternate MPI personality")
+		}
+		table = cfg.Platform.MPIAlt
+	}
+	w := mpisim.NewWorld(eng, mach, net, mpisim.Config{
+		Table:    table,
+		PutTable: cfg.Platform.MPIPut,
+	})
+
+	var start, end sim.Time
+	left := cfg.Iters
+	if cfg.Mode == MPIPut {
+		// One-sided pingpong: each direction is a PSCW-synchronized put
+		// into the peer's window.
+		bufA := mach.AllocRegion(rkA, cfg.Size, cfg.Virtual)
+		bufB := mach.AllocRegion(rkB, cfg.Size, cfg.Virtual)
+		regions := make([]*machine.Region, pes)
+		regions[rkA], regions[rkB] = bufA, bufB
+		win := w.NewWin(regions)
+
+		var iter func()
+		iter = func() {
+			// Ping: B exposes, A puts.
+			must(win.Post(rkB, []int{rkA}))
+			must(win.Wait(rkB, func() {
+				// Pong: A exposes, B puts back.
+				must(win.Post(rkA, []int{rkB}))
+				must(win.Wait(rkA, func() {
+					left--
+					if left == 0 {
+						end = eng.Now()
+						return
+					}
+					iter()
+				}))
+				must(win.Start(rkB, []int{rkA}))
+				must(win.Put(rkB, rkA, cfg.Size, nil))
+				must(win.Complete(rkB, nil))
+			}))
+			must(win.Start(rkA, []int{rkB}))
+			must(win.Put(rkA, rkB, cfg.Size, nil))
+			must(win.Complete(rkA, nil))
+		}
+		eng.Schedule(0, func() {
+			start = eng.Now()
+			iter()
+		})
+	} else {
+		var ping, pong func()
+		ping = func() {
+			w.Rank(rkB).Recv(rkA, 0, func(m *mpisim.Msg) {
+				w.Rank(rkB).Send(rkA, 1, &mpisim.Msg{Size: cfg.Size})
+			})
+		}
+		pong = func() {
+			w.Rank(rkA).Recv(rkB, 1, func(m *mpisim.Msg) {
+				left--
+				if left == 0 {
+					end = eng.Now()
+					return
+				}
+				ping()
+				pong()
+				w.Rank(rkA).Send(rkB, 0, &mpisim.Msg{Size: cfg.Size})
+			})
+		}
+		eng.Schedule(0, func() {
+			start = eng.Now()
+			ping()
+			pong()
+			w.Rank(rkA).Send(rkB, 0, &mpisim.Msg{Size: cfg.Size})
+		})
+	}
+	eng.Run()
+	return result(cfg, start, end)
+}
+
+func result(cfg Config, start, end sim.Time) Result {
+	if end <= start {
+		panic(fmt.Sprintf("pingpong: run did not complete (%v..%v, mode %v)", start, end, cfg.Mode))
+	}
+	return Result{Config: cfg, RTT: (end - start) / sim.Time(cfg.Iters)}
+}
+
+func fill(r *machine.Region) {
+	b := r.Bytes()
+	for i := range b {
+		b[i] = byte(i*31 + 7)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

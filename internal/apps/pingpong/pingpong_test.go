@@ -1,0 +1,145 @@
+package pingpong
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netmodel"
+)
+
+var paperSizes = []int{100, 1000, 5000, 10000, 20000, 30000, 40000, 70000, 100000, 500000}
+
+// Paper Table 1 (Abe/Infiniband) and Table 2 (Blue Gene/P), RTT in µs.
+var (
+	table1 = map[Mode][]float64{
+		CharmMsg: {22.924, 25.110, 47.340, 66.176, 96.215, 160.470, 191.343, 271.803, 353.305, 1399.145},
+		CkDirect: {12.383, 16.108, 29.330, 43.136, 68.927, 93.422, 120.954, 195.248, 275.322, 1294.358},
+		MPIAlt:   {12.367, 19.669, 37.318, 60.892, 102.684, 127.591, 201.148, 322.687, 332.690, 1396.942},
+		MPI:      {12.302, 19.436, 37.311, 56.249, 88.659, 119.452, 144.973, 236.545, 315.692, 1386.051},
+		MPIPut:   {16.801, 22.821, 51.750, 64.202, 94.250, 120.218, 146.028, 232.021, 308.942, 1369.516},
+	}
+	table2 = map[Mode][]float64{
+		CharmMsg: {14.467, 20.822, 44.822, 72.976, 128.166, 186.771, 240.306, 400.226, 560.634, 2693.601},
+		CkDirect: {5.133, 11.379, 33.112, 60.675, 115.103, 169.552, 223.599, 383.732, 543.491, 2677.072},
+		MPI:      {7.606, 13.936, 39.903, 66.661, 120.548, 173.041, 226.739, 386.712, 546.740, 2680.459},
+		MPIPut:   {14.049, 17.836, 39.963, 67.972, 122.693, 178.571, 232.629, 392.388, 552.708, 2685.972},
+	}
+)
+
+func pctErr(got, want float64) float64 {
+	return math.Abs(got-want) / want * 100
+}
+
+// TestTable1EndToEnd runs the full simulated stacks (scheduler, polling
+// queues, PSCW state machines — not just the analytic tables) against
+// every cell of the paper's Table 1, within 7%.
+func TestTable1EndToEnd(t *testing.T) {
+	for mode, row := range table1 {
+		for i, want := range row {
+			res := Run(Config{
+				Platform: netmodel.AbeIB,
+				Mode:     mode,
+				Size:     paperSizes[i],
+				Iters:    10,
+			})
+			if e := pctErr(res.RTTMicros(), want); e > 7 {
+				t.Errorf("IB %v %dB: got %.3fus, paper %.3fus (%.1f%% off)",
+					mode, paperSizes[i], res.RTTMicros(), want, e)
+			}
+		}
+	}
+}
+
+// TestTable2EndToEnd does the same for Blue Gene/P (Table 2).
+func TestTable2EndToEnd(t *testing.T) {
+	for mode, row := range table2 {
+		for i, want := range row {
+			res := Run(Config{
+				Platform: netmodel.SurveyorBGP,
+				Mode:     mode,
+				Size:     paperSizes[i],
+				Iters:    10,
+			})
+			if e := pctErr(res.RTTMicros(), want); e > 7 {
+				t.Errorf("BGP %v %dB: got %.3fus, paper %.3fus (%.1f%% off)",
+					mode, paperSizes[i], res.RTTMicros(), want, e)
+			}
+		}
+	}
+}
+
+// TestCkDirectWinsAtEverySize reproduces the headline comparison: the
+// CkDirect round trip beats default Charm++ messaging at every size on
+// both machines.
+func TestCkDirectWinsAtEverySize(t *testing.T) {
+	for _, plat := range []*netmodel.Platform{netmodel.AbeIB, netmodel.SurveyorBGP} {
+		for _, size := range paperSizes {
+			msg := Run(Config{Platform: plat, Mode: CharmMsg, Size: size, Iters: 5})
+			ckd := Run(Config{Platform: plat, Mode: CkDirect, Size: size, Iters: 5})
+			if ckd.RTT >= msg.RTT {
+				t.Errorf("%s %dB: ckdirect %v >= charm %v", plat.Name, size, ckd.RTT, msg.RTT)
+			}
+		}
+	}
+}
+
+// TestProtocolCrossoverVisible: on Infiniband the default Charm++ curve
+// must show the packet->rendezvous jump between 20 KB and 30 KB that the
+// paper discusses, while CkDirect stays smooth (ratio of successive
+// per-byte costs near 1).
+func TestProtocolCrossoverVisible(t *testing.T) {
+	rtt := func(mode Mode, size int) float64 {
+		return Run(Config{Platform: netmodel.AbeIB, Mode: mode, Size: size, Iters: 5}).RTTMicros()
+	}
+	msgJump := rtt(CharmMsg, 30000) - rtt(CharmMsg, 20000)
+	msgPrev := rtt(CharmMsg, 20000) - rtt(CharmMsg, 10000)
+	if msgJump < 1.5*msgPrev {
+		t.Errorf("no rendezvous jump: 10->20K grew %.1fus, 20->30K grew %.1fus", msgPrev, msgJump)
+	}
+	ckdJump := rtt(CkDirect, 30000) - rtt(CkDirect, 20000)
+	ckdPrev := rtt(CkDirect, 20000) - rtt(CkDirect, 10000)
+	if ckdJump > 1.5*ckdPrev {
+		t.Errorf("ckdirect not smooth across 20-30K: %.1fus then %.1fus", ckdPrev, ckdJump)
+	}
+}
+
+// TestDeterministicAcrossRuns: identical configs give identical times.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{Platform: netmodel.AbeIB, Mode: CkDirect, Size: 4096, Iters: 20}
+	a, b := Run(cfg), Run(cfg)
+	if a.RTT != b.RTT {
+		t.Fatalf("nondeterministic: %v vs %v", a.RTT, b.RTT)
+	}
+}
+
+// TestVirtualPayloadEquivalence: virtual payload mode must not change any
+// timing.
+func TestVirtualPayloadEquivalence(t *testing.T) {
+	for _, mode := range []Mode{CkDirect, MPIPut} {
+		real := Run(Config{Platform: netmodel.AbeIB, Mode: mode, Size: 8192, Iters: 8})
+		virt := Run(Config{Platform: netmodel.AbeIB, Mode: mode, Size: 8192, Iters: 8, Virtual: true})
+		if real.RTT != virt.RTT {
+			t.Errorf("%v: real %v != virtual %v", mode, real.RTT, virt.RTT)
+		}
+	}
+}
+
+// TestItersAveragingStable: the per-iteration average is independent of
+// the iteration count in a deterministic simulation.
+func TestItersAveragingStable(t *testing.T) {
+	short := Run(Config{Platform: netmodel.SurveyorBGP, Mode: CharmMsg, Size: 1000, Iters: 4})
+	long := Run(Config{Platform: netmodel.SurveyorBGP, Mode: CharmMsg, Size: 1000, Iters: 64})
+	if d := math.Abs(short.RTTMicros() - long.RTTMicros()); d > 0.5 {
+		t.Fatalf("averages differ by %.3fus between 4 and 64 iters", d)
+	}
+}
+
+// TestMPIAltOnlyOnAbe: requesting MPICH-VMI on BG/P must fail loudly.
+func TestMPIAltOnlyOnAbe(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MPIAlt on BG/P did not panic")
+		}
+	}()
+	Run(Config{Platform: netmodel.SurveyorBGP, Mode: MPIAlt, Size: 100, Iters: 1})
+}

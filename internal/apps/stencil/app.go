@@ -1,0 +1,382 @@
+package stencil
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/charm"
+	"repro/internal/ckdirect"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Face directions. opposite(d) == d^1.
+const (
+	xp = iota
+	xm
+	yp
+	ym
+	zp
+	zm
+	nDirs
+)
+
+var dirDelta = [nDirs][3]int{
+	{1, 0, 0}, {-1, 0, 0},
+	{0, 1, 0}, {0, -1, 0},
+	{0, 0, 1}, {0, 0, -1},
+}
+
+func opposite(d int) int { return d ^ 1 }
+
+// oobPattern is a NaN payload no finite Jacobi value ever encodes.
+const oobPattern uint64 = 0x7FF8DEADF00D0001
+
+type app struct {
+	cfg  Config
+	grid [3]int
+	rts  *charm.RTS
+	mgr  *ckdirect.Manager
+	arr  *charm.Array
+
+	iterEP, faceEP charm.EP
+	chares         []*chare
+
+	barriers     []sim.Time
+	lastResidual float64
+	totalIters   int
+}
+
+type chare struct {
+	app *app
+	idx charm.Index
+	pe  int
+
+	bx, by, bz    int // interior extent
+	gx0, gy0, gz0 int // global origin
+
+	neighbors [nDirs]bool
+	nNbr      int
+
+	// Validate-mode field data (nil in model mode).
+	cur, next []float64
+
+	// Per-direction face buffers. faceOut is what this chare sends; in
+	// CKD mode it is the registered source region's storage.
+	faceOut  [nDirs][]byte
+	faceVals [nDirs][]float64 // decoded incoming ghost values
+
+	sendRegions [nDirs]*machine.Region
+	recvRegions [nDirs]*machine.Region
+	inHandles   [nDirs]*ckdirect.Handle // channels delivering into this chare
+	outHandles  [nDirs]*ckdirect.Handle // channels this chare puts on
+
+	got  int
+	sent bool
+}
+
+// split computes the extent and offset of part idx when n cells are
+// divided over parts blocks as evenly as possible.
+func split(n, parts, idx int) (size, offset int) {
+	base, rem := n/parts, n%parts
+	size = base
+	if idx < rem {
+		size++
+	}
+	offset = idx*base + minInt(idx, rem)
+	return
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (a *app) lin(i, j, k int) int {
+	return i + a.grid[0]*(j+a.grid[1]*k)
+}
+
+func (a *app) peOf(ix charm.Index) int {
+	total := a.grid[0] * a.grid[1] * a.grid[2]
+	return a.lin(ix[0], ix[1], ix[2]) * a.cfg.PEs / total
+}
+
+// faceDims gives the 2-D extent of a face in direction d.
+func (c *chare) faceDims(d int) (int, int) {
+	switch d {
+	case xp, xm:
+		return c.by, c.bz
+	case yp, ym:
+		return c.bx, c.bz
+	default:
+		return c.bx, c.by
+	}
+}
+
+func (c *chare) faceBytes(d int) int {
+	u, v := c.faceDims(d)
+	return u * v * 8
+}
+
+func (a *app) build() {
+	a.totalIters = a.cfg.Warmup + a.cfg.Iters + 1
+	a.arr = a.rts.NewArray("stencil", a.peOf)
+	cx, cy, cz := a.grid[0], a.grid[1], a.grid[2]
+	for k := 0; k < cz; k++ {
+		for j := 0; j < cy; j++ {
+			for i := 0; i < cx; i++ {
+				c := &chare{app: a, idx: charm.Idx3(i, j, k)}
+				c.bx, c.gx0 = split(a.cfg.NX, cx, i)
+				c.by, c.gy0 = split(a.cfg.NY, cy, j)
+				c.bz, c.gz0 = split(a.cfg.NZ, cz, k)
+				c.pe = a.peOf(c.idx)
+				for d := 0; d < nDirs; d++ {
+					ni := i + dirDelta[d][0]
+					nj := j + dirDelta[d][1]
+					nk := k + dirDelta[d][2]
+					if ni >= 0 && ni < cx && nj >= 0 && nj < cy && nk >= 0 && nk < cz {
+						c.neighbors[d] = true
+						c.nNbr++
+					}
+				}
+				if a.cfg.Validate {
+					c.cur = make([]float64, c.bx*c.by*c.bz)
+					c.next = make([]float64, c.bx*c.by*c.bz)
+					c.initField()
+				}
+				a.chares = append(a.chares, c)
+				a.arr.Insert(c.idx, c)
+			}
+		}
+	}
+
+	a.iterEP = a.arr.EntryMethod("iterate", func(ctx *charm.Ctx, msg *charm.Message) {
+		ctx.Obj().(*chare).iterate(ctx)
+	})
+	a.faceEP = a.arr.EntryMethod("face", func(ctx *charm.Ctx, msg *charm.Message) {
+		c := ctx.Obj().(*chare)
+		c.onFace(ctx, msg.Tag, msg.Data)
+	})
+	a.arr.SetReductionClient(charm.Sum, func(ctx *charm.Ctx, vals []float64) {
+		a.barriers = append(a.barriers, ctx.Now())
+		a.lastResidual = vals[1]
+		if len(a.barriers) < a.totalIters {
+			ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+		}
+	})
+
+	if a.cfg.Mode == Ckd {
+		a.buildChannels()
+	}
+}
+
+// buildChannels wires one CkDirect channel per (chare, incoming face):
+// the receiver creates the handle over its face buffer; the neighbour
+// associates its matching outgoing face buffer.
+func (a *app) buildChannels() {
+	mach := a.rts.Machine()
+	virtual := !a.cfg.Validate
+	// Pass 1: receivers create handles.
+	for _, c := range a.chares {
+		c := c
+		for d := 0; d < nDirs; d++ {
+			if !c.neighbors[d] {
+				continue
+			}
+			d := d
+			size := c.faceBytes(d)
+			var region *machine.Region
+			if virtual {
+				region = mach.AllocRegion(c.pe, size, true)
+			} else {
+				buf := make([]byte, size)
+				region = mach.WrapRegion(c.pe, buf)
+			}
+			c.recvRegions[d] = region
+			h, err := a.mgr.CreateHandle(c.pe, region, oobPattern, func(ctx *charm.Ctx) {
+				c.onFace(ctx, d, region.Bytes())
+			})
+			if err != nil {
+				panic(err)
+			}
+			c.inHandles[d] = h
+		}
+	}
+	// Pass 2: senders associate their outgoing buffers.
+	for _, c := range a.chares {
+		for d := 0; d < nDirs; d++ {
+			if !c.neighbors[d] {
+				continue
+			}
+			nb := a.neighborOf(c, d)
+			h := nb.inHandles[opposite(d)]
+			size := c.faceBytes(d)
+			var region *machine.Region
+			if virtual {
+				region = mach.AllocRegion(c.pe, size, true)
+			} else {
+				c.faceOut[d] = make([]byte, size)
+				region = mach.WrapRegion(c.pe, c.faceOut[d])
+			}
+			c.sendRegions[d] = region
+			if err := a.mgr.AssocLocal(h, c.pe, region); err != nil {
+				panic(err)
+			}
+			c.outHandles[d] = h
+		}
+	}
+}
+
+func (a *app) neighborOf(c *chare, d int) *chare {
+	ni := c.idx[0] + dirDelta[d][0]
+	nj := c.idx[1] + dirDelta[d][1]
+	nk := c.idx[2] + dirDelta[d][2]
+	return a.arr.Obj(charm.Idx3(ni, nj, nk)).(*chare)
+}
+
+func (a *app) start() {
+	a.rts.StartAt(0, func(ctx *charm.Ctx) {
+		ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+	})
+}
+
+// iterate begins one iteration on a chare: extract the boundary faces of
+// the current field and ship them to the neighbours.
+func (c *chare) iterate(ctx *charm.Ctx) {
+	a := c.app
+	for d := 0; d < nDirs; d++ {
+		if !c.neighbors[d] {
+			continue
+		}
+		if a.cfg.Validate {
+			if a.cfg.Mode == Ckd {
+				c.extractFace(d, c.faceOut[d])
+			} else {
+				buf := make([]byte, c.faceBytes(d))
+				c.extractFace(d, buf)
+				c.faceOut[d] = buf
+			}
+		}
+		nb := a.neighborOf(c, d)
+		switch a.cfg.Mode {
+		case Msg:
+			ctx.Send(a.arr, nb.idx, a.faceEP, &charm.Message{
+				Size: c.faceBytes(d),
+				Data: c.faceOut[d],
+				Tag:  opposite(d),
+			})
+		case Ckd:
+			if err := a.mgr.Put(c.outHandles[d]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	c.sent = true
+	c.maybeCompute(ctx)
+}
+
+// maybeCompute fires the update once this chare has both received every
+// ghost face and extracted/sent its own faces for the iteration. The
+// second condition matters: CkDirect callbacks bypass the scheduler, so
+// a fast neighbour's put can arrive before this chare's own iterate
+// broadcast — computing then would update the field before the outgoing
+// faces were extracted, shipping next-iteration data to the neighbour.
+func (c *chare) maybeCompute(ctx *charm.Ctx) {
+	if !c.sent || c.got < c.nNbr {
+		return
+	}
+	c.sent = false
+	c.got = 0
+	c.computeAndBarrier(ctx)
+}
+
+// onFace records an arrived ghost face (by reference — no copy in either
+// mode) and fires the compute phase when the halo is complete.
+func (c *chare) onFace(ctx *charm.Ctx, d int, data []byte) {
+	if c.app.cfg.Validate {
+		c.faceVals[d] = decodeFace(data)
+	}
+	c.got++
+	c.maybeCompute(ctx)
+}
+
+func (c *chare) computeAndBarrier(ctx *charm.Ctx) {
+	a := c.app
+	elems := c.bx * c.by * c.bz
+	ctx.Charge(sim.Nanoseconds(a.cfg.Platform.StencilPerElementNS * float64(elems)))
+	residual := 0.0
+	if a.cfg.Validate {
+		residual = c.jacobi()
+		c.cur, c.next = c.next, c.cur
+	}
+	if a.cfg.Mode == Ckd {
+		for d := 0; d < nDirs; d++ {
+			if c.neighbors[d] {
+				// Single-phase application: mark and resume polling
+				// together (the paper's plain CkDirect_ready).
+				a.mgr.Ready(c.inHandles[d])
+			}
+		}
+	}
+	a.arr.ContributeFrom(c.idx, 1, residual)
+}
+
+// initField seeds the interior with a deterministic pattern shared with
+// the serial reference.
+func (c *chare) initField() {
+	i := 0
+	for x := 0; x < c.bx; x++ {
+		for y := 0; y < c.by; y++ {
+			for z := 0; z < c.bz; z++ {
+				c.cur[i] = seedValue(c.gx0+x, c.gy0+y, c.gz0+z)
+				i++
+			}
+		}
+	}
+}
+
+// seedValue is the shared initial condition.
+func seedValue(gx, gy, gz int) float64 {
+	return float64((gx*31+gy*17+gz*7)%997) / 997
+}
+
+func (a *app) fieldSum() float64 {
+	if !a.cfg.Validate {
+		return 0
+	}
+	s := 0.0
+	for _, c := range a.chares {
+		for _, v := range c.cur {
+			s += v
+		}
+	}
+	return s
+}
+
+// GatherField assembles the full field from a validate-mode run (tests).
+func gatherField(a *app) []float64 {
+	out := make([]float64, a.cfg.NX*a.cfg.NY*a.cfg.NZ)
+	for _, c := range a.chares {
+		i := 0
+		for x := 0; x < c.bx; x++ {
+			for y := 0; y < c.by; y++ {
+				for z := 0; z < c.bz; z++ {
+					gx, gy, gz := c.gx0+x, c.gy0+y, c.gz0+z
+					out[(gx*a.cfg.NY+gy)*a.cfg.NZ+gz] = c.cur[i]
+					i++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func decodeFace(data []byte) []float64 {
+	vals := make([]float64, len(data)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return vals
+}

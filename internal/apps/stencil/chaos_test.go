@@ -1,0 +1,92 @@
+package stencil
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// chaosRun executes a validate-mode stencil with random "OS noise"
+// injected: bursts of CPU time reserved on random PEs at random virtual
+// times. Noise reorders message arrivals, poll passes and compute starts
+// relative to each other — any hidden ordering assumption in the halo
+// protocol (for either transport) breaks the bit-exact field comparison.
+func chaosRun(t *testing.T, mode Mode, seed uint64) []float64 {
+	t.Helper()
+	const nx, ny, nz, iters = 10, 8, 6, 3
+	cfg := Config{
+		Platform: netmodel.AbeIB,
+		Mode:     mode,
+		PEs:      4, Virtualization: 2,
+		NX: nx, NY: ny, NZ: nz,
+		Iters: iters, Warmup: 0, Validate: true,
+	}
+	res := runWithNoise(cfg, seed)
+	return res.Field
+}
+
+// runWithNoise is Run plus deterministic noise events, injected through
+// the package's pre-start test hook.
+func runWithNoise(cfg Config, seed uint64) Result {
+	testPreRun = func(eng *sim.Engine, mach *machine.Machine) {
+		injectNoise(eng, mach, seed)
+	}
+	defer func() { testPreRun = nil }()
+	return Run(cfg)
+}
+
+func TestChaosNoiseDoesNotChangePhysics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	baseMsg := chaosRun(t, Msg, 0)
+	baseCkd := chaosRun(t, Ckd, 0)
+	for i := range baseMsg {
+		if baseMsg[i] != baseCkd[i] {
+			t.Fatalf("baseline transports disagree at %d", i)
+		}
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		for _, mode := range []Mode{Msg, Ckd} {
+			got := chaosRun(t, mode, seed)
+			for i := range baseMsg {
+				if got[i] != baseMsg[i] {
+					t.Fatalf("seed %d mode %v: noise changed the physics at cell %d", seed, mode, i)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosNoiseChangesTiming sanity-checks that the noise actually
+// perturbs the schedule (otherwise the test above proves nothing).
+func TestChaosNoiseChangesTiming(t *testing.T) {
+	cfg := Config{
+		Platform: netmodel.AbeIB, Mode: Ckd,
+		PEs: 4, Virtualization: 2,
+		NX: 10, NY: 8, NZ: 6,
+		Iters: 3, Warmup: 0, Validate: true,
+	}
+	quiet := Run(cfg)
+	noisy := runWithNoise(cfg, 12345)
+	if quiet.IterTime == noisy.IterTime {
+		t.Fatal("noise injection had no timing effect — chaos tests are vacuous")
+	}
+}
+
+// injectNoise schedules random CPU bursts across the run window.
+func injectNoise(eng *sim.Engine, mach *machine.Machine, seed uint64) {
+	r := rng.New(seed)
+	const bursts = 60
+	for i := 0; i < bursts; i++ {
+		pe := r.Intn(mach.NumPEs())
+		at := sim.Time(r.Intn(int(2 * sim.Millisecond)))
+		dur := sim.Time(r.Intn(int(40 * sim.Microsecond)))
+		eng.At(at, func() {
+			mach.PE(pe).Reserve(dur)
+		})
+	}
+}

@@ -1,0 +1,167 @@
+// Package stencil implements the paper's halo-exchange study (§4.1): a
+// 3-D Jacobi solver over a cuboid-decomposed domain, with one chare per
+// cuboid, comparing Charm++ messages (MSG) against CkDirect channels
+// (CKD). Both versions avoid receive-side copies — the kernel reads ghost
+// values straight out of the arrived face buffers — so, as in the paper,
+// the CKD gains come solely from bypassing message creation and scheduling.
+//
+// A global barrier (contribute/broadcast) separates iterations in both
+// versions; the paper uses it to guarantee at most one CkDirect
+// transaction in flight per channel.
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/charm"
+	"repro/internal/ckdirect"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mode selects the communication variant.
+type Mode int
+
+// Stencil variants.
+const (
+	Msg Mode = iota // Charm++ messages
+	Ckd             // CkDirect channels
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Msg {
+		return "msg"
+	}
+	return "ckd"
+}
+
+// Config parameterizes a stencil run.
+type Config struct {
+	Platform *netmodel.Platform
+	Mode     Mode
+	PEs      int
+	// NX, NY, NZ is the global domain (paper: 1024 x 1024 x 512).
+	NX, NY, NZ int
+	// Virtualization is the target number of chares per PE (paper: 8).
+	Virtualization int
+	// Iters are measured iterations; Warmup iterations run first.
+	Iters, Warmup int
+	// Validate runs real data through the kernel (small domains only) so
+	// the final field can be checked against a serial reference.
+	Validate bool
+	// Timeline, when set, records Projections-style execution spans.
+	Timeline *trace.Timeline
+}
+
+// Result reports timing and, in validate mode, the solution.
+type Result struct {
+	Config
+	ChareGrid   [3]int
+	Chares      int
+	IterTime    sim.Time // average measured iteration time
+	Residual    float64  // last iteration's global residual (validate mode)
+	FieldSum    float64  // checksum of the final field (validate mode)
+	Field       []float64
+	TotalEvents uint64
+}
+
+// Improvement runs both variants of a configuration and returns the
+// percentage improvement of CKD over MSG in average iteration time — the
+// quantity plotted in Figure 2.
+func Improvement(cfg Config) (msg, ckd Result, pct float64) {
+	cfg.Mode = Msg
+	msg = Run(cfg)
+	cfg.Mode = Ckd
+	ckd = Run(cfg)
+	pct = (1 - float64(ckd.IterTime)/float64(msg.IterTime)) * 100
+	return
+}
+
+// chooseGrid picks a chare grid (cx, cy, cz) with cx*cy*cz >= want,
+// keeping chare blocks as close to cubic as possible by always splitting
+// the dimension with the largest block extent.
+func chooseGrid(want, nx, ny, nz int) [3]int {
+	c := [3]int{1, 1, 1}
+	n := [3]int{nx, ny, nz}
+	for c[0]*c[1]*c[2] < want {
+		best, bestExtent := 0, -1
+		for d := 0; d < 3; d++ {
+			extent := n[d] / c[d]
+			if extent > bestExtent && c[d]*2 <= n[d] {
+				best, bestExtent = d, extent
+			}
+		}
+		if bestExtent <= 0 {
+			break // cannot split further
+		}
+		c[best] *= 2
+	}
+	return c
+}
+
+// testPreRun, when set (chaos tests), runs after the machine is built and
+// before the application starts — used to inject CPU noise events.
+var testPreRun func(*sim.Engine, *machine.Machine)
+
+// Run executes one stencil configuration.
+func Run(cfg Config) Result {
+	if cfg.PEs <= 0 || cfg.Virtualization <= 0 {
+		panic("stencil: PEs and Virtualization must be positive")
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 3
+	}
+	if cfg.Warmup < 0 {
+		cfg.Warmup = 0
+	}
+	grid := chooseGrid(cfg.PEs*cfg.Virtualization, cfg.NX, cfg.NY, cfg.NZ)
+	total := grid[0] * grid[1] * grid[2]
+	if total < cfg.PEs {
+		panic(fmt.Sprintf("stencil: domain %dx%dx%d too small for %d PEs",
+			cfg.NX, cfg.NY, cfg.NZ, cfg.PEs))
+	}
+
+	eng := sim.NewEngine()
+	mach, net := cfg.Platform.BuildMachine(eng, cfg.PEs)
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(),
+		charm.Options{Checked: true, VirtualPayloads: !cfg.Validate})
+	if cfg.Timeline != nil {
+		rts.SetTimeline(cfg.Timeline)
+	}
+	if testPreRun != nil {
+		testPreRun(eng, mach)
+	}
+
+	a := &app{cfg: cfg, grid: grid, rts: rts}
+	if cfg.Mode == Ckd {
+		a.mgr = ckdirect.NewManager(rts)
+	}
+	a.build()
+	a.start()
+	eng.Run()
+	if errs := rts.Errors(); len(errs) > 0 {
+		panic(fmt.Sprintf("stencil: runtime contract violation: %v", errs[0]))
+	}
+
+	k := len(a.barriers)
+	if k < cfg.Warmup+cfg.Iters+1 {
+		panic(fmt.Sprintf("stencil: only %d barriers completed", k))
+	}
+	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
+	res := Result{
+		Config:      cfg,
+		ChareGrid:   grid,
+		Chares:      total,
+		IterTime:    measured / sim.Time(cfg.Iters),
+		Residual:    a.lastResidual,
+		FieldSum:    a.fieldSum(),
+		TotalEvents: eng.Executed(),
+	}
+	if cfg.Validate {
+		res.Field = gatherField(a)
+	}
+	return res
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps/pingpong"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// CalibrationReport prints the per-cell deviation between the end-to-end
+// simulated pingpong and the published tables — the audit trail behind
+// EXPERIMENTS.md's "within N%" claims. Rows are (machine, system); the
+// values are percentage deviations per message size.
+func CalibrationReport(scale Scale) *Table {
+	t := &Table{
+		ID:      "calibration",
+		Title:   "Per-cell deviation from the published Tables 1 and 2",
+		ColHead: "System",
+		Columns: sizeColumns(),
+		Unit:    "percent deviation",
+	}
+	iters := pingIters(scale)
+	type row struct {
+		label string
+		plat  *netmodel.Platform
+		mode  pingpong.Mode
+		paper []float64
+	}
+	rows := []row{
+		{"abe charm-msg", netmodel.AbeIB, pingpong.CharmMsg, PaperTable1["charm-msg"]},
+		{"abe ckdirect", netmodel.AbeIB, pingpong.CkDirect, PaperTable1["ckdirect"]},
+		{"abe mpich-vmi", netmodel.AbeIB, pingpong.MPIAlt, PaperTable1["mpich-vmi"]},
+		{"abe mvapich", netmodel.AbeIB, pingpong.MPI, PaperTable1["mvapich"]},
+		{"abe mvapich-put", netmodel.AbeIB, pingpong.MPIPut, PaperTable1["mvapich-put"]},
+		{"bgp charm-msg", netmodel.SurveyorBGP, pingpong.CharmMsg, PaperTable2["charm-msg"]},
+		{"bgp ckdirect", netmodel.SurveyorBGP, pingpong.CkDirect, PaperTable2["ckdirect"]},
+		{"bgp mpi", netmodel.SurveyorBGP, pingpong.MPI, PaperTable2["mpi"]},
+		{"bgp mpi-put", netmodel.SurveyorBGP, pingpong.MPIPut, PaperTable2["mpi-put"]},
+	}
+	worst := 0.0
+	for _, r := range rows {
+		devs := make([]float64, len(PaperSizes))
+		for i, size := range PaperSizes {
+			got := pingpong.Run(pingpong.Config{
+				Platform: r.plat, Mode: r.mode, Size: size, Iters: iters,
+			}).RTTMicros()
+			devs[i] = (got - r.paper[i]) / r.paper[i] * 100
+			if d := math.Abs(devs[i]); d > worst {
+				worst = d
+			}
+		}
+		t.AddRow(r.label, devs...)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("worst absolute deviation across all 90 cells: %.2f%%", worst),
+		"positive = model slower than the paper; negative = faster")
+	return t
+}
+
+// AblationChannelSetup materializes the persistence trade-off the paper's
+// §6 "automatic learning framework" would have to reason about: a
+// CkDirect channel costs setup work (handle creation, buffer
+// registration, handle shipment) that only pays off after enough puts.
+// The table reports the break-even put count per message size — the
+// minimum flow length at which converting a message flow to a channel
+// wins. It is also the number a migration/load-balancing layer would
+// weigh against re-wiring channels after moving a chare.
+func AblationChannelSetup(scale Scale) *Table {
+	sizes := []int{100, 1000, 10000, 100000}
+	if scale == Paper {
+		sizes = PaperSizes
+	}
+	t := &Table{
+		ID:      "ablation-setup",
+		Title:   "Channel setup amortization: puts needed to beat messaging",
+		ColHead: "Quantity",
+		Unit:    "us / count",
+	}
+	for _, s := range sizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d", s))
+	}
+	for _, plat := range []*netmodel.Platform{netmodel.AbeIB, netmodel.SurveyorBGP} {
+		setup := setupCostModel(plat)
+		savings := make([]float64, len(sizes))
+		breakEven := make([]float64, len(sizes))
+		for i, size := range sizes {
+			detect := 0.0
+			if !plat.CkdRecvIsCallback {
+				detect = plat.DetectLatencyUS + plat.DetectCPUUS + plat.CallbackUS
+			}
+			msg := plat.CharmMsg.Resolve(size+plat.HeaderBytes).OneWay().Micros() + plat.SchedUS
+			put := plat.CkdPut.Resolve(size).OneWay().Micros() + detect
+			savings[i] = msg - put
+			breakEven[i] = math.Ceil(setup / savings[i])
+		}
+		t.AddRow(plat.Name+" saving/put (us)", savings...)
+		t.AddRow(plat.Name+" break-even puts", breakEven...)
+	}
+	t.Notes = append(t.Notes,
+		"setup = CreateHandle + AssocLocal registration plus one message shipping the handle",
+		"iterative codes run thousands of iterations, so channels amortize within the first few")
+	return t
+}
+
+// setupCostModel is the one-time channel cost in µs: the registration
+// reservations CkDirect charges plus one small runtime message carrying
+// the handle from receiver to sender (paper §2, setup step two).
+func setupCostModel(plat *netmodel.Platform) float64 {
+	const createAssocUS = 3.0 // matches ckdirect's create+assoc charges
+	handleMsg := plat.CharmMsg.Resolve(64+plat.HeaderBytes).OneWay() + sim.Microseconds(plat.SchedUS)
+	return createAssocUS + handleMsg.Micros()
+}

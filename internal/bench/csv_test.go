@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVOutput(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", ColHead: "Size", Columns: []string{"1", "2"}}
+	tab.AddRow("a,b", 1.5, 2)
+	tab.AddRow("plain", 3)
+	got := tab.CSV()
+	want := "Size,1,2\n\"a,b\",1.5,2\nplain,3,\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+	if !strings.Contains(tab.Format(), "x: T") {
+		t.Fatal("Format lost title")
+	}
+}

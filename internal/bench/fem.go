@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"repro/internal/apps/fem"
+	"repro/internal/netmodel"
+)
+
+// FemFigure is a supplementary experiment (not a paper artifact): the
+// §1 application class the paper motivates CkDirect with — "non-adaptive
+// finite element simulations" — realized as an unstructured-mesh explicit
+// solver with an irregular but static shared-vertex exchange. It shows
+// that the CkDirect win and its growth with processor count carry over
+// beyond the paper's regular-communication applications.
+func FemFigure(scale Scale) *Table {
+	pes := []int{8, 16, 32, 64}
+	nx, ny := 2048, 2048
+	vr := 2
+	if scale == Quick {
+		pes = []int{8, 16}
+		nx, ny = 512, 512
+	}
+	t := &Table{
+		ID:      "fem",
+		Title:   "Unstructured-mesh FEM solver, messages vs CkDirect (Abe model)",
+		ColHead: "Processors",
+		Columns: peCols(pes),
+		Unit:    "ms per iteration / percent",
+		Notes: []string{
+			"supplementary experiment: the paper's motivating class (§1), not a published figure",
+			"irregular neighbour graph: corner channels carry 8 bytes, edge channels kilobytes",
+		},
+	}
+	msgT := make([]float64, len(pes))
+	ckdT := make([]float64, len(pes))
+	imp := make([]float64, len(pes))
+	for i, p := range pes {
+		msg, ckd, pct := fem.Improvement(fem.Config{
+			Platform: netmodel.AbeIB,
+			PEs:      p, Virtualization: vr,
+			NX: nx, NY: ny,
+			Iters: 3, Warmup: 1,
+		})
+		msgT[i] = msg.IterTime.Millis()
+		ckdT[i] = ckd.IterTime.Millis()
+		imp[i] = pct
+	}
+	t.AddRow("msg (ms)", msgT...)
+	t.AddRow("ckd (ms)", ckdT...)
+	t.AddRow("improvement %", imp...)
+	return t
+}

@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/matmul"
+	"repro/internal/apps/openatom"
+	"repro/internal/apps/stencil"
+	"repro/internal/netmodel"
+)
+
+func peCols(pes []int) []string {
+	cols := make([]string, len(pes))
+	for i, p := range pes {
+		cols[i] = fmt.Sprintf("%d", p)
+	}
+	return cols
+}
+
+// Fig2a regenerates Figure 2(a): percentage improvement in average
+// stencil iteration time for CkDirect over messages on Infiniband,
+// 1024x1024x512 domain, virtualization ratio 8.
+func Fig2a(scale Scale) *Table {
+	pes := []int{16, 32, 64, 128, 256}
+	nx, ny, nz := 1024, 1024, 512
+	if scale == Quick {
+		pes = []int{16, 32, 64}
+		nx, ny, nz = 256, 256, 128
+	}
+	return stencilFigure("fig2a", "Stencil improvement, CkDirect over messages, Infiniband (Abe)",
+		netmodel.AbeIB, pes, nx, ny, nz)
+}
+
+// Fig2b regenerates Figure 2(b) on Blue Gene/P, 64 through 4096 PEs.
+func Fig2b(scale Scale) *Table {
+	pes := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	nx, ny, nz := 1024, 1024, 512
+	if scale == Quick {
+		pes = []int{64, 128, 256}
+		nx, ny, nz = 256, 256, 128
+	}
+	return stencilFigure("fig2b", "Stencil improvement, CkDirect over messages, Blue Gene/P",
+		netmodel.SurveyorBGP, pes, nx, ny, nz)
+}
+
+func stencilFigure(id, title string, plat *netmodel.Platform, pes []int, nx, ny, nz int) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		ColHead: "Processors",
+		Columns: peCols(pes),
+		Unit:    "percent / ms",
+		Notes: []string{
+			fmt.Sprintf("domain %dx%dx%d, 8 chares per processor, barrier-separated Jacobi iterations", nx, ny, nz),
+		},
+	}
+	imp := make([]float64, len(pes))
+	msgT := make([]float64, len(pes))
+	ckdT := make([]float64, len(pes))
+	for i, p := range pes {
+		msg, ckd, pct := stencil.Improvement(stencil.Config{
+			Platform: plat,
+			PEs:      p, Virtualization: 8,
+			NX: nx, NY: ny, NZ: nz,
+			Iters: 3, Warmup: 1,
+		})
+		imp[i] = pct
+		msgT[i] = msg.IterTime.Millis()
+		ckdT[i] = ckd.IterTime.Millis()
+	}
+	t.AddRow("improvement %", imp...)
+	t.AddRow("msg iter (ms)", msgT...)
+	t.AddRow("ckd iter (ms)", ckdT...)
+	return t
+}
+
+// Fig3 regenerates Figure 3: matrix multiplication execution time on
+// Blue Gene/P and Abe, 2048x2048 matrices, messages vs CkDirect.
+func Fig3(scale Scale) []*Table {
+	bgpPEs := []int{64, 128, 256, 512, 1024, 2048, 4096}
+	abePEs := []int{16, 32, 64, 128, 256, 512}
+	if scale == Quick {
+		bgpPEs = []int{64, 128, 256}
+		abePEs = []int{16, 32, 64}
+	}
+	return []*Table{
+		matmulFigure("fig3-bgp", "Matrix multiplication (2048x2048) on Blue Gene/P", netmodel.SurveyorBGP, bgpPEs),
+		matmulFigure("fig3-abe", "Matrix multiplication (2048x2048) on Abe", netmodel.AbeIB, abePEs),
+	}
+}
+
+func matmulFigure(id, title string, plat *netmodel.Platform, pes []int) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		ColHead: "Processors",
+		Columns: peCols(pes),
+		Unit:    "ms per multiply / percent",
+	}
+	msgT := make([]float64, len(pes))
+	ckdT := make([]float64, len(pes))
+	imp := make([]float64, len(pes))
+	for i, p := range pes {
+		msg, ckd, pct := matmul.Improvement(matmul.Config{
+			Platform: plat,
+			PEs:      p,
+			N:        2048,
+			Iters:    2, Warmup: 1,
+		})
+		msgT[i] = msg.IterTime.Millis()
+		ckdT[i] = ckd.IterTime.Millis()
+		imp[i] = pct
+	}
+	t.AddRow("msg (ms)", msgT...)
+	t.AddRow("ckd (ms)", ckdT...)
+	t.AddRow("improvement %", imp...)
+	return t
+}
+
+// openAtomProxy is the proxy configuration standing in for the paper's
+// 256-water-molecule, 70 Rydberg benchmark (1024 states). The state count
+// is scaled down; channel-per-processor density and the compute/comm
+// balance follow the production profile (see DESIGN.md).
+//
+// As in the production code, the PairCalculator decomposition refines
+// with the processor count ("this number increases further each time the
+// PairCalculator computation is further decomposed, as is done at higher
+// processor counts", §5.2): the plane count grows so there is at least
+// one PC per PE, while the total coefficient volume per state stays
+// fixed, so more planes mean proportionally smaller transfers.
+func openAtomProxy(plat *netmodel.Platform, pes int, scope openatom.Scope, scale Scale) openatom.Config {
+	const (
+		nstates     = 256
+		grain       = 64
+		totalPoints = 65536 // coefficients per state, split over planes
+	)
+	nblocks := nstates / grain
+	nplanes := 16
+	for nblocks*nblocks*nplanes < pes {
+		nplanes *= 2
+	}
+	cfg := openatom.Config{
+		Platform: plat,
+		Scope:    scope,
+		PEs:      pes,
+		NStates:  nstates, NPlanes: nplanes, Grain: grain,
+		Points:    totalPoints / nplanes,
+		FFTWeight: 24,
+		Steps:     2, Warmup: 1,
+	}
+	if scale == Quick {
+		cfg.NStates, cfg.NPlanes, cfg.Grain, cfg.Points = 64, 8, 16, 256
+	}
+	return cfg
+}
+
+// Fig4 regenerates Figure 4: OpenAtom time per step on Abe (2 cores per
+// node, as in the paper), full step (4a) and PairCalculator-only (4b).
+func Fig4(scale Scale) []*Table {
+	pes := []int{64, 128, 256}
+	if scale == Quick {
+		pes = []int{16, 32}
+	}
+	return []*Table{
+		openAtomFigure("fig4a", "OpenAtom time per step, Abe (full step)", netmodel.AbeIB, pes, 2, openatom.FullStep, scale),
+		openAtomFigure("fig4b", "OpenAtom time per step, Abe (PairCalculator phases only)", netmodel.AbeIB, pes, 2, openatom.PCOnly, scale),
+	}
+}
+
+// Fig5 regenerates Figure 5 on Blue Gene/P.
+func Fig5(scale Scale) []*Table {
+	pes := []int{256, 512, 1024, 2048, 4096}
+	if scale == Quick {
+		pes = []int{16, 32}
+	}
+	return []*Table{
+		openAtomFigure("fig5a", "OpenAtom time per step, Blue Gene/P (full step)", netmodel.SurveyorBGP, pes, 0, openatom.FullStep, scale),
+		openAtomFigure("fig5b", "OpenAtom time per step, Blue Gene/P (PairCalculator phases only)", netmodel.SurveyorBGP, pes, 0, openatom.PCOnly, scale),
+	}
+}
+
+func openAtomFigure(id, title string, plat *netmodel.Platform, pes []int, coresPerNode int, scope openatom.Scope, scale Scale) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		ColHead: "Processors",
+		Columns: peCols(pes),
+		Unit:    "ms per step / percent",
+	}
+	if coresPerNode > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d cores per node, as in the paper's Abe study", coresPerNode))
+	}
+	msgT := make([]float64, len(pes))
+	ckdT := make([]float64, len(pes))
+	imp := make([]float64, len(pes))
+	for i, p := range pes {
+		cfg := openAtomProxy(plat, p, scope, scale)
+		cfg.CoresPerNode = coresPerNode
+		msg, ckd, pct := openatom.Improvement(cfg)
+		msgT[i] = msg.StepTime.Millis()
+		ckdT[i] = ckd.StepTime.Millis()
+		imp[i] = pct
+	}
+	t.AddRow("msg (ms)", msgT...)
+	t.AddRow("ckd (ms)", ckdT...)
+	t.AddRow("improvement %", imp...)
+	return t
+}

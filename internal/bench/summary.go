@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/apps/pingpong"
+	"repro/internal/apps/stencil"
+	"repro/internal/netmodel"
+)
+
+// Summary runs a fast scorecard of the paper's headline claims and
+// reports pass/fail per claim (1 = holds, 0 = does not). It is the
+// ten-second answer to "does this reproduction actually reproduce?".
+func Summary(scale Scale) *Table {
+	t := &Table{
+		ID:      "summary",
+		Title:   "Reproduction scorecard: the paper's headline claims",
+		ColHead: "Claim",
+		Columns: []string{"holds", "detail"},
+		Unit:    "1 = reproduced",
+	}
+	add := func(name string, ok bool, detail float64) {
+		v := 0.0
+		if ok {
+			v = 1
+		}
+		t.AddRow(name, v, detail)
+	}
+
+	// Claim 1: CkDirect beats default Charm++ messaging at every Table 1
+	// and Table 2 size, on both machines.
+	worstGain := math.Inf(1)
+	allWin := true
+	for _, plat := range []*netmodel.Platform{netmodel.AbeIB, netmodel.SurveyorBGP} {
+		for _, size := range PaperSizes {
+			msg := pingpong.Run(pingpong.Config{Platform: plat, Mode: pingpong.CharmMsg, Size: size, Iters: 5}).RTTMicros()
+			ckd := pingpong.Run(pingpong.Config{Platform: plat, Mode: pingpong.CkDirect, Size: size, Iters: 5}).RTTMicros()
+			gain := (msg - ckd) / msg * 100
+			if gain <= 0 {
+				allWin = false
+			}
+			if gain < worstGain {
+				worstGain = gain
+			}
+		}
+	}
+	add("pingpong: ckdirect beats charm messages at every size", allWin, worstGain)
+
+	// Claim 2: pingpong cells match the published tables within 7%.
+	worstDev := 0.0
+	for label, paper := range PaperTable1 {
+		mode := map[string]pingpong.Mode{
+			"charm-msg": pingpong.CharmMsg, "ckdirect": pingpong.CkDirect,
+			"mpich-vmi": pingpong.MPIAlt, "mvapich": pingpong.MPI, "mvapich-put": pingpong.MPIPut,
+		}[label]
+		for i, size := range PaperSizes {
+			got := pingpong.Run(pingpong.Config{Platform: netmodel.AbeIB, Mode: mode, Size: size, Iters: 5}).RTTMicros()
+			if dev := math.Abs(got-paper[i]) / paper[i] * 100; dev > worstDev {
+				worstDev = dev
+			}
+		}
+	}
+	add("table 1: all cells within 7% of the paper", worstDev <= 7, worstDev)
+
+	// Claim 3: stencil improvement grows with processor count.
+	small, large := stencilGain(16), stencilGain(64)
+	add("stencil: gains grow with processors", large > small && small > 0, large-small)
+
+	// Claim 4: the §5.2 polling pathology and its fix.
+	ab := AblationPolling(Quick)
+	msgRow := ab.Row("charm messages")
+	naive := ab.Row("ckdirect naive Ready")
+	opt := ab.Row("ckdirect Mark/PollQ")
+	last := len(msgRow) - 1
+	add("openatom: naive polling slower than messages at high density",
+		naive[last] > msgRow[last], (naive[last]/msgRow[last]-1)*100)
+	add("openatom: Mark/PollQ windowing beats messages everywhere",
+		allBelow(opt, msgRow), (1-opt[last]/msgRow[last])*100)
+
+	t.Notes = append(t.Notes, "detail column: worst-case gain %, worst deviation %, gain spread, slowdown %")
+	return t
+}
+
+func stencilGain(pes int) float64 {
+	_, _, pct := stencil.Improvement(stencil.Config{
+		Platform: netmodel.AbeIB,
+		PEs:      pes, Virtualization: 8,
+		NX: 256, NY: 256, NZ: 128,
+		Iters: 2, Warmup: 1,
+	})
+	return pct
+}
+
+func allBelow(a, b []float64) bool {
+	for i := range a {
+		if a[i] >= b[i] {
+			return false
+		}
+	}
+	return true
+}

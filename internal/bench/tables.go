@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/pingpong"
+	"repro/internal/netmodel"
+)
+
+// PaperSizes are the message sizes of Tables 1 and 2 (bytes).
+var PaperSizes = []int{100, 1000, 5000, 10000, 20000, 30000, 40000, 70000, 100000, 500000}
+
+// PaperTable1 holds the published Table 1 values (µs RTT), keyed like our
+// row labels, for side-by-side reporting.
+var PaperTable1 = map[string][]float64{
+	"charm-msg": {22.924, 25.110, 47.340, 66.176, 96.215, 160.470, 191.343, 271.803, 353.305, 1399.145},
+	"ckdirect":  {12.383, 16.108, 29.330, 43.136, 68.927, 93.422, 120.954, 195.248, 275.322, 1294.358},
+	"mpich-vmi": {12.367, 19.669, 37.318, 60.892, 102.684, 127.591, 201.148, 322.687, 332.690, 1396.942},
+	"mvapich":   {12.302, 19.436, 37.311, 56.249, 88.659, 119.452, 144.973, 236.545, 315.692, 1386.051},
+	"mvapich-put": {16.801, 22.821, 51.750, 64.202, 94.250, 120.218, 146.028, 232.021, 308.942,
+		1369.516},
+}
+
+// PaperTable2 holds the published Table 2 values (µs RTT).
+var PaperTable2 = map[string][]float64{
+	"charm-msg": {14.467, 20.822, 44.822, 72.976, 128.166, 186.771, 240.306, 400.226, 560.634, 2693.601},
+	"ckdirect":  {5.133, 11.379, 33.112, 60.675, 115.103, 169.552, 223.599, 383.732, 543.491, 2677.072},
+	"mpi":       {7.606, 13.936, 39.903, 66.661, 120.548, 173.041, 226.739, 386.712, 546.740, 2680.459},
+	"mpi-put":   {14.049, 17.836, 39.963, 67.972, 122.693, 178.571, 232.629, 392.388, 552.708, 2685.972},
+}
+
+func sizeColumns() []string {
+	cols := make([]string, len(PaperSizes))
+	for i, s := range PaperSizes {
+		cols[i] = fmt.Sprintf("%.1fK", float64(s)/1000)
+	}
+	return cols
+}
+
+func pingIters(scale Scale) int {
+	if scale == Paper {
+		return 1000 // the paper averages over a thousand iterations
+	}
+	return 10
+}
+
+// Table1 regenerates the paper's Table 1: pingpong round-trip times for
+// every stack on the Abe/Infiniband model.
+func Table1(scale Scale) *Table {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Round trip time for the pingpong microbenchmark on Infiniband (Abe)",
+		ColHead: "Message Size",
+		Columns: sizeColumns(),
+		Unit:    "us RTT",
+		Notes: []string{
+			"rows marked (paper) are the published values for comparison",
+		},
+	}
+	rows := []struct {
+		label string
+		mode  pingpong.Mode
+	}{
+		{"charm-msg", pingpong.CharmMsg},
+		{"ckdirect", pingpong.CkDirect},
+		{"mpich-vmi", pingpong.MPIAlt},
+		{"mvapich", pingpong.MPI},
+		{"mvapich-put", pingpong.MPIPut},
+	}
+	for _, r := range rows {
+		vals := make([]float64, len(PaperSizes))
+		for i, size := range PaperSizes {
+			vals[i] = pingpong.Run(pingpong.Config{
+				Platform: netmodel.AbeIB,
+				Mode:     r.mode,
+				Size:     size,
+				Iters:    pingIters(scale),
+				Virtual:  size > 100000,
+			}).RTTMicros()
+		}
+		t.AddRow(r.label, vals...)
+		t.AddRow(r.label+" (paper)", PaperTable1[r.label]...)
+	}
+	return t
+}
+
+// Table2 regenerates the paper's Table 2 on the Blue Gene/P model.
+func Table2(scale Scale) *Table {
+	t := &Table{
+		ID:      "table2",
+		Title:   "Round trip time for the pingpong microbenchmark on Blue Gene/P (Surveyor)",
+		ColHead: "Message Size",
+		Columns: sizeColumns(),
+		Unit:    "us RTT",
+		Notes: []string{
+			"rows marked (paper) are the published values for comparison",
+		},
+	}
+	rows := []struct {
+		label string
+		mode  pingpong.Mode
+	}{
+		{"charm-msg", pingpong.CharmMsg},
+		{"ckdirect", pingpong.CkDirect},
+		{"mpi", pingpong.MPI},
+		{"mpi-put", pingpong.MPIPut},
+	}
+	for _, r := range rows {
+		vals := make([]float64, len(PaperSizes))
+		for i, size := range PaperSizes {
+			vals[i] = pingpong.Run(pingpong.Config{
+				Platform: netmodel.SurveyorBGP,
+				Mode:     r.mode,
+				Size:     size,
+				Iters:    pingIters(scale),
+				Virtual:  size > 100000,
+			}).RTTMicros()
+		}
+		t.AddRow(r.label, vals...)
+		t.AddRow(r.label+" (paper)", PaperTable2[r.label]...)
+	}
+	return t
+}

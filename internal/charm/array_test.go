@@ -1,0 +1,236 @@
+package charm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+type counterChare struct {
+	got  int
+	sum  float64
+	tags []int
+}
+
+func TestArrayInsertAndPlacement(t *testing.T) {
+	_, rts := newTestRTS(4)
+	a := rts.NewArray("grid", BlockMap1D(8, 4))
+	for i := 0; i < 8; i++ {
+		a.Insert(Idx1(i), &counterChare{})
+	}
+	if a.NumElements() != 8 {
+		t.Fatalf("NumElements = %d", a.NumElements())
+	}
+	for pe := 0; pe < 4; pe++ {
+		if a.ElementsOn(pe) != 2 {
+			t.Fatalf("PE %d hosts %d elements, want 2", pe, a.ElementsOn(pe))
+		}
+	}
+	if a.PEOf(Idx1(0)) != 0 || a.PEOf(Idx1(7)) != 3 {
+		t.Fatal("block map misplaced boundary elements")
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	_, rts := newTestRTS(2)
+	a := rts.NewArray("dup", BlockMap1D(4, 2))
+	a.Insert(Idx1(0), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert did not panic")
+		}
+	}()
+	a.Insert(Idx1(0), nil)
+}
+
+func TestSendInvokesEntryMethodWithObj(t *testing.T) {
+	eng, rts := newTestRTS(2)
+	a := rts.NewArray("grid", BlockMap1D(2, 2))
+	a.Insert(Idx1(0), &counterChare{})
+	a.Insert(Idx1(1), &counterChare{})
+	ep := a.EntryMethod("recv", func(ctx *Ctx, msg *Message) {
+		obj := ctx.Obj().(*counterChare)
+		obj.got++
+		obj.tags = append(obj.tags, msg.Tag)
+		if ctx.Index() != Idx1(1) {
+			t.Errorf("handler saw index %v", ctx.Index())
+		}
+	})
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.Send(a, Idx1(1), ep, &Message{Size: 32, Tag: 5})
+	})
+	eng.Run()
+	obj := a.Obj(Idx1(1)).(*counterChare)
+	if obj.got != 1 || obj.tags[0] != 5 {
+		t.Fatalf("element state %+v", obj)
+	}
+}
+
+func TestSendToMissingElementCheckedMode(t *testing.T) {
+	eng := sim.NewEngine()
+	_, rts := newTestRTS(2)
+	_ = eng
+	rts.opts.Checked = true
+	a := rts.NewArray("sparse", BlockMap1D(4, 2))
+	a.Insert(Idx1(0), nil)
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.Send(a, Idx1(3), 0, &Message{})
+	})
+	rts.Run()
+	if len(rts.Errors()) != 1 {
+		t.Fatalf("checked mode recorded %d errors, want 1", len(rts.Errors()))
+	}
+}
+
+func TestSendToMissingElementUncheckedPanics(t *testing.T) {
+	_, rts := newTestRTS(2)
+	a := rts.NewArray("sparse", BlockMap1D(4, 2))
+	a.Insert(Idx1(0), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to missing element did not panic")
+		}
+	}()
+	a.Send(0, Idx1(3), 0, &Message{})
+}
+
+func TestBroadcastReachesAllElements(t *testing.T) {
+	for _, pes := range []int{1, 2, 3, 7, 16} {
+		eng, rts := newTestRTS(pes)
+		a := rts.NewArray("grid", RRMap(pes))
+		const n = 23
+		for i := 0; i < n; i++ {
+			a.Insert(Idx1(i), &counterChare{})
+		}
+		ep := a.EntryMethod("ping", func(ctx *Ctx, msg *Message) {
+			ctx.Obj().(*counterChare).got++
+		})
+		rts.StartAt(0, func(ctx *Ctx) {
+			ctx.Broadcast(a, ep, &Message{Size: 16})
+		})
+		eng.Run()
+		for i := 0; i < n; i++ {
+			if got := a.Obj(Idx1(i)).(*counterChare).got; got != 1 {
+				t.Fatalf("pes=%d: element %d received %d broadcasts, want 1", pes, i, got)
+			}
+		}
+	}
+}
+
+func TestBroadcastFromNonZeroRoot(t *testing.T) {
+	eng, rts := newTestRTS(5)
+	a := rts.NewArray("grid", RRMap(5))
+	for i := 0; i < 11; i++ {
+		a.Insert(Idx1(i), &counterChare{})
+	}
+	ep := a.EntryMethod("ping", func(ctx *Ctx, msg *Message) {
+		ctx.Obj().(*counterChare).got++
+	})
+	rts.StartAt(3, func(ctx *Ctx) { ctx.Broadcast(a, ep, &Message{Size: 8}) })
+	eng.Run()
+	for i := 0; i < 11; i++ {
+		if got := a.Obj(Idx1(i)).(*counterChare).got; got != 1 {
+			t.Fatalf("element %d received %d, want 1", i, got)
+		}
+	}
+}
+
+// TestBroadcastScalesLogarithmically: tree distribution means the time to
+// reach the last PE grows like log2(P), not P.
+func TestBroadcastScalesLogarithmically(t *testing.T) {
+	timeFor := func(pes int) sim.Time {
+		eng, rts := newTestRTS(pes)
+		a := rts.NewArray("g", func(ix Index) int { return ix[0] })
+		for i := 0; i < pes; i++ {
+			a.Insert(Idx1(i), &counterChare{})
+		}
+		var last sim.Time
+		ep := a.EntryMethod("p", func(ctx *Ctx, msg *Message) {
+			if ctx.Now() > last {
+				last = ctx.Now()
+			}
+		})
+		rts.StartAt(0, func(ctx *Ctx) { ctx.Broadcast(a, ep, &Message{Size: 8}) })
+		eng.Run()
+		return last
+	}
+	t64, t256 := timeFor(64), timeFor(256)
+	// log2(256)/log2(64) = 8/6; allow up to 2x, but rule out linear (4x).
+	if float64(t256) > 2.2*float64(t64) {
+		t.Fatalf("broadcast not tree-shaped: 64 PEs %v, 256 PEs %v", t64, t256)
+	}
+}
+
+func TestBinomialChildrenPartition(t *testing.T) {
+	// For any P, following children links from 0 must visit every rank
+	// exactly once.
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 13, 64, 100} {
+		seen := make([]bool, p)
+		var walk func(r int)
+		var visits int
+		walk = func(r int) {
+			if seen[r] {
+				t.Fatalf("P=%d: rank %d visited twice", p, r)
+			}
+			seen[r] = true
+			visits++
+			for _, c := range binomialChildren(r, p) {
+				walk(c)
+			}
+		}
+		walk(0)
+		if visits != p {
+			t.Fatalf("P=%d: visited %d ranks", p, visits)
+		}
+	}
+}
+
+// TestBinomialParentChildInverse: parent(child) == node for every edge.
+func TestBinomialParentChildInverse(t *testing.T) {
+	prop := func(pRaw uint8, rRaw uint16) bool {
+		p := int(pRaw)%200 + 1
+		r := int(rRaw) % p
+		for _, c := range binomialChildren(r, p) {
+			if binomialParent(c) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRRMapDeterministicAndInRange(t *testing.T) {
+	m := RRMap(7)
+	prop := func(i, j, k, l int16) bool {
+		ix := Idx4(int(i), int(j), int(k), int(l))
+		pe := m(ix)
+		return pe >= 0 && pe < 7 && pe == m(ix)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockMap1DCoversAllPEs(t *testing.T) {
+	for _, tc := range []struct{ n, pes int }{{8, 4}, {7, 4}, {4, 4}, {100, 7}, {5, 8}} {
+		m := BlockMap1D(tc.n, tc.pes)
+		used := map[int]bool{}
+		for i := 0; i < tc.n; i++ {
+			pe := m(Idx1(i))
+			if pe < 0 || pe >= tc.pes {
+				t.Fatalf("n=%d pes=%d: element %d mapped to %d", tc.n, tc.pes, i, pe)
+			}
+			used[pe] = true
+		}
+		// Monotone non-decreasing mapping.
+		for i := 1; i < tc.n; i++ {
+			if m(Idx1(i)) < m(Idx1(i-1)) {
+				t.Fatalf("block map not monotone at %d", i)
+			}
+		}
+	}
+}

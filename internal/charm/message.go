@@ -1,0 +1,63 @@
+// Package charm implements a message-driven runtime system in the style
+// of Charm++ (chares, chare arrays, entry methods, a per-PE scheduler,
+// reductions and broadcasts) on top of the simulated machine and network
+// layers.
+//
+// The runtime reproduces the cost structure that the CkDirect paper
+// measures against: every message carries an envelope (HeaderBytes), is
+// received by the communication layer (RecvCPU of the platform's CharmMsg
+// table), enqueued, and dispatched by the scheduler (SchedUS per message,
+// plus the CkDirect polling tax when handles are being polled). Entry
+// methods are ordinary Go functions that may move real bytes; their
+// *computational* cost is declared explicitly through Ctx.Charge, which is
+// what lets a 4096-PE run execute on one host.
+package charm
+
+import "repro/internal/sim"
+
+// Message is the unit of two-sided communication. Size drives the cost
+// model; the payload fields carry whatever the application needs. Data is
+// nil when the application runs in virtual-payload mode.
+type Message struct {
+	// Size is the user payload size in bytes (the envelope is added by
+	// the runtime).
+	Size int
+	// Data optionally carries real payload bytes (halo faces, matrix
+	// blocks). len(Data) need not equal Size in virtual mode.
+	Data []byte
+	// Val and Vals carry scalar/vector values for runtime-internal
+	// messages (reductions) and light application protocols.
+	Val  float64
+	Vals []float64
+	// Tag is a free application field (iteration number, phase id).
+	Tag int
+}
+
+// bytesSize returns the payload size of a reduction/control message
+// carrying n float64 values plus a small fixed header.
+func controlSize(nvals int) int { return 16 + 8*nvals }
+
+// EP identifies a registered entry method within an array (or a PE-level
+// handler within the runtime).
+type EP int
+
+// Handler is the body of an entry method. It runs on the destination PE
+// at the virtual time the scheduler dispatches the message.
+type Handler func(ctx *Ctx, msg *Message)
+
+// Options configures runtime behaviour.
+type Options struct {
+	// Checked enables contract checking (CkDirect misuse detection,
+	// unknown destinations). It costs nothing in virtual time.
+	Checked bool
+	// VirtualPayloads indicates applications should skip allocating and
+	// copying real data. The runtime itself works either way; this flag
+	// is plumbed to applications and CkDirect.
+	VirtualPayloads bool
+}
+
+// chargeable lets contexts extend the CPU reservation of their PE.
+type chargeable interface {
+	Reserve(cost sim.Time) (start, end sim.Time)
+	FreeAt() sim.Time
+}

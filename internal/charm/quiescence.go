@@ -1,0 +1,50 @@
+package charm
+
+// Quiescence detection: a Charm++ runtime service that reports when no
+// entry method is executing, none is queued, and no message is in flight
+// anywhere — the global condition under which a phase (or program) is
+// complete without an explicit barrier.
+//
+// The simulation tracks one activity counter: each message send (or local
+// enqueue) increments it, and each completed handler dispatch decrements
+// it. Because a handler's own sends increment the counter *before* its
+// dispatch decrements, the counter reaches zero only when the transitive
+// closure of all message activity has drained — the standard
+// counting-based CQD argument, made exact by the single-threaded engine.
+//
+// CkDirect traffic is deliberately outside quiescence: the paper's whole
+// premise is that CkDirect channels are synchronized by the application's
+// own phase structure, not by the runtime.
+
+// OnQuiescence registers fn to run once the system next becomes quiescent
+// (immediately, at the current virtual time, if it already is). Each
+// registration fires at most once.
+func (rts *RTS) OnQuiescence(fn func()) {
+	if fn == nil {
+		panic("charm: OnQuiescence with nil callback")
+	}
+	if rts.qdCounter == 0 {
+		fn()
+		return
+	}
+	rts.qdWaiters = append(rts.qdWaiters, fn)
+}
+
+// QuiescenceCounter exposes the current activity count (tests).
+func (rts *RTS) QuiescenceCounter() int64 { return rts.qdCounter }
+
+func (rts *RTS) qdInc() { rts.qdCounter++ }
+
+func (rts *RTS) qdDec() {
+	rts.qdCounter--
+	if rts.qdCounter < 0 {
+		panic("charm: quiescence counter went negative")
+	}
+	if rts.qdCounter == 0 && len(rts.qdWaiters) > 0 {
+		waiters := rts.qdWaiters
+		rts.qdWaiters = nil
+		for _, fn := range waiters {
+			fn()
+		}
+	}
+}

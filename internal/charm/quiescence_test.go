@@ -1,0 +1,133 @@
+package charm
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestQuiescenceImmediateWhenIdle(t *testing.T) {
+	_, rts := newTestRTS(2)
+	fired := false
+	rts.OnQuiescence(func() { fired = true })
+	if !fired {
+		t.Fatal("idle system not immediately quiescent")
+	}
+}
+
+func TestQuiescenceAfterMessageCascade(t *testing.T) {
+	eng, rts := newTestRTS(4)
+	var qdAt sim.Time = -1
+	var lastHandler sim.Time
+	hops := 0
+	var ep EP
+	ep = rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
+		lastHandler = ctx.Now()
+		hops++
+		if hops < 10 {
+			ctx.SendPE((ctx.PE()+1)%4, ep, &Message{Size: 64})
+		}
+	})
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.SendPE(1, ep, &Message{Size: 64})
+		rts.OnQuiescence(func() { qdAt = eng.Now() })
+	})
+	eng.Run()
+	if hops != 10 {
+		t.Fatalf("cascade ran %d hops", hops)
+	}
+	if qdAt < 0 {
+		t.Fatal("quiescence never detected")
+	}
+	if qdAt < lastHandler {
+		t.Fatalf("quiescence at %v before last handler at %v", qdAt, lastHandler)
+	}
+	if rts.QuiescenceCounter() != 0 {
+		t.Fatalf("counter = %d after drain", rts.QuiescenceCounter())
+	}
+}
+
+// TestQuiescenceNotPremature: the counter must not hit zero in the
+// window between a handler finishing and its sent message arriving.
+func TestQuiescenceNotPremature(t *testing.T) {
+	eng, rts := newTestRTS(2)
+	delivered := false
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { delivered = true })
+	premature := false
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.SendPE(1, ep, &Message{Size: 500000}) // slow message
+		rts.OnQuiescence(func() {
+			if !delivered {
+				premature = true
+			}
+		})
+	})
+	eng.Run()
+	if premature {
+		t.Fatal("quiescence fired while a message was in flight")
+	}
+	if !delivered {
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestQuiescenceWithReductionsAndBroadcasts(t *testing.T) {
+	eng, rts := newTestRTS(4)
+	a := rts.NewArray("q", RRMap(4))
+	for i := 0; i < 12; i++ {
+		a.Insert(Idx1(i), nil)
+	}
+	rounds := 0
+	var work EP
+	a.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) {
+		rounds++
+		if rounds < 3 {
+			ctx.Broadcast(a, work, &Message{Size: 8})
+		}
+	})
+	work = a.EntryMethod("w", func(ctx *Ctx, msg *Message) {
+		ctx.Charge(5 * sim.Microsecond)
+		ctx.Contribute(1)
+	})
+	qdFired := false
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.Broadcast(a, work, &Message{Size: 8})
+		rts.OnQuiescence(func() { qdFired = true })
+	})
+	eng.Run()
+	if rounds != 3 {
+		t.Fatalf("%d rounds", rounds)
+	}
+	if !qdFired {
+		t.Fatal("quiescence not reached after reduction rounds")
+	}
+	if rts.QuiescenceCounter() != 0 {
+		t.Fatalf("counter = %d", rts.QuiescenceCounter())
+	}
+}
+
+func TestQuiescenceMultipleWaiters(t *testing.T) {
+	eng, rts := newTestRTS(2)
+	count := 0
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {})
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.SendPE(1, ep, &Message{Size: 8})
+		for i := 0; i < 3; i++ {
+			rts.OnQuiescence(func() { count++ })
+		}
+	})
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("%d waiters fired, want 3", count)
+	}
+}
+
+func TestQuiescenceNilWaiterPanics(t *testing.T) {
+	_, rts := newTestRTS(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil waiter accepted")
+		}
+	}()
+	rts.OnQuiescence(nil)
+}

@@ -1,0 +1,228 @@
+package charm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ReduceOp is the combining operation of a reduction.
+type ReduceOp int
+
+// Supported reduction operations.
+const (
+	Sum ReduceOp = iota
+	Min
+	Max
+	Prod
+)
+
+func (op ReduceOp) combine(dst, src []float64) {
+	for i := range dst {
+		switch op {
+		case Sum:
+			dst[i] += src[i]
+		case Min:
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		case Max:
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		case Prod:
+			dst[i] *= src[i]
+		}
+	}
+}
+
+func (op ReduceOp) identity(width int) []float64 {
+	vals := make([]float64, width)
+	switch op {
+	case Min:
+		for i := range vals {
+			vals[i] = math.Inf(1)
+		}
+	case Max:
+		for i := range vals {
+			vals[i] = math.Inf(-1)
+		}
+	case Prod:
+		for i := range vals {
+			vals[i] = 1
+		}
+	}
+	return vals
+}
+
+// reducer implements Charm++-style contribute/reduce over a set of
+// elements (a whole array, or an array section): each element contributes
+// once per reduction generation; per-PE partials combine locally, flow up
+// a binomial tree of runtime messages over the participating PEs, and the
+// completed result is delivered to the reduction client on the root PE
+// through its scheduler.
+type reducer struct {
+	rts    *RTS
+	name   string
+	member func() [][]*element // per-PE element lists, fixed at freeze
+	op     ReduceOp
+	client func(ctx *Ctx, vals []float64)
+	ep     EP
+
+	frozen       bool
+	participants []int       // PEs hosting members, ascending
+	rankOf       map[int]int // PE -> rank among participants
+	kids         [][]int     // children ranks per rank
+	localCount   []int       // members per rank
+	entries      []map[int]*redEntry
+	seq          map[*element]int // per-element next generation
+}
+
+type redEntry struct {
+	vals     []float64
+	localGot int
+	kidsGot  int
+}
+
+func newReducer(rts *RTS, name string, member func() [][]*element) *reducer {
+	r := &reducer{rts: rts, name: name, member: member, seq: make(map[*element]int)}
+	r.ep = rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
+		r.onPartial(ctx.pe, msg.Tag, msg.Vals)
+	})
+	return r
+}
+
+// SetReductionClient installs the combining operation and the client
+// invoked (on the root participant PE, through the scheduler) with each
+// completed reduction result.
+func (a *Array) SetReductionClient(op ReduceOp, client func(ctx *Ctx, vals []float64)) {
+	a.red.op = op
+	a.red.client = client
+}
+
+// Contribute submits this element's contribution to its next reduction
+// generation. All elements must contribute the same number of values
+// within a generation.
+func (c *Ctx) Contribute(vals ...float64) {
+	if c.elem == nil {
+		panic("charm: Contribute outside an array entry method")
+	}
+	c.arr.red.contributeEl(c.elem, vals)
+}
+
+// ContributeFrom submits a contribution on behalf of element idx from
+// outside its entry methods — the path CkDirect callbacks use to join a
+// barrier (a callback is a plain function, not an entry method).
+func (a *Array) ContributeFrom(idx Index, vals ...float64) {
+	el, ok := a.elems[idx]
+	if !ok {
+		panic(fmt.Sprintf("charm: ContributeFrom missing element %s[%s]", a.name, idx))
+	}
+	a.red.contributeEl(el, vals)
+}
+
+// freeze fixes the participant set and tree on first use.
+func (r *reducer) freeze() {
+	if r.frozen {
+		return
+	}
+	r.frozen = true
+	perPE := r.member()
+	for pe, elems := range perPE {
+		if len(elems) > 0 {
+			r.participants = append(r.participants, pe)
+		}
+	}
+	sort.Ints(r.participants)
+	r.rankOf = make(map[int]int, len(r.participants))
+	r.localCount = make([]int, len(r.participants))
+	for rank, pe := range r.participants {
+		r.rankOf[pe] = rank
+		r.localCount[rank] = len(perPE[pe])
+	}
+	n := len(r.participants)
+	r.kids = make([][]int, n)
+	for rank := 0; rank < n; rank++ {
+		r.kids[rank] = binomialChildren(rank, n)
+	}
+	r.entries = make([]map[int]*redEntry, n)
+	for i := range r.entries {
+		r.entries[i] = make(map[int]*redEntry)
+	}
+}
+
+func (r *reducer) entry(rank, gen int, width int) *redEntry {
+	e, ok := r.entries[rank][gen]
+	if !ok {
+		e = &redEntry{vals: r.op.identity(width)}
+		r.entries[rank][gen] = e
+	}
+	return e
+}
+
+// contributeEl routes an element's contribution into its PE's partial for
+// the element's next generation.
+func (r *reducer) contributeEl(el *element, vals []float64) {
+	gen := r.seq[el]
+	r.seq[el] = gen + 1
+	r.contribute(el.pe, gen, vals)
+}
+
+func (r *reducer) contribute(pe, gen int, vals []float64) {
+	r.freeze()
+	rank, ok := r.rankOf[pe]
+	if !ok {
+		panic(fmt.Sprintf("charm: contribution from non-participant PE %d", pe))
+	}
+	e := r.entry(rank, gen, len(vals))
+	if len(e.vals) != len(vals) {
+		err := fmt.Errorf("charm: reduction width mismatch on %s gen %d: %d vs %d",
+			r.name, gen, len(e.vals), len(vals))
+		if r.rts.opts.Checked {
+			r.rts.ReportError(err)
+			return
+		}
+		panic(err)
+	}
+	r.op.combine(e.vals, vals)
+	e.localGot++
+	r.maybeForward(rank, gen, e)
+}
+
+func (r *reducer) onPartial(pe, gen int, vals []float64) {
+	r.freeze()
+	rank := r.rankOf[pe]
+	e := r.entry(rank, gen, len(vals))
+	r.op.combine(e.vals, vals)
+	e.kidsGot++
+	r.maybeForward(rank, gen, e)
+}
+
+func (r *reducer) maybeForward(rank, gen int, e *redEntry) {
+	if e.localGot < r.localCount[rank] || e.kidsGot < len(r.kids[rank]) {
+		return
+	}
+	delete(r.entries[rank], gen)
+	pe := r.participants[rank]
+	if rank == 0 {
+		// Root: deliver to the client through the scheduler, like a
+		// reduction-target entry method.
+		vals := e.vals
+		r.rts.enqueue(pe, func() {
+			if r.client == nil {
+				panic(fmt.Sprintf("charm: reduction on %s completed with no client", r.name))
+			}
+			r.client(&Ctx{rts: r.rts, pe: pe}, vals)
+		})
+		if r.rts.rec != nil {
+			r.rts.rec.Incr("charm.reductions", 1)
+		}
+		return
+	}
+	parent := r.participants[binomialParent(rank)]
+	r.rts.SendPE(pe, parent, r.ep, &Message{
+		Size: controlSize(len(e.vals)),
+		Tag:  gen,
+		Vals: e.vals,
+	})
+}

@@ -1,0 +1,225 @@
+package charm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// runReduction builds an array of n elements over pes PEs, has every
+// element contribute its value, and returns the reduced result.
+func runReduction(t *testing.T, pes, n int, op ReduceOp, valOf func(i int) float64) []float64 {
+	t.Helper()
+	eng, rts := newTestRTS(pes)
+	a := rts.NewArray("red", RRMap(pes))
+	for i := 0; i < n; i++ {
+		a.Insert(Idx1(i), &counterChare{})
+	}
+	var result []float64
+	a.SetReductionClient(op, func(ctx *Ctx, vals []float64) {
+		result = append([]float64(nil), vals...)
+	})
+	ep := a.EntryMethod("go", func(ctx *Ctx, msg *Message) {
+		ctx.Contribute(valOf(ctx.Index()[0]))
+	})
+	rts.StartAt(0, func(ctx *Ctx) { ctx.Broadcast(a, ep, &Message{Size: 8}) })
+	eng.Run()
+	if result == nil {
+		t.Fatalf("pes=%d n=%d: reduction never completed", pes, n)
+	}
+	return result
+}
+
+func TestReductionSum(t *testing.T) {
+	for _, pes := range []int{1, 2, 3, 5, 16} {
+		got := runReduction(t, pes, 40, Sum, func(i int) float64 { return float64(i) })
+		if got[0] != 780 { // sum 0..39
+			t.Fatalf("pes=%d: sum = %v, want 780", pes, got[0])
+		}
+	}
+}
+
+func TestReductionMinMaxProd(t *testing.T) {
+	if got := runReduction(t, 4, 10, Min, func(i int) float64 { return float64(10 - i) }); got[0] != 1 {
+		t.Fatalf("min = %v", got[0])
+	}
+	if got := runReduction(t, 4, 10, Max, func(i int) float64 { return float64(10 - i) }); got[0] != 10 {
+		t.Fatalf("max = %v", got[0])
+	}
+	if got := runReduction(t, 3, 5, Prod, func(i int) float64 { return 2 }); got[0] != 32 {
+		t.Fatalf("prod = %v, want 2^5", got[0])
+	}
+}
+
+func TestVectorReduction(t *testing.T) {
+	eng, rts := newTestRTS(4)
+	a := rts.NewArray("vec", RRMap(4))
+	const n = 12
+	for i := 0; i < n; i++ {
+		a.Insert(Idx1(i), nil)
+	}
+	var result []float64
+	a.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) { result = vals })
+	ep := a.EntryMethod("go", func(ctx *Ctx, msg *Message) {
+		i := float64(ctx.Index()[0])
+		ctx.Contribute(1, i, i*i)
+	})
+	rts.StartAt(0, func(ctx *Ctx) { ctx.Broadcast(a, ep, &Message{Size: 8}) })
+	eng.Run()
+	if len(result) != 3 || result[0] != n || result[1] != 66 || result[2] != 506 {
+		t.Fatalf("vector reduction = %v", result)
+	}
+}
+
+// TestSuccessiveReductionsStayOrderedPerGeneration: elements racing ahead
+// into the next iteration must not corrupt the previous reduction.
+func TestSuccessiveReductions(t *testing.T) {
+	eng, rts := newTestRTS(3)
+	a := rts.NewArray("iter", RRMap(3))
+	const n, iters = 9, 5
+	for i := 0; i < n; i++ {
+		a.Insert(Idx1(i), nil)
+	}
+	var results []float64
+	var ep EP
+	a.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) {
+		results = append(results, vals[0])
+		if len(results) < iters {
+			ctx.Broadcast(a, ep, &Message{Size: 8, Tag: len(results)})
+		}
+	})
+	ep = a.EntryMethod("go", func(ctx *Ctx, msg *Message) {
+		ctx.Contribute(float64(msg.Tag + 1))
+	})
+	rts.StartAt(0, func(ctx *Ctx) { ctx.Broadcast(a, ep, &Message{Size: 8, Tag: 0}) })
+	eng.Run()
+	if len(results) != iters {
+		t.Fatalf("%d reductions completed, want %d", len(results), iters)
+	}
+	for k, r := range results {
+		if r != float64(n*(k+1)) {
+			t.Fatalf("reduction %d = %v, want %d", k, r, n*(k+1))
+		}
+	}
+}
+
+// TestReductionPropertySumMatchesSequential: for random element counts, PE
+// counts and values, the tree reduction equals the sequential sum.
+func TestReductionPropertySumMatchesSequential(t *testing.T) {
+	prop := func(pesRaw, nRaw uint8, vals []float64) bool {
+		pes := int(pesRaw)%8 + 1
+		n := int(nRaw)%30 + 1
+		clean := make([]float64, n)
+		for i := range clean {
+			if i < len(vals) && !math.IsNaN(vals[i]) && !math.IsInf(vals[i], 0) && math.Abs(vals[i]) < 1e12 {
+				clean[i] = vals[i]
+			} else {
+				clean[i] = float64(i)
+			}
+		}
+		eng, rts := newTestRTS(pes)
+		a := rts.NewArray("p", RRMap(pes))
+		for i := 0; i < n; i++ {
+			a.Insert(Idx1(i), nil)
+		}
+		var got float64
+		done := false
+		a.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) {
+			got = vals[0]
+			done = true
+		})
+		ep := a.EntryMethod("go", func(ctx *Ctx, msg *Message) {
+			ctx.Contribute(clean[ctx.Index()[0]])
+		})
+		rts.StartAt(0, func(ctx *Ctx) { ctx.Broadcast(a, ep, &Message{Size: 8}) })
+		eng.Run()
+		want := 0.0
+		for _, v := range clean {
+			want += v
+		}
+		return done && math.Abs(got-want) <= 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionWidthMismatchChecked(t *testing.T) {
+	eng, rts := newTestRTS(1)
+	rts.opts.Checked = true
+	a := rts.NewArray("w", RRMap(1))
+	a.Insert(Idx1(0), nil)
+	a.Insert(Idx1(1), nil)
+	a.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) {})
+	ep := a.EntryMethod("go", func(ctx *Ctx, msg *Message) {
+		if ctx.Index()[0] == 0 {
+			ctx.Contribute(1)
+		} else {
+			ctx.Contribute(1, 2)
+		}
+	})
+	rts.StartAt(0, func(ctx *Ctx) { ctx.Broadcast(a, ep, &Message{Size: 8}) })
+	eng.Run()
+	if len(rts.Errors()) == 0 {
+		t.Fatal("width mismatch not reported in checked mode")
+	}
+}
+
+func TestContributeOutsideEntryPanics(t *testing.T) {
+	_, rts := newTestRTS(1)
+	rts.NewArray("x", RRMap(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Contribute outside entry method did not panic")
+		}
+	}()
+	ctx := &Ctx{rts: rts, pe: 0}
+	ctx.Contribute(1)
+}
+
+// TestBarrierOrdering: a contribute/broadcast barrier must strictly
+// separate iterations — no element starts iteration k+1 before every
+// element finished iteration k.
+func TestBarrierOrdering(t *testing.T) {
+	eng, rts := newBGPTestRTS(8)
+	a := rts.NewArray("b", RRMap(8))
+	const n, iters = 32, 4
+	for i := 0; i < n; i++ {
+		a.Insert(Idx1(i), nil)
+	}
+	finishTimes := make([]sim.Time, iters+1)
+	var startNext sim.Time
+	var work EP
+	round := 0
+	a.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) {
+		finishTimes[round] = ctx.Now()
+		round++
+		if round < iters {
+			startNext = ctx.Now()
+			ctx.Broadcast(a, work, &Message{Size: 8})
+		}
+	})
+	var earliestWork sim.Time = sim.MaxTime
+	work = a.EntryMethod("w", func(ctx *Ctx, msg *Message) {
+		if round > 0 && ctx.Now() < startNext {
+			t.Errorf("element worked at %v before barrier released at %v", ctx.Now(), startNext)
+		}
+		if ctx.Now() < earliestWork {
+			earliestWork = ctx.Now()
+		}
+		ctx.Charge(10 * sim.Microsecond)
+		ctx.Contribute(1)
+	})
+	rts.StartAt(0, func(ctx *Ctx) { ctx.Broadcast(a, work, &Message{Size: 8}) })
+	eng.Run()
+	if round != iters {
+		t.Fatalf("completed %d rounds, want %d", round, iters)
+	}
+	for k := 1; k < iters; k++ {
+		if finishTimes[k] <= finishTimes[k-1] {
+			t.Fatalf("barrier times not increasing: %v", finishTimes[:iters])
+		}
+	}
+}

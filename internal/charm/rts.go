@@ -1,0 +1,284 @@
+package charm
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RTS is the message-driven runtime: one scheduler per PE, a registry of
+// chare arrays, PE-level handlers for runtime services (reduction trees,
+// broadcast trees), and hooks for the CkDirect extension.
+type RTS struct {
+	eng  *sim.Engine
+	mach *machine.Machine
+	net  *netmodel.Net
+	plat *netmodel.Platform
+	rec  *trace.Recorder
+	opts Options
+
+	pes       []*peSched
+	peEPs     []Handler
+	arrays    []*Array
+	schedCost sim.Time
+
+	// pollTax is installed by the CkDirect manager; it returns the CPU
+	// cost of scanning the polling queue on a PE, charged on every
+	// scheduler pass (paper §5.2).
+	pollTax func(pe int) sim.Time
+
+	// broadcast-tree service state
+	castEP       EP
+	castSessions []castSession
+
+	// sendObserver, when installed, sees every array message send
+	// (the hook used by the CkDirect channel learner).
+	sendObserver func(srcPE, dstPE int, array string, ep EP, size int)
+
+	// quiescence detection state (see quiescence.go).
+	qdCounter int64
+	qdWaiters []func()
+
+	// timeline, when attached, records one span per scheduler dispatch
+	// (Projections-style performance tracing).
+	timeline *trace.Timeline
+
+	errs []error
+}
+
+// SetTimeline attaches a span recorder; nil detaches.
+func (rts *RTS) SetTimeline(tl *trace.Timeline) { rts.timeline = tl }
+
+// SetSendObserver installs a hook called for every chare-array message
+// send. Passing nil removes it.
+func (rts *RTS) SetSendObserver(fn func(srcPE, dstPE int, array string, ep EP, size int)) {
+	rts.sendObserver = fn
+}
+
+// peSched is the per-PE scheduler state: a FIFO of pending deliveries and
+// a flag indicating whether a scheduler pass is in flight.
+type peSched struct {
+	pe      *machine.PE
+	queue   []func()
+	running bool
+}
+
+// NewRTS builds a runtime on a platform-configured machine.
+func NewRTS(eng *sim.Engine, mach *machine.Machine, net *netmodel.Net, plat *netmodel.Platform, rec *trace.Recorder, opts Options) *RTS {
+	rts := &RTS{
+		eng:       eng,
+		mach:      mach,
+		net:       net,
+		plat:      plat,
+		rec:       rec,
+		opts:      opts,
+		schedCost: sim.Microseconds(plat.SchedUS),
+	}
+	rts.pes = make([]*peSched, mach.NumPEs())
+	for i := range rts.pes {
+		rts.pes[i] = &peSched{pe: mach.PE(i)}
+	}
+	rts.castEP = rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
+		rts.runCast(ctx.pe, int(msg.Val), msg.Tag)
+	})
+	return rts
+}
+
+// Engine returns the simulation engine.
+func (rts *RTS) Engine() *sim.Engine { return rts.eng }
+
+// Machine returns the simulated machine.
+func (rts *RTS) Machine() *machine.Machine { return rts.mach }
+
+// Net returns the network sequencer.
+func (rts *RTS) Net() *netmodel.Net { return rts.net }
+
+// Platform returns the cost-model platform.
+func (rts *RTS) Platform() *netmodel.Platform { return rts.plat }
+
+// Recorder returns the trace recorder (possibly nil).
+func (rts *RTS) Recorder() *trace.Recorder { return rts.rec }
+
+// Options returns the runtime options.
+func (rts *RTS) Options() Options { return rts.opts }
+
+// SetPollTax installs the CkDirect polling-queue tax. Passing nil removes
+// it.
+func (rts *RTS) SetPollTax(fn func(pe int) sim.Time) { rts.pollTax = fn }
+
+// ReportError records a contract violation detected in checked mode.
+func (rts *RTS) ReportError(err error) {
+	rts.errs = append(rts.errs, err)
+	if rts.rec != nil {
+		rts.rec.Incr("rts.errors", 1)
+	}
+}
+
+// Errors returns contract violations recorded so far.
+func (rts *RTS) Errors() []error { return rts.errs }
+
+// Run drives the simulation until the event queue drains, returning the
+// final virtual time.
+func (rts *RTS) Run() sim.Time { return rts.eng.Run() }
+
+// CtxOn builds a bare execution context for a PE. It is used by runtime
+// extensions (CkDirect callbacks) and drivers; entry methods receive their
+// contexts from the scheduler instead.
+func (rts *RTS) CtxOn(pe int) *Ctx { return &Ctx{rts: rts, pe: pe} }
+
+// StartAt enqueues fn as an initial task on a PE (like a mainchare entry
+// point). It goes through the scheduler so even startup pays realistic
+// costs.
+func (rts *RTS) StartAt(pe int, fn func(ctx *Ctx)) {
+	rts.enqueue(pe, func() {
+		fn(&Ctx{rts: rts, pe: pe})
+	})
+}
+
+// RegisterPEHandler registers a PE-level handler (used by runtime
+// services and by code that addresses PEs rather than chares) and returns
+// its EP.
+func (rts *RTS) RegisterPEHandler(h Handler) EP {
+	rts.peEPs = append(rts.peEPs, h)
+	return EP(len(rts.peEPs) - 1)
+}
+
+// SendPE sends a message from srcPE to a PE-level handler on dstPE, paying
+// the full Charm++ message cost (envelope, receive processing, scheduler).
+func (rts *RTS) SendPE(srcPE, dstPE int, ep EP, msg *Message) {
+	if int(ep) < 0 || int(ep) >= len(rts.peEPs) {
+		panic(fmt.Sprintf("charm: SendPE to unregistered EP %d", ep))
+	}
+	cost := rts.plat.CharmMsg.Resolve(msg.Size + rts.plat.HeaderBytes)
+	if rts.rec != nil {
+		rts.rec.Incr("charm.msgs", 1)
+		rts.rec.Incr("charm.bytes", int64(msg.Size))
+	}
+	h := rts.peEPs[ep]
+	rts.qdInc() // in flight
+	rts.net.Transfer(srcPE, dstPE, cost, netmodel.TransferHooks{
+		OnArrive: func() {
+			rts.enqueue(dstPE, func() {
+				h(&Ctx{rts: rts, pe: dstPE}, msg)
+			})
+			rts.qdDec() // flight ended (queued activity took over)
+		},
+	})
+}
+
+// enqueue appends a delivery to a PE's scheduler queue and kicks the
+// scheduler loop if idle.
+func (rts *RTS) enqueue(pe int, deliver func()) {
+	s := rts.pes[pe]
+	rts.qdInc()
+	s.queue = append(s.queue, deliver)
+	rts.kick(pe)
+}
+
+func (rts *RTS) kick(pe int) {
+	s := rts.pes[pe]
+	if s.running || len(s.queue) == 0 {
+		return
+	}
+	s.running = true
+	rts.eng.At(s.pe.FreeAt(), func() { rts.pass(pe) })
+}
+
+// pass is one scheduler iteration: charge the dispatch overhead plus the
+// CkDirect polling tax, run the handler, then continue with the next
+// queued message once the PE is free again.
+func (rts *RTS) pass(pe int) {
+	s := rts.pes[pe]
+	if len(s.queue) == 0 {
+		s.running = false
+		return
+	}
+	deliver := s.queue[0]
+	copy(s.queue, s.queue[1:])
+	s.queue = s.queue[:len(s.queue)-1]
+
+	overhead := rts.schedCost
+	if rts.pollTax != nil {
+		tax := rts.pollTax(pe)
+		overhead += tax
+		if rts.rec != nil && tax > 0 {
+			rts.rec.AddTime("ckd.polltax", tax)
+		}
+	}
+	if rts.rec != nil {
+		rts.rec.AddTime("charm.sched", rts.schedCost)
+	}
+	start, end := s.pe.Reserve(overhead)
+	rts.eng.At(end, func() {
+		deliver()
+		rts.qdDec()
+		if rts.timeline != nil {
+			// One span per dispatch: scheduler overhead plus whatever
+			// compute the handler charged.
+			rts.timeline.AddSpan(pe, "entry", "dispatch", start, s.pe.FreeAt())
+		}
+		rts.eng.At(s.pe.FreeAt(), func() { rts.pass(pe) })
+	})
+}
+
+// Ctx is the execution context handed to entry methods, reduction clients
+// and CkDirect callbacks. It identifies the PE (and, for array entry
+// methods, the receiving element) and provides the communication and
+// cost-accounting API.
+type Ctx struct {
+	rts  *RTS
+	pe   int
+	arr  *Array
+	idx  Index
+	obj  interface{}
+	elem *element
+}
+
+// Now returns the current virtual time.
+func (c *Ctx) Now() sim.Time { return c.rts.eng.Now() }
+
+// PE returns the processing element this context executes on.
+func (c *Ctx) PE() int { return c.pe }
+
+// RTS returns the runtime.
+func (c *Ctx) RTS() *RTS { return c.rts }
+
+// Obj returns the chare object for array entry methods (nil otherwise).
+func (c *Ctx) Obj() interface{} { return c.obj }
+
+// Index returns the element index for array entry methods.
+func (c *Ctx) Index() Index { return c.idx }
+
+// Charge accounts for computation performed by the caller: the PE stays
+// busy for cost units of virtual time after the current point.
+func (c *Ctx) Charge(cost sim.Time) {
+	c.rts.pes[c.pe].pe.Reserve(cost)
+}
+
+// After schedules fn on this PE's context after a plain delay (no CPU
+// reserved) — virtual sleep, used by drivers and tests.
+func (c *Ctx) After(d sim.Time, fn func(ctx *Ctx)) {
+	pe := c.pe
+	c.rts.eng.Schedule(d, func() {
+		fn(&Ctx{rts: c.rts, pe: pe})
+	})
+}
+
+// EnqueueLocal places fn on this PE's scheduler queue as a local entry
+// method (paying scheduler overhead). This models the OpenAtom pattern
+// where a CkDirect callback "enqueues a CHARM++ entry method to perform
+// the multiplication" (paper §5.1).
+func (c *Ctx) EnqueueLocal(fn func(ctx *Ctx)) {
+	pe := c.pe
+	c.rts.enqueue(pe, func() {
+		fn(&Ctx{rts: c.rts, pe: pe})
+	})
+}
+
+// SendPE sends to a PE-level handler from this context's PE.
+func (c *Ctx) SendPE(dstPE int, ep EP, msg *Message) {
+	c.rts.SendPE(c.pe, dstPE, ep, msg)
+}

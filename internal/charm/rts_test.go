@@ -1,0 +1,236 @@
+package charm
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// newTestRTS builds a runtime on the Abe platform model with the given
+// number of PEs.
+func newTestRTS(pes int) (*sim.Engine, *RTS) {
+	eng := sim.NewEngine()
+	mach, net := netmodel.AbeIB.BuildMachine(eng, pes)
+	rts := NewRTS(eng, mach, net, netmodel.AbeIB, trace.NewRecorder(), Options{Checked: false})
+	return eng, rts
+}
+
+func newBGPTestRTS(pes int) (*sim.Engine, *RTS) {
+	eng := sim.NewEngine()
+	mach, net := netmodel.SurveyorBGP.BuildMachine(eng, pes)
+	rts := NewRTS(eng, mach, net, netmodel.SurveyorBGP, trace.NewRecorder(), Options{})
+	return eng, rts
+}
+
+func TestStartAtRunsOnRequestedPE(t *testing.T) {
+	_, rts := newTestRTS(4)
+	ran := -1
+	rts.StartAt(2, func(ctx *Ctx) { ran = ctx.PE() })
+	rts.Run()
+	if ran != 2 {
+		t.Fatalf("ran on PE %d, want 2", ran)
+	}
+}
+
+func TestSendPEDeliversMessage(t *testing.T) {
+	eng, rts := newTestRTS(2)
+	var got *Message
+	var at sim.Time
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
+		got = msg
+		at = ctx.Now()
+	})
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.SendPE(1, ep, &Message{Size: 100, Tag: 7})
+	})
+	end := eng.Run()
+	if got == nil || got.Tag != 7 {
+		t.Fatalf("message not delivered: %+v", got)
+	}
+	if at == 0 || end < at {
+		t.Fatalf("delivery time bogus: %v end %v", at, end)
+	}
+}
+
+// TestMessageLatencyMatchesModel: an idle-system PE-to-PE message should
+// take exactly SendCPU+Wire+RecvCPU+Sched (plus the startup scheduler pass
+// that launches the sender).
+func TestMessageLatencyMatchesModel(t *testing.T) {
+	eng, rts := newTestRTS(16)
+	plat := rts.Platform()
+	size := 100
+	cost := plat.CharmMsg.Resolve(size + plat.HeaderBytes)
+	// PEs 0 and 8 are on different nodes (8 cores/node on Abe).
+	var sendStart, recvAt sim.Time
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { recvAt = ctx.Now() })
+	rts.StartAt(0, func(ctx *Ctx) {
+		sendStart = ctx.Now()
+		ctx.SendPE(8, ep, &Message{Size: size})
+	})
+	eng.Run()
+	want := sendStart + cost.OneWay() + sim.Microseconds(plat.SchedUS)
+	if recvAt != want {
+		t.Fatalf("delivery at %v, want %v (start %v + model %v)", recvAt, want, sendStart, cost.OneWay())
+	}
+}
+
+// TestIntraNodeFasterThanInterNode: messages between PEs on one node get
+// the shared-memory wire discount.
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	measure := func(dst int) sim.Time {
+		eng, rts := newTestRTS(16)
+		var recvAt sim.Time
+		ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { recvAt = ctx.Now() })
+		rts.StartAt(0, func(ctx *Ctx) { ctx.SendPE(dst, ep, &Message{Size: 1000}) })
+		eng.Run()
+		return recvAt
+	}
+	intra := measure(1) // same node (cores/node = 8)
+	inter := measure(8) // next node
+	if intra >= inter {
+		t.Fatalf("intra-node %v not faster than inter-node %v", intra, inter)
+	}
+}
+
+func TestChargeExtendsBusyTime(t *testing.T) {
+	eng, rts := newTestRTS(1)
+	var afterCharge sim.Time
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.Charge(100 * sim.Microsecond)
+		afterCharge = rts.Machine().PE(0).FreeAt()
+	})
+	eng.Run()
+	if afterCharge < 100*sim.Microsecond {
+		t.Fatalf("FreeAt %v, want >= 100us", afterCharge)
+	}
+}
+
+// TestSchedulerSerializesHandlers: two messages to one PE must not
+// overlap; the second handler starts only after the first one's charged
+// compute finishes.
+func TestSchedulerSerializesHandlers(t *testing.T) {
+	eng, rts := newTestRTS(3)
+	var starts []sim.Time
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
+		starts = append(starts, ctx.Now())
+		ctx.Charge(500 * sim.Microsecond)
+	})
+	rts.StartAt(0, func(ctx *Ctx) { ctx.SendPE(2, ep, &Message{Size: 8}) })
+	rts.StartAt(1, func(ctx *Ctx) { ctx.SendPE(2, ep, &Message{Size: 8}) })
+	eng.Run()
+	if len(starts) != 2 {
+		t.Fatalf("%d handler invocations, want 2", len(starts))
+	}
+	if starts[1]-starts[0] < 500*sim.Microsecond {
+		t.Fatalf("second handler at %v only %v after first — handlers overlapped",
+			starts[1], starts[1]-starts[0])
+	}
+}
+
+// TestQueueOccupancyGrowsLatency: with many messages queued on a PE, each
+// pays scheduling overhead — the effect the stencil study attributes
+// fine-grained slowdowns to.
+func TestQueueOccupancyGrowsLatency(t *testing.T) {
+	eng, rts := newTestRTS(2)
+	const n = 50
+	var last sim.Time
+	count := 0
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
+		count++
+		last = ctx.Now()
+	})
+	rts.StartAt(0, func(ctx *Ctx) {
+		for i := 0; i < n; i++ {
+			ctx.SendPE(1, ep, &Message{Size: 8})
+		}
+	})
+	eng.Run()
+	if count != n {
+		t.Fatalf("delivered %d, want %d", count, n)
+	}
+	// The last delivery must be at least (n-1)*SchedUS after the first
+	// could have arrived: scheduling serializes.
+	minSched := sim.Microseconds(float64(n-1) * rts.Platform().SchedUS)
+	if last < minSched {
+		t.Fatalf("last delivery %v, want >= %v of accumulated scheduling", last, minSched)
+	}
+	if got := rts.Recorder().Count("charm.msgs"); got != n {
+		t.Fatalf("charm.msgs = %d, want %d", got, n)
+	}
+}
+
+func TestPollTaxChargedPerSchedulerPass(t *testing.T) {
+	tax := 10 * sim.Microsecond
+	deliveryAt := func(withTax bool) sim.Time {
+		eng, rts := newTestRTS(2)
+		if withTax {
+			rts.SetPollTax(func(pe int) sim.Time {
+				if pe == 1 {
+					return tax
+				}
+				return 0
+			})
+		}
+		var at sim.Time
+		ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { at = ctx.Now() })
+		rts.StartAt(0, func(ctx *Ctx) { ctx.SendPE(1, ep, &Message{Size: 64}) })
+		eng.Run()
+		if withTax && rts.Recorder().Time("ckd.polltax") < tax {
+			t.Fatal("poll tax not recorded")
+		}
+		return at
+	}
+	base, taxed := deliveryAt(false), deliveryAt(true)
+	// Exactly one scheduler pass on PE 1 dispatches the message, so the
+	// delivery is delayed by exactly one tax.
+	if taxed-base != tax {
+		t.Fatalf("tax skew %v, want exactly %v", taxed-base, tax)
+	}
+}
+
+func TestEnqueueLocalPaysSchedOverhead(t *testing.T) {
+	eng, rts := newTestRTS(1)
+	var enq, ran sim.Time
+	rts.StartAt(0, func(ctx *Ctx) {
+		enq = ctx.Now()
+		ctx.EnqueueLocal(func(ctx *Ctx) { ran = ctx.Now() })
+	})
+	eng.Run()
+	if ran-enq < sim.Microseconds(rts.Platform().SchedUS) {
+		t.Fatalf("local enqueue ran after %v, want >= sched overhead", ran-enq)
+	}
+}
+
+func TestAfterSchedulesWithoutCPU(t *testing.T) {
+	eng, rts := newTestRTS(1)
+	var at sim.Time
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.After(50*sim.Microsecond, func(ctx *Ctx) { at = ctx.Now() })
+	})
+	eng.Run()
+	if at < 50*sim.Microsecond {
+		t.Fatalf("After fired at %v", at)
+	}
+	// No CPU beyond the startup scheduler pass should be consumed.
+	busy := rts.Machine().PE(0).BusyTotal()
+	if busy > 10*sim.Microsecond {
+		t.Fatalf("After consumed %v CPU", busy)
+	}
+}
+
+func TestReportErrorAccumulates(t *testing.T) {
+	_, rts := newTestRTS(1)
+	rts.ReportError(errFor("a"))
+	rts.ReportError(errFor("b"))
+	if len(rts.Errors()) != 2 {
+		t.Fatalf("%d errors, want 2", len(rts.Errors()))
+	}
+}
+
+func errFor(s string) error { return &strErr{s} }
+
+type strErr struct{ s string }
+
+func (e *strErr) Error() string { return e.s }

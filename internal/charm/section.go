@@ -1,0 +1,139 @@
+package charm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Section is a fixed subset of an array's elements with its own multicast
+// and reduction machinery — Charm++'s array sections, which codes like
+// OpenAtom use to address e.g. the PairCalculators of a single plane.
+// Sections are created after all inserts and are immutable.
+type Section struct {
+	arr   *Array
+	name  string
+	elems []*element   // deterministic order (as given)
+	perPE [][]*element // per-PE members
+	pes   []int        // participating PEs, ascending
+	red   *reducer
+
+	castEP   EP
+	sessions []sectionCast
+}
+
+type sectionCast struct {
+	ep  EP
+	msg *Message
+}
+
+// NewSection builds a section over the given element indices. All
+// indices must exist; duplicates are rejected.
+func (a *Array) NewSection(name string, indices []Index) *Section {
+	if len(indices) == 0 {
+		panic(fmt.Sprintf("charm: empty section %q on %s", name, a.name))
+	}
+	s := &Section{
+		arr:   a,
+		name:  fmt.Sprintf("%s/%s", a.name, name),
+		perPE: make([][]*element, a.rts.mach.NumPEs()),
+	}
+	seen := make(map[Index]bool, len(indices))
+	for _, ix := range indices {
+		el, ok := a.elems[ix]
+		if !ok {
+			panic(fmt.Sprintf("charm: section %s includes missing element %s", s.name, ix))
+		}
+		if seen[ix] {
+			panic(fmt.Sprintf("charm: section %s includes %s twice", s.name, ix))
+		}
+		seen[ix] = true
+		s.elems = append(s.elems, el)
+		s.perPE[el.pe] = append(s.perPE[el.pe], el)
+	}
+	for pe, members := range s.perPE {
+		if len(members) > 0 {
+			s.pes = append(s.pes, pe)
+		}
+	}
+	sort.Ints(s.pes)
+	s.red = newReducer(a.rts, s.name, func() [][]*element { return s.perPE })
+	s.castEP = a.rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
+		s.runCast(ctx.pe, msg.Tag)
+	})
+	return s
+}
+
+// Name returns the section's qualified name.
+func (s *Section) Name() string { return s.name }
+
+// NumElements returns the section size.
+func (s *Section) NumElements() int { return len(s.elems) }
+
+// PEs returns the participating PEs (ascending).
+func (s *Section) PEs() []int { return append([]int(nil), s.pes...) }
+
+// Multicast delivers msg to every section member's entry method ep,
+// fanning out along a binomial tree over the participating PEs only —
+// non-member PEs see no traffic.
+func (s *Section) Multicast(srcPE int, ep EP, msg *Message) {
+	s.sessions = append(s.sessions, sectionCast{ep: ep, msg: msg})
+	id := len(s.sessions) - 1
+	root := s.pes[0]
+	if srcPE == root {
+		s.runCast(root, id)
+		return
+	}
+	// One runtime message carries the multicast to the section's tree
+	// root, which then fans out.
+	s.arr.rts.SendPE(srcPE, root, s.castEP, &Message{Size: msg.Size, Tag: id})
+}
+
+// Multicast from a context.
+func (c *Ctx) MulticastSection(s *Section, ep EP, msg *Message) {
+	s.Multicast(c.pe, ep, msg)
+}
+
+// runCast forwards to tree children among the section PEs and delivers
+// locally.
+func (s *Section) runCast(pe, id int) {
+	sess := s.sessions[id]
+	rank := sort.SearchInts(s.pes, pe)
+	for _, crank := range binomialChildren(rank, len(s.pes)) {
+		s.arr.rts.SendPE(pe, s.pes[crank], s.castEP, &Message{Size: sess.msg.Size, Tag: id})
+	}
+	for _, el := range s.perPE[pe] {
+		el := el
+		s.arr.rts.enqueue(pe, func() {
+			s.arr.eps[sess.ep](s.arr.ctxFor(el), sess.msg)
+		})
+	}
+}
+
+// SetReductionClient installs the section reduction's combiner and
+// client (delivered on the section's root PE).
+func (s *Section) SetReductionClient(op ReduceOp, client func(ctx *Ctx, vals []float64)) {
+	s.red.op = op
+	s.red.client = client
+}
+
+// ContributeFrom submits a section-reduction contribution on behalf of
+// element idx (which must be a section member).
+func (s *Section) ContributeFrom(idx Index, vals ...float64) {
+	el, ok := s.arr.elems[idx]
+	if !ok {
+		panic(fmt.Sprintf("charm: ContributeFrom missing element %s[%s]", s.arr.name, idx))
+	}
+	if !s.contains(el) {
+		panic(fmt.Sprintf("charm: element %s is not a member of section %s", idx, s.name))
+	}
+	s.red.contributeEl(el, vals)
+}
+
+func (s *Section) contains(el *element) bool {
+	for _, m := range s.perPE[el.pe] {
+		if m == el {
+			return true
+		}
+	}
+	return false
+}

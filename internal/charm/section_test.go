@@ -1,0 +1,151 @@
+package charm
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func buildSectionRig(t *testing.T, pes, elems int) (*sim.Engine, *RTS, *Array) {
+	t.Helper()
+	eng, rts := newTestRTS(pes)
+	a := rts.NewArray("grid", RRMap(pes))
+	for i := 0; i < elems; i++ {
+		a.Insert(Idx1(i), &counterChare{})
+	}
+	return eng, rts, a
+}
+
+func TestSectionMulticastReachesOnlyMembers(t *testing.T) {
+	eng, rts, a := buildSectionRig(t, 4, 20)
+	// Even-index elements form the section.
+	var members []Index
+	for i := 0; i < 20; i += 2 {
+		members = append(members, Idx1(i))
+	}
+	sec := a.NewSection("even", members)
+	if sec.NumElements() != 10 {
+		t.Fatalf("section size %d", sec.NumElements())
+	}
+	ep := a.EntryMethod("ping", func(ctx *Ctx, msg *Message) {
+		ctx.Obj().(*counterChare).got++
+	})
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.MulticastSection(sec, ep, &Message{Size: 64, Tag: 9})
+	})
+	eng.Run()
+	for i := 0; i < 20; i++ {
+		want := 0
+		if i%2 == 0 {
+			want = 1
+		}
+		if got := a.Obj(Idx1(i)).(*counterChare).got; got != want {
+			t.Fatalf("element %d received %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSectionMulticastFromMemberPE(t *testing.T) {
+	eng, rts, a := buildSectionRig(t, 4, 8)
+	sec := a.NewSection("all", []Index{Idx1(0), Idx1(1), Idx1(2)})
+	ep := a.EntryMethod("p", func(ctx *Ctx, msg *Message) {
+		ctx.Obj().(*counterChare).got++
+	})
+	root := sec.PEs()[0]
+	rts.StartAt(root, func(ctx *Ctx) {
+		ctx.MulticastSection(sec, ep, &Message{Size: 8})
+	})
+	eng.Run()
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += a.Obj(Idx1(i)).(*counterChare).got
+	}
+	if total != 3 {
+		t.Fatalf("section delivered %d, want 3", total)
+	}
+}
+
+func TestSectionReduction(t *testing.T) {
+	eng, rts, a := buildSectionRig(t, 4, 16)
+	var members []Index
+	for i := 0; i < 16; i += 4 { // elements 0, 4, 8, 12
+		members = append(members, Idx1(i))
+	}
+	sec := a.NewSection("quarters", members)
+	var result float64
+	sec.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) { result = vals[0] })
+	ep := a.EntryMethod("go", func(ctx *Ctx, msg *Message) {
+		sec.ContributeFrom(ctx.Index(), float64(ctx.Index()[0]))
+	})
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.MulticastSection(sec, ep, &Message{Size: 8})
+	})
+	eng.Run()
+	if result != 24 { // 0+4+8+12
+		t.Fatalf("section reduction = %v, want 24", result)
+	}
+}
+
+// TestSectionAndArrayReductionsIndependent: an element contributing to
+// both its array's reduction and a section reduction must not mix
+// generations.
+func TestSectionAndArrayReductionsIndependent(t *testing.T) {
+	eng, rts, a := buildSectionRig(t, 2, 4)
+	sec := a.NewSection("pair", []Index{Idx1(0), Idx1(1)})
+	var arrTotal, secTotal float64
+	a.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) { arrTotal = vals[0] })
+	sec.SetReductionClient(Sum, func(ctx *Ctx, vals []float64) { secTotal = vals[0] })
+	ep := a.EntryMethod("go", func(ctx *Ctx, msg *Message) {
+		i := ctx.Index()[0]
+		ctx.Contribute(1) // array-wide barrier-ish
+		if i < 2 {
+			sec.ContributeFrom(ctx.Index(), 10)
+		}
+	})
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.Broadcast(a, ep, &Message{Size: 8})
+	})
+	eng.Run()
+	if arrTotal != 4 {
+		t.Fatalf("array reduction = %v, want 4", arrTotal)
+	}
+	if secTotal != 20 {
+		t.Fatalf("section reduction = %v, want 20", secTotal)
+	}
+}
+
+func TestSectionValidation(t *testing.T) {
+	_, _, a := buildSectionRig(t, 2, 4)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty section", func() { a.NewSection("e", nil) })
+	mustPanic("missing element", func() { a.NewSection("m", []Index{Idx1(99)}) })
+	mustPanic("duplicate", func() { a.NewSection("d", []Index{Idx1(0), Idx1(0)}) })
+	sec := a.NewSection("ok", []Index{Idx1(0)})
+	mustPanic("non-member contribute", func() { sec.ContributeFrom(Idx1(3), 1) })
+}
+
+func TestSectionRepeatedMulticasts(t *testing.T) {
+	eng, rts, a := buildSectionRig(t, 3, 9)
+	sec := a.NewSection("s", []Index{Idx1(1), Idx1(5), Idx1(7)})
+	ep := a.EntryMethod("p", func(ctx *Ctx, msg *Message) {
+		ctx.Obj().(*counterChare).tags = append(ctx.Obj().(*counterChare).tags, msg.Tag)
+	})
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.MulticastSection(sec, ep, &Message{Size: 8, Tag: 1})
+		ctx.MulticastSection(sec, ep, &Message{Size: 8, Tag: 2})
+	})
+	eng.Run()
+	for _, i := range []int{1, 5, 7} {
+		tags := a.Obj(Idx1(i)).(*counterChare).tags
+		if len(tags) != 2 {
+			t.Fatalf("element %d saw %d multicasts", i, len(tags))
+		}
+	}
+}

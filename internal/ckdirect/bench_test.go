@@ -1,0 +1,77 @@
+package ckdirect
+
+import (
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BenchmarkPutPath measures the simulator cost of one complete put
+// (issue, delivery, detection, callback) — how fast the DES can process
+// CkDirect traffic, not the modelled latency.
+func BenchmarkPutPath(b *testing.B) {
+	eng := sim.NewEngine()
+	mach, net := netmodel.AbeIB.BuildMachine(eng, 2)
+	rts := charm.NewRTS(eng, mach, net, netmodel.AbeIB, trace.NewRecorder(), charm.Options{})
+	m := NewManager(rts)
+	recv := mach.AllocRegion(1, 4096, false)
+	send := mach.AllocRegion(0, 4096, false)
+	for i := range send.Bytes() {
+		send.Bytes()[i] = byte(i)
+	}
+	done := 0
+	var h *Handle
+	var err error
+	h, err = m.CreateHandle(1, recv, 0xFFF0000000000001, func(ctx *charm.Ctx) {
+		done++
+		if done < b.N {
+			m.Ready(h)
+			if err := m.Put(h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.AssocLocal(h, 0, send); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if err := m.Put(h); err != nil {
+		b.Fatal(err)
+	}
+	eng.Run()
+	if done != b.N {
+		b.Fatalf("completed %d/%d puts", done, b.N)
+	}
+}
+
+// BenchmarkMessagePath is the same loop over the default Charm++ message
+// path, for comparing simulator overheads of the two transports.
+func BenchmarkMessagePath(b *testing.B) {
+	eng := sim.NewEngine()
+	mach, net := netmodel.AbeIB.BuildMachine(eng, 2)
+	rts := charm.NewRTS(eng, mach, net, netmodel.AbeIB, trace.NewRecorder(), charm.Options{})
+	a := rts.NewArray("b", charm.BlockMap1D(2, 2))
+	a.Insert(charm.Idx1(0), nil)
+	a.Insert(charm.Idx1(1), nil)
+	done := 0
+	var ep charm.EP
+	ep = a.EntryMethod("pp", func(ctx *charm.Ctx, msg *charm.Message) {
+		done++
+		if done < b.N {
+			dst := 1 - ctx.Index()[0]
+			ctx.Send(a, charm.Idx1(dst), ep, &charm.Message{Size: 4096})
+		}
+	})
+	b.ResetTimer()
+	a.Send(0, charm.Idx1(1), ep, &charm.Message{Size: 4096})
+	eng.Run()
+	if done != b.N {
+		b.Fatalf("completed %d/%d messages", done, b.N)
+	}
+}

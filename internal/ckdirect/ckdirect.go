@@ -1,0 +1,299 @@
+// Package ckdirect implements the paper's contribution: CkDirect, a
+// persistent, one-way, one-sided memory-to-memory channel between two
+// chares in the Charm++ runtime (Bohm et al., ICPP 2009, §2).
+//
+// A channel is set up in two steps: the receiver creates a Handle over
+// its destination buffer (CreateHandle), the handle travels to the sender
+// (in-simulation this is a pointer hand-off; the paper ships it in a
+// message), and the sender binds a local source buffer (AssocLocal). The
+// sender may then Put repeatedly — one message in flight per channel —
+// with no per-message synchronization: the receiver learns of arrival via
+// a plain function callback, never through the scheduler.
+//
+// Two backend behaviours are modelled, selected by the platform:
+//
+//   - Infiniband (§2.1): the put is a true RDMA write. The receiving RTS
+//     keeps a polling queue; CreateHandle stamps an out-of-band 8-byte
+//     pattern at the end of the receive buffer, and a poll pass detects
+//     completion when the last double word changes. ReadyMark re-arms the
+//     sentinel; ReadyPollQ re-inserts the handle into the polling queue.
+//     Polling costs CPU per handle per scheduler pass — the §5.2 overhead.
+//
+//   - Blue Gene/P (§2.2): the put is a DCMF two-sided send whose Info
+//     header carries the full receive context; the DCMF receive completion
+//     callback invokes the user callback directly. There is no polling and
+//     the Ready calls have no effect.
+package ckdirect
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/charm"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Setup-time CPU costs (registration with the NIC / DCMF request-state
+// allocation). These happen once per channel, outside any measured loop.
+const (
+	createCPUUS = 1.5
+	assocCPUUS  = 1.5
+)
+
+// State is the lifecycle position of a channel endpoint on the receiver.
+type State int
+
+// Channel states. The legal cycle on Infiniband is
+// Armed → (put lands) → Fired → (ReadyMark) → Marked → (ReadyPollQ) → Armed;
+// Ready performs Mark and PollQ together. On Blue Gene/P delivery runs
+// Armed → Fired and ReadyMark/ReadyPollQ return it to Armed without any
+// machinery.
+const (
+	// Armed: sentinel set; data may arrive. On IB the handle may or may
+	// not currently be in the polling queue (ReadyPollQ controls that).
+	Armed State = iota
+	// Fired: data arrived and the callback ran; the buffer holds live
+	// data the application has not released yet.
+	Fired
+	// Marked: ReadyMark re-armed the sentinel but the handle is not yet
+	// being polled.
+	Marked
+)
+
+func (s State) String() string {
+	switch s {
+	case Armed:
+		return "Armed"
+	case Fired:
+		return "Fired"
+	case Marked:
+		return "Marked"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Handle is one CkDirect channel. It is created by the receiver and
+// completed by the sender's AssocLocal.
+type Handle struct {
+	id  int
+	mgr *Manager
+
+	recvPE  int
+	recvBuf *machine.Region
+	oob     uint64
+	cb      func(ctx *charm.Ctx)
+
+	sendPE  int
+	sendBuf *machine.Region
+
+	state    State
+	inPollQ  bool
+	inFlight bool
+	// strided, when set, scatters each put across the destination per
+	// the layout (§6 extension; see strided.go).
+	strided *StridedLayout
+	// deliveryWatch holds one-shot callbacks fired when the next payload
+	// lands (multicast completion tracking).
+	deliveryWatch []func()
+	// pendingDeliver records data that landed while the handle was not
+	// in the polling queue (between ReadyMark and ReadyPollQ); ReadyPollQ
+	// then detects it immediately (paper §2.1).
+	pendingDeliver bool
+
+	puts      int64
+	delivered int64
+}
+
+// ID returns the handle's identifier (unique per Manager).
+func (h *Handle) ID() int { return h.id }
+
+// State returns the receiver-side channel state.
+func (h *Handle) State() State { return h.state }
+
+// InFlight reports whether a put is currently in flight.
+func (h *Handle) InFlight() bool { return h.inFlight }
+
+// Puts returns how many puts were issued on this channel.
+func (h *Handle) Puts() int64 { return h.puts }
+
+// Delivered returns how many puts have completed delivery.
+func (h *Handle) Delivered() int64 { return h.delivered }
+
+// Manager owns CkDirect state for one runtime: per-PE polling queues and
+// the scheduler tax hook.
+type Manager struct {
+	rts    *charm.RTS
+	nextID int
+	polled [][]*Handle // per PE, insertion order
+
+	// get-model state (see get.go).
+	getHandles  []*GetHandle
+	getSignalEP charm.EP
+}
+
+// NewManager attaches CkDirect to a runtime. On platforms with a polling
+// implementation it installs the polling tax into the scheduler.
+func NewManager(rts *charm.RTS) *Manager {
+	m := &Manager{
+		rts:         rts,
+		polled:      make([][]*Handle, rts.Machine().NumPEs()),
+		getSignalEP: -1,
+	}
+	plat := rts.Platform()
+	if !plat.CkdRecvIsCallback && plat.PollPerHandleNS > 0 {
+		rts.SetPollTax(func(pe int) sim.Time {
+			return sim.Nanoseconds(plat.PollPerHandleNS * float64(len(m.polled[pe])))
+		})
+	}
+	return m
+}
+
+// RTS returns the attached runtime.
+func (m *Manager) RTS() *charm.RTS { return m.rts }
+
+// PolledOn reports how many handles PE pe is currently polling.
+func (m *Manager) PolledOn(pe int) int { return len(m.polled[pe]) }
+
+// CreateHandle is called by the receiver: it registers the receive buffer
+// with the network layer, stamps the out-of-band pattern into its last 8
+// bytes, installs the arrival callback, and (on polling platforms) inserts
+// the handle into the PE's polling queue.
+//
+// oob is the double-word pattern the user guarantees will never appear as
+// the last word of received data (e.g. a NaN payload in an array of
+// doubles).
+func (m *Manager) CreateHandle(pe int, buf *machine.Region, oob uint64, cb func(ctx *charm.Ctx)) (*Handle, error) {
+	return m.createHandle(pe, buf, oob, cb, nil)
+}
+
+func (m *Manager) createHandle(pe int, buf *machine.Region, oob uint64, cb func(ctx *charm.Ctx), layout *StridedLayout) (*Handle, error) {
+	if buf == nil {
+		return nil, fmt.Errorf("ckdirect: CreateHandle with nil buffer")
+	}
+	if buf.PE().ID() != pe {
+		return nil, fmt.Errorf("ckdirect: buffer lives on PE %d, handle created on PE %d", buf.PE().ID(), pe)
+	}
+	if !buf.Virtual() && buf.Size() < 8 {
+		return nil, fmt.Errorf("ckdirect: receive buffer must hold the 8-byte out-of-band pattern, got %d bytes", buf.Size())
+	}
+	if cb == nil {
+		return nil, fmt.Errorf("ckdirect: nil callback")
+	}
+	h := &Handle{
+		id:      m.nextID,
+		mgr:     m,
+		recvPE:  pe,
+		recvBuf: buf,
+		oob:     oob,
+		cb:      cb,
+		sendPE:  -1,
+		state:   Armed,
+		strided: layout,
+	}
+	m.nextID++
+	m.rts.Machine().PE(pe).Reserve(sim.Microseconds(createCPUUS))
+	buf.SetRegistered(true)
+	m.writeSentinel(h)
+	if m.usesPolling() {
+		m.pollInsert(h)
+	}
+	if rec := m.rts.Recorder(); rec != nil {
+		rec.Incr("ckd.handles", 1)
+	}
+	return h, nil
+}
+
+// AssocLocal is called by the sender to bind its source buffer to the
+// channel. The same source region may be associated with several handles
+// (one copy of the data fanned out to many receivers, paper §2).
+func (m *Manager) AssocLocal(h *Handle, pe int, src *machine.Region) error {
+	if h.sendPE >= 0 {
+		return fmt.Errorf("ckdirect: handle %d already associated", h.id)
+	}
+	if src == nil {
+		return fmt.Errorf("ckdirect: AssocLocal with nil buffer")
+	}
+	if src.PE().ID() != pe {
+		return fmt.Errorf("ckdirect: source buffer lives on PE %d, AssocLocal on PE %d", src.PE().ID(), pe)
+	}
+	h.sendPE = pe
+	h.sendBuf = src
+	m.rts.Machine().PE(pe).Reserve(sim.Microseconds(assocCPUUS))
+	src.SetRegistered(true)
+	return nil
+}
+
+// usesPolling reports whether this platform's CkDirect detects completion
+// by polling a sentinel (Infiniband) rather than a completion callback
+// (Blue Gene/P).
+func (m *Manager) usesPolling() bool { return !m.rts.Platform().CkdRecvIsCallback }
+
+// writeSentinel stamps the out-of-band pattern into the last 8 bytes of
+// the transfer's final destination (the region end for contiguous
+// channels, the tail of the last block for strided ones) — detection
+// later compares against it.
+func (m *Manager) writeSentinel(h *Handle) {
+	b := h.recvBuf.Bytes()
+	if len(b) < 8 {
+		return
+	}
+	pos := len(b) - 8
+	if h.strided != nil {
+		pos = stridedSentinelPos(h.strided)
+	}
+	binary.LittleEndian.PutUint64(b[pos:], h.oob)
+}
+
+// sentinelCleared reports whether the sentinel double word no longer
+// equals the out-of-band pattern.
+func (m *Manager) sentinelCleared(h *Handle) bool {
+	b := h.recvBuf.Bytes()
+	if len(b) < 8 {
+		// Virtual region: the delivery flag stands in for the byte check
+		// with identical timing.
+		return h.pendingDeliver
+	}
+	pos := len(b) - 8
+	if h.strided != nil {
+		pos = stridedSentinelPos(h.strided)
+	}
+	return binary.LittleEndian.Uint64(b[pos:]) != h.oob
+}
+
+// depositPayload moves put data into receiver memory, honouring a
+// strided destination layout when present.
+func (m *Manager) depositPayload(h *Handle) {
+	if h.strided == nil {
+		h.sendBuf.CopyTo(h.recvBuf)
+		return
+	}
+	src, dst := h.sendBuf.Bytes(), h.recvBuf.Bytes()
+	if src == nil || dst == nil {
+		return
+	}
+	scatter(src, dst, h.strided)
+}
+
+func (m *Manager) pollInsert(h *Handle) {
+	if h.inPollQ {
+		return
+	}
+	h.inPollQ = true
+	m.polled[h.recvPE] = append(m.polled[h.recvPE], h)
+}
+
+func (m *Manager) pollRemove(h *Handle) {
+	if !h.inPollQ {
+		return
+	}
+	h.inPollQ = false
+	q := m.polled[h.recvPE]
+	for i, other := range q {
+		if other == h {
+			copy(q[i:], q[i+1:])
+			m.polled[h.recvPE] = q[:len(q)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package ckdirect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/charm"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+const oob uint64 = 0xFFF7DEADBEEF0001 // a quiet-NaN-style pattern
+
+func newRig(t *testing.T, plat *netmodel.Platform, pes int, checked bool) (*sim.Engine, *charm.RTS, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine()
+	mach, net := plat.BuildMachine(eng, pes)
+	rts := charm.NewRTS(eng, mach, net, plat, trace.NewRecorder(), charm.Options{Checked: checked})
+	return eng, rts, NewManager(rts)
+}
+
+func mkChannel(t *testing.T, rts *charm.RTS, m *Manager, size int, cb func(*charm.Ctx)) (*Handle, *machine.Region, *machine.Region) {
+	t.Helper()
+	mach := rts.Machine()
+	recv := mach.AllocRegion(1, size, false)
+	send := mach.AllocRegion(0, size, false)
+	h, err := m.CreateHandle(1, recv, oob, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AssocLocal(h, 0, send); err != nil {
+		t.Fatal(err)
+	}
+	return h, send, recv
+}
+
+func TestCreateHandleStampsSentinel(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	recv := rts.Machine().AllocRegion(1, 64, false)
+	h, err := m.CreateHandle(1, recv, oob, func(*charm.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := binary.LittleEndian.Uint64(recv.Bytes()[56:])
+	if got != oob {
+		t.Fatalf("sentinel = %#x, want %#x", got, oob)
+	}
+	if !recv.Registered() {
+		t.Fatal("receive buffer not registered")
+	}
+	if m.PolledOn(1) != 1 {
+		t.Fatalf("PolledOn = %d, want 1", m.PolledOn(1))
+	}
+	if h.State() != Armed {
+		t.Fatalf("state = %v, want Armed", h.State())
+	}
+}
+
+func TestCreateHandleValidation(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	mach := rts.Machine()
+	if _, err := m.CreateHandle(1, nil, oob, func(*charm.Ctx) {}); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	if _, err := m.CreateHandle(0, mach.AllocRegion(1, 64, false), oob, func(*charm.Ctx) {}); err == nil {
+		t.Error("cross-PE buffer accepted")
+	}
+	if _, err := m.CreateHandle(1, mach.AllocRegion(1, 4, false), oob, func(*charm.Ctx) {}); err == nil {
+		t.Error("buffer smaller than sentinel accepted")
+	}
+	if _, err := m.CreateHandle(1, mach.AllocRegion(1, 64, false), oob, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestPutDeliversBytesAndCallback(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	var fired sim.Time = -1
+	var h *Handle
+	var send, recv *machine.Region
+	h, send, recv = mkChannel(t, rts, m, 256, func(ctx *charm.Ctx) {
+		fired = ctx.Now()
+	})
+	rng.New(1).Fill(send.Bytes())
+	payload := append([]byte(nil), send.Bytes()...)
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.Put(h); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if fired < 0 {
+		t.Fatal("callback never fired")
+	}
+	if !bytes.Equal(recv.Bytes(), payload) {
+		t.Fatal("receive buffer does not match payload")
+	}
+	if h.State() != Fired {
+		t.Fatalf("state = %v, want Fired", h.State())
+	}
+	if m.PolledOn(1) != 0 {
+		t.Fatal("handle still polled after detection")
+	}
+	if h.Puts() != 1 || h.Delivered() != 1 {
+		t.Fatalf("puts/delivered = %d/%d", h.Puts(), h.Delivered())
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("unexpected errors: %v", rts.Errors())
+	}
+}
+
+// TestPutLatencyMatchesModel: on an idle system the callback fires exactly
+// one modelled put-path latency after the put issues.
+func TestPutLatencyMatchesModel(t *testing.T) {
+	for _, plat := range []*netmodel.Platform{netmodel.AbeIB, netmodel.SurveyorBGP} {
+		eng, rts, m := newRig(t, plat, 16, false)
+		const size = 4096
+		var issued, fired sim.Time = -1, -1
+		var h *Handle
+		mach := rts.Machine()
+		recv := mach.AllocRegion(8, size, false)
+		send := mach.AllocRegion(0, size, false)
+		h, _ = m.CreateHandle(8, recv, oob, func(ctx *charm.Ctx) { fired = ctx.Now() })
+		if err := m.AssocLocal(h, 0, send); err != nil {
+			t.Fatal(err)
+		}
+		rts.StartAt(0, func(ctx *charm.Ctx) {
+			issued = ctx.Now()
+			if err := m.Put(h); err != nil {
+				t.Error(err)
+			}
+		})
+		eng.Run()
+		cost := plat.CkdPut.Resolve(size)
+		want := cost.OneWay()
+		if !plat.CkdRecvIsCallback {
+			want += sim.Microseconds(plat.DetectLatencyUS + plat.DetectCPUUS + plat.CallbackUS)
+		}
+		if got := fired - issued; got != want {
+			t.Errorf("%s: put latency %v, want %v", plat.Name, got, want)
+		}
+	}
+}
+
+func TestPutBeforeAssocFails(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	recv := rts.Machine().AllocRegion(1, 64, false)
+	h, _ := m.CreateHandle(1, recv, oob, func(*charm.Ctx) {})
+	if err := m.Put(h); err == nil {
+		t.Fatal("Put before AssocLocal succeeded")
+	}
+}
+
+func TestDoubleAssocFails(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	h, send, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) {})
+	if err := m.AssocLocal(h, 0, send); err == nil {
+		t.Fatal("second AssocLocal succeeded")
+	}
+}
+
+func TestPutWhileInFlightFails(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	h, _, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) {})
+	var second error
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.Put(h); err != nil {
+			t.Error(err)
+		}
+		second = m.Put(h)
+	})
+	eng.Run()
+	if second == nil {
+		t.Fatal("second Put while in flight succeeded")
+	}
+	if len(rts.Errors()) == 0 {
+		t.Fatal("checked mode did not record the misuse")
+	}
+}
+
+func TestReadyCycleSupportsRepeatedPuts(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	const iters = 5
+	count := 0
+	var h *Handle
+	var send *machine.Region
+	h, send, _ = mkChannel(t, rts, m, 64, func(ctx *charm.Ctx) {
+		count++
+		if count < iters {
+			m.Ready(h)
+			// Receiver-driven resend for test purposes: sender puts again.
+			if err := m.Put(h); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	rng.New(2).Fill(send.Bytes())
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.Put(h); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if count != iters {
+		t.Fatalf("callback fired %d times, want %d", count, iters)
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("unexpected errors: %v", rts.Errors())
+	}
+}
+
+// TestPutLandingBetweenMarkAndPollQ: data arriving while the handle is
+// not being polled must be detected when ReadyPollQ resumes polling.
+func TestPutLandingBetweenMarkAndPollQ(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	fires := 0
+	var h *Handle
+	var send *machine.Region
+	h, send, _ = mkChannel(t, rts, m, 64, func(ctx *charm.Ctx) { fires++ })
+	rng.New(3).Fill(send.Bytes())
+	rts.StartAt(0, func(ctx *charm.Ctx) { _ = m.Put(h) })
+	// After the first delivery: mark, let the sender put again, and only
+	// later resume polling.
+	eng.Run()
+	if fires != 1 {
+		t.Fatalf("first put: %d fires", fires)
+	}
+	m.ReadyMark(h)
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // delivery lands; handle not polled
+	if fires != 1 {
+		t.Fatalf("callback fired while not polled: %d", fires)
+	}
+	if h.State() != Marked {
+		t.Fatalf("state %v, want Marked", h.State())
+	}
+	m.ReadyPollQ(h)
+	eng.Run()
+	if fires != 2 {
+		t.Fatalf("pending delivery not detected at ReadyPollQ: %d fires", fires)
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("unexpected errors: %v", rts.Errors())
+	}
+}
+
+func TestOverwriteBeforeReadyMarkDetected(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	h, _, _ := mkChannel(t, rts, m, 64, func(ctx *charm.Ctx) {})
+	rts.StartAt(0, func(ctx *charm.Ctx) { _ = m.Put(h) })
+	eng.Run() // delivered, callback fired, state Fired, no ReadyMark
+	if err := m.Put(h); err != nil {
+		t.Fatalf("second put rejected at issue: %v", err)
+	}
+	eng.Run()
+	if len(rts.Errors()) == 0 {
+		t.Fatal("overwrite before ReadyMark not detected in checked mode")
+	}
+}
+
+func TestReadyPollQWithoutMarkDetected(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	h, _, _ := mkChannel(t, rts, m, 64, func(ctx *charm.Ctx) {})
+	rts.StartAt(0, func(ctx *charm.Ctx) { _ = m.Put(h) })
+	eng.Run()
+	m.ReadyPollQ(h) // missing ReadyMark
+	if len(rts.Errors()) == 0 {
+		t.Fatal("ReadyPollQ without ReadyMark not detected")
+	}
+}
+
+func TestPayloadEndingWithOOBStallsAndIsReported(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	fired := false
+	h, send, _ := mkChannel(t, rts, m, 64, func(ctx *charm.Ctx) { fired = true })
+	binary.LittleEndian.PutUint64(send.Bytes()[56:], oob)
+	rts.StartAt(0, func(ctx *charm.Ctx) { _ = m.Put(h) })
+	eng.Run()
+	if fired {
+		t.Fatal("callback fired although the sentinel never cleared")
+	}
+	if len(rts.Errors()) == 0 {
+		t.Fatal("checked mode did not flag the out-of-band contract violation")
+	}
+}
+
+func TestBGPCallbackPathNoPolling(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.SurveyorBGP, 2, true)
+	var fired sim.Time = -1
+	h, send, recv := mkChannel(t, rts, m, 128, func(ctx *charm.Ctx) { fired = ctx.Now() })
+	rng.New(4).Fill(send.Bytes())
+	rts.StartAt(0, func(ctx *charm.Ctx) { _ = m.Put(h) })
+	eng.Run()
+	if fired < 0 {
+		t.Fatal("callback never fired")
+	}
+	if m.PolledOn(1) != 0 {
+		t.Fatal("BG/P backend must not poll")
+	}
+	if !bytes.Equal(send.Bytes(), recv.Bytes()) {
+		t.Fatal("payload mismatch")
+	}
+	// Ready calls are no-ops on BG/P but keep the state machine legal.
+	m.ReadyMark(h)
+	m.ReadyPollQ(h)
+	if h.State() != Armed {
+		t.Fatalf("state %v after Ready, want Armed", h.State())
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("unexpected errors: %v", rts.Errors())
+	}
+}
+
+func TestSameSendBufferMultipleHandles(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 4, true)
+	mach := rts.Machine()
+	send := mach.AllocRegion(0, 64, false)
+	rng.New(5).Fill(send.Bytes())
+	var fires int
+	var handles []*Handle
+	for pe := 1; pe <= 3; pe++ {
+		recv := mach.AllocRegion(pe, 64, false)
+		h, err := m.CreateHandle(pe, recv, oob, func(ctx *charm.Ctx) { fires++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AssocLocal(h, 0, send); err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		for _, h := range handles {
+			if err := m.Put(h); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	eng.Run()
+	if fires != 3 {
+		t.Fatalf("%d callbacks, want 3 (one send buffer fanned out)", fires)
+	}
+}
+
+// TestVirtualAndRealPayloadsSameTiming: the virtual-payload mode used for
+// large sweeps must produce bit-identical virtual times.
+func TestVirtualAndRealPayloadsSameTiming(t *testing.T) {
+	run := func(virtual bool) sim.Time {
+		eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+		mach := rts.Machine()
+		recv := mach.AllocRegion(1, 4096, virtual)
+		send := mach.AllocRegion(0, 4096, virtual)
+		var fired sim.Time
+		h, err := m.CreateHandle(1, recv, oob, func(ctx *charm.Ctx) { fired = ctx.Now() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AssocLocal(h, 0, send); err != nil {
+			t.Fatal(err)
+		}
+		rts.StartAt(0, func(ctx *charm.Ctx) { _ = m.Put(h) })
+		eng.Run()
+		return fired
+	}
+	if r, v := run(false), run(true); r != v {
+		t.Fatalf("real %v != virtual %v", r, v)
+	}
+}
+
+// TestPropertyRandomPayloadsAlwaysDetected: any payload whose final word
+// differs from the sentinel is delivered intact and detected, including
+// payloads that contain the OOB pattern in their interior.
+func TestPropertyRandomPayloadsAlwaysDetected(t *testing.T) {
+	prop := func(seed uint64, sizeRaw uint16, plantInterior bool) bool {
+		size := int(sizeRaw)%1024 + 16
+		size &^= 7 // word-aligned for a clean interior plant
+		eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+		mach := rts.Machine()
+		recv := mach.AllocRegion(1, size, false)
+		send := mach.AllocRegion(0, size, false)
+		fired := false
+		h, err := m.CreateHandle(1, recv, oob, func(ctx *charm.Ctx) { fired = true })
+		if err != nil {
+			return false
+		}
+		if err := m.AssocLocal(h, 0, send); err != nil {
+			return false
+		}
+		rng.New(seed).Fill(send.Bytes())
+		if plantInterior && size >= 24 {
+			// The OOB pattern in the interior must not confuse detection,
+			// which only inspects the last double word.
+			binary.LittleEndian.PutUint64(send.Bytes()[:8], oob)
+		}
+		if binary.LittleEndian.Uint64(send.Bytes()[size-8:]) == oob {
+			return true // vanishingly unlikely; contract excludes it
+		}
+		rts.StartAt(0, func(ctx *charm.Ctx) { _ = m.Put(h) })
+		eng.Run()
+		return fired && bytes.Equal(send.Bytes(), recv.Bytes())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPollTaxIntegration: handles sitting in the polling queue slow down
+// unrelated message dispatch (the §5.2 pathology), and removing them
+// (ReadyMark-only channels stay unpolled) restores performance.
+func TestPollTaxIntegration(t *testing.T) {
+	deliveryTime := func(handles int) sim.Time {
+		eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+		mach := rts.Machine()
+		for i := 0; i < handles; i++ {
+			recv := mach.AllocRegion(1, 64, false)
+			if _, err := m.CreateHandle(1, recv, oob, func(*charm.Ctx) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sent, at sim.Time
+		ep := rts.RegisterPEHandler(func(ctx *charm.Ctx, msg *charm.Message) { at = ctx.Now() })
+		rts.StartAt(0, func(ctx *charm.Ctx) {
+			// Delay the probe until the one-time handle-creation CPU on
+			// PE 1 has long drained; only the steady-state tax remains.
+			ctx.After(10*sim.Millisecond, func(ctx *charm.Ctx) {
+				sent = ctx.Now()
+				ctx.SendPE(1, ep, &charm.Message{Size: 64})
+			})
+		})
+		eng.Run()
+		return at - sent
+	}
+	none, many := deliveryTime(0), deliveryTime(200)
+	wantTax := sim.Nanoseconds(netmodel.AbeIB.PollPerHandleNS * 200)
+	if many-none != wantTax {
+		t.Fatalf("200-handle tax = %v, want %v", many-none, wantTax)
+	}
+}

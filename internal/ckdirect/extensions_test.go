@@ -1,0 +1,490 @@
+package ckdirect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/charm"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ---- Strided channels (§6 extension) ----
+
+func TestStridedLayoutValidate(t *testing.T) {
+	good := StridedLayout{Offset: 8, BlockLen: 16, Stride: 32, Count: 4}
+	if err := good.Validate(8 + 3*32 + 16); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+	bad := []StridedLayout{
+		{BlockLen: 0, Stride: 8, Count: 1},
+		{BlockLen: 16, Stride: 8, Count: 1}, // stride < block
+		{BlockLen: 8, Stride: 8, Count: 4, Offset: -1},
+		{BlockLen: 8, Stride: 8, Count: 100}, // exceeds region
+	}
+	for i, l := range bad {
+		if err := l.Validate(64); err == nil {
+			t.Errorf("bad layout %d accepted: %+v", i, l)
+		}
+	}
+}
+
+// TestStridedPutScattersIntoMatrixColumns: the motivating use case — a
+// put that lands as a column panel of a row-major matrix ("a row in the
+// middle of a matrix" generalized).
+func TestStridedPutScattersIntoMatrixColumns(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	const rows, cols, panel = 6, 8, 2 // destination matrix 6x8 of float64, writing a 2-col panel
+	matrix := rts.Machine().AllocRegion(1, rows*cols*8, false)
+	layout := StridedLayout{
+		Offset:   3 * 8, // panel starts at column 3
+		BlockLen: panel * 8,
+		Stride:   cols * 8,
+		Count:    rows,
+	}
+	fired := false
+	sh, err := m.CreateStridedHandle(1, matrix, layout, oob, func(ctx *charm.Ctx) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rts.Machine().AllocRegion(0, layout.TotalBytes(), false)
+	rng.New(9).Fill(src.Bytes())
+	if err := m.AssocLocal(sh.Handle, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.PutStrided(sh); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if !fired {
+		t.Fatal("strided callback never fired")
+	}
+	// Every block landed at its strided position; bytes outside stayed 0.
+	for r := 0; r < rows; r++ {
+		rowStart := layout.Offset + r*layout.Stride
+		want := src.Bytes()[r*layout.BlockLen : (r+1)*layout.BlockLen]
+		got := matrix.Bytes()[rowStart : rowStart+layout.BlockLen]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("row %d panel mismatch", r)
+		}
+		// The column before the panel must be untouched.
+		if matrix.Bytes()[rowStart-1] != 0 {
+			t.Fatalf("row %d: byte before panel overwritten", r)
+		}
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("errors: %v", rts.Errors())
+	}
+}
+
+func TestStridedSourceSizeMismatchRejected(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	matrix := rts.Machine().AllocRegion(1, 512, false)
+	layout := StridedLayout{BlockLen: 16, Stride: 64, Count: 4}
+	sh, err := m.CreateStridedHandle(1, matrix, layout, oob, func(*charm.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rts.Machine().AllocRegion(0, 32, false) // needs 64
+	if err := m.AssocLocal(sh.Handle, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutStrided(sh); err == nil {
+		t.Fatal("undersized source accepted")
+	}
+}
+
+func TestStridedReadyCycle(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	matrix := rts.Machine().AllocRegion(1, 256, false)
+	layout := StridedLayout{BlockLen: 32, Stride: 64, Count: 4}
+	count := 0
+	var sh *StridedHandle
+	var err error
+	sh, err = m.CreateStridedHandle(1, matrix, layout, oob, func(ctx *charm.Ctx) {
+		count++
+		if count < 3 {
+			m.Ready(sh.Handle)
+			if err := m.PutStrided(sh); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rts.Machine().AllocRegion(0, layout.TotalBytes(), false)
+	rng.New(3).Fill(src.Bytes())
+	if err := m.AssocLocal(sh.Handle, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	rts.StartAt(0, func(ctx *charm.Ctx) { _ = m.PutStrided(sh) })
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("strided channel cycled %d times, want 3", count)
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("errors: %v", rts.Errors())
+	}
+}
+
+// TestStridedPropertyScatterGather: scattering then gathering by layout
+// reproduces the source, for random layouts.
+func TestStridedPropertyScatterGather(t *testing.T) {
+	prop := func(seed uint64, blocksRaw, countRaw, gapRaw uint8) bool {
+		blockLen := (int(blocksRaw)%7 + 1) * 8
+		count := int(countRaw)%6 + 1
+		stride := blockLen + int(gapRaw)%32
+		l := StridedLayout{Offset: 8, BlockLen: blockLen, Stride: stride, Count: count}
+		regionSize := l.Offset + (count-1)*stride + blockLen + 8
+		src := make([]byte, l.TotalBytes())
+		rng.New(seed).Fill(src)
+		dst := make([]byte, regionSize)
+		scatter(src, dst, &l)
+		// Gather back.
+		got := make([]byte, 0, len(src))
+		for b := 0; b < count; b++ {
+			start := l.Offset + b*stride
+			got = append(got, dst[start:start+blockLen]...)
+		}
+		return bytes.Equal(got, src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- Multicast channels (§6 extension) ----
+
+func TestMulticastDeliversToAllMembers(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 4, true)
+	mach := rts.Machine()
+	src := mach.AllocRegion(0, 128, false)
+	rng.New(7).Fill(src.Bytes())
+
+	var members []MulticastMember
+	arrived := 0
+	recvs := make([]*bytesRegion, 0)
+	for pe := 1; pe <= 3; pe++ {
+		buf := mach.AllocRegion(pe, 128, false)
+		recvs = append(recvs, &bytesRegion{buf.Bytes()})
+		members = append(members, MulticastMember{
+			PE: pe, Buf: buf,
+			Callback: func(ctx *charm.Ctx) { arrived++ },
+		})
+	}
+	mh, err := m.CreateMulticast(0, src, oob, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allDelivered := false
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.MulticastPut(mh, func() { allDelivered = true }); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if arrived != 3 {
+		t.Fatalf("%d member callbacks, want 3", arrived)
+	}
+	if !allDelivered {
+		t.Fatal("sender completion never fired")
+	}
+	for i, r := range recvs {
+		if !bytes.Equal(r.b, src.Bytes()) {
+			t.Fatalf("member %d payload mismatch", i)
+		}
+	}
+}
+
+type bytesRegion struct{ b []byte }
+
+func TestMulticastSecondPutWhileOutstandingRejected(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 3, true)
+	mach := rts.Machine()
+	src := mach.AllocRegion(0, 64, false)
+	rng.New(1).Fill(src.Bytes())
+	mh, err := m.CreateMulticast(0, src, oob, []MulticastMember{
+		{PE: 1, Buf: mach.AllocRegion(1, 64, false), Callback: func(*charm.Ctx) {}},
+		{PE: 2, Buf: mach.AllocRegion(2, 64, false), Callback: func(*charm.Ctx) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second error
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.MulticastPut(mh, nil); err != nil {
+			t.Error(err)
+		}
+		second = m.MulticastPut(mh, nil)
+	})
+	eng.Run()
+	if second == nil {
+		t.Fatal("overlapping multicast put accepted")
+	}
+}
+
+func TestMulticastReadyAllAndRepeat(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 3, true)
+	mach := rts.Machine()
+	src := mach.AllocRegion(0, 64, false)
+	rng.New(2).Fill(src.Bytes())
+	arrived := 0
+	mh, err := m.CreateMulticast(0, src, oob, []MulticastMember{
+		{PE: 1, Buf: mach.AllocRegion(1, 64, false), Callback: func(*charm.Ctx) { arrived++ }},
+		{PE: 2, Buf: mach.AllocRegion(2, 64, false), Callback: func(*charm.Ctx) { arrived++ }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		_ = m.MulticastPut(mh, nil)
+	})
+	eng.Run()
+	m.ReadyAll(mh)
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.MulticastPut(mh, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Resume()
+	eng.Run()
+	if arrived != 4 {
+		t.Fatalf("arrived = %d over two rounds, want 4", arrived)
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("errors: %v", rts.Errors())
+	}
+}
+
+// ---- Reduction channels (§6 extension) ----
+
+func TestReduceChannelCombines(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 4, true)
+	mach := rts.Machine()
+	var result []float64
+	rc, err := m.CreateReduceChannel(3, 3, 2, charm.Sum, oob, func(ctx *charm.Ctx, vals []float64) {
+		result = append([]float64(nil), vals...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]*machine.Region, 3)
+	for i := 0; i < 3; i++ {
+		srcs[i] = mach.AllocRegion(i, 16, false)
+		if err := m.AssocLocal(rc.SlotHandle(i), i, srcs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		for i := 0; i < 3; i++ {
+			v := float64(i + 1)
+			if err := m.Contribute(rc, i, srcs[i], []float64{v, v * 10}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	eng.Run()
+	if len(result) != 2 || result[0] != 6 || result[1] != 60 {
+		t.Fatalf("reduce channel result %v, want [6 60]", result)
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("errors: %v", rts.Errors())
+	}
+}
+
+func TestReduceChannelOps(t *testing.T) {
+	cases := []struct {
+		op   charm.ReduceOp
+		want float64
+	}{
+		{charm.Sum, 6}, {charm.Min, 1}, {charm.Max, 3}, {charm.Prod, 6},
+	}
+	for _, c := range cases {
+		eng, rts, m := newRig(t, netmodel.SurveyorBGP, 4, true)
+		mach := rts.Machine()
+		var result []float64
+		rc, err := m.CreateReduceChannel(3, 3, 1, c.op, oob, func(ctx *charm.Ctx, vals []float64) {
+			result = vals
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			src := mach.AllocRegion(i, 8, false)
+			if err := m.AssocLocal(rc.SlotHandle(i), i, src); err != nil {
+				t.Fatal(err)
+			}
+			i, src := i, src
+			rts.StartAt(i, func(ctx *charm.Ctx) {
+				if err := m.Contribute(rc, i, src, []float64{float64(i + 1)}); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		eng.Run()
+		if len(result) != 1 || result[0] != c.want {
+			t.Fatalf("op %v: result %v, want %v", c.op, result, c.want)
+		}
+	}
+}
+
+func TestReduceChannelRepeatsGenerations(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 3, true)
+	mach := rts.Machine()
+	var results []float64
+	var rc *ReduceChannel
+	var srcs []*machine.Region
+	var err error
+	round := 0
+	rc, err = m.CreateReduceChannel(2, 2, 1, charm.Sum, oob, func(ctx *charm.Ctx, vals []float64) {
+		results = append(results, vals[0])
+		round++
+		if round < 3 {
+			for i := 0; i < 2; i++ {
+				if err := m.Contribute(rc, i, srcs[i], []float64{float64(round * 10)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		src := mach.AllocRegion(i, 8, false)
+		if err := m.AssocLocal(rc.SlotHandle(i), i, src); err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, src)
+	}
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		for i := 0; i < 2; i++ {
+			if err := m.Contribute(rc, i, srcs[i], []float64{1}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	eng.Run()
+	if len(results) != 3 || results[0] != 2 || results[1] != 20 || results[2] != 40 {
+		t.Fatalf("generation results %v, want [2 20 40]", results)
+	}
+	if len(rts.Errors()) != 0 {
+		t.Fatalf("errors: %v", rts.Errors())
+	}
+}
+
+// ---- Channel learner (§6 extension) ----
+
+func TestLearnerIdentifiesStableFlows(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 4, false)
+	learner := NewLearner(m)
+	arr := rts.NewArray("grid", charm.BlockMap1D(4, 4))
+	for i := 0; i < 4; i++ {
+		arr.Insert(charm.Idx1(i), nil)
+	}
+	ep := arr.EntryMethod("recv", func(ctx *charm.Ctx, msg *charm.Message) {})
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		// A stable flow: same destination, same size, five iterations.
+		for k := 0; k < 5; k++ {
+			ctx.Send(arr, charm.Idx1(2), ep, &charm.Message{Size: 4096})
+		}
+		// An unstable flow: size changes every message.
+		for k := 0; k < 5; k++ {
+			ctx.Send(arr, charm.Idx1(3), ep, &charm.Message{Size: 100 * (k + 1)})
+		}
+	})
+	eng.Run()
+	if learner.Flows() != 2 {
+		t.Fatalf("observed %d flows, want 2", learner.Flows())
+	}
+	sug := learner.Advise()
+	if len(sug) != 1 {
+		t.Fatalf("%d suggestions, want 1 (only the stable flow): %+v", len(sug), sug)
+	}
+	s := sug[0]
+	if s.DstPE != 2 || s.Size != 4096 || s.Messages != 5 {
+		t.Fatalf("suggestion %+v", s)
+	}
+	if s.SavingPerMsg <= 0 {
+		t.Fatal("no modelled saving")
+	}
+}
+
+// TestLearnerSavingMatchesTables: the advertised per-message saving must
+// equal the analytic difference between the two paths.
+func TestLearnerSavingMatchesTables(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	learner := NewLearner(m)
+	arr := rts.NewArray("a", charm.BlockMap1D(2, 2))
+	arr.Insert(charm.Idx1(0), nil)
+	arr.Insert(charm.Idx1(1), nil)
+	ep := arr.EntryMethod("e", func(ctx *charm.Ctx, msg *charm.Message) {})
+	const size = 30000
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		for k := 0; k < 4; k++ {
+			ctx.Send(arr, charm.Idx1(1), ep, &charm.Message{Size: size})
+		}
+	})
+	eng.Run()
+	sug := learner.Advise()
+	if len(sug) != 1 {
+		t.Fatalf("%d suggestions", len(sug))
+	}
+	plat := netmodel.AbeIB
+	wantMsg := plat.CharmMsg.Resolve(size+plat.HeaderBytes).OneWay() + sim.Microseconds(plat.SchedUS)
+	wantPut := plat.CkdPut.Resolve(size).OneWay() +
+		sim.Microseconds(plat.DetectLatencyUS+plat.DetectCPUUS+plat.CallbackUS)
+	if sug[0].SavingPerMsg != wantMsg-wantPut {
+		t.Fatalf("saving %v, want %v", sug[0].SavingPerMsg, wantMsg-wantPut)
+	}
+}
+
+func TestLearnerDetach(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	learner := NewLearner(m)
+	arr := rts.NewArray("a", charm.BlockMap1D(2, 2))
+	arr.Insert(charm.Idx1(0), nil)
+	arr.Insert(charm.Idx1(1), nil)
+	ep := arr.EntryMethod("e", func(ctx *charm.Ctx, msg *charm.Message) {})
+	learner.Detach()
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		ctx.Send(arr, charm.Idx1(1), ep, &charm.Message{Size: 64})
+	})
+	eng.Run()
+	if learner.Flows() != 0 {
+		t.Fatal("detached learner still observing")
+	}
+}
+
+// TestStridedSentinelPosition: the sentinel sits in the tail of the LAST
+// block, which under in-order delivery is the final byte range to land.
+func TestStridedSentinelPosition(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	matrix := rts.Machine().AllocRegion(1, 512, false)
+	layout := StridedLayout{Offset: 16, BlockLen: 32, Stride: 96, Count: 4}
+	_, err := m.CreateStridedHandle(1, matrix, layout, oob, func(*charm.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := stridedSentinelPos(&layout) // 16 + 3*96 + 32 - 8 = 328
+	if pos != 328 {
+		t.Fatalf("sentinel position %d, want 328", pos)
+	}
+	got := binary.LittleEndian.Uint64(matrix.Bytes()[pos:])
+	if got != oob {
+		t.Fatalf("sentinel not stamped at strided position: %#x", got)
+	}
+	// The region's last word must NOT carry the sentinel (it is outside
+	// the layout).
+	tail := binary.LittleEndian.Uint64(matrix.Bytes()[504:])
+	if tail == oob {
+		t.Fatal("sentinel wrongly stamped at region end")
+	}
+}

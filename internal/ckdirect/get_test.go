@@ -1,0 +1,142 @@
+package ckdirect
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// mkGetRig builds a consumer on PE 0 and a producer on the first PE of
+// the next node (so no intra-node wire discount muddies model checks).
+func mkGetRig(t *testing.T, plat *netmodel.Platform) (*sim.Engine, *charm.RTS, *Manager, *GetHandle, []byte) {
+	t.Helper()
+	remote := plat.CoresPerNode
+	eng, rts, m := newRig(t, plat, remote+1, true)
+	mach := rts.Machine()
+	src := mach.AllocRegion(remote, 256, false)
+	rng.New(11).Fill(src.Bytes())
+	dst := mach.AllocRegion(0, 256, false)
+	h, err := m.CreateGetHandle(0, dst, remote, src, func(ctx *charm.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, rts, m, h, src.Bytes()
+}
+
+func TestGetAfterSignalDeliversData(t *testing.T) {
+	eng, rts, m, h, payload := mkGetRig(t, netmodel.AbeIB)
+	var done sim.Time = -1
+	h.cb = func(ctx *charm.Ctx) { done = ctx.Now() }
+	rts.StartAt(1, func(ctx *charm.Ctx) { m.SignalReady(h) })
+	eng.Run()
+	// Signal arrived; now the consumer reads.
+	if !h.Ready() {
+		t.Fatal("handle not marked ready after signal")
+	}
+	if err := m.Get(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Resume()
+	eng.Run()
+	if done < 0 {
+		t.Fatal("get completion callback never fired")
+	}
+	if !bytes.Equal(h.dstBuf.Bytes(), payload) {
+		t.Fatal("get did not move the payload")
+	}
+	if h.Gets() != 1 {
+		t.Fatalf("Gets = %d", h.Gets())
+	}
+}
+
+func TestGetBeforeSignalDefers(t *testing.T) {
+	eng, rts, m, h, _ := mkGetRig(t, netmodel.AbeIB)
+	fired := false
+	h.cb = func(ctx *charm.Ctx) { fired = true }
+	if err := m.Get(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("get completed without a readiness signal")
+	}
+	rts.StartAt(1, func(ctx *charm.Ctx) { m.SignalReady(h) })
+	eng.Resume()
+	eng.Run()
+	if !fired {
+		t.Fatal("deferred get never completed after the signal")
+	}
+}
+
+func TestDoubleGetRejected(t *testing.T) {
+	_, _, m, h, _ := mkGetRig(t, netmodel.AbeIB)
+	if err := m.Get(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Get(h); err == nil {
+		t.Fatal("second outstanding get accepted")
+	}
+}
+
+func TestCreateGetHandleValidation(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	mach := rts.Machine()
+	src := mach.AllocRegion(1, 64, false)
+	dst := mach.AllocRegion(0, 64, false)
+	cb := func(*charm.Ctx) {}
+	if _, err := m.CreateGetHandle(0, nil, 1, src, cb); err == nil {
+		t.Error("nil dst accepted")
+	}
+	if _, err := m.CreateGetHandle(1, dst, 1, src, cb); err == nil {
+		t.Error("dst on wrong PE accepted")
+	}
+	if _, err := m.CreateGetHandle(0, dst, 0, src, cb); err == nil {
+		t.Error("src on wrong PE accepted")
+	}
+	if _, err := m.CreateGetHandle(0, dst, 1, src, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+// TestGetSlowerThanPut is the paper's §2 argument made quantitative: the
+// end-to-end latency of the get model (readiness message + request round
+// trip) exceeds a put at every size, on both machines.
+func TestGetSlowerThanPut(t *testing.T) {
+	for _, plat := range []*netmodel.Platform{netmodel.AbeIB, netmodel.SurveyorBGP} {
+		for _, size := range []int{100, 1000, 10000, 100000} {
+			put := plat.CkdPut.Resolve(size).OneWay()
+			if !plat.CkdRecvIsCallback {
+				put += sim.Microseconds(plat.DetectLatencyUS + plat.DetectCPUUS + plat.CallbackUS)
+			}
+			get := GetOneWayModel(plat, size)
+			if get <= put {
+				t.Errorf("%s %dB: get %v <= put %v", plat.Name, size, get, put)
+			}
+		}
+	}
+}
+
+// TestGetEndToEndMatchesModel: the simulated get path agrees with the
+// analytic model used by the ablation.
+func TestGetEndToEndMatchesModel(t *testing.T) {
+	eng, rts, m, h, _ := mkGetRig(t, netmodel.AbeIB)
+	var start, done sim.Time = -1, -1
+	h.cb = func(ctx *charm.Ctx) { done = ctx.Now() }
+	// Consumer pre-posts the get; producer signals readiness at t=start.
+	if err := m.Get(h); err != nil {
+		t.Fatal(err)
+	}
+	rts.StartAt(1, func(ctx *charm.Ctx) {
+		start = ctx.Now()
+		m.SignalReady(h)
+	})
+	eng.Run()
+	want := GetOneWayModel(netmodel.AbeIB, 256)
+	if done-start != want {
+		t.Fatalf("get latency %v, model %v", done-start, want)
+	}
+}

@@ -1,0 +1,137 @@
+package ckdirect
+
+import (
+	"sort"
+
+	"repro/internal/charm"
+	"repro/internal/sim"
+)
+
+// Learner is the last §6 extension: "the eventual inclusion of CkDirect
+// into an automatic learning framework which will create persistent
+// channels where appropriate". It observes the message traffic of a
+// running application and identifies *stable flows* — (sender PE,
+// receiver PE, array, entry method) tuples that repeatedly carry the same
+// payload size — which are exactly the communications CkDirect channels
+// can replace (§2: "iterative applications with stable communication
+// patterns").
+//
+// The learner is an advisor: it reports candidate channels ranked by
+// estimated savings, computed from the platform's calibrated cost tables
+// (message path minus put path, including the scheduler dispatch the put
+// avoids). Rewiring is left to the application, which alone knows its
+// synchronization structure — the precondition CkDirect's correctness
+// rests on.
+type Learner struct {
+	mgr *Manager
+	// MinRepeats is how many consecutive same-size observations make a
+	// flow "stable" (default 3 — a warmup iteration plus two repeats).
+	MinRepeats int
+
+	flows map[flowKey]*flowStat
+}
+
+type flowKey struct {
+	src, dst int
+	array    string
+	ep       charm.EP
+}
+
+type flowStat struct {
+	size    int
+	repeats int   // consecutive same-size messages
+	total   int64 // all messages on this flow
+}
+
+// Suggestion is one candidate channel.
+type Suggestion struct {
+	SrcPE, DstPE int
+	Array        string
+	EP           charm.EP
+	Size         int
+	// Messages is how many messages the flow carried during observation.
+	Messages int64
+	// SavingPerMsg is the modelled one-way cost difference between the
+	// message path and a CkDirect put at this size.
+	SavingPerMsg sim.Time
+}
+
+// NewLearner attaches a learner to the runtime; it starts observing
+// immediately.
+func NewLearner(mgr *Manager) *Learner {
+	l := &Learner{mgr: mgr, MinRepeats: 3, flows: make(map[flowKey]*flowStat)}
+	mgr.rts.SetSendObserver(l.observe)
+	return l
+}
+
+// Detach stops observing.
+func (l *Learner) Detach() { l.mgr.rts.SetSendObserver(nil) }
+
+func (l *Learner) observe(src, dst int, array string, ep charm.EP, size int) {
+	k := flowKey{src: src, dst: dst, array: array, ep: ep}
+	st, ok := l.flows[k]
+	if !ok {
+		st = &flowStat{size: size}
+		l.flows[k] = st
+	}
+	st.total++
+	if st.size == size {
+		st.repeats++
+	} else {
+		// Size changed: the flow is not (currently) stable. The paper's
+		// target class tolerates patterns that change "infrequently and
+		// slowly", so restart the stability count rather than blacklist.
+		st.size = size
+		st.repeats = 1
+	}
+}
+
+// Flows reports how many distinct flows have been observed.
+func (l *Learner) Flows() int { return len(l.flows) }
+
+// Advise returns the stable flows as channel suggestions, sorted by total
+// modelled savings (descending), then deterministically by key.
+func (l *Learner) Advise() []Suggestion {
+	plat := l.mgr.rts.Platform()
+	detect := sim.Microseconds(plat.DetectLatencyUS + plat.DetectCPUUS + plat.CallbackUS)
+	if plat.CkdRecvIsCallback {
+		detect = 0
+	}
+	var out []Suggestion
+	for k, st := range l.flows {
+		if st.repeats < l.MinRepeats {
+			continue
+		}
+		msgCost := plat.CharmMsg.Resolve(st.size+plat.HeaderBytes).OneWay() + sim.Microseconds(plat.SchedUS)
+		putCost := plat.CkdPut.Resolve(st.size).OneWay() + detect
+		saving := msgCost - putCost
+		if saving <= 0 {
+			continue
+		}
+		out = append(out, Suggestion{
+			SrcPE: k.src, DstPE: k.dst,
+			Array: k.array, EP: k.ep,
+			Size:         st.size,
+			Messages:     st.total,
+			SavingPerMsg: saving,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si := int64(out[i].SavingPerMsg) * out[i].Messages
+		sj := int64(out[j].SavingPerMsg) * out[j].Messages
+		if si != sj {
+			return si > sj
+		}
+		if out[i].Array != out[j].Array {
+			return out[i].Array < out[j].Array
+		}
+		if out[i].SrcPE != out[j].SrcPE {
+			return out[i].SrcPE < out[j].SrcPE
+		}
+		if out[i].DstPE != out[j].DstPE {
+			return out[i].DstPE < out[j].DstPE
+		}
+		return out[i].EP < out[j].EP
+	})
+	return out
+}

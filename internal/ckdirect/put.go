@@ -1,0 +1,198 @@
+package ckdirect
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// Put initiates the one-sided transfer on a channel: the contents of the
+// associated local buffer are written into the remote receive buffer.
+// There is no synchronization with the receiver; the application's own
+// phase structure must guarantee the receiver called ReadyMark (or is a
+// fresh channel) before the data lands. Violations are detected in
+// checked mode.
+func (m *Manager) Put(h *Handle) error { return m.PutNotify(h, nil) }
+
+// PutNotify is Put with a local send-completion notification, mirroring
+// DCMF's local completion callback: onLocalDone fires on the sender when
+// the source buffer may be reused.
+func (m *Manager) PutNotify(h *Handle, onLocalDone func()) error {
+	if h.sendPE < 0 {
+		return m.misuse(fmt.Errorf("ckdirect: Put on handle %d before AssocLocal", h.id))
+	}
+	if h.inFlight {
+		return m.misuse(fmt.Errorf("ckdirect: Put on handle %d with a message already in flight", h.id))
+	}
+	if m.rts.Options().Checked {
+		if sb := h.sendBuf.Bytes(); len(sb) >= 8 {
+			// The user contract: the OOB pattern never appears as the
+			// last word of transmitted data.
+			if lastWord(sb) == h.oob {
+				return m.misuse(fmt.Errorf("ckdirect: handle %d payload ends with the out-of-band pattern %#x", h.id, h.oob))
+			}
+		}
+	}
+	h.inFlight = true
+	h.puts++
+	if rec := m.rts.Recorder(); rec != nil {
+		rec.Incr("ckd.puts", 1)
+		rec.Incr("ckd.bytes", int64(h.sendBuf.Size()))
+	}
+	size := h.sendBuf.Size()
+	cost := m.rts.Platform().CkdPut.Resolve(size)
+	hooks := netmodel.TransferHooks{}
+	if onLocalDone != nil {
+		hooks.OnSendDone = onLocalDone
+	}
+	if m.usesPolling() {
+		// Infiniband: a true RDMA write. Bytes land with zero receiver
+		// CPU; detection happens via the polling queue.
+		hooks.OnDeliver = func() { m.deliverRDMA(h) }
+	} else {
+		// Blue Gene/P: DCMF receive handler places the data and the
+		// completion callback invokes the user callback; the cost is the
+		// RecvCPU term of the CkdPut table.
+		hooks.OnDeliver = func() { m.depositPayload(h) }
+		hooks.OnArrive = func() { m.deliverCallback(h) }
+	}
+	m.rts.Net().Transfer(h.sendPE, h.recvPE, cost, hooks)
+	return nil
+}
+
+func lastWord(b []byte) uint64 {
+	var w uint64
+	for i := 0; i < 8; i++ {
+		w |= uint64(b[len(b)-8+i]) << (8 * i)
+	}
+	return w
+}
+
+// deliverRDMA runs at the instant the RDMA write completes in receiver
+// memory (Infiniband backend).
+func (m *Manager) deliverRDMA(h *Handle) {
+	m.checkOverwrite(h)
+	m.depositPayload(h)
+	h.inFlight = false
+	h.delivered++
+	h.notifyDelivery()
+	// pendingDeliver means "bytes are in memory but no poll pass has
+	// noticed yet"; for virtual regions it also stands in for the cleared
+	// sentinel. Detection resets it.
+	h.pendingDeliver = true
+	if h.inPollQ {
+		m.scheduleDetection(h)
+	}
+	// Otherwise the data landed between ReadyMark and ReadyPollQ: it is
+	// detected when the receiver resumes polling (paper §2.1).
+}
+
+// deliverCallback is the Blue Gene/P arrival path: the user callback runs
+// directly from the DCMF completion callback — no scheduler, no polling.
+func (m *Manager) deliverCallback(h *Handle) {
+	m.checkOverwrite(h)
+	h.inFlight = false
+	h.delivered++
+	h.state = Fired
+	h.notifyDelivery()
+	h.cb(m.rts.CtxOn(h.recvPE))
+}
+
+// checkOverwrite flags deliveries into a buffer whose previous contents
+// the receiver has not released (state Fired means the callback ran but
+// ReadyMark was not yet called).
+func (m *Manager) checkOverwrite(h *Handle) {
+	if (h.state == Fired || h.pendingDeliver) && m.rts.Options().Checked {
+		m.misuse(fmt.Errorf("ckdirect: handle %d data overwritten before ReadyMark (application synchronization violated)", h.id))
+	}
+}
+
+// scheduleDetection models the polling pass that notices the cleared
+// sentinel: after the detection latency, the receiving PE spends
+// DetectCPU + Callback CPU, removes the handle from the polling queue and
+// invokes the callback.
+func (m *Manager) scheduleDetection(h *Handle) {
+	plat := m.rts.Platform()
+	eng := m.rts.Engine()
+	eng.Schedule(sim.Microseconds(plat.DetectLatencyUS), func() {
+		if !m.sentinelCleared(h) {
+			// The payload's last word equals the sentinel — the user
+			// broke the out-of-band contract, so polling can never
+			// observe the arrival. In checked mode this was already
+			// reported at Put time; either way the channel stalls
+			// exactly as real hardware would.
+			return
+		}
+		m.pollRemove(h)
+		h.pendingDeliver = false
+		h.state = Fired
+		pe := m.rts.Machine().PE(h.recvPE)
+		_, end := pe.Reserve(sim.Microseconds(plat.DetectCPUUS + plat.CallbackUS))
+		if rec := m.rts.Recorder(); rec != nil {
+			rec.AddTime("ckd.detect", sim.Microseconds(plat.DetectCPUUS+plat.CallbackUS))
+		}
+		eng.At(end, func() {
+			h.cb(m.rts.CtxOn(h.recvPE))
+		})
+	})
+}
+
+// ReadyMark re-arms the channel for the next iteration: the out-of-band
+// pattern is stamped back into the receive buffer. It performs no
+// communication and no synchronization with the sender (paper §2). On
+// Blue Gene/P it only advances the state machine.
+func (m *Manager) ReadyMark(h *Handle) {
+	if h.state != Fired && m.rts.Options().Checked {
+		m.misuse(fmt.Errorf("ckdirect: ReadyMark on handle %d in state %v", h.id, h.state))
+	}
+	if !m.usesPolling() {
+		// No effect on BG/P (paper §2.2) beyond bookkeeping.
+		h.state = Armed
+		return
+	}
+	m.writeSentinel(h)
+	h.state = Marked
+}
+
+// ReadyPollQ resumes polling the channel. Separating it from ReadyMark
+// lets the application shorten the window in which the handle occupies
+// the polling queue — the fix for OpenAtom's polling overhead (§5.2). If
+// the next put already landed, the callback fires now.
+func (m *Manager) ReadyPollQ(h *Handle) {
+	if !m.usesPolling() {
+		return
+	}
+	if h.state == Fired {
+		if m.rts.Options().Checked {
+			m.misuse(fmt.Errorf("ckdirect: ReadyPollQ on handle %d in state %v (ReadyMark missing)", h.id, h.state))
+		}
+		return
+	}
+	// Calling ReadyPollQ on an already-armed handle is a harmless no-op
+	// (a phase boundary may re-arm channels that never left the queue).
+	h.state = Armed
+	if h.pendingDeliver {
+		m.pollInsert(h) // momentarily; detection removes it
+		m.scheduleDetection(h)
+		return
+	}
+	m.pollInsert(h)
+}
+
+// Ready is the single-call form: ReadyMark immediately followed by
+// ReadyPollQ (paper §2: applications without phase structure use this).
+func (m *Manager) Ready(h *Handle) {
+	m.ReadyMark(h)
+	m.ReadyPollQ(h)
+}
+
+// misuse reports a contract violation: recorded in checked mode (the
+// simulation keeps going, like a production RTS logging an error), and
+// returned to the caller either way.
+func (m *Manager) misuse(err error) error {
+	if m.rts.Options().Checked {
+		m.rts.ReportError(err)
+	}
+	return err
+}

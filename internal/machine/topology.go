@@ -1,0 +1,101 @@
+package machine
+
+import "fmt"
+
+// Topology abstracts the interconnect shape. Network models consult it
+// for hop counts, which feed per-hop latency terms (significant on Blue
+// Gene/P's 3-D torus, negligible on Abe's two-level fat-tree).
+type Topology interface {
+	// Name identifies the topology for reports.
+	Name() string
+	// Hops returns the number of network links on the route between two
+	// distinct nodes. Implementations may assume src != dst.
+	Hops(srcNode, dstNode int) int
+}
+
+// FlatTopology treats every node pair as one hop apart: a crossbar. It is
+// the default when no topology is specified and a good model for a
+// single-switch cluster.
+type FlatTopology struct{}
+
+// Name implements Topology.
+func (FlatTopology) Name() string { return "flat" }
+
+// Hops implements Topology.
+func (FlatTopology) Hops(srcNode, dstNode int) int { return 1 }
+
+// TreeTopology models a two-level fat-tree like Abe's Infiniband fabric:
+// nodes within a leaf switch are 1 hop apart, across leaf switches 3 hops
+// (leaf, spine, leaf).
+type TreeTopology struct {
+	// LeafSize is the number of nodes per leaf switch.
+	LeafSize int
+}
+
+// Name implements Topology.
+func (t TreeTopology) Name() string { return fmt.Sprintf("fat-tree(leaf=%d)", t.LeafSize) }
+
+// Hops implements Topology.
+func (t TreeTopology) Hops(srcNode, dstNode int) int {
+	if t.LeafSize <= 0 {
+		return 1
+	}
+	if srcNode/t.LeafSize == dstNode/t.LeafSize {
+		return 1
+	}
+	return 3
+}
+
+// TorusTopology models a 3-D torus with wraparound links, like Blue
+// Gene/P. Node i maps to coordinates (i % X, (i/X) % Y, i/(X*Y)).
+type TorusTopology struct {
+	X, Y, Z int
+}
+
+// TorusFor chooses a reasonable near-cubic torus shape for n nodes,
+// mirroring how BG/P partitions are allocated in powers of two. The
+// returned torus has X*Y*Z >= n.
+func TorusFor(n int) TorusTopology {
+	if n < 1 {
+		n = 1
+	}
+	dims := [3]int{1, 1, 1}
+	i := 0
+	for dims[0]*dims[1]*dims[2] < n {
+		dims[i%3] *= 2
+		i++
+	}
+	return TorusTopology{X: dims[0], Y: dims[1], Z: dims[2]}
+}
+
+// Name implements Topology.
+func (t TorusTopology) Name() string { return fmt.Sprintf("torus(%dx%dx%d)", t.X, t.Y, t.Z) }
+
+// Coords returns the torus coordinates for a node index.
+func (t TorusTopology) Coords(node int) (x, y, z int) {
+	x = node % t.X
+	y = (node / t.X) % t.Y
+	z = node / (t.X * t.Y)
+	return
+}
+
+// Hops implements Topology: Manhattan distance with wraparound.
+func (t TorusTopology) Hops(srcNode, dstNode int) int {
+	sx, sy, sz := t.Coords(srcNode)
+	dx, dy, dz := t.Coords(dstNode)
+	return torusDist(sx, dx, t.X) + torusDist(sy, dy, t.Y) + torusDist(sz, dz, t.Z)
+}
+
+func torusDist(a, b, dim int) int {
+	if dim <= 1 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := dim - d; wrap < d {
+		return wrap
+	}
+	return d
+}

@@ -1,0 +1,201 @@
+package mpisim
+
+import "fmt"
+
+// Collectives over the whole world, implemented the way mid-2000s MPICH
+// derivatives did: binomial trees of point-to-point messages, so their
+// cost emerges from the same calibrated regime tables as everything
+// else. The continuation fires on each rank when that rank's part of the
+// collective completes.
+//
+// Tags: collectives use a reserved high tag space per generation so they
+// never match application traffic.
+
+const collTagBase = 1 << 20
+
+// collState tracks one in-progress collective.
+type collState struct {
+	gen     int
+	arrived int
+	entered []bool            // indexed by rank
+	fns     []func()          // indexed by rank
+	redFns  []func([]float64) // indexed by rank (allreduce)
+	vals    [][]float64       // per-rank contributions (allreduce)
+	width   int
+}
+
+func newCollState(n, gen int) *collState {
+	return &collState{
+		gen:     gen,
+		entered: make([]bool, n),
+		fns:     make([]func(), n),
+		redFns:  make([]func([]float64), n),
+		vals:    make([][]float64, n),
+		width:   -1,
+	}
+}
+
+// Barrier completes (fires fn on every participating rank) once all
+// ranks have called it: a zero-payload gather up a binomial tree to rank
+// 0 followed by a release broadcast down it.
+func (w *World) Barrier(rank int, fn func()) {
+	if w.barrier == nil {
+		w.barrier = newCollState(w.Size(), w.barrierGen)
+		w.barrierGen++
+	}
+	st := w.barrier
+	if st.entered[rank] {
+		panic(fmt.Sprintf("mpisim: rank %d entered the same barrier twice", rank))
+	}
+	st.entered[rank] = true
+	st.fns[rank] = fn
+	st.arrived++
+	if st.arrived < w.Size() {
+		return
+	}
+	w.barrier = nil
+	w.sweepUp(8, collTagBase+st.gen*4, func() {
+		w.sweepDown(8, collTagBase+st.gen*4+1, func(r int) {
+			if st.fns[r] != nil {
+				st.fns[r]()
+			}
+		})
+	})
+}
+
+// Allreduce combines width doubles from every rank (sum) and delivers
+// the combined vector to every rank: reduce up the tree, broadcast down.
+func (w *World) Allreduce(rank int, vals []float64, fn func(result []float64)) {
+	if w.allred == nil {
+		w.allred = newCollState(w.Size(), w.allredGen)
+		w.allredGen++
+	}
+	st := w.allred
+	if st.width < 0 {
+		st.width = len(vals)
+	}
+	if len(vals) != st.width {
+		panic(fmt.Sprintf("mpisim: Allreduce width mismatch: %d vs %d", len(vals), st.width))
+	}
+	if st.entered[rank] {
+		panic(fmt.Sprintf("mpisim: rank %d contributed twice to one Allreduce", rank))
+	}
+	st.entered[rank] = true
+	st.vals[rank] = append([]float64(nil), vals...)
+	st.redFns[rank] = fn
+	st.arrived++
+	if st.arrived < w.Size() {
+		return
+	}
+	w.allred = nil
+	result := make([]float64, st.width)
+	for _, v := range st.vals {
+		for i := range result {
+			result[i] += v[i]
+		}
+	}
+	size := st.width * 8
+	tag := collTagBase + (1 << 19) + st.gen*4
+	w.sweepUp(size, tag, func() {
+		w.sweepDown(size, tag+1, func(r int) {
+			if st.redFns[r] != nil {
+				st.redFns[r](append([]float64(nil), result...))
+			}
+		})
+	})
+}
+
+// Bcast distributes size bytes from rank 0 down a binomial tree; fns[r]
+// fires when rank r's copy has arrived.
+func (w *World) Bcast(size int, fns []func()) {
+	if len(fns) != w.Size() {
+		panic(fmt.Sprintf("mpisim: Bcast needs %d continuations, got %d", w.Size(), len(fns)))
+	}
+	gen := w.bcastGen
+	w.bcastGen++
+	w.sweepDown(size, collTagBase+(1<<18)+gen, func(r int) {
+		if fns[r] != nil {
+			fns[r]()
+		}
+	})
+}
+
+// sweepUp sends one size-byte message from every non-root rank to its
+// binomial-tree parent; done fires once rank 0 has transitively heard
+// from everyone.
+func (w *World) sweepUp(size, tag int, done func()) {
+	n := w.Size()
+	if n == 1 {
+		done()
+		return
+	}
+	// A rank forwards to its parent once all of its own children have
+	// reported — the correct dependency structure, so the up-sweep's
+	// latency is log-depth, not a flat fan-in.
+	pendingKids := make([]int, n)
+	for r := 0; r < n; r++ {
+		pendingKids[r] = len(childrenOf(r, n))
+	}
+	var report func(r int)
+	report = func(r int) {
+		if r == 0 {
+			done()
+			return
+		}
+		w.Rank(r).Send(parentOf(r), tag, &Msg{Size: size})
+	}
+	for r := 0; r < n; r++ {
+		r := r
+		for range childrenOf(r, n) {
+			w.Rank(r).Recv(AnySource, tag, func(m *Msg) {
+				pendingKids[r]--
+				if pendingKids[r] == 0 {
+					report(r)
+				}
+			})
+		}
+	}
+	for r := 1; r < n; r++ {
+		if pendingKids[r] == 0 {
+			report(r)
+		}
+	}
+}
+
+// sweepDown broadcasts size bytes from rank 0 down the binomial tree;
+// each rank's continuation fires when its copy arrives (rank 0's fires
+// immediately).
+func (w *World) sweepDown(size, tag int, each func(rank int)) {
+	n := w.Size()
+	var arm func(r int)
+	arm = func(r int) {
+		each(r)
+		for _, c := range childrenOf(r, n) {
+			c := c
+			w.Rank(c).Recv(r, tag, func(m *Msg) { arm(c) })
+			w.Rank(r).Send(c, tag, &Msg{Size: size})
+		}
+	}
+	arm(0)
+}
+
+// parentOf returns the binomial-tree parent of rank r (> 0).
+func parentOf(r int) int { return r - (r & -r) }
+
+// childrenOf returns the binomial-tree children of rank r among n ranks.
+func childrenOf(r, n int) []int {
+	var out []int
+	limit := r & (-r)
+	if r == 0 {
+		limit = 1
+		for limit < n {
+			limit <<= 1
+		}
+	}
+	for j := 1; j < limit; j <<= 1 {
+		if c := r + j; c < n {
+			out = append(out, c)
+		}
+	}
+	return out
+}

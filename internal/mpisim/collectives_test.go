@@ -1,0 +1,213 @@
+package mpisim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+func TestBarrierReleasesAllRanks(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		eng, w := newWorld(t, netmodel.AbeIB, n)
+		released := 0
+		var releaseTimes []sim.Time
+		for r := 0; r < n; r++ {
+			w.Barrier(r, func() {
+				released++
+				releaseTimes = append(releaseTimes, eng.Now())
+			})
+		}
+		eng.Run()
+		if released != n {
+			t.Fatalf("n=%d: %d ranks released", n, released)
+		}
+	}
+}
+
+// TestBarrierWaitsForLastArrival: no rank may be released before the
+// last rank enters. Rank 3 arrives late (after a long virtual delay).
+func TestBarrierWaitsForLastArrival(t *testing.T) {
+	eng, w := newWorld(t, netmodel.AbeIB, 4)
+	var lateArrival sim.Time = 5 * sim.Millisecond
+	early := false
+	for r := 0; r < 3; r++ {
+		w.Barrier(r, func() {
+			if eng.Now() < lateArrival {
+				early = true
+			}
+		})
+	}
+	eng.Schedule(lateArrival, func() {
+		w.Barrier(3, nil)
+	})
+	eng.Run()
+	if early {
+		t.Fatal("a rank left the barrier before the last one entered")
+	}
+}
+
+func TestBarrierSecondGeneration(t *testing.T) {
+	eng, w := newWorld(t, netmodel.SurveyorBGP, 4)
+	phase := 0
+	for r := 0; r < 4; r++ {
+		w.Barrier(r, func() { phase = 1 })
+	}
+	eng.Run()
+	if phase != 1 {
+		t.Fatal("first barrier incomplete")
+	}
+	for r := 0; r < 4; r++ {
+		w.Barrier(r, func() { phase = 2 })
+	}
+	eng.Run()
+	if phase != 2 {
+		t.Fatal("second barrier incomplete")
+	}
+}
+
+func TestBarrierDoubleEntryPanics(t *testing.T) {
+	_, w := newWorld(t, netmodel.AbeIB, 2)
+	w.Barrier(0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double entry accepted")
+		}
+	}()
+	w.Barrier(0, nil)
+}
+
+func TestAllreduceSumsAcrossRanks(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		eng, w := newWorld(t, netmodel.AbeIB, n)
+		results := make([][]float64, n)
+		for r := 0; r < n; r++ {
+			r := r
+			w.Allreduce(r, []float64{float64(r + 1), 1}, func(res []float64) {
+				results[r] = res
+			})
+		}
+		eng.Run()
+		wantSum := float64(n*(n+1)) / 2
+		for r := 0; r < n; r++ {
+			if results[r] == nil {
+				t.Fatalf("n=%d: rank %d never got the result", n, r)
+			}
+			if results[r][0] != wantSum || results[r][1] != float64(n) {
+				t.Fatalf("n=%d rank %d: result %v", n, r, results[r])
+			}
+		}
+	}
+}
+
+func TestAllreduceWidthMismatchPanics(t *testing.T) {
+	_, w := newWorld(t, netmodel.AbeIB, 2)
+	w.Allreduce(0, []float64{1, 2}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch accepted")
+		}
+	}()
+	w.Allreduce(1, []float64{1}, nil)
+}
+
+func TestBcastReachesEveryRank(t *testing.T) {
+	eng, w := newWorld(t, netmodel.SurveyorBGP, 6)
+	got := make([]bool, 6)
+	var rootAt, lastAt sim.Time
+	fns := make([]func(), 6)
+	for r := 0; r < 6; r++ {
+		r := r
+		fns[r] = func() {
+			got[r] = true
+			if r == 0 {
+				rootAt = eng.Now()
+			}
+			if eng.Now() > lastAt {
+				lastAt = eng.Now()
+			}
+		}
+	}
+	w.Bcast(4096, fns)
+	eng.Run()
+	for r, ok := range got {
+		if !ok {
+			t.Fatalf("rank %d missed the broadcast", r)
+		}
+	}
+	if lastAt <= rootAt {
+		t.Fatal("broadcast cost nothing — tree messages missing")
+	}
+}
+
+// TestBarrierLatencyLogDepth: barrier time grows roughly logarithmically
+// with rank count (tree, not linear fan-in).
+func TestBarrierLatencyLogDepth(t *testing.T) {
+	timeFor := func(n int) sim.Time {
+		eng, w := newWorld(t, netmodel.AbeIB, n)
+		var done sim.Time
+		for r := 0; r < n; r++ {
+			w.Barrier(r, func() {
+				if eng.Now() > done {
+					done = eng.Now()
+				}
+			})
+		}
+		eng.Run()
+		return done
+	}
+	t16, t128 := timeFor(16), timeFor(128)
+	// log2(128)/log2(16) = 7/4; allow 3x but rule out linear (8x).
+	if float64(t128) > 3*float64(t16) {
+		t.Fatalf("barrier not log-depth: 16 ranks %v, 128 ranks %v", t16, t128)
+	}
+}
+
+func TestCollectiveTreeShape(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6, 16, 31} {
+		seen := make([]bool, n)
+		var walk func(r int)
+		count := 0
+		walk = func(r int) {
+			if seen[r] {
+				t.Fatalf("n=%d: rank %d visited twice", n, r)
+			}
+			seen[r] = true
+			count++
+			for _, c := range childrenOf(r, n) {
+				if parentOf(c) != r {
+					t.Fatalf("n=%d: parent(%d)=%d, expected %d", n, c, parentOf(c), r)
+				}
+				walk(c)
+			}
+		}
+		walk(0)
+		if count != n {
+			t.Fatalf("n=%d: tree covers %d ranks", n, count)
+		}
+	}
+}
+
+func TestAllreduceMatchesLocalSum(t *testing.T) {
+	eng, w := newWorld(t, netmodel.AbeIB, 5)
+	contribs := [][]float64{{0.5}, {-2}, {3.25}, {100}, {-0.75}}
+	want := 0.0
+	for _, c := range contribs {
+		want += c[0]
+	}
+	var got float64 = math.NaN()
+	for r := 0; r < 5; r++ {
+		r := r
+		fn := func(res []float64) {
+			if r == 2 {
+				got = res[0]
+			}
+		}
+		w.Allreduce(r, contribs[r], fn)
+	}
+	eng.Run()
+	if got != want {
+		t.Fatalf("allreduce = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,90 @@
+package netmodel
+
+import "testing"
+
+// Analytic calibration checks for the MPI personalities against the MPI
+// rows of the paper's Tables 1 and 2 (one-way = RTT/2). The two-sided and
+// one-sided MPI paths add no Charm++ scheduler cost; their full per-message
+// cost is in the regime tables.
+
+func checkTable(t *testing.T, name string, tab Table, paperRTT map[int]float64, tolPct float64) {
+	t.Helper()
+	for size, rtt := range paperRTT {
+		oneWay := tab.Resolve(size).OneWay().Micros()
+		if !withinPct(oneWay, rtt/2, tolPct) {
+			t.Errorf("%s %dB: model %.2fus vs paper %.2fus (tol %.1f%%)",
+				name, size, oneWay, rtt/2, tolPct)
+		}
+	}
+}
+
+func TestCalibrationMVAPICH(t *testing.T) {
+	checkTable(t, "mvapich", AbeIB.MPI, map[int]float64{
+		100: 12.302, 1000: 19.436, 5000: 37.311, 10000: 56.249,
+		20000: 88.659, 30000: 119.452, 40000: 144.973, 70000: 236.545,
+		100000: 315.692, 500000: 1386.051,
+	}, 6)
+}
+
+func TestCalibrationMVAPICHPut(t *testing.T) {
+	checkTable(t, "mvapich-put", AbeIB.MPIPut, map[int]float64{
+		100: 16.801, 1000: 22.821, 5000: 51.750, 10000: 64.202,
+		20000: 94.250, 30000: 120.218, 40000: 146.028, 70000: 232.021,
+		100000: 308.942, 500000: 1369.516,
+	}, 6)
+}
+
+// MPICH-VMI's published row is non-monotone in places (the 70 KB round
+// trip nearly equals the 100 KB one); the five-regime envelope tracks it
+// within 6%.
+func TestCalibrationMPICHVMI(t *testing.T) {
+	checkTable(t, "mpich-vmi", AbeIB.MPIAlt, map[int]float64{
+		100: 12.367, 1000: 19.669, 5000: 37.318, 10000: 60.892,
+		20000: 102.684, 30000: 127.591, 40000: 201.148, 70000: 322.687,
+		100000: 332.690, 500000: 1396.942,
+	}, 6)
+}
+
+func TestCalibrationMPIBGP(t *testing.T) {
+	checkTable(t, "mpi-bgp", SurveyorBGP.MPI, map[int]float64{
+		100: 7.606, 1000: 13.936, 5000: 39.903, 10000: 66.661,
+		20000: 120.548, 30000: 173.041, 40000: 226.739, 70000: 386.712,
+		100000: 546.740, 500000: 2680.459,
+	}, 6)
+}
+
+func TestCalibrationMPIPutBGP(t *testing.T) {
+	checkTable(t, "mpiput-bgp", SurveyorBGP.MPIPut, map[int]float64{
+		100: 14.049, 1000: 17.836, 5000: 39.963, 10000: 67.972,
+		20000: 122.693, 30000: 178.571, 40000: 232.629, 70000: 392.388,
+		100000: 552.708, 500000: 2685.972,
+	}, 6)
+}
+
+// TestCkDirectBeatsAllMPIRows asserts the paper's cross-stack claim: on
+// both machines CkDirect outperforms every MPI flavor at every measured
+// size (paper §3: "CkDirect ... also performs better than both versions of
+// MPI available on the machine"). At 100 B the paper's own Table 1 shows a
+// statistical tie (MVAPICH 12.302 µs vs CkDirect 12.383 µs), so the strict
+// comparison starts at 1 KB — exactly as in the published data.
+func TestCkDirectBeatsAllMPIRows(t *testing.T) {
+	sizes := []int{1000, 5000, 10000, 20000, 30000, 40000, 70000, 100000, 500000}
+	for _, p := range Platforms {
+		detect := 0.0
+		if !p.CkdRecvIsCallback {
+			detect = p.DetectLatencyUS + p.DetectCPUUS + p.CallbackUS
+		}
+		tables := map[string]Table{"mpi": p.MPI, "mpi-put": p.MPIPut}
+		if p.MPIAlt != nil {
+			tables["mpi-alt"] = p.MPIAlt
+		}
+		for _, size := range sizes {
+			ckd := p.CkdPut.Resolve(size).OneWay().Micros() + detect
+			for name, tab := range tables {
+				if mpi := tab.Resolve(size).OneWay().Micros(); ckd >= mpi {
+					t.Errorf("%s at %dB: ckd %.2f >= %s %.2f", p.Name, size, ckd, name, mpi)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package netmodel defines the cost-model vocabulary shared by every
+// communication stack in the repository: piecewise-linear protocol
+// regimes, the wire/CPU split, and the event sequencing of a one-way
+// transfer.
+//
+// # Modelling philosophy
+//
+// Each software path (Charm++ messaging, CkDirect, the MPI flavors) is a
+// sequence of cost components per message:
+//
+//	SendCPU  — reserved on the sender PE (allocation, packing, posting)
+//	Wire     — pure network time (NIC-to-NIC latency + bytes/bandwidth);
+//	           never occupies a PE, so it overlaps computation
+//	RecvCPU  — reserved on the receiver PE (packet processing, copies,
+//	           tag matching, registration); zero for true RDMA
+//	Rendezvous — extra pre-transfer latency (control round trip) plus
+//	           extra receiver CPU (memory registration), used by
+//	           large-message protocols
+//
+// Components are resolved per message size from a regime table. Regime
+// tables are calibrated against the paper's Tables 1 and 2 (see params.go
+// for the per-cell derivations); applications then *inherit* realistic
+// behaviour because CPU components serialize with computation while Wire
+// components overlap it — exactly the distinction CkDirect exploits.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Regime is one piece of a piecewise-linear protocol cost model. All
+// fixed costs are in microseconds; per-byte costs in nanoseconds per byte.
+type Regime struct {
+	// MaxBytes is the inclusive upper bound of message sizes (wire bytes,
+	// i.e. including any header) this regime covers. The last regime of a
+	// table must have MaxBytes = math.MaxInt.
+	MaxBytes int
+
+	SendCPUUS     float64 // sender-side CPU, fixed
+	SendPerByteNS float64 // sender-side CPU, per byte
+
+	WireFixedUS   float64 // NIC-to-NIC latency at one hop
+	WirePerByteNS float64 // inverse bandwidth
+
+	RecvCPUUS     float64 // receiver-side CPU, fixed
+	RecvPerByteNS float64 // receiver-side CPU, per byte (copies, matching)
+
+	// RendezvousUS is extra latency before the payload transfer starts
+	// (the control round trip of a rendezvous protocol).
+	RendezvousUS float64
+	// RendezvousCPUUS / RendezvousCPUPerByteNS is extra receiver CPU for
+	// rendezvous bookkeeping (buffer registration; the paper's "memory
+	// component whose cost increases slowly with message size").
+	RendezvousCPUUS        float64
+	RendezvousCPUPerByteNS float64
+}
+
+// Table is an ordered list of regimes with strictly increasing MaxBytes.
+type Table []Regime
+
+// Validate checks monotonicity and termination of the table.
+func (t Table) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("netmodel: empty regime table")
+	}
+	prev := -1
+	for i, r := range t {
+		if r.MaxBytes <= prev {
+			return fmt.Errorf("netmodel: regime %d MaxBytes %d not increasing", i, r.MaxBytes)
+		}
+		prev = r.MaxBytes
+	}
+	if t[len(t)-1].MaxBytes != math.MaxInt {
+		return fmt.Errorf("netmodel: last regime must cover MaxInt, got %d", t[len(t)-1].MaxBytes)
+	}
+	return nil
+}
+
+// Resolve picks the regime for a wire size and expands it into concrete
+// durations.
+func (t Table) Resolve(bytes int) PathCost {
+	for _, r := range t {
+		if bytes <= r.MaxBytes {
+			return PathCost{
+				SendCPU:       sim.Microseconds(r.SendCPUUS + r.SendPerByteNS*float64(bytes)/1000),
+				Wire:          sim.Microseconds(r.WireFixedUS + r.WirePerByteNS*float64(bytes)/1000),
+				RecvCPU:       sim.Microseconds(r.RecvCPUUS + r.RecvPerByteNS*float64(bytes)/1000),
+				Rendezvous:    sim.Microseconds(r.RendezvousUS),
+				RendezvousCPU: sim.Microseconds(r.RendezvousCPUUS + r.RendezvousCPUPerByteNS*float64(bytes)/1000),
+			}
+		}
+	}
+	panic(fmt.Sprintf("netmodel: no regime for %d bytes (table not validated?)", bytes))
+}
+
+// PathCost is a regime resolved at a concrete size.
+type PathCost struct {
+	SendCPU       sim.Time
+	Wire          sim.Time
+	RecvCPU       sim.Time
+	Rendezvous    sim.Time
+	RendezvousCPU sim.Time
+}
+
+// OneWay returns the unloaded (idle CPUs, no queueing) end-to-end latency
+// of this path: the analytic check used by the calibration tests.
+func (p PathCost) OneWay() sim.Time {
+	return p.SendCPU + p.Rendezvous + p.Wire + p.RecvCPU + p.RendezvousCPU
+}
+
+// Net binds a machine to per-hop latency parameters and provides the
+// event sequencing for transfers. It is deliberately dumb: all protocol
+// intelligence lives in the regime tables of the software stacks above.
+type Net struct {
+	eng  *sim.Engine
+	mach *machine.Machine
+
+	// PerHopUS is added to Wire for every network hop beyond the first
+	// (0 for a crossbar model; ~0.04 for a 3-D torus).
+	PerHopUS float64
+	// IntraNodeFactor scales Wire time for PEs on the same node (shared
+	// memory transport; < 1).
+	IntraNodeFactor float64
+}
+
+// NewNet creates the transfer sequencer.
+func NewNet(eng *sim.Engine, mach *machine.Machine, perHopUS, intraNodeFactor float64) *Net {
+	if intraNodeFactor <= 0 {
+		intraNodeFactor = 1
+	}
+	return &Net{eng: eng, mach: mach, PerHopUS: perHopUS, IntraNodeFactor: intraNodeFactor}
+}
+
+// Engine returns the underlying simulation engine.
+func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// Machine returns the underlying machine.
+func (n *Net) Machine() *machine.Machine { return n.mach }
+
+// WireDelay adjusts a regime's raw Wire time for topology: extra hops add
+// latency, same-node transfers are discounted.
+func (n *Net) WireDelay(src, dst int, wire sim.Time) sim.Time {
+	hops := n.mach.Hops(src, dst)
+	if hops == 0 {
+		return sim.Time(float64(wire) * n.IntraNodeFactor)
+	}
+	return wire + sim.Microseconds(float64(hops-1)*n.PerHopUS)
+}
+
+// TransferHooks receive the milestones of a one-way transfer.
+type TransferHooks struct {
+	// OnSendDone fires on the sender when the send-side CPU work ends
+	// (the local buffer may be reused for eager protocols).
+	OnSendDone func()
+	// OnDeliver fires at the instant payload bytes are in destination
+	// memory, before any receiver CPU work. RDMA detection (sentinel
+	// polling) keys off this.
+	OnDeliver func()
+	// OnArrive fires on the receiver after RecvCPU (+ rendezvous CPU)
+	// completes — the point where an RTS would enqueue the message.
+	OnArrive func()
+}
+
+// Transfer runs the full event sequence of one message/put:
+//
+//	reserve SendCPU on src → [rendezvous latency] → wire → bytes land
+//	(OnDeliver) → reserve RecvCPU+RendezvousCPU on dst → OnArrive.
+//
+// A zero-CPU receive (RDMA put) fires OnArrive at delivery time.
+func (n *Net) Transfer(src, dst int, cost PathCost, hooks TransferHooks) {
+	srcPE := n.mach.PE(src)
+	_, sendEnd := srcPE.Reserve(cost.SendCPU)
+	if hooks.OnSendDone != nil {
+		n.eng.At(sendEnd, hooks.OnSendDone)
+	}
+	wire := n.WireDelay(src, dst, cost.Wire)
+	deliverAt := sendEnd + cost.Rendezvous + wire
+	n.eng.At(deliverAt, func() {
+		if hooks.OnDeliver != nil {
+			hooks.OnDeliver()
+		}
+		recvCPU := cost.RecvCPU + cost.RendezvousCPU
+		if recvCPU == 0 {
+			if hooks.OnArrive != nil {
+				hooks.OnArrive()
+			}
+			return
+		}
+		_, recvEnd := n.mach.PE(dst).Reserve(recvCPU)
+		if hooks.OnArrive != nil {
+			n.eng.At(recvEnd, hooks.OnArrive)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func TestTableValidate(t *testing.T) {
+	good := Table{{MaxBytes: 100}, {MaxBytes: math.MaxInt}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	cases := []Table{
+		{},
+		{{MaxBytes: 100}}, // no MaxInt terminator
+		{{MaxBytes: 100}, {MaxBytes: 100}, {MaxBytes: math.MaxInt}}, // not increasing
+		{{MaxBytes: math.MaxInt}, {MaxBytes: 10}},                   // decreasing
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid table accepted", i)
+		}
+	}
+}
+
+func TestResolvePicksRegimeByBytes(t *testing.T) {
+	tab := Table{
+		{MaxBytes: 1000, SendCPUUS: 1},
+		{MaxBytes: 20000, SendCPUUS: 2},
+		{MaxBytes: math.MaxInt, SendCPUUS: 3},
+	}
+	if tab.Resolve(1000).SendCPU != sim.Microseconds(1) {
+		t.Fatal("boundary 1000 should use first regime (inclusive)")
+	}
+	if tab.Resolve(1001).SendCPU != sim.Microseconds(2) {
+		t.Fatal("1001 should use second regime")
+	}
+	if tab.Resolve(1<<30).SendCPU != sim.Microseconds(3) {
+		t.Fatal("huge size should use last regime")
+	}
+}
+
+func TestResolveLinearInBytes(t *testing.T) {
+	tab := Table{{MaxBytes: math.MaxInt, WireFixedUS: 1.0, WirePerByteNS: 2.0}}
+	c := tab.Resolve(500)
+	want := sim.Microseconds(1.0 + 2.0*500/1000)
+	if c.Wire != want {
+		t.Fatalf("Wire = %v, want %v", c.Wire, want)
+	}
+}
+
+// TestResolveMonotoneWithinRegime: within one regime, cost never
+// decreases with size.
+func TestResolveMonotoneWithinRegime(t *testing.T) {
+	tab := AbeIB.CharmMsg
+	prop := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		// Confine to the first regime to avoid cross-regime jumps.
+		x, y = x%1000, y%1000
+		if x > y {
+			x, y = y, x
+		}
+		return tab.Resolve(x).OneWay() <= tab.Resolve(y).OneWay()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformsValidate(t *testing.T) {
+	for name, p := range Platforms {
+		if err := p.Validate(); err != nil {
+			t.Errorf("platform %s: %v", name, err)
+		}
+	}
+}
+
+// withinPct reports whether got is within pct percent of want.
+func withinPct(got, want, pct float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want)/math.Abs(want)*100 <= pct
+}
+
+// TestCalibrationCharmIB checks the analytic one-way cost of the default
+// Charm++ path on Abe against Table 1 of the paper (RTT/2), within 5%.
+func TestCalibrationCharmIB(t *testing.T) {
+	paperRTT := map[int]float64{ // user bytes -> RTT µs (Table 1 row 1)
+		100: 22.924, 1000: 25.110, 5000: 47.340, 10000: 66.176,
+		20000: 96.215, 30000: 160.470, 40000: 191.343, 70000: 271.803,
+		100000: 353.305, 500000: 1399.145,
+	}
+	for size, rtt := range paperRTT {
+		c := AbeIB.CharmMsg.Resolve(size + AbeIB.HeaderBytes)
+		oneWay := c.OneWay().Micros() + AbeIB.SchedUS
+		if !withinPct(oneWay, rtt/2, 5) {
+			t.Errorf("charm IB %dB: model %.2fus vs paper %.2fus", size, oneWay, rtt/2)
+		}
+	}
+}
+
+// TestCalibrationCkdIB checks the CkDirect path on Abe against Table 1
+// row 2 within 5%.
+func TestCalibrationCkdIB(t *testing.T) {
+	paperRTT := map[int]float64{
+		100: 12.383, 1000: 16.108, 5000: 29.330, 10000: 43.136,
+		20000: 68.927, 30000: 93.422, 40000: 120.954, 70000: 195.248,
+		100000: 275.322, 500000: 1294.358,
+	}
+	for size, rtt := range paperRTT {
+		c := AbeIB.CkdPut.Resolve(size)
+		oneWay := c.OneWay().Micros() + AbeIB.DetectLatencyUS + AbeIB.DetectCPUUS + AbeIB.CallbackUS
+		if !withinPct(oneWay, rtt/2, 5) {
+			t.Errorf("ckd IB %dB: model %.2fus vs paper %.2fus", size, oneWay, rtt/2)
+		}
+	}
+}
+
+// TestCalibrationCharmAndCkdBGP checks both Charm++ paths on Blue Gene/P
+// against Table 2 within 5%.
+func TestCalibrationCharmAndCkdBGP(t *testing.T) {
+	charm := map[int]float64{
+		100: 14.467, 1000: 20.822, 5000: 44.822, 10000: 72.976,
+		20000: 128.166, 30000: 186.771, 40000: 240.306, 70000: 400.226,
+		100000: 560.634, 500000: 2693.601,
+	}
+	for size, rtt := range charm {
+		c := SurveyorBGP.CharmMsg.Resolve(size + SurveyorBGP.HeaderBytes)
+		oneWay := c.OneWay().Micros() + SurveyorBGP.SchedUS
+		if !withinPct(oneWay, rtt/2, 5) {
+			t.Errorf("charm BGP %dB: model %.2fus vs paper %.2fus", size, oneWay, rtt/2)
+		}
+	}
+	ckd := map[int]float64{
+		100: 5.133, 1000: 11.379, 5000: 33.112, 10000: 60.675,
+		20000: 115.103, 30000: 169.552, 40000: 223.599, 70000: 383.732,
+		100000: 543.491, 500000: 2677.072,
+	}
+	for size, rtt := range ckd {
+		oneWay := SurveyorBGP.CkdPut.Resolve(size).OneWay().Micros()
+		if !withinPct(oneWay, rtt/2, 5) {
+			t.Errorf("ckd BGP %dB: model %.2fus vs paper %.2fus", size, oneWay, rtt/2)
+		}
+	}
+}
+
+// TestCkDirectAlwaysBeatsCharmMessages asserts the paper's headline
+// property at every size on both machines: the CkDirect path is cheaper
+// than the default message path.
+func TestCkDirectAlwaysBeatsCharmMessages(t *testing.T) {
+	for _, p := range Platforms {
+		detect := sim.Microseconds(p.DetectLatencyUS + p.DetectCPUUS + p.CallbackUS)
+		for size := 8; size <= 1<<23; size *= 2 {
+			msg := p.CharmMsg.Resolve(size+p.HeaderBytes).OneWay() + sim.Microseconds(p.SchedUS)
+			ckd := p.CkdPut.Resolve(size).OneWay() + detect
+			if ckd >= msg {
+				t.Errorf("%s at %dB: ckd %v >= msg %v", p.Name, size, ckd, msg)
+			}
+		}
+	}
+}
+
+func newTestNet(t *testing.T, pes int) (*sim.Engine, *machine.Machine, *Net) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.Config{PEs: pes, CoresPerNode: 1})
+	return eng, m, NewNet(eng, m, 0, 1)
+}
+
+func TestTransferSequencing(t *testing.T) {
+	eng, _, net := newTestNet(t, 2)
+	cost := PathCost{
+		SendCPU: 2 * sim.Microsecond,
+		Wire:    5 * sim.Microsecond,
+		RecvCPU: 3 * sim.Microsecond,
+	}
+	var sendDone, deliver, arrive sim.Time = -1, -1, -1
+	net.Transfer(0, 1, cost, TransferHooks{
+		OnSendDone: func() { sendDone = eng.Now() },
+		OnDeliver:  func() { deliver = eng.Now() },
+		OnArrive:   func() { arrive = eng.Now() },
+	})
+	eng.Run()
+	if sendDone != 2*sim.Microsecond {
+		t.Fatalf("sendDone at %v, want 2us", sendDone)
+	}
+	if deliver != 7*sim.Microsecond {
+		t.Fatalf("deliver at %v, want 7us", deliver)
+	}
+	if arrive != 10*sim.Microsecond {
+		t.Fatalf("arrive at %v, want 10us", arrive)
+	}
+}
+
+func TestTransferZeroRecvCPUDeliversImmediately(t *testing.T) {
+	eng, _, net := newTestNet(t, 2)
+	cost := PathCost{SendCPU: sim.Microsecond, Wire: 4 * sim.Microsecond}
+	var deliver, arrive sim.Time = -1, -1
+	net.Transfer(0, 1, cost, TransferHooks{
+		OnDeliver: func() { deliver = eng.Now() },
+		OnArrive:  func() { arrive = eng.Now() },
+	})
+	eng.Run()
+	if deliver != arrive || deliver != 5*sim.Microsecond {
+		t.Fatalf("deliver %v arrive %v, want both 5us (RDMA: no receiver CPU)", deliver, arrive)
+	}
+}
+
+func TestTransferRendezvousAddsLatencyAndRecvCPU(t *testing.T) {
+	eng, _, net := newTestNet(t, 2)
+	cost := PathCost{
+		SendCPU:       sim.Microsecond,
+		Wire:          4 * sim.Microsecond,
+		Rendezvous:    10 * sim.Microsecond,
+		RecvCPU:       2 * sim.Microsecond,
+		RendezvousCPU: 6 * sim.Microsecond,
+	}
+	var arrive sim.Time = -1
+	net.Transfer(0, 1, cost, TransferHooks{OnArrive: func() { arrive = eng.Now() }})
+	eng.Run()
+	// 1 (send) + 10 (rendezvous) + 4 (wire) + 2+6 (receiver CPU) = 23.
+	if arrive != 23*sim.Microsecond {
+		t.Fatalf("arrive %v, want 23us", arrive)
+	}
+}
+
+func TestTransferSenderBusySerializes(t *testing.T) {
+	eng, m, net := newTestNet(t, 2)
+	m.PE(0).Reserve(50 * sim.Microsecond) // sender occupied with compute
+	var deliver sim.Time = -1
+	net.Transfer(0, 1, PathCost{SendCPU: sim.Microsecond, Wire: sim.Microsecond},
+		TransferHooks{OnDeliver: func() { deliver = eng.Now() }})
+	eng.Run()
+	if deliver != 52*sim.Microsecond {
+		t.Fatalf("deliver %v, want 52us (send CPU queued behind compute)", deliver)
+	}
+}
+
+func TestTransferReceiverBusyDelaysArriveNotDeliver(t *testing.T) {
+	eng, m, net := newTestNet(t, 2)
+	m.PE(1).Reserve(100 * sim.Microsecond)
+	var deliver, arrive sim.Time = -1, -1
+	net.Transfer(0, 1, PathCost{Wire: sim.Microsecond, RecvCPU: 2 * sim.Microsecond},
+		TransferHooks{
+			OnDeliver: func() { deliver = eng.Now() },
+			OnArrive:  func() { arrive = eng.Now() },
+		})
+	eng.Run()
+	if deliver != sim.Microsecond {
+		t.Fatalf("deliver %v, want 1us (DMA lands regardless of CPU)", deliver)
+	}
+	if arrive != 102*sim.Microsecond {
+		t.Fatalf("arrive %v, want 102us (receive processing waits for CPU)", arrive)
+	}
+}
+
+func TestWireDelayIntraNodeDiscount(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.Config{PEs: 4, CoresPerNode: 2})
+	net := NewNet(eng, m, 0.1, 0.5)
+	base := 10 * sim.Microsecond
+	if d := net.WireDelay(0, 1, base); d != 5*sim.Microsecond {
+		t.Fatalf("intra-node delay %v, want 5us", d)
+	}
+	if d := net.WireDelay(0, 2, base); d != base {
+		t.Fatalf("1-hop delay %v, want 10us", d)
+	}
+}
+
+func TestWireDelayPerHop(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.Config{
+		PEs: 8, CoresPerNode: 1,
+		Topology: machine.TorusTopology{X: 8, Y: 1, Z: 1},
+	})
+	net := NewNet(eng, m, 0.5, 1)
+	base := 10 * sim.Microsecond
+	// Node 0 -> node 4 is 4 hops on an 8-torus: 3 extra hops * 0.5us.
+	want := base + sim.Microseconds(1.5)
+	if d := net.WireDelay(0, 4, base); d != want {
+		t.Fatalf("4-hop delay %v, want %v", d, want)
+	}
+}
+
+func TestBuildMachine(t *testing.T) {
+	eng := sim.NewEngine()
+	m, net := AbeIB.BuildMachine(eng, 16)
+	if m.NumPEs() != 16 || m.NumNodes() != 2 {
+		t.Fatalf("machine shape %d PEs %d nodes", m.NumPEs(), m.NumNodes())
+	}
+	if net.Machine() != m || net.Engine() != eng {
+		t.Fatal("net not bound to machine/engine")
+	}
+	_, bgpNet := SurveyorBGP.BuildMachine(eng, 256)
+	if bgpNet.Machine().Topology().Name() == "flat" {
+		t.Fatal("BGP machine should have a torus topology")
+	}
+}

@@ -1,0 +1,111 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// TestTransferAtomicDelivery: OnDeliver fires at a single instant — the
+// model never exposes partially-arrived payloads, which is the property
+// CkDirect's "last double word" sentinel detection relies on (in-order
+// delivery of IB Reliable Connection means the last byte implies the
+// whole message; the model strengthens that to atomicity).
+func TestTransferAtomicDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.Config{PEs: 2, CoresPerNode: 1})
+	net := NewNet(eng, m, 0, 1)
+	src := m.AllocRegion(0, 1024, false)
+	dst := m.AllocRegion(1, 1024, false)
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(i % 251)
+	}
+	cost := PathCost{SendCPU: sim.Microsecond, Wire: 5 * sim.Microsecond}
+	delivered := false
+	net.Transfer(0, 1, cost, TransferHooks{
+		OnDeliver: func() {
+			src.CopyTo(dst)
+			delivered = true
+			// At this instant the destination is complete.
+			for i := range dst.Bytes() {
+				if dst.Bytes()[i] != byte(i%251) {
+					t.Fatalf("byte %d incomplete at delivery", i)
+				}
+			}
+		},
+	})
+	eng.Run()
+	if !delivered {
+		t.Fatal("no delivery")
+	}
+}
+
+// TestTransferPropertyMilestoneOrdering: for any component durations,
+// SendDone <= Deliver <= Arrive, and the gaps equal the modelled parts
+// on an otherwise idle system.
+func TestTransferPropertyMilestoneOrdering(t *testing.T) {
+	prop := func(sendUS, wireUS, recvUS, rendUS uint16) bool {
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.Config{PEs: 2, CoresPerNode: 1})
+		net := NewNet(eng, m, 0, 1)
+		cost := PathCost{
+			SendCPU:    sim.Time(sendUS) * sim.Microsecond,
+			Wire:       sim.Time(wireUS) * sim.Microsecond,
+			RecvCPU:    sim.Time(recvUS) * sim.Microsecond,
+			Rendezvous: sim.Time(rendUS) * sim.Microsecond,
+		}
+		var sd, dl, ar sim.Time = -1, -1, -1
+		net.Transfer(0, 1, cost, TransferHooks{
+			OnSendDone: func() { sd = eng.Now() },
+			OnDeliver:  func() { dl = eng.Now() },
+			OnArrive:   func() { ar = eng.Now() },
+		})
+		eng.Run()
+		if sd < 0 || dl < 0 || ar < 0 {
+			return false
+		}
+		if !(sd <= dl && dl <= ar) {
+			return false
+		}
+		return sd == cost.SendCPU &&
+			dl == cost.SendCPU+cost.Rendezvous+cost.Wire &&
+			ar == dl+cost.RecvCPU
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentTransfersShareNothingButCPU: transfers between disjoint
+// PE pairs proceed fully in parallel (wire is not a shared resource in
+// this model), while transfers into one PE serialize on its receive CPU.
+func TestConcurrentTransfersShareNothingButCPU(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.Config{PEs: 4, CoresPerNode: 1})
+	net := NewNet(eng, m, 0, 1)
+	cost := PathCost{Wire: 10 * sim.Microsecond, RecvCPU: 4 * sim.Microsecond}
+	var t1, t2 sim.Time
+	net.Transfer(0, 1, cost, TransferHooks{OnArrive: func() { t1 = eng.Now() }})
+	net.Transfer(2, 3, cost, TransferHooks{OnArrive: func() { t2 = eng.Now() }})
+	eng.Run()
+	if t1 != t2 || t1 != 14*sim.Microsecond {
+		t.Fatalf("disjoint transfers %v/%v, want both 14us", t1, t2)
+	}
+
+	eng2 := sim.NewEngine()
+	m2 := machine.New(eng2, machine.Config{PEs: 3, CoresPerNode: 1})
+	net2 := NewNet(eng2, m2, 0, 1)
+	var a1, a2 sim.Time
+	net2.Transfer(0, 2, cost, TransferHooks{OnArrive: func() { a1 = eng2.Now() }})
+	net2.Transfer(1, 2, cost, TransferHooks{OnArrive: func() { a2 = eng2.Now() }})
+	eng2.Run()
+	first, second := a1, a2
+	if first > second {
+		first, second = second, first
+	}
+	if first != 14*sim.Microsecond || second != 18*sim.Microsecond {
+		t.Fatalf("converging transfers at %v/%v, want 14us and 18us (receive CPU serializes)", first, second)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event throughput: each event
+// schedules its successor, so the heap stays shallow.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1, next)
+		}
+	}
+	e.Schedule(1, next)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineWideHeap measures throughput with a wide event heap
+// (stencil-like load: many concurrent pending events).
+func BenchmarkEngineWideHeap(b *testing.B) {
+	const width = 4096
+	e := NewEngine()
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < b.N {
+			e.Schedule(Time(1+n%7), next)
+		}
+	}
+	for i := 0; i < width && i < b.N; i++ {
+		e.Schedule(Time(i%13), next)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineCancellation measures push+cancel pairs.
+func BenchmarkEngineCancellation(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(Time(i+1), func() {})
+		ev.Cancel()
+	}
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,69 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (time, sequence).
+// The sequence tiebreak makes execution order — and therefore the entire
+// simulation — deterministic for identical inputs.
+type eventHeap []*Event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) push(ev *Event) {
+	*h = append(*h, ev)
+	ev.index = len(*h) - 1
+	h.up(ev.index)
+}
+
+func (h *eventHeap) pop() *Event {
+	old := *h
+	n := len(old)
+	ev := old[0]
+	old.swap(0, n-1)
+	old[n-1] = nil
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestHeapPropertyOrdering verifies, over random timestamp multisets, that
+// popping the heap yields events sorted by (time, insertion sequence).
+func TestHeapPropertyOrdering(t *testing.T) {
+	prop := func(stamps []uint16) bool {
+		var h eventHeap
+		events := make([]*Event, len(stamps))
+		for i, s := range stamps {
+			ev := &Event{at: Time(s), seq: uint64(i), index: -1}
+			events[i] = ev
+			h.push(ev)
+		}
+		// Expected order: stable sort by time (stability = seq order).
+		expected := make([]*Event, len(events))
+		copy(expected, events)
+		sort.SliceStable(expected, func(i, j int) bool {
+			return expected[i].at < expected[j].at
+		})
+		for i := range expected {
+			got := h.pop()
+			if got != expected[i] {
+				return false
+			}
+			if got.index != -1 {
+				return false
+			}
+		}
+		return len(h) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginePropertyMonotoneClock verifies the clock never moves backwards
+// across randomly structured event cascades.
+func TestEnginePropertyMonotoneClock(t *testing.T) {
+	prop := func(delays []uint8) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		i := 0
+		var step func()
+		step = func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if i < len(delays) {
+				d := Time(delays[i])
+				i++
+				e.Schedule(d, step)
+			}
+		}
+		e.Schedule(0, step)
+		e.Run()
+		return ok && i == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapPropertyInterleavedPushPop exercises interleaved operations: the
+// minimum popped at any point must be <= everything still queued.
+func TestHeapPropertyInterleavedPushPop(t *testing.T) {
+	prop := func(ops []int16) bool {
+		var h eventHeap
+		seq := uint64(0)
+		for _, op := range ops {
+			if op >= 0 || len(h) == 0 {
+				ev := &Event{at: Time(op & 0xFF), seq: seq, index: -1}
+				seq++
+				h.push(ev)
+			} else {
+				min := h.pop()
+				for _, rest := range h {
+					if rest.at < min.at {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{12383, "12.383us"},
+		{1500000, "1.500ms"},
+		{2 * Second, "2.000000s"},
+		{-12383, "-12.383us"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestMicrosecondsConversionRoundTrips(t *testing.T) {
+	if Microseconds(12.383) != 12383 {
+		t.Fatalf("Microseconds(12.383) = %d", Microseconds(12.383))
+	}
+	if got := Microseconds(12.383).Micros(); got != 12.383 {
+		t.Fatalf("round trip = %v", got)
+	}
+	if Nanoseconds(1.4) != 1 || Nanoseconds(1.6) != 2 {
+		t.Fatal("Nanoseconds does not round to nearest")
+	}
+}

@@ -1,0 +1,66 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives every other layer of this repository: simulated
+// processing elements, network fabrics, the message-driven runtime, and the
+// CkDirect channel layer all advance by scheduling events on a shared
+// virtual clock. The engine is strictly single-threaded; determinism is
+// guaranteed by a total order on events (time, then insertion sequence).
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation. Durations are also expressed as Time.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Microseconds converts a floating-point microsecond quantity to Time,
+// rounding to the nearest nanosecond. It is the conversion used when
+// applying calibrated cost-model parameters (which are specified in µs).
+func Microseconds(us float64) Time {
+	return Time(math.Round(us * 1000))
+}
+
+// Nanoseconds converts a floating-point nanosecond quantity to Time,
+// rounding to the nearest nanosecond.
+func Nanoseconds(ns float64) Time {
+	return Time(math.Round(ns))
+}
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1000 }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / 1e6 }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time with an adaptive unit, e.g. "12.383us".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Timeline records per-PE execution spans during a simulation — the
+// moral equivalent of Charm++'s Projections logs. The runtime emits one
+// span per scheduler dispatch (covering the dispatch overhead plus the
+// handler's charged compute) and instant markers for notable events
+// (sends, CkDirect detections). Spans export to the Chrome trace-event
+// JSON format, viewable in chrome://tracing or Perfetto.
+type Timeline struct {
+	spans   []Span
+	markers []Marker
+	limit   int
+}
+
+// Span is one closed interval of PE activity.
+type Span struct {
+	PE    int
+	Kind  string // "entry", "detect", ...
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Marker is an instant event.
+type Marker struct {
+	PE   int
+	Name string
+	At   sim.Time
+}
+
+// NewTimeline creates a recorder holding at most limit spans (0 means a
+// generous default); recording stops silently at the cap so long runs
+// cannot exhaust memory.
+func NewTimeline(limit int) *Timeline {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Timeline{limit: limit}
+}
+
+// AddSpan records an activity interval.
+func (tl *Timeline) AddSpan(pe int, kind, name string, start, end sim.Time) {
+	if tl == nil || len(tl.spans) >= tl.limit {
+		return
+	}
+	tl.spans = append(tl.spans, Span{PE: pe, Kind: kind, Name: name, Start: start, End: end})
+}
+
+// AddMarker records an instant event.
+func (tl *Timeline) AddMarker(pe int, name string, at sim.Time) {
+	if tl == nil || len(tl.markers) >= tl.limit {
+		return
+	}
+	tl.markers = append(tl.markers, Marker{PE: pe, Name: name, At: at})
+}
+
+// Spans returns the recorded spans (not a copy).
+func (tl *Timeline) Spans() []Span { return tl.spans }
+
+// Markers returns the recorded markers (not a copy).
+func (tl *Timeline) Markers() []Marker { return tl.markers }
+
+// Utilization reports the fraction of [0, upto] that PE pe spent inside
+// recorded spans (overlapping spans are merged).
+func (tl *Timeline) Utilization(pe int, upto sim.Time) float64 {
+	if upto <= 0 {
+		return 0
+	}
+	var ivs []Span
+	for _, s := range tl.spans {
+		if s.PE == pe && s.Start < upto {
+			end := s.End
+			if end > upto {
+				end = upto
+			}
+			ivs = append(ivs, Span{Start: s.Start, End: end})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	var busy, cursor sim.Time
+	for _, s := range ivs {
+		if s.Start > cursor {
+			cursor = s.Start
+		}
+		if s.End > cursor {
+			busy += s.End - cursor
+			cursor = s.End
+		}
+	}
+	return float64(busy) / float64(upto)
+}
+
+// chromeEvent is one trace-event record.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"` // microseconds
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the timeline in Chrome trace-event JSON
+// (chrome://tracing, Perfetto, speedscope all read it). PEs map to
+// threads of a single process.
+func (tl *Timeline) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(tl.spans)+len(tl.markers))
+	for _, s := range tl.spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   s.Start.Micros(),
+			Dur:  (s.End - s.Start).Micros(),
+			PID:  0,
+			TID:  s.PE,
+			Args: map[string]interface{}{"kind": s.Kind},
+		})
+	}
+	for _, m := range tl.markers {
+		events = append(events, chromeEvent{
+			Name: m.Name,
+			Ph:   "i",
+			TS:   m.At.Micros(),
+			PID:  0,
+			TID:  m.PE,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": events})
+}

@@ -1,0 +1,154 @@
+// Package trace provides lightweight counters, accumulators and phase
+// timers for instrumenting simulations. The benchmark harness uses it to
+// decompose iteration times into the cost components the paper discusses
+// (header bytes, scheduling, rendezvous, polling), and tests use it to
+// assert that specific code paths were exercised.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Recorder accumulates named statistics. The zero value is not usable;
+// call NewRecorder. Recorder is not safe for concurrent use — the whole
+// simulation is single-threaded by design.
+type Recorder struct {
+	counters map[string]int64
+	times    map[string]sim.Time
+	series   map[string][]float64
+	enabled  bool
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		counters: make(map[string]int64),
+		times:    make(map[string]sim.Time),
+		series:   make(map[string][]float64),
+		enabled:  true,
+	}
+}
+
+// SetEnabled toggles recording. A disabled recorder drops all updates,
+// letting hot paths keep unconditional instrumentation calls.
+func (r *Recorder) SetEnabled(on bool) { r.enabled = on }
+
+// Incr adds delta to the named counter.
+func (r *Recorder) Incr(name string, delta int64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.counters[name] += delta
+}
+
+// Count returns the value of a counter (zero if never incremented).
+func (r *Recorder) Count(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name]
+}
+
+// AddTime accumulates virtual time into the named bucket. The benchmark
+// harness divides these buckets by message counts to report per-operation
+// cost components.
+func (r *Recorder) AddTime(name string, d sim.Time) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.times[name] += d
+}
+
+// Time returns the accumulated virtual time of a bucket.
+func (r *Recorder) Time(name string) sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.times[name]
+}
+
+// Observe appends a sample to the named series.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.series[name] = append(r.series[name], v)
+}
+
+// Series returns the raw samples of a series (nil if absent).
+func (r *Recorder) Series(name string) []float64 {
+	if r == nil {
+		return nil
+	}
+	return r.series[name]
+}
+
+// Reset clears all accumulated state but preserves the enabled flag.
+func (r *Recorder) Reset() {
+	r.counters = make(map[string]int64)
+	r.times = make(map[string]sim.Time)
+	r.series = make(map[string][]float64)
+}
+
+// Summary holds order statistics of a series.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes order statistics for the named series. It returns a
+// zero Summary when the series is empty.
+func (r *Recorder) Summarize(name string) Summary {
+	s := r.Series(name)
+	if len(s) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(s))
+	copy(sorted, s)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Summary{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(sorted)),
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P99:  q(0.99),
+	}
+}
+
+// String renders all counters and time buckets sorted by name, one per
+// line — convenient for golden-ish debugging output.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "count %-32s %d\n", n, r.counters[n])
+	}
+	names = names[:0]
+	for n := range r.times {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "time  %-32s %v\n", n, r.times[n])
+	}
+	return b.String()
+}

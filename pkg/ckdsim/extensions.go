@@ -1,0 +1,34 @@
+package ckdsim
+
+import (
+	"repro/internal/ckdirect"
+)
+
+// Re-exported extension types (the paper's §6 future-work features, all
+// implemented: strided layouts, multicast channels, reduction channels,
+// the get-model alternative, and the channel learner).
+type (
+	// StridedLayout describes a strided put destination (count blocks of
+	// BlockLen bytes, Stride apart).
+	StridedLayout = ckdirect.StridedLayout
+	// StridedHandle is a channel with a strided destination.
+	StridedHandle = ckdirect.StridedHandle
+	// MulticastHandle fans one source buffer out to several receivers.
+	MulticastHandle = ckdirect.MulticastHandle
+	// MulticastMember describes one receiver of a multicast channel.
+	MulticastMember = ckdirect.MulticastMember
+	// ReduceChannel combines one-sided contributions from N producers.
+	ReduceChannel = ckdirect.ReduceChannel
+	// GetHandle is the receiver-initiated (get) alternative the paper
+	// argued against — provided for comparison.
+	GetHandle = ckdirect.GetHandle
+	// Learner observes message traffic and suggests persistent channels.
+	Learner = ckdirect.Learner
+	// Suggestion is one candidate channel from the Learner.
+	Suggestion = ckdirect.Suggestion
+)
+
+// NewLearner attaches a channel learner to the system's runtime.
+func (s *System) NewLearner() *Learner {
+	return ckdirect.NewLearner(s.ckd)
+}

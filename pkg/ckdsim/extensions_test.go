@@ -1,0 +1,152 @@
+package ckdsim_test
+
+import (
+	"testing"
+
+	"repro/pkg/ckdsim"
+)
+
+const oob = 0xFFF0AAAA5555AAAA
+
+func TestPublicStridedPut(t *testing.T) {
+	sys := ckdsim.NewSystem(ckdsim.AbeIB(), 2, ckdsim.Options{Checked: true})
+	mgr, mach := sys.CkDirect(), sys.Machine()
+
+	matrix := mach.AllocRegion(1, 8*8*8, false) // 8x8 float64
+	layout := ckdsim.StridedLayout{Offset: 0, BlockLen: 16, Stride: 64, Count: 8}
+	fired := false
+	sh, err := mgr.CreateStridedHandle(1, matrix, layout, oob, func(ctx *ckdsim.Ctx) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := mach.AllocRegion(0, layout.TotalBytes(), false)
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(i + 1)
+	}
+	if err := mgr.AssocLocal(sh.Handle, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	sys.RTS().StartAt(0, func(ctx *ckdsim.Ctx) {
+		if err := mgr.PutStrided(sh); err != nil {
+			t.Error(err)
+		}
+	})
+	sys.Run()
+	if !fired {
+		t.Fatal("callback never fired")
+	}
+	// First block landed at row 0, second at row 1 (stride 64).
+	if matrix.Bytes()[0] != 1 || matrix.Bytes()[64] != 17 {
+		t.Fatal("strided placement wrong through the public API")
+	}
+	if len(sys.Errors()) != 0 {
+		t.Fatalf("errors: %v", sys.Errors())
+	}
+}
+
+func TestPublicMulticastAndReduce(t *testing.T) {
+	sys := ckdsim.NewSystem(ckdsim.SurveyorBGP(), 4, ckdsim.Options{Checked: true})
+	mgr, mach := sys.CkDirect(), sys.Machine()
+
+	// Multicast 0 -> {1,2}.
+	src := mach.AllocRegion(0, 64, false)
+	arrived := 0
+	mh, err := mgr.CreateMulticast(0, src, oob, []ckdsim.MulticastMember{
+		{PE: 1, Buf: mach.AllocRegion(1, 64, false), Callback: func(*ckdsim.Ctx) { arrived++ }},
+		{PE: 2, Buf: mach.AllocRegion(2, 64, false), Callback: func(*ckdsim.Ctx) { arrived++ }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reduce {0,1} -> 3.
+	var total float64
+	rc, err := mgr.CreateReduceChannel(3, 2, 1, ckdsim.Sum, oob,
+		func(ctx *ckdsim.Ctx, vals []float64) { total = vals[0] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	contribs := []*ckdsim.Region{mach.AllocRegion(0, 8, false), mach.AllocRegion(1, 8, false)}
+	for i, c := range contribs {
+		if err := mgr.AssocLocal(rc.SlotHandle(i), i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sys.RTS().StartAt(0, func(ctx *ckdsim.Ctx) {
+		if err := mgr.MulticastPut(mh, nil); err != nil {
+			t.Error(err)
+		}
+		for i, c := range contribs {
+			if err := mgr.Contribute(rc, i, c, []float64{float64(i + 5)}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	sys.Run()
+	if arrived != 2 {
+		t.Fatalf("multicast arrived %d, want 2", arrived)
+	}
+	if total != 11 {
+		t.Fatalf("reduce total %v, want 11", total)
+	}
+}
+
+func TestPublicLearner(t *testing.T) {
+	sys := ckdsim.NewSystem(ckdsim.AbeIB(), 2, ckdsim.Options{})
+	learner := sys.NewLearner()
+	arr := sys.RTS().NewArray("flows", ckdsim.BlockMap1D(2, 2))
+	arr.Insert(ckdsim.Idx1(0), nil)
+	arr.Insert(ckdsim.Idx1(1), nil)
+	ep := arr.EntryMethod("e", func(ctx *ckdsim.Ctx, msg *ckdsim.Message) {})
+	sys.RTS().StartAt(0, func(ctx *ckdsim.Ctx) {
+		for i := 0; i < 4; i++ {
+			ctx.Send(arr, ckdsim.Idx1(1), ep, &ckdsim.Message{Size: 8192})
+		}
+	})
+	sys.Run()
+	sug := learner.Advise()
+	if len(sug) != 1 || sug[0].Size != 8192 {
+		t.Fatalf("suggestions %+v", sug)
+	}
+}
+
+func TestPublicSection(t *testing.T) {
+	sys := ckdsim.NewSystem(ckdsim.AbeIB(), 3, ckdsim.Options{})
+	arr := sys.RTS().NewArray("a", ckdsim.RRMap(3))
+	type obj struct{ got int }
+	for i := 0; i < 9; i++ {
+		arr.Insert(ckdsim.Idx1(i), &obj{})
+	}
+	sec := arr.NewSection("thirds", []ckdsim.Index{ckdsim.Idx1(0), ckdsim.Idx1(3), ckdsim.Idx1(6)})
+	var total float64
+	sec.SetReductionClient(ckdsim.Sum, func(ctx *ckdsim.Ctx, vals []float64) { total = vals[0] })
+	ep := arr.EntryMethod("p", func(ctx *ckdsim.Ctx, msg *ckdsim.Message) {
+		ctx.Obj().(*obj).got++
+		sec.ContributeFrom(ctx.Index(), float64(ctx.Index()[0]))
+	})
+	sys.RTS().StartAt(0, func(ctx *ckdsim.Ctx) {
+		ctx.MulticastSection(sec, ep, &ckdsim.Message{Size: 8})
+	})
+	sys.Run()
+	if total != 9 {
+		t.Fatalf("section reduction = %v, want 9", total)
+	}
+	if arr.Obj(ckdsim.Idx1(1)).(*obj).got != 0 {
+		t.Fatal("non-member received section multicast")
+	}
+}
+
+func TestPublicQuiescence(t *testing.T) {
+	sys := ckdsim.NewSystem(ckdsim.AbeIB(), 2, ckdsim.Options{})
+	ep := sys.RTS().RegisterPEHandler(func(ctx *ckdsim.Ctx, msg *ckdsim.Message) {})
+	fired := false
+	sys.RTS().StartAt(0, func(ctx *ckdsim.Ctx) {
+		ctx.SendPE(1, ep, &ckdsim.Message{Size: 64})
+		sys.RTS().OnQuiescence(func() { fired = true })
+	})
+	sys.Run()
+	if !fired {
+		t.Fatal("quiescence not detected through the public API")
+	}
+}
