@@ -17,6 +17,7 @@ import (
 	"repro/internal/apps/matmul"
 	"repro/internal/apps/openatom"
 	"repro/internal/apps/stencil"
+	"repro/internal/chaos"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -24,11 +25,16 @@ import (
 
 func main() {
 	var (
-		appName  = flag.String("app", "stencil", "stencil | matmul | openatom | fem")
-		platName = flag.String("platform", "abe", "abe | bgp")
-		pes      = flag.Int("pes", 8, "processing elements")
-		modeName = flag.String("mode", "ckd", "msg | ckd")
-		out      = flag.String("out", "", "write Chrome trace JSON here instead of the summary")
+		appName   = flag.String("app", "stencil", "stencil | matmul | openatom | fem")
+		platName  = flag.String("platform", "abe", "abe | bgp")
+		pes       = flag.Int("pes", 8, "processing elements")
+		modeName  = flag.String("mode", "ckd", "msg | ckd")
+		out       = flag.String("out", "", "write Chrome trace JSON here instead of the summary")
+		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -46,8 +52,17 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
 
+	sc, err := chaos.Options{
+		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
+		Reliable: *reliable, Watchdog: *watchdog,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
+
 	tl := trace.NewTimeline(0)
 	var total sim.Time
+	var errs []error
 	switch *appName {
 	case "stencil":
 		mode := stencil.Msg
@@ -56,9 +71,10 @@ func main() {
 		}
 		res := stencil.Run(stencil.Config{
 			Platform: plat, Mode: mode, PEs: *pes, Virtualization: 4,
-			NX: 128, NY: 128, NZ: 64, Iters: 3, Warmup: 1, Timeline: tl,
+			NX: 128, NY: 128, NZ: 64, Iters: 3, Warmup: 1, Timeline: tl, Chaos: sc,
 		})
 		total = res.IterTime * sim.Time(res.Iters)
+		errs = res.Errors
 	case "matmul":
 		mode := matmul.Msg
 		if ckd {
@@ -66,9 +82,10 @@ func main() {
 		}
 		res := matmul.Run(matmul.Config{
 			Platform: plat, Mode: mode, PEs: *pes, N: 512,
-			Iters: 2, Warmup: 1, Timeline: tl,
+			Iters: 2, Warmup: 1, Timeline: tl, Chaos: sc,
 		})
 		total = res.IterTime * sim.Time(res.Iters)
+		errs = res.Errors
 	case "openatom":
 		mode := openatom.Msg
 		if ckd {
@@ -77,9 +94,10 @@ func main() {
 		res := openatom.Run(openatom.Config{
 			Platform: plat, Mode: mode, PEs: *pes,
 			NStates: 32, NPlanes: 4, Grain: 8, Points: 256,
-			Steps: 2, Warmup: 1, Timeline: tl,
+			Steps: 2, Warmup: 1, Timeline: tl, Chaos: sc,
 		})
 		total = res.StepTime * sim.Time(res.Steps)
+		errs = res.Errors
 	case "fem":
 		mode := fem.Msg
 		if ckd {
@@ -87,12 +105,21 @@ func main() {
 		}
 		res := fem.Run(fem.Config{
 			Platform: plat, Mode: mode, PEs: *pes, Virtualization: 2,
-			NX: 128, NY: 128, Iters: 3, Warmup: 1, Timeline: tl,
+			NX: 128, NY: 128, Iters: 3, Warmup: 1, Timeline: tl, Chaos: sc,
 		})
 		total = res.IterTime * sim.Time(res.Iters)
+		errs = res.Errors
 	default:
 		fatal(fmt.Errorf("unknown app %q", *appName))
 	}
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "cktrace: runtime violation: %v\n", e)
+	}
+	defer func() {
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+	}()
 
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -13,20 +13,26 @@ import (
 	"strings"
 
 	"repro/internal/apps/fem"
+	"repro/internal/chaos"
 	"repro/internal/netmodel"
 )
 
 func main() {
 	var (
-		platName = flag.String("platform", "abe", "abe | bgp")
-		pes      = flag.Int("pes", 16, "processing elements")
-		mesh     = flag.String("mesh", "512x512", "quad grid NXxNY (2*NX*NY triangles)")
-		vr       = flag.Int("vr", 2, "mesh partitions per PE")
-		iters    = flag.Int("iters", 3, "measured iterations")
-		warmup   = flag.Int("warmup", 1, "warmup iterations")
-		modeName = flag.String("mode", "ckd", "msg | ckd")
-		compare  = flag.Bool("compare", false, "run both modes and report the improvement")
-		validate = flag.Bool("validate", false, "move real vertex data and verify against the serial reference (small meshes)")
+		platName  = flag.String("platform", "abe", "abe | bgp")
+		pes       = flag.Int("pes", 16, "processing elements")
+		mesh      = flag.String("mesh", "512x512", "quad grid NXxNY (2*NX*NY triangles)")
+		vr        = flag.Int("vr", 2, "mesh partitions per PE")
+		iters     = flag.Int("iters", 3, "measured iterations")
+		warmup    = flag.Int("warmup", 1, "warmup iterations")
+		modeName  = flag.String("mode", "ckd", "msg | ckd")
+		compare   = flag.Bool("compare", false, "run both modes and report the improvement")
+		validate  = flag.Bool("validate", false, "move real vertex data and verify against the serial reference (small meshes)")
+		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -48,12 +54,20 @@ func main() {
 	if err1 != nil || err2 != nil || nx <= 0 || ny <= 0 {
 		fatal(fmt.Errorf("bad mesh %q", *mesh))
 	}
+	sc, err := chaos.Options{
+		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
+		Reliable: *reliable, Watchdog: *watchdog,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
 	cfg := fem.Config{
 		Platform: plat,
 		PEs:      *pes, Virtualization: *vr,
 		NX: nx, NY: ny,
 		Iters: *iters, Warmup: *warmup,
 		Validate: *validate,
+		Chaos:    sc,
 	}
 	if *compare {
 		msg, ckd, pct := fem.Improvement(cfg)
@@ -62,6 +76,7 @@ func main() {
 		fmt.Printf("  msg: %v per iteration\n", msg.IterTime)
 		fmt.Printf("  ckd: %v per iteration (%d channels)\n", ckd.IterTime, ckd.Channels)
 		fmt.Printf("  improvement: %.2f%%\n", pct)
+		reportErrors("fem", append(msg.Errors, ckd.Errors...))
 		return
 	}
 	switch *modeName {
@@ -78,6 +93,19 @@ func main() {
 	if *validate {
 		fmt.Printf("  residual %.6g, shared-vertex consistency: %v\n", res.Residual, res.SharedConsistent)
 	}
+	reportErrors("fem", res.Errors)
+}
+
+// reportErrors surfaces runtime contract violations and unrecovered
+// faults on stderr and exits non-zero.
+func reportErrors(prog string, errs []error) {
+	if len(errs) == 0 {
+		return
+	}
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "%s: runtime violation: %v\n", prog, e)
+	}
+	os.Exit(1)
 }
 
 func fatal(err error) {

@@ -10,19 +10,25 @@ import (
 	"os"
 
 	"repro/internal/apps/matmul"
+	"repro/internal/chaos"
 	"repro/internal/netmodel"
 )
 
 func main() {
 	var (
-		platName = flag.String("platform", "abe", "abe | bgp")
-		pes      = flag.Int("pes", 64, "processing elements")
-		n        = flag.Int("n", 2048, "matrix edge")
-		iters    = flag.Int("iters", 2, "measured multiplies")
-		warmup   = flag.Int("warmup", 1, "warmup multiplies")
-		modeName = flag.String("mode", "ckd", "msg | ckd")
-		compare  = flag.Bool("compare", false, "run both modes and report the improvement")
-		validate = flag.Bool("validate", false, "move real matrices and verify the product (small n)")
+		platName  = flag.String("platform", "abe", "abe | bgp")
+		pes       = flag.Int("pes", 64, "processing elements")
+		n         = flag.Int("n", 2048, "matrix edge")
+		iters     = flag.Int("iters", 2, "measured multiplies")
+		warmup    = flag.Int("warmup", 1, "warmup multiplies")
+		modeName  = flag.String("mode", "ckd", "msg | ckd")
+		compare   = flag.Bool("compare", false, "run both modes and report the improvement")
+		validate  = flag.Bool("validate", false, "move real matrices and verify the product (small n)")
+		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -36,12 +42,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "matmul: unknown platform %q\n", *platName)
 		os.Exit(2)
 	}
+	sc, err := chaos.Options{
+		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
+		Reliable: *reliable, Watchdog: *watchdog,
+	}.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matmul:", err)
+		os.Exit(2)
+	}
 	cfg := matmul.Config{
 		Platform: plat,
 		PEs:      *pes,
 		N:        *n,
 		Iters:    *iters, Warmup: *warmup,
 		Validate: *validate,
+		Chaos:    sc,
 	}
 	if *compare {
 		msg, ckd, pct := matmul.Improvement(cfg)
@@ -53,6 +68,7 @@ func main() {
 		if *validate {
 			fmt.Printf("  max error: msg %.2e, ckd %.2e\n", msg.MaxError, ckd.MaxError)
 		}
+		reportErrors(append(msg.Errors, ckd.Errors...))
 		return
 	}
 	switch *modeName {
@@ -69,4 +85,17 @@ func main() {
 	if *validate {
 		fmt.Printf("  max error %.2e\n", res.MaxError)
 	}
+	reportErrors(res.Errors)
+}
+
+// reportErrors surfaces runtime contract violations and unrecovered
+// faults on stderr and exits non-zero.
+func reportErrors(errs []error) {
+	if len(errs) == 0 {
+		return
+	}
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "matmul: runtime violation: %v\n", e)
+	}
+	os.Exit(1)
 }

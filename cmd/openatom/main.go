@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"repro/internal/apps/openatom"
+	"repro/internal/chaos"
 	"repro/internal/netmodel"
 )
 
@@ -28,6 +29,11 @@ func main() {
 		scopeName = flag.String("scope", "full", "full | pc-only")
 		modeName  = flag.String("mode", "ckd", "msg | ckd | ckd-naive")
 		compare   = flag.Bool("compare", false, "run msg and ckd and report the improvement")
+		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -49,6 +55,13 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scope %q", *scopeName))
 	}
+	sc, err := chaos.Options{
+		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
+		Reliable: *reliable, Watchdog: *watchdog,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
 	cfg := openatom.Config{
 		Platform: plat,
 		Scope:    scope,
@@ -56,6 +69,7 @@ func main() {
 		NStates: *nstates, NPlanes: *nplanes, Grain: *grain, Points: *points,
 		FFTWeight: *fftWeight,
 		Steps:     *steps, Warmup: *warmup,
+		Chaos: sc,
 	}
 	if *compare {
 		msg, ckd, pct := openatom.Improvement(cfg)
@@ -64,6 +78,7 @@ func main() {
 		fmt.Printf("  msg: %v per step\n", msg.StepTime)
 		fmt.Printf("  ckd: %v per step\n", ckd.StepTime)
 		fmt.Printf("  improvement: %.2f%%\n", pct)
+		reportErrors(append(msg.Errors, ckd.Errors...))
 		return
 	}
 	switch *modeName {
@@ -79,6 +94,19 @@ func main() {
 	res := openatom.Run(cfg)
 	fmt.Printf("openatom proxy, mode %v, scope %v, %d PEs: %v per step (%d channels)\n",
 		cfg.Mode, scope, *pes, res.StepTime, res.Channels)
+	reportErrors(res.Errors)
+}
+
+// reportErrors surfaces runtime contract violations and unrecovered
+// faults on stderr and exits non-zero.
+func reportErrors(errs []error) {
+	if len(errs) == 0 {
+		return
+	}
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "openatom: runtime violation: %v\n", e)
+	}
+	os.Exit(1)
 }
 
 func fatal(err error) {

@@ -12,15 +12,21 @@ import (
 	"strings"
 
 	"repro/internal/apps/pingpong"
+	"repro/internal/chaos"
 	"repro/internal/netmodel"
 )
 
 func main() {
 	var (
-		platName = flag.String("platform", "abe", "abe | bgp")
-		modeName = flag.String("mode", "ckdirect", "charm-msg | ckdirect | mpi | mpi-put | mpi-alt")
-		sizesArg = flag.String("sizes", "100,1000,5000,10000,20000,30000,40000,70000,100000,500000", "comma-separated payload sizes in bytes")
-		iters    = flag.Int("iters", 1000, "round trips to average over")
+		platName  = flag.String("platform", "abe", "abe | bgp")
+		modeName  = flag.String("mode", "ckdirect", "charm-msg | ckdirect | mpi | mpi-put | mpi-alt")
+		sizesArg  = flag.String("sizes", "100,1000,5000,10000,20000,30000,40000,70000,100000,500000", "comma-separated payload sizes in bytes")
+		iters     = flag.Int("iters", 1000, "round trips to average over")
+		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -32,8 +38,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sc, err := chaos.Options{
+		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
+		Reliable: *reliable, Watchdog: *watchdog,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("pingpong on %s, mode %v, %d iterations\n", plat.Name, mode, *iters)
 	fmt.Printf("%12s %14s\n", "size (B)", "RTT (us)")
+	broken := false
 	for _, field := range strings.Split(*sizesArg, ",") {
 		size, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
@@ -45,8 +59,16 @@ func main() {
 			Size:     size,
 			Iters:    *iters,
 			Virtual:  size > 65536,
+			Chaos:    sc,
 		})
 		fmt.Printf("%12d %14.3f\n", size, res.RTTMicros())
+		for _, e := range res.Errors {
+			fmt.Fprintf(os.Stderr, "pingpong: size %d: runtime violation: %v\n", size, e)
+			broken = true
+		}
+	}
+	if broken {
+		os.Exit(1)
 	}
 }
 

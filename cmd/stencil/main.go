@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/apps/stencil"
+	"repro/internal/chaos"
 	"repro/internal/netmodel"
 	"repro/internal/trace"
 )
@@ -28,6 +29,11 @@ func main() {
 		compare   = flag.Bool("compare", false, "run both modes and report the improvement")
 		validate  = flag.Bool("validate", false, "move real data and check against the serial reference (small domains)")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -39,12 +45,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sc, err := chaos.Options{
+		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
+		Reliable: *reliable, Watchdog: *watchdog,
+	}.Build()
+	if err != nil {
+		fatal(err)
+	}
 	cfg := stencil.Config{
 		Platform: plat,
 		PEs:      *pes, Virtualization: *vr,
 		NX: nx, NY: ny, NZ: nz,
 		Iters: *iters, Warmup: *warmup,
 		Validate: *validate,
+		Chaos:    sc,
 	}
 	var tl *trace.Timeline
 	if *traceFile != "" {
@@ -73,6 +87,7 @@ func main() {
 		fmt.Printf("  msg: %v per iteration\n", msg.IterTime)
 		fmt.Printf("  ckd: %v per iteration\n", ckd.IterTime)
 		fmt.Printf("  improvement: %.2f%%\n", pct)
+		reportErrors("stencil", append(msg.Errors, ckd.Errors...))
 		return
 	}
 	switch *modeName {
@@ -89,6 +104,20 @@ func main() {
 	if *validate {
 		fmt.Printf("  residual %.6g, field checksum %.6f\n", res.Residual, res.FieldSum)
 	}
+	reportErrors("stencil", res.Errors)
+}
+
+// reportErrors surfaces runtime contract violations and unrecovered
+// faults on stderr and exits non-zero, so scripted runs cannot mistake a
+// broken simulation for a result.
+func reportErrors(prog string, errs []error) {
+	if len(errs) == 0 {
+		return
+	}
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "%s: runtime violation: %v\n", prog, e)
+	}
+	os.Exit(1)
 }
 
 func platform(name string) (*netmodel.Platform, error) {

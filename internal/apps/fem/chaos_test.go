@@ -1,0 +1,70 @@
+package fem
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/netmodel"
+)
+
+// chaosRun executes a validate-mode FEM solve under the given adversity
+// scenario. The unstructured halo exchange has irregular channel sizes
+// and per-part neighbour counts, so it stresses orderings the regular
+// stencil cannot.
+func chaosRun(t *testing.T, mode Mode, sc *chaos.Scenario) Result {
+	t.Helper()
+	cfg := Config{
+		Platform: netmodel.AbeIB,
+		Mode:     mode,
+		PEs:      4, Virtualization: 2,
+		NX: 9, NY: 7,
+		Iters: 3, Warmup: 0, Validate: true,
+		Chaos: sc,
+	}
+	res := Run(cfg)
+	if sc != nil && len(res.Errors) > 0 {
+		t.Fatalf("mode %v: chaos run failed to recover: %v", mode, res.Errors[0])
+	}
+	return res
+}
+
+// TestChaosFaultsDoNotChangePhysics is the FEM half of the acceptance
+// scenario: 1% of all transfers dropped, plus CPU noise, with the
+// reliability protocol and the recovering watchdog on. Both transports
+// must still produce bit-exact vertex fields.
+func TestChaosFaultsDoNotChangePhysics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	base := chaosRun(t, Msg, nil)
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, mode := range []Mode{Msg, Ckd} {
+			got := chaosRun(t, mode, chaos.Hostile(seed, 0.01))
+			if !got.SharedConsistent {
+				t.Fatalf("seed %d mode %v: shared vertices diverged under faults", seed, mode)
+			}
+			for i := range base.Field {
+				if got.Field[i] != base.Field[i] {
+					t.Fatalf("seed %d mode %v: faults changed the physics at vertex %d", seed, mode, i)
+				}
+			}
+		}
+	}
+}
+
+func TestChaosNoiseDoesNotChangePhysics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	base := chaosRun(t, Msg, nil).Field
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, mode := range []Mode{Msg, Ckd} {
+			got := chaosRun(t, mode, chaos.NoiseOnly(seed)).Field
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("seed %d mode %v: noise changed the physics at vertex %d", seed, mode, i)
+				}
+			}
+		}
+	}
+}

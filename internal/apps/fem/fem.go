@@ -3,6 +3,7 @@ package fem
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/ckdirect"
 	"repro/internal/netmodel"
@@ -44,6 +45,10 @@ type Config struct {
 	Validate bool
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
+	// Chaos, when set, runs the configuration under adversity (CPU noise,
+	// network faults, recovery machinery). Contract violations then land
+	// in Result.Errors instead of panicking.
+	Chaos *chaos.Scenario
 }
 
 // Result reports timing and validation data.
@@ -59,6 +64,12 @@ type Result struct {
 	SharedConsistent bool
 	Channels         int
 	TotalEvents      uint64
+	// Errors holds runtime contract violations and unrecovered faults
+	// (chaos runs only; fault-free runs panic instead).
+	Errors []error
+	// Counters is the final trace-counter snapshot (fault/retry
+	// accounting; used by determinism regression tests).
+	Counters map[string]int64
 }
 
 // Improvement runs both transports and returns the percentage gain.
@@ -119,15 +130,30 @@ func Run(cfg Config) Result {
 	if cfg.Mode == Ckd {
 		a.mgr = ckdirect.NewManager(rts)
 	}
+	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
 	a.start()
 	eng.Run()
-	if errs := rts.Errors(); len(errs) > 0 {
+	errs := rts.Errors()
+	if len(errs) > 0 && cfg.Chaos == nil {
 		panic(fmt.Sprintf("fem: runtime contract violation: %v", errs[0]))
 	}
 	want := cfg.Warmup + cfg.Iters + 1
 	if len(a.barriers) < want {
-		panic(fmt.Sprintf("fem: only %d/%d iterations completed", len(a.barriers), want))
+		if len(errs) == 0 {
+			if cfg.Chaos == nil {
+				panic(fmt.Sprintf("fem: only %d/%d iterations completed", len(a.barriers), want))
+			}
+			errs = []error{chaos.StallError(rts.Recorder().Counters(),
+				fmt.Sprintf("%d/%d iterations", len(a.barriers), want))}
+		}
+		// A faulted run that lost work: hand back what is known instead of
+		// tearing the process down — the caller decides based on Errors.
+		return Result{
+			Config: cfg, Parts: part.Parts, PartGrid: grid,
+			Errors: errs, Counters: rts.Recorder().Counters(),
+			TotalEvents: eng.Executed(),
+		}
 	}
 	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
 	res := Result{
@@ -138,6 +164,8 @@ func Run(cfg Config) Result {
 		Residual:    a.lastResidual,
 		Channels:    a.channels,
 		TotalEvents: eng.Executed(),
+		Errors:      errs,
+		Counters:    rts.Recorder().Counters(),
 	}
 	if cfg.Validate {
 		res.Field = a.gather()

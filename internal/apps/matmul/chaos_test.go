@@ -1,0 +1,66 @@
+package matmul
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/netmodel"
+)
+
+// chaosRun executes a validate-mode multiply under the given adversity
+// scenario. The replication fan-out means one dropped shard stalls a whole
+// (x,z) or (z,y) line, so recovery must be airtight for the product to
+// come out right.
+func chaosRun(t *testing.T, sc *chaos.Scenario, mode Mode) Result {
+	t.Helper()
+	res := Run(Config{
+		Platform: netmodel.AbeIB,
+		Mode:     mode,
+		PEs:      8,
+		N:        32,
+		Iters:    2, Warmup: 0,
+		Validate: true,
+		Chaos:    sc,
+	})
+	if sc != nil && len(res.Errors) > 0 {
+		t.Fatalf("mode %v: chaos run failed to recover: %v", mode, res.Errors[0])
+	}
+	return res
+}
+
+// TestChaosFaultsDoNotChangeProduct drops 1% of all transfers under CPU
+// noise with recovery on. The quiet distributed run differs from the
+// serial reference by a fixed rounding residue (the accumulation order is
+// deterministic but not the reference's), so bit-exactness is asserted
+// against the quiet run's MaxError, not against zero.
+func TestChaosFaultsDoNotChangeProduct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	base := chaosRun(t, nil, Msg).MaxError
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, mode := range []Mode{Msg, Ckd} {
+			res := chaosRun(t, chaos.Hostile(seed, 0.01), mode)
+			if res.MaxError != base {
+				t.Fatalf("seed %d mode %v: faults changed the product (max error %g != %g)",
+					seed, mode, res.MaxError, base)
+			}
+		}
+	}
+}
+
+func TestChaosNoiseDoesNotChangeProduct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	base := chaosRun(t, nil, Msg).MaxError
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, mode := range []Mode{Msg, Ckd} {
+			res := chaosRun(t, chaos.NoiseOnly(seed), mode)
+			if res.MaxError != base {
+				t.Fatalf("seed %d mode %v: noise changed the product (max error %g != %g)",
+					seed, mode, res.MaxError, base)
+			}
+		}
+	}
+}

@@ -25,6 +25,7 @@ package matmul
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/ckdirect"
 	"repro/internal/netmodel"
@@ -64,6 +65,10 @@ type Config struct {
 	Validate bool
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
+	// Chaos, when set, runs the configuration under adversity (CPU noise,
+	// network faults, recovery machinery). Contract violations then land
+	// in Result.Errors instead of panicking.
+	Chaos *chaos.Scenario
 }
 
 // Result reports timing and validation data.
@@ -73,6 +78,11 @@ type Result struct {
 	IterTime    sim.Time
 	MaxError    float64 // |C - reference| in validate mode
 	TotalEvents uint64
+	// Errors holds runtime contract violations and unrecovered faults
+	// (chaos runs only; fault-free runs panic instead).
+	Errors []error
+	// Counters is the final trace-counter snapshot.
+	Counters map[string]int64
 }
 
 // Improvement runs both variants and returns the percentage improvement
@@ -131,15 +141,28 @@ func Run(cfg Config) Result {
 	if cfg.Mode == Ckd {
 		a.mgr = ckdirect.NewManager(rts)
 	}
+	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
 	a.start()
 	eng.Run()
-	if errs := rts.Errors(); len(errs) > 0 {
+	errs := rts.Errors()
+	if len(errs) > 0 && cfg.Chaos == nil {
 		panic(fmt.Sprintf("matmul: runtime contract violation: %v", errs[0]))
 	}
 	want := cfg.Warmup + cfg.Iters + 1
 	if len(a.barriers) < want {
-		panic(fmt.Sprintf("matmul: only %d/%d iterations completed", len(a.barriers), want))
+		if len(errs) == 0 {
+			if cfg.Chaos == nil {
+				panic(fmt.Sprintf("matmul: only %d/%d iterations completed", len(a.barriers), want))
+			}
+			errs = []error{chaos.StallError(rts.Recorder().Counters(),
+				fmt.Sprintf("%d/%d iterations", len(a.barriers), want))}
+		}
+		return Result{
+			Config: cfg, Grid: grid,
+			Errors: errs, Counters: rts.Recorder().Counters(),
+			TotalEvents: eng.Executed(),
+		}
 	}
 	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
 	res := Result{
@@ -147,6 +170,8 @@ func Run(cfg Config) Result {
 		Grid:        grid,
 		IterTime:    measured / sim.Time(cfg.Iters),
 		TotalEvents: eng.Executed(),
+		Errors:      errs,
+		Counters:    rts.Recorder().Counters(),
 	}
 	if cfg.Validate {
 		res.MaxError = a.verify()

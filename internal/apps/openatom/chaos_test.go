@@ -1,0 +1,69 @@
+package openatom
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/netmodel"
+)
+
+// chaosRun executes a validate-mode PairCalculator phase under adversity.
+// OpenAtom is the heaviest CkDirect user in the repo (hundreds of
+// channels, ReadyMark/ReadyPollQ split across phases), so it exercises
+// the watchdog's interaction with deferred detection.
+func chaosRun(t *testing.T, sc *chaos.Scenario, mode Mode) Result {
+	t.Helper()
+	res := Run(Config{
+		Platform: netmodel.AbeIB,
+		Mode:     mode,
+		Scope:    PCOnly,
+		PEs:      8,
+		NStates:  16, NPlanes: 2, Grain: 4, Points: 32,
+		Steps: 2, Warmup: 1,
+		Validate: true,
+		Chaos:    sc,
+	})
+	if sc != nil && len(res.Errors) > 0 {
+		t.Fatalf("mode %v: chaos run failed to recover: %v", mode, res.Errors[0])
+	}
+	return res
+}
+
+// TestChaosFaultsDoNotChangeChecksum drops 1% of all transfers under CPU
+// noise with recovery on; the coefficient checksum must match the quiet
+// baseline exactly in both transports.
+func TestChaosFaultsDoNotChangeChecksum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	base := chaosRun(t, nil, Msg)
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, mode := range []Mode{Msg, Ckd} {
+			got := chaosRun(t, chaos.Hostile(seed, 0.01), mode)
+			if got.Checksum != base.Checksum {
+				t.Fatalf("seed %d mode %v: faults changed the checksum (%g != %g)",
+					seed, mode, got.Checksum, base.Checksum)
+			}
+			if got.Overlap != base.Overlap {
+				t.Fatalf("seed %d mode %v: faults changed the overlap reduction (%g != %g)",
+					seed, mode, got.Overlap, base.Overlap)
+			}
+		}
+	}
+}
+
+func TestChaosNoiseDoesNotChangeChecksum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	base := chaosRun(t, nil, Msg)
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, mode := range []Mode{Msg, Ckd} {
+			got := chaosRun(t, chaos.NoiseOnly(seed), mode)
+			if got.Checksum != base.Checksum {
+				t.Fatalf("seed %d mode %v: noise changed the checksum (%g != %g)",
+					seed, mode, got.Checksum, base.Checksum)
+			}
+		}
+	}
+}

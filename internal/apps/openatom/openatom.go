@@ -35,6 +35,7 @@ package openatom
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/ckdirect"
 	"repro/internal/machine"
@@ -111,6 +112,10 @@ type Config struct {
 	Validate      bool
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
+	// Chaos, when set, runs the configuration under adversity (CPU noise,
+	// network faults, recovery machinery). Contract violations then land
+	// in Result.Errors instead of panicking.
+	Chaos *chaos.Scenario
 }
 
 func (c *Config) fillDefaults() {
@@ -145,6 +150,11 @@ type Result struct {
 	Checksum    float64 // final GS coefficient checksum (validate mode)
 	Channels    int     // CkDirect channels created (0 for Msg)
 	TotalEvents uint64
+	// Errors holds runtime contract violations and unrecovered faults
+	// (chaos runs only; fault-free runs panic instead).
+	Errors []error
+	// Counters is the final trace-counter snapshot.
+	Counters map[string]int64
 }
 
 // Improvement runs baseline and CkDirect variants and returns the
@@ -186,18 +196,31 @@ func Run(cfg Config) Result {
 	if cfg.Mode != Msg {
 		a.mgr = ckdirect.NewManager(rts)
 	}
+	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
 	if testPostBuild != nil {
 		testPostBuild(rts)
 	}
 	a.start()
 	eng.Run()
-	if errs := rts.Errors(); len(errs) > 0 {
+	errs := rts.Errors()
+	if len(errs) > 0 && cfg.Chaos == nil {
 		panic(fmt.Sprintf("openatom: runtime contract violation: %v", errs[0]))
 	}
 	want := cfg.Warmup + cfg.Steps + 1
 	if len(a.stepTimes) < want {
-		panic(fmt.Sprintf("openatom: only %d/%d steps completed", len(a.stepTimes), want))
+		if len(errs) == 0 {
+			if cfg.Chaos == nil {
+				panic(fmt.Sprintf("openatom: only %d/%d steps completed", len(a.stepTimes), want))
+			}
+			errs = []error{chaos.StallError(rts.Recorder().Counters(),
+				fmt.Sprintf("%d/%d steps", len(a.stepTimes), want))}
+		}
+		return Result{
+			Config: cfg,
+			Errors: errs, Counters: rts.Recorder().Counters(),
+			TotalEvents: eng.Executed(),
+		}
 	}
 	measured := a.stepTimes[cfg.Warmup+cfg.Steps] - a.stepTimes[cfg.Warmup]
 	return Result{
@@ -207,6 +230,8 @@ func Run(cfg Config) Result {
 		Checksum:    a.checksum(),
 		Channels:    a.channels,
 		TotalEvents: eng.Executed(),
+		Errors:      errs,
+		Counters:    rts.Recorder().Counters(),
 	}
 }
 

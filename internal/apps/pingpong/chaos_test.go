@@ -1,0 +1,135 @@
+package pingpong
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/ckdirect"
+	"repro/internal/faults"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// TestWatchdogReportsLostPutWithoutRecovery is the report-only acceptance
+// scenario: a CkDirect put is dropped, recovery is disabled, and the run
+// must end with the stall in Result.Errors rather than hanging silently
+// (the seed behaviour) or panicking.
+func TestWatchdogReportsLostPutWithoutRecovery(t *testing.T) {
+	res := Run(Config{
+		Platform: netmodel.AbeIB,
+		Mode:     CkDirect,
+		Size:     1024,
+		Iters:    10,
+		Chaos: &chaos.Scenario{
+			Seed: 7,
+			Plan: &faults.Plan{Rules: []faults.Rule{
+				func() faults.Rule {
+					r := faults.NewRule(faults.Drop)
+					r.Kind = netmodel.KindCkdPut
+					r.Nth = 5
+					return r
+				}(),
+			}},
+			Watchdog: &ckdirect.Watchdog{}, // report only, no recovery
+		},
+	})
+	if len(res.Errors) == 0 {
+		t.Fatal("lost put produced no watchdog report")
+	}
+	if !strings.Contains(res.Errors[0].Error(), "stalled") {
+		t.Fatalf("unexpected report: %v", res.Errors[0])
+	}
+	if res.Counters[trace.CntCkdStalls] == 0 || res.Counters[trace.CntCkdLostPuts] == 0 {
+		t.Fatalf("counters missed the stall: %v", res.Counters)
+	}
+	if res.RTT != 0 {
+		t.Fatalf("broken run reported an RTT (%v)", res.RTT)
+	}
+}
+
+// TestWatchdogRecoversLostPut flips recovery on for the same fault: the
+// benchmark must complete all iterations with no errors, with the reissue
+// visible in the counters and in a longer RTT than the quiet run.
+func TestWatchdogRecoversLostPut(t *testing.T) {
+	quiet := Run(Config{Platform: netmodel.AbeIB, Mode: CkDirect, Size: 1024, Iters: 10})
+	res := Run(Config{
+		Platform: netmodel.AbeIB,
+		Mode:     CkDirect,
+		Size:     1024,
+		Iters:    10,
+		Chaos: &chaos.Scenario{
+			Seed: 7,
+			Plan: &faults.Plan{Rules: []faults.Rule{
+				func() faults.Rule {
+					r := faults.NewRule(faults.Drop)
+					r.Kind = netmodel.KindCkdPut
+					r.Nth = 5
+					return r
+				}(),
+			}},
+			Watchdog: &ckdirect.Watchdog{Recover: true},
+		},
+	})
+	if len(res.Errors) > 0 {
+		t.Fatalf("recovery failed: %v", res.Errors[0])
+	}
+	if res.Counters[trace.CntCkdReissues] != 1 {
+		t.Fatalf("want 1 reissue, counters: %v", res.Counters)
+	}
+	if res.RTT <= quiet.RTT {
+		t.Fatalf("recovered run not slower than quiet run (%v <= %v) — retry cost uncharged",
+			res.RTT, quiet.RTT)
+	}
+}
+
+// TestRetransmitRecoversDroppedMessage does the same for the charm-msg
+// transport: one dropped message, reliability on, run completes with one
+// retransmit and a correspondingly longer RTT.
+func TestRetransmitRecoversDroppedMessage(t *testing.T) {
+	quiet := Run(Config{Platform: netmodel.AbeIB, Mode: CharmMsg, Size: 1024, Iters: 10})
+	res := Run(Config{
+		Platform: netmodel.AbeIB,
+		Mode:     CharmMsg,
+		Size:     1024,
+		Iters:    10,
+		Chaos: &chaos.Scenario{
+			Seed: 7,
+			Plan: &faults.Plan{Rules: []faults.Rule{
+				func() faults.Rule {
+					r := faults.NewRule(faults.Drop)
+					r.Kind = netmodel.KindCharmMsg
+					r.Nth = 5
+					return r
+				}(),
+			}},
+			Reliable: true,
+		},
+	})
+	if len(res.Errors) > 0 {
+		t.Fatalf("recovery failed: %v", res.Errors[0])
+	}
+	if res.Counters[trace.CntRetransmits] != 1 {
+		t.Fatalf("want 1 retransmit, counters: %v", res.Counters)
+	}
+	if res.RTT <= quiet.RTT {
+		t.Fatalf("recovered run not slower than quiet run (%v <= %v)", res.RTT, quiet.RTT)
+	}
+}
+
+// TestNilChaosMatchesSeedBehaviour pins the no-faults acceptance
+// criterion: constructing the chaos-capable runtime with a nil scenario
+// must leave the measured latency identical to the pre-chaos seed path
+// for every mode.
+func TestNilChaosMatchesSeedBehaviour(t *testing.T) {
+	for _, mode := range []Mode{CharmMsg, CkDirect} {
+		plain := Run(Config{Platform: netmodel.AbeIB, Mode: mode, Size: 1024, Iters: 50})
+		withNil := Run(Config{Platform: netmodel.AbeIB, Mode: mode, Size: 1024, Iters: 50, Chaos: nil})
+		if plain.RTT != withNil.RTT {
+			t.Fatalf("mode %v: nil chaos changed RTT (%v != %v)", mode, plain.RTT, withNil.RTT)
+		}
+		if len(plain.Errors) > 0 {
+			t.Fatalf("mode %v: quiet run reported errors: %v", mode, plain.Errors)
+		}
+	}
+}

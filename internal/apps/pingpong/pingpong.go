@@ -7,6 +7,7 @@ package pingpong
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/ckdirect"
 	"repro/internal/machine"
@@ -54,12 +55,22 @@ type Config struct {
 	// Virtual skips real payload allocation (timing is identical; see the
 	// equivalence tests).
 	Virtual bool
+	// Chaos, when set, runs the benchmark under adversity. It applies to
+	// the Charm++-runtime modes (CharmMsg, CkDirect); the MPI modes model
+	// stacks that assume a reliable transport and ignore it. A run broken
+	// by unrecovered faults returns Result.Errors instead of panicking.
+	Chaos *chaos.Scenario
 }
 
 // Result is the measured outcome.
 type Result struct {
 	Config
 	RTT sim.Time // average round-trip time
+	// Errors holds runtime contract violations and unrecovered faults
+	// (chaos runs only; fault-free runs panic instead).
+	Errors []error
+	// Counters is the final trace-counter snapshot (Charm modes).
+	Counters map[string]int64
 }
 
 // RTTMicros returns the average round trip in microseconds, the unit of
@@ -96,6 +107,7 @@ func runCharm(cfg Config) Result {
 	peA, peB, pes := peers(cfg.Platform)
 	mach, net := cfg.Platform.BuildMachine(eng, pes)
 	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{})
+	cfg.Chaos.Apply(rts, nil)
 
 	arr := rts.NewArray("pingpong", func(ix charm.Index) int {
 		if ix[0] == 0 {
@@ -125,7 +137,7 @@ func runCharm(cfg Config) Result {
 		ctx.Send(arr, charm.Idx1(1), pingEP, &charm.Message{Size: cfg.Size})
 	})
 	eng.Run()
-	return result(cfg, start, end)
+	return finish(cfg, rts, start, end)
 }
 
 func runCkDirect(cfg Config) Result {
@@ -134,6 +146,7 @@ func runCkDirect(cfg Config) Result {
 	mach, net := cfg.Platform.BuildMachine(eng, pes)
 	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Checked: true})
 	mgr := ckdirect.NewManager(rts)
+	cfg.Chaos.Apply(rts, mgr)
 
 	const oob = 0xFFF8BADF00D00001
 	alloc := func(pe int) *machine.Region {
@@ -177,10 +190,7 @@ func runCkDirect(cfg Config) Result {
 		must(mgr.Put(hAB))
 	})
 	eng.Run()
-	if errs := rts.Errors(); len(errs) > 0 {
-		panic(fmt.Sprintf("pingpong: ckdirect misuse: %v", errs[0]))
-	}
-	return result(cfg, start, end)
+	return finish(cfg, rts, start, end)
 }
 
 func runMPI(cfg Config) Result {
@@ -272,6 +282,31 @@ func result(cfg Config, start, end sim.Time) Result {
 		panic(fmt.Sprintf("pingpong: run did not complete (%v..%v, mode %v)", start, end, cfg.Mode))
 	}
 	return Result{Config: cfg, RTT: (end - start) / sim.Time(cfg.Iters)}
+}
+
+// finish is result for the Charm-runtime modes: it surfaces runtime
+// errors, and under a chaos scenario an unfinished run returns them
+// instead of panicking (a lost, unrecovered transfer breaks the ping
+// chain by design — the watchdog/reliability reports say why).
+func finish(cfg Config, rts *charm.RTS, start, end sim.Time) Result {
+	errs := rts.Errors()
+	counters := rts.Recorder().Counters()
+	if len(errs) > 0 && cfg.Chaos == nil {
+		panic(fmt.Sprintf("pingpong: runtime contract violation: %v", errs[0]))
+	}
+	if end <= start {
+		if len(errs) == 0 {
+			if cfg.Chaos == nil {
+				panic(fmt.Sprintf("pingpong: run did not complete (%v..%v, mode %v)", start, end, cfg.Mode))
+			}
+			errs = []error{chaos.StallError(counters, "an unfinished ping chain")}
+		}
+		return Result{Config: cfg, Errors: errs, Counters: counters}
+	}
+	res := result(cfg, start, end)
+	res.Errors = errs
+	res.Counters = counters
+	return res
 }
 
 func fill(r *machine.Region) {

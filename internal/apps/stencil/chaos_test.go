@@ -1,49 +1,41 @@
 package stencil
 
 import (
+	"strings"
 	"testing"
 
-	"repro/internal/machine"
+	"repro/internal/chaos"
 	"repro/internal/netmodel"
-	"repro/internal/rng"
-	"repro/internal/sim"
 )
 
-// chaosRun executes a validate-mode stencil with random "OS noise"
-// injected: bursts of CPU time reserved on random PEs at random virtual
-// times. Noise reorders message arrivals, poll passes and compute starts
-// relative to each other — any hidden ordering assumption in the halo
+// chaosRun executes a validate-mode stencil under the given adversity
+// scenario. Noise reorders message arrivals, poll passes and compute
+// starts relative to each other; network faults additionally exercise the
+// recovery machinery — any hidden ordering assumption in the halo
 // protocol (for either transport) breaks the bit-exact field comparison.
-func chaosRun(t *testing.T, mode Mode, seed uint64) []float64 {
+func chaosRun(t *testing.T, mode Mode, sc *chaos.Scenario) Result {
 	t.Helper()
-	const nx, ny, nz, iters = 10, 8, 6, 3
 	cfg := Config{
 		Platform: netmodel.AbeIB,
 		Mode:     mode,
 		PEs:      4, Virtualization: 2,
-		NX: nx, NY: ny, NZ: nz,
-		Iters: iters, Warmup: 0, Validate: true,
+		NX: 10, NY: 8, NZ: 6,
+		Iters: 3, Warmup: 0, Validate: true,
+		Chaos: sc,
 	}
-	res := runWithNoise(cfg, seed)
-	return res.Field
-}
-
-// runWithNoise is Run plus deterministic noise events, injected through
-// the package's pre-start test hook.
-func runWithNoise(cfg Config, seed uint64) Result {
-	testPreRun = func(eng *sim.Engine, mach *machine.Machine) {
-		injectNoise(eng, mach, seed)
+	res := Run(cfg)
+	if sc != nil && len(res.Errors) > 0 {
+		t.Fatalf("mode %v: chaos run failed to recover: %v", mode, res.Errors[0])
 	}
-	defer func() { testPreRun = nil }()
-	return Run(cfg)
+	return res
 }
 
 func TestChaosNoiseDoesNotChangePhysics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test")
 	}
-	baseMsg := chaosRun(t, Msg, 0)
-	baseCkd := chaosRun(t, Ckd, 0)
+	baseMsg := chaosRun(t, Msg, nil).Field
+	baseCkd := chaosRun(t, Ckd, nil).Field
 	for i := range baseMsg {
 		if baseMsg[i] != baseCkd[i] {
 			t.Fatalf("baseline transports disagree at %d", i)
@@ -51,7 +43,7 @@ func TestChaosNoiseDoesNotChangePhysics(t *testing.T) {
 	}
 	for seed := uint64(1); seed <= 8; seed++ {
 		for _, mode := range []Mode{Msg, Ckd} {
-			got := chaosRun(t, mode, seed)
+			got := chaosRun(t, mode, chaos.NoiseOnly(seed)).Field
 			for i := range baseMsg {
 				if got[i] != baseMsg[i] {
 					t.Fatalf("seed %d mode %v: noise changed the physics at cell %d", seed, mode, i)
@@ -61,32 +53,71 @@ func TestChaosNoiseDoesNotChangePhysics(t *testing.T) {
 	}
 }
 
-// TestChaosNoiseChangesTiming sanity-checks that the noise actually
-// perturbs the schedule (otherwise the test above proves nothing).
-func TestChaosNoiseChangesTiming(t *testing.T) {
-	cfg := Config{
-		Platform: netmodel.AbeIB, Mode: Ckd,
-		PEs: 4, Virtualization: 2,
-		NX: 10, NY: 8, NZ: 6,
-		Iters: 3, Warmup: 0, Validate: true,
+// TestChaosFaultsDoNotChangePhysics is the acceptance scenario: 1% of all
+// transfers dropped, plus CPU noise, with the reliability protocol and
+// the recovering watchdog switched on. Both transports must still finish
+// with bit-exact fields.
+func TestChaosFaultsDoNotChangePhysics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
 	}
-	quiet := Run(cfg)
-	noisy := runWithNoise(cfg, 12345)
+	base := chaosRun(t, Msg, nil).Field
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, mode := range []Mode{Msg, Ckd} {
+			got := chaosRun(t, mode, chaos.Hostile(seed, 0.01)).Field
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("seed %d mode %v: faults changed the physics at cell %d", seed, mode, i)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosNoiseChangesTiming sanity-checks that the noise actually
+// perturbs the schedule (otherwise the tests above prove nothing).
+func TestChaosNoiseChangesTiming(t *testing.T) {
+	quiet := chaosRun(t, Ckd, nil)
+	noisy := chaosRun(t, Ckd, chaos.NoiseOnly(12345))
 	if quiet.IterTime == noisy.IterTime {
 		t.Fatal("noise injection had no timing effect — chaos tests are vacuous")
 	}
 }
 
-// injectNoise schedules random CPU bursts across the run window.
-func injectNoise(eng *sim.Engine, mach *machine.Machine, seed uint64) {
-	r := rng.New(seed)
-	const bursts = 60
-	for i := 0; i < bursts; i++ {
-		pe := r.Intn(mach.NumPEs())
-		at := sim.Time(r.Intn(int(2 * sim.Millisecond)))
-		dur := sim.Time(r.Intn(int(40 * sim.Microsecond)))
-		eng.At(at, func() {
-			mach.PE(pe).Reserve(dur)
-		})
+// TestChaosUnprotectedFaultsSurfaceAsErrors pins the diagnostic for the
+// footgun of injecting faults with every recovery mechanism off: the run
+// stalls, and instead of a panic (quiet runs) or silence, Result.Errors
+// explains what was lost and how to recover it.
+func TestChaosUnprotectedFaultsSurfaceAsErrors(t *testing.T) {
+	sc := chaos.Hostile(3, 0.05)
+	sc.Reliable = false
+	sc.Watchdog = nil
+	sc.Noise = nil
+	cfg := Config{
+		Platform: netmodel.AbeIB,
+		Mode:     Msg,
+		PEs:      4, Virtualization: 2,
+		NX: 10, NY: 8, NZ: 6,
+		Iters: 3, Warmup: 0, Validate: true,
+		Chaos: sc,
+	}
+	res := Run(cfg)
+	if len(res.Errors) == 0 {
+		t.Fatal("unprotected faulted run surfaced no error")
+	}
+	if !strings.Contains(res.Errors[0].Error(), "no recovery") {
+		t.Fatalf("unhelpful diagnostic: %v", res.Errors[0])
+	}
+}
+
+// TestChaosFaultsAreInjected sanity-checks the fault plane actually fired
+// during the hostile scenario (otherwise recovery was never exercised).
+func TestChaosFaultsAreInjected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	res := chaosRun(t, Ckd, chaos.Hostile(2, 0.01))
+	if res.Counters["net.dropped"] == 0 {
+		t.Fatal("hostile scenario dropped nothing — recovery untested")
 	}
 }

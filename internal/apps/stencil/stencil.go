@@ -13,9 +13,9 @@ package stencil
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/ckdirect"
-	"repro/internal/machine"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -54,6 +54,10 @@ type Config struct {
 	Validate bool
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
+	// Chaos, when set, runs the configuration under adversity (CPU noise,
+	// network faults, recovery machinery). Contract violations then land
+	// in Result.Errors instead of panicking.
+	Chaos *chaos.Scenario
 }
 
 // Result reports timing and, in validate mode, the solution.
@@ -66,6 +70,12 @@ type Result struct {
 	FieldSum    float64  // checksum of the final field (validate mode)
 	Field       []float64
 	TotalEvents uint64
+	// Errors holds runtime contract violations and unrecovered faults
+	// (chaos runs only; fault-free runs panic instead).
+	Errors []error
+	// Counters is the final trace-counter snapshot (fault/retry
+	// accounting; used by determinism regression tests).
+	Counters map[string]int64
 }
 
 // Improvement runs both variants of a configuration and returns the
@@ -102,10 +112,6 @@ func chooseGrid(want, nx, ny, nz int) [3]int {
 	return c
 }
 
-// testPreRun, when set (chaos tests), runs after the machine is built and
-// before the application starts — used to inject CPU noise events.
-var testPreRun func(*sim.Engine, *machine.Machine)
-
 // Run executes one stencil configuration.
 func Run(cfg Config) Result {
 	if cfg.PEs <= 0 || cfg.Virtualization <= 0 {
@@ -131,24 +137,36 @@ func Run(cfg Config) Result {
 	if cfg.Timeline != nil {
 		rts.SetTimeline(cfg.Timeline)
 	}
-	if testPreRun != nil {
-		testPreRun(eng, mach)
-	}
 
 	a := &app{cfg: cfg, grid: grid, rts: rts}
 	if cfg.Mode == Ckd {
 		a.mgr = ckdirect.NewManager(rts)
 	}
+	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
 	a.start()
 	eng.Run()
-	if errs := rts.Errors(); len(errs) > 0 {
+	errs := rts.Errors()
+	if len(errs) > 0 && cfg.Chaos == nil {
 		panic(fmt.Sprintf("stencil: runtime contract violation: %v", errs[0]))
 	}
 
 	k := len(a.barriers)
 	if k < cfg.Warmup+cfg.Iters+1 {
-		panic(fmt.Sprintf("stencil: only %d barriers completed", k))
+		if len(errs) == 0 {
+			if cfg.Chaos == nil {
+				panic(fmt.Sprintf("stencil: only %d barriers completed", k))
+			}
+			errs = []error{chaos.StallError(rts.Recorder().Counters(),
+				fmt.Sprintf("%d/%d barriers", k, cfg.Warmup+cfg.Iters+1))}
+		}
+		// A faulted run that lost work: hand back what is known instead of
+		// tearing the process down — the caller decides based on Errors.
+		return Result{
+			Config: cfg, ChareGrid: grid, Chares: total,
+			Errors: errs, Counters: rts.Recorder().Counters(),
+			TotalEvents: eng.Executed(),
+		}
 	}
 	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
 	res := Result{
@@ -159,6 +177,8 @@ func Run(cfg Config) Result {
 		Residual:    a.lastResidual,
 		FieldSum:    a.fieldSum(),
 		TotalEvents: eng.Executed(),
+		Errors:      errs,
+		Counters:    rts.Recorder().Counters(),
 	}
 	if cfg.Validate {
 		res.Field = gatherField(a)

@@ -159,6 +159,7 @@ func All() []Experiment {
 		{"calibration", "Per-cell deviation audit vs the published tables", func(s Scale) []*Table { return []*Table{CalibrationReport(s)} }},
 		{"summary", "Reproduction scorecard: headline claims pass/fail", func(s Scale) []*Table { return []*Table{Summary(s)} }},
 		{"fem", "Supplementary: unstructured-mesh FEM from the paper's §1 class", func(s Scale) []*Table { return []*Table{FemFigure(s)} }},
+		{"faults", "Supplementary: recovery cost under transfer loss", func(s Scale) []*Table { return []*Table{FaultFigure(s)} }},
 	}
 }
 

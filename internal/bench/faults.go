@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/stencil"
+	"repro/internal/chaos"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// FaultFigure is a supplementary experiment (not a paper artifact): the
+// price of reliability. The paper's protocols assume a lossless fabric;
+// this sweep drops a growing fraction of all transfers and measures how
+// much the ack/retransmit protocol and the put-reissuing watchdog stretch
+// the stencil iteration under each transport. The zero-loss column is the
+// pure protocol overhead (acks on every message, watchdog timers on every
+// put); the physics stays bit-exact at every rate — that invariant is
+// enforced by the app chaos tests, not here.
+func FaultFigure(scale Scale) *Table {
+	rates := []float64{0, 0.001, 0.01, 0.05}
+	cfg := stencil.Config{
+		Platform: netmodel.AbeIB,
+		PEs:      16, Virtualization: 4,
+		NX: 128, NY: 128, NZ: 64,
+		Iters: 3, Warmup: 1,
+	}
+	if scale == Quick {
+		cfg.PEs, cfg.Virtualization = 4, 2
+		cfg.NX, cfg.NY, cfg.NZ = 32, 32, 16
+	}
+	cols := make([]string, len(rates))
+	for i, r := range rates {
+		cols[i] = fmt.Sprintf("%g%%", r*100)
+	}
+	t := &Table{
+		ID:      "faults",
+		Title:   "Stencil under transfer loss with recovery enabled (Abe model)",
+		ColHead: "Drop rate",
+		Columns: cols,
+		Unit:    "ms per iteration / count",
+		Notes: []string{
+			"supplementary experiment: reliability-protocol cost, not a published figure",
+			"0% column = protocol overhead alone; physics is bit-exact at every rate (see app chaos tests)",
+		},
+	}
+	for _, mode := range []stencil.Mode{stencil.Msg, stencil.Ckd} {
+		times := make([]float64, len(rates))
+		recoveries := make([]float64, len(rates))
+		for i, rate := range rates {
+			c := cfg
+			c.Mode = mode
+			sc := chaos.Hostile(7, rate)
+			sc.Noise = nil // isolate fault cost from jitter
+			c.Chaos = sc
+			res := stencil.Run(c)
+			if len(res.Errors) > 0 {
+				panic(fmt.Sprintf("bench: faults experiment failed to recover: %v", res.Errors[0]))
+			}
+			times[i] = res.IterTime.Millis()
+			recoveries[i] = float64(res.Counters[trace.CntRetransmits] +
+				res.Counters[trace.CntCkdReissues])
+		}
+		t.AddRow(fmt.Sprintf("%v (ms)", mode), times...)
+		t.AddRow(fmt.Sprintf("%v recoveries", mode), recoveries...)
+	}
+	return t
+}

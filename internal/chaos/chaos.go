@@ -1,0 +1,133 @@
+// Package chaos is the reusable harness for running applications under
+// adversity: deterministic CPU-noise bursts (generalizing the stencil
+// chaos tests' hand-rolled injector) combined with network fault plans
+// and the recovery machinery (message reliability, CkDirect watchdog).
+// Every app package exposes a Chaos field on its Config; tests build a
+// Scenario and assert that validate-mode results stay bit-exact.
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/charm"
+	"repro/internal/ckdirect"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Noise parameterizes CPU-noise injection: random bursts of reserved CPU
+// time on random PEs across the start of the run, modelling OS jitter.
+// Noise perturbs arrival orders, poll passes and compute starts — any
+// hidden ordering assumption breaks bit-exact validation.
+type Noise struct {
+	// Bursts is the number of noise events (default 60).
+	Bursts int
+	// MaxBurstUS bounds each burst's CPU time (default 40µs).
+	MaxBurstUS float64
+	// WindowMS is the virtual-time window over which bursts are scattered
+	// (default 2ms).
+	WindowMS float64
+}
+
+// Scenario is one complete adversity configuration. The zero value (and
+// nil) is a no-op; each field opts into one ingredient.
+type Scenario struct {
+	// Seed drives noise placement and, when Plan.Seed is zero, the fault
+	// plan too. Same scenario + same seed ⇒ bit-identical run.
+	Seed uint64
+	// Noise, when set, injects CPU-noise bursts.
+	Noise *Noise
+	// Plan, when set, installs a fault-injection plane on the network.
+	Plan *faults.Plan
+	// Reliable enables the Charm++ ack/retransmit protocol so message
+	// paths survive drops (zero-value config: derived RTO, 4 retries).
+	Reliable bool
+	// Watchdog, when set, installs the CkDirect stall watchdog (apps
+	// without a CkDirect manager ignore it).
+	Watchdog *ckdirect.Watchdog
+}
+
+// Apply installs the scenario on a freshly built runtime, before the
+// application starts. mgr may be nil for apps not using CkDirect. Safe to
+// call on a nil scenario.
+func (s *Scenario) Apply(rts *charm.RTS, mgr *ckdirect.Manager) {
+	if s == nil {
+		return
+	}
+	if s.Plan != nil {
+		plan := *s.Plan
+		if plan.Seed == 0 {
+			plan.Seed = s.Seed
+		}
+		rts.Net().SetInjector(faults.NewPlane(plan, rts.Recorder()))
+	}
+	if s.Reliable {
+		rts.EnableReliability(charm.Reliability{})
+	}
+	if s.Watchdog != nil && mgr != nil {
+		mgr.SetWatchdog(s.Watchdog)
+	}
+	if s.Noise != nil {
+		injectNoise(rts.Engine(), rts.Machine(), s.Seed, *s.Noise)
+	}
+}
+
+// injectNoise schedules the burst events. The RNG stream depends only on
+// the seed and the noise parameters, so a scenario replays identically.
+func injectNoise(eng *sim.Engine, mach *machine.Machine, seed uint64, n Noise) {
+	if n.Bursts <= 0 {
+		n.Bursts = 60
+	}
+	if n.MaxBurstUS <= 0 {
+		n.MaxBurstUS = 40
+	}
+	if n.WindowMS <= 0 {
+		n.WindowMS = 2
+	}
+	r := rng.New(seed)
+	window := int(sim.Microseconds(n.WindowMS * 1000))
+	burst := int(sim.Microseconds(n.MaxBurstUS))
+	for i := 0; i < n.Bursts; i++ {
+		pe := r.Intn(mach.NumPEs())
+		at := sim.Time(r.Intn(window))
+		dur := sim.Time(r.Intn(burst))
+		eng.At(at, func() {
+			mach.PE(pe).Reserve(dur)
+		})
+	}
+}
+
+// StallError names the failure mode of a faulted run that ended early
+// with nothing in RTS.Errors(): transfers were lost but neither
+// reliability nor a watchdog was armed to recover or even report them.
+// Apps return this instead of panicking so the CLI can explain the fix.
+func StallError(counters map[string]int64, progress string) error {
+	return fmt.Errorf(
+		"run stalled at %s with no recovery report (%d transfers dropped, %d corrupted): enable reliability and/or the watchdog to recover or diagnose",
+		progress, counters[trace.CntDropped], counters[trace.CntCorrupted])
+}
+
+// NoiseOnly is the classic chaos-test scenario: jitter but a perfect
+// network.
+func NoiseOnly(seed uint64) *Scenario {
+	return &Scenario{Seed: seed, Noise: &Noise{}}
+}
+
+// Hostile is the full-adversity scenario used by the app chaos tests:
+// noise, a dropRate-lossy network on every transfer kind, message
+// reliability and a recovering watchdog. Applications are expected to
+// finish bit-exact under it.
+func Hostile(seed uint64, dropRate float64) *Scenario {
+	return &Scenario{
+		Seed:  seed,
+		Noise: &Noise{},
+		Plan: &faults.Plan{Rules: []faults.Rule{
+			func() faults.Rule { r := faults.NewRule(faults.Drop); r.Rate = dropRate; return r }(),
+		}},
+		Reliable: true,
+		Watchdog: &ckdirect.Watchdog{Recover: true},
+	}
+}

@@ -1,0 +1,66 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/ckdirect"
+	"repro/internal/faults"
+)
+
+// Options is the flag-level description of a scenario, shared by the
+// command-line binaries (each exposes one flag per field).
+type Options struct {
+	// Seed drives noise placement and the fault plan (default 1).
+	Seed uint64
+	// Noise injects CPU-noise bursts.
+	Noise bool
+	// Faults is a fault-plan spec in faults.ParseSpec grammar, e.g.
+	// "drop:rate=0.01" or "drop:kind=ckd.put,nth=3;delay:us=500,rate=0.1".
+	Faults string
+	// Reliable enables the Charm++ ack/retransmit protocol.
+	Reliable bool
+	// Watchdog selects the CkDirect stall watchdog mode: "off" (or empty),
+	// "report", or "recover".
+	Watchdog string
+}
+
+// Build assembles the Scenario the options describe, or nil when every
+// ingredient is off (so quiet runs take the exact seed code path).
+func (o Options) Build() (*Scenario, error) {
+	s := &Scenario{Seed: o.Seed}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	any := false
+	if o.Noise {
+		s.Noise = &Noise{}
+		any = true
+	}
+	if o.Faults != "" {
+		rules, err := faults.ParseSpec(o.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("bad -faults spec: %w", err)
+		}
+		s.Plan = &faults.Plan{Rules: rules}
+		any = true
+	}
+	if o.Reliable {
+		s.Reliable = true
+		any = true
+	}
+	switch o.Watchdog {
+	case "", "off":
+	case "report":
+		s.Watchdog = &ckdirect.Watchdog{}
+		any = true
+	case "recover":
+		s.Watchdog = &ckdirect.Watchdog{Recover: true}
+		any = true
+	default:
+		return nil, fmt.Errorf("bad -watchdog mode %q (want off|report|recover)", o.Watchdog)
+	}
+	if !any {
+		return nil, nil
+	}
+	return s, nil
+}

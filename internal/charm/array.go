@@ -2,8 +2,6 @@ package charm
 
 import (
 	"fmt"
-
-	"repro/internal/netmodel"
 )
 
 // Index addresses an element within a chare array. Up to four dimensions
@@ -154,7 +152,6 @@ func (a *Array) Send(srcPE int, idx Index, ep EP, msg *Message) {
 		panic(err)
 	}
 	h := a.eps[ep]
-	cost := a.rts.plat.CharmMsg.Resolve(msg.Size + a.rts.plat.HeaderBytes)
 	if a.rts.rec != nil {
 		a.rts.rec.Incr("charm.msgs", 1)
 		a.rts.rec.Incr("charm.bytes", int64(msg.Size))
@@ -162,14 +159,10 @@ func (a *Array) Send(srcPE int, idx Index, ep EP, msg *Message) {
 	if a.rts.sendObserver != nil {
 		a.rts.sendObserver(srcPE, el.pe, a.name, ep, msg.Size)
 	}
-	a.rts.qdInc() // in flight
-	a.rts.net.Transfer(srcPE, el.pe, cost, netmodel.TransferHooks{
-		OnArrive: func() {
-			a.rts.enqueue(el.pe, func() {
-				h(a.ctxFor(el), msg)
-			})
-			a.rts.qdDec()
-		},
+	a.rts.transport(srcPE, el.pe, msg.Size, func() {
+		a.rts.enqueue(el.pe, func() {
+			h(a.ctxFor(el), msg)
+		})
 	})
 }
 

@@ -1,0 +1,142 @@
+package charm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// reliableRig builds a 2-PE runtime with the reliability protocol enabled
+// and the given fault plan installed.
+func reliableRig(t *testing.T, spec string) (*RTS, *trace.Recorder) {
+	t.Helper()
+	_, rts := newTestRTS(2)
+	rec := rts.Recorder()
+	rts.EnableReliability(Reliability{})
+	if spec != "" {
+		plan := faults.Plan{Seed: 11, Rules: faults.MustParseSpec(spec)}
+		rts.Net().SetInjector(faults.NewPlane(plan, rec))
+	}
+	return rts, rec
+}
+
+func TestReliableDeliveryWithoutFaults(t *testing.T) {
+	rts, rec := reliableRig(t, "")
+	runs := 0
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { runs++ })
+	rts.StartAt(0, func(ctx *Ctx) {
+		for i := 0; i < 5; i++ {
+			ctx.SendPE(1, ep, &Message{Size: 64})
+		}
+	})
+	rts.Run()
+	if runs != 5 {
+		t.Fatalf("handler ran %d times, want 5", runs)
+	}
+	if n := rec.Count(trace.CntRetransmits); n != 0 {
+		t.Fatalf("clean network produced %d retransmits", n)
+	}
+	if n := rec.Count(trace.CntAcks); n != 5 {
+		t.Fatalf("acks received = %d, want 5", n)
+	}
+	if errs := rts.Errors(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+func TestRetransmitRecoversDroppedMessage(t *testing.T) {
+	// Kill exactly the first charm message attempt: the retransmission
+	// must get it through with no error and exactly one retry counted.
+	rts, rec := reliableRig(t, "drop:kind=charm.msg,nth=1")
+	runs := 0
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { runs++ })
+	rts.StartAt(0, func(ctx *Ctx) { ctx.SendPE(1, ep, &Message{Size: 256}) })
+	rts.Run()
+	if runs != 1 {
+		t.Fatalf("handler ran %d times, want 1", runs)
+	}
+	if n := rec.Count(trace.CntDropped); n != 1 {
+		t.Fatalf("drops = %d, want 1", n)
+	}
+	if n := rec.Count(trace.CntRetransmits); n != 1 {
+		t.Fatalf("retransmits = %d, want 1", n)
+	}
+	if errs := rts.Errors(); len(errs) != 0 {
+		t.Fatalf("recovered message still reported errors: %v", errs)
+	}
+}
+
+func TestLostAckTriggersRetransmitNotDoubleDelivery(t *testing.T) {
+	rts, rec := reliableRig(t, "drop:kind=charm.ack,nth=1")
+	runs := 0
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { runs++ })
+	rts.StartAt(0, func(ctx *Ctx) { ctx.SendPE(1, ep, &Message{Size: 64}) })
+	rts.Run()
+	if runs != 1 {
+		t.Fatalf("handler ran %d times, want exactly 1 (dedup failed)", runs)
+	}
+	if n := rec.Count(trace.CntRetransmits); n < 1 {
+		t.Fatalf("lost ack produced no retransmission")
+	}
+	if n := rec.Count(trace.CntDupDiscards); n < 1 {
+		t.Fatalf("replayed payload was not discarded as duplicate")
+	}
+	if errs := rts.Errors(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+func TestRetryExhaustionReportsAndSettles(t *testing.T) {
+	// Drop every message attempt: the protocol must give up after
+	// MaxRetries, report the loss, and still let the run settle (the
+	// quiescence counter is released — this test completing at all proves
+	// no hang).
+	rts, rec := reliableRig(t, "drop:kind=charm.msg,rate=1")
+	ran := false
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { ran = true })
+	done := false
+	rts.StartAt(0, func(ctx *Ctx) {
+		ctx.SendPE(1, ep, &Message{Size: 64})
+		ctx.RTS().OnQuiescence(func() { done = true })
+	})
+	rts.Run()
+	if ran {
+		t.Fatalf("handler ran despite a fully lossy network")
+	}
+	if !done {
+		t.Fatalf("quiescence never settled after retry exhaustion")
+	}
+	if n := rec.Count(trace.CntFailedMsgs); n != 1 {
+		t.Fatalf("failed_msgs = %d, want 1", n)
+	}
+	errs := rts.Errors()
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "lost after") {
+		t.Fatalf("want one lost-message error, got %v", errs)
+	}
+	// First send + MaxRetries retransmissions all dropped.
+	if n := rec.Count(trace.CntRetransmits); n != 4 {
+		t.Fatalf("retransmits = %d, want 4 (default MaxRetries)", n)
+	}
+}
+
+func TestDuplicateDeliveryDiscardedWithoutReliability(t *testing.T) {
+	// Even with the reliability protocol off, the envelope layer must
+	// discard injected duplicates — double dispatch would corrupt both the
+	// application and the quiescence count.
+	_, rts := newTestRTS(2)
+	rec := rts.Recorder()
+	plan := faults.Plan{Seed: 3, Rules: faults.MustParseSpec("dup:kind=charm.msg,nth=1")}
+	rts.Net().SetInjector(faults.NewPlane(plan, rec))
+	runs := 0
+	ep := rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) { runs++ })
+	rts.StartAt(0, func(ctx *Ctx) { ctx.SendPE(1, ep, &Message{Size: 64}) })
+	rts.Run()
+	if runs != 1 {
+		t.Fatalf("handler ran %d times, want 1", runs)
+	}
+	if n := rec.Count(trace.CntDupDiscards); n != 1 {
+		t.Fatalf("dup discards = %d, want 1", n)
+	}
+}

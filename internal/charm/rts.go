@@ -42,6 +42,10 @@ type RTS struct {
 	qdCounter int64
 	qdWaiters []func()
 
+	// rel, when non-nil, routes every message transport through the
+	// ack/retransmit protocol (see reliable.go).
+	rel *reliableState
+
 	// timeline, when attached, records one span per scheduler dispatch
 	// (Projections-style performance tracing).
 	timeline *trace.Timeline
@@ -152,21 +156,49 @@ func (rts *RTS) SendPE(srcPE, dstPE int, ep EP, msg *Message) {
 	if int(ep) < 0 || int(ep) >= len(rts.peEPs) {
 		panic(fmt.Sprintf("charm: SendPE to unregistered EP %d", ep))
 	}
-	cost := rts.plat.CharmMsg.Resolve(msg.Size + rts.plat.HeaderBytes)
 	if rts.rec != nil {
 		rts.rec.Incr("charm.msgs", 1)
 		rts.rec.Incr("charm.bytes", int64(msg.Size))
 	}
 	h := rts.peEPs[ep]
-	rts.qdInc() // in flight
-	rts.net.Transfer(srcPE, dstPE, cost, netmodel.TransferHooks{
-		OnArrive: func() {
-			rts.enqueue(dstPE, func() {
-				h(&Ctx{rts: rts, pe: dstPE}, msg)
-			})
-			rts.qdDec() // flight ended (queued activity took over)
-		},
+	rts.transport(srcPE, dstPE, msg.Size, func() {
+		rts.enqueue(dstPE, func() {
+			h(&Ctx{rts: rts, pe: dstPE}, msg)
+		})
 	})
+}
+
+// transport is the single message-path choke point shared by SendPE and
+// Array.Send: it resolves the Charm++ envelope cost, keeps the quiescence
+// counter honest across the flight, and routes through the reliability
+// protocol when one is enabled. arrive runs on the destination once the
+// message is (first) received.
+func (rts *RTS) transport(srcPE, dstPE, size int, arrive func()) {
+	cost := rts.plat.CharmMsg.Resolve(size + rts.plat.HeaderBytes)
+	rts.qdInc() // in flight
+	delivered := false
+	deliver := func() {
+		// The envelope layer discards replays of the same transfer even
+		// without the reliability protocol: a duplicate delivery would
+		// otherwise run the handler twice and corrupt the quiescence count.
+		if delivered {
+			if rts.rec != nil {
+				rts.rec.Incr(trace.CntDupDiscards, 1)
+			}
+			return
+		}
+		delivered = true
+		arrive()
+		rts.qdDec() // flight ended (queued activity took over)
+	}
+	if rts.rel == nil {
+		rts.net.Transfer(srcPE, dstPE, cost, netmodel.TransferHooks{
+			Kind:     netmodel.KindCharmMsg,
+			OnArrive: deliver,
+		})
+		return
+	}
+	rts.rel.send(rts, srcPE, dstPE, cost, deliver)
 }
 
 // enqueue appends a delivery to a PE's scheduler queue and kicks the

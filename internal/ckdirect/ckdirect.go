@@ -89,6 +89,7 @@ type Handle struct {
 
 	state    State
 	inPollQ  bool
+	pollIdx  int // position in the PE's polling queue while inPollQ
 	inFlight bool
 	// strided, when set, scatters each put across the destination per
 	// the layout (§6 extension; see strided.go).
@@ -101,8 +102,18 @@ type Handle struct {
 	// then detects it immediately (paper §2.1).
 	pendingDeliver bool
 
-	puts      int64
+	puts int64
+	// delivered is the sequence number (1-based put ordinal) of the last
+	// payload accepted into receiver memory. With one put in flight per
+	// channel it doubles as the count of completed deliveries; the
+	// sequence form lets replayed deliveries (duplicate faults, recovery
+	// reissues racing the original) be recognized and discarded.
 	delivered int64
+
+	// Stall-watchdog state (see watchdog.go).
+	wdTimer           *sim.Event
+	reissues          int
+	collisionReported bool
 }
 
 // ID returns the handle's identifier (unique per Manager).
@@ -125,7 +136,11 @@ func (h *Handle) Delivered() int64 { return h.delivered }
 type Manager struct {
 	rts    *charm.RTS
 	nextID int
-	polled [][]*Handle // per PE, insertion order
+	polled [][]*Handle // per PE; order is irrelevant (only the count taxes the scheduler)
+
+	// wd, when non-nil, arms a virtual-time deadline per in-flight put
+	// (see watchdog.go).
+	wd *Watchdog
 
 	// get-model state (see get.go).
 	getHandles  []*GetHandle
@@ -280,20 +295,24 @@ func (m *Manager) pollInsert(h *Handle) {
 		return
 	}
 	h.inPollQ = true
-	m.polled[h.recvPE] = append(m.polled[h.recvPE], h)
+	q := m.polled[h.recvPE]
+	h.pollIdx = len(q)
+	m.polled[h.recvPE] = append(q, h)
 }
 
+// pollRemove detaches h from its PE's polling queue in O(1) by swapping
+// the last entry into its slot — queue order carries no meaning (only the
+// queue length taxes the scheduler), and the linear scan this replaces
+// made teardown of large handle populations quadratic.
 func (m *Manager) pollRemove(h *Handle) {
 	if !h.inPollQ {
 		return
 	}
 	h.inPollQ = false
 	q := m.polled[h.recvPE]
-	for i, other := range q {
-		if other == h {
-			copy(q[i:], q[i+1:])
-			m.polled[h.recvPE] = q[:len(q)-1]
-			return
-		}
-	}
+	i, last := h.pollIdx, len(q)-1
+	q[i] = q[last]
+	q[i].pollIdx = i
+	q[last] = nil
+	m.polled[h.recvPE] = q[:last]
 }

@@ -1,10 +1,12 @@
 package ckdirect
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/netmodel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Put initiates the one-sided transfer on a channel: the contents of the
@@ -29,53 +31,80 @@ func (m *Manager) PutNotify(h *Handle, onLocalDone func()) error {
 		if sb := h.sendBuf.Bytes(); len(sb) >= 8 {
 			// The user contract: the OOB pattern never appears as the
 			// last word of transmitted data.
-			if lastWord(sb) == h.oob {
+			if binary.LittleEndian.Uint64(sb[len(sb)-8:]) == h.oob {
 				return m.misuse(fmt.Errorf("ckdirect: handle %d payload ends with the out-of-band pattern %#x", h.id, h.oob))
 			}
 		}
 	}
 	h.inFlight = true
 	h.puts++
+	h.reissues = 0
 	if rec := m.rts.Recorder(); rec != nil {
 		rec.Incr("ckd.puts", 1)
 		rec.Incr("ckd.bytes", int64(h.sendBuf.Size()))
 	}
-	size := h.sendBuf.Size()
-	cost := m.rts.Platform().CkdPut.Resolve(size)
-	hooks := netmodel.TransferHooks{}
+	cost := m.rts.Platform().CkdPut.Resolve(h.sendBuf.Size())
+	m.issuePut(h, h.puts, cost, onLocalDone)
+	return nil
+}
+
+// issuePut pushes one copy of put seq onto the wire, paying the full
+// CkdPut path cost. It is called once per Put by PutNotify and again per
+// recovery attempt by the watchdog — a reissue is charged exactly like the
+// original, so recovery latency shows up honestly in benchmarks.
+func (m *Manager) issuePut(h *Handle, seq int64, cost netmodel.PathCost, onLocalDone func()) {
+	hooks := netmodel.TransferHooks{
+		Kind: netmodel.KindCkdPut,
+		Flow: h.id,
+		// A faulted put vanishes without any receiver-side trace — the
+		// defining danger of unsynchronized one-sided communication. The
+		// hook only keeps the accounting honest; detection is the
+		// watchdog's job.
+		OnFault: func(netmodel.Fault) {
+			if rec := m.rts.Recorder(); rec != nil {
+				rec.Incr(trace.CntCkdLostPuts, 1)
+			}
+		},
+	}
 	if onLocalDone != nil {
 		hooks.OnSendDone = onLocalDone
 	}
 	if m.usesPolling() {
 		// Infiniband: a true RDMA write. Bytes land with zero receiver
 		// CPU; detection happens via the polling queue.
-		hooks.OnDeliver = func() { m.deliverRDMA(h) }
+		hooks.OnDeliver = func() { m.deliverRDMA(h, seq) }
 	} else {
 		// Blue Gene/P: DCMF receive handler places the data and the
 		// completion callback invokes the user callback; the cost is the
 		// RecvCPU term of the CkdPut table.
-		hooks.OnDeliver = func() { m.depositPayload(h) }
-		hooks.OnArrive = func() { m.deliverCallback(h) }
+		hooks.OnDeliver = func() {
+			if h.delivered < seq {
+				m.depositPayload(h)
+			}
+		}
+		hooks.OnArrive = func() { m.deliverCallback(h, seq) }
 	}
+	m.wdArm(h, seq, cost)
 	m.rts.Net().Transfer(h.sendPE, h.recvPE, cost, hooks)
-	return nil
-}
-
-func lastWord(b []byte) uint64 {
-	var w uint64
-	for i := 0; i < 8; i++ {
-		w |= uint64(b[len(b)-8+i]) << (8 * i)
-	}
-	return w
 }
 
 // deliverRDMA runs at the instant the RDMA write completes in receiver
 // memory (Infiniband backend).
-func (m *Manager) deliverRDMA(h *Handle) {
+func (m *Manager) deliverRDMA(h *Handle, seq int64) {
+	if h.delivered >= seq {
+		// Replay of an already-delivered put: a duplicate fault, or a
+		// watchdog reissue whose original eventually made it. The bytes
+		// are identical, the channel has moved on — discard.
+		if rec := m.rts.Recorder(); rec != nil {
+			rec.Incr(trace.CntCkdDupPuts, 1)
+		}
+		return
+	}
 	m.checkOverwrite(h)
 	m.depositPayload(h)
 	h.inFlight = false
-	h.delivered++
+	h.delivered = seq
+	m.wdDisarm(h)
 	h.notifyDelivery()
 	// pendingDeliver means "bytes are in memory but no poll pass has
 	// noticed yet"; for virtual regions it also stands in for the cleared
@@ -90,10 +119,17 @@ func (m *Manager) deliverRDMA(h *Handle) {
 
 // deliverCallback is the Blue Gene/P arrival path: the user callback runs
 // directly from the DCMF completion callback — no scheduler, no polling.
-func (m *Manager) deliverCallback(h *Handle) {
+func (m *Manager) deliverCallback(h *Handle, seq int64) {
+	if h.delivered >= seq {
+		if rec := m.rts.Recorder(); rec != nil {
+			rec.Incr(trace.CntCkdDupPuts, 1)
+		}
+		return
+	}
 	m.checkOverwrite(h)
 	h.inFlight = false
-	h.delivered++
+	h.delivered = seq
+	m.wdDisarm(h)
 	h.state = Fired
 	h.notifyDelivery()
 	h.cb(m.rts.CtxOn(h.recvPE))
@@ -121,7 +157,9 @@ func (m *Manager) scheduleDetection(h *Handle) {
 			// broke the out-of-band contract, so polling can never
 			// observe the arrival. In checked mode this was already
 			// reported at Put time; either way the channel stalls
-			// exactly as real hardware would.
+			// exactly as real hardware would. A configured watchdog
+			// turns the silent stall into a reported one.
+			m.wdSentinelStall(h)
 			return
 		}
 		m.pollRemove(h)

@@ -1,0 +1,128 @@
+package ckdirect
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Watchdog is the CkDirect stall detector. The protocol's defining risk
+// (paper §2.1) is that a put has no completion handshake: if the RDMA
+// write is lost in the network, or the payload's last word collides with
+// the out-of-band sentinel, the receiver polls forever and the channel
+// stalls silently. A watchdog arms a virtual-time deadline for every
+// in-flight put; a put that has not reached receiver memory by its
+// deadline is diagnosed as lost and either reported through
+// RTS.ReportError or recovered by re-issuing the put (each reissue pays
+// the full CkdPut path cost and doubles the deadline). Sentinel
+// collisions are reported the moment the first poll pass would have run
+// and failed — delivery happened, so no deadline is involved.
+//
+// The zero value is usable: derived per-put deadlines, reporting only.
+type Watchdog struct {
+	// Timeout is the deadline for the first delivery attempt. Zero derives
+	// a generous default from the put's unloaded one-way latency plus the
+	// platform's detection latency — loose enough that CPU noise and
+	// queueing never trip it on a healthy network.
+	Timeout sim.Time
+	// Recover re-issues a lost put instead of (only) reporting it. The
+	// receiver-side sequence check discards the stale copy if the original
+	// was merely late rather than lost, so recovery is always safe.
+	Recover bool
+	// MaxReissues bounds recovery attempts per put (default 3); once
+	// exhausted the stall is reported like in report-only mode.
+	MaxReissues int
+}
+
+// SetWatchdog installs (a copy of) the watchdog configuration; nil
+// disables stall detection. Call before issuing puts.
+func (m *Manager) SetWatchdog(w *Watchdog) {
+	if w == nil {
+		m.wd = nil
+		return
+	}
+	wd := *w
+	if wd.MaxReissues <= 0 {
+		wd.MaxReissues = 3
+	}
+	m.wd = &wd
+}
+
+// Watchdog returns the installed configuration (nil when disabled).
+func (m *Manager) Watchdog() *Watchdog { return m.wd }
+
+// wdDeadline is the delivery deadline for a put attempt: configured
+// timeout or derived default, doubled per reissue already spent.
+func (m *Manager) wdDeadline(h *Handle, cost netmodel.PathCost) sim.Time {
+	d := m.wd.Timeout
+	if d <= 0 {
+		plat := m.rts.Platform()
+		d = 4*cost.OneWay() + sim.Microseconds(plat.DetectLatencyUS+100)
+	}
+	for i := 0; i < h.reissues; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// wdArm starts the delivery deadline for put seq on h. No-op without a
+// configured watchdog.
+func (m *Manager) wdArm(h *Handle, seq int64, cost netmodel.PathCost) {
+	if m.wd == nil {
+		return
+	}
+	h.wdTimer = m.rts.Engine().Schedule(m.wdDeadline(h, cost), func() {
+		m.wdFire(h, seq, cost)
+	})
+}
+
+// wdDisarm cancels the pending deadline (delivery happened).
+func (m *Manager) wdDisarm(h *Handle) {
+	if h.wdTimer != nil {
+		h.wdTimer.Cancel()
+		h.wdTimer = nil
+	}
+}
+
+// wdFire runs when a put's deadline expires without delivery.
+func (m *Manager) wdFire(h *Handle, seq int64, cost netmodel.PathCost) {
+	if h.delivered >= seq {
+		// The payload landed after the timer was already committed in the
+		// event queue; nothing is wrong.
+		return
+	}
+	if rec := m.rts.Recorder(); rec != nil {
+		rec.Incr(trace.CntCkdStalls, 1)
+	}
+	if m.wd.Recover && h.reissues < m.wd.MaxReissues {
+		h.reissues++
+		if rec := m.rts.Recorder(); rec != nil {
+			rec.Incr(trace.CntCkdReissues, 1)
+		}
+		m.issuePut(h, seq, cost, nil)
+		return
+	}
+	m.rts.ReportError(fmt.Errorf(
+		"ckdirect: put %d on channel %d (%d→%d) stalled: payload never delivered within deadline (lost RDMA write, %d reissues)",
+		seq, h.id, h.sendPE, h.recvPE, h.reissues))
+}
+
+// wdSentinelStall reports the §2.1 sentinel-collision stall: the payload
+// was delivered but its last word equals the out-of-band pattern, so the
+// poll pass can never observe the arrival and the channel hangs. Called
+// from the detection path, which fires exactly when a real poll pass
+// would have looked and seen nothing.
+func (m *Manager) wdSentinelStall(h *Handle) {
+	if m.wd == nil || h.collisionReported {
+		return
+	}
+	h.collisionReported = true
+	if rec := m.rts.Recorder(); rec != nil {
+		rec.Incr(trace.CntCkdStalls, 1)
+	}
+	m.rts.ReportError(fmt.Errorf(
+		"ckdirect: channel %d (%d→%d) stalled: delivered payload's last word equals the out-of-band pattern %#x (sentinel collision)",
+		h.id, h.sendPE, h.recvPE, h.oob))
+}

@@ -1,0 +1,204 @@
+package ckdirect
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/faults"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+func installPlan(rts *charm.RTS, spec string) {
+	plan := faults.Plan{Seed: 21, Rules: faults.MustParseSpec(spec)}
+	rts.Net().SetInjector(faults.NewPlane(plan, rts.Recorder()))
+}
+
+func errorsContain(errs []error, substr string) bool {
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWatchdogReportsLostPut(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	m.SetWatchdog(&Watchdog{}) // report-only, derived deadline
+	installPlan(rts, "drop:kind=ckd.put,nth=1")
+	fired := false
+	h, _, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) { fired = true })
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("callback fired for a dropped put")
+	}
+	rec := rts.Recorder()
+	if n := rec.Count(trace.CntCkdLostPuts); n != 1 {
+		t.Fatalf("lost_puts = %d, want 1", n)
+	}
+	if n := rec.Count(trace.CntCkdStalls); n != 1 {
+		t.Fatalf("stalls = %d, want 1", n)
+	}
+	if !errorsContain(rts.Errors(), "stalled: payload never delivered") {
+		t.Fatalf("no stall report in %v", rts.Errors())
+	}
+	if h.InFlight() != true {
+		t.Fatal("lost put should still read as in flight (nothing delivered)")
+	}
+}
+
+func TestWatchdogRecoversLostPut(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	m.SetWatchdog(&Watchdog{Recover: true})
+	installPlan(rts, "drop:kind=ckd.put,nth=1")
+	fired := 0
+	h, _, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) { fired++ })
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("callback fired %d times, want 1 (reissue delivers)", fired)
+	}
+	rec := rts.Recorder()
+	if n := rec.Count(trace.CntCkdReissues); n != 1 {
+		t.Fatalf("reissues = %d, want 1", n)
+	}
+	if errs := rts.Errors(); len(errs) != 0 {
+		t.Fatalf("recovered put still reported: %v", errs)
+	}
+	if h.Delivered() != 1 {
+		t.Fatalf("Delivered = %d, want 1", h.Delivered())
+	}
+}
+
+func TestWatchdogRecoveryExhaustionReports(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	m.SetWatchdog(&Watchdog{Recover: true, MaxReissues: 2})
+	installPlan(rts, "drop:kind=ckd.put,rate=1")
+	h, _, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) {})
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	rec := rts.Recorder()
+	if n := rec.Count(trace.CntCkdReissues); n != 2 {
+		t.Fatalf("reissues = %d, want 2", n)
+	}
+	// One stall observation per expired deadline: original + 2 reissues.
+	if n := rec.Count(trace.CntCkdStalls); n != 3 {
+		t.Fatalf("stalls = %d, want 3", n)
+	}
+	if !errorsContain(rts.Errors(), "2 reissues") {
+		t.Fatalf("exhaustion not reported: %v", rts.Errors())
+	}
+}
+
+func TestWatchdogSpuriousTimeoutIsHarmless(t *testing.T) {
+	// Delay the put far beyond the watchdog deadline: the reissue races a
+	// copy that was late, not lost. Delivery must happen exactly once.
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	m.SetWatchdog(&Watchdog{Recover: true})
+	installPlan(rts, "delay:kind=ckd.put,nth=1,us=2000")
+	fired := 0
+	h, _, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) { fired++ })
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if fired != 1 {
+		t.Fatalf("callback fired %d times, want 1", fired)
+	}
+	rec := rts.Recorder()
+	if n := rec.Count(trace.CntCkdDupPuts); n != 1 {
+		t.Fatalf("dup_puts = %d, want 1 (the late original discarded)", n)
+	}
+	if errs := rts.Errors(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+}
+
+// Satellite coverage: the §2.1 sentinel-collision stall must be reported
+// by the watchdog instead of hanging silently. Unchecked mode is the
+// interesting one — checked mode already flags the payload at Put time.
+func TestWatchdogReportsSentinelCollisionStall(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	m.SetWatchdog(&Watchdog{})
+	fired := false
+	h, send, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) { fired = true })
+	// Craft the forbidden payload: last word equals the sentinel.
+	binary.LittleEndian.PutUint64(send.Bytes()[56:], oob)
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("callback fired despite sentinel collision")
+	}
+	rec := rts.Recorder()
+	if n := rec.Count(trace.CntCkdStalls); n != 1 {
+		t.Fatalf("stalls = %d, want 1", n)
+	}
+	if !errorsContain(rts.Errors(), "sentinel collision") {
+		t.Fatalf("collision not reported: %v", rts.Errors())
+	}
+}
+
+// Satellite coverage: ReadyPollQ without the ReadyMark that must precede
+// it is detected in checked mode.
+func TestMisuseReadyPollQBeforeReadyMark(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	h, _, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) {})
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // deliver + detect: state is now Fired
+	if h.State() != Fired {
+		t.Fatalf("state = %v, want Fired", h.State())
+	}
+	m.ReadyPollQ(h)
+	if !errorsContain(rts.Errors(), "ReadyMark missing") {
+		t.Fatalf("ReadyPollQ-before-ReadyMark not reported: %v", rts.Errors())
+	}
+}
+
+// Satellite coverage: a second Put while one is already in flight is both
+// returned as an error and recorded in checked mode.
+func TestMisuseDoublePutInFlight(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	h, _, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) {})
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(h); err == nil || !strings.Contains(err.Error(), "already in flight") {
+		t.Fatalf("double put returned %v", err)
+	}
+	if !errorsContain(rts.Errors(), "already in flight") {
+		t.Fatalf("double put not recorded: %v", rts.Errors())
+	}
+}
+
+func TestWatchdogDisabledKeepsSilentStall(t *testing.T) {
+	// Without a watchdog a lost put is invisible — the seed behaviour.
+	// This pins down that detection is opt-in, so the no-fault benchmarks
+	// are untouched.
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, false)
+	installPlan(rts, "drop:kind=ckd.put,rate=1")
+	h, _, _ := mkChannel(t, rts, m, 64, func(*charm.Ctx) {})
+	if err := m.Put(h); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if errs := rts.Errors(); len(errs) != 0 {
+		t.Fatalf("watchdog-less run reported errors: %v", errs)
+	}
+	if n := rts.Recorder().Count(trace.CntCkdStalls); n != 0 {
+		t.Fatalf("stalls counted without watchdog: %d", n)
+	}
+}

@@ -1,0 +1,296 @@
+// Package faults is a seeded, deterministic fault-injection plane for the
+// simulated network. It implements netmodel.Injector and is installed at
+// the single choke point every transport flows through
+// (netmodel.Net.SetInjector), so Charm++ messages, CkDirect puts/gets and
+// the MPI flavors are all subject to the same plan.
+//
+// A Plan is a seed plus an ordered list of Rules. Each rule selects
+// transfers by kind / endpoints / flow and fires either probabilistically
+// (Rate) or on a targeted ordinal ("kill the Nth put on channel X", Nth).
+// Each rule owns an RNG derived from the plan seed, so adding or removing
+// one rule never perturbs another rule's decisions — scenarios stay
+// bit-reproducible as they are edited.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Action is what a triggered rule does to the transfer.
+type Action int
+
+const (
+	// Drop discards the payload in flight: sender costs are paid, the
+	// receiver sees nothing.
+	Drop Action = iota
+	// Corrupt damages the payload: receive-side CPU (if any) is paid to
+	// process and discard it, but it is never delivered. Pure RDMA paths
+	// treat corruption as a drop (link-layer CRC kills the packet).
+	Corrupt
+	// Delay adds DelayUS of extra wire latency. Because transfers overtaken
+	// by later ones arrive out of order, Delay doubles as the reorder
+	// primitive.
+	Delay
+	// Duplicate delivers the payload Count extra times (default 1), spaced
+	// one wire-time apart.
+	Duplicate
+)
+
+// String names the action the way ParseSpec spells it.
+func (a Action) String() string {
+	switch a {
+	case Drop:
+		return "drop"
+	case Corrupt:
+		return "corrupt"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "dup"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Rule selects a subset of transfers and applies an action to some of
+// them. Zero values of the selector fields mean "match anything" for Kind
+// and require -1 for the integer selectors (a zero src/dst/flow is a real
+// id); NewRule and ParseSpec produce correctly-initialized rules.
+type Rule struct {
+	// Kind restricts matching to one transfer kind (netmodel.Kind*).
+	// Empty matches every kind.
+	Kind string
+	// Src / Dst restrict matching to one endpoint pair; -1 matches any.
+	Src, Dst int
+	// Flow restricts matching to one protocol stream (CkDirect handle id,
+	// reliability sequence number); -1 matches any.
+	Flow int
+
+	// Nth, when positive, fires the rule exactly once: on the Nth matching
+	// transfer (1-based). Rate is ignored.
+	Nth int
+	// Rate, when Nth is zero, fires the rule independently on each
+	// matching transfer with this probability.
+	Rate float64
+
+	// Action is what happens to a triggered transfer.
+	Action Action
+	// DelayUS is the extra wire latency for Delay rules, in microseconds.
+	DelayUS float64
+	// Count is the number of extra deliveries for Duplicate rules
+	// (defaulted to 1 by NewPlane when left zero).
+	Count int
+}
+
+// NewRule returns a rule matching every transfer, to be narrowed by the
+// caller. Integer selectors start at -1 ("any").
+func NewRule(action Action) Rule {
+	return Rule{Src: -1, Dst: -1, Flow: -1, Action: action}
+}
+
+// matches reports whether the rule's static selectors accept the attempt.
+func (r *Rule) matches(a netmodel.Attempt) bool {
+	if r.Kind != "" && r.Kind != a.Kind {
+		return false
+	}
+	if r.Src >= 0 && r.Src != a.Src {
+		return false
+	}
+	if r.Dst >= 0 && r.Dst != a.Dst {
+		return false
+	}
+	if r.Flow >= 0 && r.Flow != a.Flow {
+		return false
+	}
+	return true
+}
+
+// Plan is a complete fault scenario: a seed and an ordered rule list. The
+// zero Plan injects nothing.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Plane evaluates a Plan against the stream of transfer attempts. It
+// implements netmodel.Injector. Evaluation order is deterministic: rules
+// are consulted in plan order and the first rule that triggers decides the
+// outcome (its action is applied; later rules never see the attempt's
+// randomness).
+type Plane struct {
+	rules []Rule
+	rngs  []*rng.RNG
+	seen  []int // matching-attempt count per rule, drives Nth
+	fired []int // trigger count per rule, for diagnostics
+	rec   *trace.Recorder
+}
+
+// NewPlane compiles a plan. rec may be nil; when present the plane
+// maintains the trace.CntDropped / CntCorrupted / CntDelayed /
+// CntDuplicated counters.
+func NewPlane(plan Plan, rec *trace.Recorder) *Plane {
+	p := &Plane{
+		rules: make([]Rule, len(plan.Rules)),
+		rngs:  make([]*rng.RNG, len(plan.Rules)),
+		seen:  make([]int, len(plan.Rules)),
+		fired: make([]int, len(plan.Rules)),
+		rec:   rec,
+	}
+	copy(p.rules, plan.Rules)
+	// Derive one independent stream per rule so rules never share state.
+	root := rng.New(plan.Seed)
+	for i := range p.rules {
+		p.rngs[i] = root.Split()
+		if p.rules[i].Action == Duplicate && p.rules[i].Count <= 0 {
+			p.rules[i].Count = 1
+		}
+	}
+	return p
+}
+
+// Inspect implements netmodel.Injector. Every matching rule advances its
+// own match counter and random stream on every attempt — a rule's
+// decisions depend only on the subsequence of attempts it matches, never
+// on whether an earlier rule also fired. When several rules trigger on
+// the same attempt, the first in plan order decides the outcome.
+func (p *Plane) Inspect(a netmodel.Attempt) netmodel.Outcome {
+	var out netmodel.Outcome
+	decided := false
+	for i := range p.rules {
+		r := &p.rules[i]
+		if !r.matches(a) {
+			continue
+		}
+		p.seen[i]++
+		triggered := false
+		if r.Nth > 0 {
+			triggered = p.seen[i] == r.Nth
+		} else if r.Rate > 0 {
+			triggered = p.rngs[i].Float64() < r.Rate
+		}
+		if !triggered || decided {
+			continue
+		}
+		decided = true
+		p.fired[i]++
+		switch r.Action {
+		case Drop:
+			out.Fault = netmodel.FaultDrop
+			p.rec.Incr(trace.CntDropped, 1)
+		case Corrupt:
+			out.Fault = netmodel.FaultCorrupt
+			p.rec.Incr(trace.CntCorrupted, 1)
+		case Delay:
+			out.ExtraWire = sim.Microseconds(r.DelayUS)
+			p.rec.Incr(trace.CntDelayed, 1)
+		case Duplicate:
+			out.Duplicates = r.Count
+			p.rec.Incr(trace.CntDuplicated, 1)
+		}
+	}
+	return out
+}
+
+// Fired returns how many times rule i triggered — handy when a test wants
+// to confirm a targeted rule actually hit something.
+func (p *Plane) Fired(i int) int { return p.fired[i] }
+
+// ParseSpec parses the command-line fault grammar:
+//
+//	spec  := rule (';' rule)*
+//	rule  := action [':' kv (',' kv)*]
+//	action:= drop | corrupt | delay | dup
+//	kv    := rate=F | nth=N | kind=S | src=N | dst=N | flow=N | us=F | count=N
+//
+// Examples:
+//
+//	drop:rate=0.01
+//	drop:kind=ckd.put,nth=3,flow=2
+//	delay:rate=0.05,us=25;dup:rate=0.01
+//
+// A rule with neither rate nor nth never fires; ParseSpec rejects it so a
+// typo'd scenario fails loudly instead of silently injecting nothing.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		head, rest, hasArgs := strings.Cut(rs, ":")
+		var r Rule
+		switch strings.TrimSpace(head) {
+		case "drop":
+			r = NewRule(Drop)
+		case "corrupt":
+			r = NewRule(Corrupt)
+		case "delay":
+			r = NewRule(Delay)
+		case "dup":
+			r = NewRule(Duplicate)
+		default:
+			return nil, fmt.Errorf("faults: unknown action %q in rule %q", head, rs)
+		}
+		if hasArgs {
+			for _, kv := range strings.Split(rest, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("faults: malformed %q in rule %q (want key=value)", kv, rs)
+				}
+				var err error
+				switch k {
+				case "rate":
+					r.Rate, err = strconv.ParseFloat(v, 64)
+					if err == nil && (r.Rate < 0 || r.Rate > 1) {
+						err = fmt.Errorf("rate %v outside [0,1]", r.Rate)
+					}
+				case "nth":
+					r.Nth, err = strconv.Atoi(v)
+				case "kind":
+					r.Kind = v
+				case "src":
+					r.Src, err = strconv.Atoi(v)
+				case "dst":
+					r.Dst, err = strconv.Atoi(v)
+				case "flow":
+					r.Flow, err = strconv.Atoi(v)
+				case "us":
+					r.DelayUS, err = strconv.ParseFloat(v, 64)
+				case "count":
+					r.Count, err = strconv.Atoi(v)
+				default:
+					err = fmt.Errorf("unknown key %q", k)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("faults: rule %q: %v", rs, err)
+				}
+			}
+		}
+		if r.Nth <= 0 && r.Rate <= 0 {
+			return nil, fmt.Errorf("faults: rule %q has neither rate nor nth and would never fire", rs)
+		}
+		if r.Action == Delay && r.DelayUS <= 0 {
+			return nil, fmt.Errorf("faults: delay rule %q needs us=<microseconds>", rs)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: empty spec")
+	}
+	return rules, nil
+}
+
+// MustParseSpec is ParseSpec for tests and hard-coded scenarios.
+func MustParseSpec(spec string) []Rule {
+	rules, err := ParseSpec(spec)
+	if err != nil {
+		panic(err)
+	}
+	return rules
+}

@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func attempts(n int) []netmodel.Attempt {
+	out := make([]netmodel.Attempt, n)
+	for i := range out {
+		out[i] = netmodel.Attempt{Src: i % 4, Dst: (i + 1) % 4, Kind: netmodel.KindCharmMsg, Flow: i}
+	}
+	return out
+}
+
+func TestDeterministicAcrossPlanes(t *testing.T) {
+	plan := Plan{Seed: 42, Rules: MustParseSpec("drop:rate=0.1;delay:rate=0.2,us=10")}
+	a := NewPlane(plan, nil)
+	b := NewPlane(plan, nil)
+	for i, at := range attempts(500) {
+		oa, ob := a.Inspect(at), b.Inspect(at)
+		if oa != ob {
+			t.Fatalf("attempt %d: outcomes diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestRuleIndependence(t *testing.T) {
+	// Adding a second rule must not change the first rule's decisions:
+	// each rule owns a split RNG stream.
+	one := NewPlane(Plan{Seed: 7, Rules: MustParseSpec("drop:rate=0.1")}, nil)
+	two := NewPlane(Plan{Seed: 7, Rules: MustParseSpec("drop:rate=0.1;dup:kind=ckd.put,rate=0.5")}, nil)
+	for i, at := range attempts(500) {
+		oa, ob := one.Inspect(at), two.Inspect(at)
+		// The dup rule never matches charm.msg attempts, so outcomes must
+		// be identical.
+		if oa != ob {
+			t.Fatalf("attempt %d: adding unrelated rule changed outcome: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestNthTargeting(t *testing.T) {
+	rec := trace.NewRecorder()
+	p := NewPlane(Plan{Seed: 1, Rules: MustParseSpec("drop:kind=ckd.put,flow=3,nth=2")}, rec)
+	drops := 0
+	for i := 0; i < 10; i++ {
+		// Interleave matching and non-matching attempts.
+		if out := p.Inspect(netmodel.Attempt{Kind: netmodel.KindCharmMsg, Flow: 3, Src: -0, Dst: 1}); out.Fault != netmodel.FaultNone {
+			t.Fatalf("rule leaked onto wrong kind at %d", i)
+		}
+		out := p.Inspect(netmodel.Attempt{Kind: netmodel.KindCkdPut, Flow: 3, Src: 0, Dst: 1})
+		if out.Fault == netmodel.FaultDrop {
+			if i != 1 {
+				t.Fatalf("drop fired on matching attempt %d, want 1 (the 2nd)", i)
+			}
+			drops++
+		}
+	}
+	if drops != 1 {
+		t.Fatalf("nth rule fired %d times, want exactly once", drops)
+	}
+	if got := rec.Count(trace.CntDropped); got != 1 {
+		t.Fatalf("%s = %d, want 1", trace.CntDropped, got)
+	}
+	if p.Fired(0) != 1 {
+		t.Fatalf("Fired(0) = %d, want 1", p.Fired(0))
+	}
+}
+
+func TestRateApproximation(t *testing.T) {
+	p := NewPlane(Plan{Seed: 99, Rules: MustParseSpec("drop:rate=0.25")}, nil)
+	const n = 20000
+	drops := 0
+	for _, at := range attempts(n) {
+		if p.Inspect(at).Fault == netmodel.FaultDrop {
+			drops++
+		}
+	}
+	frac := float64(drops) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("drop fraction %v far from 0.25", frac)
+	}
+}
+
+func TestActions(t *testing.T) {
+	p := NewPlane(Plan{Seed: 5, Rules: []Rule{
+		func() Rule { r := NewRule(Delay); r.Nth = 1; r.DelayUS = 25; return r }(),
+		func() Rule { r := NewRule(Duplicate); r.Nth = 2; r.Count = 3; return r }(),
+		func() Rule { r := NewRule(Corrupt); r.Nth = 3; return r }(),
+	}}, nil)
+	at := netmodel.Attempt{Kind: netmodel.KindCharmMsg}
+	if out := p.Inspect(at); out.ExtraWire != sim.Microseconds(25) {
+		t.Fatalf("first attempt: want 25us extra wire, got %+v", out)
+	}
+	if out := p.Inspect(at); out.Duplicates != 3 {
+		t.Fatalf("second attempt: want 3 duplicates, got %+v", out)
+	}
+	if out := p.Inspect(at); out.Fault != netmodel.FaultCorrupt {
+		t.Fatalf("third attempt: want corrupt, got %+v", out)
+	}
+	if out := p.Inspect(at); out != (netmodel.Outcome{}) {
+		t.Fatalf("fourth attempt: want clean outcome, got %+v", out)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"explode:rate=0.1",
+		"drop",             // no trigger
+		"drop:rate=1.5",    // rate out of range
+		"delay:rate=0.1",   // delay without us
+		"drop:rate",        // malformed kv
+		"drop:volume=11",   // unknown key
+		"drop:rate=banana", // unparseable value
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", spec)
+		}
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	rules := MustParseSpec("drop:kind=ckd.put,nth=3,flow=2; delay:rate=0.05,us=25,src=1,dst=2")
+	if len(rules) != 2 {
+		t.Fatalf("want 2 rules, got %d", len(rules))
+	}
+	r0 := rules[0]
+	if r0.Action != Drop || r0.Kind != netmodel.KindCkdPut || r0.Nth != 3 || r0.Flow != 2 || r0.Src != -1 {
+		t.Fatalf("rule 0 misparsed: %+v", r0)
+	}
+	r1 := rules[1]
+	if r1.Action != Delay || r1.Rate != 0.05 || r1.DelayUS != 25 || r1.Src != 1 || r1.Dst != 2 {
+		t.Fatalf("rule 1 misparsed: %+v", r1)
+	}
+}

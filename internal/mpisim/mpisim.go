@@ -135,7 +135,12 @@ func (r *Rank) Send(dst, tag int, msg *Msg) {
 		r.world.rec.Incr("mpi.bytes", int64(msg.Size))
 	}
 	dstRank := r.world.ranks[dst]
+	// The MPI paths are tagged for fault targeting but carry no
+	// reliability protocol: like real MPI they assume a reliable
+	// transport, so injected faults surface as hangs/lost data — the
+	// baseline CkDirect's watchdog is compared against.
 	r.world.net.Transfer(r.id, dst, cost, netmodel.TransferHooks{
+		Kind:     netmodel.KindMPIMsg,
 		OnArrive: func() { dstRank.arrive(m) },
 	})
 }

@@ -116,6 +116,7 @@ func (win *Win) Put(rank, target, size int, src *machine.Region) error {
 	}
 	te := &win.epochs[target]
 	win.world.net.Transfer(rank, target, cost, netmodel.TransferHooks{
+		Kind: netmodel.KindMPIPut,
 		OnSendDone: func() {
 			e.putsInFlight--
 			e.putsSendDone++
@@ -215,6 +216,7 @@ func (win *Win) PutFenced(rank, target, size int, src *machine.Region) {
 		win.world.rec.Incr("mpi.put_bytes", int64(size))
 	}
 	win.world.net.Transfer(rank, target, cost, netmodel.TransferHooks{
+		Kind: netmodel.KindMPIPut,
 		OnArrive: func() {
 			if src != nil && win.regions[target] != nil {
 				src.CopyTo(win.regions[target])

@@ -112,6 +112,77 @@ func (p PathCost) OneWay() sim.Time {
 	return p.SendCPU + p.Rendezvous + p.Wire + p.RecvCPU + p.RendezvousCPU
 }
 
+// Fault is the outcome fault injection chose for one transfer attempt.
+type Fault int
+
+// Fault kinds.
+const (
+	// FaultNone: the attempt proceeds unharmed.
+	FaultNone Fault = iota
+	// FaultDrop: the payload never reaches destination memory. The
+	// sender-side costs are still paid (the NIC accepted the descriptor).
+	FaultDrop
+	// FaultCorrupt: the payload reaches the destination damaged. Paths
+	// with a receive-side software step (checksummed message protocols)
+	// pay their receive CPU and then discard; pure RDMA paths observe it
+	// like a drop — Infiniband's link-layer CRC discards the packet
+	// before it touches memory.
+	FaultCorrupt
+)
+
+// String names the fault.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// Transfer kinds used by the software stacks in this repository, matched
+// by fault-injection rules. Stacks pass them via TransferHooks.Kind.
+const (
+	KindCharmMsg = "charm.msg" // Charm++ two-sided message (eager/rendezvous)
+	KindCharmAck = "charm.ack" // reliability-layer acknowledgement
+	KindCkdPut   = "ckd.put"   // CkDirect one-sided put
+	KindMPIMsg   = "mpi.msg"   // MPI two-sided message
+	KindMPIPut   = "mpi.put"   // MPI_Put one-sided transfer
+)
+
+// Attempt describes one transfer attempt to a fault injector.
+type Attempt struct {
+	Src, Dst int
+	// Kind classifies the software path (see the Kind* constants); empty
+	// for transfers that did not tag themselves.
+	Kind string
+	// Flow is a protocol-level stream id: the CkDirect handle id for
+	// puts, the reliability sequence number for messages. Zero when the
+	// path has no flow notion.
+	Flow int
+}
+
+// Outcome is an injector's verdict for one attempt.
+type Outcome struct {
+	Fault Fault
+	// ExtraWire is additional wire latency (delay and reordering faults:
+	// delaying one transfer past its successors reorders arrival).
+	ExtraWire sim.Time
+	// Duplicates is how many extra copies of the payload arrive after the
+	// original, each one wire-time apart.
+	Duplicates int
+}
+
+// Injector decides the fate of transfer attempts. Implementations must be
+// deterministic functions of their own seeded state — the engine is
+// single-threaded, so attempts arrive in a reproducible order.
+type Injector interface {
+	Inspect(a Attempt) Outcome
+}
+
 // Net binds a machine to per-hop latency parameters and provides the
 // event sequencing for transfers. It is deliberately dumb: all protocol
 // intelligence lives in the regime tables of the software stacks above.
@@ -125,7 +196,19 @@ type Net struct {
 	// IntraNodeFactor scales Wire time for PEs on the same node (shared
 	// memory transport; < 1).
 	IntraNodeFactor float64
+
+	// injector, when installed, inspects every transfer (the
+	// fault-injection plane). nil means a perfectly reliable network.
+	injector Injector
 }
+
+// SetInjector installs a fault-injection plane on every transfer. Passing
+// nil restores the perfectly reliable network.
+func (n *Net) SetInjector(i Injector) { n.injector = i }
+
+// Injector returns the installed fault plane (nil when the network is
+// reliable).
+func (n *Net) Injector() Injector { return n.injector }
 
 // NewNet creates the transfer sequencer.
 func NewNet(eng *sim.Engine, mach *machine.Machine, perHopUS, intraNodeFactor float64) *Net {
@@ -153,6 +236,14 @@ func (n *Net) WireDelay(src, dst int, wire sim.Time) sim.Time {
 
 // TransferHooks receive the milestones of a one-way transfer.
 type TransferHooks struct {
+	// Kind classifies the transfer for fault-injection matching (see the
+	// Kind* constants). Empty is legal: rules that match any kind still
+	// apply.
+	Kind string
+	// Flow is the protocol stream id handed to the injector (CkDirect
+	// handle id, reliability sequence number).
+	Flow int
+
 	// OnSendDone fires on the sender when the send-side CPU work ends
 	// (the local buffer may be reused for eager protocols).
 	OnSendDone func()
@@ -163,6 +254,13 @@ type TransferHooks struct {
 	// OnArrive fires on the receiver after RecvCPU (+ rendezvous CPU)
 	// completes — the point where an RTS would enqueue the message.
 	OnArrive func()
+	// OnFault observes injected faults on this transfer. It fires at the
+	// virtual time the payload would have landed (drop) or at the time
+	// the receiver finished discarding the damaged data (corrupt; the
+	// receive CPU is still paid when the path has any). When nil, faults
+	// are silent — exactly the failure mode a reliability layer exists to
+	// detect.
+	OnFault func(f Fault)
 }
 
 // Transfer runs the full event sequence of one message/put:
@@ -171,28 +269,74 @@ type TransferHooks struct {
 //	(OnDeliver) → reserve RecvCPU+RendezvousCPU on dst → OnArrive.
 //
 // A zero-CPU receive (RDMA put) fires OnArrive at delivery time.
+//
+// When an Injector is installed it may drop or corrupt the payload
+// (suppressing OnDeliver/OnArrive and firing OnFault instead), add wire
+// latency, or deliver duplicates (the full OnDeliver/OnArrive sequence
+// repeats, one wire-time apart — receivers must tolerate replays).
 func (n *Net) Transfer(src, dst int, cost PathCost, hooks TransferHooks) {
+	var out Outcome
+	if n.injector != nil {
+		out = n.injector.Inspect(Attempt{Src: src, Dst: dst, Kind: hooks.Kind, Flow: hooks.Flow})
+	}
 	srcPE := n.mach.PE(src)
 	_, sendEnd := srcPE.Reserve(cost.SendCPU)
 	if hooks.OnSendDone != nil {
 		n.eng.At(sendEnd, hooks.OnSendDone)
 	}
-	wire := n.WireDelay(src, dst, cost.Wire)
+	wire := n.WireDelay(src, dst, cost.Wire) + out.ExtraWire
 	deliverAt := sendEnd + cost.Rendezvous + wire
-	n.eng.At(deliverAt, func() {
-		if hooks.OnDeliver != nil {
-			hooks.OnDeliver()
+
+	switch out.Fault {
+	case FaultDrop:
+		// The bytes evaporate in the network; nothing happens on the
+		// receiver. OnFault is the simulation's omniscient observer (used
+		// for accounting), not something the protocols can act on.
+		if hooks.OnFault != nil {
+			n.eng.At(deliverAt, func() { hooks.OnFault(FaultDrop) })
 		}
-		recvCPU := cost.RecvCPU + cost.RendezvousCPU
-		if recvCPU == 0 {
-			if hooks.OnArrive != nil {
-				hooks.OnArrive()
+		return
+	case FaultCorrupt:
+		// Damaged payload: a path with receive-side CPU pays it in full
+		// (the receiver processes, checksums and discards the message); a
+		// pure RDMA path never sees the bytes (link-layer CRC drops the
+		// packet at the NIC).
+		n.eng.At(deliverAt, func() {
+			recvCPU := cost.RecvCPU + cost.RendezvousCPU
+			if recvCPU == 0 {
+				if hooks.OnFault != nil {
+					hooks.OnFault(FaultCorrupt)
+				}
+				return
 			}
-			return
-		}
-		_, recvEnd := n.mach.PE(dst).Reserve(recvCPU)
-		if hooks.OnArrive != nil {
-			n.eng.At(recvEnd, hooks.OnArrive)
-		}
-	})
+			_, recvEnd := n.mach.PE(dst).Reserve(recvCPU)
+			if hooks.OnFault != nil {
+				n.eng.At(recvEnd, func() { hooks.OnFault(FaultCorrupt) })
+			}
+		})
+		return
+	}
+
+	deliver := func(at sim.Time) {
+		n.eng.At(at, func() {
+			if hooks.OnDeliver != nil {
+				hooks.OnDeliver()
+			}
+			recvCPU := cost.RecvCPU + cost.RendezvousCPU
+			if recvCPU == 0 {
+				if hooks.OnArrive != nil {
+					hooks.OnArrive()
+				}
+				return
+			}
+			_, recvEnd := n.mach.PE(dst).Reserve(recvCPU)
+			if hooks.OnArrive != nil {
+				n.eng.At(recvEnd, hooks.OnArrive)
+			}
+		})
+	}
+	deliver(deliverAt)
+	for i := 0; i < out.Duplicates; i++ {
+		deliver(deliverAt + sim.Time(i+1)*wire)
+	}
 }

@@ -87,20 +87,23 @@ func (e *Engine) At(t Time, fn EventFunc) *Event {
 }
 
 // Step fires the single next event. It reports false when the queue is
-// empty or the engine has been stopped.
+// empty or the engine has been stopped. Cancelled events are discarded
+// without advancing the clock: a cancelled far-future timer (a retransmit
+// timeout beaten by its ack, a watchdog disarmed by delivery) must not
+// stretch the simulated run.
 func (e *Engine) Step() bool {
 	for {
 		if e.stopped || len(e.queue) == 0 {
 			return false
 		}
 		ev := e.queue.pop()
+		if ev.cancelled {
+			continue
+		}
 		if ev.at < e.now {
 			panic(fmt.Sprintf("sim: event at %v behind clock %v", ev.at, e.now))
 		}
 		e.now = ev.at
-		if ev.cancelled {
-			continue
-		}
 		e.executed++
 		ev.fn()
 		return true

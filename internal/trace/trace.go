@@ -13,6 +13,29 @@ import (
 	"repro/internal/sim"
 )
 
+// Canonical counter names shared between the fault-injection plane, the
+// reliability layers and the tests that assert on them. Using constants
+// keeps producers and consumers from drifting apart on spelling.
+const (
+	// Fault-injection plane (internal/faults).
+	CntDropped    = "net.dropped"
+	CntCorrupted  = "net.corrupted"
+	CntDelayed    = "net.delayed"
+	CntDuplicated = "net.duplicated"
+
+	// Charm reliable-delivery protocol (internal/charm).
+	CntRetransmits = "net.retransmits"
+	CntAcks        = "net.acks"
+	CntDupDiscards = "net.dup_discards"
+	CntFailedMsgs  = "net.failed_msgs"
+
+	// CkDirect stall watchdog (internal/ckdirect).
+	CntCkdStalls   = "ckd.stalls"
+	CntCkdLostPuts = "ckd.lost_puts"
+	CntCkdReissues = "ckd.reissues"
+	CntCkdDupPuts  = "ckd.dup_puts"
+)
+
 // Recorder accumulates named statistics. The zero value is not usable;
 // call NewRecorder. Recorder is not safe for concurrent use — the whole
 // simulation is single-threaded by design.
@@ -85,6 +108,19 @@ func (r *Recorder) Series(name string) []float64 {
 		return nil
 	}
 	return r.series[name]
+}
+
+// Counters returns a snapshot copy of all counters. Determinism tests
+// compare two runs' snapshots wholesale.
+func (r *Recorder) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(r.counters))
+	for n, v := range r.counters {
+		out[n] = v
+	}
+	return out
 }
 
 // Reset clears all accumulated state but preserves the enabled flag.
