@@ -18,6 +18,7 @@ import (
 	"repro/internal/apps/openatom"
 	"repro/internal/apps/stencil"
 	"repro/internal/chaos"
+	"repro/internal/charm"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -25,18 +26,27 @@ import (
 
 func main() {
 	var (
-		appName   = flag.String("app", "stencil", "stencil | matmul | openatom | fem")
-		platName  = flag.String("platform", "abe", "abe | bgp")
-		pes       = flag.Int("pes", 8, "processing elements")
-		modeName  = flag.String("mode", "ckd", "msg | ckd")
-		out       = flag.String("out", "", "write Chrome trace JSON here instead of the summary")
-		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
-		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
-		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
-		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
-		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		appName     = flag.String("app", "stencil", "stencil | matmul | openatom | fem")
+		platName    = flag.String("platform", "abe", "abe | bgp")
+		pes         = flag.Int("pes", 8, "processing elements")
+		modeName    = flag.String("mode", "ckd", "msg | ckd")
+		out         = flag.String("out", "", "write Chrome trace JSON here instead of the summary")
+		backendName = flag.String("backend", "sim", "sim only: the timeline recorder needs virtual time")
+		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
+
+	be, err := charm.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	if be != charm.SimBackend {
+		fatal(fmt.Errorf("the timeline recorder replays virtual time and is sim-only; use the real backend's apps directly (e.g. stencil -backend=real)"))
+	}
 
 	var plat *netmodel.Platform
 	switch *platName {

@@ -14,25 +14,27 @@ import (
 
 	"repro/internal/apps/fem"
 	"repro/internal/chaos"
+	"repro/internal/charm"
 	"repro/internal/netmodel"
 )
 
 func main() {
 	var (
-		platName  = flag.String("platform", "abe", "abe | bgp")
-		pes       = flag.Int("pes", 16, "processing elements")
-		mesh      = flag.String("mesh", "512x512", "quad grid NXxNY (2*NX*NY triangles)")
-		vr        = flag.Int("vr", 2, "mesh partitions per PE")
-		iters     = flag.Int("iters", 3, "measured iterations")
-		warmup    = flag.Int("warmup", 1, "warmup iterations")
-		modeName  = flag.String("mode", "ckd", "msg | ckd")
-		compare   = flag.Bool("compare", false, "run both modes and report the improvement")
-		validate  = flag.Bool("validate", false, "move real vertex data and verify against the serial reference (small meshes)")
-		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
-		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
-		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
-		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
-		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		platName    = flag.String("platform", "abe", "abe | bgp")
+		pes         = flag.Int("pes", 16, "processing elements")
+		mesh        = flag.String("mesh", "512x512", "quad grid NXxNY (2*NX*NY triangles)")
+		vr          = flag.Int("vr", 2, "mesh partitions per PE")
+		iters       = flag.Int("iters", 3, "measured iterations")
+		warmup      = flag.Int("warmup", 1, "warmup iterations")
+		modeName    = flag.String("mode", "ckd", "msg | ckd")
+		compare     = flag.Bool("compare", false, "run both modes and report the improvement")
+		validate    = flag.Bool("validate", false, "move real vertex data and verify against the serial reference (small meshes)")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -54,6 +56,13 @@ func main() {
 	if err1 != nil || err2 != nil || nx <= 0 || ny <= 0 {
 		fatal(fmt.Errorf("bad mesh %q", *mesh))
 	}
+	be, err := charm.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
+		fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))
+	}
 	sc, err := chaos.Options{
 		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
 		Reliable: *reliable, Watchdog: *watchdog,
@@ -67,6 +76,7 @@ func main() {
 		NX: nx, NY: ny,
 		Iters: *iters, Warmup: *warmup,
 		Validate: *validate,
+		Backend:  be,
 		Chaos:    sc,
 	}
 	if *compare {

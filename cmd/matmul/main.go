@@ -11,24 +11,26 @@ import (
 
 	"repro/internal/apps/matmul"
 	"repro/internal/chaos"
+	"repro/internal/charm"
 	"repro/internal/netmodel"
 )
 
 func main() {
 	var (
-		platName  = flag.String("platform", "abe", "abe | bgp")
-		pes       = flag.Int("pes", 64, "processing elements")
-		n         = flag.Int("n", 2048, "matrix edge")
-		iters     = flag.Int("iters", 2, "measured multiplies")
-		warmup    = flag.Int("warmup", 1, "warmup multiplies")
-		modeName  = flag.String("mode", "ckd", "msg | ckd")
-		compare   = flag.Bool("compare", false, "run both modes and report the improvement")
-		validate  = flag.Bool("validate", false, "move real matrices and verify the product (small n)")
-		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
-		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
-		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
-		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
-		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		platName    = flag.String("platform", "abe", "abe | bgp")
+		pes         = flag.Int("pes", 64, "processing elements")
+		n           = flag.Int("n", 2048, "matrix edge")
+		iters       = flag.Int("iters", 2, "measured multiplies")
+		warmup      = flag.Int("warmup", 1, "warmup multiplies")
+		modeName    = flag.String("mode", "ckd", "msg | ckd")
+		compare     = flag.Bool("compare", false, "run both modes and report the improvement")
+		validate    = flag.Bool("validate", false, "move real matrices and verify the product (small n)")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -40,6 +42,15 @@ func main() {
 		plat = netmodel.SurveyorBGP
 	default:
 		fmt.Fprintf(os.Stderr, "matmul: unknown platform %q\n", *platName)
+		os.Exit(2)
+	}
+	be, err := charm.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matmul:", err)
+		os.Exit(2)
+	}
+	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
+		fmt.Fprintln(os.Stderr, "matmul: -faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)")
 		os.Exit(2)
 	}
 	sc, err := chaos.Options{
@@ -56,6 +67,7 @@ func main() {
 		N:        *n,
 		Iters:    *iters, Warmup: *warmup,
 		Validate: *validate,
+		Backend:  be,
 		Chaos:    sc,
 	}
 	if *compare {

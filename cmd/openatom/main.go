@@ -11,29 +11,31 @@ import (
 
 	"repro/internal/apps/openatom"
 	"repro/internal/chaos"
+	"repro/internal/charm"
 	"repro/internal/netmodel"
 )
 
 func main() {
 	var (
-		platName  = flag.String("platform", "abe", "abe | bgp")
-		pes       = flag.Int("pes", 64, "processing elements")
-		cores     = flag.Int("cores-per-node", 0, "override cores per node (paper's Abe study: 2)")
-		nstates   = flag.Int("states", 256, "electronic states")
-		nplanes   = flag.Int("planes", 16, "planes per state")
-		grain     = flag.Int("grain", 64, "PairCalculator state-block size")
-		points    = flag.Int("points", 4096, "complex coefficients per (state, plane)")
-		fftWeight = flag.Float64("fft-weight", 24, "relative weight of the non-PC phase")
-		steps     = flag.Int("steps", 2, "measured time steps")
-		warmup    = flag.Int("warmup", 1, "warmup steps")
-		scopeName = flag.String("scope", "full", "full | pc-only")
-		modeName  = flag.String("mode", "ckd", "msg | ckd | ckd-naive")
-		compare   = flag.Bool("compare", false, "run msg and ckd and report the improvement")
-		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
-		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
-		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
-		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
-		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		platName    = flag.String("platform", "abe", "abe | bgp")
+		pes         = flag.Int("pes", 64, "processing elements")
+		cores       = flag.Int("cores-per-node", 0, "override cores per node (paper's Abe study: 2)")
+		nstates     = flag.Int("states", 256, "electronic states")
+		nplanes     = flag.Int("planes", 16, "planes per state")
+		grain       = flag.Int("grain", 64, "PairCalculator state-block size")
+		points      = flag.Int("points", 4096, "complex coefficients per (state, plane)")
+		fftWeight   = flag.Float64("fft-weight", 24, "relative weight of the non-PC phase")
+		steps       = flag.Int("steps", 2, "measured time steps")
+		warmup      = flag.Int("warmup", 1, "warmup steps")
+		scopeName   = flag.String("scope", "full", "full | pc-only")
+		modeName    = flag.String("mode", "ckd", "msg | ckd | ckd-naive")
+		compare     = flag.Bool("compare", false, "run msg and ckd and report the improvement")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -55,6 +57,13 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scope %q", *scopeName))
 	}
+	be, err := charm.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
+		fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))
+	}
 	sc, err := chaos.Options{
 		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
 		Reliable: *reliable, Watchdog: *watchdog,
@@ -69,7 +78,8 @@ func main() {
 		NStates: *nstates, NPlanes: *nplanes, Grain: *grain, Points: *points,
 		FFTWeight: *fftWeight,
 		Steps:     *steps, Warmup: *warmup,
-		Chaos: sc,
+		Backend: be,
+		Chaos:   sc,
 	}
 	if *compare {
 		msg, ckd, pct := openatom.Improvement(cfg)

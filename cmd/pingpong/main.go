@@ -13,20 +13,22 @@ import (
 
 	"repro/internal/apps/pingpong"
 	"repro/internal/chaos"
+	"repro/internal/charm"
 	"repro/internal/netmodel"
 )
 
 func main() {
 	var (
-		platName  = flag.String("platform", "abe", "abe | bgp")
-		modeName  = flag.String("mode", "ckdirect", "charm-msg | ckdirect | mpi | mpi-put | mpi-alt")
-		sizesArg  = flag.String("sizes", "100,1000,5000,10000,20000,30000,40000,70000,100000,500000", "comma-separated payload sizes in bytes")
-		iters     = flag.Int("iters", 1000, "round trips to average over")
-		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
-		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
-		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
-		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
-		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		platName    = flag.String("platform", "abe", "abe | bgp")
+		modeName    = flag.String("mode", "ckdirect", "charm-msg | ckdirect | mpi | mpi-put | mpi-alt")
+		sizesArg    = flag.String("sizes", "100,1000,5000,10000,20000,30000,40000,70000,100000,500000", "comma-separated payload sizes in bytes")
+		iters       = flag.Int("iters", 1000, "round trips to average over")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -37,6 +39,18 @@ func main() {
 	mode, err := mode(*modeName)
 	if err != nil {
 		fatal(err)
+	}
+	be, err := charm.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	if be == charm.RealBackend {
+		if *faultSpec != "" || *noise || *reliable || *watchdog != "off" {
+			fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))
+		}
+		if mode != pingpong.CharmMsg && mode != pingpong.CkDirect {
+			fatal(fmt.Errorf("mode %v models a foreign MPI stack and is sim-only (use charm-msg or ckdirect with -backend=real)", mode))
+		}
 	}
 	sc, err := chaos.Options{
 		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
@@ -59,6 +73,7 @@ func main() {
 			Size:     size,
 			Iters:    *iters,
 			Virtual:  size > 65536,
+			Backend:  be,
 			Chaos:    sc,
 		})
 		fmt.Printf("%12d %14.3f\n", size, res.RTTMicros())

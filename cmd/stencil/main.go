@@ -13,27 +13,29 @@ import (
 
 	"repro/internal/apps/stencil"
 	"repro/internal/chaos"
+	"repro/internal/charm"
 	"repro/internal/netmodel"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		platName  = flag.String("platform", "abe", "abe | bgp")
-		pes       = flag.Int("pes", 64, "processing elements")
-		domain    = flag.String("domain", "1024x1024x512", "global domain NXxNYxNZ")
-		vr        = flag.Int("vr", 8, "virtualization ratio (chares per PE)")
-		iters     = flag.Int("iters", 3, "measured iterations")
-		warmup    = flag.Int("warmup", 1, "warmup iterations")
-		modeName  = flag.String("mode", "ckd", "msg | ckd")
-		compare   = flag.Bool("compare", false, "run both modes and report the improvement")
-		validate  = flag.Bool("validate", false, "move real data and check against the serial reference (small domains)")
-		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
-		faultSpec = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
-		faultSeed = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
-		noise     = flag.Bool("noise", false, "inject CPU-noise bursts")
-		reliable  = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
-		watchdog  = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		platName    = flag.String("platform", "abe", "abe | bgp")
+		pes         = flag.Int("pes", 64, "processing elements")
+		domain      = flag.String("domain", "1024x1024x512", "global domain NXxNYxNZ")
+		vr          = flag.Int("vr", 8, "virtualization ratio (chares per PE)")
+		iters       = flag.Int("iters", 3, "measured iterations")
+		warmup      = flag.Int("warmup", 1, "warmup iterations")
+		modeName    = flag.String("mode", "ckd", "msg | ckd")
+		compare     = flag.Bool("compare", false, "run both modes and report the improvement")
+		validate    = flag.Bool("validate", false, "move real data and check against the serial reference (small domains)")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		traceFile   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
+		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
+		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
+		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
 	flag.Parse()
 
@@ -44,6 +46,18 @@ func main() {
 	nx, ny, nz, err := parseDomain(*domain)
 	if err != nil {
 		fatal(err)
+	}
+	be, err := charm.ParseBackend(*backendName)
+	if err != nil {
+		fatal(err)
+	}
+	if be == charm.RealBackend {
+		if *faultSpec != "" || *noise || *reliable || *watchdog != "off" {
+			fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))
+		}
+		if *traceFile != "" {
+			fatal(fmt.Errorf("-trace records the virtual timeline and is sim-only (drop it or use -backend=sim)"))
+		}
 	}
 	sc, err := chaos.Options{
 		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
@@ -58,6 +72,7 @@ func main() {
 		NX: nx, NY: ny, NZ: nz,
 		Iters: *iters, Warmup: *warmup,
 		Validate: *validate,
+		Backend:  be,
 		Chaos:    sc,
 	}
 	var tl *trace.Timeline

@@ -128,7 +128,9 @@ func (a *app) buildChare(p int) *chare {
 			locals[i] = lidx[g]
 		}
 		c.sharedOut[nb] = locals
-		if a.cfg.Validate {
+		if a.cfg.Validate || a.cfg.Backend == charm.RealBackend {
+			// The real backend moves actual bytes even in model mode, so the
+			// send buffers must exist.
 			c.sendBuf[nb] = make([]byte, len(shared)*8)
 		}
 	}
@@ -153,7 +155,7 @@ func (a *app) buildChare(p int) *chare {
 // buildChannels wires one CkDirect channel per (part, neighbour) pair.
 func (a *app) buildChannels() {
 	mach := a.rts.Machine()
-	virtual := !a.cfg.Validate
+	virtual := !a.cfg.Validate && a.cfg.Backend != charm.RealBackend
 	for _, c := range a.chares {
 		c.in = make(map[int]*ckdirect.Handle, len(c.nbrs))
 		c.out = make(map[int]*ckdirect.Handle, len(c.nbrs))

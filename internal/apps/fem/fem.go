@@ -43,6 +43,10 @@ type Config struct {
 	// Validate moves real vertex data and checks against the serial
 	// reference.
 	Validate bool
+	// Backend selects simulated virtual time (default) or real
+	// goroutine-per-PE execution with wall-clock timing. The real backend
+	// always allocates real payload buffers.
+	Backend charm.Backend
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
 	// Chaos, when set, runs the configuration under adversity (CPU noise,
@@ -119,10 +123,22 @@ func Run(cfg Config) Result {
 	mesh := NewRectMesh(cfg.NX, cfg.NY)
 	part := PartitionRect(mesh, cfg.NX, cfg.NY, grid[0], grid[1])
 
+	if cfg.Backend == charm.RealBackend {
+		if cfg.Chaos != nil {
+			panic("fem: chaos scenarios are sim-only")
+		}
+		if cfg.Timeline != nil {
+			panic("fem: timeline recording is sim-only")
+		}
+	}
 	eng := sim.NewEngine()
 	mach, net := cfg.Platform.BuildMachine(eng, cfg.PEs)
 	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(),
-		charm.Options{Checked: true, VirtualPayloads: !cfg.Validate})
+		charm.Options{
+			Checked:         true,
+			VirtualPayloads: !cfg.Validate && cfg.Backend != charm.RealBackend,
+			Backend:         cfg.Backend,
+		})
 	if cfg.Timeline != nil {
 		rts.SetTimeline(cfg.Timeline)
 	}
@@ -133,7 +149,7 @@ func Run(cfg Config) Result {
 	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
 	a.start()
-	eng.Run()
+	rts.Run()
 	errs := rts.Errors()
 	if len(errs) > 0 && cfg.Chaos == nil {
 		panic(fmt.Sprintf("fem: runtime contract violation: %v", errs[0]))
@@ -152,7 +168,7 @@ func Run(cfg Config) Result {
 		return Result{
 			Config: cfg, Parts: part.Parts, PartGrid: grid,
 			Errors: errs, Counters: rts.Recorder().Counters(),
-			TotalEvents: eng.Executed(),
+			TotalEvents: rts.Executed(),
 		}
 	}
 	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
@@ -163,7 +179,7 @@ func Run(cfg Config) Result {
 		IterTime:    measured / sim.Time(cfg.Iters),
 		Residual:    a.lastResidual,
 		Channels:    a.channels,
-		TotalEvents: eng.Executed(),
+		TotalEvents: rts.Executed(),
 		Errors:      errs,
 		Counters:    rts.Recorder().Counters(),
 	}

@@ -1,0 +1,48 @@
+package fem
+
+import (
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+)
+
+// TestRealBackendMatchesSim: the shared-vertex solver must produce a
+// bit-identical vertex field on both backends, and every partition must
+// hold bit-identical shared values (the plan-based deterministic combine
+// is what makes this possible under concurrent arrival).
+func TestRealBackendMatchesSim(t *testing.T) {
+	for _, mode := range []Mode{Msg, Ckd} {
+		cfg := Config{
+			Platform: netmodel.AbeIB,
+			Mode:     mode,
+			PEs:      4,
+			NX:       24, NY: 24,
+			Virtualization: 2,
+			Iters:          3,
+			Warmup:         1,
+			Validate:       true,
+		}
+		simRes := Run(cfg)
+		cfg.Backend = charm.RealBackend
+		realRes := Run(cfg)
+
+		if len(realRes.Errors) > 0 {
+			t.Fatalf("%v: real backend errors: %v", mode, realRes.Errors)
+		}
+		if !realRes.SharedConsistent {
+			t.Errorf("%v: shared vertices inconsistent on the real backend", mode)
+		}
+		if simRes.Residual != realRes.Residual {
+			t.Errorf("%v: residual differs: sim %v real %v", mode, simRes.Residual, realRes.Residual)
+		}
+		if len(simRes.Field) != len(realRes.Field) {
+			t.Fatalf("%v: field sizes differ: %d vs %d", mode, len(simRes.Field), len(realRes.Field))
+		}
+		for i := range simRes.Field {
+			if simRes.Field[i] != realRes.Field[i] {
+				t.Fatalf("%v: field differs at vertex %d: sim %v real %v", mode, i, simRes.Field[i], realRes.Field[i])
+			}
+		}
+	}
+}

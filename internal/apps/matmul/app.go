@@ -64,7 +64,15 @@ type chare struct {
 
 	recvA, recvB, recvC int
 	computed            bool
-	pendingC            [][]byte // strips that arrived before my compute finished
+	// cGot stages arrived C strips by source z; the accumulation into
+	// cAccum happens in maybeFinish in ascending-z order so the FP sum is
+	// identical whatever order strips arrive in — the property that makes
+	// validate-mode results comparable across the sim and real backends.
+	cGot [][]byte
+	// pendingCAdds counts strips that arrived before this chare's compute;
+	// their accumulation CPU is charged when the compute fires, matching
+	// where the work would run.
+	pendingCAdds int
 }
 
 func (a *app) build() {
@@ -87,7 +95,9 @@ func (a *app) build() {
 			for x := 0; x < gx; x++ {
 				c := &chare{app: a, idx: charm.Idx3(x, y, z), x: x, y: y, z: z}
 				c.pe = a.arr.PEOf(c.idx)
-				if a.cfg.Validate {
+				if a.cfg.Validate || a.cfg.Backend == charm.RealBackend {
+					// The real backend moves actual bytes even in model
+					// mode, so the shard buffers must exist.
 					c.allocData()
 				}
 				if c.cStripsOut == nil {
@@ -184,7 +194,7 @@ func (a *app) cStripBytes() int { return a.stripRows * a.colsC * 8 }
 func (a *app) buildChannels() {
 	mach := a.rts.Machine()
 	gx, gy, gz := a.grid[0], a.grid[1], a.grid[2]
-	virtual := !a.cfg.Validate
+	virtual := !a.cfg.Validate && a.cfg.Backend != charm.RealBackend
 
 	region := func(pe int, backing []byte, size int) *machine.Region {
 		if virtual {
@@ -361,10 +371,14 @@ func (c *chare) onShard(ctx *charm.Ctx, kind, src int, data []byte, size int) {
 		c.recvB++
 	case kindC:
 		c.recvC++
-		if !c.computed {
-			c.pendingC = append(c.pendingC, data)
+		if c.cGot == nil {
+			c.cGot = make([][]byte, a.grid[2])
+		}
+		c.cGot[src] = data
+		if c.computed {
+			c.chargeStripAdd(ctx)
 		} else {
-			c.addStrip(ctx, data)
+			c.pendingCAdds++
 		}
 	}
 	c.maybeCompute(ctx)
@@ -413,11 +427,11 @@ func (c *chare) maybeCompute(ctx *charm.Ctx) {
 			}
 		}
 	}
-	// Strips that arrived early can now be accumulated.
-	for _, data := range c.pendingC {
-		c.addStrip(ctx, data)
+	// Strips that arrived early are charged now; the data itself folds in
+	// ascending-z order in maybeFinish.
+	for ; c.pendingCAdds > 0; c.pendingCAdds-- {
+		c.chargeStripAdd(ctx)
 	}
-	c.pendingC = c.pendingC[:0]
 	c.maybeFinish(ctx)
 }
 
@@ -432,17 +446,11 @@ func (c *chare) accumulateStrip(partial *linalg.Matrix) {
 	}
 }
 
-// addStrip accumulates an arrived strip (already the right rows of the
-// sender's partial) into cAccum, charging one add per element.
-func (c *chare) addStrip(ctx *charm.Ctx, data []byte) {
+// chargeStripAdd charges the CPU of accumulating one arrived strip (one
+// add per element).
+func (c *chare) chargeStripAdd(ctx *charm.Ctx) {
 	a := c.app
-	elems := a.stripRows * a.colsC
-	ctx.Charge(sim.Nanoseconds(a.cfg.Platform.FlopNS * float64(elems)))
-	if a.cfg.Validate && data != nil {
-		for i := 0; i < elems; i++ {
-			c.cAccum[i] += getF64(data, i)
-		}
-	}
+	ctx.Charge(sim.Nanoseconds(a.cfg.Platform.FlopNS * float64(a.stripRows*a.colsC)))
 }
 
 // maybeFinish closes the iteration on this chare once compute and all C
@@ -451,6 +459,22 @@ func (c *chare) maybeFinish(ctx *charm.Ctx) {
 	a := c.app
 	if !c.computed || c.recvC < a.grid[2]-1 {
 		return
+	}
+	if a.cfg.Validate && c.cGot != nil {
+		// Fold the staged strips in ascending source-z order (own strip was
+		// added first, at compute time): a fixed fold order makes the FP sum
+		// arrival-order independent.
+		elems := a.stripRows * a.colsC
+		for sz := 0; sz < a.grid[2]; sz++ {
+			if sz == c.z || c.cGot[sz] == nil {
+				continue
+			}
+			data := c.cGot[sz]
+			for i := 0; i < elems; i++ {
+				c.cAccum[i] += getF64(data, i)
+			}
+			c.cGot[sz] = nil
+		}
 	}
 	c.recvA, c.recvB, c.recvC = 0, 0, 0
 	c.computed = false
@@ -501,6 +525,22 @@ func (a *app) verify() float64 {
 		}
 	}
 	return linalg.MaxAbsDiff(got, want)
+}
+
+// gatherC assembles the distributed product into one row-major slice —
+// the payload the cross-backend equivalence tests compare bit-for-bit.
+func (a *app) gatherC() []float64 {
+	n := a.cfg.N
+	out := make([]float64, n*n)
+	for _, c := range a.chares {
+		for r := 0; r < a.stripRows; r++ {
+			gi := c.x*a.rowsC + c.z*a.stripRows + r
+			for j := 0; j < a.colsC; j++ {
+				out[gi*n+c.y*a.colsC+j] = c.cAccum[r*a.colsC+j]
+			}
+		}
+	}
+	return out
 }
 
 func putF64(b []byte, i int, v float64) {

@@ -63,6 +63,10 @@ type Config struct {
 	// Validate runs real matrices through the pipeline and checks the
 	// product (small N only).
 	Validate bool
+	// Backend selects simulated virtual time (default) or real
+	// goroutine-per-PE execution with wall-clock timing. The real backend
+	// always allocates real payload buffers.
+	Backend charm.Backend
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
 	// Chaos, when set, runs the configuration under adversity (CPU noise,
@@ -76,7 +80,8 @@ type Result struct {
 	Config
 	Grid        [3]int
 	IterTime    sim.Time
-	MaxError    float64 // |C - reference| in validate mode
+	MaxError    float64   // |C - reference| in validate mode
+	C           []float64 // assembled product, row-major (validate mode)
 	TotalEvents uint64
 	// Errors holds runtime contract violations and unrecovered faults
 	// (chaos runs only; fault-free runs panic instead).
@@ -129,10 +134,22 @@ func Run(cfg Config) Result {
 		panic(fmt.Sprintf("matmul: N=%d incompatible with grid %v shard split", cfg.N, grid))
 	}
 
+	if cfg.Backend == charm.RealBackend {
+		if cfg.Chaos != nil {
+			panic("matmul: chaos scenarios are sim-only")
+		}
+		if cfg.Timeline != nil {
+			panic("matmul: timeline recording is sim-only")
+		}
+	}
 	eng := sim.NewEngine()
 	mach, net := cfg.Platform.BuildMachine(eng, cfg.PEs)
 	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(),
-		charm.Options{Checked: true, VirtualPayloads: !cfg.Validate})
+		charm.Options{
+			Checked:         true,
+			VirtualPayloads: !cfg.Validate && cfg.Backend != charm.RealBackend,
+			Backend:         cfg.Backend,
+		})
 
 	if cfg.Timeline != nil {
 		rts.SetTimeline(cfg.Timeline)
@@ -144,7 +161,7 @@ func Run(cfg Config) Result {
 	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
 	a.start()
-	eng.Run()
+	rts.Run()
 	errs := rts.Errors()
 	if len(errs) > 0 && cfg.Chaos == nil {
 		panic(fmt.Sprintf("matmul: runtime contract violation: %v", errs[0]))
@@ -161,7 +178,7 @@ func Run(cfg Config) Result {
 		return Result{
 			Config: cfg, Grid: grid,
 			Errors: errs, Counters: rts.Recorder().Counters(),
-			TotalEvents: eng.Executed(),
+			TotalEvents: rts.Executed(),
 		}
 	}
 	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
@@ -169,12 +186,13 @@ func Run(cfg Config) Result {
 		Config:      cfg,
 		Grid:        grid,
 		IterTime:    measured / sim.Time(cfg.Iters),
-		TotalEvents: eng.Executed(),
+		TotalEvents: rts.Executed(),
 		Errors:      errs,
 		Counters:    rts.Recorder().Counters(),
 	}
 	if cfg.Validate {
 		res.MaxError = a.verify()
+		res.C = a.gatherC()
 	}
 	return res
 }

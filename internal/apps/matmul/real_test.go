@@ -1,0 +1,44 @@
+package matmul
+
+import (
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+)
+
+// TestRealBackendMatchesSim: the assembled product must be bit-identical
+// across backends. The ascending-z strip fold is what removes
+// arrival-order FP nondeterminism — without it the real backend's
+// interleavings would produce a (numerically fine but) different sum.
+func TestRealBackendMatchesSim(t *testing.T) {
+	for _, mode := range []Mode{Msg, Ckd} {
+		cfg := Config{
+			Platform: netmodel.AbeIB,
+			Mode:     mode,
+			PEs:      4,
+			N:        32,
+			Iters:    2,
+			Warmup:   1,
+			Validate: true,
+		}
+		simRes := Run(cfg)
+		cfg.Backend = charm.RealBackend
+		realRes := Run(cfg)
+
+		if len(realRes.Errors) > 0 {
+			t.Fatalf("%v: real backend errors: %v", mode, realRes.Errors)
+		}
+		if realRes.MaxError > 1e-9 {
+			t.Errorf("%v: real product off by %v from the serial reference", mode, realRes.MaxError)
+		}
+		if len(simRes.C) != len(realRes.C) {
+			t.Fatalf("%v: product sizes differ: %d vs %d", mode, len(simRes.C), len(realRes.C))
+		}
+		for i := range simRes.C {
+			if simRes.C[i] != realRes.C[i] {
+				t.Fatalf("%v: C differs at %d: sim %v real %v", mode, i, simRes.C[i], realRes.C[i])
+			}
+		}
+	}
+}

@@ -96,6 +96,10 @@ func (a *app) build() {
 				for i := range g.coeffs {
 					g.coeffs[i] = seedCoeff(s, p, i)
 				}
+			}
+			if cfg.Validate || cfg.Backend == charm.RealBackend {
+				// The real backend moves actual bytes even in model mode,
+				// so the send buffer must exist.
 				g.sendBuf = make([]byte, a.transferBytes())
 			}
 			a.gs.Insert(charm.Idx2(s, p), g)
@@ -191,7 +195,7 @@ func (a *app) registerPCEntries() {
 func (a *app) buildChannels() {
 	mach := a.rts.Machine()
 	cfg := &a.cfg
-	virtual := !cfg.Validate
+	virtual := !cfg.Validate && cfg.Backend != charm.RealBackend
 	bytes := a.transferBytes()
 
 	for s := 0; s < cfg.NStates; s++ {
@@ -263,10 +267,11 @@ func (a *app) beginStep(ctx *charm.Ctx) {
 // the GS elements ship their points.
 func (a *app) beginPCPhase(ctx *charm.Ctx) {
 	a.phase = phaseStep
-	if a.cfg.Mode == Ckd && !a.cfg.Platform.CkdRecvIsCallback {
+	if a.cfg.Mode == Ckd && a.mgr.UsesPolling() {
 		// Resume polling the PC channels only where polling exists; on
-		// Blue Gene/P the Ready calls have no effect (§2.2), so the arm
-		// phase is skipped entirely.
+		// simulated Blue Gene/P the Ready calls have no effect (§2.2), so
+		// the arm phase is skipped entirely. The real backend always polls
+		// — the sentinel is its delivery mechanism — so it always arms.
 		ctx.Broadcast(a.pc, a.armEP, &charm.Message{Size: 8})
 	}
 	ctx.Broadcast(a.gs, a.sendPtsEP, &charm.Message{Size: 8})

@@ -110,6 +110,10 @@ type Config struct {
 
 	Steps, Warmup int
 	Validate      bool
+	// Backend selects simulated virtual time (default) or real
+	// goroutine-per-PE execution with wall-clock timing. The real backend
+	// always allocates real payload buffers.
+	Backend charm.Backend
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
 	// Chaos, when set, runs the configuration under adversity (CPU noise,
@@ -179,6 +183,14 @@ func Run(cfg Config) Result {
 	if cfg.PEs <= 0 {
 		panic("openatom: PEs must be positive")
 	}
+	if cfg.Backend == charm.RealBackend {
+		if cfg.Chaos != nil {
+			panic("openatom: chaos scenarios are sim-only")
+		}
+		if cfg.Timeline != nil {
+			panic("openatom: timeline recording is sim-only")
+		}
+	}
 	eng := sim.NewEngine()
 	plat := cfg.Platform
 	cores := plat.CoresPerNode
@@ -187,7 +199,11 @@ func Run(cfg Config) Result {
 	}
 	mach, net := buildMachine(eng, plat, cfg.PEs, cores)
 	rts := charm.NewRTS(eng, mach, net, plat, trace.NewRecorder(),
-		charm.Options{Checked: true, VirtualPayloads: !cfg.Validate})
+		charm.Options{
+			Checked:         true,
+			VirtualPayloads: !cfg.Validate && cfg.Backend != charm.RealBackend,
+			Backend:         cfg.Backend,
+		})
 
 	if cfg.Timeline != nil {
 		rts.SetTimeline(cfg.Timeline)
@@ -202,7 +218,7 @@ func Run(cfg Config) Result {
 		testPostBuild(rts)
 	}
 	a.start()
-	eng.Run()
+	rts.Run()
 	errs := rts.Errors()
 	if len(errs) > 0 && cfg.Chaos == nil {
 		panic(fmt.Sprintf("openatom: runtime contract violation: %v", errs[0]))
@@ -219,7 +235,7 @@ func Run(cfg Config) Result {
 		return Result{
 			Config: cfg,
 			Errors: errs, Counters: rts.Recorder().Counters(),
-			TotalEvents: eng.Executed(),
+			TotalEvents: rts.Executed(),
 		}
 	}
 	measured := a.stepTimes[cfg.Warmup+cfg.Steps] - a.stepTimes[cfg.Warmup]
@@ -229,7 +245,7 @@ func Run(cfg Config) Result {
 		Overlap:     a.lastOverlap,
 		Checksum:    a.checksum(),
 		Channels:    a.channels,
-		TotalEvents: eng.Executed(),
+		TotalEvents: rts.Executed(),
 		Errors:      errs,
 		Counters:    rts.Recorder().Counters(),
 	}

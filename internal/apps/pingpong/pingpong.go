@@ -52,6 +52,12 @@ type Config struct {
 	Mode     Mode
 	Size     int // user payload bytes
 	Iters    int // round trips to average over (paper: 1000)
+	// Backend selects simulated virtual time (default) or real
+	// goroutine-per-PE execution with wall-clock timing. The real backend
+	// supports the Charm-runtime modes only, forces real payloads, and
+	// rounds Size up to a multiple of 8 (the sentinel word must be
+	// naturally aligned).
+	Backend charm.Backend
 	// Virtual skips real payload allocation (timing is identical; see the
 	// equivalence tests).
 	Virtual bool
@@ -85,6 +91,16 @@ func Run(cfg Config) Result {
 	if cfg.Size <= 0 {
 		panic("pingpong: non-positive size")
 	}
+	if cfg.Backend == charm.RealBackend {
+		if cfg.Chaos != nil {
+			panic("pingpong: chaos scenarios are sim-only")
+		}
+		if cfg.Mode != CharmMsg && cfg.Mode != CkDirect {
+			panic(fmt.Sprintf("pingpong: mode %v is sim-only (real backend runs charm-msg and ckdirect)", cfg.Mode))
+		}
+		cfg.Virtual = false
+		cfg.Size = (cfg.Size + 7) &^ 7
+	}
 	switch cfg.Mode {
 	case CharmMsg:
 		return runCharm(cfg)
@@ -106,7 +122,7 @@ func runCharm(cfg Config) Result {
 	eng := sim.NewEngine()
 	peA, peB, pes := peers(cfg.Platform)
 	mach, net := cfg.Platform.BuildMachine(eng, pes)
-	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{})
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Backend: cfg.Backend})
 	cfg.Chaos.Apply(rts, nil)
 
 	arr := rts.NewArray("pingpong", func(ix charm.Index) int {
@@ -136,7 +152,7 @@ func runCharm(cfg Config) Result {
 		start = ctx.Now()
 		ctx.Send(arr, charm.Idx1(1), pingEP, &charm.Message{Size: cfg.Size})
 	})
-	eng.Run()
+	rts.Run()
 	return finish(cfg, rts, start, end)
 }
 
@@ -144,7 +160,7 @@ func runCkDirect(cfg Config) Result {
 	eng := sim.NewEngine()
 	peA, peB, pes := peers(cfg.Platform)
 	mach, net := cfg.Platform.BuildMachine(eng, pes)
-	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Checked: true})
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Checked: true, Backend: cfg.Backend})
 	mgr := ckdirect.NewManager(rts)
 	cfg.Chaos.Apply(rts, mgr)
 
@@ -189,8 +205,26 @@ func runCkDirect(cfg Config) Result {
 		start = ctx.Now()
 		must(mgr.Put(hAB))
 	})
-	eng.Run()
+	rts.Run()
+	if cfg.Backend == charm.RealBackend {
+		// The bytes really moved: both receive buffers must hold the peer's
+		// payload (minus the final word, which each side's callback already
+		// re-armed back to the out-of-band pattern).
+		checkPayload(recvB, sendA)
+		checkPayload(recvA, sendB)
+	}
 	return finish(cfg, rts, start, end)
+}
+
+// checkPayload asserts a received CkDirect payload matches the source,
+// excluding the re-armed sentinel word.
+func checkPayload(recv, send *machine.Region) {
+	got, want := recv.Bytes(), send.Bytes()
+	for i := 0; i < len(got)-8; i++ {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("pingpong: received payload differs from source at byte %d: %#x != %#x", i, got[i], want[i]))
+		}
+	}
 }
 
 func runMPI(cfg Config) Result {

@@ -1,0 +1,55 @@
+package pingpong
+
+import (
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+)
+
+// TestRealBackendCkDirect runs the CkDirect pingpong for real: goroutines
+// per PE, actual byte movement, sentinel-polling delivery. The run itself
+// verifies payload integrity (checkPayload panics on corruption).
+func TestRealBackendCkDirect(t *testing.T) {
+	res := Run(Config{
+		Platform: netmodel.AbeIB,
+		Mode:     CkDirect,
+		Size:     4096,
+		Iters:    200,
+		Backend:  charm.RealBackend,
+	})
+	if len(res.Errors) > 0 {
+		t.Fatalf("runtime errors: %v", res.Errors)
+	}
+	if res.RTT <= 0 {
+		t.Fatalf("non-positive wall-clock RTT %v", res.RTT)
+	}
+}
+
+// TestRealBackendCharmMsg runs the message pingpong on the real backend.
+func TestRealBackendCharmMsg(t *testing.T) {
+	res := Run(Config{
+		Platform: netmodel.AbeIB,
+		Mode:     CharmMsg,
+		Size:     4096,
+		Iters:    200,
+		Backend:  charm.RealBackend,
+	})
+	if len(res.Errors) > 0 {
+		t.Fatalf("runtime errors: %v", res.Errors)
+	}
+	if res.RTT <= 0 {
+		t.Fatalf("non-positive wall-clock RTT %v", res.RTT)
+	}
+}
+
+// TestRealBackendRejectsSimOnlyModes pins the contract that the MPI
+// personalities stay simulator-only.
+func TestRealBackendRejectsSimOnlyModes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for MPI mode on the real backend")
+		}
+	}()
+	Run(Config{Platform: netmodel.AbeIB, Mode: MPI, Size: 64, Iters: 1, Backend: charm.RealBackend})
+}

@@ -177,7 +177,7 @@ func (a *app) build() {
 // associates its matching outgoing face buffer.
 func (a *app) buildChannels() {
 	mach := a.rts.Machine()
-	virtual := !a.cfg.Validate
+	virtual := !a.cfg.Validate && a.cfg.Backend != charm.RealBackend
 	// Pass 1: receivers create handles.
 	for _, c := range a.chares {
 		c := c

@@ -52,6 +52,10 @@ type Config struct {
 	// Validate runs real data through the kernel (small domains only) so
 	// the final field can be checked against a serial reference.
 	Validate bool
+	// Backend selects simulated virtual time (default) or real
+	// goroutine-per-PE execution with wall-clock timing. The real backend
+	// always allocates real payload buffers.
+	Backend charm.Backend
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
 	// Chaos, when set, runs the configuration under adversity (CPU noise,
@@ -130,10 +134,22 @@ func Run(cfg Config) Result {
 			cfg.NX, cfg.NY, cfg.NZ, cfg.PEs))
 	}
 
+	if cfg.Backend == charm.RealBackend {
+		if cfg.Chaos != nil {
+			panic("stencil: chaos scenarios are sim-only")
+		}
+		if cfg.Timeline != nil {
+			panic("stencil: timeline recording is sim-only")
+		}
+	}
 	eng := sim.NewEngine()
 	mach, net := cfg.Platform.BuildMachine(eng, cfg.PEs)
 	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(),
-		charm.Options{Checked: true, VirtualPayloads: !cfg.Validate})
+		charm.Options{
+			Checked:         true,
+			VirtualPayloads: !cfg.Validate && cfg.Backend != charm.RealBackend,
+			Backend:         cfg.Backend,
+		})
 	if cfg.Timeline != nil {
 		rts.SetTimeline(cfg.Timeline)
 	}
@@ -145,7 +161,7 @@ func Run(cfg Config) Result {
 	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
 	a.start()
-	eng.Run()
+	rts.Run()
 	errs := rts.Errors()
 	if len(errs) > 0 && cfg.Chaos == nil {
 		panic(fmt.Sprintf("stencil: runtime contract violation: %v", errs[0]))
@@ -165,7 +181,7 @@ func Run(cfg Config) Result {
 		return Result{
 			Config: cfg, ChareGrid: grid, Chares: total,
 			Errors: errs, Counters: rts.Recorder().Counters(),
-			TotalEvents: eng.Executed(),
+			TotalEvents: rts.Executed(),
 		}
 	}
 	measured := a.barriers[cfg.Warmup+cfg.Iters] - a.barriers[cfg.Warmup]
@@ -176,7 +192,7 @@ func Run(cfg Config) Result {
 		IterTime:    measured / sim.Time(cfg.Iters),
 		Residual:    a.lastResidual,
 		FieldSum:    a.fieldSum(),
-		TotalEvents: eng.Executed(),
+		TotalEvents: rts.Executed(),
 		Errors:      errs,
 		Counters:    rts.Recorder().Counters(),
 	}

@@ -160,6 +160,7 @@ func All() []Experiment {
 		{"summary", "Reproduction scorecard: headline claims pass/fail", func(s Scale) []*Table { return []*Table{Summary(s)} }},
 		{"fem", "Supplementary: unstructured-mesh FEM from the paper's §1 class", func(s Scale) []*Table { return []*Table{FemFigure(s)} }},
 		{"faults", "Supplementary: recovery cost under transfer loss", func(s Scale) []*Table { return []*Table{FaultFigure(s)} }},
+		{"realhw", "Real-execution backend: wall-clock pingpong + stencil on goroutines", func(s Scale) []*Table { return RealHW(s) }},
 	}
 }
 

@@ -159,6 +159,7 @@ func (a *Array) Send(srcPE int, idx Index, ep EP, msg *Message) {
 	if a.rts.sendObserver != nil {
 		a.rts.sendObserver(srcPE, el.pe, a.name, ep, msg.Size)
 	}
+	msg = a.rts.cloneForReal(msg)
 	a.rts.transport(srcPE, el.pe, msg.Size, func() {
 		a.rts.enqueue(el.pe, func() {
 			h(a.ctxFor(el), msg)
@@ -198,8 +199,10 @@ func (c *Ctx) Broadcast(a *Array, ep EP, msg *Message) {
 // treeCast runs deliver(pe) on every PE, fanning out from root along a
 // binomial tree of runtime messages of the given payload size.
 func (rts *RTS) treeCast(root int, deliver func(pe int), size int) {
+	rts.castMu.Lock()
 	rts.castSessions = append(rts.castSessions, castSession{deliver: deliver, size: size})
 	id := len(rts.castSessions) - 1
+	rts.castMu.Unlock()
 	rts.runCast(root, root, id)
 }
 
@@ -211,7 +214,9 @@ type castSession struct {
 // runCast executes the cast step on pe: forward to tree children (relative
 // to root), then deliver locally.
 func (rts *RTS) runCast(pe, root, id int) {
+	rts.castMu.Lock()
 	sess := rts.castSessions[id]
+	rts.castMu.Unlock()
 	p := rts.mach.NumPEs()
 	rel := (pe - root + p) % p
 	for _, crel := range binomialChildren(rel, p) {

@@ -1,0 +1,165 @@
+package charm
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/realrt"
+	"repro/internal/sim"
+)
+
+// Backend selects the execution substrate the runtime drives.
+type Backend int
+
+// Available backends.
+const (
+	// SimBackend is the deterministic discrete-event simulator (default):
+	// virtual time, modelled costs, single-threaded.
+	SimBackend Backend = iota
+	// RealBackend executes the program on real parallel hardware: one
+	// goroutine per PE, wall-clock time, CkDirect puts as true
+	// shared-memory copies published by an atomic sentinel release-store.
+	RealBackend
+)
+
+// String names the backend like the -backend flag values.
+func (b Backend) String() string {
+	switch b {
+	case SimBackend:
+		return "sim"
+	case RealBackend:
+		return "real"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// ParseBackend parses a -backend flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "sim":
+		return SimBackend, nil
+	case "real":
+		return RealBackend, nil
+	}
+	return 0, fmt.Errorf("charm: unknown backend %q (want sim or real)", s)
+}
+
+// PutOp describes a one-sided put to the backend seam: the modelled path
+// cost and event hooks (consumed by the simulator), and the actual memory
+// operation (consumed by the real backend — the copy plus the sentinel
+// release-store, built by the CkDirect layer which knows the buffer
+// layout).
+type PutOp struct {
+	SrcPE, DstPE int
+	Cost         netmodel.PathCost
+	Hooks        netmodel.TransferHooks
+	// Execute performs the put for real: copy payload into the receiver's
+	// registered buffer, then release-store the sentinel word. Runs
+	// synchronously on the sender's goroutine under RealBackend; ignored
+	// by the simulator.
+	Execute func()
+}
+
+// backend is the seam between the runtime's logical layer (arrays, entry
+// methods, reductions, CkDirect bookkeeping) and its execution substrate.
+// Both the discrete-event simulator and the realrt goroutine runtime
+// satisfy it; everything above dispatches through it and runs unmodified
+// on either.
+type backend interface {
+	// now is the current time: virtual under sim, wall-clock under real.
+	now() sim.Time
+	// schedule places a task on a PE's scheduler queue.
+	schedule(pe int, task func())
+	// send performs two-sided message transport; deliver runs on the
+	// destination PE when the message arrives.
+	send(srcPE, dstPE, size int, deliver func())
+	// put performs a one-sided transfer.
+	put(op PutOp)
+	// after runs a task on a PE after a plain delay (no CPU reserved).
+	after(pe int, d sim.Time, task func())
+	// charge accounts CPU consumed by the caller. A no-op under real —
+	// real compute takes real time.
+	charge(pe int, cost sim.Time)
+	// run drives the system to completion and returns the final time.
+	run() sim.Time
+	// executed counts completed scheduler dispatches.
+	executed() uint64
+}
+
+// simBackend adapts the discrete-event machinery already in RTS.
+type simBackend struct{ rts *RTS }
+
+func (b *simBackend) now() sim.Time { return b.rts.eng.Now() }
+
+func (b *simBackend) schedule(pe int, task func()) { b.rts.simEnqueue(pe, task) }
+
+func (b *simBackend) send(srcPE, dstPE, size int, deliver func()) {
+	b.rts.simTransport(srcPE, dstPE, size, deliver)
+}
+
+func (b *simBackend) put(op PutOp) {
+	b.rts.net.Transfer(op.SrcPE, op.DstPE, op.Cost, op.Hooks)
+}
+
+func (b *simBackend) after(pe int, d sim.Time, task func()) {
+	b.rts.eng.Schedule(d, task)
+}
+
+func (b *simBackend) charge(pe int, cost sim.Time) {
+	b.rts.pes[pe].pe.Reserve(cost)
+}
+
+func (b *simBackend) run() sim.Time { return b.rts.eng.Run() }
+
+func (b *simBackend) executed() uint64 { return b.rts.eng.Executed() }
+
+// realBackend adapts the realrt goroutine runtime.
+type realBackend struct {
+	rts *RTS
+	rt  *realrt.Runtime
+}
+
+func (b *realBackend) now() sim.Time { return b.rt.Now() }
+
+func (b *realBackend) schedule(pe int, task func()) { b.rt.Enqueue(pe, task) }
+
+// send is a real shared-memory message: the payload was already cloned at
+// the send site (Charm++ copy-on-send semantics), so delivery is an
+// enqueue on the destination PE's scheduler queue. The cost a message
+// pays here is real: the clone memcpy, the queue mutex, and a scheduler
+// dispatch on the far side — exactly the overheads a CkDirect put avoids.
+func (b *realBackend) send(srcPE, dstPE, size int, deliver func()) {
+	b.rt.Enqueue(dstPE, deliver)
+}
+
+// put runs the one-sided transfer synchronously on the sender: the
+// receiver is not involved until its poll loop observes the sentinel.
+// The work credit is taken before the store publishes the payload and is
+// held until the receiver's detection callback completes (PutDetected),
+// so termination cannot race a landed-but-undetected put.
+func (b *realBackend) put(op PutOp) {
+	b.rt.PutIssued()
+	op.Execute()
+	if op.Hooks.OnSendDone != nil {
+		// Local completion is immediate: a shared-memory put's source
+		// buffer is reusable as soon as the copy returns.
+		op.Hooks.OnSendDone()
+	}
+}
+
+func (b *realBackend) after(pe int, d sim.Time, task func()) {
+	b.rt.After(pe, d, task)
+}
+
+func (b *realBackend) charge(pe int, cost sim.Time) {}
+
+func (b *realBackend) run() sim.Time {
+	// Freeze every reduction tree before workers start: freeze() mutates
+	// shared reducer state and must not race its first concurrent use.
+	for _, r := range b.rts.reducers {
+		r.freeze()
+	}
+	return b.rt.Run()
+}
+
+func (b *realBackend) executed() uint64 { return b.rt.Executed() }

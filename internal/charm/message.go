@@ -52,8 +52,12 @@ type Options struct {
 	Checked bool
 	// VirtualPayloads indicates applications should skip allocating and
 	// copying real data. The runtime itself works either way; this flag
-	// is plumbed to applications and CkDirect.
+	// is plumbed to applications and CkDirect. Applications force real
+	// payloads under the real backend, which always moves real bytes.
 	VirtualPayloads bool
+	// Backend selects the execution substrate: the discrete-event
+	// simulator (default) or real goroutine execution (see backend.go).
+	Backend Backend
 }
 
 // chargeable lets contexts extend the CPU reservation of their PE.

@@ -61,6 +61,13 @@ func (op ReduceOp) identity(width int) []float64 {
 // a binomial tree of runtime messages over the participating PEs, and the
 // completed result is delivered to the reduction client on the root PE
 // through its scheduler.
+//
+// Contributions are buffered and folded in a fixed order — rank-local
+// element order first, then child partials by ascending child rank — only
+// once a node's partial is complete. Arrival order therefore never
+// changes the floating-point result, which is what lets a wall-clock
+// real-backend run reproduce the simulator's reduction values bit for
+// bit (the cross-backend oracle; see DESIGN.md).
 type reducer struct {
 	rts    *RTS
 	name   string
@@ -70,25 +77,33 @@ type reducer struct {
 	ep     EP
 
 	frozen       bool
-	participants []int       // PEs hosting members, ascending
-	rankOf       map[int]int // PE -> rank among participants
-	kids         [][]int     // children ranks per rank
-	localCount   []int       // members per rank
+	participants []int            // PEs hosting members, ascending
+	rankOf       map[int]int      // PE -> rank among participants
+	kids         [][]int          // children ranks per rank
+	kidPos       []map[int]int    // child rank -> position in kids[rank]
+	localCount   []int            // members per rank
+	ord          map[*element]int // element -> rank-local ordinal
 	entries      []map[int]*redEntry
-	seq          map[*element]int // per-element next generation
+	// seq holds per-element generation counters, sharded by PE: each map
+	// is touched only by its PE's goroutine under the real backend.
+	seq []map[*element]int
 }
 
 type redEntry struct {
-	vals     []float64
+	width    int
+	locals   [][]float64 // one slot per rank-local element ordinal
+	kidVals  [][]float64 // one slot per child position
 	localGot int
 	kidsGot  int
 }
 
 func newReducer(rts *RTS, name string, member func() [][]*element) *reducer {
-	r := &reducer{rts: rts, name: name, member: member, seq: make(map[*element]int)}
+	r := &reducer{rts: rts, name: name, member: member,
+		seq: make([]map[*element]int, rts.mach.NumPEs())}
 	r.ep = rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
-		r.onPartial(ctx.pe, msg.Tag, msg.Vals)
+		r.onPartial(ctx.pe, int(msg.Val), msg.Tag, msg.Vals)
 	})
+	rts.reducers = append(rts.reducers, r)
 	return r
 }
 
@@ -142,8 +157,19 @@ func (r *reducer) freeze() {
 	}
 	n := len(r.participants)
 	r.kids = make([][]int, n)
+	r.kidPos = make([]map[int]int, n)
 	for rank := 0; rank < n; rank++ {
 		r.kids[rank] = binomialChildren(rank, n)
+		r.kidPos[rank] = make(map[int]int, len(r.kids[rank]))
+		for pos, kid := range r.kids[rank] {
+			r.kidPos[rank][kid] = pos
+		}
+	}
+	r.ord = make(map[*element]int)
+	for _, pe := range r.participants {
+		for i, el := range perPE[pe] {
+			r.ord[el] = i
+		}
 	}
 	r.entries = make([]map[int]*redEntry, n)
 	for i := range r.entries {
@@ -154,7 +180,11 @@ func (r *reducer) freeze() {
 func (r *reducer) entry(rank, gen int, width int) *redEntry {
 	e, ok := r.entries[rank][gen]
 	if !ok {
-		e = &redEntry{vals: r.op.identity(width)}
+		e = &redEntry{
+			width:   width,
+			locals:  make([][]float64, r.localCount[rank]),
+			kidVals: make([][]float64, len(r.kids[rank])),
+		}
 		r.entries[rank][gen] = e
 	}
 	return e
@@ -163,37 +193,46 @@ func (r *reducer) entry(rank, gen int, width int) *redEntry {
 // contributeEl routes an element's contribution into its PE's partial for
 // the element's next generation.
 func (r *reducer) contributeEl(el *element, vals []float64) {
-	gen := r.seq[el]
-	r.seq[el] = gen + 1
-	r.contribute(el.pe, gen, vals)
-}
-
-func (r *reducer) contribute(pe, gen int, vals []float64) {
 	r.freeze()
-	rank, ok := r.rankOf[pe]
+	m := r.seq[el.pe]
+	if m == nil {
+		m = make(map[*element]int)
+		r.seq[el.pe] = m
+	}
+	gen := m[el]
+	m[el] = gen + 1
+	rank, ok := r.rankOf[el.pe]
 	if !ok {
-		panic(fmt.Sprintf("charm: contribution from non-participant PE %d", pe))
+		panic(fmt.Sprintf("charm: contribution from non-participant PE %d", el.pe))
 	}
 	e := r.entry(rank, gen, len(vals))
-	if len(e.vals) != len(vals) {
+	if len(vals) != e.width {
 		err := fmt.Errorf("charm: reduction width mismatch on %s gen %d: %d vs %d",
-			r.name, gen, len(e.vals), len(vals))
+			r.name, gen, e.width, len(vals))
 		if r.rts.opts.Checked {
 			r.rts.ReportError(err)
 			return
 		}
 		panic(err)
 	}
-	r.op.combine(e.vals, vals)
+	e.locals[r.ord[el]] = vals
 	e.localGot++
 	r.maybeForward(rank, gen, e)
 }
 
-func (r *reducer) onPartial(pe, gen int, vals []float64) {
-	r.freeze()
+func (r *reducer) onPartial(pe, childPE, gen int, vals []float64) {
 	rank := r.rankOf[pe]
 	e := r.entry(rank, gen, len(vals))
-	r.op.combine(e.vals, vals)
+	if len(vals) != e.width {
+		err := fmt.Errorf("charm: reduction width mismatch on %s gen %d: %d vs %d",
+			r.name, gen, e.width, len(vals))
+		if r.rts.opts.Checked {
+			r.rts.ReportError(err)
+			return
+		}
+		panic(err)
+	}
+	e.kidVals[r.kidPos[rank][r.rankOf[childPE]]] = vals
 	e.kidsGot++
 	r.maybeForward(rank, gen, e)
 }
@@ -203,11 +242,20 @@ func (r *reducer) maybeForward(rank, gen int, e *redEntry) {
 		return
 	}
 	delete(r.entries[rank], gen)
+	// Fold in fixed order — locals by element ordinal, then child
+	// partials by ascending child rank — so the result is independent of
+	// arrival order (and thus identical across backends).
+	vals := r.op.identity(e.width)
+	for _, lv := range e.locals {
+		r.op.combine(vals, lv)
+	}
+	for _, kv := range e.kidVals {
+		r.op.combine(vals, kv)
+	}
 	pe := r.participants[rank]
 	if rank == 0 {
 		// Root: deliver to the client through the scheduler, like a
 		// reduction-target entry method.
-		vals := e.vals
 		r.rts.enqueue(pe, func() {
 			if r.client == nil {
 				panic(fmt.Sprintf("charm: reduction on %s completed with no client", r.name))
@@ -221,8 +269,9 @@ func (r *reducer) maybeForward(rank, gen int, e *redEntry) {
 	}
 	parent := r.participants[binomialParent(rank)]
 	r.rts.SendPE(pe, parent, r.ep, &Message{
-		Size: controlSize(len(e.vals)),
+		Size: controlSize(len(vals)),
 		Tag:  gen,
-		Vals: e.vals,
+		Val:  float64(pe), // child identity for deterministic folding
+		Vals: vals,
 	})
 }

@@ -32,6 +32,11 @@ type Reliability struct {
 // the ack/retransmit protocol. Call it before the simulation starts; it
 // is not meant to be toggled mid-run.
 func (rts *RTS) EnableReliability(cfg Reliability) {
+	if rts.opts.Backend == RealBackend {
+		// Fault injection and recovery model unreliable fabrics; the real
+		// backend's shared-memory transport does not drop messages.
+		panic("charm: reliability protocol is sim-only (real backend transport is reliable)")
+	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 4
 	}

@@ -2,9 +2,11 @@ package charm
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/machine"
 	"repro/internal/netmodel"
+	"repro/internal/realrt"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -20,9 +22,15 @@ type RTS struct {
 	rec  *trace.Recorder
 	opts Options
 
+	// be is the execution substrate (discrete-event simulation or the
+	// realrt goroutine runtime); real is non-nil only under RealBackend.
+	be   backend
+	real *realrt.Runtime
+
 	pes       []*peSched
 	peEPs     []Handler
 	arrays    []*Array
+	reducers  []*reducer
 	schedCost sim.Time
 
 	// pollTax is installed by the CkDirect manager; it returns the CPU
@@ -30,8 +38,11 @@ type RTS struct {
 	// scheduler pass (paper §5.2).
 	pollTax func(pe int) sim.Time
 
-	// broadcast-tree service state
+	// broadcast-tree service state. castMu guards the session table: under
+	// the real backend broadcasts originate on PE goroutines while other
+	// PEs concurrently look sessions up.
 	castEP       EP
+	castMu       sync.Mutex
 	castSessions []castSession
 
 	// sendObserver, when installed, sees every array message send
@@ -50,7 +61,8 @@ type RTS struct {
 	// (Projections-style performance tracing).
 	timeline *trace.Timeline
 
-	errs []error
+	errMu sync.Mutex
+	errs  []error
 }
 
 // SetTimeline attaches a span recorder; nil detaches.
@@ -88,6 +100,15 @@ func NewRTS(eng *sim.Engine, mach *machine.Machine, net *netmodel.Net, plat *net
 	rts.castEP = rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
 		rts.runCast(ctx.pe, int(msg.Val), msg.Tag)
 	})
+	switch opts.Backend {
+	case SimBackend:
+		rts.be = &simBackend{rts: rts}
+	case RealBackend:
+		rts.real = realrt.New(mach.NumPEs())
+		rts.be = &realBackend{rts: rts, rt: rts.real}
+	default:
+		panic(fmt.Sprintf("charm: unknown backend %v", opts.Backend))
+	}
 	return rts
 }
 
@@ -109,24 +130,57 @@ func (rts *RTS) Recorder() *trace.Recorder { return rts.rec }
 // Options returns the runtime options.
 func (rts *RTS) Options() Options { return rts.opts }
 
+// Backend returns the execution substrate this runtime drives.
+func (rts *RTS) Backend() Backend { return rts.opts.Backend }
+
+// Real returns the realrt runtime under RealBackend, nil under sim. The
+// CkDirect layer uses it to register its polling hook and to manage the
+// per-put work credits.
+func (rts *RTS) Real() *realrt.Runtime { return rts.real }
+
+// Now returns the current time on the active backend: virtual time under
+// sim, wall-clock time under real.
+func (rts *RTS) Now() sim.Time { return rts.be.now() }
+
+// PutTransfer routes a one-sided put through the backend seam: the
+// simulator plays the modelled network path, the real backend executes
+// the copy + sentinel release-store on the calling (sender) goroutine.
+func (rts *RTS) PutTransfer(op PutOp) { rts.be.put(op) }
+
+// ChargeOn accounts CPU consumed on a PE outside any context (channel
+// setup costs). A no-op under the real backend.
+func (rts *RTS) ChargeOn(pe int, cost sim.Time) { rts.be.charge(pe, cost) }
+
 // SetPollTax installs the CkDirect polling-queue tax. Passing nil removes
 // it.
 func (rts *RTS) SetPollTax(fn func(pe int) sim.Time) { rts.pollTax = fn }
 
 // ReportError records a contract violation detected in checked mode.
+// Safe from any PE goroutine under the real backend.
 func (rts *RTS) ReportError(err error) {
+	rts.errMu.Lock()
 	rts.errs = append(rts.errs, err)
+	rts.errMu.Unlock()
 	if rts.rec != nil {
 		rts.rec.Incr("rts.errors", 1)
 	}
 }
 
 // Errors returns contract violations recorded so far.
-func (rts *RTS) Errors() []error { return rts.errs }
+func (rts *RTS) Errors() []error {
+	rts.errMu.Lock()
+	defer rts.errMu.Unlock()
+	return append([]error(nil), rts.errs...)
+}
 
-// Run drives the simulation until the event queue drains, returning the
-// final virtual time.
-func (rts *RTS) Run() sim.Time { return rts.eng.Run() }
+// Run drives the program to completion on the active backend — the event
+// queue drains (sim) or global quiescence is reached (real) — returning
+// the final time.
+func (rts *RTS) Run() sim.Time { return rts.be.run() }
+
+// Executed counts completed scheduler dispatches (simulator events under
+// sim, scheduler tasks under real).
+func (rts *RTS) Executed() uint64 { return rts.be.executed() }
 
 // CtxOn builds a bare execution context for a PE. It is used by runtime
 // extensions (CkDirect callbacks) and drivers; entry methods receive their
@@ -161,6 +215,7 @@ func (rts *RTS) SendPE(srcPE, dstPE int, ep EP, msg *Message) {
 		rts.rec.Incr("charm.bytes", int64(msg.Size))
 	}
 	h := rts.peEPs[ep]
+	msg = rts.cloneForReal(msg)
 	rts.transport(srcPE, dstPE, msg.Size, func() {
 		rts.enqueue(dstPE, func() {
 			h(&Ctx{rts: rts, pe: dstPE}, msg)
@@ -168,12 +223,44 @@ func (rts *RTS) SendPE(srcPE, dstPE int, ep EP, msg *Message) {
 	})
 }
 
-// transport is the single message-path choke point shared by SendPE and
-// Array.Send: it resolves the Charm++ envelope cost, keeps the quiescence
-// counter honest across the flight, and routes through the reliability
-// protocol when one is enabled. arrive runs on the destination once the
-// message is (first) received.
+// cloneForReal copies a message's payload under the real backend —
+// Charm++ copy-on-send semantics. Senders there reuse their staging
+// buffers across iterations while earlier messages are still in flight on
+// other goroutines; the simulator's instant-closure delivery never needed
+// the copy (and skipping it keeps sim runs byte-for-byte identical to the
+// seed).
+func (rts *RTS) cloneForReal(msg *Message) *Message {
+	if rts.opts.Backend != RealBackend {
+		return msg
+	}
+	m := *msg
+	if msg.Data != nil {
+		m.Data = append([]byte(nil), msg.Data...)
+	}
+	if msg.Vals != nil {
+		m.Vals = append([]float64(nil), msg.Vals...)
+	}
+	return &m
+}
+
+// transport moves a message between PEs on the active backend; arrive
+// runs on the destination once the message is received.
 func (rts *RTS) transport(srcPE, dstPE, size int, arrive func()) {
+	rts.be.send(srcPE, dstPE, size, arrive)
+}
+
+// enqueue appends a delivery to a PE's scheduler queue on the active
+// backend.
+func (rts *RTS) enqueue(pe int, deliver func()) {
+	rts.be.schedule(pe, deliver)
+}
+
+// simTransport is the simulator's message path, the choke point shared by
+// SendPE and Array.Send: it resolves the Charm++ envelope cost, keeps the
+// quiescence counter honest across the flight, and routes through the
+// reliability protocol when one is enabled. arrive runs on the
+// destination once the message is (first) received.
+func (rts *RTS) simTransport(srcPE, dstPE, size int, arrive func()) {
 	cost := rts.plat.CharmMsg.Resolve(size + rts.plat.HeaderBytes)
 	rts.qdInc() // in flight
 	delivered := false
@@ -201,9 +288,9 @@ func (rts *RTS) transport(srcPE, dstPE, size int, arrive func()) {
 	rts.rel.send(rts, srcPE, dstPE, cost, deliver)
 }
 
-// enqueue appends a delivery to a PE's scheduler queue and kicks the
-// scheduler loop if idle.
-func (rts *RTS) enqueue(pe int, deliver func()) {
+// simEnqueue appends a delivery to a PE's simulated scheduler queue and
+// kicks the scheduler loop if idle.
+func (rts *RTS) simEnqueue(pe int, deliver func()) {
 	s := rts.pes[pe]
 	rts.qdInc()
 	s.queue = append(s.queue, deliver)
@@ -269,8 +356,9 @@ type Ctx struct {
 	elem *element
 }
 
-// Now returns the current virtual time.
-func (c *Ctx) Now() sim.Time { return c.rts.eng.Now() }
+// Now returns the current time (virtual under sim, wall-clock under
+// real).
+func (c *Ctx) Now() sim.Time { return c.rts.be.now() }
 
 // PE returns the processing element this context executes on.
 func (c *Ctx) PE() int { return c.pe }
@@ -285,16 +373,17 @@ func (c *Ctx) Obj() interface{} { return c.obj }
 func (c *Ctx) Index() Index { return c.idx }
 
 // Charge accounts for computation performed by the caller: the PE stays
-// busy for cost units of virtual time after the current point.
+// busy for cost units of virtual time after the current point. Under the
+// real backend this is a no-op — real compute takes real time.
 func (c *Ctx) Charge(cost sim.Time) {
-	c.rts.pes[c.pe].pe.Reserve(cost)
+	c.rts.be.charge(c.pe, cost)
 }
 
 // After schedules fn on this PE's context after a plain delay (no CPU
-// reserved) — virtual sleep, used by drivers and tests.
+// reserved) — virtual sleep under sim, a wall-clock timer under real.
 func (c *Ctx) After(d sim.Time, fn func(ctx *Ctx)) {
 	pe := c.pe
-	c.rts.eng.Schedule(d, func() {
+	c.rts.be.after(pe, d, func() {
 		fn(&Ctx{rts: c.rts, pe: pe})
 	})
 }

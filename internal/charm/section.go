@@ -3,6 +3,7 @@ package charm
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Section is a fixed subset of an array's elements with its own multicast
@@ -17,7 +18,10 @@ type Section struct {
 	pes   []int        // participating PEs, ascending
 	red   *reducer
 
-	castEP   EP
+	castEP EP
+	// sessMu guards the session table (multicasts originate on PE
+	// goroutines under the real backend).
+	sessMu   sync.Mutex
 	sessions []sectionCast
 }
 
@@ -76,8 +80,10 @@ func (s *Section) PEs() []int { return append([]int(nil), s.pes...) }
 // fanning out along a binomial tree over the participating PEs only —
 // non-member PEs see no traffic.
 func (s *Section) Multicast(srcPE int, ep EP, msg *Message) {
+	s.sessMu.Lock()
 	s.sessions = append(s.sessions, sectionCast{ep: ep, msg: msg})
 	id := len(s.sessions) - 1
+	s.sessMu.Unlock()
 	root := s.pes[0]
 	if srcPE == root {
 		s.runCast(root, id)
@@ -96,7 +102,9 @@ func (c *Ctx) MulticastSection(s *Section, ep EP, msg *Message) {
 // runCast forwards to tree children among the section PEs and delivers
 // locally.
 func (s *Section) runCast(pe, id int) {
+	s.sessMu.Lock()
 	sess := s.sessions[id]
+	s.sessMu.Unlock()
 	rank := sort.SearchInts(s.pes, pe)
 	for _, crank := range binomialChildren(rank, len(s.pes)) {
 		s.arr.rts.SendPE(pe, s.pes[crank], s.castEP, &Message{Size: sess.msg.Size, Tag: id})

@@ -28,9 +28,11 @@ package ckdirect
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/charm"
 	"repro/internal/machine"
+	"repro/internal/realrt"
 	"repro/internal/sim"
 )
 
@@ -91,6 +93,10 @@ type Handle struct {
 	inPollQ  bool
 	pollIdx  int // position in the PE's polling queue while inPollQ
 	inFlight bool
+	// sw points at the sentinel word for atomic access (real backend
+	// only): release-stored by the sender's put, acquire-loaded by the
+	// receiver's poll pass.
+	sw *uint64
 	// strided, when set, scatters each put across the destination per
 	// the layout (§6 extension; see strided.go).
 	strided *StridedLayout
@@ -138,6 +144,10 @@ type Manager struct {
 	nextID int
 	polled [][]*Handle // per PE; order is irrelevant (only the count taxes the scheduler)
 
+	// rt is the realrt runtime under the real backend (nil under sim);
+	// detection then happens in realPoll instead of simulated events.
+	rt *realrt.Runtime
+
 	// wd, when non-nil, arms a virtual-time deadline per in-flight put
 	// (see watchdog.go).
 	wd *Watchdog
@@ -154,6 +164,13 @@ func NewManager(rts *charm.RTS) *Manager {
 		rts:         rts,
 		polled:      make([][]*Handle, rts.Machine().NumPEs()),
 		getSignalEP: -1,
+	}
+	if rt := rts.Real(); rt != nil {
+		// Real backend: the scheduler loops poll for arrivals directly —
+		// no modelled tax, the scan costs what it costs.
+		m.rt = rt
+		rt.SetPoll(m.realPoll)
+		return m
 	}
 	plat := rts.Platform()
 	if !plat.CkdRecvIsCallback && plat.PollPerHandleNS > 0 {
@@ -207,7 +224,23 @@ func (m *Manager) createHandle(pe int, buf *machine.Region, oob uint64, cb func(
 		strided: layout,
 	}
 	m.nextID++
-	m.rts.Machine().PE(pe).Reserve(sim.Microseconds(createCPUUS))
+	if m.rt != nil {
+		// Real backend: the sentinel word must exist for real and be
+		// addressable by 64-bit atomics.
+		if buf.Virtual() {
+			return nil, fmt.Errorf("ckdirect: handle %d needs a real buffer on the real backend", h.id)
+		}
+		pos := buf.Size() - 8
+		if layout != nil {
+			pos = stridedSentinelPos(layout)
+		}
+		sw, err := buf.Uint64At(pos)
+		if err != nil {
+			return nil, fmt.Errorf("ckdirect: handle %d sentinel: %v (size the buffer in 8-byte words)", h.id, err)
+		}
+		h.sw = sw
+	}
+	m.rts.ChargeOn(pe, sim.Microseconds(createCPUUS))
 	buf.SetRegistered(true)
 	m.writeSentinel(h)
 	if m.usesPolling() {
@@ -232,23 +265,52 @@ func (m *Manager) AssocLocal(h *Handle, pe int, src *machine.Region) error {
 	if src.PE().ID() != pe {
 		return fmt.Errorf("ckdirect: source buffer lives on PE %d, AssocLocal on PE %d", src.PE().ID(), pe)
 	}
+	if m.rt != nil {
+		if src.Virtual() {
+			return fmt.Errorf("ckdirect: handle %d needs a real source buffer on the real backend", h.id)
+		}
+		want := h.recvBuf.Size()
+		if h.strided != nil {
+			want = h.strided.TotalBytes()
+		}
+		if src.Size() != want {
+			return fmt.Errorf("ckdirect: handle %d source is %d bytes, destination transfer is %d (the real put lands the source's final word in the sentinel position)",
+				h.id, src.Size(), want)
+		}
+	}
 	h.sendPE = pe
 	h.sendBuf = src
-	m.rts.Machine().PE(pe).Reserve(sim.Microseconds(assocCPUUS))
+	m.rts.ChargeOn(pe, sim.Microseconds(assocCPUUS))
 	src.SetRegistered(true)
 	return nil
 }
 
-// usesPolling reports whether this platform's CkDirect detects completion
-// by polling a sentinel (Infiniband) rather than a completion callback
-// (Blue Gene/P).
-func (m *Manager) usesPolling() bool { return !m.rts.Platform().CkdRecvIsCallback }
+// usesPolling reports whether this CkDirect detects completion by polling
+// a sentinel (Infiniband) rather than a completion callback (Blue
+// Gene/P). The real backend always polls: the sentinel IS its delivery
+// mechanism, whatever platform table prices the run.
+func (m *Manager) usesPolling() bool {
+	return m.rt != nil || !m.rts.Platform().CkdRecvIsCallback
+}
+
+// UsesPolling is the exported form: applications with platform-dependent
+// phase structure (OpenAtom's arm broadcast) consult the manager rather
+// than the platform flag so the same code is correct on the real backend.
+func (m *Manager) UsesPolling() bool { return m.usesPolling() }
 
 // writeSentinel stamps the out-of-band pattern into the last 8 bytes of
 // the transfer's final destination (the region end for contiguous
 // channels, the tail of the last block for strided ones) — detection
 // later compares against it.
 func (m *Manager) writeSentinel(h *Handle) {
+	if h.sw != nil {
+		// Real backend: an atomic store keeps the re-arm write ordered
+		// against the concurrent acquire-loads of this PE's poll pass and
+		// the sender's next release-store (which the application's phase
+		// structure orders after this call).
+		atomic.StoreUint64(h.sw, h.oob)
+		return
+	}
 	b := h.recvBuf.Bytes()
 	if len(b) < 8 {
 		return

@@ -69,6 +69,9 @@ func (m *Manager) readySignalEP() charm.EP {
 // CreateGetHandle is the consumer-side setup: local destination, remote
 // source, completion callback.
 func (m *Manager) CreateGetHandle(localPE int, dst *machine.Region, remotePE int, src *machine.Region, cb func(ctx *charm.Ctx)) (*GetHandle, error) {
+	if m.rt != nil {
+		return nil, m.realRejectExtension("the get extension")
+	}
 	if dst == nil || src == nil {
 		return nil, fmt.Errorf("ckdirect: CreateGetHandle with nil buffer")
 	}

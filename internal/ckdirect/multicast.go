@@ -42,6 +42,9 @@ func (h *MulticastHandle) Members() []*Handle { return h.members }
 // receivers conceptually — in simulation, the caller distributes the
 // returned member handles).
 func (m *Manager) CreateMulticast(sendPE int, src *machine.Region, oob uint64, receivers []MulticastMember) (*MulticastHandle, error) {
+	if m.rt != nil {
+		return nil, m.realRejectExtension("the multicast extension")
+	}
 	if len(receivers) == 0 {
 		return nil, fmt.Errorf("ckdirect: multicast with no receivers")
 	}

@@ -24,7 +24,9 @@ func (m *Manager) PutNotify(h *Handle, onLocalDone func()) error {
 	if h.sendPE < 0 {
 		return m.misuse(fmt.Errorf("ckdirect: Put on handle %d before AssocLocal", h.id))
 	}
-	if h.inFlight {
+	if m.rt == nil && h.inFlight {
+		// Sim-only: inFlight is cleared by the receiver-side delivery event,
+		// which the real backend's sender goroutine must not read.
 		return m.misuse(fmt.Errorf("ckdirect: Put on handle %d with a message already in flight", h.id))
 	}
 	if m.rts.Options().Checked {
@@ -36,13 +38,17 @@ func (m *Manager) PutNotify(h *Handle, onLocalDone func()) error {
 			}
 		}
 	}
-	h.inFlight = true
-	h.puts++
-	h.reissues = 0
 	if rec := m.rts.Recorder(); rec != nil {
 		rec.Incr("ckd.puts", 1)
 		rec.Incr("ckd.bytes", int64(h.sendBuf.Size()))
 	}
+	if m.rt != nil {
+		m.realPut(h, onLocalDone)
+		return nil
+	}
+	h.inFlight = true
+	h.puts++
+	h.reissues = 0
 	cost := m.rts.Platform().CkdPut.Resolve(h.sendBuf.Size())
 	m.issuePut(h, h.puts, cost, onLocalDone)
 	return nil

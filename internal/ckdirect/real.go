@@ -1,0 +1,123 @@
+package ckdirect
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+)
+
+// Real-execution backend for CkDirect: the paper's mechanism, executed
+// literally on shared memory instead of modelled in virtual time.
+//
+// A put is a memcpy into the receiver's registered buffer followed by an
+// atomic release-store of the final 8-byte word — the sentinel position.
+// The receiver's scheduler loop polls its handle queue with atomic
+// acquire-loads of that word; a value different from the out-of-band
+// pattern means the payload (whose last word the store published) is
+// fully visible, per Go's memory model the release-store/acquire-load
+// pair orders every plain byte of the copy before every receiver read.
+// There are no locks, no queues and no notifications anywhere on this
+// path: delivery is genuinely unsynchronized and one-sided, and the
+// receiver synchronizes only through its own polling — exactly the
+// protocol of paper §2.1.
+//
+// Termination safety: the backend's put seam takes a work credit before
+// the release-store publishes the payload, and realDetect returns it only
+// after the receiver's callback completes, so the runtime cannot reach
+// global quiescence while a landed put sits undetected (see realrt).
+//
+// A sentinel collision (payload last word equals the out-of-band pattern)
+// behaves like real hardware: the arrival is undetectable and the channel
+// stalls — surfaced by the realrt stall watchdog (and, in checked mode,
+// reported at Put time).
+
+// realPut executes one put on the real backend. It runs synchronously on
+// the sender's goroutine and performs sender-side misuse checks only:
+// receiver-confined state (state machine, poll-queue membership) must not
+// be read here — that is the entire point of an unsynchronized put.
+func (m *Manager) realPut(h *Handle, onLocalDone func()) {
+	m.rts.PutTransfer(charm.PutOp{
+		SrcPE: h.sendPE,
+		DstPE: h.recvPE,
+		Hooks: netmodel.TransferHooks{
+			Kind:       netmodel.KindCkdPut,
+			Flow:       h.id,
+			OnSendDone: onLocalDone,
+		},
+		Execute: func() { m.realDeposit(h) },
+	})
+}
+
+// realDeposit copies the payload and publishes it: every byte except the
+// sentinel word lands with plain copies, then the payload's own final
+// word is release-stored into the sentinel position.
+func (m *Manager) realDeposit(h *Handle) {
+	src, dst := h.sendBuf.Bytes(), h.recvBuf.Bytes()
+	if h.strided == nil {
+		pos := len(dst) - 8
+		copy(dst[:pos], src[:pos])
+		atomic.StoreUint64(h.sw, binary.LittleEndian.Uint64(src[pos:]))
+		return
+	}
+	l := h.strided
+	for b := 0; b < l.Count-1; b++ {
+		copy(dst[l.Offset+b*l.Stride:l.Offset+b*l.Stride+l.BlockLen],
+			src[b*l.BlockLen:(b+1)*l.BlockLen])
+	}
+	// Last block: all but its final word plainly, the final word as the
+	// publishing release-store.
+	lastDst := l.Offset + (l.Count-1)*l.Stride
+	lastSrc := (l.Count - 1) * l.BlockLen
+	copy(dst[lastDst:lastDst+l.BlockLen-8], src[lastSrc:lastSrc+l.BlockLen-8])
+	atomic.StoreUint64(h.sw, binary.LittleEndian.Uint64(src[lastSrc+l.BlockLen-8:]))
+}
+
+// realPoll is the receiver-side detection pass, installed as the realrt
+// scheduler loop's polling hook: one atomic acquire-load per polled
+// handle, callback on the spot when the sentinel changed. It reports
+// whether anything was detected (the loop's backoff resets on progress).
+//
+// The pass iterates a snapshot of the queue slice: detection mutates the
+// queue (pollRemove swaps, callbacks may re-insert), and the inPollQ/nil
+// checks skip entries the mutation left stale — a handle swapped below
+// the scan index is simply caught on the next pass.
+func (m *Manager) realPoll(pe int) bool {
+	q := m.polled[pe]
+	hit := false
+	for i := 0; i < len(q); i++ {
+		h := q[i]
+		if h == nil || !h.inPollQ {
+			continue
+		}
+		if atomic.LoadUint64(h.sw) == h.oob {
+			continue
+		}
+		hit = true
+		m.realDetect(h)
+	}
+	return hit
+}
+
+// realDetect completes one delivery on the receiver's goroutine: leave
+// the polling queue, run the user callback, then release the put's work
+// credit. The callback may Put, Ready, or enqueue entry methods; any
+// credits those take are live before this one is returned, so quiescence
+// cannot slip past the chain.
+func (m *Manager) realDetect(h *Handle) {
+	m.pollRemove(h)
+	h.state = Fired
+	h.delivered++
+	h.notifyDelivery()
+	h.cb(m.rts.CtxOn(h.recvPE))
+	m.rt.PutDetected()
+}
+
+// realRejectExtension reports the §6 extension models (gets, multicast,
+// channel reductions) as unavailable on the real backend: they are
+// cost-model studies built on simulator event scheduling.
+func (m *Manager) realRejectExtension(what string) error {
+	return fmt.Errorf("ckdirect: %s is not supported on the real backend", what)
+}

@@ -101,7 +101,7 @@ func (m *Manager) PutStrided(h *StridedHandle) error {
 			h.id, h.sendBuf.Size(), h.layout.TotalBytes()))
 	}
 	// Descriptor-build cost on the sender, then the ordinary put path.
-	m.rts.Machine().PE(h.sendPE).Reserve(sim.Microseconds(descriptorCostUS * float64(h.layout.Count)))
+	m.rts.ChargeOn(h.sendPE, sim.Microseconds(descriptorCostUS*float64(h.layout.Count)))
 	if rec := m.rts.Recorder(); rec != nil {
 		rec.Incr("ckd.strided_puts", 1)
 	}

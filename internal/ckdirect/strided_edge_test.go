@@ -1,0 +1,117 @@
+package ckdirect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+)
+
+// TestStridedZeroRowsRejected: a layout transferring zero blocks is a
+// degenerate channel (no payload, nowhere to put the sentinel) and must
+// be rejected at validation and at handle creation, not discovered as a
+// hang later.
+func TestStridedZeroRowsRejected(t *testing.T) {
+	zero := StridedLayout{BlockLen: 16, Stride: 16, Count: 0}
+	if err := zero.Validate(256); err == nil {
+		t.Fatal("zero-count layout validated")
+	}
+	if zero.TotalBytes() != 0 {
+		t.Fatalf("zero-count layout claims %d payload bytes", zero.TotalBytes())
+	}
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	matrix := rts.Machine().AllocRegion(1, 256, false)
+	if _, err := m.CreateStridedHandle(1, matrix, zero, oob, func(*charm.Ctx) {}); err == nil {
+		t.Fatal("CreateStridedHandle accepted a zero-row layout")
+	}
+	negative := StridedLayout{BlockLen: 16, Stride: 16, Count: -3}
+	if _, err := m.CreateStridedHandle(1, matrix, negative, oob, func(*charm.Ctx) {}); err == nil {
+		t.Fatal("CreateStridedHandle accepted a negative-row layout")
+	}
+}
+
+// TestStridedSingleColumn: the narrowest legal panel — BlockLen exactly 8
+// bytes, one float64 per row. Every block is also a sentinel-sized word,
+// so this is the layout most likely to break off-by-one sentinel
+// placement; the scatter must land each word at its row and leave both
+// neighbouring columns untouched.
+func TestStridedSingleColumn(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	const rows, cols = 8, 6
+	matrix := rts.Machine().AllocRegion(1, rows*cols*8, false)
+	layout := StridedLayout{
+		Offset:   2 * 8, // column 2
+		BlockLen: 8,
+		Stride:   cols * 8,
+		Count:    rows,
+	}
+	fired := false
+	sh, err := m.CreateStridedHandle(1, matrix, layout, oob, func(ctx *charm.Ctx) { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rts.Machine().AllocRegion(0, layout.TotalBytes(), false)
+	rng.New(11).Fill(src.Bytes())
+	if err := m.AssocLocal(sh.Handle, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.PutStrided(sh); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if !fired {
+		t.Fatal("single-column strided callback never fired")
+	}
+	for r := 0; r < rows; r++ {
+		start := layout.Offset + r*layout.Stride
+		want := src.Bytes()[r*8 : (r+1)*8]
+		if got := matrix.Bytes()[start : start+8]; !bytes.Equal(got, want) {
+			t.Fatalf("row %d word mismatch: got %x want %x", r, got, want)
+		}
+		for _, off := range []int{-1, 8} { // columns 1 and 3 stay zero
+			if matrix.Bytes()[start+off] != 0 {
+				t.Fatalf("row %d: neighbour byte at offset %d overwritten", r, off)
+			}
+		}
+	}
+	if errs := rts.Errors(); len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+}
+
+// TestStridedSentinelCollisionReported: a strided payload whose final
+// word equals the out-of-band pattern would re-arm the sentinel the
+// instant it landed — the receiver could never distinguish arrival from
+// emptiness and the channel would stall (on the real backend, until the
+// stall watchdog kills the run). Checked mode must refuse the put with a
+// diagnostic instead.
+func TestStridedSentinelCollisionReported(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 2, true)
+	matrix := rts.Machine().AllocRegion(1, 512, false)
+	layout := StridedLayout{BlockLen: 16, Stride: 64, Count: 4}
+	sh, err := m.CreateStridedHandle(1, matrix, layout, oob, func(*charm.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rts.Machine().AllocRegion(0, layout.TotalBytes(), false)
+	rng.New(13).Fill(src.Bytes())
+	// The last 8 source bytes land exactly on the sentinel word (last 8
+	// bytes of the last block).
+	binary.LittleEndian.PutUint64(src.Bytes()[layout.TotalBytes()-8:], oob)
+	if err := m.AssocLocal(sh.Handle, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	err = m.PutStrided(sh)
+	if err == nil {
+		t.Fatal("sentinel-colliding strided payload accepted")
+	}
+	if !strings.Contains(err.Error(), "out-of-band") {
+		t.Fatalf("collision error does not name the out-of-band pattern: %v", err)
+	}
+}

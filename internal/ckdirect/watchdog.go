@@ -43,6 +43,12 @@ func (m *Manager) SetWatchdog(w *Watchdog) {
 		m.wd = nil
 		return
 	}
+	if m.rt != nil {
+		// Virtual-time deadlines have no meaning on the real backend; its
+		// stall detection is the realrt progress watchdog, and the
+		// shared-memory transport cannot lose a put.
+		panic("ckdirect: the put watchdog is sim-only (use the real backend's stall watchdog)")
+	}
 	wd := *w
 	if wd.MaxReissues <= 0 {
 		wd.MaxReissues = 3

@@ -14,6 +14,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -92,6 +93,54 @@ type Rule struct {
 // caller. Integer selectors start at -1 ("any").
 func NewRule(action Action) Rule {
 	return Rule{Src: -1, Dst: -1, Flow: -1, Action: action}
+}
+
+// String renders the rule in the ParseSpec grammar. For any rule that
+// came out of ParseSpec, the result parses back to an identical rule
+// (the property FuzzParseSpec holds the parser to).
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Action.String())
+	var kvs []string
+	if r.Kind != "" {
+		kvs = append(kvs, "kind="+r.Kind)
+	}
+	if r.Src >= 0 {
+		kvs = append(kvs, "src="+strconv.Itoa(r.Src))
+	}
+	if r.Dst >= 0 {
+		kvs = append(kvs, "dst="+strconv.Itoa(r.Dst))
+	}
+	if r.Flow >= 0 {
+		kvs = append(kvs, "flow="+strconv.Itoa(r.Flow))
+	}
+	if r.Nth > 0 {
+		kvs = append(kvs, "nth="+strconv.Itoa(r.Nth))
+	}
+	if r.Rate != 0 {
+		kvs = append(kvs, "rate="+strconv.FormatFloat(r.Rate, 'g', -1, 64))
+	}
+	if r.DelayUS != 0 {
+		kvs = append(kvs, "us="+strconv.FormatFloat(r.DelayUS, 'g', -1, 64))
+	}
+	if r.Count != 0 {
+		kvs = append(kvs, "count="+strconv.Itoa(r.Count))
+	}
+	if len(kvs) > 0 {
+		b.WriteByte(':')
+		b.WriteString(strings.Join(kvs, ","))
+	}
+	return b.String()
+}
+
+// FormatSpec renders a rule list as one spec string, the inverse of
+// ParseSpec.
+func FormatSpec(rules []Rule) string {
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
 }
 
 // matches reports whether the rule's static selectors accept the attempt.
@@ -247,23 +296,43 @@ func ParseSpec(spec string) ([]Rule, error) {
 				switch k {
 				case "rate":
 					r.Rate, err = strconv.ParseFloat(v, 64)
-					if err == nil && (r.Rate < 0 || r.Rate > 1) {
+					// NaN fails both >= and <=, so this rejects it along
+					// with anything outside [0,1].
+					if err == nil && !(r.Rate >= 0 && r.Rate <= 1) {
 						err = fmt.Errorf("rate %v outside [0,1]", r.Rate)
 					}
 				case "nth":
 					r.Nth, err = strconv.Atoi(v)
+					if err == nil && r.Nth < 0 {
+						err = fmt.Errorf("nth %d negative", r.Nth)
+					}
 				case "kind":
 					r.Kind = v
 				case "src":
 					r.Src, err = strconv.Atoi(v)
+					if err == nil && r.Src < 0 {
+						err = fmt.Errorf("src %d negative (omit the key to match any)", r.Src)
+					}
 				case "dst":
 					r.Dst, err = strconv.Atoi(v)
+					if err == nil && r.Dst < 0 {
+						err = fmt.Errorf("dst %d negative (omit the key to match any)", r.Dst)
+					}
 				case "flow":
 					r.Flow, err = strconv.Atoi(v)
+					if err == nil && r.Flow < 0 {
+						err = fmt.Errorf("flow %d negative (omit the key to match any)", r.Flow)
+					}
 				case "us":
 					r.DelayUS, err = strconv.ParseFloat(v, 64)
+					if err == nil && (math.IsNaN(r.DelayUS) || math.IsInf(r.DelayUS, 0) || r.DelayUS < 0) {
+						err = fmt.Errorf("us %v not a finite non-negative duration", r.DelayUS)
+					}
 				case "count":
 					r.Count, err = strconv.Atoi(v)
+					if err == nil && r.Count < 0 {
+						err = fmt.Errorf("count %d negative", r.Count)
+					}
 				default:
 					err = fmt.Errorf("unknown key %q", k)
 				}

@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec holds the spec grammar to two properties on arbitrary
+// input: the parser never panics, and any spec it accepts survives a
+// FormatSpec round trip — the canonical rendering reparses to rules
+// deeply equal to the originals. The second property is what lets a
+// scenario be logged, archived, and replayed from its printed form.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"drop:rate=0.01",
+		"drop:kind=ckd.put,nth=3,flow=2",
+		"delay:rate=0.05,us=25;dup:rate=0.01",
+		"corrupt:nth=1,src=0,dst=3",
+		"dup:rate=0.5,count=4",
+		"drop:rate=1e-300,kind=a:b=c",
+		" drop : rate=0.5 ; ; ",
+		"",
+		"drop",
+		"drop:rate=NaN",
+		"delay:rate=1,us=Inf",
+		"drop:rate=2",
+		"dup:nth=0x3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseSpec(spec)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		if len(rules) == 0 {
+			t.Fatalf("ParseSpec(%q) accepted but returned no rules", spec)
+		}
+		canon := FormatSpec(rules)
+		rules2, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(rules, rules2) {
+			t.Fatalf("round trip through %q changed rules:\n  first:  %#v\n  second: %#v", canon, rules, rules2)
+		}
+	})
+}

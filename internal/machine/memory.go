@@ -1,6 +1,9 @@
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // Region is a block of PE-local memory that network hardware may address.
 // Regions come in two payload modes:
@@ -69,6 +72,26 @@ func (r *Region) Registered() bool { return r.registered }
 // SetRegistered records registration state; network models call this when
 // charging (or skipping, on a cache hit) registration cost.
 func (r *Region) SetRegistered(v bool) { r.registered = v }
+
+// Uint64At returns a pointer to the 8-byte word at byte offset off,
+// suitable for atomic loads and stores — the real-execution backend's
+// sentinel word. It fails for virtual regions, out-of-range offsets, and
+// words not aligned to 8 bytes (64-bit atomics require natural alignment;
+// Go's allocator 8-aligns every []byte whose length is a multiple of 8,
+// so in practice this constrains off, not the buffer).
+func (r *Region) Uint64At(off int) (*uint64, error) {
+	if r.buf == nil {
+		return nil, fmt.Errorf("machine: Uint64At on a virtual region")
+	}
+	if off < 0 || off+8 > len(r.buf) {
+		return nil, fmt.Errorf("machine: Uint64At offset %d outside region of %d bytes", off, len(r.buf))
+	}
+	p := unsafe.Pointer(&r.buf[off])
+	if uintptr(p)%8 != 0 {
+		return nil, fmt.Errorf("machine: word at offset %d is not 8-byte aligned", off)
+	}
+	return (*uint64)(p), nil
+}
 
 // CopyTo copies min(len) bytes from r into dst. Copies involving a
 // virtual endpoint move no bytes but are still legal: the cost model has

@@ -1,0 +1,258 @@
+// Package realrt is the real-execution backend: it runs the message-driven
+// programs of this repository on actual parallel hardware instead of the
+// discrete-event simulator. Each simulated processing element becomes one
+// goroutine running a message-driven scheduler loop; entry-method messages
+// travel through per-PE FIFO queues, and CkDirect puts are performed as the
+// paper's actual mechanism — a memcpy into the receiver's registered buffer
+// followed by an atomic release-store of the sentinel word, detected by the
+// receiver's scheduler loop with atomic acquire-loads and no locks or
+// notifications.
+//
+// Time under this backend is wall-clock time (sim.Time carries nanoseconds
+// either way), so measured intervals are real host performance, not model
+// output. Determinism is therefore NOT a property of this backend; the
+// applications' validate modes are the cross-backend oracle instead (their
+// final payloads must be byte-identical to a sim-backend run of the same
+// configuration — see DESIGN.md).
+//
+// Termination uses the same inc-before-dec counting argument as the
+// runtime's quiescence detector: a global work counter is incremented
+// before any unit of work becomes visible (a queued task, a pending timer,
+// an in-flight put) and decremented only after the unit completes (the task
+// ran, the timer's task ran, the put's arrival callback finished). When the
+// counter reads zero the system is globally quiescent and every worker
+// exits.
+package realrt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Runtime executes tasks on one goroutine per PE.
+type Runtime struct {
+	npes  int
+	start time.Time
+
+	pes []*peQueue
+
+	// work counts queued tasks + pending timers + undetected puts.
+	// Incremented before the unit becomes visible, decremented after it
+	// completes; zero means global quiescence.
+	work atomic.Int64
+
+	// executed counts completed scheduler tasks (the real-backend analogue
+	// of the simulator's executed-event count).
+	executed atomic.Uint64
+
+	// progress ticks on every completed unit of work; the stall watchdog
+	// panics when it stops moving while work remains.
+	progress atomic.Uint64
+
+	// poll, when installed (by the CkDirect manager), runs on a PE's
+	// scheduler loop between tasks and reports whether it detected any
+	// arrival.
+	poll func(pe int) bool
+
+	// StallTimeout is how long the runtime tolerates outstanding work with
+	// zero progress before panicking with a diagnostic (a real-backend
+	// deadlock would otherwise spin forever). Zero means 30s.
+	StallTimeout time.Duration
+
+	// onStall replaces the watchdog's panic (tests only — the panic runs on
+	// the watchdog goroutine, where no test can recover it).
+	onStall func(msg string)
+
+	running atomic.Bool
+}
+
+// peQueue is one PE's scheduler queue: a mutex-protected FIFO. The head
+// index avoids O(n) shifts; the slice is compacted when fully drained.
+type peQueue struct {
+	mu    sync.Mutex
+	tasks []func()
+	head  int
+}
+
+func (q *peQueue) push(task func()) {
+	q.mu.Lock()
+	q.tasks = append(q.tasks, task)
+	q.mu.Unlock()
+}
+
+func (q *peQueue) pop() func() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.tasks) {
+		if q.head > 0 {
+			q.tasks = q.tasks[:0]
+			q.head = 0
+		}
+		return nil
+	}
+	task := q.tasks[q.head]
+	q.tasks[q.head] = nil
+	q.head++
+	return task
+}
+
+// New builds a runtime for npes processing elements. The wall clock
+// starts here; Now is measured from this instant.
+func New(npes int) *Runtime {
+	if npes <= 0 {
+		panic("realrt: non-positive PE count")
+	}
+	rt := &Runtime{npes: npes, start: time.Now()}
+	rt.pes = make([]*peQueue, npes)
+	for i := range rt.pes {
+		rt.pes[i] = &peQueue{}
+	}
+	return rt
+}
+
+// NumPEs returns the PE count.
+func (rt *Runtime) NumPEs() int { return rt.npes }
+
+// Now returns wall-clock time elapsed since the runtime was built.
+func (rt *Runtime) Now() sim.Time { return sim.FromDuration(time.Since(rt.start)) }
+
+// Executed returns how many scheduler tasks have completed.
+func (rt *Runtime) Executed() uint64 { return rt.executed.Load() }
+
+// SetPoll installs the per-PE polling hook (the CkDirect sentinel scan).
+// Must be called before Run.
+func (rt *Runtime) SetPoll(fn func(pe int) bool) { rt.poll = fn }
+
+// Enqueue places a task on a PE's scheduler queue. Safe from any
+// goroutine, before or during Run. The work credit is taken before the
+// task becomes poppable so the termination check can never miss it.
+func (rt *Runtime) Enqueue(pe int, task func()) {
+	rt.work.Add(1)
+	rt.pes[pe].push(task)
+}
+
+// After runs task on a PE's scheduler queue once the wall-clock delay
+// elapses. The timer holds its own work credit so the runtime cannot
+// terminate underneath it.
+func (rt *Runtime) After(pe int, d sim.Time, task func()) {
+	rt.work.Add(1)
+	time.AfterFunc(d.Duration(), func() {
+		rt.Enqueue(pe, task)
+		rt.noteDone()
+	})
+}
+
+// PutIssued takes a work credit for an in-flight one-sided put. The put
+// layer must call it before the sentinel release-store makes the payload
+// visible; the credit is returned by PutDetected after the receiver's
+// arrival callback completes. Holding the credit across the whole
+// put-to-detection window is what makes work==0 imply that no payload is
+// still sitting undetected in a receive buffer.
+func (rt *Runtime) PutIssued() { rt.work.Add(1) }
+
+// PutDetected returns the credit taken by PutIssued.
+func (rt *Runtime) PutDetected() { rt.noteDone() }
+
+// noteDone retires one unit of work.
+func (rt *Runtime) noteDone() {
+	rt.progress.Add(1)
+	if rt.work.Add(-1) < 0 {
+		panic("realrt: work counter underflow")
+	}
+}
+
+// Run launches one worker goroutine per PE and blocks until global
+// quiescence, returning the wall-clock time at exit. It may be called
+// once.
+func (rt *Runtime) Run() sim.Time {
+	if !rt.running.CompareAndSwap(false, true) {
+		panic("realrt: Run called twice")
+	}
+	var wg sync.WaitGroup
+	wg.Add(rt.npes)
+	for pe := 0; pe < rt.npes; pe++ {
+		go rt.worker(pe, &wg)
+	}
+	done := make(chan struct{})
+	go rt.watch(done)
+	wg.Wait()
+	close(done)
+	return rt.Now()
+}
+
+// worker is one PE's scheduler loop: drain the queue, poll CkDirect
+// channels, exit at global quiescence, otherwise back off. Backoff starts
+// with cooperative yields and decays to short sleeps so idle PEs do not
+// starve busy ones on small hosts (GOMAXPROCS may be below the PE count).
+func (rt *Runtime) worker(pe int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	q := rt.pes[pe]
+	idle := 0
+	for {
+		if task := q.pop(); task != nil {
+			task()
+			rt.executed.Add(1)
+			rt.noteDone()
+			idle = 0
+			continue
+		}
+		if rt.poll != nil && rt.poll(pe) {
+			idle = 0
+			continue
+		}
+		if rt.work.Load() == 0 {
+			return
+		}
+		idle++
+		switch {
+		case idle < 128:
+			runtime.Gosched()
+		case idle < 1024:
+			time.Sleep(5 * time.Microsecond)
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// watch panics the process when outstanding work stops making progress —
+// the real-backend analogue of a hung run, surfaced instead of spinning
+// forever in CI.
+func (rt *Runtime) watch(done <-chan struct{}) {
+	timeout := rt.StallTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	const tick = 250 * time.Millisecond
+	last := rt.progress.Load()
+	stalled := time.Duration(0)
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(tick):
+		}
+		cur := rt.progress.Load()
+		if cur != last || rt.work.Load() == 0 {
+			last = cur
+			stalled = 0
+			continue
+		}
+		stalled += tick
+		if stalled >= timeout {
+			msg := fmt.Sprintf(
+				"realrt: no progress for %v with %d work units outstanding (%d tasks executed) — deadlocked run",
+				timeout, rt.work.Load(), rt.executed.Load())
+			if rt.onStall != nil {
+				rt.onStall(msg)
+				return
+			}
+			panic(msg)
+		}
+	}
+}

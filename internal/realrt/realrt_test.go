@@ -1,0 +1,136 @@
+package realrt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestFIFOPerPE: tasks enqueued on one PE run in order on that PE.
+func TestFIFOPerPE(t *testing.T) {
+	rt := New(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		rt.Enqueue(0, func() { order = append(order, i) })
+	}
+	rt.Run()
+	if len(order) != 100 {
+		t.Fatalf("ran %d/100 tasks", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("task %d ran at position %d", v, i)
+		}
+	}
+	if rt.Executed() != 100 {
+		t.Fatalf("Executed() = %d, want 100", rt.Executed())
+	}
+}
+
+// TestCrossPECascade: tasks spawning tasks on other PEs all complete
+// before Run returns (the inc-before-visible credit discipline).
+func TestCrossPECascade(t *testing.T) {
+	const npes = 4
+	rt := New(npes)
+	var count atomic.Int64
+	var spawn func(pe, depth int)
+	spawn = func(pe, depth int) {
+		count.Add(1)
+		if depth == 0 {
+			return
+		}
+		for d := 0; d < npes; d++ {
+			d := d
+			rt.Enqueue(d, func() { spawn(d, depth-1) })
+		}
+	}
+	rt.Enqueue(0, func() { spawn(0, 3) })
+	rt.Run()
+	// 1 + 4 + 16 + 64 tasks.
+	if got := count.Load(); got != 85 {
+		t.Fatalf("ran %d tasks, want 85", got)
+	}
+}
+
+// TestAfter: a timer fires its task and Run waits for it.
+func TestAfter(t *testing.T) {
+	rt := New(2)
+	fired := false
+	rt.Enqueue(0, func() {
+		rt.After(1, sim.FromDuration(5*time.Millisecond), func() { fired = true })
+	})
+	rt.Run()
+	if !fired {
+		t.Fatal("timer task did not run before Run returned")
+	}
+}
+
+// TestPutCreditBlocksTermination: an issued-but-undetected put keeps the
+// runtime alive until PutDetected, even with empty queues.
+func TestPutCreditBlocksTermination(t *testing.T) {
+	rt := New(2)
+	var landed atomic.Bool
+	detected := false
+	rt.SetPoll(func(pe int) bool {
+		if pe == 1 && landed.Load() && !detected {
+			detected = true
+			rt.PutDetected()
+			return true
+		}
+		return false
+	})
+	rt.Enqueue(0, func() {
+		rt.PutIssued()
+		landed.Store(true) // "release-store": visible to PE 1's poll
+	})
+	start := time.Now()
+	rt.Run()
+	if !detected {
+		t.Fatal("runtime terminated with an undetected put outstanding")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("detection took implausibly long")
+	}
+}
+
+// TestStallWatchdog: outstanding work with no progress trips the watchdog
+// instead of hanging forever. The test swaps the watchdog's panic for a
+// hook (the panic lives on the watchdog goroutine, unrecoverable by
+// design) and releases the stuck credit so Run can return.
+func TestStallWatchdog(t *testing.T) {
+	rt := New(1)
+	rt.StallTimeout = 300 * time.Millisecond
+	var stallMsg atomic.Value
+	rt.onStall = func(msg string) {
+		stallMsg.Store(msg)
+		rt.PutDetected() // release the stuck credit so Run can exit
+	}
+	rt.Enqueue(0, func() {
+		rt.PutIssued() // never detected: a sentinel collision in miniature
+	})
+	rt.Run()
+	if stallMsg.Load() == nil {
+		t.Fatal("expected the stall watchdog to fire")
+	}
+}
+
+// TestNowMonotonic: Now moves forward across real work.
+func TestNowMonotonic(t *testing.T) {
+	rt := New(1)
+	var t0, t1 sim.Time
+	rt.Enqueue(0, func() { t0 = rt.Now() })
+	rt.Enqueue(0, func() {
+		time.Sleep(time.Millisecond)
+		t1 = rt.Now()
+	})
+	end := rt.Run()
+	if !(t0 <= t1 && t1 <= end) {
+		t.Fatalf("non-monotonic times: %v, %v, end %v", t0, t1, end)
+	}
+	if end <= 0 {
+		t.Fatalf("non-positive end time %v", end)
+	}
+}

@@ -10,6 +10,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is a point in virtual time, measured in nanoseconds from the start
@@ -39,6 +40,15 @@ func Microseconds(us float64) Time {
 func Nanoseconds(ns float64) Time {
 	return Time(math.Round(ns))
 }
+
+// FromDuration converts a wall-clock duration to Time. Both are nanosecond
+// counts; the conversion exists for the real-execution backend, where Time
+// carries wall time instead of virtual time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Duration converts t to a wall-clock duration (the inverse of
+// FromDuration).
+func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 // Micros reports t as a floating-point number of microseconds.
 func (t Time) Micros() float64 { return float64(t) / 1000 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -37,9 +38,12 @@ const (
 )
 
 // Recorder accumulates named statistics. The zero value is not usable;
-// call NewRecorder. Recorder is not safe for concurrent use — the whole
-// simulation is single-threaded by design.
+// call NewRecorder. A mutex makes it safe for concurrent use: under the
+// real-execution backend every PE goroutine records into the same
+// instance (the uncontended-lock cost is negligible next to what the
+// counters instrument, and the simulator path is single-threaded anyway).
 type Recorder struct {
+	mu       sync.Mutex
 	counters map[string]int64
 	times    map[string]sim.Time
 	series   map[string][]float64
@@ -65,7 +69,9 @@ func (r *Recorder) Incr(name string, delta int64) {
 	if r == nil || !r.enabled {
 		return
 	}
+	r.mu.Lock()
 	r.counters[name] += delta
+	r.mu.Unlock()
 }
 
 // Count returns the value of a counter (zero if never incremented).
@@ -73,6 +79,8 @@ func (r *Recorder) Count(name string) int64 {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.counters[name]
 }
 
@@ -83,7 +91,9 @@ func (r *Recorder) AddTime(name string, d sim.Time) {
 	if r == nil || !r.enabled {
 		return
 	}
+	r.mu.Lock()
 	r.times[name] += d
+	r.mu.Unlock()
 }
 
 // Time returns the accumulated virtual time of a bucket.
@@ -91,6 +101,8 @@ func (r *Recorder) Time(name string) sim.Time {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.times[name]
 }
 
@@ -99,7 +111,9 @@ func (r *Recorder) Observe(name string, v float64) {
 	if r == nil || !r.enabled {
 		return
 	}
+	r.mu.Lock()
 	r.series[name] = append(r.series[name], v)
+	r.mu.Unlock()
 }
 
 // Series returns the raw samples of a series (nil if absent).
@@ -107,6 +121,8 @@ func (r *Recorder) Series(name string) []float64 {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.series[name]
 }
 
@@ -116,6 +132,8 @@ func (r *Recorder) Counters() map[string]int64 {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make(map[string]int64, len(r.counters))
 	for n, v := range r.counters {
 		out[n] = v
@@ -125,6 +143,8 @@ func (r *Recorder) Counters() map[string]int64 {
 
 // Reset clears all accumulated state but preserves the enabled flag.
 func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.counters = make(map[string]int64)
 	r.times = make(map[string]sim.Time)
 	r.series = make(map[string][]float64)
@@ -169,6 +189,8 @@ func (r *Recorder) Summarize(name string) Summary {
 // String renders all counters and time buckets sorted by name, one per
 // line — convenient for golden-ish debugging output.
 func (r *Recorder) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var b strings.Builder
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {

@@ -53,8 +53,12 @@ type (
 	Ctx = charm.Ctx
 	// Message is a two-sided message.
 	Message = charm.Message
-	// Options configures runtime checking and payload handling.
+	// Options configures runtime checking, payload handling and the
+	// execution backend.
 	Options = charm.Options
+	// Backend selects how programs execute: simulated virtual time or
+	// real goroutine-per-PE execution.
+	Backend = charm.Backend
 	// Manager owns CkDirect state for a runtime.
 	Manager = ckdirect.Manager
 	// Handle is one CkDirect channel.
@@ -80,6 +84,15 @@ const (
 	Max  = charm.Max
 	Prod = charm.Prod
 )
+
+// Execution backends.
+const (
+	SimBackend  = charm.SimBackend
+	RealBackend = charm.RealBackend
+)
+
+// ParseBackend maps "sim" / "real" to a Backend (flag plumbing).
+var ParseBackend = charm.ParseBackend
 
 // Index constructors.
 var (
@@ -148,9 +161,9 @@ func (s *System) CkDirect() *Manager { return s.ckd }
 // Recorder returns the instrumentation recorder.
 func (s *System) Recorder() *Recorder { return s.recorder }
 
-// Run drives the simulation until the event queue drains and returns the
-// final virtual time.
-func (s *System) Run() Time { return s.engine.Run() }
+// Run drives the program to completion and returns the final time:
+// virtual time on the sim backend, wall-clock elapsed on the real one.
+func (s *System) Run() Time { return s.rts.Run() }
 
 // Errors returns contract violations recorded in checked mode.
 func (s *System) Errors() []error { return s.rts.Errors() }
