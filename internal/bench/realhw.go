@@ -3,11 +3,14 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/apps/pingpong"
 	"repro/internal/apps/stencil"
 	"repro/internal/charm"
 	"repro/internal/netmodel"
+	"repro/internal/realrt"
 )
 
 // realHWPEs is the stencil sweep for the real-execution experiment:
@@ -43,7 +46,7 @@ func realHWNote() string {
 // polling, no locks or notifications) beats scheduler-mediated message
 // delivery on real hardware too, not just in the cost model.
 func RealHW(scale Scale) []*Table {
-	return []*Table{realHWPingpong(scale), realHWStencil(scale)}
+	return []*Table{realHWPingpong(scale), realHWStencil(scale), realHWContention(scale)}
 }
 
 // realHWPingpong is the §3 microbenchmark on the real backend: two PEs
@@ -90,6 +93,87 @@ func realHWPingpong(scale Scale) *Table {
 		t.AddRow(mode.String(), vals...)
 	}
 	return t
+}
+
+// contentionProducers sweeps the producer counts for the queue-contention
+// microbenchmark: 1 (uncontended baseline) through at least 4, extended
+// to the host's CPU count.
+func contentionProducers() []int {
+	ps := []int{1, 2, 4}
+	for p := 8; p <= runtime.NumCPU(); p *= 2 {
+		ps = append(ps, p)
+	}
+	if top := runtime.NumCPU(); top > 4 && ps[len(ps)-1] != top {
+		ps = append(ps, top)
+	}
+	return ps
+}
+
+// realHWContention hammers one PE's scheduler queue from N concurrent
+// producers and reports the end-to-end cost per task (push, wakeup,
+// dispatch). This is the path the lock-free MPSC queue replaced a mutex
+// FIFO on: every cross-PE message and every CkDirect detection callback
+// rides it, so its per-task cost under contention bounds how fast the
+// real backend can ever deliver small messages.
+func realHWContention(scale Scale) *Table {
+	producers := contentionProducers()
+	perProducer := 20000
+	if scale == Paper {
+		perProducer = 200000
+	}
+	cols := make([]string, len(producers))
+	for i, p := range producers {
+		cols[i] = fmt.Sprintf("%d", p)
+	}
+	t := &Table{
+		ID:      "realhw-contention",
+		Title:   "Scheduler queue contention: N producers hammering one PE (lock-free MPSC push + park/unpark)",
+		ColHead: "Producers",
+		Columns: cols,
+		Unit:    "ns per task / Mtasks per s, wall clock",
+		Notes: []string{
+			realHWNote(),
+			fmt.Sprintf("%d no-op tasks per producer enqueued concurrently with the consumer draining them", perProducer),
+		},
+	}
+	ns := make([]float64, len(producers))
+	thr := make([]float64, len(producers))
+	for i, p := range producers {
+		elapsed := contentionRun(p, perProducer)
+		total := float64(p * perProducer)
+		ns[i] = float64(elapsed.Nanoseconds()) / total
+		thr[i] = total / elapsed.Seconds() / 1e6
+	}
+	t.AddRow("ns/task", ns...)
+	t.AddRow("Mtasks/s", thr...)
+	return t
+}
+
+// contentionRun times one contention configuration: producers push no-op
+// tasks onto PE 0 while its worker drains them. A put credit holds the
+// runtime open until every producer finishes, so quiescence cannot win a
+// race against a producer that has not pushed its first task yet.
+func contentionRun(producers, perProducer int) time.Duration {
+	rt := realrt.New(1)
+	rt.PutIssued()
+	noop := func() {}
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				rt.Enqueue(0, noop)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		rt.PutDetected()
+	}()
+	rt.Run()
+	return time.Since(start)
 }
 
 // realHWStencil is the §4.1 study on the real backend: msg vs ckd halo

@@ -91,8 +91,16 @@ type Handle struct {
 
 	state    State
 	inPollQ  bool
-	pollIdx  int // position in the PE's polling queue while inPollQ
-	inFlight bool
+	pollIdx  int // position in the PE's polling tier while inPollQ
+	// pollCold marks which tier of the PE's poll set holds the handle:
+	// hot handles are scanned every scheduler pass, cold ones only on the
+	// periodic full scan (real backend; see real.go). pollMisses counts
+	// consecutive hot scans that found the sentinel unchanged — crossing
+	// pollDemoteAfter moves the handle cold so long-lived idle channels
+	// stop taxing every scheduler iteration.
+	pollCold   bool
+	pollMisses int
+	inFlight   bool
 	// sw points at the sentinel word for atomic access (real backend
 	// only): release-stored by the sender's put, acquire-loaded by the
 	// receiver's poll pass.
@@ -137,12 +145,24 @@ func (h *Handle) Puts() int64 { return h.puts }
 // Delivered returns how many puts have completed delivery.
 func (h *Handle) Delivered() int64 { return h.delivered }
 
+// pollSet is one PE's polling queue, split into two tiers. hot is scanned
+// on every scheduler pass; cold holds handles demoted after a long run of
+// missed scans and is visited only every pollColdEvery-th pass (and on
+// every full scan — before a worker parks and right after it wakes), so a
+// large population of long-idle channels costs the per-pass loop nothing.
+// Order within a tier is irrelevant: only the total count taxes the
+// simulated scheduler.
+type pollSet struct {
+	hot, cold []*Handle
+	passes    uint64 // realPoll pass counter, paces the cold-tier rescan
+}
+
 // Manager owns CkDirect state for one runtime: per-PE polling queues and
 // the scheduler tax hook.
 type Manager struct {
 	rts    *charm.RTS
 	nextID int
-	polled [][]*Handle // per PE; order is irrelevant (only the count taxes the scheduler)
+	polled []pollSet // per PE
 
 	// rt is the realrt runtime under the real backend (nil under sim);
 	// detection then happens in realPoll instead of simulated events.
@@ -162,7 +182,7 @@ type Manager struct {
 func NewManager(rts *charm.RTS) *Manager {
 	m := &Manager{
 		rts:         rts,
-		polled:      make([][]*Handle, rts.Machine().NumPEs()),
+		polled:      make([]pollSet, rts.Machine().NumPEs()),
 		getSignalEP: -1,
 	}
 	if rt := rts.Real(); rt != nil {
@@ -175,7 +195,7 @@ func NewManager(rts *charm.RTS) *Manager {
 	plat := rts.Platform()
 	if !plat.CkdRecvIsCallback && plat.PollPerHandleNS > 0 {
 		rts.SetPollTax(func(pe int) sim.Time {
-			return sim.Nanoseconds(plat.PollPerHandleNS * float64(len(m.polled[pe])))
+			return sim.Nanoseconds(plat.PollPerHandleNS * float64(m.PolledOn(pe)))
 		})
 	}
 	return m
@@ -184,8 +204,11 @@ func NewManager(rts *charm.RTS) *Manager {
 // RTS returns the attached runtime.
 func (m *Manager) RTS() *charm.RTS { return m.rts }
 
-// PolledOn reports how many handles PE pe is currently polling.
-func (m *Manager) PolledOn(pe int) int { return len(m.polled[pe]) }
+// PolledOn reports how many handles PE pe is currently polling, across
+// both tiers.
+func (m *Manager) PolledOn(pe int) int {
+	return len(m.polled[pe].hot) + len(m.polled[pe].cold)
+}
 
 // CreateHandle is called by the receiver: it registers the receive buffer
 // with the network layer, stamps the out-of-band pattern into its last 8
@@ -207,7 +230,7 @@ func (m *Manager) createHandle(pe int, buf *machine.Region, oob uint64, cb func(
 		return nil, fmt.Errorf("ckdirect: buffer lives on PE %d, handle created on PE %d", buf.PE().ID(), pe)
 	}
 	if !buf.Virtual() && buf.Size() < 8 {
-		return nil, fmt.Errorf("ckdirect: receive buffer must hold the 8-byte out-of-band pattern, got %d bytes", buf.Size())
+		return nil, &SubWordError{What: "receive buffer", Bytes: buf.Size()}
 	}
 	if cb == nil {
 		return nil, fmt.Errorf("ckdirect: nil callback")
@@ -352,29 +375,54 @@ func (m *Manager) depositPayload(h *Handle) {
 	scatter(src, dst, h.strided)
 }
 
+// pollInsert (re)arms polling for h. Handles always enter the hot tier:
+// an application that just called ReadyPollQ expects the next put soon,
+// and demotion re-sorts genuinely idle channels out on its own.
 func (m *Manager) pollInsert(h *Handle) {
 	if h.inPollQ {
 		return
 	}
 	h.inPollQ = true
-	q := m.polled[h.recvPE]
-	h.pollIdx = len(q)
-	m.polled[h.recvPE] = append(q, h)
+	h.pollCold = false
+	h.pollMisses = 0
+	ps := &m.polled[h.recvPE]
+	h.pollIdx = len(ps.hot)
+	ps.hot = append(ps.hot, h)
 }
 
-// pollRemove detaches h from its PE's polling queue in O(1) by swapping
-// the last entry into its slot — queue order carries no meaning (only the
-// queue length taxes the scheduler), and the linear scan this replaces
-// made teardown of large handle populations quadratic.
+// pollRemove detaches h from its tier in O(1) by swapping the last entry
+// into its slot — order carries no meaning (only the total count taxes
+// the scheduler), and the linear scan this replaces made teardown of
+// large handle populations quadratic.
 func (m *Manager) pollRemove(h *Handle) {
 	if !h.inPollQ {
 		return
 	}
 	h.inPollQ = false
-	q := m.polled[h.recvPE]
+	ps := &m.polled[h.recvPE]
+	tier := &ps.hot
+	if h.pollCold {
+		tier = &ps.cold
+	}
+	q := *tier
 	i, last := h.pollIdx, len(q)-1
 	q[i] = q[last]
 	q[i].pollIdx = i
 	q[last] = nil
-	m.polled[h.recvPE] = q[:last]
+	*tier = q[:last]
+}
+
+// pollDemote moves a long-idle handle from the hot tier to the cold one.
+// Real backend only, called from the owning PE's poll pass.
+func (m *Manager) pollDemote(h *Handle) {
+	if !h.inPollQ || h.pollCold {
+		return
+	}
+	m.pollRemove(h)
+	h.inPollQ = true
+	h.pollCold = true
+	h.pollMisses = 0
+	ps := &m.polled[h.recvPE]
+	h.pollIdx = len(ps.cold)
+	ps.cold = append(ps.cold, h)
 }

@@ -1,0 +1,23 @@
+package ckdirect
+
+import "fmt"
+
+// SubWordError reports a transfer geometry too small to carry the 8-byte
+// out-of-band sentinel word that CkDirect's detection protocol lives on:
+// a strided block shorter than 8 bytes, or a contiguous receive buffer
+// under 8 bytes. Both are rejected at CreateHandle/CreateStridedHandle
+// (and defensively at PutStrided) — before this check, a sub-word strided
+// layout reached the real backend's deposit path and sliced the source at
+// a negative index, panicking mid-put or corrupting the neighbouring
+// block. Callers can match it with errors.As.
+type SubWordError struct {
+	// What names the undersized geometry ("strided block", "receive
+	// buffer").
+	What string
+	// Bytes is the offending size.
+	Bytes int
+}
+
+func (e *SubWordError) Error() string {
+	return fmt.Sprintf("ckdirect: %s of %d bytes cannot hold the 8-byte out-of-band sentinel word", e.What, e.Bytes)
+}

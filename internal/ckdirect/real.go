@@ -68,35 +68,75 @@ func (m *Manager) realDeposit(h *Handle) {
 			src[b*l.BlockLen:(b+1)*l.BlockLen])
 	}
 	// Last block: all but its final word plainly, the final word as the
-	// publishing release-store.
+	// publishing release-store. BlockLen >= 8 is guaranteed by layout
+	// validation (SubWordError), so the sub-word slices below cannot go
+	// negative.
 	lastDst := l.Offset + (l.Count-1)*l.Stride
 	lastSrc := (l.Count - 1) * l.BlockLen
 	copy(dst[lastDst:lastDst+l.BlockLen-8], src[lastSrc:lastSrc+l.BlockLen-8])
 	atomic.StoreUint64(h.sw, binary.LittleEndian.Uint64(src[lastSrc+l.BlockLen-8:]))
 }
 
+// Cold-tier pacing for the real backend's poll pass: a hot handle whose
+// sentinel survives pollDemoteAfter consecutive scans unchanged moves to
+// the cold tier, which is visited only every pollColdEvery-th pass (and
+// on every full scan). Active channels re-enter hot on ReadyPollQ, so the
+// steady-state pass cost tracks the number of *live* channels, not the
+// number of registered ones — the real-backend rendering of the paper's
+// §5.2 polling-overhead fix.
+const (
+	pollDemoteAfter = 256
+	pollColdEvery   = 64
+)
+
 // realPoll is the receiver-side detection pass, installed as the realrt
 // scheduler loop's polling hook: one atomic acquire-load per polled
 // handle, callback on the spot when the sentinel changed. It reports
 // whether anything was detected (the loop's backoff resets on progress).
+// full forces a cold-tier scan; the scheduler loop sets it before parking
+// and right after a wakeup, so an arrival on a demoted handle is caught
+// before the worker sleeps and immediately after the put's kick — a cold
+// handle's worst case is pollColdEvery hot passes on a busy PE, never a
+// parked PE sleeping through its arrival.
 //
-// The pass iterates a snapshot of the queue slice: detection mutates the
-// queue (pollRemove swaps, callbacks may re-insert), and the inPollQ/nil
-// checks skip entries the mutation left stale — a handle swapped below
-// the scan index is simply caught on the next pass.
-func (m *Manager) realPoll(pe int) bool {
-	q := m.polled[pe]
+// Each tier pass iterates a snapshot of its slice: detection mutates the
+// tier (pollRemove swaps, callbacks may re-insert, demotion moves
+// entries), and the nil/inPollQ/pollCold checks skip entries the mutation
+// left stale — a handle swapped below the scan index is simply caught on
+// the next pass.
+func (m *Manager) realPoll(pe int, full bool) bool {
+	ps := &m.polled[pe]
+	ps.passes++
 	hit := false
-	for i := 0; i < len(q); i++ {
-		h := q[i]
-		if h == nil || !h.inPollQ {
+	hot := ps.hot
+	for i := 0; i < len(hot); i++ {
+		h := hot[i]
+		if h == nil || !h.inPollQ || h.pollCold {
 			continue
 		}
 		if atomic.LoadUint64(h.sw) == h.oob {
+			h.pollMisses++
+			if h.pollMisses >= pollDemoteAfter {
+				m.pollDemote(h)
+			}
 			continue
 		}
 		hit = true
 		m.realDetect(h)
+	}
+	if len(ps.cold) > 0 && (full || ps.passes%pollColdEvery == 0) {
+		cold := ps.cold
+		for i := 0; i < len(cold); i++ {
+			h := cold[i]
+			if h == nil || !h.inPollQ || !h.pollCold {
+				continue
+			}
+			if atomic.LoadUint64(h.sw) == h.oob {
+				continue
+			}
+			hit = true
+			m.realDetect(h)
+		}
 	}
 	return hit
 }
@@ -108,6 +148,7 @@ func (m *Manager) realPoll(pe int) bool {
 // cannot slip past the chain.
 func (m *Manager) realDetect(h *Handle) {
 	m.pollRemove(h)
+	h.pollMisses = 0
 	h.state = Fired
 	h.delivered++
 	h.notifyDelivery()

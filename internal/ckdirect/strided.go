@@ -36,10 +36,17 @@ type StridedLayout struct {
 // TotalBytes returns the payload size the layout transfers.
 func (l StridedLayout) TotalBytes() int { return l.BlockLen * l.Count }
 
-// Validate checks layout sanity against a region size.
+// Validate checks layout sanity against a region size. Blocks shorter
+// than the 8-byte sentinel word are rejected with a *SubWordError: the
+// sentinel lives in the last 8 bytes of the last block, so a sub-word
+// block would place it across neighbouring memory — and on the real
+// backend the deposit path would slice the source at a negative index.
 func (l StridedLayout) Validate(regionSize int) error {
 	if l.BlockLen <= 0 || l.Count <= 0 {
 		return fmt.Errorf("ckdirect: strided layout with non-positive block/count: %+v", l)
+	}
+	if l.BlockLen < 8 {
+		return &SubWordError{What: "strided block", Bytes: l.BlockLen}
 	}
 	if l.Stride < l.BlockLen {
 		return fmt.Errorf("ckdirect: stride %d smaller than block %d", l.Stride, l.BlockLen)
@@ -80,9 +87,6 @@ func (m *Manager) CreateStridedHandle(pe int, buf *machine.Region, layout Stride
 	if err := layout.Validate(buf.Size()); err != nil {
 		return nil, err
 	}
-	if layout.BlockLen < 8 {
-		return nil, fmt.Errorf("ckdirect: strided blocks must hold the 8-byte out-of-band pattern, got %d", layout.BlockLen)
-	}
 	h, err := m.createHandle(pe, buf, oob, cb, &layout)
 	if err != nil {
 		return nil, err
@@ -93,6 +97,13 @@ func (m *Manager) CreateStridedHandle(pe int, buf *machine.Region, layout Stride
 // PutStrided transfers the associated source buffer into the strided
 // destination. The source must hold exactly layout.TotalBytes().
 func (m *Manager) PutStrided(h *StridedHandle) error {
+	if h.layout.BlockLen < 8 {
+		// Unreachable through CreateStridedHandle (Validate rejects the
+		// layout), kept as the last line of defence in front of the real
+		// backend's deposit, which would otherwise slice at a negative
+		// index.
+		return m.misuse(&SubWordError{What: "strided block", Bytes: h.layout.BlockLen})
+	}
 	if h.sendPE < 0 {
 		return m.misuse(fmt.Errorf("ckdirect: PutStrided on handle %d before AssocLocal", h.id))
 	}

@@ -2,11 +2,17 @@
 // programs of this repository on actual parallel hardware instead of the
 // discrete-event simulator. Each simulated processing element becomes one
 // goroutine running a message-driven scheduler loop; entry-method messages
-// travel through per-PE FIFO queues, and CkDirect puts are performed as the
-// paper's actual mechanism — a memcpy into the receiver's registered buffer
-// followed by an atomic release-store of the sentinel word, detected by the
-// receiver's scheduler loop with atomic acquire-loads and no locks or
-// notifications.
+// travel through per-PE lock-free MPSC queues, and CkDirect puts are
+// performed as the paper's actual mechanism — a memcpy into the receiver's
+// registered buffer followed by an atomic release-store of the sentinel
+// word, detected by the receiver's scheduler loop with atomic acquire-loads
+// and no locks or notifications.
+//
+// The scheduler fast path is lock-free end to end: pushes are a single
+// atomic exchange on a Vyukov MPSC queue (see queue.go), pops are
+// consumer-owned, and an idle worker spins briefly then parks on a per-PE
+// notifier that the next Enqueue or one-sided put kicks — so an idle
+// receiver wakes in nanoseconds instead of decaying into blind sleeps.
 //
 // Time under this backend is wall-clock time (sim.Time carries nanoseconds
 // either way), so measured intervals are real host performance, not model
@@ -20,8 +26,9 @@
 // before any unit of work becomes visible (a queued task, a pending timer,
 // an in-flight put) and decremented only after the unit completes (the task
 // ran, the timer's task ran, the put's arrival callback finished). When the
-// counter reads zero the system is globally quiescent and every worker
-// exits.
+// counter reads zero the system is globally quiescent; the worker that
+// retires the last unit broadcasts a wake token to every parked peer and
+// all workers exit.
 package realrt
 
 import (
@@ -34,12 +41,19 @@ import (
 	"repro/internal/sim"
 )
 
+// spinIters bounds the cooperative-yield spin an idle worker performs
+// before parking on its notifier. Long enough that a pingpong receiver
+// rides out a one-way flight without ever parking; short enough that a
+// genuinely idle PE stops burning its core within a few microseconds.
+const spinIters = 128
+
 // Runtime executes tasks on one goroutine per PE.
 type Runtime struct {
 	npes  int
 	start time.Time
 
-	pes []*peQueue
+	pes   []*mpscQueue
+	notes []*notifier
 
 	// work counts queued tasks + pending timers + undetected puts.
 	// Incremented before the unit becomes visible, decremented after it
@@ -56,8 +70,10 @@ type Runtime struct {
 
 	// poll, when installed (by the CkDirect manager), runs on a PE's
 	// scheduler loop between tasks and reports whether it detected any
-	// arrival.
-	poll func(pe int) bool
+	// arrival. full requests a scan of every armed handle including the
+	// demoted cold tier — the loop sets it before parking and right after
+	// a wakeup so no arrival can hide behind tiering while the PE sleeps.
+	poll func(pe int, full bool) bool
 
 	// StallTimeout is how long the runtime tolerates outstanding work with
 	// zero progress before panicking with a diagnostic (a real-backend
@@ -71,36 +87,6 @@ type Runtime struct {
 	running atomic.Bool
 }
 
-// peQueue is one PE's scheduler queue: a mutex-protected FIFO. The head
-// index avoids O(n) shifts; the slice is compacted when fully drained.
-type peQueue struct {
-	mu    sync.Mutex
-	tasks []func()
-	head  int
-}
-
-func (q *peQueue) push(task func()) {
-	q.mu.Lock()
-	q.tasks = append(q.tasks, task)
-	q.mu.Unlock()
-}
-
-func (q *peQueue) pop() func() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.head == len(q.tasks) {
-		if q.head > 0 {
-			q.tasks = q.tasks[:0]
-			q.head = 0
-		}
-		return nil
-	}
-	task := q.tasks[q.head]
-	q.tasks[q.head] = nil
-	q.head++
-	return task
-}
-
 // New builds a runtime for npes processing elements. The wall clock
 // starts here; Now is measured from this instant.
 func New(npes int) *Runtime {
@@ -108,9 +94,11 @@ func New(npes int) *Runtime {
 		panic("realrt: non-positive PE count")
 	}
 	rt := &Runtime{npes: npes, start: time.Now()}
-	rt.pes = make([]*peQueue, npes)
+	rt.pes = make([]*mpscQueue, npes)
+	rt.notes = make([]*notifier, npes)
 	for i := range rt.pes {
-		rt.pes[i] = &peQueue{}
+		rt.pes[i] = newMPSC()
+		rt.notes[i] = newNotifier()
 	}
 	return rt
 }
@@ -126,20 +114,34 @@ func (rt *Runtime) Executed() uint64 { return rt.executed.Load() }
 
 // SetPoll installs the per-PE polling hook (the CkDirect sentinel scan).
 // Must be called before Run.
-func (rt *Runtime) SetPoll(fn func(pe int) bool) { rt.poll = fn }
+func (rt *Runtime) SetPoll(fn func(pe int, full bool) bool) { rt.poll = fn }
+
+// checkPE validates a PE index before any state is touched, so a bad
+// index cannot take a work credit it will never retire (which would wedge
+// quiescence for any caller that recovers the panic).
+func (rt *Runtime) checkPE(pe int, op string) {
+	if pe < 0 || pe >= rt.npes {
+		panic(fmt.Sprintf("realrt: %s on PE %d, runtime has PEs [0,%d)", op, pe, rt.npes))
+	}
+}
 
 // Enqueue places a task on a PE's scheduler queue. Safe from any
 // goroutine, before or during Run. The work credit is taken before the
-// task becomes poppable so the termination check can never miss it.
+// task becomes poppable so the termination check can never miss it; the
+// kick follows the push so a parked worker is woken only once the task is
+// reachable.
 func (rt *Runtime) Enqueue(pe int, task func()) {
+	rt.checkPE(pe, "Enqueue")
 	rt.work.Add(1)
 	rt.pes[pe].push(task)
+	rt.notes[pe].kick()
 }
 
 // After runs task on a PE's scheduler queue once the wall-clock delay
 // elapses. The timer holds its own work credit so the runtime cannot
 // terminate underneath it.
 func (rt *Runtime) After(pe int, d sim.Time, task func()) {
+	rt.checkPE(pe, "After")
 	rt.work.Add(1)
 	time.AfterFunc(d.Duration(), func() {
 		rt.Enqueue(pe, task)
@@ -158,11 +160,32 @@ func (rt *Runtime) PutIssued() { rt.work.Add(1) }
 // PutDetected returns the credit taken by PutIssued.
 func (rt *Runtime) PutDetected() { rt.noteDone() }
 
-// noteDone retires one unit of work.
+// Kick wakes a PE's worker if it is parked. The put seam calls it after
+// the sentinel release-store: the put itself is genuinely one-sided (no
+// receiver involvement lands the bytes), the kick only shortcuts the
+// receiver's park so detection costs nanoseconds instead of a sleep.
+func (rt *Runtime) Kick(pe int) {
+	rt.checkPE(pe, "Kick")
+	rt.notes[pe].kick()
+}
+
+// noteDone retires one unit of work. The caller that retires the last
+// unit broadcasts wake tokens so parked workers observe quiescence and
+// exit.
 func (rt *Runtime) noteDone() {
 	rt.progress.Add(1)
-	if rt.work.Add(-1) < 0 {
+	switch rem := rt.work.Add(-1); {
+	case rem == 0:
+		rt.wakeAll()
+	case rem < 0:
 		panic("realrt: work counter underflow")
+	}
+}
+
+// wakeAll deposits a token at every PE (quiescence broadcast).
+func (rt *Runtime) wakeAll() {
+	for _, n := range rt.notes {
+		n.token()
 	}
 }
 
@@ -186,56 +209,79 @@ func (rt *Runtime) Run() sim.Time {
 }
 
 // worker is one PE's scheduler loop: drain the queue, poll CkDirect
-// channels, exit at global quiescence, otherwise back off. Backoff starts
-// with cooperative yields and decays to short sleeps so idle PEs do not
-// starve busy ones on small hosts (GOMAXPROCS may be below the PE count).
+// channels, exit at global quiescence, otherwise spin briefly and park.
+// The spin is cooperative yields so idle PEs do not starve busy ones on
+// small hosts (GOMAXPROCS may be below the PE count); the park hands the
+// core back entirely until the next Enqueue or put kicks the notifier.
 func (rt *Runtime) worker(pe int, wg *sync.WaitGroup) {
 	defer wg.Done()
 	q := rt.pes[pe]
-	idle := 0
+	spins := 0
+	fullPoll := false
 	for {
 		if task := q.pop(); task != nil {
 			task()
 			rt.executed.Add(1)
 			rt.noteDone()
-			idle = 0
+			spins, fullPoll = 0, false
 			continue
 		}
-		if rt.poll != nil && rt.poll(pe) {
-			idle = 0
+		if rt.poll != nil && rt.poll(pe, fullPoll) {
+			spins, fullPoll = 0, false
 			continue
 		}
+		fullPoll = false
 		if rt.work.Load() == 0 {
 			return
 		}
-		idle++
-		switch {
-		case idle < 128:
+		spins++
+		if spins < spinIters {
 			runtime.Gosched()
-		case idle < 1024:
-			time.Sleep(5 * time.Microsecond)
-		default:
-			time.Sleep(100 * time.Microsecond)
+			continue
 		}
+		rt.park(pe)
+		// Whatever woke us may live in the cold poll tier; scan everything
+		// once before settling back into hot-only passes.
+		spins, fullPoll = 0, true
 	}
+}
+
+// park blocks the worker until a producer kicks its notifier. Publishing
+// the parked flag first and then re-checking every wake source closes the
+// missed-wakeup race: a producer that made work visible before observing
+// the flag is seen by the re-check, and one that observed the flag
+// deposits a token. The re-check's poll is a full scan so an arrival
+// demoted to the cold tier cannot put the worker to sleep over it.
+func (rt *Runtime) park(pe int) {
+	n := rt.notes[pe]
+	n.parked.Store(1)
+	if !rt.pes[pe].empty() || (rt.poll != nil && rt.poll(pe, true)) || rt.work.Load() == 0 {
+		n.parked.Store(0)
+		return
+	}
+	<-n.ch
+	n.parked.Store(0)
 }
 
 // watch panics the process when outstanding work stops making progress —
 // the real-backend analogue of a hung run, surfaced instead of spinning
-// forever in CI.
+// forever in CI. One reused ticker paces the checks for the whole run
+// (a fresh time.After timer every tick leaked an allocation per 250ms).
 func (rt *Runtime) watch(done <-chan struct{}) {
 	timeout := rt.StallTimeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
 	const tick = 250 * time.Millisecond
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
 	last := rt.progress.Load()
 	stalled := time.Duration(0)
 	for {
 		select {
 		case <-done:
 			return
-		case <-time.After(tick):
+		case <-ticker.C:
 		}
 		cur := rt.progress.Load()
 		if cur != last || rt.work.Load() == 0 {

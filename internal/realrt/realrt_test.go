@@ -1,6 +1,10 @@
 package realrt
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -74,7 +78,7 @@ func TestPutCreditBlocksTermination(t *testing.T) {
 	rt := New(2)
 	var landed atomic.Bool
 	detected := false
-	rt.SetPoll(func(pe int) bool {
+	rt.SetPoll(func(pe int, full bool) bool {
 		if pe == 1 && landed.Load() && !detected {
 			detected = true
 			rt.PutDetected()
@@ -114,6 +118,115 @@ func TestStallWatchdog(t *testing.T) {
 	rt.Run()
 	if stallMsg.Load() == nil {
 		t.Fatal("expected the stall watchdog to fire")
+	}
+}
+
+// TestMPSCHammer: NumCPU producer goroutines push tasks onto one PE's
+// queue concurrently; every task must run, per-producer FIFO order must
+// survive, and under -race the lock-free push/pop pair must be clean.
+// A put credit holds the runtime open until the producers finish, so the
+// consumer races live producers instead of draining a pre-filled queue.
+func TestMPSCHammer(t *testing.T) {
+	producers := runtime.NumCPU()
+	if producers < 4 {
+		producers = 4
+	}
+	perProducer := 5000
+	if testing.Short() {
+		perProducer = 1000
+	}
+	rt := New(1)
+	rt.PutIssued() // keep the runtime alive while producers fill the queue
+	type stamp struct{ producer, seq int }
+	var order []stamp // consumer-only: tasks run on PE 0's single worker
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		p := p
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				i := i
+				rt.Enqueue(0, func() { order = append(order, stamp{p, i}) })
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		rt.PutDetected()
+	}()
+	rt.Run()
+	if len(order) != producers*perProducer {
+		t.Fatalf("ran %d tasks, want %d", len(order), producers*perProducer)
+	}
+	next := make([]int, producers)
+	for _, s := range order {
+		if s.seq != next[s.producer] {
+			t.Fatalf("producer %d: task %d ran before task %d", s.producer, s.seq, next[s.producer])
+		}
+		next[s.producer]++
+	}
+}
+
+// TestParkedWorkersWake: a long quiet stretch parks every worker (the
+// spin budget is a few hundred yields, far less than the timer delay);
+// the timer's enqueue must kick the owning PE awake and termination must
+// wake the rest — promptly, not via a stall timeout.
+func TestParkedWorkersWake(t *testing.T) {
+	rt := New(4)
+	rt.StallTimeout = 10 * time.Second
+	fired := false
+	rt.Enqueue(0, func() {
+		rt.After(3, sim.FromDuration(50*time.Millisecond), func() { fired = true })
+	})
+	start := time.Now()
+	rt.Run()
+	if !fired {
+		t.Fatal("timer task did not run")
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("parked workers took %v to wake and finish", wall)
+	}
+}
+
+// TestEnqueueOutOfRangePE: an invalid PE panics with a diagnostic BEFORE
+// the work credit is taken — the runtime must still reach quiescence for
+// a caller that recovers, rather than hanging on a leaked credit.
+func TestEnqueueOutOfRangePE(t *testing.T) {
+	rt := New(2)
+	rt.StallTimeout = 2 * time.Second
+	var stalled atomic.Bool
+	rt.onStall = func(string) { stalled.Store(true) }
+	for _, bad := range []int{-1, 2, 99} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("Enqueue(%d) did not panic", bad)
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "realrt: Enqueue on PE") {
+					t.Fatalf("Enqueue(%d) panic lacks diagnostic: %v", bad, msg)
+				}
+			}()
+			rt.Enqueue(bad, func() {})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("After on an invalid PE did not panic")
+			}
+		}()
+		rt.After(7, sim.FromDuration(time.Millisecond), func() {})
+	}()
+	ran := false
+	rt.Enqueue(1, func() { ran = true })
+	rt.Run()
+	if !ran {
+		t.Fatal("valid task did not run after recovered panics")
+	}
+	if stalled.Load() {
+		t.Fatal("leaked work credit: runtime stalled after recovered out-of-range panics")
 	}
 }
 
