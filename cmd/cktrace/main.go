@@ -45,7 +45,7 @@ func main() {
 		fatal(err)
 	}
 	if be != charm.SimBackend {
-		fatal(fmt.Errorf("the timeline recorder replays virtual time and is sim-only; use the real backend's apps directly (e.g. stencil -backend=real)"))
+		fatal(fmt.Errorf("the timeline recorder replays virtual time and is sim-only; run the apps directly on the live backends (e.g. stencil -backend=real, or -backend=net for multi-process)"))
 	}
 
 	var plat *netmodel.Platform

@@ -25,7 +25,7 @@ func main() {
 		modeName    = flag.String("mode", "ckd", "msg | ckd")
 		compare     = flag.Bool("compare", false, "run both modes and report the improvement")
 		validate    = flag.Bool("validate", false, "move real matrices and verify the product (small n)")
-		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory); net hosts the pingpong/stencil workloads")
 		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
@@ -47,6 +47,10 @@ func main() {
 	be, err := charm.ParseBackend(*backendName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "matmul:", err)
+		os.Exit(2)
+	}
+	if be == charm.NetBackend {
+		fmt.Fprintln(os.Stderr, "matmul: the distributed net backend hosts the pingpong and stencil workloads; run this study with -backend=sim or -backend=real (see DESIGN.md §8)")
 		os.Exit(2)
 	}
 	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {

@@ -30,7 +30,7 @@ func main() {
 		scopeName   = flag.String("scope", "full", "full | pc-only")
 		modeName    = flag.String("mode", "ckd", "msg | ckd | ckd-naive")
 		compare     = flag.Bool("compare", false, "run msg and ckd and report the improvement")
-		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory); net hosts the pingpong/stencil workloads")
 		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
@@ -60,6 +60,9 @@ func main() {
 	be, err := charm.ParseBackend(*backendName)
 	if err != nil {
 		fatal(err)
+	}
+	if be == charm.NetBackend {
+		fatal(fmt.Errorf("the distributed net backend hosts the pingpong and stencil workloads; run this study with -backend=sim or -backend=real (see DESIGN.md §8)"))
 	}
 	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
 		fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))

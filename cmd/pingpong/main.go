@@ -15,6 +15,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 )
 
 func main() {
@@ -23,13 +24,14 @@ func main() {
 		modeName    = flag.String("mode", "ckdirect", "charm-msg | ckdirect | mpi | mpi-put | mpi-alt")
 		sizesArg    = flag.String("sizes", "100,1000,5000,10000,20000,30000,40000,70000,100000,500000", "comma-separated payload sizes in bytes")
 		iters       = flag.Int("iters", 1000, "round trips to average over")
-		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory) | net (multiple OS processes over TCP)")
 		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
+	netCfg := netrt.RegisterFlags()
 	flag.Parse()
 
 	plat, err := platform(*platName)
@@ -44,12 +46,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if be == charm.RealBackend {
+	if be != charm.SimBackend {
 		if *faultSpec != "" || *noise || *reliable || *watchdog != "off" {
 			fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))
 		}
 		if mode != pingpong.CharmMsg && mode != pingpong.CkDirect {
-			fatal(fmt.Errorf("mode %v models a foreign MPI stack and is sim-only (use charm-msg or ckdirect with -backend=real)", mode))
+			fatal(fmt.Errorf("mode %v models a foreign MPI stack and is sim-only (use charm-msg or ckdirect with -backend=%v)", mode, be))
 		}
 	}
 	sc, err := chaos.Options{
@@ -59,8 +61,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("pingpong on %s, mode %v, %d iterations\n", plat.Name, mode, *iters)
-	fmt.Printf("%12s %14s\n", "size (B)", "RTT (us)")
+	var node *netrt.Node
+	if be == charm.NetBackend {
+		if node, err = netrt.Start(*netCfg); err != nil {
+			fatal(err)
+		}
+	}
+	// Worker ranks relay traffic and validate their side; the report
+	// (and the exit status of the whole world) belongs to rank 0.
+	quiet := node != nil && node.IsWorker()
+	if !quiet {
+		fmt.Printf("pingpong on %s, mode %v, %d iterations\n", plat.Name, mode, *iters)
+		fmt.Printf("%12s %14s\n", "size (B)", "RTT (us)")
+	}
 	broken := false
 	for _, field := range strings.Split(*sizesArg, ",") {
 		size, err := strconv.Atoi(strings.TrimSpace(field))
@@ -74,11 +87,22 @@ func main() {
 			Iters:    *iters,
 			Virtual:  size > 65536,
 			Backend:  be,
+			Net:      node,
 			Chaos:    sc,
 		})
-		fmt.Printf("%12d %14.3f\n", size, res.RTTMicros())
+		if !quiet {
+			fmt.Printf("%12d %14.3f\n", size, res.RTTMicros())
+		}
 		for _, e := range res.Errors {
 			fmt.Fprintf(os.Stderr, "pingpong: size %d: runtime violation: %v\n", size, e)
+			broken = true
+		}
+	}
+	if node != nil {
+		// Close reaps self-spawned workers; a worker that exited non-zero
+		// (its local validation failed) must fail the launcher too.
+		if err := node.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pingpong:", err)
 			broken = true
 		}
 	}

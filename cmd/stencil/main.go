@@ -15,6 +15,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 	"repro/internal/trace"
 )
 
@@ -29,7 +30,7 @@ func main() {
 		modeName    = flag.String("mode", "ckd", "msg | ckd")
 		compare     = flag.Bool("compare", false, "run both modes and report the improvement")
 		validate    = flag.Bool("validate", false, "move real data and check against the serial reference (small domains)")
-		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory)")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory) | net (multiple OS processes over TCP)")
 		traceFile   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
@@ -37,6 +38,7 @@ func main() {
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
 	)
+	netCfg := netrt.RegisterFlags()
 	flag.Parse()
 
 	plat, err := platform(*platName)
@@ -51,7 +53,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if be == charm.RealBackend {
+	if be != charm.SimBackend {
 		if *faultSpec != "" || *noise || *reliable || *watchdog != "off" {
 			fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))
 		}
@@ -66,6 +68,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var node *netrt.Node
+	if be == charm.NetBackend {
+		if node, err = netrt.Start(*netCfg); err != nil {
+			fatal(err)
+		}
+	}
+	// Worker ranks compute and validate their PE block; the report (and
+	// the exit status of the whole world) belongs to rank 0.
+	quiet := node != nil && node.IsWorker()
 	cfg := stencil.Config{
 		Platform: plat,
 		PEs:      *pes, Virtualization: *vr,
@@ -73,6 +84,7 @@ func main() {
 		Iters: *iters, Warmup: *warmup,
 		Validate: *validate,
 		Backend:  be,
+		Net:      node,
 		Chaos:    sc,
 	}
 	var tl *trace.Timeline
@@ -97,12 +109,14 @@ func main() {
 	}()
 	if *compare {
 		msg, ckd, pct := stencil.Improvement(cfg)
-		fmt.Printf("stencil %s on %d PEs of %s, chare grid %v (%d chares)\n",
-			*domain, *pes, plat.Name, msg.ChareGrid, msg.Chares)
-		fmt.Printf("  msg: %v per iteration\n", msg.IterTime)
-		fmt.Printf("  ckd: %v per iteration\n", ckd.IterTime)
-		fmt.Printf("  improvement: %.2f%%\n", pct)
-		reportErrors("stencil", append(msg.Errors, ckd.Errors...))
+		if !quiet {
+			fmt.Printf("stencil %s on %d PEs of %s, chare grid %v (%d chares)\n",
+				*domain, *pes, plat.Name, msg.ChareGrid, msg.Chares)
+			fmt.Printf("  msg: %v per iteration\n", msg.IterTime)
+			fmt.Printf("  ckd: %v per iteration\n", ckd.IterTime)
+			fmt.Printf("  improvement: %.2f%%\n", pct)
+		}
+		reportErrors("stencil", closeNode(node, append(msg.Errors, ckd.Errors...)))
 		return
 	}
 	switch *modeName {
@@ -114,12 +128,35 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
 	res := stencil.Run(cfg)
-	fmt.Printf("stencil %s, mode %v, %d PEs: %v per iteration (%d chares, grid %v)\n",
-		*domain, cfg.Mode, *pes, res.IterTime, res.Chares, res.ChareGrid)
-	if *validate {
-		fmt.Printf("  residual %.6g, field checksum %.6f\n", res.Residual, res.FieldSum)
+	if !quiet {
+		fmt.Printf("stencil %s, mode %v, %d PEs: %v per iteration (%d chares, grid %v)\n",
+			*domain, cfg.Mode, *pes, res.IterTime, res.Chares, res.ChareGrid)
+		if *validate {
+			// Under net each rank validates and checksums only the block it
+			// hosts, so rank 0's sum is a share of the global checksum, not
+			// the whole of it; the residual crosses ranks via reductions and
+			// matches the sim run exactly.
+			label := "field checksum"
+			if node != nil {
+				label = fmt.Sprintf("rank %d field checksum share", node.Rank())
+			}
+			fmt.Printf("  residual %.6g, %s %.6f\n", res.Residual, label, res.FieldSum)
+		}
 	}
-	reportErrors("stencil", res.Errors)
+	reportErrors("stencil", closeNode(node, res.Errors))
+}
+
+// closeNode tears the net-backend mesh down (reaping self-spawned
+// workers) and folds any teardown failure — e.g. a worker whose local
+// validation exited non-zero — into the run's error list.
+func closeNode(node *netrt.Node, errs []error) []error {
+	if node == nil {
+		return errs
+	}
+	if err := node.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errs
 }
 
 // reportErrors surfaces runtime contract violations and unrecovered

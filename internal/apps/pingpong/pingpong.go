@@ -13,6 +13,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpisim"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -52,12 +53,14 @@ type Config struct {
 	Mode     Mode
 	Size     int // user payload bytes
 	Iters    int // round trips to average over (paper: 1000)
-	// Backend selects simulated virtual time (default) or real
-	// goroutine-per-PE execution with wall-clock timing. The real backend
-	// supports the Charm-runtime modes only, forces real payloads, and
-	// rounds Size up to a multiple of 8 (the sentinel word must be
-	// naturally aligned).
+	// Backend selects simulated virtual time (default), real
+	// goroutine-per-PE execution, or distributed multi-process execution,
+	// both with wall-clock timing. The real and net backends support the
+	// Charm-runtime modes only, force real payloads, and round Size up to
+	// a multiple of 8 (the sentinel word must be naturally aligned).
 	Backend charm.Backend
+	// Net is the started netrt node (required under the net backend).
+	Net *netrt.Node
 	// Virtual skips real payload allocation (timing is identical; see the
 	// equivalence tests).
 	Virtual bool
@@ -91,15 +94,18 @@ func Run(cfg Config) Result {
 	if cfg.Size <= 0 {
 		panic("pingpong: non-positive size")
 	}
-	if cfg.Backend == charm.RealBackend {
+	if cfg.Backend != charm.SimBackend {
 		if cfg.Chaos != nil {
 			panic("pingpong: chaos scenarios are sim-only")
 		}
 		if cfg.Mode != CharmMsg && cfg.Mode != CkDirect {
-			panic(fmt.Sprintf("pingpong: mode %v is sim-only (real backend runs charm-msg and ckdirect)", cfg.Mode))
+			panic(fmt.Sprintf("pingpong: mode %v is sim-only (the real and net backends run charm-msg and ckdirect)", cfg.Mode))
 		}
 		cfg.Virtual = false
 		cfg.Size = (cfg.Size + 7) &^ 7
+	}
+	if cfg.Backend == charm.NetBackend && cfg.Net == nil {
+		panic("pingpong: net backend needs Config.Net (a started netrt node)")
 	}
 	switch cfg.Mode {
 	case CharmMsg:
@@ -122,7 +128,7 @@ func runCharm(cfg Config) Result {
 	eng := sim.NewEngine()
 	peA, peB, pes := peers(cfg.Platform)
 	mach, net := cfg.Platform.BuildMachine(eng, pes)
-	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Backend: cfg.Backend})
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Backend: cfg.Backend, Net: cfg.Net})
 	cfg.Chaos.Apply(rts, nil)
 
 	arr := rts.NewArray("pingpong", func(ix charm.Index) int {
@@ -160,7 +166,7 @@ func runCkDirect(cfg Config) Result {
 	eng := sim.NewEngine()
 	peA, peB, pes := peers(cfg.Platform)
 	mach, net := cfg.Platform.BuildMachine(eng, pes)
-	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Checked: true, Backend: cfg.Backend})
+	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(), charm.Options{Checked: true, Backend: cfg.Backend, Net: cfg.Net})
 	mgr := ckdirect.NewManager(rts)
 	cfg.Chaos.Apply(rts, mgr)
 
@@ -206,12 +212,17 @@ func runCkDirect(cfg Config) Result {
 		must(mgr.Put(hAB))
 	})
 	rts.Run()
-	if cfg.Backend == charm.RealBackend {
+	if cfg.Backend != charm.SimBackend && len(rts.Errors()) == 0 {
 		// The bytes really moved: both receive buffers must hold the peer's
 		// payload (minus the final word, which each side's callback already
-		// re-armed back to the out-of-band pattern).
-		checkPayload(recvB, sendA)
-		checkPayload(recvA, sendB)
+		// re-armed back to the out-of-band pattern). Under net each process
+		// can check only the receive buffer it hosts.
+		if rts.HostsPE(peB) {
+			checkPayload(recvB, sendA)
+		}
+		if rts.HostsPE(peA) {
+			checkPayload(recvA, sendB)
+		}
 	}
 	return finish(cfg, rts, start, end)
 }
@@ -325,11 +336,18 @@ func result(cfg Config, start, end sim.Time) Result {
 func finish(cfg Config, rts *charm.RTS, start, end sim.Time) Result {
 	errs := rts.Errors()
 	counters := rts.Recorder().Counters()
-	if len(errs) > 0 && cfg.Chaos == nil {
+	if len(errs) > 0 && cfg.Chaos == nil && cfg.Backend != charm.NetBackend {
+		// Under net, failures (including a dead peer's NetError) return
+		// through Result.Errors — the launcher decides, not a panic.
 		panic(fmt.Sprintf("pingpong: runtime contract violation: %v", errs[0]))
 	}
 	if end <= start {
 		if len(errs) == 0 {
+			if cfg.Backend == charm.NetBackend && !rts.HostsPE(0) {
+				// A worker process: the timing endpoints live on PE 0's
+				// rank; this rank relayed traffic and is simply done.
+				return Result{Config: cfg, Counters: counters}
+			}
 			if cfg.Chaos == nil {
 				panic(fmt.Sprintf("pingpong: run did not complete (%v..%v, mode %v)", start, end, cfg.Mode))
 			}

@@ -2,6 +2,7 @@ package stencil
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 
 	"repro/internal/charm"
@@ -177,7 +178,7 @@ func (a *app) build() {
 // associates its matching outgoing face buffer.
 func (a *app) buildChannels() {
 	mach := a.rts.Machine()
-	virtual := !a.cfg.Validate && a.cfg.Backend != charm.RealBackend
+	virtual := !a.cfg.Validate && a.cfg.Backend == charm.SimBackend
 	// Pass 1: receivers create handles.
 	for _, c := range a.chares {
 		c := c
@@ -348,6 +349,9 @@ func (a *app) fieldSum() float64 {
 	}
 	s := 0.0
 	for _, c := range a.chares {
+		if !a.rts.HostsPE(c.pe) {
+			continue // net backend: this rank never ran the chare
+		}
 		for _, v := range c.cur {
 			s += v
 		}
@@ -355,10 +359,53 @@ func (a *app) fieldSum() float64 {
 	return s
 }
 
+// validateLocal checks the hosted chares' final field against the serial
+// reference — the distributed backend's validation path, where no single
+// process holds the whole domain but every process shares the oracle.
+func (a *app) validateLocal() []error {
+	ref := SerialReference(a.cfg.NX, a.cfg.NY, a.cfg.NZ, a.totalIters)
+	var errs []error
+	for _, c := range a.chares {
+		if !a.rts.HostsPE(c.pe) {
+			continue
+		}
+		i := 0
+		for x := 0; x < c.bx; x++ {
+			for y := 0; y < c.by; y++ {
+				for z := 0; z < c.bz; z++ {
+					gx, gy, gz := c.gx0+x, c.gy0+y, c.gz0+z
+					want := ref[(gx*a.cfg.NY+gy)*a.cfg.NZ+gz]
+					if c.cur[i] != want {
+						errs = append(errs, fmt.Errorf(
+							"stencil: cell (%d,%d,%d) = %v, serial reference %v",
+							gx, gy, gz, c.cur[i], want))
+						if len(errs) >= 5 {
+							return errs
+						}
+					}
+					i++
+				}
+			}
+		}
+	}
+	return errs
+}
+
 // GatherField assembles the full field from a validate-mode run (tests).
+// Under the net backend only hosted chares hold live data; the rest of
+// the domain is marked NaN so a comparison cannot silently pass on
+// never-computed cells.
 func gatherField(a *app) []float64 {
 	out := make([]float64, a.cfg.NX*a.cfg.NY*a.cfg.NZ)
+	if a.cfg.Backend == charm.NetBackend {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+	}
 	for _, c := range a.chares {
+		if !a.rts.HostsPE(c.pe) {
+			continue
+		}
 		i := 0
 		for x := 0; x < c.bx; x++ {
 			for y := 0; y < c.by; y++ {

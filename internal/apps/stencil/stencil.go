@@ -17,6 +17,7 @@ import (
 	"repro/internal/charm"
 	"repro/internal/ckdirect"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -52,10 +53,13 @@ type Config struct {
 	// Validate runs real data through the kernel (small domains only) so
 	// the final field can be checked against a serial reference.
 	Validate bool
-	// Backend selects simulated virtual time (default) or real
-	// goroutine-per-PE execution with wall-clock timing. The real backend
-	// always allocates real payload buffers.
+	// Backend selects simulated virtual time (default), real
+	// goroutine-per-PE execution, or distributed multi-process execution,
+	// both with wall-clock timing. The real and net backends always
+	// allocate real payload buffers.
 	Backend charm.Backend
+	// Net is the started netrt node (required under the net backend).
+	Net *netrt.Node
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
 	// Chaos, when set, runs the configuration under adversity (CPU noise,
@@ -134,7 +138,7 @@ func Run(cfg Config) Result {
 			cfg.NX, cfg.NY, cfg.NZ, cfg.PEs))
 	}
 
-	if cfg.Backend == charm.RealBackend {
+	if cfg.Backend != charm.SimBackend {
 		if cfg.Chaos != nil {
 			panic("stencil: chaos scenarios are sim-only")
 		}
@@ -142,13 +146,17 @@ func Run(cfg Config) Result {
 			panic("stencil: timeline recording is sim-only")
 		}
 	}
+	if cfg.Backend == charm.NetBackend && cfg.Net == nil {
+		panic("stencil: net backend needs Config.Net (a started netrt node)")
+	}
 	eng := sim.NewEngine()
 	mach, net := cfg.Platform.BuildMachine(eng, cfg.PEs)
 	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(),
 		charm.Options{
 			Checked:         true,
-			VirtualPayloads: !cfg.Validate && cfg.Backend != charm.RealBackend,
+			VirtualPayloads: !cfg.Validate && cfg.Backend == charm.SimBackend,
 			Backend:         cfg.Backend,
+			Net:             cfg.Net,
 		})
 	if cfg.Timeline != nil {
 		rts.SetTimeline(cfg.Timeline)
@@ -163,8 +171,30 @@ func Run(cfg Config) Result {
 	a.start()
 	rts.Run()
 	errs := rts.Errors()
-	if len(errs) > 0 && cfg.Chaos == nil {
+	if len(errs) > 0 && cfg.Chaos == nil && cfg.Backend != charm.NetBackend {
+		// Under net, failures (including a dead peer's NetError) return
+		// through Result.Errors — the launcher decides, not a panic.
 		panic(fmt.Sprintf("stencil: runtime contract violation: %v", errs[0]))
+	}
+	if cfg.Backend == charm.NetBackend && cfg.Validate && len(errs) == 0 {
+		// Each process can check exactly the cells it hosts; the serial
+		// reference is the shared oracle.
+		errs = append(errs, a.validateLocal()...)
+	}
+	if cfg.Backend == charm.NetBackend && !rts.HostsPE(0) {
+		// A worker process: barriers and timing live on PE 0's rank. Local
+		// validation already ran; report what this rank knows — its own
+		// block of the field (the rest NaN) and its checksum share.
+		res := Result{
+			Config: cfg, ChareGrid: grid, Chares: total,
+			Errors: errs, Counters: rts.Recorder().Counters(),
+			TotalEvents: rts.Executed(),
+		}
+		if cfg.Validate && len(errs) == 0 {
+			res.FieldSum = a.fieldSum()
+			res.Field = gatherField(a)
+		}
+		return res
 	}
 
 	k := len(a.barriers)

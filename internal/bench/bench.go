@@ -161,6 +161,7 @@ func All() []Experiment {
 		{"fem", "Supplementary: unstructured-mesh FEM from the paper's §1 class", func(s Scale) []*Table { return []*Table{FemFigure(s)} }},
 		{"faults", "Supplementary: recovery cost under transfer loss", func(s Scale) []*Table { return []*Table{FaultFigure(s)} }},
 		{"realhw", "Real-execution backend: wall-clock pingpong + stencil on goroutines", func(s Scale) []*Table { return RealHW(s) }},
+		{"nethw", "Distributed net backend: wall-clock pingpong + stencil across a socket mesh", func(s Scale) []*Table { return NetHW(s) }},
 	}
 }
 

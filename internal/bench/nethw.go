@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/apps/pingpong"
+	"repro/internal/apps/stencil"
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/netrt"
+)
+
+// NetHW measures the distributed net backend: the same programs as the
+// realhw experiment, but with the ranks split across a live socket mesh
+// (in-process worlds here — identical wire stack to separate OS
+// processes, minus exec). Charm messages cross rank boundaries as eager
+// or rendezvous frames and CkDirect puts as registered-buffer writes,
+// so these numbers price the full framing/TCP path the simulator's
+// netmodel personalities only model.
+func NetHW(scale Scale) []*Table {
+	return []*Table{netHWPingpong(scale), netHWStencil(scale)}
+}
+
+// netHWNote reminds readers these are loopback-TCP wall-clock numbers.
+func netHWNote() string {
+	return fmt.Sprintf("wall-clock over loopback TCP between ranks of an in-process world; eager/rendezvous threshold %d B — expect run-to-run variance", netrt.DefaultEagerMax)
+}
+
+// runNetWorld executes one configuration on every rank of a world
+// concurrently, as the separate OS processes of a real launch would,
+// and returns the per-rank results. Any rank error is a broken bench,
+// not a data point.
+func runNetWorld(nodes []*netrt.Node, cfg pingpong.Config) []pingpong.Result {
+	results := make([]pingpong.Result, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := cfg
+			c.Net = n
+			results[i] = pingpong.Run(c)
+		}()
+	}
+	wg.Wait()
+	for rank, res := range results {
+		if len(res.Errors) > 0 {
+			panic(fmt.Sprintf("bench: nethw pingpong rank %d: %v", rank, res.Errors))
+		}
+	}
+	return results
+}
+
+// netHWPingpong is the §3 microbenchmark across two OS-level ranks: one
+// PE per rank, so every round trip crosses the socket. The size sweep
+// straddles the eager/rendezvous threshold — charm-msg pays the RTS/CTS
+// exchange above it, while the ckdirect row stays a single FPut frame
+// deposited into the registered buffer at every size.
+func netHWPingpong(scale Scale) *Table {
+	plat := *netmodel.AbeIB
+	plat.Name = "host(tcp)"
+	plat.CoresPerNode = 1
+
+	sizes := []int{1024, 8192, 65536}
+	iters := 100
+	if scale == Paper {
+		sizes = []int{1024, 8192, 65536, 524288}
+		iters = 1000
+	}
+	cols := make([]string, len(sizes))
+	for i, s := range sizes {
+		cols[i] = fmt.Sprintf("%d", s)
+	}
+	t := &Table{
+		ID:      "nethw-pingpong",
+		Title:   "Pingpong RTT on the net backend (two ranks over loopback TCP)",
+		ColHead: "Message Size (B)",
+		Columns: cols,
+		Unit:    "us RTT, wall clock",
+		Notes: []string{
+			netHWNote(),
+			"ckdirect row is one FPut frame per trip: payload deposited into the registered buffer, sentinel release-stored, no callback message",
+		},
+	}
+	nodes, err := netrt.StartLocal(2)
+	if err != nil {
+		panic(fmt.Sprintf("bench: nethw world: %v", err))
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, mode := range []pingpong.Mode{pingpong.CharmMsg, pingpong.CkDirect} {
+		vals := make([]float64, len(sizes))
+		for i, size := range sizes {
+			results := runNetWorld(nodes, pingpong.Config{
+				Platform: &plat,
+				Mode:     mode,
+				Size:     size,
+				Iters:    iters,
+				Backend:  charm.NetBackend,
+			})
+			vals[i] = results[0].RTTMicros()
+		}
+		t.AddRow(mode.String(), vals...)
+	}
+	return t
+}
+
+// netHWStencil is the §4.1 study distributed across 2 and 4 ranks: the
+// same validated halo exchange as realhw-stencil, with neighbor ghosts
+// crossing process boundaries. Every rank runs Improvement concurrently
+// (msg generation, then ckd — run generations keep them apart on the
+// shared mesh); rank 0 owns the timing.
+func netHWStencil(scale Scale) *Table {
+	worlds := []int{2, 4}
+	pes := 4
+	nx, ny, nz := 16, 16, 8
+	iters, warmup := 2, 1
+	if scale == Paper {
+		nx, ny, nz = 32, 32, 16
+		iters, warmup = 5, 2
+	}
+	cols := make([]string, len(worlds))
+	for i, w := range worlds {
+		cols[i] = fmt.Sprintf("%d", w)
+	}
+	t := &Table{
+		ID:      "nethw-stencil",
+		Title:   "Stencil halo exchange on the net backend, messages vs CkDirect",
+		ColHead: "Processes",
+		Columns: cols,
+		Unit:    "ms per iteration / percent, wall clock",
+		Notes: []string{
+			netHWNote(),
+			fmt.Sprintf("domain %dx%dx%d on %d PEs split across the ranks, virtualization 2; payloads are real and validated against the serial reference", nx, ny, nz, pes),
+		},
+	}
+	msgT := make([]float64, len(worlds))
+	ckdT := make([]float64, len(worlds))
+	imp := make([]float64, len(worlds))
+	for i, world := range worlds {
+		nodes, err := netrt.StartLocal(world)
+		if err != nil {
+			panic(fmt.Sprintf("bench: nethw world of %d: %v", world, err))
+		}
+		type improvement struct {
+			msg, ckd stencil.Result
+			pct      float64
+		}
+		results := make([]improvement, world)
+		var wg sync.WaitGroup
+		for r, n := range nodes {
+			r, n := r, n
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				msg, ckd, pct := stencil.Improvement(stencil.Config{
+					Platform: netmodel.AbeIB,
+					PEs:      pes, Virtualization: 2,
+					NX: nx, NY: ny, NZ: nz,
+					Iters: iters, Warmup: warmup,
+					Validate: true,
+					Backend:  charm.NetBackend,
+					Net:      n,
+				})
+				results[r] = improvement{msg: msg, ckd: ckd, pct: pct}
+			}()
+		}
+		wg.Wait()
+		for _, n := range nodes {
+			n.Close()
+		}
+		for r, res := range results {
+			if len(res.msg.Errors) > 0 || len(res.ckd.Errors) > 0 {
+				panic(fmt.Sprintf("bench: nethw stencil world %d rank %d: %v", world, r, append(res.msg.Errors, res.ckd.Errors...)))
+			}
+		}
+		msgT[i] = results[0].msg.IterTime.Millis()
+		ckdT[i] = results[0].ckd.IterTime.Millis()
+		imp[i] = results[0].pct
+	}
+	t.AddRow("msg (ms)", msgT...)
+	t.AddRow("ckd (ms)", ckdT...)
+	t.AddRow("improvement %", imp...)
+	return t
+}

@@ -2,6 +2,8 @@ package charm
 
 import (
 	"fmt"
+
+	"repro/internal/netrt"
 )
 
 // Index addresses an element within a chare array. Up to four dimensions
@@ -42,6 +44,7 @@ type element struct {
 type Array struct {
 	rts   *RTS
 	name  string
+	ord   int // ordinal in registration order — the array's wire identity
 	mapFn func(Index) int
 
 	elems  map[Index]*element
@@ -64,6 +67,7 @@ func (rts *RTS) NewArray(name string, mapFn func(Index) int) *Array {
 		perPE: make([][]*element, rts.mach.NumPEs()),
 	}
 	a.red = newReducer(rts, name, func() [][]*element { return a.perPE })
+	a.ord = len(rts.arrays)
 	rts.arrays = append(rts.arrays, a)
 	return a
 }
@@ -159,6 +163,15 @@ func (a *Array) Send(srcPE int, idx Index, ep EP, msg *Message) {
 	if a.rts.sendObserver != nil {
 		a.rts.sendObserver(srcPE, el.pe, a.name, ep, msg.Size)
 	}
+	if !a.rts.HostsPE(el.pe) {
+		a.rts.netrt.SendMsg(&netrt.Env{
+			Kind: netrt.EnvArray, Array: a.ord, EP: int(ep), Index: el.idx,
+			SrcPE: srcPE, DstPE: el.pe,
+			Size: msg.Size, Tag: msg.Tag, Val: msg.Val,
+			Vals: msg.Vals, Data: msg.Data,
+		})
+		return
+	}
 	msg = a.rts.cloneForReal(msg)
 	a.rts.transport(srcPE, el.pe, msg.Size, func() {
 		a.rts.enqueue(el.pe, func() {
@@ -181,6 +194,10 @@ func (a *Array) ctxFor(el *element) *Ctx {
 // each hosting PE dispatches one local delivery per element through its
 // scheduler — matching how Charm++ array broadcasts are charged.
 func (a *Array) Broadcast(srcPE int, ep EP, msg *Message) {
+	if a.rts.netrt != nil {
+		a.netCast(srcPE, ep, msg)
+		return
+	}
 	a.rts.treeCast(srcPE, func(pe int) {
 		for _, el := range a.perPE[pe] {
 			el := el
@@ -189,6 +206,29 @@ func (a *Array) Broadcast(srcPE int, ep EP, msg *Message) {
 			})
 		}
 	}, msg.Size)
+}
+
+// netCast is the distributed broadcast: the closure-based binomial tree
+// cannot cross process boundaries, so one FCast frame ships to every
+// other process (the receiver fans out to its local elements) and the
+// local elements are delivered directly.
+func (a *Array) netCast(srcPE int, ep EP, msg *Message) {
+	nrt := a.rts.netrt
+	nrt.SendCast(&netrt.Env{
+		Kind: netrt.EnvCast, Array: a.ord, EP: int(ep),
+		SrcPE: srcPE, DstPE: -1,
+		Size: msg.Size, Tag: msg.Tag, Val: msg.Val,
+		Vals: msg.Vals, Data: msg.Data,
+	})
+	msg = a.rts.cloneForReal(msg)
+	for pe := nrt.Lo(); pe < nrt.Hi(); pe++ {
+		for _, el := range a.perPE[pe] {
+			el := el
+			a.rts.enqueue(pe, func() {
+				a.eps[ep](a.ctxFor(el), msg)
+			})
+		}
+	}
 }
 
 // Broadcast from a context.

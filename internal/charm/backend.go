@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 	"repro/internal/realrt"
 	"repro/internal/sim"
 )
@@ -20,6 +21,12 @@ const (
 	// goroutine per PE, wall-clock time, CkDirect puts as true
 	// shared-memory copies published by an atomic sentinel release-store.
 	RealBackend
+	// NetBackend executes the program across multiple OS processes
+	// connected by TCP sockets: each process runs a realrt scheduler for
+	// its block of PEs, Charm messages cross process boundaries as
+	// eager or rendezvous frames, and CkDirect puts are deposited
+	// directly into the remote registered buffer (see internal/netrt).
+	NetBackend
 )
 
 // String names the backend like the -backend flag values.
@@ -29,6 +36,8 @@ func (b Backend) String() string {
 		return "sim"
 	case RealBackend:
 		return "real"
+	case NetBackend:
+		return "net"
 	}
 	return fmt.Sprintf("Backend(%d)", int(b))
 }
@@ -40,8 +49,10 @@ func ParseBackend(s string) (Backend, error) {
 		return SimBackend, nil
 	case "real":
 		return RealBackend, nil
+	case "net":
+		return NetBackend, nil
 	}
-	return 0, fmt.Errorf("charm: unknown backend %q (want sim or real)", s)
+	return 0, fmt.Errorf("charm: unknown backend %q (want sim, real or net)", s)
 }
 
 // PutOp describes a one-sided put to the backend seam: the modelled path
@@ -55,9 +66,16 @@ type PutOp struct {
 	Hooks        netmodel.TransferHooks
 	// Execute performs the put for real: copy payload into the receiver's
 	// registered buffer, then release-store the sentinel word. Runs
-	// synchronously on the sender's goroutine under RealBackend; ignored
-	// by the simulator.
+	// synchronously on the sender's goroutine under RealBackend (and under
+	// NetBackend when both PEs share the process); ignored by the
+	// simulator.
 	Execute func()
+	// WireHandle and WirePayload describe the put for the distributed
+	// backend: the SPMD-identical CkDirect handle id addressing the remote
+	// registered buffer, and the raw source bytes to ship. WirePayload is
+	// called only when the destination PE lives in another process.
+	WireHandle  int
+	WirePayload func() []byte
 }
 
 // backend is the seam between the runtime's logical layer (arrays, entry
@@ -169,3 +187,63 @@ func (b *realBackend) run() sim.Time {
 }
 
 func (b *realBackend) executed() uint64 { return b.rt.Executed() }
+
+// netBackend adapts the distributed netrt runtime. Cross-process traffic
+// never reaches this adapter: SendPE, Array.Send and Array.Broadcast
+// intercept remote destinations and ship wire envelopes before the
+// transport closure is built, so schedule/send here always address a
+// locally hosted PE.
+type netBackend struct {
+	rts *RTS
+	nrt *netrt.Runtime
+}
+
+func (b *netBackend) now() sim.Time { return b.nrt.Now() }
+
+func (b *netBackend) schedule(pe int, task func()) { b.nrt.Enqueue(pe, task) }
+
+func (b *netBackend) send(srcPE, dstPE, size int, deliver func()) {
+	b.nrt.Enqueue(dstPE, deliver)
+}
+
+// put performs the one-sided transfer. A destination in this process is
+// the real backend's shared-memory put verbatim; a remote destination
+// ships the raw source bytes addressed by the SPMD-identical handle id,
+// and the receiving process deposits them into the registered buffer
+// with the same copy + sentinel release-store. Local completion is
+// immediate either way — the frame encoder copies the payload before
+// SendPut returns, so the source buffer is reusable.
+func (b *netBackend) put(op PutOp) {
+	if b.nrt.Hosts(op.DstPE) {
+		b.nrt.PutIssued()
+		op.Execute()
+		b.nrt.Kick(op.DstPE)
+	} else {
+		b.nrt.SendPut(op.DstPE, int64(op.WireHandle), op.WirePayload())
+	}
+	if op.Hooks.OnSendDone != nil {
+		op.Hooks.OnSendDone()
+	}
+}
+
+func (b *netBackend) after(pe int, d sim.Time, task func()) {
+	b.nrt.After(pe, d, task)
+}
+
+func (b *netBackend) charge(pe int, cost sim.Time) {}
+
+func (b *netBackend) run() sim.Time {
+	// Freeze every reduction tree before workers start (see realBackend).
+	for _, r := range b.rts.reducers {
+		r.freeze()
+	}
+	t := b.nrt.Run()
+	// Network failures (a dead peer, a corrupt frame) surface through the
+	// same error channel as contract violations.
+	for _, err := range b.nrt.Errors() {
+		b.rts.ReportError(err)
+	}
+	return t
+}
+
+func (b *netBackend) executed() uint64 { return b.nrt.Executed() }

@@ -1,0 +1,49 @@
+package charm
+
+import "testing"
+
+// TestBackendRoundTrip pins the -backend flag vocabulary: every backend's
+// String form parses back to itself, and unknown values are rejected with
+// the exact error the cmd drivers print.
+func TestBackendRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+	}{
+		{"sim", SimBackend},
+		{"real", RealBackend},
+		{"net", NetBackend},
+	}
+	for _, tc := range cases {
+		got, err := ParseBackend(tc.in)
+		if err != nil {
+			t.Errorf("ParseBackend(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBackend(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		if s := got.String(); s != tc.in {
+			t.Errorf("Backend(%v).String() = %q, want %q", got, s, tc.in)
+		}
+		back, err := ParseBackend(got.String())
+		if err != nil || back != got {
+			t.Errorf("String/Parse round trip broke for %q: %v, %v", tc.in, back, err)
+		}
+	}
+
+	for _, bad := range []string{"", "SIM", "tcp", "bogus"} {
+		if _, err := ParseBackend(bad); err == nil {
+			t.Errorf("ParseBackend(%q) accepted an unknown backend", bad)
+		}
+	}
+	_, err := ParseBackend("bogus")
+	const want = `charm: unknown backend "bogus" (want sim, real or net)`
+	if err == nil || err.Error() != want {
+		t.Errorf("ParseBackend error = %q, want %q", err, want)
+	}
+
+	if s := Backend(99).String(); s != "Backend(99)" {
+		t.Errorf("out-of-range String() = %q", s)
+	}
+}

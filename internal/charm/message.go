@@ -13,7 +13,10 @@
 // what lets a 4096-PE run execute on one host.
 package charm
 
-import "repro/internal/sim"
+import (
+	"repro/internal/netrt"
+	"repro/internal/sim"
+)
 
 // Message is the unit of two-sided communication. Size drives the cost
 // model; the payload fields carry whatever the application needs. Data is
@@ -56,8 +59,12 @@ type Options struct {
 	// payloads under the real backend, which always moves real bytes.
 	VirtualPayloads bool
 	// Backend selects the execution substrate: the discrete-event
-	// simulator (default) or real goroutine execution (see backend.go).
+	// simulator (default), real goroutine execution, or distributed
+	// multi-process execution (see backend.go).
 	Backend Backend
+	// Net is the started netrt node this process belongs to; required
+	// under NetBackend, ignored otherwise.
+	Net *netrt.Node
 }
 
 // chargeable lets contexts extend the CPU reservation of their PE.

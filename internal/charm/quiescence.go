@@ -23,11 +23,11 @@ func (rts *RTS) OnQuiescence(fn func()) {
 	if fn == nil {
 		panic("charm: OnQuiescence with nil callback")
 	}
-	if rts.opts.Backend == RealBackend {
-		// The real backend's own termination detection (realrt's work
-		// counter) subsumes CQD; per-callback quiescence is a simulator
-		// service.
-		panic("charm: OnQuiescence is not supported on the real backend")
+	if rts.opts.Backend != SimBackend {
+		// The real and net backends' own termination detection (the work
+		// counter, and its distributed four-counter lift) subsumes CQD;
+		// per-callback quiescence is a simulator service.
+		panic("charm: OnQuiescence is only supported on the sim backend")
 	}
 	if rts.qdCounter == 0 {
 		fn()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 	"repro/internal/realrt"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -22,10 +23,12 @@ type RTS struct {
 	rec  *trace.Recorder
 	opts Options
 
-	// be is the execution substrate (discrete-event simulation or the
-	// realrt goroutine runtime); real is non-nil only under RealBackend.
-	be   backend
-	real *realrt.Runtime
+	// be is the execution substrate (discrete-event simulation, the
+	// realrt goroutine runtime, or the distributed netrt runtime); real
+	// is non-nil only under RealBackend, netrt only under NetBackend.
+	be    backend
+	real  *realrt.Runtime
+	netrt *netrt.Runtime
 
 	pes       []*peSched
 	peEPs     []Handler
@@ -106,6 +109,17 @@ func NewRTS(eng *sim.Engine, mach *machine.Machine, net *netmodel.Net, plat *net
 	case RealBackend:
 		rts.real = realrt.New(mach.NumPEs())
 		rts.be = &realBackend{rts: rts, rt: rts.real}
+	case NetBackend:
+		if opts.Net == nil {
+			panic("charm: NetBackend requires Options.Net (a started netrt.Node)")
+		}
+		nrt, err := opts.Net.NewRuntime(mach.NumPEs())
+		if err != nil {
+			panic(fmt.Sprintf("charm: %v", err))
+		}
+		nrt.SetDeliver(rts.deliverWire)
+		rts.netrt = nrt
+		rts.be = &netBackend{rts: rts, nrt: nrt}
 	default:
 		panic(fmt.Sprintf("charm: unknown backend %v", opts.Backend))
 	}
@@ -137,6 +151,15 @@ func (rts *RTS) Backend() Backend { return rts.opts.Backend }
 // CkDirect layer uses it to register its polling hook and to manage the
 // per-put work credits.
 func (rts *RTS) Real() *realrt.Runtime { return rts.real }
+
+// NetRT returns the distributed runtime under NetBackend, nil otherwise.
+func (rts *RTS) NetRT() *netrt.Runtime { return rts.netrt }
+
+// HostsPE reports whether a PE executes in this process: always true
+// except under NetBackend, where each process hosts one block of PEs.
+func (rts *RTS) HostsPE(pe int) bool {
+	return rts.netrt == nil || rts.netrt.Hosts(pe)
+}
 
 // Now returns the current time on the active backend: virtual time under
 // sim, wall-clock time under real.
@@ -191,6 +214,11 @@ func (rts *RTS) CtxOn(pe int) *Ctx { return &Ctx{rts: rts, pe: pe} }
 // point). It goes through the scheduler so even startup pays realistic
 // costs.
 func (rts *RTS) StartAt(pe int, fn func(ctx *Ctx)) {
+	if !rts.HostsPE(pe) {
+		// SPMD setup runs on every process; the start task belongs only
+		// to the one hosting its PE.
+		return
+	}
 	rts.enqueue(pe, func() {
 		fn(&Ctx{rts: rts, pe: pe})
 	})
@@ -214,6 +242,15 @@ func (rts *RTS) SendPE(srcPE, dstPE int, ep EP, msg *Message) {
 		rts.rec.Incr("charm.msgs", 1)
 		rts.rec.Incr("charm.bytes", int64(msg.Size))
 	}
+	if !rts.HostsPE(dstPE) {
+		rts.netrt.SendMsg(&netrt.Env{
+			Kind: netrt.EnvPE, Array: -1, EP: int(ep),
+			SrcPE: srcPE, DstPE: dstPE,
+			Size: msg.Size, Tag: msg.Tag, Val: msg.Val,
+			Vals: msg.Vals, Data: msg.Data,
+		})
+		return
+	}
 	h := rts.peEPs[ep]
 	msg = rts.cloneForReal(msg)
 	rts.transport(srcPE, dstPE, msg.Size, func() {
@@ -223,14 +260,14 @@ func (rts *RTS) SendPE(srcPE, dstPE int, ep EP, msg *Message) {
 	})
 }
 
-// cloneForReal copies a message's payload under the real backend —
-// Charm++ copy-on-send semantics. Senders there reuse their staging
-// buffers across iterations while earlier messages are still in flight on
-// other goroutines; the simulator's instant-closure delivery never needed
-// the copy (and skipping it keeps sim runs byte-for-byte identical to the
-// seed).
+// cloneForReal copies a message's payload under the real and net
+// backends — Charm++ copy-on-send semantics. Senders there reuse their
+// staging buffers across iterations while earlier messages are still in
+// flight on other goroutines; the simulator's instant-closure delivery
+// never needed the copy (and skipping it keeps sim runs byte-for-byte
+// identical to the seed).
 func (rts *RTS) cloneForReal(msg *Message) *Message {
-	if rts.opts.Backend != RealBackend {
+	if rts.opts.Backend == SimBackend {
 		return msg
 	}
 	m := *msg
@@ -241,6 +278,83 @@ func (rts *RTS) cloneForReal(msg *Message) *Message {
 		m.Vals = append([]float64(nil), msg.Vals...)
 	}
 	return &m
+}
+
+// deliverWire is the NetBackend's inbound dispatcher: it re-binds a wire
+// envelope's ordinal identities (array, index, EP) to this process's
+// SPMD-identical registration tables and enqueues the handler on the
+// destination PE. It runs on connection reader goroutines; everything
+// malformed is reported, never panicked — a corrupt or mismatched frame
+// from another process must not take this one down.
+func (rts *RTS) deliverWire(env *netrt.Env) {
+	msg := &Message{Size: env.Size, Tag: env.Tag, Val: env.Val, Vals: env.Vals, Data: env.Data}
+	switch env.Kind {
+	case netrt.EnvPE:
+		if env.EP < 0 || env.EP >= len(rts.peEPs) {
+			rts.ReportError(fmt.Errorf("charm: wire message for unregistered PE handler %d", env.EP))
+			return
+		}
+		if !rts.HostsPE(env.DstPE) {
+			rts.ReportError(fmt.Errorf("charm: wire message for PE %d, not hosted here", env.DstPE))
+			return
+		}
+		h := rts.peEPs[env.EP]
+		dst := env.DstPE
+		rts.netrt.Enqueue(dst, func() {
+			h(&Ctx{rts: rts, pe: dst}, msg)
+		})
+	case netrt.EnvArray:
+		a, el, ok := rts.wireElement(env)
+		if !ok {
+			return
+		}
+		if !rts.HostsPE(el.pe) {
+			rts.ReportError(fmt.Errorf("charm: wire message for %s[%s] on PE %d, not hosted here", a.name, el.idx, el.pe))
+			return
+		}
+		h := a.eps[env.EP]
+		rts.netrt.Enqueue(el.pe, func() {
+			h(a.ctxFor(el), msg)
+		})
+	case netrt.EnvCast:
+		if env.Array < 0 || env.Array >= len(rts.arrays) {
+			rts.ReportError(fmt.Errorf("charm: wire broadcast for unknown array ordinal %d", env.Array))
+			return
+		}
+		a := rts.arrays[env.Array]
+		if env.EP < 0 || int(env.EP) >= len(a.eps) {
+			rts.ReportError(fmt.Errorf("charm: wire broadcast for unregistered EP %d on %s", env.EP, a.name))
+			return
+		}
+		for pe := rts.netrt.Lo(); pe < rts.netrt.Hi(); pe++ {
+			for _, el := range a.perPE[pe] {
+				el := el
+				rts.netrt.Enqueue(pe, func() {
+					a.eps[env.EP](a.ctxFor(el), msg)
+				})
+			}
+		}
+	}
+}
+
+// wireElement resolves an EnvArray envelope to its array and element,
+// reporting (not panicking) on anything out of range.
+func (rts *RTS) wireElement(env *netrt.Env) (*Array, *element, bool) {
+	if env.Array < 0 || env.Array >= len(rts.arrays) {
+		rts.ReportError(fmt.Errorf("charm: wire message for unknown array ordinal %d", env.Array))
+		return nil, nil, false
+	}
+	a := rts.arrays[env.Array]
+	if env.EP < 0 || int(env.EP) >= len(a.eps) {
+		rts.ReportError(fmt.Errorf("charm: wire message for unregistered EP %d on %s", env.EP, a.name))
+		return nil, nil, false
+	}
+	el, ok := a.elems[Index(env.Index)]
+	if !ok {
+		rts.ReportError(fmt.Errorf("charm: wire message for missing element %s[%s]", a.name, Index(env.Index)))
+		return nil, nil, false
+	}
+	return a, el, true
 }
 
 // transport moves a message between PEs on the active backend; arrive

@@ -32,7 +32,7 @@ import (
 
 	"repro/internal/charm"
 	"repro/internal/machine"
-	"repro/internal/realrt"
+	"repro/internal/netrt"
 	"repro/internal/sim"
 )
 
@@ -157,6 +157,15 @@ type pollSet struct {
 	passes    uint64 // realPoll pass counter, paces the cold-tier rescan
 }
 
+// execRT is the live-execution seam CkDirect needs from a non-simulated
+// backend: installing the sentinel poll pass into the scheduler loops
+// and returning put work credits after detection. Both the in-process
+// realrt runtime and the distributed netrt runtime satisfy it.
+type execRT interface {
+	SetPoll(fn func(pe int, full bool) bool)
+	PutDetected()
+}
+
 // Manager owns CkDirect state for one runtime: per-PE polling queues and
 // the scheduler tax hook.
 type Manager struct {
@@ -164,9 +173,21 @@ type Manager struct {
 	nextID int
 	polled []pollSet // per PE
 
-	// rt is the realrt runtime under the real backend (nil under sim);
-	// detection then happens in realPoll instead of simulated events.
-	rt *realrt.Runtime
+	// handles registers every created handle by id (id == index). The
+	// distributed backend routes inbound put frames through it: the
+	// handle id is the channel's wire identity, valid across processes
+	// because SPMD setup creates handles in the same order everywhere.
+	handles []*Handle
+
+	// rt is the live-execution runtime under the real and net backends
+	// (nil under sim); detection then happens in realPoll instead of
+	// simulated events.
+	rt execRT
+
+	// net is the distributed runtime under the net backend (nil
+	// otherwise): puts to remote PEs ship their bytes, inbound put
+	// frames deposit through netPutSink.
+	net *netrt.Runtime
 
 	// wd, when non-nil, arms a virtual-time deadline per in-flight put
 	// (see watchdog.go).
@@ -190,6 +211,16 @@ func NewManager(rts *charm.RTS) *Manager {
 		// no modelled tax, the scan costs what it costs.
 		m.rt = rt
 		rt.SetPoll(m.realPoll)
+		return m
+	}
+	if nrt := rts.NetRT(); nrt != nil {
+		// Distributed backend: local detection is the real backend's poll
+		// pass verbatim; puts arriving from other processes are deposited
+		// into the registered buffer by netPutSink.
+		m.rt = nrt
+		m.net = nrt
+		nrt.SetPoll(m.realPoll)
+		nrt.SetPutSink(m.netPutSink)
 		return m
 	}
 	plat := rts.Platform()
@@ -263,6 +294,7 @@ func (m *Manager) createHandle(pe int, buf *machine.Region, oob uint64, cb func(
 		}
 		h.sw = sw
 	}
+	m.handles = append(m.handles, h)
 	m.rts.ChargeOn(pe, sim.Microseconds(createCPUUS))
 	buf.SetRegistered(true)
 	m.writeSentinel(h)

@@ -1,0 +1,42 @@
+package ckdirect
+
+import "fmt"
+
+// Distributed-backend receive path: a CkDirect put that crossed a
+// process boundary arrives as a raw-byte frame addressed by handle id.
+// The deposit is the same copy + sentinel release-store the real backend
+// performs in shared memory — the socket hop replaces the RDMA write,
+// and everything after the deposit (the poll pass, detection, the user
+// callback) is the unmodified real-backend machinery. No callback
+// message, no scheduler involvement on the wire path: the paper's
+// unsynchronized one-sided semantics, emulated across processes.
+
+// netPutSink deposits one inbound put frame. It runs on a connection
+// reader goroutine; the deposit itself is safe there because the only
+// synchronization with the receiving PE is the sentinel release-store,
+// exactly as when a sender PE's goroutine deposits in-process. The work
+// credit is taken before the sentinel publishes the payload (same
+// discipline as the real backend's put seam), so termination cannot
+// race a landed-but-undetected put.
+func (m *Manager) netPutSink(id int64, payload []byte) {
+	if id < 0 || id >= int64(len(m.handles)) {
+		m.rts.ReportError(fmt.Errorf("ckdirect: wire put for unknown handle %d (have %d)", id, len(m.handles)))
+		return
+	}
+	h := m.handles[id]
+	if !m.rts.HostsPE(h.recvPE) {
+		m.rts.ReportError(fmt.Errorf("ckdirect: wire put for handle %d on PE %d, not hosted here", id, h.recvPE))
+		return
+	}
+	want := h.recvBuf.Size()
+	if h.strided != nil {
+		want = h.strided.TotalBytes()
+	}
+	if len(payload) != want {
+		m.rts.ReportError(fmt.Errorf("ckdirect: wire put for handle %d carries %d bytes, transfer is %d", id, len(payload), want))
+		return
+	}
+	m.net.PutIssued()
+	m.depositBytes(h, payload)
+	m.net.Kick(h.recvPE)
+}

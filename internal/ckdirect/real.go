@@ -48,14 +48,26 @@ func (m *Manager) realPut(h *Handle, onLocalDone func()) {
 			OnSendDone: onLocalDone,
 		},
 		Execute: func() { m.realDeposit(h) },
+		// Distributed backend, destination in another process: the raw
+		// source bytes ship addressed by the handle id, and the remote
+		// netPutSink performs the identical deposit there.
+		WireHandle:  h.id,
+		WirePayload: func() []byte { return h.sendBuf.Bytes() },
 	})
 }
 
 // realDeposit copies the payload and publishes it: every byte except the
 // sentinel word lands with plain copies, then the payload's own final
 // word is release-stored into the sentinel position.
-func (m *Manager) realDeposit(h *Handle) {
-	src, dst := h.sendBuf.Bytes(), h.recvBuf.Bytes()
+func (m *Manager) realDeposit(h *Handle) { m.depositBytes(h, h.sendBuf.Bytes()) }
+
+// depositBytes lands src into h's registered receive buffer — plain
+// copies for everything but the transfer's final word, which is
+// release-stored into the sentinel position so the receiver's
+// acquire-loading poll pass orders the whole payload behind it. src is
+// the local source region under real, an inbound put frame under net.
+func (m *Manager) depositBytes(h *Handle, src []byte) {
+	dst := h.recvBuf.Bytes()
 	if h.strided == nil {
 		pos := len(dst) - 8
 		copy(dst[:pos], src[:pos])

@@ -1,0 +1,103 @@
+package netrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Env kinds: what the wire envelope addresses on the receiving process.
+const (
+	// EnvPE targets a PE-level handler (runtime services).
+	EnvPE byte = iota + 1
+	// EnvArray targets one chare-array element's entry method.
+	EnvArray
+	// EnvCast targets every local element of a chare array (one frame
+	// per remote process; the receiver fans out locally).
+	EnvCast
+)
+
+// Env is the wire envelope of one Charm message. It carries only
+// wire-serializable identities — array ordinal, element index, EP — plus
+// the Message fields; the receiving process re-binds them to its own
+// (identical, SPMD-constructed) handler tables.
+type Env struct {
+	Kind  byte
+	Array int // array ordinal in registration order; -1 for EnvPE
+	EP    int
+	Index [4]int
+	SrcPE int
+	DstPE int
+	Size  int
+	Tag   int
+	Val   float64
+	Vals  []float64
+	Data  []byte
+}
+
+// envFixed is the byte length of the fixed portion of an encoded Env.
+const envFixed = 1 + 4 + 4 + 16 + 4 + 4 + 8 + 8 + 8 + 4 + 4
+
+// AppendEnv encodes e onto dst.
+func AppendEnv(dst []byte, e *Env) []byte {
+	dst = append(dst, e.Kind)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(e.Array)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(e.EP)))
+	for _, v := range e.Index {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v)))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(e.SrcPE)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(e.DstPE)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(e.Size)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(e.Tag)))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Val))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Vals)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Data)))
+	for _, v := range e.Vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return append(dst, e.Data...)
+}
+
+// EncodeEnv encodes e into a fresh buffer.
+func EncodeEnv(e *Env) []byte {
+	return AppendEnv(make([]byte, 0, envFixed+8*len(e.Vals)+len(e.Data)), e)
+}
+
+// DecodeEnv decodes an envelope. The returned Env owns its slices.
+func DecodeEnv(b []byte) (Env, error) {
+	var e Env
+	if len(b) < envFixed {
+		return e, fmt.Errorf("netrt: truncated envelope (%d bytes)", len(b))
+	}
+	e.Kind = b[0]
+	if e.Kind != EnvPE && e.Kind != EnvArray && e.Kind != EnvCast {
+		return e, fmt.Errorf("netrt: unknown envelope kind %d", e.Kind)
+	}
+	e.Array = int(int32(binary.LittleEndian.Uint32(b[1:])))
+	e.EP = int(int32(binary.LittleEndian.Uint32(b[5:])))
+	for i := range e.Index {
+		e.Index[i] = int(int32(binary.LittleEndian.Uint32(b[9+4*i:])))
+	}
+	e.SrcPE = int(int32(binary.LittleEndian.Uint32(b[25:])))
+	e.DstPE = int(int32(binary.LittleEndian.Uint32(b[29:])))
+	e.Size = int(int64(binary.LittleEndian.Uint64(b[33:])))
+	e.Tag = int(int64(binary.LittleEndian.Uint64(b[41:])))
+	e.Val = math.Float64frombits(binary.LittleEndian.Uint64(b[49:]))
+	nvals := int(binary.LittleEndian.Uint32(b[57:]))
+	ndata := int(binary.LittleEndian.Uint32(b[61:]))
+	rest := b[envFixed:]
+	if nvals < 0 || ndata < 0 || nvals > len(rest)/8 || len(rest) != 8*nvals+ndata {
+		return e, fmt.Errorf("netrt: envelope length mismatch (%d vals, %d data, %d trailing bytes)", nvals, ndata, len(rest))
+	}
+	if nvals > 0 {
+		e.Vals = make([]float64, nvals)
+		for i := range e.Vals {
+			e.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8*i:]))
+		}
+	}
+	if ndata > 0 {
+		e.Data = append([]byte(nil), rest[8*nvals:]...)
+	}
+	return e, nil
+}

@@ -1,0 +1,28 @@
+package netrt
+
+import "fmt"
+
+// NetError is a typed network failure: a peer process died, a
+// connection broke, or a keepalive window expired. It surfaces through
+// Result.Errors of the application that was running when the failure
+// hit, so a killed peer produces a diagnosable error instead of a hung
+// quiescence.
+type NetError struct {
+	// Rank is the local rank that observed the failure.
+	Rank int
+	// Peer is the remote rank the failure concerns.
+	Peer int
+	// Op names the operation that failed: "dial", "read", "write",
+	// "keepalive", "peer-abort", "bootstrap".
+	Op string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the failure.
+func (e *NetError) Error() string {
+	return fmt.Sprintf("netrt: rank %d lost peer %d (%s): %v", e.Rank, e.Peer, e.Op, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *NetError) Unwrap() error { return e.Err }

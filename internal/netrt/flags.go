@@ -1,0 +1,22 @@
+package netrt
+
+import "flag"
+
+// RegisterFlags binds the standard -net.* flag set and returns the
+// Config they populate. Call before flag.Parse; pass the filled Config
+// to Start once flags are parsed.
+//
+//	-net.rank   this process's rank (-1 = self-spawn the world)
+//	-net.world  number of processes
+//	-net.peers  static launch: comma-separated listen addresses by rank
+//	-net.coord  coordinator address (rank 0 listens, workers dial)
+//	-net.eager  eager/rendezvous threshold in bytes
+func RegisterFlags() *Config {
+	cfg := &Config{}
+	flag.IntVar(&cfg.Rank, "net.rank", -1, "net backend: this process's rank (-1 = self-spawn workers)")
+	flag.IntVar(&cfg.World, "net.world", 1, "net backend: number of processes")
+	flag.StringVar(&cfg.PeersCSV, "net.peers", "", "net backend: comma-separated listen addresses, one per rank (static launch)")
+	flag.StringVar(&cfg.Coord, "net.coord", "", "net backend: coordinator address (rank 0 listens, workers dial in)")
+	flag.IntVar(&cfg.EagerMax, "net.eager", DefaultEagerMax, "net backend: eager/rendezvous threshold in bytes")
+	return cfg
+}

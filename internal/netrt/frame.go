@@ -1,0 +1,215 @@
+// Package netrt is the distributed execution backend: it runs the
+// message-driven programs of this repository across multiple OS
+// processes connected by TCP sockets, emulating the paper's network
+// protocol stack in live code. Each process hosts a contiguous block of
+// PEs on a local realrt goroutine runtime; Charm++ messages cross
+// process boundaries as eager frames below a size threshold and as a
+// rendezvous (RTS/CTS/data) exchange above it — the same split the
+// netmodel personalities price — while CkDirect puts become
+// registered-buffer writes: the receiving process deposits the payload
+// directly into the preregistered destination region and release-stores
+// the sentinel word, so the unmodified poll loop in internal/ckdirect
+// detects completion with no callback message, preserving the paper's
+// unsynchronized one-sided semantics.
+//
+// The design is SPMD: every process runs the identical program setup, so
+// chare arrays, entry points and CkDirect handles carry the same ordinal
+// identities everywhere, and only wire-serializable identities (array
+// ordinal, element index, EP, handle ID) ever cross a process boundary.
+//
+// Termination reuses the realrt work-credit discipline, lifted to a
+// coordinator-rooted distributed sum: each process counts app frames
+// sent and received, rank 0 probes all ranks, and the run halts only
+// after two consecutive probe rounds agree that every process is idle
+// and the global sent/received sums match and did not move — the
+// classic four-counter termination argument.
+package netrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame types. Control frames (hello/join/peers/probe/report/halt/ping/
+// bye) are runtime-internal and never counted by termination detection;
+// app frames (eager/rts/cts/data/put/cast) carry program traffic.
+const (
+	// FHello identifies an inbound mesh connection: A = sender rank.
+	FHello byte = iota + 1
+	// FJoin is the worker->coordinator bootstrap: A = sender rank,
+	// payload = the worker's own listen address.
+	FJoin
+	// FPeers is the coordinator's bootstrap reply: payload = newline-
+	// joined listen addresses indexed by rank.
+	FPeers
+	// FEager is a small Charm message: payload = encoded Env.
+	FEager
+	// FRTS requests a rendezvous transfer: A = transfer id, B = bytes.
+	FRTS
+	// FCTS grants a rendezvous transfer: A = transfer id.
+	FCTS
+	// FData is the granted rendezvous body: A = transfer id, payload =
+	// encoded Env.
+	FData
+	// FPut is a one-sided put into a preregistered buffer: A = CkDirect
+	// handle id, payload = the raw source bytes.
+	FPut
+	// FCast is an array broadcast: payload = encoded Env; the receiving
+	// process delivers to every local element of the array.
+	FCast
+	// FProbe is the coordinator's termination probe: A = epoch.
+	FProbe
+	// FReport answers a probe: A = epoch, B = idle flag, C = frames
+	// sent, D = frames received (app frames only).
+	FReport
+	// FHalt announces global termination of the run generation.
+	FHalt
+	// FPing is an idle keepalive; it carries nothing and proves only
+	// that the peer process is alive.
+	FPing
+	// FBye announces an abort: A = origin rank, payload = reason. Every
+	// receiver cascades into its own abort so no process hangs waiting
+	// for traffic that will never come.
+	FBye
+	// FLeave is a graceful goodbye: the sender has finished every run
+	// generation through A and is closing its side of the mesh, so the
+	// EOF that follows on this connection is expected teardown — not a
+	// lost peer. A run the sender has NOT finished (generation > A)
+	// can no longer complete and aborts on receipt.
+	FLeave
+	frameTypeMax
+)
+
+// Wire format: an 8-byte header (magic "CK", version, type, little-
+// endian uint32 body length) followed by the body — the run generation
+// and four type-specific int64 fields, then the variable payload.
+const (
+	frameMagic0  = 'C'
+	frameMagic1  = 'K'
+	FrameVersion = 1
+
+	frameHeaderLen = 8
+	frameFixedBody = 40 // Run + A..D
+
+	// MaxFrameBody caps a frame body so a corrupt length prefix cannot
+	// make a reader allocate unboundedly.
+	MaxFrameBody = 64 << 20
+)
+
+// Frame is one wire message. The meaning of A..D depends on Type; Run is
+// the run generation app frames belong to (frames for a future
+// generation are buffered by the receiving node until that run starts).
+type Frame struct {
+	Type    byte
+	Run     int64
+	A, B, C, D int64
+	Payload []byte
+}
+
+// AppendFrame encodes f onto dst and returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if f.Type == 0 || f.Type >= frameTypeMax {
+		return dst, fmt.Errorf("netrt: encode of unknown frame type %d", f.Type)
+	}
+	if len(f.Payload) > MaxFrameBody-frameFixedBody {
+		return dst, fmt.Errorf("netrt: frame payload of %d bytes exceeds the %d-byte cap", len(f.Payload), MaxFrameBody-frameFixedBody)
+	}
+	body := frameFixedBody + len(f.Payload)
+	dst = append(dst, frameMagic0, frameMagic1, FrameVersion, f.Type)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
+	for _, v := range [...]int64{f.Run, f.A, f.B, f.C, f.D} {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return append(dst, f.Payload...), nil
+}
+
+// EncodeFrame encodes f into a fresh buffer.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	return AppendFrame(make([]byte, 0, frameHeaderLen+frameFixedBody+len(f.Payload)), f)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the
+// frame and the number of bytes consumed. It never panics on truncated
+// or corrupt input — every malformed shape is an error.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	var f Frame
+	if len(b) < frameHeaderLen {
+		return f, 0, fmt.Errorf("netrt: truncated frame header (%d bytes)", len(b))
+	}
+	if b[0] != frameMagic0 || b[1] != frameMagic1 {
+		return f, 0, fmt.Errorf("netrt: bad frame magic %#x %#x", b[0], b[1])
+	}
+	if b[2] != FrameVersion {
+		return f, 0, fmt.Errorf("netrt: frame version %d, this build speaks %d", b[2], FrameVersion)
+	}
+	if b[3] == 0 || b[3] >= frameTypeMax {
+		return f, 0, fmt.Errorf("netrt: unknown frame type %d", b[3])
+	}
+	body := int(binary.LittleEndian.Uint32(b[4:8]))
+	if body < frameFixedBody || body > MaxFrameBody {
+		return f, 0, fmt.Errorf("netrt: frame body length %d outside [%d,%d]", body, frameFixedBody, MaxFrameBody)
+	}
+	if len(b) < frameHeaderLen+body {
+		return f, 0, fmt.Errorf("netrt: truncated frame body (%d of %d bytes)", len(b)-frameHeaderLen, body)
+	}
+	f.Type = b[3]
+	fields := b[frameHeaderLen:]
+	f.Run = int64(binary.LittleEndian.Uint64(fields[0:]))
+	f.A = int64(binary.LittleEndian.Uint64(fields[8:]))
+	f.B = int64(binary.LittleEndian.Uint64(fields[16:]))
+	f.C = int64(binary.LittleEndian.Uint64(fields[24:]))
+	f.D = int64(binary.LittleEndian.Uint64(fields[32:]))
+	if n := body - frameFixedBody; n > 0 {
+		f.Payload = append([]byte(nil), fields[frameFixedBody:frameFixedBody+n]...)
+	}
+	return f, frameHeaderLen + body, nil
+}
+
+// readFrame reads one frame from a stream. The returned frame owns its
+// payload.
+func readFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return Frame{}, fmt.Errorf("netrt: bad frame magic %#x %#x", hdr[0], hdr[1])
+	}
+	if hdr[2] != FrameVersion {
+		return Frame{}, fmt.Errorf("netrt: frame version %d, this build speaks %d", hdr[2], FrameVersion)
+	}
+	if hdr[3] == 0 || hdr[3] >= frameTypeMax {
+		return Frame{}, fmt.Errorf("netrt: unknown frame type %d", hdr[3])
+	}
+	body := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if body < frameFixedBody || body > MaxFrameBody {
+		return Frame{}, fmt.Errorf("netrt: frame body length %d outside [%d,%d]", body, frameFixedBody, MaxFrameBody)
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, err
+	}
+	f := Frame{Type: hdr[3]}
+	f.Run = int64(binary.LittleEndian.Uint64(buf[0:]))
+	f.A = int64(binary.LittleEndian.Uint64(buf[8:]))
+	f.B = int64(binary.LittleEndian.Uint64(buf[16:]))
+	f.C = int64(binary.LittleEndian.Uint64(buf[24:]))
+	f.D = int64(binary.LittleEndian.Uint64(buf[32:]))
+	if body > frameFixedBody {
+		f.Payload = buf[frameFixedBody:]
+	}
+	return f, nil
+}
+
+// writeFrame encodes and writes one frame synchronously (bootstrap
+// handshakes only; steady-state traffic rides the batching writer).
+func writeFrame(w io.Writer, f *Frame) error {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

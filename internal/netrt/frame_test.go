@@ -1,0 +1,208 @@
+package netrt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FHello, A: 3},
+		{Type: FEager, Run: 7, Payload: []byte("hello world")},
+		{Type: FRTS, Run: 2, A: 99, B: 1 << 20},
+		{Type: FReport, Run: 1, A: 12, B: 1, C: -5, D: math.MaxInt64},
+		{Type: FPut, A: 4, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Type: FBye, A: 1, Payload: []byte("rank 1 lost peer 0")},
+		{Type: FPing},
+	}
+	for _, want := range frames {
+		b, err := EncodeFrame(&want)
+		if err != nil {
+			t.Fatalf("encode %d: %v", want.Type, err)
+		}
+		got, n, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode %d: %v", want.Type, err)
+		}
+		if n != len(b) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(b))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeFrameRejectsCorruptHeaders(t *testing.T) {
+	valid, err := EncodeFrame(&Frame{Type: FEager, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), valid...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"empty", nil, "truncated frame header"},
+		{"short header", valid[:5], "truncated frame header"},
+		{"bad magic", corrupt(func(b []byte) { b[0] = 'X' }), "bad frame magic"},
+		{"bad version", corrupt(func(b []byte) { b[2] = FrameVersion + 1 }), "frame version"},
+		{"zero type", corrupt(func(b []byte) { b[3] = 0 }), "unknown frame type"},
+		{"type past max", corrupt(func(b []byte) { b[3] = byte(frameTypeMax) }), "unknown frame type"},
+		{"body too short", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], frameFixedBody-1)
+		}), "frame body length"},
+		{"body past cap", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[4:], MaxFrameBody+1)
+		}), "frame body length"},
+		{"truncated body", valid[:len(valid)-1], "truncated frame body"},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.in); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeFrameStream(t *testing.T) {
+	// Two frames back to back: DecodeFrame must consume exactly one.
+	a, _ := EncodeFrame(&Frame{Type: FEager, Payload: []byte("first")})
+	b, _ := EncodeFrame(&Frame{Type: FHalt, Run: 3})
+	stream := append(append([]byte(nil), a...), b...)
+	f1, n1, err := DecodeFrame(stream)
+	if err != nil || string(f1.Payload) != "first" || n1 != len(a) {
+		t.Fatalf("first frame: %+v consumed=%d err=%v", f1, n1, err)
+	}
+	f2, n2, err := DecodeFrame(stream[n1:])
+	if err != nil || f2.Type != FHalt || f2.Run != 3 || n2 != len(b) {
+		t.Fatalf("second frame: %+v consumed=%d err=%v", f2, n2, err)
+	}
+}
+
+func TestReadWriteFrame(t *testing.T) {
+	var buf bytes.Buffer
+	want := Frame{Type: FJoin, A: 2, Payload: []byte("127.0.0.1:4242")}
+	if err := writeFrame(&buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeFrameRejectsBadFrames(t *testing.T) {
+	if _, err := EncodeFrame(&Frame{Type: 0}); err == nil {
+		t.Error("encode accepted type 0")
+	}
+	if _, err := EncodeFrame(&Frame{Type: byte(frameTypeMax)}); err == nil {
+		t.Error("encode accepted type past max")
+	}
+	if _, err := EncodeFrame(&Frame{Type: FPut, Payload: make([]byte, MaxFrameBody)}); err == nil {
+		t.Error("encode accepted payload past cap")
+	}
+}
+
+func TestEnvRoundTrip(t *testing.T) {
+	envs := []Env{
+		{Kind: EnvPE, Array: -1, EP: 3, SrcPE: 0, DstPE: 7, Size: 64, Tag: -2, Val: 1.5},
+		{Kind: EnvArray, Array: 2, EP: 1, Index: [4]int{1, 2, 3, -1}, SrcPE: 5, DstPE: 0,
+			Vals: []float64{0.25, -3, math.Inf(1)}, Data: []byte{1, 2, 3, 4, 5}},
+		{Kind: EnvCast, Array: 0, EP: 9, DstPE: -1, Size: 8},
+	}
+	for _, want := range envs {
+		got, err := DecodeEnv(EncodeEnv(&want))
+		if err != nil {
+			t.Fatalf("decode kind %d: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("env round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeEnvRejectsCorruptInput(t *testing.T) {
+	valid := EncodeEnv(&Env{Kind: EnvArray, EP: 1, Vals: []float64{1}, Data: []byte{9}})
+	if _, err := DecodeEnv(valid[:envFixed-1]); err == nil {
+		t.Error("accepted truncated envelope")
+	}
+	bad := append([]byte(nil), valid...)
+	bad[0] = 0
+	if _, err := DecodeEnv(bad); err == nil {
+		t.Error("accepted unknown kind")
+	}
+	short := append([]byte(nil), valid[:len(valid)-1]...)
+	if _, err := DecodeEnv(short); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	lying := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(lying[57:], 1<<30) // nvals way past the body
+	if _, err := DecodeEnv(lying); err == nil {
+		t.Error("accepted oversized nvals")
+	}
+}
+
+// FuzzFrameCodec asserts the decoder never panics on arbitrary input and
+// that every successfully decoded frame survives an encode/decode round
+// trip unchanged (envelope payloads of app frames are fuzzed through the
+// Env decoder too, since that is what the runtime feeds them to).
+func FuzzFrameCodec(f *testing.F) {
+	seed := []*Frame{
+		{Type: FEager, Run: 1, Payload: EncodeEnv(&Env{Kind: EnvPE, Array: -1, EP: 2, DstPE: 1})},
+		{Type: FPut, A: 12, Payload: bytes.Repeat([]byte{7}, 64)},
+		{Type: FReport, A: 5, B: 1, C: 10, D: 10},
+	}
+	for _, fr := range seed {
+		b, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{'C', 'K', FrameVersion, FEager, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode claimed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeFrame(&fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		fr2, n2, err := DecodeFrame(re)
+		if err != nil || n2 != len(re) {
+			t.Fatalf("re-decode failed: n=%d err=%v", n2, err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("re-encode round trip mismatch:\n got %+v\nwant %+v", fr2, fr)
+		}
+		switch fr.Type {
+		case FEager, FData, FCast:
+			// Must not panic; errors are fine.
+			if env, err := DecodeEnv(fr.Payload); err == nil {
+				if _, err := DecodeEnv(EncodeEnv(&env)); err != nil {
+					t.Fatalf("decoded envelope does not round trip: %v", err)
+				}
+			}
+		}
+	})
+}

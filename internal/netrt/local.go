@@ -1,0 +1,58 @@
+package netrt
+
+import "sync"
+
+// StartLocal brings up a full world inside one process: rank 0
+// coordinates on an ephemeral loopback port and every other rank dials
+// in, exactly as separate OS processes would — sockets, frames and
+// termination detection all run for real. Real deployments run one
+// process per rank (self-spawn or explicit launch); in-process worlds
+// serve tests and single-host experiments that want the complete wire
+// stack without process management.
+func StartLocal(world int) ([]*Node, error) {
+	if world <= 1 {
+		n, err := Start(Config{World: 1})
+		if err != nil {
+			return nil, err
+		}
+		return []*Node{n}, nil
+	}
+	nodes := make([]*Node, world)
+	errs := make([]error, world)
+	addrC := make(chan string, 1)
+	done0 := make(chan struct{})
+	go func() {
+		defer close(done0)
+		nodes[0], errs[0] = Start(Config{Rank: 0, World: world, Coord: "127.0.0.1:0",
+			OnListen: func(a string) { addrC <- a }})
+	}()
+	var addr string
+	select {
+	case addr = <-addrC:
+	case <-done0:
+		// Rank 0 failed before binding its listener.
+		return nil, errs[0]
+	}
+	var wg sync.WaitGroup
+	for r := 1; r < world; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nodes[r], errs[r] = Start(Config{Rank: r, World: world, Coord: addr})
+		}()
+	}
+	wg.Wait()
+	<-done0
+	for _, err := range errs {
+		if err != nil {
+			for _, n := range nodes {
+				if n != nil {
+					n.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return nodes, nil
+}

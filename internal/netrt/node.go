@@ -1,0 +1,556 @@
+package netrt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultEagerMax is the eager/rendezvous threshold: an encoded message
+// envelope at most this large rides a single eager frame; anything
+// bigger negotiates an RTS/CTS exchange first — the same protocol split
+// the netmodel personalities price for the simulator.
+const DefaultEagerMax = 4096
+
+// Config describes this process's membership in a net-backend world.
+type Config struct {
+	// Rank is this process's rank in [0,World); -1 selects self-spawn
+	// (this process becomes rank 0 and launches the others itself).
+	Rank int
+	// World is the number of processes.
+	World int
+	// Peers is the static launch mode: one listen address per rank.
+	Peers []string
+	// PeersCSV is Peers as a comma-separated flag value.
+	PeersCSV string
+	// Coord is the coordinator bootstrap mode: rank 0 listens on this
+	// address, every other rank dials it and learns the peer table.
+	Coord string
+	// EagerMax overrides the eager/rendezvous threshold (bytes).
+	EagerMax int
+	// ExtraArgs are appended to self-spawned workers' argv (after the
+	// replayed parent argv and the injected -net.* flags).
+	ExtraArgs []string
+	// ExtraEnv entries ("K=V") are appended to self-spawned workers'
+	// environment.
+	ExtraEnv []string
+	// OnListen, when set, observes the local listen address as soon as
+	// it is bound (tests coordinate in-process worlds with it).
+	OnListen func(addr string)
+}
+
+// Node is one process's membership in the distributed world: the full
+// connection mesh, the bootstrap state, and the attach point for the
+// per-run Runtime. A Node outlives individual runs — sequential runs
+// (stencil msg-vs-ckd, benchmark sweeps) reuse the same mesh, with run
+// generations keeping late frames of one run out of the next.
+type Node struct {
+	rank, world int
+	eagerMax    int
+	peers       []*peerConn // by rank; nil at our own slot
+	ln          net.Listener
+	children    []*spawnedWorker
+
+	mu           sync.Mutex
+	attached     *Runtime
+	buffered     []bufFrame
+	nextGen      int64
+	completedGen int64 // highest run generation whose Run() returned
+	deadErr      error // a peer is gone; further runs abort immediately
+	closing      bool
+}
+
+// bufFrame is an app frame that arrived for a run generation this
+// process has not started yet (the sender finished the previous run
+// first); it is replayed when the matching runtime attaches.
+type bufFrame struct {
+	rank int
+	f    Frame
+}
+
+// Start brings this process into the world: bootstraps membership
+// (static peer table, coordinator dial-in, or self-spawn), establishes
+// the full connection mesh, and returns once every peer is connected.
+func Start(cfg Config) (*Node, error) {
+	if cfg.PeersCSV != "" && len(cfg.Peers) == 0 {
+		for _, a := range strings.Split(cfg.PeersCSV, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Peers = append(cfg.Peers, a)
+			}
+		}
+	}
+	world := cfg.World
+	if len(cfg.Peers) > 0 {
+		if world > 1 && world != len(cfg.Peers) {
+			return nil, fmt.Errorf("netrt: -net.world=%d but -net.peers lists %d addresses", world, len(cfg.Peers))
+		}
+		world = len(cfg.Peers)
+	}
+	if world <= 0 {
+		world = 1
+	}
+	if cfg.EagerMax <= 0 {
+		cfg.EagerMax = DefaultEagerMax
+	}
+	n := &Node{rank: cfg.Rank, world: world, eagerMax: cfg.EagerMax, completedGen: -1}
+	if world == 1 {
+		// Degenerate single-process world: no sockets, no coordinator —
+		// useful for flag plumbing tests and as the safe default.
+		n.rank = 0
+		return n, nil
+	}
+	n.peers = make([]*peerConn, world)
+	var err error
+	switch {
+	case len(cfg.Peers) > 0:
+		if n.rank < 0 || n.rank >= world {
+			err = fmt.Errorf("static launch needs -net.rank in [0,%d)", world)
+		} else {
+			err = n.bootstrapStatic(cfg)
+		}
+	case cfg.Rank < 0:
+		// Self-spawn: become rank 0, coordinate on an ephemeral port,
+		// launch the other ranks as copies of this process.
+		n.rank = 0
+		err = n.bootstrapCoordinator(cfg, "127.0.0.1:0", true)
+	case cfg.Rank == 0:
+		if cfg.Coord == "" {
+			err = errors.New("rank 0 needs -net.coord (its listen address) or -net.peers")
+		} else {
+			err = n.bootstrapCoordinator(cfg, cfg.Coord, false)
+		}
+	default:
+		if cfg.Coord == "" {
+			err = errors.New("workers need -net.coord or -net.peers")
+		} else {
+			err = n.bootstrapWorker(cfg)
+		}
+	}
+	if err != nil {
+		n.Close()
+		return nil, &NetError{Rank: n.rank, Peer: -1, Op: "bootstrap", Err: err}
+	}
+	for _, p := range n.peers {
+		if p != nil {
+			p.start()
+		}
+	}
+	return n, nil
+}
+
+// Rank returns this process's rank.
+func (n *Node) Rank() int { return n.rank }
+
+// World returns the process count.
+func (n *Node) World() int { return n.world }
+
+// IsWorker reports whether this process is a non-coordinator rank —
+// drivers use it to keep result printing and artifact writing on rank 0.
+func (n *Node) IsWorker() bool { return n.rank != 0 }
+
+// EagerMax returns the eager/rendezvous threshold in effect.
+func (n *Node) EagerMax() int { return n.eagerMax }
+
+// listen binds the local listener and publishes its address.
+func (n *Node) listen(addr string, onListen func(string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	n.ln = ln
+	if onListen != nil {
+		onListen(ln.Addr().String())
+	}
+	return nil
+}
+
+// accept takes one inbound connection with a bootstrap deadline.
+func (n *Node) accept() (net.Conn, error) {
+	if d, ok := n.ln.(*net.TCPListener); ok {
+		d.SetDeadline(time.Now().Add(30 * time.Second))
+	}
+	return n.ln.Accept()
+}
+
+// bootstrapStatic wires the mesh from a shared address table: rank r
+// listens on Peers[r], dials every lower rank (identifying itself with
+// FHello), and accepts a connection from every higher rank.
+func (n *Node) bootstrapStatic(cfg Config) error {
+	if err := n.listen(cfg.Peers[n.rank], cfg.OnListen); err != nil {
+		return err
+	}
+	for s := 0; s < n.rank; s++ {
+		conn, err := dialRetry(cfg.Peers[s])
+		if err != nil {
+			return fmt.Errorf("dial rank %d at %s: %w", s, cfg.Peers[s], err)
+		}
+		if err := writeFrame(conn, &Frame{Type: FHello, A: int64(n.rank)}); err != nil {
+			return err
+		}
+		n.peers[s] = newPeerConn(n, s, conn)
+	}
+	return n.acceptHigher()
+}
+
+// acceptHigher collects the inbound half of the mesh: one FHello-opened
+// connection from every rank above ours.
+func (n *Node) acceptHigher() error {
+	for need := n.world - 1 - n.rank; need > 0; need-- {
+		conn, err := n.accept()
+		if err != nil {
+			return err
+		}
+		p := newPeerConn(n, -1, conn)
+		f, err := readFrame(p.br)
+		if err != nil || f.Type != FHello {
+			conn.Close()
+			return fmt.Errorf("expected HELLO on inbound connection: %v", err)
+		}
+		r := int(f.A)
+		if r <= n.rank || r >= n.world || n.peers[r] != nil {
+			conn.Close()
+			return fmt.Errorf("bad HELLO rank %d", r)
+		}
+		p.rank = r
+		n.peers[r] = p
+	}
+	n.ln.Close()
+	n.ln = nil
+	return nil
+}
+
+// bootstrapCoordinator runs rank 0's side of the dial-in protocol:
+// collect one FJoin (rank + listen address) per worker, broadcast the
+// completed address table as FPeers, and keep each join connection as
+// the 0<->r mesh edge. When spawn is set, the workers are launched by
+// this process as copies of its own command line.
+func (n *Node) bootstrapCoordinator(cfg Config, addr string, spawn bool) error {
+	if err := n.listen(addr, cfg.OnListen); err != nil {
+		return err
+	}
+	if spawn {
+		children, err := spawnWorkers(cfg, n.world, n.ln.Addr().String())
+		if err != nil {
+			return err
+		}
+		n.children = children
+	}
+	addrs := make([]string, n.world)
+	addrs[0] = n.ln.Addr().String()
+	for joined := 0; joined < n.world-1; joined++ {
+		conn, err := n.accept()
+		if err != nil {
+			return fmt.Errorf("waiting for workers (%d/%d joined): %w", joined, n.world-1, err)
+		}
+		p := newPeerConn(n, -1, conn)
+		f, err := readFrame(p.br)
+		if err != nil || f.Type != FJoin {
+			conn.Close()
+			return fmt.Errorf("expected JOIN on inbound connection: %v", err)
+		}
+		r := int(f.A)
+		if r <= 0 || r >= n.world || n.peers[r] != nil {
+			conn.Close()
+			return fmt.Errorf("bad JOIN rank %d", r)
+		}
+		p.rank = r
+		n.peers[r] = p
+		addrs[r] = string(f.Payload)
+	}
+	table := strings.Join(addrs, "\n")
+	for r := 1; r < n.world; r++ {
+		if err := writeFrame(n.peers[r].conn, &Frame{Type: FPeers, Payload: []byte(table)}); err != nil {
+			return err
+		}
+	}
+	n.ln.Close()
+	n.ln = nil
+	return nil
+}
+
+// bootstrapWorker runs a worker's dial-in: listen on an ephemeral port,
+// join via the coordinator, then build the worker-to-worker mesh edges
+// from the broadcast address table (dial lower ranks, accept higher).
+func (n *Node) bootstrapWorker(cfg Config) error {
+	if err := n.listen("127.0.0.1:0", cfg.OnListen); err != nil {
+		return err
+	}
+	conn, err := dialRetry(cfg.Coord)
+	if err != nil {
+		return fmt.Errorf("dial coordinator at %s: %w", cfg.Coord, err)
+	}
+	p := newPeerConn(n, 0, conn)
+	if err := writeFrame(conn, &Frame{Type: FJoin, A: int64(n.rank), Payload: []byte(n.ln.Addr().String())}); err != nil {
+		return err
+	}
+	f, err := readFrame(p.br)
+	if err != nil || f.Type != FPeers {
+		return fmt.Errorf("expected PEERS from coordinator: %v", err)
+	}
+	n.peers[0] = p
+	addrs := strings.Split(string(f.Payload), "\n")
+	if len(addrs) != n.world {
+		return fmt.Errorf("coordinator sent %d peer addresses, world is %d", len(addrs), n.world)
+	}
+	for s := 1; s < n.rank; s++ {
+		conn, err := dialRetry(addrs[s])
+		if err != nil {
+			return fmt.Errorf("dial rank %d at %s: %w", s, addrs[s], err)
+		}
+		if err := writeFrame(conn, &Frame{Type: FHello, A: int64(n.rank)}); err != nil {
+			return err
+		}
+		n.peers[s] = newPeerConn(n, s, conn)
+	}
+	return n.acceptHigher()
+}
+
+// sendTo queues a frame for a peer rank. A false return means the peer
+// is down; the failure path is already aborting the run, so callers
+// simply drop the frame.
+func (n *Node) sendTo(rank int, f *Frame) bool {
+	p := n.peers[rank]
+	if p == nil {
+		return false
+	}
+	b, err := EncodeFrame(f)
+	if err != nil {
+		panic(fmt.Sprintf("netrt: %v", err))
+	}
+	return p.send(b)
+}
+
+// dispatch routes one received frame. It runs on the owning
+// connection's reader goroutine.
+func (n *Node) dispatch(p *peerConn, f Frame) {
+	switch f.Type {
+	case FPing:
+		return
+	case FProbe:
+		n.onProbe(p, f)
+	case FReport:
+		if rt := n.current(f.Run); rt != nil {
+			rt.noteReport(p.rank, f)
+		}
+	case FHalt:
+		if rt := n.current(f.Run); rt != nil {
+			rt.halt()
+		}
+	case FBye:
+		n.onBye(p, f)
+	case FLeave:
+		n.onLeave(p, f)
+	case FEager, FRTS, FCTS, FData, FPut, FCast:
+		n.dispatchApp(p, f)
+	default:
+		// Bootstrap frames after bootstrap, or future types from a
+		// mismatched build: a protocol violation.
+		p.fail("read", fmt.Errorf("unexpected frame type %d", f.Type))
+	}
+}
+
+// current returns the attached runtime when its generation matches.
+func (n *Node) current(gen int64) *Runtime {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.attached != nil && n.attached.gen == gen {
+		return n.attached
+	}
+	return nil
+}
+
+// onProbe answers a termination probe with this process's idle state
+// and frame counters for the probed generation. A generation we have
+// not attached yet reports non-idle — the coordinator cannot halt a
+// run some rank has not even started.
+func (n *Node) onProbe(p *peerConn, f Frame) {
+	rep := Frame{Type: FReport, Run: f.Run, A: f.A}
+	if rt := n.current(f.Run); rt != nil {
+		idle, s, r := rt.localReport()
+		if idle {
+			rep.B = 1
+		}
+		rep.C, rep.D = s, r
+	}
+	n.sendTo(p.rank, &rep)
+}
+
+// dispatchApp delivers an app frame to the matching run, or buffers it
+// when this process has not started that run yet.
+func (n *Node) dispatchApp(p *peerConn, f Frame) {
+	n.mu.Lock()
+	rt := n.attached
+	if rt == nil || f.Run > rt.gen {
+		n.buffered = append(n.buffered, bufFrame{rank: p.rank, f: f})
+		n.mu.Unlock()
+		return
+	}
+	if f.Run < rt.gen {
+		// A frame from a globally-terminated run: termination proved all
+		// its frames processed, so this cannot happen absent a protocol
+		// bug; dropping it is the safe response.
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	rt.handleApp(p.rank, f)
+}
+
+// peerDown handles a lost peer: with a run in flight the runtime aborts
+// with a typed NetError and the abort cascades to every other rank (a
+// FBye broadcast), so no process hangs inside a quiescence detection
+// that can no longer complete. Between runs the loss is recorded and
+// the next run aborts at creation.
+func (n *Node) peerDown(p *peerConn, op string, err error) {
+	ne := &NetError{Rank: n.rank, Peer: p.rank, Op: op, Err: err}
+	n.mu.Lock()
+	closing := n.closing
+	rt := n.attached
+	if n.deadErr == nil {
+		n.deadErr = ne
+	}
+	n.mu.Unlock()
+	if rt != nil {
+		rt.abort(ne)
+		n.broadcastBye(p.rank, ne)
+	} else if closing {
+		// Peers tearing down after the final run: not an error.
+		n.mu.Lock()
+		if n.deadErr == ne {
+			n.deadErr = nil
+		}
+		n.mu.Unlock()
+	}
+}
+
+// onBye handles a peer's abort announcement: adopt the failure and
+// abort the local run. No re-broadcast — in a full mesh every rank
+// hears the origin directly (by FBye or by the broken socket itself).
+func (n *Node) onBye(p *peerConn, f Frame) {
+	ne := &NetError{Rank: n.rank, Peer: int(f.A), Op: "peer-abort", Err: errors.New(string(f.Payload))}
+	n.mu.Lock()
+	if n.deadErr == nil {
+		n.deadErr = ne
+	}
+	rt := n.attached
+	n.mu.Unlock()
+	if rt != nil {
+		rt.abort(ne)
+	}
+}
+
+// broadcastBye tells every other live rank the run is dead.
+func (n *Node) broadcastBye(exceptRank int, ne *NetError) {
+	f := Frame{Type: FBye, A: int64(n.rank), Payload: []byte(ne.Error())}
+	for r, p := range n.peers {
+		if p == nil || r == exceptRank || p.failed.Load() {
+			continue
+		}
+		n.sendTo(r, &f)
+	}
+}
+
+// attach installs a freshly built runtime and replays any frames that
+// arrived for its generation before this process started the run.
+func (n *Node) attach(rt *Runtime) {
+	n.mu.Lock()
+	n.attached = rt
+	var flush []bufFrame
+	keep := n.buffered[:0]
+	for _, bf := range n.buffered {
+		if bf.f.Run == rt.gen {
+			flush = append(flush, bf)
+		} else if bf.f.Run > rt.gen {
+			keep = append(keep, bf)
+		}
+	}
+	n.buffered = keep
+	n.mu.Unlock()
+	for _, bf := range flush {
+		rt.handleApp(bf.rank, bf.f)
+	}
+}
+
+// detach clears the attach point once a run's Run() returns.
+func (n *Node) detach(rt *Runtime) {
+	n.mu.Lock()
+	if n.attached == rt {
+		n.attached = nil
+	}
+	if rt.gen > n.completedGen {
+		n.completedGen = rt.gen
+	}
+	n.mu.Unlock()
+}
+
+// onLeave handles a peer's graceful goodbye: the peer finished every
+// run generation through f.A and is exiting, so the EOF about to
+// follow on this connection is planned teardown. Quieting the
+// connection BEFORE the reader hits that EOF (the goodbye and the EOF
+// arrive on the same goroutine, in order) is what keeps a fast-exiting
+// rank from looking like a lost peer to one still draining its
+// scheduler. A run the leaver has NOT finished can no longer complete
+// and aborts; either way the departure is recorded so any later run
+// aborts at creation instead of hanging in termination detection. No
+// FBye cascade is needed: the mesh is full, so every rank hears the
+// leaver directly (by FLeave or by the broken socket itself).
+func (n *Node) onLeave(p *peerConn, f Frame) {
+	p.quiet.Store(true)
+	ne := &NetError{Rank: n.rank, Peer: p.rank, Op: "leave",
+		Err: fmt.Errorf("peer exited after run generation %d", f.A)}
+	n.mu.Lock()
+	if n.deadErr == nil {
+		n.deadErr = ne
+	}
+	rt := n.attached
+	n.mu.Unlock()
+	if rt != nil && rt.gen > f.A {
+		rt.abort(ne)
+	}
+}
+
+// Sever forcibly breaks the connection to a peer rank with no goodbye —
+// a failure-injection hook: both sides observe the broken socket exactly
+// as they would a crashed process, so tests can drive the peer-loss path
+// (abort with a typed NetError, FBye cascade) without killing a process.
+func (n *Node) Sever(rank int) {
+	if rank == n.rank || n.peers == nil || n.peers[rank] == nil {
+		return
+	}
+	n.peers[rank].conn.Close()
+}
+
+// Close tears the node down: connections close gracefully and, for a
+// self-spawned world, the worker processes are reaped. It returns the
+// first worker failure (a worker that exited non-zero — e.g. its local
+// validation failed — must not vanish silently).
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closing = true
+	completed := n.completedGen
+	n.mu.Unlock()
+	if n.ln != nil {
+		n.ln.Close()
+		n.ln = nil
+	}
+	for r, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		// Say goodbye before closing: the FLeave flushes ahead of the
+		// FIN, so a peer still draining its final run can tell planned
+		// teardown from a lost peer.
+		n.sendTo(r, &Frame{Type: FLeave, A: completed})
+		p.close()
+	}
+	var err error
+	for _, w := range n.children {
+		if werr := w.wait(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}

@@ -1,0 +1,282 @@
+package netrt
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startWorld brings up an in-process world via the coordinator
+// bootstrap, failing the test on any rank's error.
+func startWorld(t *testing.T, world int) []*Node {
+	t.Helper()
+	nodes, err := StartLocal(world)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes
+}
+
+// runAll runs every runtime concurrently and waits for all to return.
+func runAll(rts []*Runtime) {
+	var wg sync.WaitGroup
+	for _, rt := range rts {
+		rt := rt
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.Run()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSingleProcessWorldIsDegenerate(t *testing.T) {
+	n, err := Start(Config{World: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Rank() != 0 || n.World() != 1 || n.IsWorker() {
+		t.Fatalf("rank=%d world=%d worker=%v", n.Rank(), n.World(), n.IsWorker())
+	}
+}
+
+func TestStartRejectsBadConfigs(t *testing.T) {
+	if _, err := Start(Config{Rank: 0, World: 2}); err == nil {
+		t.Error("rank 0 without coord or peers accepted")
+	}
+	if _, err := Start(Config{Rank: 1, World: 2}); err == nil {
+		t.Error("worker without coord or peers accepted")
+	}
+	if _, err := Start(Config{Rank: 0, World: 3, PeersCSV: "a:1,b:2"}); err == nil {
+		t.Error("world/peers mismatch accepted")
+	}
+	var ne *NetError
+	_, err := Start(Config{Rank: 5, World: 2, PeersCSV: "127.0.0.1:1,127.0.0.1:2"})
+	if !errors.As(err, &ne) || ne.Op != "bootstrap" {
+		t.Errorf("out-of-range static rank: got %v, want a bootstrap NetError", err)
+	}
+}
+
+// TestMessagingAndQuiescence bounces messages between two ranks — one
+// chain under the eager threshold, one over it (rendezvous) — and checks
+// that both runtimes reach distributed quiescence with every hop
+// delivered and payloads intact.
+func TestMessagingAndQuiescence(t *testing.T) {
+	nodes := startWorld(t, 2)
+	rts := make([]*Runtime, 2)
+	for i, n := range nodes {
+		rt, err := n.NewRuntime(4)
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+		rts[i] = rt
+	}
+	big := bytes.Repeat([]byte{0x5A}, DefaultEagerMax*2) // forces rendezvous
+	var delivered [2]atomic.Int64
+	var badPayload atomic.Int64
+	for i := range rts {
+		i := i
+		rt := rts[i]
+		rt.SetDeliver(func(e *Env) {
+			env := *e
+			rt.Enqueue(env.DstPE, func() {
+				delivered[i].Add(1)
+				if len(env.Data) > 0 && !bytes.Equal(env.Data, big) {
+					badPayload.Add(1)
+				}
+				if env.Tag > 0 {
+					rt.SendMsg(&Env{Kind: EnvPE, Array: -1, SrcPE: env.DstPE,
+						DstPE: env.SrcPE, Tag: env.Tag - 1, Data: env.Data})
+				}
+			})
+		})
+	}
+	rts[0].Enqueue(0, func() {
+		rts[0].SendMsg(&Env{Kind: EnvPE, Array: -1, SrcPE: 0, DstPE: 2, Tag: 5, Data: big})
+		rts[0].SendMsg(&Env{Kind: EnvPE, Array: -1, SrcPE: 1, DstPE: 3, Tag: 2})
+	})
+	runAll(rts)
+	for i, rt := range rts {
+		if errs := rt.Errors(); len(errs) > 0 {
+			t.Fatalf("rank %d errors: %v", i, errs)
+		}
+	}
+	// Tag chain 5 -> 0 lands 6 times, tag chain 2 -> 0 lands 3 times.
+	if got := delivered[0].Load() + delivered[1].Load(); got != 9 {
+		t.Errorf("delivered %d messages, want 9", got)
+	}
+	if badPayload.Load() != 0 {
+		t.Errorf("%d deliveries carried a corrupted rendezvous payload", badPayload.Load())
+	}
+}
+
+// TestBroadcast fans one cast out of rank 0; every other rank must see
+// it exactly once (local fan-out is the receiver's business).
+func TestBroadcast(t *testing.T) {
+	nodes := startWorld(t, 3)
+	rts := make([]*Runtime, 3)
+	for i, n := range nodes {
+		rt, err := n.NewRuntime(3)
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+		rts[i] = rt
+	}
+	var casts [3]atomic.Int64
+	for i := range rts {
+		i := i
+		rt := rts[i]
+		rt.SetDeliver(func(e *Env) {
+			if e.Kind != EnvCast || e.Array != 1 {
+				t.Errorf("rank %d: unexpected envelope %+v", i, e)
+			}
+			rt.Enqueue(rt.Lo(), func() { casts[i].Add(1) })
+		})
+	}
+	rts[0].Enqueue(0, func() {
+		rts[0].SendCast(&Env{Kind: EnvCast, Array: 1, EP: 2, DstPE: -1})
+	})
+	runAll(rts)
+	if casts[0].Load() != 0 || casts[1].Load() != 1 || casts[2].Load() != 1 {
+		t.Errorf("cast deliveries = [%d %d %d], want [0 1 1]",
+			casts[0].Load(), casts[1].Load(), casts[2].Load())
+	}
+}
+
+// TestPutSink ships a one-sided put across the process boundary and
+// checks the handle id and raw bytes arrive intact, with the receiver
+// holding the run open via the put credit until its detection completes.
+func TestPutSink(t *testing.T) {
+	nodes := startWorld(t, 2)
+	rts := make([]*Runtime, 2)
+	for i, n := range nodes {
+		rt, err := n.NewRuntime(2)
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+		rts[i] = rt
+		rt.SetDeliver(func(e *Env) {})
+	}
+	payload := bytes.Repeat([]byte{0xC3}, 256)
+	var gotID atomic.Int64
+	var gotPayload []byte
+	gotID.Store(-1)
+	rt1 := rts[1]
+	rt1.SetPutSink(func(id int64, b []byte) {
+		// The ckdirect sink's credit discipline: hold the run open before
+		// acknowledging receipt, release on the receiving PE.
+		rt1.PutIssued()
+		gotID.Store(id)
+		gotPayload = append([]byte(nil), b...)
+		rt1.Enqueue(1, func() { rt1.PutDetected() })
+	})
+	rts[0].Enqueue(0, func() { rts[0].SendPut(1, 7, payload) })
+	runAll(rts)
+	if gotID.Load() != 7 {
+		t.Fatalf("put handle id = %d, want 7", gotID.Load())
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatal("put payload corrupted in flight")
+	}
+}
+
+// TestSequentialGenerations reuses one mesh for two back-to-back runs,
+// exercising the run-generation buffering that keeps a fast rank's
+// next-run frames out of a slow rank's previous run.
+func TestSequentialGenerations(t *testing.T) {
+	nodes := startWorld(t, 2)
+	for gen := 0; gen < 2; gen++ {
+		rts := make([]*Runtime, 2)
+		for i, n := range nodes {
+			rt, err := n.NewRuntime(2)
+			if err != nil {
+				t.Fatalf("gen %d rank %d: %v", gen, i, err)
+			}
+			rts[i] = rt
+		}
+		var got atomic.Int64
+		for i := range rts {
+			rt := rts[i]
+			rt.SetDeliver(func(e *Env) {
+				env := *e
+				rt.Enqueue(env.DstPE, func() { got.Add(1) })
+			})
+		}
+		rts[0].Enqueue(0, func() {
+			rts[0].SendMsg(&Env{Kind: EnvPE, Array: -1, SrcPE: 0, DstPE: 1, Tag: gen})
+		})
+		runAll(rts)
+		for i, rt := range rts {
+			if errs := rt.Errors(); len(errs) > 0 {
+				t.Fatalf("gen %d rank %d errors: %v", gen, i, errs)
+			}
+		}
+		if got.Load() != 1 {
+			t.Fatalf("gen %d delivered %d messages, want 1", gen, got.Load())
+		}
+	}
+}
+
+// TestPeerLossAbortsRun kills the transport under a run that cannot
+// otherwise finish (rank 1 never starts, so termination never completes)
+// and checks rank 0's Run unwinds with a typed NetError instead of
+// hanging in quiescence detection.
+func TestPeerLossAbortsRun(t *testing.T) {
+	nodes := startWorld(t, 2)
+	rt0, err := nodes[0].NewRuntime(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt0.SetDeliver(func(e *Env) {})
+	if _, err := nodes[1].NewRuntime(2); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the socket the hard way — no Close handshake, as a killed
+	// process would.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		nodes[1].peers[0].conn.Close()
+	}()
+	done := make(chan struct{})
+	go func() {
+		rt0.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("rank 0 hung after losing its peer")
+	}
+	if !rt0.Aborted() {
+		t.Fatal("run not marked aborted")
+	}
+	errs := rt0.Errors()
+	if len(errs) == 0 {
+		t.Fatal("no errors recorded")
+	}
+	var ne *NetError
+	if !errors.As(errs[0], &ne) {
+		t.Fatalf("error %v (%T) is not a NetError", errs[0], errs[0])
+	}
+	if ne.Peer != 1 {
+		t.Errorf("NetError names peer %d, want 1", ne.Peer)
+	}
+	// The node remembers the dead peer: the next run aborts immediately.
+	rtNext, err := nodes[0].NewRuntime(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rtNext.Aborted() {
+		t.Error("next run on a dead mesh did not pre-abort")
+	}
+}

@@ -1,0 +1,231 @@
+package netrt
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Connection tuning.
+const (
+	// outboxCap bounds the per-peer send queue; a producer that fills it
+	// blocks, which is TCP backpressure surfaced to the runtime.
+	outboxCap = 4096
+	// ioBufBytes sizes the per-connection read and write buffers.
+	ioBufBytes = 64 << 10
+	// keepaliveEvery paces idle FPing frames.
+	keepaliveEvery = 500 * time.Millisecond
+	// peerTimeout is how long a silent peer stays healthy. Keepalives
+	// flow every keepaliveEvery, so a peer silent this long is dead or
+	// wedged, not idle.
+	peerTimeout = 10 * time.Second
+	// dialAttempts and dialBaseDelay shape the bootstrap dial retry:
+	// exponential backoff with jitter, roughly 25ms..13s total.
+	dialAttempts  = 10
+	dialBaseDelay = 25 * time.Millisecond
+	dialTimeout   = 3 * time.Second
+)
+
+// peerConn is one live connection to a peer rank: a batching writer
+// goroutine fed by an outbox channel, a reader goroutine that decodes
+// frames into the node's dispatch, and a keepalive ticker that doubles
+// as the health monitor.
+type peerConn struct {
+	node *Node
+	rank int
+	conn net.Conn
+	br   *bufio.Reader
+
+	out  chan []byte
+	down chan struct{}
+
+	started  bool        // connection goroutines are running (set in start)
+	failed   atomic.Bool
+	quiet    atomic.Bool // graceful close: suppress the read-error report
+	lastRecv atomic.Int64
+}
+
+func newPeerConn(n *Node, rank int, conn net.Conn) *peerConn {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Frames are already batched by the writer; leaving Nagle on
+		// would add a delayed-ack round trip to every pingpong.
+		tc.SetNoDelay(true)
+	}
+	p := &peerConn{
+		node: n,
+		rank: rank,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, ioBufBytes),
+		out:  make(chan []byte, outboxCap),
+		down: make(chan struct{}),
+	}
+	p.lastRecv.Store(time.Now().UnixNano())
+	return p
+}
+
+// start launches the connection goroutines. Called once bootstrap
+// handshakes on this connection are complete.
+func (p *peerConn) start() {
+	p.started = true
+	go p.writer()
+	go p.reader()
+	go p.keepalive()
+}
+
+// send queues an encoded frame, blocking on a full outbox. It reports
+// false when the peer is down; the caller's failure handling already
+// ran (or is running) via peerDown, so dropping the frame is correct —
+// the run is aborting.
+func (p *peerConn) send(b []byte) bool {
+	select {
+	case p.out <- b:
+		return true
+	case <-p.down:
+		return false
+	}
+}
+
+// writer drains the outbox into the socket, flushing only when the
+// queue runs dry — consecutive frames batch into one syscall.
+func (p *peerConn) writer() {
+	bw := bufio.NewWriterSize(p.conn, ioBufBytes)
+	for {
+		var b []byte
+		select {
+		case b = <-p.out:
+		case <-p.down:
+			bw.Flush()
+			return
+		}
+		for {
+			if b == nil {
+				// Graceful-close marker queued by close(): everything
+				// ahead of it is written; flush and close the socket so
+				// the peer reads the goodbye, then a clean EOF.
+				bw.Flush()
+				p.shutdown()
+				return
+			}
+			if _, err := bw.Write(b); err != nil {
+				p.fail("write", err)
+				return
+			}
+			select {
+			case b = <-p.out:
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			p.fail("write", err)
+			return
+		}
+	}
+}
+
+// reader decodes frames and hands them to the node.
+func (p *peerConn) reader() {
+	for {
+		f, err := readFrame(p.br)
+		if err != nil {
+			p.fail("read", err)
+			return
+		}
+		p.lastRecv.Store(time.Now().UnixNano())
+		p.node.dispatch(p, f)
+	}
+}
+
+// keepalive sends idle pings and declares the peer dead when nothing —
+// not even a ping — arrived for peerTimeout.
+func (p *peerConn) keepalive() {
+	ping, _ := EncodeFrame(&Frame{Type: FPing})
+	t := time.NewTicker(keepaliveEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.down:
+			return
+		case <-t.C:
+		}
+		select {
+		case p.out <- ping:
+		default: // outbox full: traffic is flowing, no ping needed
+		}
+		idle := time.Since(time.Unix(0, p.lastRecv.Load()))
+		if idle > peerTimeout {
+			p.fail("keepalive", &timeoutError{idle: idle})
+		}
+	}
+}
+
+type timeoutError struct{ idle time.Duration }
+
+func (e *timeoutError) Error() string {
+	return "no traffic for " + e.idle.Round(time.Millisecond).String()
+}
+
+// fail tears the connection down once and reports it to the node.
+func (p *peerConn) fail(op string, err error) {
+	if !p.failed.CompareAndSwap(false, true) {
+		return
+	}
+	p.conn.Close()
+	close(p.down)
+	if p.quiet.Load() {
+		return
+	}
+	p.node.peerDown(p, op, err)
+}
+
+// shutdown closes the socket without reporting — the quiet half of
+// fail, for planned teardown.
+func (p *peerConn) shutdown() {
+	if p.failed.CompareAndSwap(false, true) {
+		p.conn.Close()
+		close(p.down)
+	}
+}
+
+// close shuts the connection down gracefully. With the connection
+// goroutines running, a nil marker rides the outbox behind any queued
+// frames (the FLeave goodbye in particular): the writer flushes
+// everything ahead of it and only then closes the socket, so the peer
+// reads the goodbye before the EOF.
+func (p *peerConn) close() {
+	p.quiet.Store(true)
+	if !p.started {
+		p.shutdown()
+		return
+	}
+	select {
+	case p.out <- nil:
+	case <-p.down:
+	default:
+		// Outbox jammed mid-teardown: hard close rather than block.
+		p.shutdown()
+	}
+}
+
+// dialRetry dials addr with exponential backoff and jitter — worker
+// processes race the coordinator's listen during bootstrap, and a
+// refused connection a few milliseconds in is expected, not fatal.
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	delay := dialBaseDelay
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		// Full jitter: sleep a uniform fraction of the doubling window
+		// so simultaneous dialers do not reconverge on the same instant.
+		time.Sleep(time.Duration(rand.Int63n(int64(delay))) + delay/2)
+		delay *= 2
+	}
+	return nil, lastErr
+}

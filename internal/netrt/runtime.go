@@ -1,0 +1,411 @@
+package netrt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/realrt"
+	"repro/internal/sim"
+)
+
+// Runtime is one run generation on one process: a local realrt runtime
+// hosting the PE block [Lo,Hi) of a global world of npes PEs, plus the
+// per-run wire state — frame counters for termination, the rendezvous
+// transfer table, and the abort/halt latch.
+//
+// The local realrt runtime is held open by one standing work credit
+// (taken at creation via PutIssued) so its scheduler cannot conclude
+// local quiescence while remote work may still arrive; only the
+// distributed termination decision — or an abort — releases it.
+type Runtime struct {
+	node *Node
+	gen  int64
+
+	npes, lo, hi int
+	rt           *realrt.Runtime
+
+	sent, recv   atomic.Int64 // app frames only
+	started      atomic.Bool
+	holdReleased atomic.Bool
+	aborted      atomic.Bool
+
+	deliver  func(*Env)
+	putSink  func(id int64, payload []byte)
+	eagerMax int
+
+	xferMu   sync.Mutex
+	xfers    map[int64]*pendingXfer
+	nextXfer int64
+
+	errMu sync.Mutex
+	errs  []error
+
+	repMu   sync.Mutex
+	reports []peerReport // by rank; [n.rank] unused
+
+	stopC chan struct{}
+}
+
+// pendingXfer is a rendezvous payload parked on the sender until the
+// receiver's CTS arrives.
+type pendingXfer struct {
+	rank    int
+	payload []byte
+}
+
+// peerReport is one rank's last termination report.
+type peerReport struct {
+	epoch int64
+	idle  bool
+	s, r  int64
+}
+
+// NewRuntime builds the runtime for the next run generation: a local
+// realrt runtime hosting this process's share of npes global PEs. The
+// PE block of rank r is [r*npes/world, (r+1)*npes/world), so every
+// process derives the identical mapping from npes alone.
+func (n *Node) NewRuntime(npes int) (*Runtime, error) {
+	if npes < n.world {
+		return nil, &NetError{Rank: n.rank, Peer: -1, Op: "bootstrap",
+			Err: fmt.Errorf("fewer PEs than processes: cannot host %d PEs on %d ranks", npes, n.world)}
+	}
+	lo := n.rank * npes / n.world
+	hi := (n.rank + 1) * npes / n.world
+	n.mu.Lock()
+	gen := n.nextGen
+	n.nextGen++
+	dead := n.deadErr
+	n.mu.Unlock()
+	rt := &Runtime{
+		node:     n,
+		gen:      gen,
+		npes:     npes,
+		lo:       lo,
+		hi:       hi,
+		rt:       realrt.New(hi - lo),
+		eagerMax: n.eagerMax,
+		xfers:    make(map[int64]*pendingXfer),
+		reports:  make([]peerReport, n.world),
+		stopC:    make(chan struct{}),
+	}
+	if n.world > 1 {
+		// The standing hold credit; see the type comment.
+		rt.rt.PutIssued()
+	}
+	if dead != nil {
+		rt.abort(dead)
+	}
+	// Not attached yet: frames for this generation buffer in the node
+	// until Run(), which attaches after the deliver/put hooks are set.
+	return rt, nil
+}
+
+// Rank, World, NumPEs, Lo and Hi describe the placement.
+func (rt *Runtime) Rank() int   { return rt.node.rank }
+func (rt *Runtime) World() int  { return rt.node.world }
+func (rt *Runtime) NumPEs() int { return rt.npes }
+func (rt *Runtime) Lo() int     { return rt.lo }
+func (rt *Runtime) Hi() int     { return rt.hi }
+
+// Hosts reports whether the global PE lives on this process.
+func (rt *Runtime) Hosts(pe int) bool { return pe >= rt.lo && pe < rt.hi }
+
+// RankOf returns the rank hosting a global PE.
+func (rt *Runtime) RankOf(pe int) int {
+	// Inverse of the block mapping; a loop keeps it exact for every
+	// npes/world split without floor-division edge cases.
+	for r := 0; r < rt.node.world; r++ {
+		if pe < (r+1)*rt.npes/rt.node.world {
+			return r
+		}
+	}
+	return rt.node.world - 1
+}
+
+func (rt *Runtime) localOf(pe int) int {
+	if !rt.Hosts(pe) {
+		panic(fmt.Sprintf("netrt: PE %d is not hosted by rank %d (PEs [%d,%d))", pe, rt.node.rank, rt.lo, rt.hi))
+	}
+	return pe - rt.lo
+}
+
+// SetDeliver installs the handler for inbound Charm envelopes. It runs
+// on connection reader goroutines; the handler must re-enqueue onto the
+// destination PE rather than execute in place.
+func (rt *Runtime) SetDeliver(fn func(*Env)) { rt.deliver = fn }
+
+// SetPutSink installs the handler for inbound one-sided put frames
+// (id = CkDirect handle id, payload = raw source bytes).
+func (rt *Runtime) SetPutSink(fn func(id int64, payload []byte)) { rt.putSink = fn }
+
+// SetPoll installs the CkDirect poll hook, translating the local PE
+// index the scheduler passes back to the global PE space.
+func (rt *Runtime) SetPoll(fn func(pe int, full bool) bool) {
+	lo := rt.lo
+	rt.rt.SetPoll(func(lpe int, full bool) bool { return fn(lo+lpe, full) })
+}
+
+// Enqueue schedules work on a locally hosted global PE.
+func (rt *Runtime) Enqueue(pe int, fn func()) { rt.rt.Enqueue(rt.localOf(pe), fn) }
+
+// After schedules a task on a locally hosted global PE after a delay.
+func (rt *Runtime) After(pe int, d sim.Time, fn func()) { rt.rt.After(rt.localOf(pe), d, fn) }
+
+// Kick wakes a locally hosted global PE's poll loop.
+func (rt *Runtime) Kick(pe int) { rt.rt.Kick(rt.localOf(pe)) }
+
+// Now returns local wall-clock time since the runtime was built.
+func (rt *Runtime) Now() sim.Time { return rt.rt.Now() }
+
+// Executed returns the local completed-task count.
+func (rt *Runtime) Executed() uint64 { return rt.rt.Executed() }
+
+// PutIssued and PutDetected expose the local work-credit pair.
+func (rt *Runtime) PutIssued()   { rt.rt.PutIssued() }
+func (rt *Runtime) PutDetected() { rt.rt.PutDetected() }
+
+// SendMsg ships one Charm envelope to the process hosting env.DstPE:
+// an eager frame when the encoding fits the threshold, a rendezvous
+// RTS/CTS/data exchange otherwise.
+func (rt *Runtime) SendMsg(env *Env) {
+	dst := rt.RankOf(env.DstPE)
+	b := EncodeEnv(env)
+	if len(b) <= rt.eagerMax {
+		rt.sent.Add(1)
+		rt.node.sendTo(dst, &Frame{Type: FEager, Run: rt.gen, Payload: b})
+		return
+	}
+	rt.xferMu.Lock()
+	id := rt.nextXfer
+	rt.nextXfer++
+	rt.xfers[id] = &pendingXfer{rank: dst, payload: b}
+	rt.xferMu.Unlock()
+	// The send counter rises at RTS time: the transfer is outstanding
+	// from the moment it is requested, so termination cannot conclude
+	// between the RTS and the data frame.
+	rt.sent.Add(1)
+	rt.node.sendTo(dst, &Frame{Type: FRTS, Run: rt.gen, A: id, B: int64(len(b))})
+}
+
+// SendCast ships one broadcast envelope to every other process; each
+// receiver fans it out to its local elements of the array.
+func (rt *Runtime) SendCast(env *Env) {
+	b := EncodeEnv(env)
+	for r := 0; r < rt.node.world; r++ {
+		if r == rt.node.rank {
+			continue
+		}
+		rt.sent.Add(1)
+		rt.node.sendTo(r, &Frame{Type: FCast, Run: rt.gen, Payload: b})
+	}
+}
+
+// SendPut ships a one-sided put: the raw source bytes, addressed by the
+// SPMD-identical CkDirect handle id. EncodeFrame copies the payload, so
+// the caller may reuse (or let the application overwrite) the source
+// buffer as soon as SendPut returns — matching the local-completion
+// semantics of the real backend's put.
+func (rt *Runtime) SendPut(dstPE int, handleID int64, payload []byte) {
+	rt.sent.Add(1)
+	rt.node.sendTo(rt.RankOf(dstPE), &Frame{Type: FPut, Run: rt.gen, A: handleID, Payload: payload})
+}
+
+// handleApp processes one app frame for this run. It runs on connection
+// reader goroutines. The credit discipline: any work the frame creates
+// is credited (Enqueue/PutIssued) BEFORE recv is incremented, so a
+// probe that sees matched sums cannot race ahead of uncredited work.
+func (rt *Runtime) handleApp(rank int, f Frame) {
+	switch f.Type {
+	case FEager, FData:
+		if f.Type == FData {
+			// A granted rendezvous body; the RTS was counted at issue,
+			// the data frame itself is the one counted receipt.
+		}
+		env, err := DecodeEnv(f.Payload)
+		if err != nil {
+			rt.abort(&NetError{Rank: rt.node.rank, Peer: rank, Op: "read", Err: err})
+			return
+		}
+		if rt.deliver != nil {
+			rt.deliver(&env)
+		}
+		rt.recv.Add(1)
+	case FRTS:
+		// Grant immediately: the socket-emulated receiver has no memory
+		// registration to perform, so CTS is just flow-control echo.
+		rt.node.sendTo(rank, &Frame{Type: FCTS, Run: rt.gen, A: f.A})
+	case FCTS:
+		rt.xferMu.Lock()
+		x := rt.xfers[f.A]
+		delete(rt.xfers, f.A)
+		rt.xferMu.Unlock()
+		if x != nil {
+			// Off the reader goroutine: a large data frame may block on a
+			// full outbox, and a reader must never block on sending.
+			go rt.node.sendTo(x.rank, &Frame{Type: FData, Run: rt.gen, A: f.A, Payload: x.payload})
+		}
+	case FPut:
+		if rt.putSink != nil {
+			rt.putSink(f.A, f.Payload)
+		}
+		rt.recv.Add(1)
+	case FCast:
+		env, err := DecodeEnv(f.Payload)
+		if err != nil {
+			rt.abort(&NetError{Rank: rt.node.rank, Peer: rank, Op: "read", Err: err})
+			return
+		}
+		if rt.deliver != nil {
+			rt.deliver(&env)
+		}
+		rt.recv.Add(1)
+	}
+}
+
+// localReport captures this process's termination state: idle when the
+// run has started and the only outstanding work credit is the standing
+// hold, plus the app-frame counters.
+func (rt *Runtime) localReport() (idle bool, s, r int64) {
+	idle = rt.started.Load() && rt.rt.Outstanding() == 1
+	return idle, rt.sent.Load(), rt.recv.Load()
+}
+
+// noteReport records a peer's answer to a termination probe.
+func (rt *Runtime) noteReport(rank int, f Frame) {
+	rt.repMu.Lock()
+	rt.reports[rank] = peerReport{epoch: f.A, idle: f.B == 1, s: f.C, r: f.D}
+	rt.repMu.Unlock()
+}
+
+// Run executes the run generation to distributed completion and returns
+// the local realrt elapsed time. Rank 0 drives termination detection;
+// every rank's local scheduler drains once its hold credit is released
+// by the coordinator's halt (or by an abort).
+func (rt *Runtime) Run() sim.Time {
+	rt.node.attach(rt)
+	rt.started.Store(true)
+	if rt.node.rank == 0 && rt.node.world > 1 {
+		go rt.coordinate()
+	}
+	d := rt.rt.Run()
+	close(rt.stopC)
+	rt.node.detach(rt)
+	return d
+}
+
+// coordinate is rank 0's termination loop: probe every rank each epoch,
+// and halt only after two consecutive epochs in which every rank was
+// idle and the global sent/received sums matched and did not change —
+// the second round proves no frame was in flight past the first.
+func (rt *Runtime) coordinate() {
+	tick := time.NewTicker(1 * time.Millisecond)
+	defer tick.Stop()
+	var epoch int64
+	var stable int
+	var lastS, lastR int64 = -1, -1
+	for {
+		select {
+		case <-rt.stopC:
+			return
+		case <-tick.C:
+		}
+		if rt.aborted.Load() {
+			return
+		}
+		epoch++
+		probe := Frame{Type: FProbe, Run: rt.gen, A: epoch}
+		for r := 1; r < rt.node.world; r++ {
+			rt.node.sendTo(r, &probe)
+		}
+		// Wait (bounded) for every rank's report for this epoch.
+		deadline := time.Now().Add(250 * time.Millisecond)
+		for {
+			if rt.epochComplete(epoch) {
+				break
+			}
+			if time.Now().After(deadline) || rt.aborted.Load() {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		if !rt.epochComplete(epoch) {
+			stable = 0
+			continue
+		}
+		idle, s, r := rt.localReport()
+		allIdle := idle
+		rt.repMu.Lock()
+		for rank := 1; rank < rt.node.world; rank++ {
+			rep := rt.reports[rank]
+			allIdle = allIdle && rep.idle
+			s += rep.s
+			r += rep.r
+		}
+		rt.repMu.Unlock()
+		if allIdle && s == r && s == lastS && r == lastR {
+			stable++
+		} else {
+			stable = 0
+		}
+		lastS, lastR = s, r
+		if stable >= 1 {
+			// Two consecutive matching epochs (this one and the one that
+			// set lastS/lastR): globally terminated.
+			rt.haltAll()
+			return
+		}
+	}
+}
+
+// epochComplete reports whether every remote rank has answered the
+// given probe epoch.
+func (rt *Runtime) epochComplete(epoch int64) bool {
+	rt.repMu.Lock()
+	defer rt.repMu.Unlock()
+	for rank := 1; rank < rt.node.world; rank++ {
+		if rt.reports[rank].epoch != epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// haltAll announces termination and releases the local hold.
+func (rt *Runtime) haltAll() {
+	f := Frame{Type: FHalt, Run: rt.gen}
+	for r := 1; r < rt.node.world; r++ {
+		rt.node.sendTo(r, &f)
+	}
+	rt.halt()
+}
+
+// halt releases the standing hold credit, letting the local scheduler
+// observe quiescence and return from Run.
+func (rt *Runtime) halt() {
+	if rt.node.world > 1 && rt.holdReleased.CompareAndSwap(false, true) {
+		rt.rt.PutDetected()
+	}
+}
+
+// abort records a fatal error and forces the run to unwind: the hold
+// credit is released so the local scheduler drains and Run returns,
+// with the error waiting in Errors.
+func (rt *Runtime) abort(err error) {
+	rt.errMu.Lock()
+	rt.errs = append(rt.errs, err)
+	rt.errMu.Unlock()
+	rt.aborted.Store(true)
+	rt.halt()
+}
+
+// Aborted reports whether the run was aborted.
+func (rt *Runtime) Aborted() bool { return rt.aborted.Load() }
+
+// Errors returns the fatal errors recorded during the run.
+func (rt *Runtime) Errors() []error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return append([]error(nil), rt.errs...)
+}

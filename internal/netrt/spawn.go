@@ -1,0 +1,68 @@
+package netrt
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// spawnedWorker is one self-spawned worker process.
+type spawnedWorker struct {
+	rank int
+	cmd  *exec.Cmd
+}
+
+// spawnWorkers launches ranks 1..world-1 as copies of this process's
+// command line, pointing them at the coordinator address. Each worker
+// re-parses the same flags plus the injected -net.rank/-net.world/
+// -net.coord overrides (later flag occurrences win), so a single
+// command — `pingpong -backend=net -net.world=2` — runs a whole world.
+func spawnWorkers(cfg Config, world int, coordAddr string) ([]*spawnedWorker, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("resolve own executable: %w", err)
+	}
+	var workers []*spawnedWorker
+	for r := 1; r < world; r++ {
+		args := append([]string(nil), os.Args[1:]...)
+		args = append(args,
+			fmt.Sprintf("-net.rank=%d", r),
+			fmt.Sprintf("-net.world=%d", world),
+			fmt.Sprintf("-net.coord=%s", coordAddr),
+		)
+		args = append(args, cfg.ExtraArgs...)
+		cmd := exec.Command(exe, args...)
+		// Workers share the parent's stderr so their diagnostics surface;
+		// stdout stays the parent's report channel alone.
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		cmd.Env = append(os.Environ(), cfg.ExtraEnv...)
+		if err := cmd.Start(); err != nil {
+			for _, w := range workers {
+				w.cmd.Process.Kill()
+			}
+			return nil, fmt.Errorf("spawn rank %d: %w", r, err)
+		}
+		workers = append(workers, &spawnedWorker{rank: r, cmd: cmd})
+	}
+	return workers, nil
+}
+
+// wait reaps the worker, killing it if it outlives the grace period (a
+// worker wedged after the parent finished must not hang the launcher).
+func (w *spawnedWorker) wait() error {
+	done := make(chan error, 1)
+	go func() { done <- w.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("netrt: worker rank %d: %w", w.rank, err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		w.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("netrt: worker rank %d did not exit; killed", w.rank)
+	}
+}

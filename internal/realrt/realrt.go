@@ -160,6 +160,11 @@ func (rt *Runtime) PutIssued() { rt.work.Add(1) }
 // PutDetected returns the credit taken by PutIssued.
 func (rt *Runtime) PutDetected() { rt.noteDone() }
 
+// Outstanding returns the current work-credit count (queued tasks,
+// pending timers, undetected puts). The distributed backend reads it to
+// report local idleness to the termination coordinator.
+func (rt *Runtime) Outstanding() int64 { return rt.work.Load() }
+
 // Kick wakes a PE's worker if it is parked. The put seam calls it after
 // the sentinel release-store: the put itself is genuinely one-sided (no
 // receiver involvement lands the bytes), the kick only shortcuts the
