@@ -5,6 +5,12 @@
 //
 //	cktrace -app stencil -pes 8 -mode ckd
 //	cktrace -app fem -pes 16 -mode msg -out trace.json
+//	cktrace -app stencil -backend real -mode ckd
+//
+// Under -backend=real the timeline recorder (which replays virtual
+// time) is unavailable; instead the run reports the live runtime's
+// trace counters, including the allocator and pool pressure counters
+// (mem.*, pool.*) described in DESIGN.md §9.
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/apps/fem"
 	"repro/internal/apps/matmul"
@@ -31,7 +38,7 @@ func main() {
 		pes         = flag.Int("pes", 8, "processing elements")
 		modeName    = flag.String("mode", "ckd", "msg | ckd")
 		out         = flag.String("out", "", "write Chrome trace JSON here instead of the summary")
-		backendName = flag.String("backend", "sim", "sim only: the timeline recorder needs virtual time")
+		backendName = flag.String("backend", "sim", "sim (timeline + spans) | real (wall clock, counter summary)")
 		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
@@ -44,8 +51,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if be != charm.SimBackend {
-		fatal(fmt.Errorf("the timeline recorder replays virtual time and is sim-only; run the apps directly on the live backends (e.g. stencil -backend=real, or -backend=net for multi-process)"))
+	switch be {
+	case charm.SimBackend:
+	case charm.RealBackend:
+		// The timeline recorder replays virtual time; on the live backend
+		// cktrace reports the runtime's trace counters instead.
+		if *out != "" {
+			fatal(fmt.Errorf("-out (Chrome trace JSON) needs the sim backend's virtual timeline"))
+		}
+		if *faultSpec != "" || *noise || *reliable || *watchdog != "off" {
+			fatal(fmt.Errorf("chaos scenarios (faults, noise, reliability, watchdog) are sim-only"))
+		}
+	default:
+		fatal(fmt.Errorf("the net backend is multi-process; run the apps directly (e.g. stencil -backend=net) and read the counters from each rank's report"))
 	}
 
 	var plat *netmodel.Platform
@@ -70,9 +88,13 @@ func main() {
 		fatal(err)
 	}
 
-	tl := trace.NewTimeline(0)
+	var tl *trace.Timeline
+	if be == charm.SimBackend {
+		tl = trace.NewTimeline(0)
+	}
 	var total sim.Time
 	var errs []error
+	var counters map[string]int64
 	switch *appName {
 	case "stencil":
 		mode := stencil.Msg
@@ -81,10 +103,11 @@ func main() {
 		}
 		res := stencil.Run(stencil.Config{
 			Platform: plat, Mode: mode, PEs: *pes, Virtualization: 4,
-			NX: 128, NY: 128, NZ: 64, Iters: 3, Warmup: 1, Timeline: tl, Chaos: sc,
+			NX: 128, NY: 128, NZ: 64, Iters: 3, Warmup: 1,
+			Backend: be, Timeline: tl, Chaos: sc,
 		})
 		total = res.IterTime * sim.Time(res.Iters)
-		errs = res.Errors
+		errs, counters = res.Errors, res.Counters
 	case "matmul":
 		mode := matmul.Msg
 		if ckd {
@@ -92,10 +115,10 @@ func main() {
 		}
 		res := matmul.Run(matmul.Config{
 			Platform: plat, Mode: mode, PEs: *pes, N: 512,
-			Iters: 2, Warmup: 1, Timeline: tl, Chaos: sc,
+			Iters: 2, Warmup: 1, Backend: be, Timeline: tl, Chaos: sc,
 		})
 		total = res.IterTime * sim.Time(res.Iters)
-		errs = res.Errors
+		errs, counters = res.Errors, res.Counters
 	case "openatom":
 		mode := openatom.Msg
 		if ckd {
@@ -104,10 +127,10 @@ func main() {
 		res := openatom.Run(openatom.Config{
 			Platform: plat, Mode: mode, PEs: *pes,
 			NStates: 32, NPlanes: 4, Grain: 8, Points: 256,
-			Steps: 2, Warmup: 1, Timeline: tl, Chaos: sc,
+			Steps: 2, Warmup: 1, Backend: be, Timeline: tl, Chaos: sc,
 		})
 		total = res.StepTime * sim.Time(res.Steps)
-		errs = res.Errors
+		errs, counters = res.Errors, res.Counters
 	case "fem":
 		mode := fem.Msg
 		if ckd {
@@ -115,10 +138,11 @@ func main() {
 		}
 		res := fem.Run(fem.Config{
 			Platform: plat, Mode: mode, PEs: *pes, Virtualization: 2,
-			NX: 128, NY: 128, Iters: 3, Warmup: 1, Timeline: tl, Chaos: sc,
+			NX: 128, NY: 128, Iters: 3, Warmup: 1,
+			Backend: be, Timeline: tl, Chaos: sc,
 		})
 		total = res.IterTime * sim.Time(res.Iters)
-		errs = res.Errors
+		errs, counters = res.Errors, res.Counters
 	default:
 		fatal(fmt.Errorf("unknown app %q", *appName))
 	}
@@ -130,6 +154,13 @@ func main() {
 			os.Exit(1)
 		}
 	}()
+
+	if be == charm.RealBackend {
+		fmt.Printf("%s on %d PEs (%s parameters), mode %s, real backend: measured window %v\n",
+			*appName, *pes, plat.Name, *modeName, total)
+		printCounters(counters)
+		return
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -167,6 +198,46 @@ func main() {
 	for i := 0; i < 5 && i < len(spans); i++ {
 		s := spans[i]
 		fmt.Printf("  PE %3d  %-10s %v  [%v .. %v]\n", s.PE, s.Name, s.End-s.Start, s.Start, s.End)
+	}
+}
+
+// printCounters reports the run's trace counters, leading with the
+// memory-discipline groups (mem.* allocator/GC pressure, pool.* buffer
+// pool traffic — DESIGN.md §9) and then everything else that fired.
+func printCounters(counters map[string]int64) {
+	group := func(title, prefix string) {
+		var keys []string
+		for k := range counters {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			return
+		}
+		sort.Strings(keys)
+		fmt.Printf("\n%s:\n", title)
+		for _, k := range keys {
+			fmt.Printf("  %-18s %12d\n", k, counters[k])
+		}
+	}
+	group("allocator / GC (whole run)", "mem.")
+	group("buffer pool", "pool.")
+	if gets, misses := counters["pool.gets"], counters["pool.misses"]; gets > 0 {
+		fmt.Printf("  %-18s %11.1f%%\n", "hit rate", 100*float64(gets-misses)/float64(gets))
+	}
+	var rest []string
+	for k := range counters {
+		if !strings.HasPrefix(k, "mem.") && !strings.HasPrefix(k, "pool.") && counters[k] != 0 {
+			rest = append(rest, k)
+		}
+	}
+	if len(rest) > 0 {
+		sort.Strings(rest)
+		fmt.Println("\nother counters:")
+		for _, k := range rest {
+			fmt.Printf("  %-18s %12d\n", k, counters[k])
+		}
 	}
 }
 

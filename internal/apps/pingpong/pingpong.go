@@ -143,8 +143,14 @@ func runCharm(cfg Config) Result {
 	var start, end sim.Time
 	left := cfg.Iters
 	var pingEP, pongEP charm.EP
+	// Each endpoint reuses one preallocated message — the Charm++ idiom of
+	// keeping a persistent message for a regular exchange. Strict
+	// alternation makes this safe: a side's previous send is fully
+	// delivered before it sends again, on every backend.
+	pingMsg := &charm.Message{Size: cfg.Size}
+	pongMsg := &charm.Message{Size: cfg.Size}
 	pingEP = arr.EntryMethod("ping", func(ctx *charm.Ctx, msg *charm.Message) {
-		ctx.Send(arr, charm.Idx1(0), pongEP, &charm.Message{Size: cfg.Size})
+		ctx.Send(arr, charm.Idx1(0), pongEP, pongMsg)
 	})
 	pongEP = arr.EntryMethod("pong", func(ctx *charm.Ctx, msg *charm.Message) {
 		left--
@@ -152,11 +158,11 @@ func runCharm(cfg Config) Result {
 			end = ctx.Now()
 			return
 		}
-		ctx.Send(arr, charm.Idx1(1), pingEP, &charm.Message{Size: cfg.Size})
+		ctx.Send(arr, charm.Idx1(1), pingEP, pingMsg)
 	})
 	rts.StartAt(peA, func(ctx *charm.Ctx) {
 		start = ctx.Now()
-		ctx.Send(arr, charm.Idx1(1), pingEP, &charm.Message{Size: cfg.Size})
+		ctx.Send(arr, charm.Idx1(1), pingEP, pingMsg)
 	})
 	rts.Run()
 	return finish(cfg, rts, start, end)

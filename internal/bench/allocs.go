@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/apps/pingpong"
+	"repro/internal/apps/stencil"
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/netrt"
+)
+
+// Pre-pool baselines for the allocs experiment: allocator pressure of the
+// same configurations measured at commit f8a5236 (before the pooled
+// buffers, zero-copy deposits and vectored writer landed), with the same
+// methodology — global Mallocs delta across a whole run, divided by the
+// iteration count, so per-run setup amortizes identically on both sides
+// of the comparison. Units: pingpong is allocs per round trip at 1024 B,
+// stencil is allocs per iteration of the 16x16x16x8 halo exchange.
+const (
+	allocsBaseRealMsg     = 14.1
+	allocsBaseRealCkd     = 6.0
+	allocsBaseNetMsg      = 20.5
+	allocsBaseNetCkd      = 12.5
+	allocsBaseRealStencil = 833.2
+	allocsBaseNetStencil  = 987.5
+)
+
+// Allocs measures allocator pressure on the live backends: heap
+// allocations and bytes per operation for the §3 pingpong (both transfer
+// modes, real and net) and per iteration for the §4.1 stencil, against
+// the pre-pool baselines recorded above. This is the regression artifact
+// for the zero-allocation hot paths: pooled wire buffers, zero-copy FPut
+// deposits and the vectored batching writer (DESIGN.md §9).
+func Allocs(scale Scale) []*Table {
+	return []*Table{allocsPingpong(scale), allocsStencil(scale)}
+}
+
+// measureAllocs runs fn after a GC and returns the global (Mallocs,
+// TotalAlloc) deltas it caused. Global means background goroutines
+// (keepalive tickers, the other ranks of an in-process world) are
+// counted too — deliberately: the baselines were captured the same way,
+// and a pool that merely moved allocations into a helper goroutine
+// should not be able to hide them.
+func measureAllocs(fn func()) (mallocs, bytes uint64) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	fn()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc
+}
+
+// allocsPingpong sweeps backend x mode at a fixed 1024 B message — under
+// the eager threshold, so the net rows price the pooled eager path, and
+// the ckdirect rows price the put fast path (precomputed PutOp under
+// real, streamed in-place deposit under net).
+func allocsPingpong(scale Scale) *Table {
+	realIters, netIters := 2000, 1000
+	if scale == Paper {
+		realIters, netIters = 10000, 4000
+	}
+	t := &Table{
+		ID:      "allocs-pingpong",
+		Title:   "Allocator pressure per pingpong round trip (1024 B)",
+		ColHead: "Backend/Mode",
+		Columns: []string{"real/msg", "real/ckd", "net/msg", "net/ckd"},
+		Unit:    "allocs per op / bytes per op / us RTT",
+		Notes: []string{
+			"global Mallocs delta over a whole run divided by iterations; per-run setup amortizes and background goroutines are counted (same methodology as the pre-pool baselines)",
+			"pre-pool rows are the same configurations measured before pooled buffers, zero-copy deposits and the vectored writer (commit f8a5236)",
+		},
+	}
+	baselines := []float64{allocsBaseRealMsg, allocsBaseRealCkd, allocsBaseNetMsg, allocsBaseNetCkd}
+
+	allocs := make([]float64, 0, 4)
+	bytesOp := make([]float64, 0, 4)
+	rtts := make([]float64, 0, 4)
+
+	platReal := *netmodel.AbeIB
+	platReal.Name = "host(shm)"
+	platReal.CoresPerNode = 1
+	for _, mode := range []pingpong.Mode{pingpong.CharmMsg, pingpong.CkDirect} {
+		var res pingpong.Result
+		m, by := measureAllocs(func() {
+			res = pingpong.Run(pingpong.Config{
+				Platform: &platReal, Mode: mode, Size: 1024,
+				Iters: realIters, Backend: charm.RealBackend,
+			})
+		})
+		if len(res.Errors) > 0 {
+			panic(fmt.Sprintf("bench: allocs real pingpong %s: %v", mode, res.Errors))
+		}
+		allocs = append(allocs, float64(m)/float64(realIters))
+		bytesOp = append(bytesOp, float64(by)/float64(realIters))
+		rtts = append(rtts, res.RTTMicros())
+	}
+
+	platNet := *netmodel.AbeIB
+	platNet.Name = "host(tcp)"
+	platNet.CoresPerNode = 1
+	nodes, err := netrt.StartLocal(2)
+	if err != nil {
+		panic(fmt.Sprintf("bench: allocs world: %v", err))
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, mode := range []pingpong.Mode{pingpong.CharmMsg, pingpong.CkDirect} {
+		var res []pingpong.Result
+		m, by := measureAllocs(func() {
+			res = runNetWorld(nodes, pingpong.Config{
+				Platform: &platNet, Mode: mode, Size: 1024,
+				Iters: netIters, Backend: charm.NetBackend,
+			})
+		})
+		allocs = append(allocs, float64(m)/float64(netIters))
+		bytesOp = append(bytesOp, float64(by)/float64(netIters))
+		rtts = append(rtts, res[0].RTTMicros())
+	}
+
+	t.AddRow("allocs/op", allocs...)
+	t.AddRow("allocs/op (pre-pool)", baselines...)
+	reductions := make([]float64, len(allocs))
+	for i := range allocs {
+		if allocs[i] > 0 {
+			reductions[i] = baselines[i] / allocs[i]
+		}
+	}
+	t.AddRow("reduction (x)", reductions...)
+	t.AddRow("B/op", bytesOp...)
+	t.AddRow("RTT (us)", rtts...)
+	return t
+}
+
+// allocsStencil measures the validated halo exchange: msg and ckd
+// generations together, per iteration, on one process (real) and across
+// a two-rank mesh (net) — the configuration whose ghost frames exercise
+// the pooled encode, eager deposit and vectored writer under fan-out.
+func allocsStencil(scale Scale) *Table {
+	iters, warmup := 4, 1
+	if scale == Paper {
+		iters, warmup = 8, 2
+	}
+	t := &Table{
+		ID:      "allocs-stencil",
+		Title:   "Allocator pressure per stencil iteration (msg + ckd generations)",
+		ColHead: "Backend",
+		Columns: []string{"real", "net(2)"},
+		Unit:    "allocs per iteration",
+		Notes: []string{
+			fmt.Sprintf("domain 16x16x8 on 4 PEs, virtualization 2, validated; %d timed iterations, both generations measured together", iters),
+			"pre-pool row measured before the memory-discipline layer (commit f8a5236)",
+		},
+	}
+	cfg := stencil.Config{
+		Platform: netmodel.AbeIB, PEs: 4, Virtualization: 2,
+		NX: 16, NY: 16, NZ: 8, Iters: iters, Warmup: warmup,
+		Validate: true,
+	}
+
+	allocs := make([]float64, 0, 2)
+
+	realCfg := cfg
+	realCfg.Backend = charm.RealBackend
+	m, _ := measureAllocs(func() {
+		msg, ckd, _ := stencil.Improvement(realCfg)
+		if len(msg.Errors) > 0 || len(ckd.Errors) > 0 {
+			panic(fmt.Sprintf("bench: allocs real stencil: %v", append(msg.Errors, ckd.Errors...)))
+		}
+	})
+	allocs = append(allocs, float64(m)/float64(iters))
+
+	nodes, err := netrt.StartLocal(2)
+	if err != nil {
+		panic(fmt.Sprintf("bench: allocs stencil world: %v", err))
+	}
+	m, _ = measureAllocs(func() {
+		type out struct{ msg, ckd stencil.Result }
+		results := make([]out, 2)
+		done := make(chan int, 2)
+		for r, n := range nodes {
+			r, n := r, n
+			go func() {
+				c := cfg
+				c.Backend = charm.NetBackend
+				c.Net = n
+				msg, ckd, _ := stencil.Improvement(c)
+				results[r] = out{msg, ckd}
+				done <- r
+			}()
+		}
+		<-done
+		<-done
+		for r := range results {
+			if len(results[r].msg.Errors) > 0 || len(results[r].ckd.Errors) > 0 {
+				panic(fmt.Sprintf("bench: allocs net stencil rank %d: %v",
+					r, append(results[r].msg.Errors, results[r].ckd.Errors...)))
+			}
+		}
+	})
+	for _, n := range nodes {
+		n.Close()
+	}
+	allocs = append(allocs, float64(m)/float64(iters))
+
+	t.AddRow("allocs/iter", allocs...)
+	t.AddRow("allocs/iter (pre-pool)", allocsBaseRealStencil, allocsBaseNetStencil)
+	reductions := make([]float64, len(allocs))
+	base := []float64{allocsBaseRealStencil, allocsBaseNetStencil}
+	for i := range allocs {
+		if allocs[i] > 0 {
+			reductions[i] = base[i] / allocs[i]
+		}
+	}
+	t.AddRow("reduction (x)", reductions...)
+	return t
+}

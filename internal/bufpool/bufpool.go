@@ -1,0 +1,210 @@
+// Package bufpool is the memory-discipline layer for the real and net
+// backends: a size-classed, sync.Pool-backed free list of byte buffers
+// serving every hot-path allocation of the wire stack — frame encode,
+// the per-peer batching writer, and the eager receive path. The paper's
+// argument is that CkDirect wins by removing per-message costs; without
+// this layer the Go allocator and GC quietly reintroduce them as the
+// un-modelled "OS bottleneck" of §1.
+//
+// Ownership rule: a buffer obtained from Get is owned by exactly one
+// party at a time and must be Put back by whoever holds it last. On the
+// transmit path that is the peer writer (after the writev); on the
+// receive path it is the connection reader (after dispatch returns).
+// Any path that retains bytes beyond that point (buffered frames for a
+// future run generation, decoded message payloads handed to user
+// handlers) must copy out first — see DESIGN.md §9.
+//
+// Debug mode (enabled for every pool in -race builds, and explicitly by
+// tests) tracks outstanding buffers so a leak is observable and a
+// double Put panics at the second Put, not as corruption three frames
+// later.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Size classes: powers of four from 64 B to 1 MiB. Get rounds up to the
+// smallest class that fits, so a pooled buffer wastes at most 4x its
+// payload; requests above maxClassSize fall through to the plain
+// allocator and are dropped on Put — the pool never pins worst-case
+// burst memory (see the shrink policy note on Put).
+const (
+	minClassSize = 64
+	maxClassSize = 1 << 20
+	numClasses   = 8 // 64, 256, 1Ki, 4Ki, 16Ki, 64Ki, 256Ki, 1Mi
+)
+
+// classSize returns the byte size of class c.
+func classSize(c int) int { return minClassSize << (2 * uint(c)) }
+
+// classFor returns the smallest class holding n bytes, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	for c := 0; c < numClasses; c++ {
+		if n <= classSize(c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// classForCap returns the class whose size is exactly c, or -1. Pooled
+// buffers always carry their class size as capacity, so an exact match
+// is both necessary and sufficient for safe reuse.
+func classForCap(c int) int {
+	if c < minClassSize || c > maxClassSize {
+		return -1
+	}
+	for k := 0; k < numClasses; k++ {
+		if c == classSize(k) {
+			return k
+		}
+	}
+	return -1
+}
+
+// Stats is a point-in-time snapshot of pool activity.
+type Stats struct {
+	Gets     int64 // total Get calls
+	Puts     int64 // total Put calls that recycled a buffer
+	Misses   int64 // Gets that found an empty class and allocated
+	Oversize int64 // Gets above the largest class (unpooled)
+	Dropped  int64 // Puts of unpooled or foreign buffers (discarded)
+}
+
+// Pool is one size-classed buffer pool. The zero value is NOT ready;
+// use New. Most code uses the package-level Default pool.
+type Pool struct {
+	classes [numClasses]sync.Pool
+
+	gets, puts, misses, oversize, dropped atomic.Int64
+
+	debug atomic.Bool
+	mu    sync.Mutex
+	live  map[unsafe.Pointer]int // outstanding buffers -> requested len
+}
+
+// New builds an empty pool.
+func New() *Pool {
+	p := &Pool{live: make(map[unsafe.Pointer]int)}
+	if raceEnabled {
+		p.debug.Store(true)
+	}
+	return p
+}
+
+// Default is the process-wide pool used by the netrt wire stack.
+var Default = New()
+
+// Get returns a buffer of length n (capacity the class size). The
+// buffer contents are unspecified — callers append from [:0] or
+// overwrite every byte. Buffers above the largest class are plain
+// allocations the pool will not retain.
+func (p *Pool) Get(n int) []byte {
+	p.gets.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		p.oversize.Add(1)
+		b := make([]byte, n)
+		p.track(b, n)
+		return b
+	}
+	var b []byte
+	if v := p.classes[c].Get(); v != nil {
+		b = unsafe.Slice(v.(*byte), classSize(c))[:n]
+	} else {
+		p.misses.Add(1)
+		b = make([]byte, n, classSize(c))
+	}
+	p.track(b, n)
+	return b
+}
+
+// Put returns a buffer to its size class. Only buffers whose capacity
+// exactly matches a class are retained; anything else — oversize
+// allocations from Get, foreign slices — is dropped to the GC. That
+// drop IS the shrink policy: after a burst of giant frames the pool
+// holds nothing above maxClassSize, so retained memory is bounded by
+// (buffers in flight) x (largest class), not by the worst burst ever
+// seen.
+func (p *Pool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	p.untrack(b)
+	c := classForCap(cap(b))
+	if c < 0 {
+		p.dropped.Add(1)
+		return
+	}
+	p.puts.Add(1)
+	p.classes[c].Put(unsafe.SliceData(b))
+}
+
+// track records an outstanding buffer in debug mode.
+func (p *Pool) track(b []byte, n int) {
+	if !p.debug.Load() || cap(b) == 0 {
+		return
+	}
+	ptr := unsafe.Pointer(unsafe.SliceData(b[:cap(b)]))
+	p.mu.Lock()
+	p.live[ptr] = n
+	p.mu.Unlock()
+}
+
+// untrack validates a Put in debug mode: the buffer must be
+// outstanding, so a second Put (or a Put of a slice never issued by
+// this pool) panics at the offending call site.
+func (p *Pool) untrack(b []byte) {
+	if !p.debug.Load() {
+		return
+	}
+	ptr := unsafe.Pointer(unsafe.SliceData(b))
+	p.mu.Lock()
+	_, ok := p.live[ptr]
+	delete(p.live, ptr)
+	p.mu.Unlock()
+	if !ok {
+		panic(fmt.Sprintf("bufpool: double Put (or Put of a foreign buffer) of %d-byte buffer", cap(b)))
+	}
+}
+
+// SetDebug toggles leak/double-free tracking. Turning it off clears the
+// outstanding set. Debug mode is on by default in -race builds.
+func (p *Pool) SetDebug(on bool) {
+	p.debug.Store(on)
+	if !on {
+		p.mu.Lock()
+		clear(p.live)
+		p.mu.Unlock()
+	}
+}
+
+// Outstanding reports how many buffers are checked out (debug mode
+// only; always 0 otherwise). A nonzero value once all traffic has
+// drained is a leak.
+func (p *Pool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.live)
+}
+
+// Stats snapshots the activity counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:     p.gets.Load(),
+		Puts:     p.puts.Load(),
+		Misses:   p.misses.Load(),
+		Oversize: p.oversize.Load(),
+		Dropped:  p.dropped.Load(),
+	}
+}
+
+// Get and Put on the Default pool.
+func Get(n int) []byte { return Default.Get(n) }
+func Put(b []byte)     { Default.Put(b) }

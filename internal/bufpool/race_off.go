@@ -1,0 +1,8 @@
+//go:build !race
+
+package bufpool
+
+// RaceEnabled reports whether this build carries the race detector.
+const RaceEnabled = false
+
+const raceEnabled = false

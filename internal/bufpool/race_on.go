@@ -1,0 +1,11 @@
+//go:build race
+
+package bufpool
+
+// RaceEnabled reports whether this build carries the race detector.
+// Debug (leak/double-free) tracking defaults on in race builds, and
+// allocation-count regression tests skip themselves — the detector's
+// instrumentation changes both cost and alloc counts.
+const RaceEnabled = true
+
+const raceEnabled = true

@@ -36,6 +36,7 @@ type element struct {
 	idx Index
 	pe  int
 	obj interface{}
+	ctx *Ctx // cached delivery context: Ctx is immutable, so one per element serves every entry method
 }
 
 // Array is a chare array: a collection of elements indexed by Index,
@@ -113,6 +114,7 @@ func (a *Array) Insert(idx Index, obj interface{}) {
 		panic(fmt.Sprintf("charm: map sent %s[%s] to invalid PE %d", a.name, idx, pe))
 	}
 	el := &element{idx: idx, pe: pe, obj: obj}
+	el.ctx = &Ctx{rts: a.rts, pe: pe, arr: a, idx: idx, obj: obj, elem: el}
 	a.elems[idx] = el
 	a.perPE[pe] = append(a.perPE[pe], el)
 }
@@ -186,7 +188,7 @@ func (c *Ctx) Send(a *Array, idx Index, ep EP, msg *Message) {
 }
 
 func (a *Array) ctxFor(el *element) *Ctx {
-	return &Ctx{rts: a.rts, pe: el.pe, arr: a, idx: el.idx, obj: el.obj, elem: el}
+	return el.ctx
 }
 
 // Broadcast delivers msg to every element's entry method ep. Distribution

@@ -2,11 +2,14 @@ package charm
 
 import (
 	"fmt"
+	"runtime"
 
+	"repro/internal/bufpool"
 	"repro/internal/netmodel"
 	"repro/internal/netrt"
 	"repro/internal/realrt"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Backend selects the execution substrate the runtime drives.
@@ -183,7 +186,7 @@ func (b *realBackend) run() sim.Time {
 	for _, r := range b.rts.reducers {
 		r.freeze()
 	}
-	return b.rt.Run()
+	return b.rts.runWithMemStats(b.rt.Run)
 }
 
 func (b *realBackend) executed() uint64 { return b.rt.Executed() }
@@ -237,7 +240,7 @@ func (b *netBackend) run() sim.Time {
 	for _, r := range b.rts.reducers {
 		r.freeze()
 	}
-	t := b.nrt.Run()
+	t := b.rts.runWithMemStats(b.nrt.Run)
 	// Network failures (a dead peer, a corrupt frame) surface through the
 	// same error channel as contract violations.
 	for _, err := range b.nrt.Errors() {
@@ -247,3 +250,33 @@ func (b *netBackend) run() sim.Time {
 }
 
 func (b *netBackend) executed() uint64 { return b.nrt.Executed() }
+
+// runWithMemStats brackets a live-backend run with allocator, GC and
+// wire-pool accounting, recording the deltas as mem.* / pool.* counters.
+// Only the real and net backends call it: their costs are wall-clock
+// real, so the allocator's contribution is a measurable overhead (the
+// quantity this repo's zero-allocation hot paths exist to remove). The
+// sim backend must never record these — its counter sets are compared
+// wholesale by determinism tests, and allocator behaviour is not
+// deterministic.
+func (rts *RTS) runWithMemStats(run func() sim.Time) sim.Time {
+	rec := rts.rec
+	if rec == nil {
+		return run()
+	}
+	poolBefore := bufpool.Default.Stats()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t := run()
+	runtime.ReadMemStats(&after)
+	poolAfter := bufpool.Default.Stats()
+	rec.Incr(trace.CntMemAllocs, int64(after.Mallocs-before.Mallocs))
+	rec.Incr(trace.CntMemBytes, int64(after.TotalAlloc-before.TotalAlloc))
+	rec.Incr(trace.CntMemGCPauseNS, int64(after.PauseTotalNs-before.PauseTotalNs))
+	rec.Incr(trace.CntMemGCs, int64(after.NumGC-before.NumGC))
+	rec.Incr(trace.CntPoolGets, poolAfter.Gets-poolBefore.Gets)
+	rec.Incr(trace.CntPoolPuts, poolAfter.Puts-poolBefore.Puts)
+	rec.Incr(trace.CntPoolMisses, poolAfter.Misses-poolBefore.Misses)
+	rec.Incr(trace.CntPoolOversize, poolAfter.Oversize-poolBefore.Oversize)
+	return t
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
 	"repro/internal/netrt"
@@ -280,42 +281,92 @@ func (rts *RTS) cloneForReal(msg *Message) *Message {
 	return &m
 }
 
+// delivery is one pooled wire-delivery record: the handler, its context,
+// an inline Message and a closure built once per record that runs the
+// handler and then recycles everything. Steady-state eager receive
+// therefore allocates nothing per message — the record, its Message and
+// its closure all come back through deliveryPool. The ownership contract
+// this encodes (DESIGN.md §9): a wire-delivered *Message and its Data
+// are borrowed for the duration of the entry method; handlers that keep
+// either past their own return must copy out.
+type delivery struct {
+	h      Handler
+	ctx    *Ctx
+	peCtx  Ctx // backing store for EnvPE deliveries (array deliveries use the element's cached Ctx)
+	msg    Message
+	pooled []byte
+	run    func()
+}
+
+var deliveryPool sync.Pool
+
+// getDelivery returns a recycled (or fresh) delivery record. The run
+// closure is created only on a pool miss and survives recycling: it
+// reads the record's current fields, so one closure serves every reuse.
+func getDelivery() *delivery {
+	if v := deliveryPool.Get(); v != nil {
+		return v.(*delivery)
+	}
+	d := &delivery{}
+	d.run = func() {
+		d.h(d.ctx, &d.msg)
+		bufpool.Put(d.pooled)
+		run := d.run
+		*d = delivery{run: run} // drop references so the pool pins nothing
+		deliveryPool.Put(d)
+	}
+	return d
+}
+
 // deliverWire is the NetBackend's inbound dispatcher: it re-binds a wire
 // envelope's ordinal identities (array, index, EP) to this process's
 // SPMD-identical registration tables and enqueues the handler on the
 // destination PE. It runs on connection reader goroutines; everything
 // malformed is reported, never panicked — a corrupt or mismatched frame
 // from another process must not take this one down.
-func (rts *RTS) deliverWire(env *netrt.Env) {
-	msg := &Message{Size: env.Size, Tag: env.Tag, Val: env.Val, Vals: env.Vals, Data: env.Data}
+//
+// When pooled is non-nil the envelope's Data aliases that pooled wire
+// buffer and this dispatcher owns it: every exit path either returns it
+// to the pool (error paths, and the delivery record after the handler
+// completes) — the zero-copy eager receive. Handlers that retain
+// message bytes past their own return must copy them out.
+func (rts *RTS) deliverWire(env netrt.Env, pooled []byte) {
 	switch env.Kind {
 	case netrt.EnvPE:
 		if env.EP < 0 || env.EP >= len(rts.peEPs) {
 			rts.ReportError(fmt.Errorf("charm: wire message for unregistered PE handler %d", env.EP))
+			bufpool.Put(pooled)
 			return
 		}
 		if !rts.HostsPE(env.DstPE) {
 			rts.ReportError(fmt.Errorf("charm: wire message for PE %d, not hosted here", env.DstPE))
+			bufpool.Put(pooled)
 			return
 		}
-		h := rts.peEPs[env.EP]
-		dst := env.DstPE
-		rts.netrt.Enqueue(dst, func() {
-			h(&Ctx{rts: rts, pe: dst}, msg)
-		})
+		d := getDelivery()
+		d.h = rts.peEPs[env.EP]
+		d.peCtx = Ctx{rts: rts, pe: env.DstPE}
+		d.ctx = &d.peCtx
+		d.msg = Message{Size: env.Size, Tag: env.Tag, Val: env.Val, Vals: env.Vals, Data: env.Data}
+		d.pooled = pooled
+		rts.netrt.Enqueue(env.DstPE, d.run)
 	case netrt.EnvArray:
-		a, el, ok := rts.wireElement(env)
+		a, el, ok := rts.wireElement(&env)
 		if !ok {
+			bufpool.Put(pooled)
 			return
 		}
 		if !rts.HostsPE(el.pe) {
 			rts.ReportError(fmt.Errorf("charm: wire message for %s[%s] on PE %d, not hosted here", a.name, el.idx, el.pe))
+			bufpool.Put(pooled)
 			return
 		}
-		h := a.eps[env.EP]
-		rts.netrt.Enqueue(el.pe, func() {
-			h(a.ctxFor(el), msg)
-		})
+		d := getDelivery()
+		d.h = a.eps[env.EP]
+		d.ctx = a.ctxFor(el)
+		d.msg = Message{Size: env.Size, Tag: env.Tag, Val: env.Val, Vals: env.Vals, Data: env.Data}
+		d.pooled = pooled
+		rts.netrt.Enqueue(el.pe, d.run)
 	case netrt.EnvCast:
 		if env.Array < 0 || env.Array >= len(rts.arrays) {
 			rts.ReportError(fmt.Errorf("charm: wire broadcast for unknown array ordinal %d", env.Array))
@@ -326,11 +377,25 @@ func (rts *RTS) deliverWire(env *netrt.Env) {
 			rts.ReportError(fmt.Errorf("charm: wire broadcast for unregistered EP %d on %s", env.EP, a.name))
 			return
 		}
+		// A broadcast fans out to every local element — a multi-consumer
+		// message with no single release point — so it rides one plain
+		// heap Message shared by all deliveries, never a pooled record.
+		msg := &Message{Size: env.Size, Tag: env.Tag, Val: env.Val, Vals: env.Vals, Data: env.Data}
+		if pooled != nil {
+			// Defensive: netrt copies broadcasts out of the wire buffer
+			// before delivery. If a pooled broadcast ever arrives, copy
+			// here and release immediately.
+			if msg.Data != nil {
+				msg.Data = append([]byte(nil), msg.Data...)
+			}
+			bufpool.Put(pooled)
+		}
+		h := a.eps[env.EP]
 		for pe := rts.netrt.Lo(); pe < rts.netrt.Hi(); pe++ {
 			for _, el := range a.perPE[pe] {
 				el := el
 				rts.netrt.Enqueue(pe, func() {
-					a.eps[env.EP](a.ctxFor(el), msg)
+					h(a.ctxFor(el), msg)
 				})
 			}
 		}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/charm"
 	"repro/internal/machine"
+	"repro/internal/netmodel"
 	"repro/internal/netrt"
 	"repro/internal/sim"
 )
@@ -89,9 +90,23 @@ type Handle struct {
 	sendPE  int
 	sendBuf *machine.Region
 
-	state    State
-	inPollQ  bool
-	pollIdx  int // position in the PE's polling tier while inPollQ
+	// putOp is the prebuilt transfer op for the real and net backends,
+	// assembled once at AssocLocal so the put fast path allocates
+	// nothing: the Execute/WirePayload closures and the receiver Ctx
+	// would otherwise be fresh heap objects on every Put.
+	putOp   charm.PutOp
+	recvCtx *charm.Ctx
+
+	// tail8 stages the final 8 bytes of a streamed inbound put: the
+	// sentinel word must not land in the buffer until every other byte
+	// has, so the stream deposit parks it here before the publishing
+	// release-store. Only the owning connection's reader touches it
+	// (one sender rank per channel).
+	tail8 [8]byte
+
+	state   State
+	inPollQ bool
+	pollIdx int // position in the PE's polling tier while inPollQ
 	// pollCold marks which tier of the PE's poll set holds the handle:
 	// hot handles are scanned every scheduler pass, cold ones only on the
 	// periodic full scan (real backend; see real.go). pollMisses counts
@@ -221,6 +236,7 @@ func NewManager(rts *charm.RTS) *Manager {
 		m.net = nrt
 		nrt.SetPoll(m.realPoll)
 		nrt.SetPutSink(m.netPutSink)
+		nrt.SetPutStream(m.netPutStream)
 		return m
 	}
 	plat := rts.Platform()
@@ -293,6 +309,10 @@ func (m *Manager) createHandle(pe int, buf *machine.Region, oob uint64, cb func(
 			return nil, fmt.Errorf("ckdirect: handle %d sentinel: %v (size the buffer in 8-byte words)", h.id, err)
 		}
 		h.sw = sw
+		// One Ctx per handle: realDetect hands the same (stateless)
+		// context to every callback instead of allocating one per
+		// delivery.
+		h.recvCtx = m.rts.CtxOn(pe)
 	}
 	m.handles = append(m.handles, h)
 	m.rts.ChargeOn(pe, sim.Microseconds(createCPUUS))
@@ -335,6 +355,22 @@ func (m *Manager) AssocLocal(h *Handle, pe int, src *machine.Region) error {
 	}
 	h.sendPE = pe
 	h.sendBuf = src
+	if m.rt != nil {
+		// Prebuild the transfer op: Put is the hot path, and fresh
+		// closures per call were its only allocations (realPut only
+		// patches in the per-call OnSendDone hook).
+		h.putOp = charm.PutOp{
+			SrcPE: h.sendPE,
+			DstPE: h.recvPE,
+			Hooks: netmodel.TransferHooks{
+				Kind: netmodel.KindCkdPut,
+				Flow: h.id,
+			},
+			Execute:     func() { m.realDeposit(h) },
+			WireHandle:  h.id,
+			WirePayload: func() []byte { return h.sendBuf.Bytes() },
+		}
+	}
 	m.rts.ChargeOn(pe, sim.Microseconds(assocCPUUS))
 	src.SetRegistered(true)
 	return nil

@@ -1,0 +1,136 @@
+package ckdirect
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// newDepositRig builds a real-backend manager whose runtime is never
+// started: depositBytes and depositStream run synchronously on the
+// caller, which is all these oracle tests need. The real backend is
+// required so handles carry a live sentinel pointer (h.sw).
+func newDepositRig(t *testing.T) (*charm.RTS, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine()
+	plat := netmodel.AbeIB
+	mach, net := plat.BuildMachine(eng, 2)
+	rts := charm.NewRTS(eng, mach, net, plat, trace.NewRecorder(), charm.Options{Backend: charm.RealBackend})
+	return rts, NewManager(rts)
+}
+
+func fillPattern(b []byte, seed byte) {
+	for i := range b {
+		b[i] = byte(i*131+7) ^ seed
+	}
+}
+
+// TestDepositStreamMatchesDepositBytes is the zero-copy oracle: the
+// streaming deposit (payload read straight off the wire into the
+// registered receive buffer, final word staged in tail8 and returned for
+// the caller's release-store) must leave the destination bit-identical
+// to the two-copy reference path depositBytes, for both contiguous and
+// strided layouts. Untouched gap bytes in the strided region must also
+// survive both paths unchanged.
+func TestDepositStreamMatchesDepositBytes(t *testing.T) {
+	rts, m := newDepositRig(t)
+	mach := rts.Machine()
+	noop := func(*charm.Ctx) {}
+
+	t.Run("contiguous", func(t *testing.T) {
+		const size = 256
+		recvA := mach.AllocRegion(1, size, false)
+		recvB := mach.AllocRegion(1, size, false)
+		hA, err := m.CreateHandle(1, recvA, oob, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hB, err := m.CreateHandle(1, recvB, oob, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		payload := make([]byte, size)
+		fillPattern(payload, 0x5A)
+
+		m.depositBytes(hA, payload)
+
+		last, err := m.depositStream(hB, bytes.NewReader(payload))
+		if err != nil {
+			t.Fatalf("depositStream: %v", err)
+		}
+		atomic.StoreUint64(hB.sw, last)
+
+		if !bytes.Equal(recvA.Bytes(), recvB.Bytes()) {
+			t.Fatal("streamed deposit differs from two-copy deposit")
+		}
+		if !bytes.Equal(recvA.Bytes(), payload) {
+			t.Fatal("contiguous deposit does not reproduce the payload")
+		}
+	})
+
+	t.Run("strided", func(t *testing.T) {
+		const size = 256
+		layout := StridedLayout{Offset: 8, BlockLen: 24, Stride: 40, Count: 4}
+		recvA := mach.AllocRegion(1, size, false)
+		recvB := mach.AllocRegion(1, size, false)
+		// Identical background pattern so gap bytes are comparable.
+		fillPattern(recvA.Bytes(), 0xC3)
+		fillPattern(recvB.Bytes(), 0xC3)
+		before := append([]byte(nil), recvA.Bytes()...)
+
+		shA, err := m.CreateStridedHandle(1, recvA, layout, oob, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shB, err := m.CreateStridedHandle(1, recvB, layout, oob, noop)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		payload := make([]byte, layout.TotalBytes())
+		fillPattern(payload, 0x99)
+
+		m.depositBytes(shA.Handle, payload)
+
+		last, err := m.depositStream(shB.Handle, bytes.NewReader(payload))
+		if err != nil {
+			t.Fatalf("depositStream: %v", err)
+		}
+		atomic.StoreUint64(shB.sw, last)
+
+		if !bytes.Equal(recvA.Bytes(), recvB.Bytes()) {
+			t.Fatal("streamed strided deposit differs from two-copy deposit")
+		}
+		// Every block must hold its slice of the payload; every gap byte
+		// must be untouched (except the sentinel word CreateStridedHandle
+		// stamped, which both paths overwrite identically — covered by
+		// the equality check above).
+		got := recvA.Bytes()
+		for b := 0; b < layout.Count; b++ {
+			at := layout.Offset + b*layout.Stride
+			want := payload[b*layout.BlockLen : (b+1)*layout.BlockLen]
+			if !bytes.Equal(got[at:at+layout.BlockLen], want) {
+				t.Fatalf("block %d corrupted after deposit", b)
+			}
+		}
+		for i := range got {
+			inBlock := false
+			for b := 0; b < layout.Count; b++ {
+				at := layout.Offset + b*layout.Stride
+				if i >= at && i < at+layout.BlockLen {
+					inBlock = true
+					break
+				}
+			}
+			if !inBlock && got[i] != before[i] {
+				t.Fatalf("gap byte %d changed: %#x -> %#x", i, before[i], got[i])
+			}
+		}
+	})
+}

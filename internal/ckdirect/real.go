@@ -4,9 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync/atomic"
-
-	"repro/internal/charm"
-	"repro/internal/netmodel"
 )
 
 // Real-execution backend for CkDirect: the paper's mechanism, executed
@@ -39,21 +36,12 @@ import (
 // receiver-confined state (state machine, poll-queue membership) must not
 // be read here — that is the entire point of an unsynchronized put.
 func (m *Manager) realPut(h *Handle, onLocalDone func()) {
-	m.rts.PutTransfer(charm.PutOp{
-		SrcPE: h.sendPE,
-		DstPE: h.recvPE,
-		Hooks: netmodel.TransferHooks{
-			Kind:       netmodel.KindCkdPut,
-			Flow:       h.id,
-			OnSendDone: onLocalDone,
-		},
-		Execute: func() { m.realDeposit(h) },
-		// Distributed backend, destination in another process: the raw
-		// source bytes ship addressed by the handle id, and the remote
-		// netPutSink performs the identical deposit there.
-		WireHandle:  h.id,
-		WirePayload: func() []byte { return h.sendBuf.Bytes() },
-	})
+	// The op was prebuilt at AssocLocal (closures, wire identity, cost
+	// hooks); only the per-call local-completion hook varies. The copy
+	// is a stack value — this path allocates nothing.
+	op := h.putOp
+	op.Hooks.OnSendDone = onLocalDone
+	m.rts.PutTransfer(op)
 }
 
 // realDeposit copies the payload and publishes it: every byte except the
@@ -164,7 +152,7 @@ func (m *Manager) realDetect(h *Handle) {
 	h.state = Fired
 	h.delivered++
 	h.notifyDelivery()
-	h.cb(m.rts.CtxOn(h.recvPE))
+	h.cb(h.recvCtx)
 	m.rt.PutDetected()
 }
 

@@ -59,13 +59,31 @@ func AppendEnv(dst []byte, e *Env) []byte {
 	return append(dst, e.Data...)
 }
 
+// EnvWireSize is the exact encoded size of e — computable without
+// encoding, so the eager/rendezvous decision and the pooled frame
+// buffer sizing need no throwaway encode pass.
+func EnvWireSize(e *Env) int { return envFixed + 8*len(e.Vals) + len(e.Data) }
+
 // EncodeEnv encodes e into a fresh buffer.
 func EncodeEnv(e *Env) []byte {
-	return AppendEnv(make([]byte, 0, envFixed+8*len(e.Vals)+len(e.Data)), e)
+	return AppendEnv(make([]byte, 0, EnvWireSize(e)), e)
 }
 
 // DecodeEnv decodes an envelope. The returned Env owns its slices.
 func DecodeEnv(b []byte) (Env, error) {
+	e, err := DecodeEnvShared(b)
+	if err == nil && e.Data != nil {
+		e.Data = append([]byte(nil), e.Data...)
+	}
+	return e, err
+}
+
+// DecodeEnvShared decodes an envelope whose Data aliases b in place —
+// the zero-copy receive path. The caller guarantees b outlives every
+// use of the envelope (for pooled wire buffers, until the release
+// point after the handler completes). Vals is still materialized: the
+// wire layout is packed little-endian, not an addressable []float64.
+func DecodeEnvShared(b []byte) (Env, error) {
 	var e Env
 	if len(b) < envFixed {
 		return e, fmt.Errorf("netrt: truncated envelope (%d bytes)", len(b))
@@ -97,7 +115,7 @@ func DecodeEnv(b []byte) (Env, error) {
 		}
 	}
 	if ndata > 0 {
-		e.Data = append([]byte(nil), rest[8*nvals:]...)
+		e.Data = rest[8*nvals:]
 	}
 	return e, nil
 }

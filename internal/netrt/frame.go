@@ -30,6 +30,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/bufpool"
 )
 
 // Frame types. Control frames (hello/join/peers/probe/report/halt/ping/
@@ -102,10 +104,28 @@ const (
 // the run generation app frames belong to (frames for a future
 // generation are buffered by the receiving node until that run starts).
 type Frame struct {
-	Type    byte
-	Run     int64
+	Type       byte
+	Run        int64
 	A, B, C, D int64
-	Payload []byte
+	Payload    []byte
+}
+
+// frameWireLen is the full on-wire size of a frame carrying payloadLen
+// bytes — what a pooled encode buffer must hold.
+func frameWireLen(payloadLen int) int { return frameHeaderLen + frameFixedBody + payloadLen }
+
+// appendFrameHeader writes the 8-byte header plus the fixed body fields
+// for a frame whose payload will be payloadLen bytes. The caller
+// appends exactly payloadLen payload bytes afterwards; validity of typ
+// and payloadLen is the caller's job (AppendFrame checks, the pooled
+// send paths encode only known-good frames).
+func appendFrameHeader(dst []byte, typ byte, run, a, b, c, d int64, payloadLen int) []byte {
+	dst = append(dst, frameMagic0, frameMagic1, FrameVersion, typ)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameFixedBody+payloadLen))
+	for _, v := range [...]int64{run, a, b, c, d} {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
 }
 
 // AppendFrame encodes f onto dst and returns the extended slice.
@@ -116,24 +136,38 @@ func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	if len(f.Payload) > MaxFrameBody-frameFixedBody {
 		return dst, fmt.Errorf("netrt: frame payload of %d bytes exceeds the %d-byte cap", len(f.Payload), MaxFrameBody-frameFixedBody)
 	}
-	body := frameFixedBody + len(f.Payload)
-	dst = append(dst, frameMagic0, frameMagic1, FrameVersion, f.Type)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(body))
-	for _, v := range [...]int64{f.Run, f.A, f.B, f.C, f.D} {
-		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
-	}
+	dst = appendFrameHeader(dst, f.Type, f.Run, f.A, f.B, f.C, f.D, len(f.Payload))
 	return append(dst, f.Payload...), nil
 }
 
 // EncodeFrame encodes f into a fresh buffer.
 func EncodeFrame(f *Frame) ([]byte, error) {
-	return AppendFrame(make([]byte, 0, frameHeaderLen+frameFixedBody+len(f.Payload)), f)
+	return AppendFrame(make([]byte, 0, frameWireLen(len(f.Payload))), f)
+}
+
+// encodeFramePooled encodes f into a buffer drawn from the Default
+// bufpool. Ownership of the returned buffer transfers with the frame:
+// the peer writer returns it to the pool after the writev (callers that
+// fail to hand it off must Put it themselves).
+func encodeFramePooled(f *Frame) ([]byte, error) {
+	return AppendFrame(bufpool.Get(frameWireLen(len(f.Payload)))[:0], f)
 }
 
 // DecodeFrame decodes one frame from the front of b, returning the
 // frame and the number of bytes consumed. It never panics on truncated
-// or corrupt input — every malformed shape is an error.
+// or corrupt input — every malformed shape is an error. The returned
+// frame owns a fresh copy of its payload.
 func DecodeFrame(b []byte) (Frame, int, error) {
+	return DecodeFrameInto(b, nil)
+}
+
+// DecodeFrameInto is DecodeFrame with a caller-provided scratch buffer
+// for the payload: when cap(scratch) holds it, the returned frame's
+// Payload aliases scratch (sliced to payload length) and no allocation
+// occurs; otherwise a fresh buffer is allocated exactly as DecodeFrame
+// would. The caller owns scratch and must keep it alive for as long as
+// the frame's payload is in use.
+func DecodeFrameInto(b, scratch []byte) (Frame, int, error) {
 	var f Frame
 	if len(b) < frameHeaderLen {
 		return f, 0, fmt.Errorf("netrt: truncated frame header (%d bytes)", len(b))
@@ -162,43 +196,83 @@ func DecodeFrame(b []byte) (Frame, int, error) {
 	f.C = int64(binary.LittleEndian.Uint64(fields[24:]))
 	f.D = int64(binary.LittleEndian.Uint64(fields[32:]))
 	if n := body - frameFixedBody; n > 0 {
-		f.Payload = append([]byte(nil), fields[frameFixedBody:frameFixedBody+n]...)
+		src := fields[frameFixedBody : frameFixedBody+n]
+		if cap(scratch) >= n {
+			f.Payload = scratch[:n]
+			copy(f.Payload, src)
+		} else {
+			f.Payload = append([]byte(nil), src...)
+		}
 	}
 	return f, frameHeaderLen + body, nil
 }
 
-// readFrame reads one frame from a stream. The returned frame owns its
-// payload.
-func readFrame(r *bufio.Reader) (Frame, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Frame{}, err
+// frameMeta is the fixed prefix of one frame — everything except the
+// payload — decoded straight off the stream so the reader can choose
+// where the payload lands (a pooled buffer, or for FPut the registered
+// destination region itself) before reading a single payload byte.
+type frameMeta struct {
+	typ        byte
+	run        int64
+	a, b, c, d int64
+	payloadLen int
+}
+
+// readFrameMeta reads and validates the header and fixed body of one
+// frame, leaving exactly payloadLen payload bytes unread on r. It
+// allocates nothing: the fixed prefix is parsed in place in the bufio
+// buffer via Peek/Discard — a stack scratch array would escape through
+// the io.Reader interface and cost one heap allocation per frame.
+func readFrameMeta(r *bufio.Reader) (frameMeta, error) {
+	var m frameMeta
+	hdr, err := r.Peek(frameHeaderLen + frameFixedBody)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return m, err
 	}
 	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
-		return Frame{}, fmt.Errorf("netrt: bad frame magic %#x %#x", hdr[0], hdr[1])
+		return m, fmt.Errorf("netrt: bad frame magic %#x %#x", hdr[0], hdr[1])
 	}
 	if hdr[2] != FrameVersion {
-		return Frame{}, fmt.Errorf("netrt: frame version %d, this build speaks %d", hdr[2], FrameVersion)
+		return m, fmt.Errorf("netrt: frame version %d, this build speaks %d", hdr[2], FrameVersion)
 	}
 	if hdr[3] == 0 || hdr[3] >= frameTypeMax {
-		return Frame{}, fmt.Errorf("netrt: unknown frame type %d", hdr[3])
+		return m, fmt.Errorf("netrt: unknown frame type %d", hdr[3])
 	}
 	body := int(binary.LittleEndian.Uint32(hdr[4:8]))
 	if body < frameFixedBody || body > MaxFrameBody {
-		return Frame{}, fmt.Errorf("netrt: frame body length %d outside [%d,%d]", body, frameFixedBody, MaxFrameBody)
+		return m, fmt.Errorf("netrt: frame body length %d outside [%d,%d]", body, frameFixedBody, MaxFrameBody)
 	}
-	buf := make([]byte, body)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	m.typ = hdr[3]
+	fields := hdr[frameHeaderLen:]
+	m.run = int64(binary.LittleEndian.Uint64(fields[0:]))
+	m.a = int64(binary.LittleEndian.Uint64(fields[8:]))
+	m.b = int64(binary.LittleEndian.Uint64(fields[16:]))
+	m.c = int64(binary.LittleEndian.Uint64(fields[24:]))
+	m.d = int64(binary.LittleEndian.Uint64(fields[32:]))
+	m.payloadLen = body - frameFixedBody
+	if _, err := r.Discard(len(hdr)); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// readFrame reads one frame from a stream (bootstrap handshakes only;
+// steady-state traffic uses readFrameMeta so payloads can land in
+// pooled or preregistered memory). The returned frame owns its payload.
+func readFrame(r *bufio.Reader) (Frame, error) {
+	m, err := readFrameMeta(r)
+	if err != nil {
 		return Frame{}, err
 	}
-	f := Frame{Type: hdr[3]}
-	f.Run = int64(binary.LittleEndian.Uint64(buf[0:]))
-	f.A = int64(binary.LittleEndian.Uint64(buf[8:]))
-	f.B = int64(binary.LittleEndian.Uint64(buf[16:]))
-	f.C = int64(binary.LittleEndian.Uint64(buf[24:]))
-	f.D = int64(binary.LittleEndian.Uint64(buf[32:]))
-	if body > frameFixedBody {
-		f.Payload = buf[frameFixedBody:]
+	f := Frame{Type: m.typ, Run: m.run, A: m.a, B: m.b, C: m.c, D: m.d}
+	if m.payloadLen > 0 {
+		f.Payload = make([]byte, m.payloadLen)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, err
+		}
 	}
 	return f, nil
 }

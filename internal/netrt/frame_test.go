@@ -184,6 +184,20 @@ func FuzzFrameCodec(f *testing.F) {
 		if n <= 0 || n > len(data) {
 			t.Fatalf("decode claimed %d of %d bytes", n, len(data))
 		}
+		// DecodeFrameInto must agree with DecodeFrame exactly, both when
+		// the scratch holds the payload (aliasing path) and when the
+		// payload overflows it (fallback allocation path).
+		scratch := make([]byte, 64)
+		fi, ni, erri := DecodeFrameInto(data, scratch)
+		if erri != nil || ni != n {
+			t.Fatalf("DecodeFrameInto disagrees: n=%d err=%v, DecodeFrame n=%d", ni, erri, n)
+		}
+		if !reflect.DeepEqual(fr, fi) {
+			t.Fatalf("DecodeFrameInto mismatch:\n got %+v\nwant %+v", fi, fr)
+		}
+		if len(fi.Payload) > 0 && len(fi.Payload) <= len(scratch) && &fi.Payload[0] != &scratch[0] {
+			t.Fatal("DecodeFrameInto did not use the caller's scratch buffer")
+		}
 		re, err := EncodeFrame(&fr)
 		if err != nil {
 			t.Fatalf("decoded frame does not re-encode: %v", err)

@@ -3,10 +3,13 @@ package netrt
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/bufpool"
 )
 
 // DefaultEagerMax is the eager/rendezvous threshold: an encoded message
@@ -310,25 +313,54 @@ func (n *Node) bootstrapWorker(cfg Config) error {
 
 // sendTo queues a frame for a peer rank. A false return means the peer
 // is down; the failure path is already aborting the run, so callers
-// simply drop the frame.
+// simply drop the frame. The wire bytes live in a pooled buffer owned
+// by the peer writer from the moment send accepts it.
 func (n *Node) sendTo(rank int, f *Frame) bool {
 	p := n.peers[rank]
 	if p == nil {
 		return false
 	}
-	b, err := EncodeFrame(f)
+	b, err := encodeFramePooled(f)
 	if err != nil {
+		bufpool.Put(b)
 		panic(fmt.Sprintf("netrt: %v", err))
 	}
-	return p.send(b)
+	if !p.send(b) {
+		bufpool.Put(b)
+		return false
+	}
+	return true
+}
+
+// sendEnv ships one Charm envelope as a frame of the given type: header
+// and envelope encode in a single pass into one pooled buffer, so an
+// eager send costs no intermediate slice.
+func (n *Node) sendEnv(rank int, typ byte, run int64, env *Env) bool {
+	p := n.peers[rank]
+	if p == nil {
+		return false
+	}
+	size := EnvWireSize(env)
+	b := bufpool.Get(frameWireLen(size))[:0]
+	b = appendFrameHeader(b, typ, run, 0, 0, 0, 0, size)
+	b = AppendEnv(b, env)
+	if !p.send(b) {
+		bufpool.Put(b)
+		return false
+	}
+	return true
 }
 
 // dispatch routes one received frame. It runs on the owning
-// connection's reader goroutine.
-func (n *Node) dispatch(p *peerConn, f Frame) {
+// connection's reader goroutine. The return value is an ownership
+// verdict on f.Payload: true means the payload buffer was consumed
+// (handed onward to a consumer that will return it to the pool), false
+// means the reader still owns it and reclaims it when dispatch returns.
+// Control frames always finish with the payload synchronously.
+func (n *Node) dispatch(p *peerConn, f Frame) bool {
 	switch f.Type {
 	case FPing:
-		return
+		return false
 	case FProbe:
 		n.onProbe(p, f)
 	case FReport:
@@ -344,12 +376,13 @@ func (n *Node) dispatch(p *peerConn, f Frame) {
 	case FLeave:
 		n.onLeave(p, f)
 	case FEager, FRTS, FCTS, FData, FPut, FCast:
-		n.dispatchApp(p, f)
+		return n.dispatchApp(p, f)
 	default:
 		// Bootstrap frames after bootstrap, or future types from a
 		// mismatched build: a protocol violation.
 		p.fail("read", fmt.Errorf("unexpected frame type %d", f.Type))
 	}
+	return false
 }
 
 // current returns the attached runtime when its generation matches.
@@ -379,24 +412,58 @@ func (n *Node) onProbe(p *peerConn, f Frame) {
 }
 
 // dispatchApp delivers an app frame to the matching run, or buffers it
-// when this process has not started that run yet.
-func (n *Node) dispatchApp(p *peerConn, f Frame) {
+// when this process has not started that run yet. Its return value is
+// the same ownership verdict as dispatch's: true only when the pooled
+// payload was handed to a consumer that will Put it back.
+func (n *Node) dispatchApp(p *peerConn, f Frame) bool {
 	n.mu.Lock()
 	rt := n.attached
 	if rt == nil || f.Run > rt.gen {
+		// Buffered frames outlive dispatch, but the reader's payload
+		// buffer goes back to the pool the moment dispatch returns —
+		// so a buffered frame must own a plain copy.
+		f.Payload = append([]byte(nil), f.Payload...)
 		n.buffered = append(n.buffered, bufFrame{rank: p.rank, f: f})
 		n.mu.Unlock()
-		return
+		return false
 	}
 	if f.Run < rt.gen {
 		// A frame from a globally-terminated run: termination proved all
 		// its frames processed, so this cannot happen absent a protocol
 		// bug; dropping it is the safe response.
 		n.mu.Unlock()
-		return
+		return false
 	}
 	n.mu.Unlock()
-	rt.handleApp(p.rank, f)
+	return rt.handleApp(p.rank, f, true)
+}
+
+// streamPut is the zero-copy inbound put path: the reader has decoded
+// an FPut's meta and its payload is still on the stream. When the
+// matching run is attached and has a streaming sink installed, the
+// payload is read directly into the preregistered destination buffer —
+// no intermediate slice exists anywhere. It returns handled=false when
+// no such sink applies (runtime not attached yet, generation mismatch,
+// no CkDirect manager), in which case the reader falls back to the
+// buffered-frame path; a non-nil error is a stream failure and kills
+// the connection (the sink consumed an unknown number of payload
+// bytes, so no resynchronization is possible).
+func (n *Node) streamPut(p *peerConn, m frameMeta) (bool, error) {
+	n.mu.Lock()
+	rt := n.attached
+	var sink func(id int64, size int, r io.Reader) error
+	if rt != nil && rt.gen == m.run {
+		sink = rt.putStream
+	}
+	n.mu.Unlock()
+	if sink == nil {
+		return false, nil
+	}
+	if err := sink(m.a, m.payloadLen, p.br); err != nil {
+		return true, err
+	}
+	rt.recv.Add(1)
+	return true, nil
 }
 
 // peerDown handles a lost peer: with a run in flight the runtime aborts
@@ -470,7 +537,7 @@ func (n *Node) attach(rt *Runtime) {
 	n.buffered = keep
 	n.mu.Unlock()
 	for _, bf := range flush {
-		rt.handleApp(bf.rank, bf.f)
+		rt.handleApp(bf.rank, bf.f, false)
 	}
 }
 

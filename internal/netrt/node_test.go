@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/bufpool"
 )
 
 // startWorld brings up an in-process world via the coordinator
@@ -87,8 +89,8 @@ func TestMessagingAndQuiescence(t *testing.T) {
 	for i := range rts {
 		i := i
 		rt := rts[i]
-		rt.SetDeliver(func(e *Env) {
-			env := *e
+		rt.SetDeliver(func(e Env, pooled []byte) {
+			env := e
 			rt.Enqueue(env.DstPE, func() {
 				delivered[i].Add(1)
 				if len(env.Data) > 0 && !bytes.Equal(env.Data, big) {
@@ -98,6 +100,10 @@ func TestMessagingAndQuiescence(t *testing.T) {
 					rt.SendMsg(&Env{Kind: EnvPE, Array: -1, SrcPE: env.DstPE,
 						DstPE: env.SrcPE, Tag: env.Tag - 1, Data: env.Data})
 				}
+				// env.Data aliases the pooled wire buffer; release it
+				// only after the last use (the ownership contract of
+				// SetDeliver).
+				bufpool.Put(pooled)
 			})
 		})
 	}
@@ -136,7 +142,10 @@ func TestBroadcast(t *testing.T) {
 	for i := range rts {
 		i := i
 		rt := rts[i]
-		rt.SetDeliver(func(e *Env) {
+		rt.SetDeliver(func(e Env, pooled []byte) {
+			if pooled != nil {
+				t.Errorf("rank %d: broadcast delivered a pooled payload (fan-out has no release point)", i)
+			}
 			if e.Kind != EnvCast || e.Array != 1 {
 				t.Errorf("rank %d: unexpected envelope %+v", i, e)
 			}
@@ -165,7 +174,7 @@ func TestPutSink(t *testing.T) {
 			t.Fatalf("rank %d: %v", i, err)
 		}
 		rts[i] = rt
-		rt.SetDeliver(func(e *Env) {})
+		rt.SetDeliver(func(e Env, pooled []byte) { bufpool.Put(pooled) })
 	}
 	payload := bytes.Repeat([]byte{0xC3}, 256)
 	var gotID atomic.Int64
@@ -207,9 +216,9 @@ func TestSequentialGenerations(t *testing.T) {
 		var got atomic.Int64
 		for i := range rts {
 			rt := rts[i]
-			rt.SetDeliver(func(e *Env) {
-				env := *e
-				rt.Enqueue(env.DstPE, func() { got.Add(1) })
+			rt.SetDeliver(func(e Env, pooled []byte) {
+				env := e
+				rt.Enqueue(env.DstPE, func() { got.Add(1); bufpool.Put(pooled) })
 			})
 		}
 		rts[0].Enqueue(0, func() {
@@ -237,7 +246,7 @@ func TestPeerLossAbortsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt0.SetDeliver(func(e *Env) {})
+	rt0.SetDeliver(func(e Env, pooled []byte) { bufpool.Put(pooled) })
 	if _, err := nodes[1].NewRuntime(2); err != nil {
 		t.Fatal(err)
 	}

@@ -2,10 +2,13 @@ package netrt
 
 import (
 	"bufio"
+	"io"
 	"math/rand"
 	"net"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/bufpool"
 )
 
 // Connection tuning.
@@ -13,8 +16,15 @@ const (
 	// outboxCap bounds the per-peer send queue; a producer that fills it
 	// blocks, which is TCP backpressure surfaced to the runtime.
 	outboxCap = 4096
-	// ioBufBytes sizes the per-connection read and write buffers.
+	// ioBufBytes sizes the per-connection read buffer.
 	ioBufBytes = 64 << 10
+	// maxBatchFrames caps how many queued frames one writev coalesces.
+	// It also bounds the writer's retained state: the batch arrays hold
+	// at most maxBatchFrames slice headers (the frame bytes themselves
+	// are pooled buffers returned right after the writev), so a burst
+	// cannot permanently grow the writer beyond ~2*maxBatchFrames
+	// headers — that fixed cap IS the shrink policy (see DESIGN.md §9).
+	maxBatchFrames = 64
 	// keepaliveEvery paces idle FPing frames.
 	keepaliveEvery = 500 * time.Millisecond
 	// peerTimeout is how long a silent peer stays healthy. Keepalives
@@ -41,7 +51,7 @@ type peerConn struct {
 	out  chan []byte
 	down chan struct{}
 
-	started  bool        // connection goroutines are running (set in start)
+	started  bool // connection goroutines are running (set in start)
 	failed   atomic.Bool
 	quiet    atomic.Bool // graceful close: suppress the read-error report
 	lastRecv atomic.Int64
@@ -87,30 +97,42 @@ func (p *peerConn) send(b []byte) bool {
 	}
 }
 
-// writer drains the outbox into the socket, flushing only when the
-// queue runs dry — consecutive frames batch into one syscall.
+// writer drains the outbox into the socket with vectored I/O: queued
+// frames coalesce into one net.Buffers writev — no flat copy-assembled
+// batch buffer exists — and each frame's pooled buffer goes back to the
+// pool the moment the writev covering it returns.
 func (p *peerConn) writer() {
-	bw := bufio.NewWriterSize(p.conn, ioBufBytes)
+	defer p.drainOutbox()
+	// owned keeps the original pooled slice headers: Buffers.WriteTo
+	// advances its entries as it consumes them, so the batch handed to
+	// the kernel cannot double as the Put list. backing is the batch's
+	// permanent storage — WriteTo also advances the batch slice itself,
+	// so re-appending into the advanced slice would silently reallocate
+	// the header array on every round; re-slicing backing restores the
+	// full capacity instead.
+	owned := make([][]byte, 0, maxBatchFrames)
+	backing := make([][]byte, maxBatchFrames)
+	var batch net.Buffers
 	for {
 		var b []byte
 		select {
 		case b = <-p.out:
 		case <-p.down:
-			bw.Flush()
 			return
 		}
+		owned = owned[:0]
+		closing := false
 		for {
 			if b == nil {
 				// Graceful-close marker queued by close(): everything
-				// ahead of it is written; flush and close the socket so
-				// the peer reads the goodbye, then a clean EOF.
-				bw.Flush()
-				p.shutdown()
-				return
+				// ahead of it is written; then the socket closes so the
+				// peer reads the goodbye, then a clean EOF.
+				closing = true
+				break
 			}
-			if _, err := bw.Write(b); err != nil {
-				p.fail("write", err)
-				return
+			owned = append(owned, b)
+			if len(owned) == maxBatchFrames {
+				break
 			}
 			select {
 			case b = <-p.out:
@@ -119,30 +141,85 @@ func (p *peerConn) writer() {
 			}
 			break
 		}
-		if err := bw.Flush(); err != nil {
-			p.fail("write", err)
+		if len(owned) > 0 {
+			n := copy(backing, owned)
+			batch = net.Buffers(backing[:n])
+			_, err := batch.WriteTo(p.conn)
+			for i, fb := range owned {
+				bufpool.Put(fb)
+				owned[i] = nil
+			}
+			if err != nil {
+				p.fail("write", err)
+				return
+			}
+		}
+		if closing {
+			p.shutdown()
 			return
 		}
 	}
 }
 
-// reader decodes frames and hands them to the node.
+// drainOutbox returns any frames still queued on a dead connection to
+// the pool — the run is aborting, nobody will write them, and leaving
+// them checked out would read as a leak to the pool's debug tracking.
+func (p *peerConn) drainOutbox() {
+	for {
+		select {
+		case b := <-p.out:
+			bufpool.Put(b)
+		default:
+			return
+		}
+	}
+}
+
+// reader decodes frames and hands them to the node. Only the fixed
+// header+meta is read into stack scratch; the payload lands either
+// directly in the preregistered destination region (streamed FPut — no
+// intermediate copy anywhere) or in a pooled buffer whose ownership
+// passes to dispatch when dispatch reports the payload consumed.
 func (p *peerConn) reader() {
 	for {
-		f, err := readFrame(p.br)
+		m, err := readFrameMeta(p.br)
 		if err != nil {
 			p.fail("read", err)
 			return
 		}
 		p.lastRecv.Store(time.Now().UnixNano())
-		p.node.dispatch(p, f)
+		if m.typ == FPut && m.payloadLen > 0 {
+			handled, err := p.node.streamPut(p, m)
+			if err != nil {
+				p.fail("read", err)
+				return
+			}
+			if handled {
+				continue
+			}
+		}
+		f := Frame{Type: m.typ, Run: m.run, A: m.a, B: m.b, C: m.c, D: m.d}
+		var pooled []byte
+		if m.payloadLen > 0 {
+			pooled = bufpool.Get(m.payloadLen)
+			if _, err := io.ReadFull(p.br, pooled); err != nil {
+				bufpool.Put(pooled)
+				p.fail("read", err)
+				return
+			}
+			f.Payload = pooled
+		}
+		if !p.node.dispatch(p, f) && pooled != nil {
+			bufpool.Put(pooled)
+		}
 	}
 }
 
 // keepalive sends idle pings and declares the peer dead when nothing —
-// not even a ping — arrived for peerTimeout.
+// not even a ping — arrived for peerTimeout. Each ping is a fresh
+// pooled encode: the writer returns every frame it writes to the pool,
+// so a single reused ping buffer would be a double Put.
 func (p *peerConn) keepalive() {
-	ping, _ := EncodeFrame(&Frame{Type: FPing})
 	t := time.NewTicker(keepaliveEvery)
 	defer t.Stop()
 	for {
@@ -151,9 +228,11 @@ func (p *peerConn) keepalive() {
 			return
 		case <-t.C:
 		}
+		ping := appendFrameHeader(bufpool.Get(frameWireLen(0))[:0], FPing, 0, 0, 0, 0, 0, 0)
 		select {
 		case p.out <- ping:
 		default: // outbox full: traffic is flowing, no ping needed
+			bufpool.Put(ping)
 		}
 		idle := time.Since(time.Unix(0, p.lastRecv.Load()))
 		if idle > peerTimeout {

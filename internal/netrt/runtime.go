@@ -2,6 +2,7 @@ package netrt
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,9 +32,10 @@ type Runtime struct {
 	holdReleased atomic.Bool
 	aborted      atomic.Bool
 
-	deliver  func(*Env)
-	putSink  func(id int64, payload []byte)
-	eagerMax int
+	deliver   func(env Env, pooled []byte)
+	putSink   func(id int64, payload []byte)
+	putStream func(id int64, size int, r io.Reader) error
+	eagerMax  int
 
 	xferMu   sync.Mutex
 	xfers    map[int64]*pendingXfer
@@ -133,12 +135,27 @@ func (rt *Runtime) localOf(pe int) int {
 
 // SetDeliver installs the handler for inbound Charm envelopes. It runs
 // on connection reader goroutines; the handler must re-enqueue onto the
-// destination PE rather than execute in place.
-func (rt *Runtime) SetDeliver(fn func(*Env)) { rt.deliver = fn }
+// destination PE rather than execute in place. The envelope is passed by
+// value so the hot eager path heap-allocates nothing for it. When pooled
+// is non-nil, the envelope's Data (and the encoded bytes it aliases)
+// live in that pooled buffer, and the handler owns it: it must
+// bufpool.Put(pooled) after the last handler touching the envelope
+// completes. With pooled nil the envelope owns plain heap memory and the
+// GC handles it.
+func (rt *Runtime) SetDeliver(fn func(env Env, pooled []byte)) { rt.deliver = fn }
 
 // SetPutSink installs the handler for inbound one-sided put frames
-// (id = CkDirect handle id, payload = raw source bytes).
+// (id = CkDirect handle id, payload = raw source bytes). It serves
+// replayed buffered frames and worlds without a streaming sink.
 func (rt *Runtime) SetPutSink(fn func(id int64, payload []byte)) { rt.putSink = fn }
+
+// SetPutStream installs the zero-copy inbound put path: the sink reads
+// exactly size payload bytes from r straight into the preregistered
+// destination region. A sink that cannot accept the put (unknown id,
+// size mismatch) must still consume exactly size bytes to keep the
+// stream in sync and report the condition out of band; a returned error
+// means the stream itself failed and the connection dies.
+func (rt *Runtime) SetPutStream(fn func(id int64, size int, r io.Reader) error) { rt.putStream = fn }
 
 // SetPoll installs the CkDirect poll hook, translating the local PE
 // index the scheduler passes back to the global PE space.
@@ -171,12 +188,16 @@ func (rt *Runtime) PutDetected() { rt.rt.PutDetected() }
 // RTS/CTS/data exchange otherwise.
 func (rt *Runtime) SendMsg(env *Env) {
 	dst := rt.RankOf(env.DstPE)
-	b := EncodeEnv(env)
-	if len(b) <= rt.eagerMax {
+	if EnvWireSize(env) <= rt.eagerMax {
+		// Eager fast path: header and envelope encode in one pass into
+		// one pooled frame buffer (sendEnv) — no intermediate encode.
 		rt.sent.Add(1)
-		rt.node.sendTo(dst, &Frame{Type: FEager, Run: rt.gen, Payload: b})
+		rt.node.sendEnv(dst, FEager, rt.gen, env)
 		return
 	}
+	// Rendezvous: the payload parks in xfers until the CTS arrives, for
+	// an unbounded time — plain heap memory, so it cannot pin the pool.
+	b := EncodeEnv(env)
 	rt.xferMu.Lock()
 	id := rt.nextXfer
 	rt.nextXfer++
@@ -192,13 +213,12 @@ func (rt *Runtime) SendMsg(env *Env) {
 // SendCast ships one broadcast envelope to every other process; each
 // receiver fans it out to its local elements of the array.
 func (rt *Runtime) SendCast(env *Env) {
-	b := EncodeEnv(env)
 	for r := 0; r < rt.node.world; r++ {
 		if r == rt.node.rank {
 			continue
 		}
 		rt.sent.Add(1)
-		rt.node.sendTo(r, &Frame{Type: FCast, Run: rt.gen, Payload: b})
+		rt.node.sendEnv(r, FCast, rt.gen, env)
 	}
 }
 
@@ -216,22 +236,35 @@ func (rt *Runtime) SendPut(dstPE int, handleID int64, payload []byte) {
 // reader goroutines. The credit discipline: any work the frame creates
 // is credited (Enqueue/PutIssued) BEFORE recv is incremented, so a
 // probe that sees matched sums cannot race ahead of uncredited work.
-func (rt *Runtime) handleApp(rank int, f Frame) {
+//
+// pooled reports whether f.Payload is a reader-owned pool buffer; the
+// return value is true only when ownership of that buffer moved onward
+// (an eager deliver whose consumer will Put it back). Replayed buffered
+// frames arrive with pooled=false and plain heap payloads.
+func (rt *Runtime) handleApp(rank int, f Frame, pooled bool) bool {
 	switch f.Type {
 	case FEager, FData:
-		if f.Type == FData {
-			// A granted rendezvous body; the RTS was counted at issue,
-			// the data frame itself is the one counted receipt.
-		}
-		env, err := DecodeEnv(f.Payload)
+		// FData is a granted rendezvous body; the RTS was counted at
+		// issue, the data frame itself is the one counted receipt.
+		// The envelope aliases the payload bytes in place (no decode
+		// copy); with a pooled payload, ownership rides along and the
+		// deliver consumer returns the buffer after the handler runs.
+		env, err := DecodeEnvShared(f.Payload)
 		if err != nil {
 			rt.abort(&NetError{Rank: rt.node.rank, Peer: rank, Op: "read", Err: err})
-			return
+			return false
 		}
+		consumed := false
 		if rt.deliver != nil {
-			rt.deliver(&env)
+			if pooled {
+				rt.deliver(env, f.Payload)
+				consumed = true
+			} else {
+				rt.deliver(env, nil)
+			}
 		}
 		rt.recv.Add(1)
+		return consumed
 	case FRTS:
 		// Grant immediately: the socket-emulated receiver has no memory
 		// registration to perform, so CTS is just flow-control echo.
@@ -247,21 +280,28 @@ func (rt *Runtime) handleApp(rank int, f Frame) {
 			go rt.node.sendTo(x.rank, &Frame{Type: FData, Run: rt.gen, A: f.A, Payload: x.payload})
 		}
 	case FPut:
+		// Non-streamed put (replayed buffered frame, or no streaming sink
+		// installed): the sink deposits synchronously, so the payload is
+		// done with when it returns and the reader reclaims it.
 		if rt.putSink != nil {
 			rt.putSink(f.A, f.Payload)
 		}
 		rt.recv.Add(1)
 	case FCast:
+		// A broadcast fans out to every local element — a multi-consumer
+		// payload with no single release point — so the decode copies
+		// and the reader reclaims the wire buffer immediately.
 		env, err := DecodeEnv(f.Payload)
 		if err != nil {
 			rt.abort(&NetError{Rank: rt.node.rank, Peer: rank, Op: "read", Err: err})
-			return
+			return false
 		}
 		if rt.deliver != nil {
-			rt.deliver(&env)
+			rt.deliver(env, nil)
 		}
 		rt.recv.Add(1)
 	}
+	return false
 }
 
 // localReport captures this process's termination state: idle when the

@@ -1,6 +1,9 @@
 package realrt
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file is the scheduler's lock-free fast path: a Vyukov-style
 // multi-producer single-consumer queue (any goroutine pushes, only the
@@ -37,9 +40,27 @@ func newMPSC() *mpscQueue {
 	return q
 }
 
+// qnodePool recycles queue nodes so a steady-state enqueue allocates
+// nothing. A node is recyclable the moment pop detaches it: pop only
+// advances past a node after observing its next link non-nil, which
+// happens only after the pushing producer's link-store completed — so no
+// producer still holds a detached node, and nothing ever writes it again
+// until push reissues it.
+var qnodePool = sync.Pool{New: func() interface{} { return new(qnode) }}
+
 // push enqueues a task. Safe from any number of goroutines concurrently.
 func (q *mpscQueue) push(task func()) {
-	q.pushNode(&qnode{task: task})
+	n := qnodePool.Get().(*qnode)
+	n.task = task
+	q.pushNode(n)
+}
+
+// recycle returns a detached node to the pool. The stub is queue-owned
+// and never pooled.
+func (q *mpscQueue) recycle(n *qnode) {
+	if n != &q.stub {
+		qnodePool.Put(n)
+	}
 }
 
 func (q *mpscQueue) pushNode(n *qnode) {
@@ -70,6 +91,7 @@ func (q *mpscQueue) pop() func() {
 		q.tail = next
 		task := tail.task
 		tail.task = nil
+		q.recycle(tail)
 		return task
 	}
 	if tail != q.head.Load() {
@@ -83,6 +105,7 @@ func (q *mpscQueue) pop() func() {
 		q.tail = next
 		task := tail.task
 		tail.task = nil
+		q.recycle(tail)
 		return task
 	}
 	return nil

@@ -35,6 +35,20 @@ const (
 	CntCkdLostPuts = "ckd.lost_puts"
 	CntCkdReissues = "ckd.reissues"
 	CntCkdDupPuts  = "ckd.dup_puts"
+
+	// Memory discipline of the live backends (internal/charm records
+	// these around real/net runs; never under sim, whose counter sets
+	// must stay deterministic). Deltas over the run: heap allocations,
+	// allocated bytes, GC pause time and cycles, plus the wire buffer
+	// pool's activity (bufpool.Stats).
+	CntMemAllocs    = "mem.allocs"
+	CntMemBytes     = "mem.alloc_bytes"
+	CntMemGCPauseNS = "mem.gc_pause_ns"
+	CntMemGCs       = "mem.gcs"
+	CntPoolGets     = "pool.gets"
+	CntPoolPuts     = "pool.puts"
+	CntPoolMisses   = "pool.misses"
+	CntPoolOversize = "pool.oversize"
 )
 
 // Recorder accumulates named statistics. The zero value is not usable;
