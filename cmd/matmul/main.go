@@ -13,6 +13,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 )
 
 func main() {
@@ -25,13 +26,17 @@ func main() {
 		modeName    = flag.String("mode", "ckd", "msg | ckd")
 		compare     = flag.Bool("compare", false, "run both modes and report the improvement")
 		validate    = flag.Bool("validate", false, "move real matrices and verify the product (small n)")
-		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory); net hosts the pingpong/stencil workloads")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory) | net (multiple OS processes over TCP)")
 		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		ckptEvery   = flag.Int("ckpt.every", 0, "checkpoint every N reduction barriers, 0 disables (net backend only)")
+		ckptDir     = flag.String("ckpt.dir", "", "checkpoint directory, shared by every rank (net backend only)")
+		killSpec    = flag.String("chaos.kill", "", `kill -9 a worker rank mid-run: "RANK@STEP" (net backend only; the world recovers and reruns)`)
 	)
+	netCfg := netrt.RegisterFlags()
 	flag.Parse()
 
 	var plat *netmodel.Platform
@@ -49,11 +54,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "matmul:", err)
 		os.Exit(2)
 	}
-	if be == charm.NetBackend {
-		fmt.Fprintln(os.Stderr, "matmul: the distributed net backend hosts the pingpong and stencil workloads; run this study with -backend=sim or -backend=real (see DESIGN.md §8)")
-		os.Exit(2)
-	}
-	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
+	if be != charm.SimBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
 		fmt.Fprintln(os.Stderr, "matmul: -faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)")
 		os.Exit(2)
 	}
@@ -65,6 +66,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "matmul:", err)
 		os.Exit(2)
 	}
+	kill, err := chaos.ParseKill(*killSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matmul:", err)
+		os.Exit(2)
+	}
+	if (*ckptEvery > 0) != (*ckptDir != "") {
+		fmt.Fprintf(os.Stderr, "matmul: -ckpt.every and -ckpt.dir go together (got every=%d, dir=%q)\n", *ckptEvery, *ckptDir)
+		os.Exit(2)
+	}
+	recovery := *ckptEvery > 0 || kill != nil
+	if recovery {
+		if be != charm.NetBackend {
+			fmt.Fprintln(os.Stderr, "matmul: -ckpt.* and -chaos.kill exercise rank-death recovery and need -backend=net")
+			os.Exit(2)
+		}
+		if *compare {
+			fmt.Fprintln(os.Stderr, "matmul: -compare reruns both modes on one mesh and cannot combine with recovery flags (pick one -mode)")
+			os.Exit(2)
+		}
+		netCfg.Recover = true
+	}
+	var node *netrt.Node
+	if be == charm.NetBackend {
+		if node, err = netrt.Start(*netCfg); err != nil {
+			fmt.Fprintln(os.Stderr, "matmul:", err)
+			os.Exit(2)
+		}
+	}
+	// Worker ranks compute and validate their hosted strips; the report
+	// (and the exit status of the whole world) belongs to rank 0.
+	quiet := node != nil && node.IsWorker()
 	cfg := matmul.Config{
 		Platform: plat,
 		PEs:      *pes,
@@ -72,19 +104,26 @@ func main() {
 		Iters:    *iters, Warmup: *warmup,
 		Validate: *validate,
 		Backend:  be,
+		Net:      node,
 		Chaos:    sc,
+		Kill:     kill,
+	}
+	if *ckptEvery > 0 {
+		cfg.Ckpt = &charm.CkptOptions{Dir: *ckptDir, Every: *ckptEvery}
 	}
 	if *compare {
 		msg, ckd, pct := matmul.Improvement(cfg)
-		fmt.Printf("matmul %dx%d on %d PEs of %s (chare grid %dx%dx%d)\n",
-			*n, *n, *pes, plat.Name, msg.Grid[0], msg.Grid[1], msg.Grid[2])
-		fmt.Printf("  msg: %v per multiply\n", msg.IterTime)
-		fmt.Printf("  ckd: %v per multiply\n", ckd.IterTime)
-		fmt.Printf("  improvement: %.2f%%\n", pct)
-		if *validate {
-			fmt.Printf("  max error: msg %.2e, ckd %.2e\n", msg.MaxError, ckd.MaxError)
+		if !quiet {
+			fmt.Printf("matmul %dx%d on %d PEs of %s (chare grid %dx%dx%d)\n",
+				*n, *n, *pes, plat.Name, msg.Grid[0], msg.Grid[1], msg.Grid[2])
+			fmt.Printf("  msg: %v per multiply\n", msg.IterTime)
+			fmt.Printf("  ckd: %v per multiply\n", ckd.IterTime)
+			fmt.Printf("  improvement: %.2f%%\n", pct)
+			if *validate {
+				fmt.Printf("  max error: msg %.2e, ckd %.2e\n", msg.MaxError, ckd.MaxError)
+			}
 		}
-		reportErrors(append(msg.Errors, ckd.Errors...))
+		reportErrors(closeNode(node, append(msg.Errors, ckd.Errors...)))
 		return
 	}
 	switch *modeName {
@@ -96,12 +135,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "matmul: unknown mode %q\n", *modeName)
 		os.Exit(2)
 	}
-	res := matmul.Run(cfg)
-	fmt.Printf("matmul %dx%d, mode %v, %d PEs: %v per multiply\n", *n, *n, cfg.Mode, *pes, res.IterTime)
-	if *validate {
-		fmt.Printf("  max error %.2e\n", res.MaxError)
+	var res matmul.Result
+	if recovery {
+		// Every rank's driver retries through the same recovery loop:
+		// on a recoverable rank death the mesh rebuilds (respawning the
+		// victim), and the re-run resumes from the newest committed
+		// checkpoint — or from scratch when none was taken.
+		res.Errors = charm.RunWithRecovery(node, charm.DefaultRecoveryAttempts, func() []error {
+			res = matmul.Run(cfg)
+			return res.Errors
+		})
+	} else {
+		res = matmul.Run(cfg)
 	}
-	reportErrors(res.Errors)
+	if !quiet {
+		fmt.Printf("matmul %dx%d, mode %v, %d PEs: %v per multiply\n", *n, *n, cfg.Mode, *pes, res.IterTime)
+		if *validate {
+			fmt.Printf("  max error %.2e\n", res.MaxError)
+		}
+	}
+	reportErrors(closeNode(node, res.Errors))
+}
+
+// closeNode tears the net-backend mesh down (reaping self-spawned
+// workers) and folds any teardown failure — e.g. a worker whose local
+// validation exited non-zero — into the run's error list.
+func closeNode(node *netrt.Node, errs []error) []error {
+	if node == nil {
+		return errs
+	}
+	if err := node.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errs
 }
 
 // reportErrors surfaces runtime contract violations and unrecovered

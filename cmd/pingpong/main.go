@@ -30,6 +30,7 @@ func main() {
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		killSpec    = flag.String("chaos.kill", "", `kill -9 a worker rank mid-run: "RANK@STEP" (net backend only; the benchmark recovers and restarts)`)
 	)
 	netCfg := netrt.RegisterFlags()
 	flag.Parse()
@@ -61,6 +62,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	kill, err := chaos.ParseKill(*killSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if kill != nil {
+		if be != charm.NetBackend {
+			fatal(fmt.Errorf("-chaos.kill exercises rank-death recovery and needs -backend=net"))
+		}
+		if strings.Contains(*sizesArg, ",") {
+			fatal(fmt.Errorf("-chaos.kill fires once per process; run it with a single -sizes value"))
+		}
+		netCfg.Recover = true
+	}
 	var node *netrt.Node
 	if be == charm.NetBackend {
 		if node, err = netrt.Start(*netCfg); err != nil {
@@ -80,7 +94,7 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("bad size %q: %v", field, err))
 		}
-		res := pingpong.Run(pingpong.Config{
+		cfg := pingpong.Config{
 			Platform: plat,
 			Mode:     mode,
 			Size:     size,
@@ -89,7 +103,20 @@ func main() {
 			Backend:  be,
 			Net:      node,
 			Chaos:    sc,
-		})
+			Kill:     kill,
+		}
+		var res pingpong.Result
+		if kill != nil {
+			// Pingpong takes no checkpoints: after the mesh rebuilds
+			// around the respawned rank, the benchmark restarts from
+			// iteration zero.
+			res.Errors = charm.RunWithRecovery(node, charm.DefaultRecoveryAttempts, func() []error {
+				res = pingpong.Run(cfg)
+				return res.Errors
+			})
+		} else {
+			res = pingpong.Run(cfg)
+		}
 		if !quiet {
 			fmt.Printf("%12d %14.3f\n", size, res.RTTMicros())
 		}

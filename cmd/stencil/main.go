@@ -37,6 +37,9 @@ func main() {
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		ckptEvery   = flag.Int("ckpt.every", 0, "checkpoint every N reduction barriers, 0 disables (net backend only)")
+		ckptDir     = flag.String("ckpt.dir", "", "checkpoint directory, shared by every rank (net backend only)")
+		killSpec    = flag.String("chaos.kill", "", `kill -9 a worker rank mid-run: "RANK@STEP" (net backend only; the world recovers and reruns)`)
 	)
 	netCfg := netrt.RegisterFlags()
 	flag.Parse()
@@ -68,6 +71,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	kill, err := chaos.ParseKill(*killSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if (*ckptEvery > 0) != (*ckptDir != "") {
+		fatal(fmt.Errorf("-ckpt.every and -ckpt.dir go together (got every=%d, dir=%q)", *ckptEvery, *ckptDir))
+	}
+	recovery := *ckptEvery > 0 || kill != nil
+	if recovery {
+		if be != charm.NetBackend {
+			fatal(fmt.Errorf("-ckpt.* and -chaos.kill exercise rank-death recovery and need -backend=net"))
+		}
+		if *compare {
+			fatal(fmt.Errorf("-compare reruns both modes on one mesh and cannot combine with recovery flags (pick one -mode)"))
+		}
+		// Keep every rank's listener open past bootstrap so Rejoin can
+		// rebuild the mesh around a respawned rank.
+		netCfg.Recover = true
+	}
 	var node *netrt.Node
 	if be == charm.NetBackend {
 		if node, err = netrt.Start(*netCfg); err != nil {
@@ -86,6 +108,10 @@ func main() {
 		Backend:  be,
 		Net:      node,
 		Chaos:    sc,
+		Kill:     kill,
+	}
+	if *ckptEvery > 0 {
+		cfg.Ckpt = &charm.CkptOptions{Dir: *ckptDir, Every: *ckptEvery}
 	}
 	var tl *trace.Timeline
 	if *traceFile != "" {
@@ -127,7 +153,19 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
-	res := stencil.Run(cfg)
+	var res stencil.Result
+	if recovery {
+		// Every rank's driver retries through the same recovery loop:
+		// on a recoverable rank death the mesh rebuilds (respawning the
+		// victim), and the re-run resumes from the newest committed
+		// checkpoint — or from scratch when none was taken.
+		res.Errors = charm.RunWithRecovery(node, charm.DefaultRecoveryAttempts, func() []error {
+			res = stencil.Run(cfg)
+			return res.Errors
+		})
+	} else {
+		res = stencil.Run(cfg)
+	}
 	if !quiet {
 		fmt.Printf("stencil %s, mode %v, %d PEs: %v per iteration (%d chares, grid %v)\n",
 			*domain, cfg.Mode, *pes, res.IterTime, res.Chares, res.ChareGrid)

@@ -62,6 +62,13 @@ type chare struct {
 	sent bool
 }
 
+// Pup checkpoints the part's state: the vertex values. acc is
+// per-iteration scratch, the staging buffers are re-filled on the next
+// exchange, and got/sent are zero at every barrier cut.
+func (c *chare) Pup(p charm.Puper) {
+	p.Float64s(&c.u)
+}
+
 func (a *app) build() {
 	a.totalIters = a.cfg.Warmup + a.cfg.Iters + 1
 	parts := a.part.Parts

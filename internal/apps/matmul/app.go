@@ -2,6 +2,7 @@ package matmul
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 
 	"repro/internal/charm"
@@ -26,11 +27,12 @@ type app struct {
 	rts  *charm.RTS
 	mgr  *ckdirect.Manager
 	arr  *charm.Array
+	ck   *charm.Checkpointer
 
-	iterEP, shardEP charm.EP
-	chares          []*chare
-	barriers        []sim.Time
-	totalIters      int
+	iterEP, shardEP, ckptEP charm.EP
+	chares                  []*chare
+	barriers                []sim.Time
+	totalIters              int
 
 	// Block geometry (elements).
 	rowsA, colsA int // A block: N/gx x N/gz
@@ -95,9 +97,9 @@ func (a *app) build() {
 			for x := 0; x < gx; x++ {
 				c := &chare{app: a, idx: charm.Idx3(x, y, z), x: x, y: y, z: z}
 				c.pe = a.arr.PEOf(c.idx)
-				if a.cfg.Validate || a.cfg.Backend == charm.RealBackend {
-					// The real backend moves actual bytes even in model
-					// mode, so the shard buffers must exist.
+				if a.cfg.Validate || a.cfg.Backend != charm.SimBackend {
+					// The real and net backends move actual bytes even in
+					// model mode, so the shard buffers must exist.
 					c.allocData()
 				}
 				if c.cStripsOut == nil {
@@ -118,15 +120,57 @@ func (a *app) build() {
 		src := msg.Tag >> 4
 		c.onShard(ctx, kind, src, msg.Data, msg.Size)
 	})
+	a.ckptEP = a.arr.EntryMethod("ckpt", func(ctx *charm.Ctx, msg *charm.Message) {
+		// One element reaching the cut; the last local one writes this
+		// rank's snapshot. The extra barrier round resumes iteration
+		// only after every rank's snapshot is durable.
+		a.ck.ElementSave(msg.Tag)
+		a.arr.ContributeFrom(ctx.Index(), 1)
+	})
 	a.arr.SetReductionClient(charm.Sum, func(ctx *charm.Ctx, vals []float64) {
-		a.barriers = append(a.barriers, ctx.Now())
-		if len(a.barriers) < a.totalIters {
-			ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+		if a.ck != nil && a.ck.InCheckpoint() {
+			// The checkpoint barrier completed: every rank's snapshot is
+			// on disk, so the commit record may name the step.
+			if _, err := a.ck.Commit(); err != nil {
+				a.rts.ReportError(fmt.Errorf("matmul: checkpoint commit: %w", err))
+				return
+			}
+			a.afterBarrier(ctx, len(a.barriers))
+			return
 		}
+		a.barriers = append(a.barriers, ctx.Now())
+		step := len(a.barriers)
+		// The kill -9 chaos tier fires here: the root client is the one
+		// place with a globally ordered step count.
+		a.cfg.Kill.Fire(step, a.cfg.Net)
+		if a.ck != nil && a.ck.Due(step) && step < a.totalIters {
+			a.ck.Begin(step)
+			ctx.Broadcast(a.arr, a.ckptEP, &charm.Message{Size: 8, Tag: step})
+			return
+		}
+		a.afterBarrier(ctx, step)
 	})
 	if a.cfg.Mode == Ckd {
 		a.buildChannels()
 	}
+}
+
+// afterBarrier broadcasts the next iteration (or nothing, ending the
+// run) once step barriers — multiply barriers, not checkpoint rounds —
+// have completed.
+func (a *app) afterBarrier(ctx *charm.Ctx, step int) {
+	if step < a.totalIters {
+		ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+	}
+}
+
+// Pup checkpoints the chare's state: the accumulated strip of C. The
+// A/B shards and assemblies are reconstructed by allocData (the shards
+// never change across iterations), counters and staging are zero at
+// every barrier cut, and the registered CkDirect buffers travel with
+// the region snapshot.
+func (c *chare) Pup(p charm.Puper) {
+	p.Float64s(&c.cAccum)
 }
 
 // Element addressing into the global matrices for validation.
@@ -374,6 +418,12 @@ func (c *chare) onShard(ctx *charm.Ctx, kind, src int, data []byte, size int) {
 		if c.cGot == nil {
 			c.cGot = make([][]byte, a.grid[2])
 		}
+		if a.cfg.Mode == Msg && a.cfg.Backend == charm.NetBackend {
+			// A remote message's payload aliases the pooled wire buffer,
+			// which is recycled when this handler returns — but the strip
+			// is staged until maybeFinish. Copy it out of the pool's reach.
+			data = append([]byte(nil), data...)
+		}
 		c.cGot[src] = data
 		if c.computed {
 			c.chargeStripAdd(ctx)
@@ -527,12 +577,62 @@ func (a *app) verify() float64 {
 	return linalg.MaxAbsDiff(got, want)
 }
 
+// verifyLocal checks the hosted chares' strips of C against a serial
+// reference product — the distributed backend's validation path, where
+// no single process holds the whole matrix but every process shares
+// the oracle.
+func (a *app) verifyLocal() []error {
+	n := a.cfg.N
+	am := linalg.NewMatrix(n, n)
+	bm := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			am.Set(i, j, seedA(i, j))
+			bm.Set(i, j, seedB(i, j))
+		}
+	}
+	want := linalg.NewMatrix(n, n)
+	linalg.Gemm(want, am, bm)
+	var errs []error
+	for _, c := range a.chares {
+		if !a.rts.HostsPE(c.pe) {
+			continue
+		}
+		for r := 0; r < a.stripRows; r++ {
+			gi := c.x*a.rowsC + c.z*a.stripRows + r
+			for j := 0; j < a.colsC; j++ {
+				got := c.cAccum[r*a.colsC+j]
+				if diff := math.Abs(got - want.At(gi, c.y*a.colsC+j)); diff > 1e-9 {
+					errs = append(errs, fmt.Errorf(
+						"matmul: C(%d,%d) = %v, off the serial reference by %g",
+						gi, c.y*a.colsC+j, got, diff))
+					if len(errs) >= 5 {
+						return errs
+					}
+				}
+			}
+		}
+	}
+	return errs
+}
+
 // gatherC assembles the distributed product into one row-major slice —
 // the payload the cross-backend equivalence tests compare bit-for-bit.
+// Under the net backend only hosted chares hold live data; the rest of
+// the matrix is marked NaN so a comparison cannot silently pass on
+// never-computed strips.
 func (a *app) gatherC() []float64 {
 	n := a.cfg.N
 	out := make([]float64, n*n)
+	if a.cfg.Backend == charm.NetBackend {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+	}
 	for _, c := range a.chares {
+		if !a.rts.HostsPE(c.pe) {
+			continue
+		}
 		for r := 0; r < a.stripRows; r++ {
 			gi := c.x*a.rowsC + c.z*a.stripRows + r
 			for j := 0; j < a.colsC; j++ {

@@ -53,6 +53,13 @@ type gsChare struct {
 	backGot int
 }
 
+// Pup checkpoints the GS element's state: the coefficient vector. The
+// send staging buffer is re-encoded each step, and the phase counters
+// are zero at every step boundary.
+func (g *gsChare) Pup(p charm.Puper) {
+	p.Float64s(&g.coeffs)
+}
+
 type pcChare struct {
 	app       *app
 	b1, b2, p int
@@ -66,6 +73,13 @@ type pcChare struct {
 	in          []*ckdirect.Handle
 
 	overlap float64
+}
+
+// Pup checkpoints the PairCalculator's state: its overlap partial. The
+// per-state staging slices are re-filled by the next step's arrivals,
+// and expected/got are zero at every step boundary.
+func (c *pcChare) Pup(p charm.Puper) {
+	p.Float64(&c.overlap)
 }
 
 func (a *app) transferBytes() int { return a.cfg.Points * 16 }

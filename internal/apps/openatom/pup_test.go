@@ -1,0 +1,47 @@
+package openatom
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/charm"
+)
+
+// TestPupRoundTrip is the element-state property test for both chare
+// kinds: packing, unpacking into a fresh element, and repacking must
+// reproduce the bytes and the state exactly.
+func TestPupRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		gs := &gsChare{coeffs: make([]float64, rng.Intn(64))}
+		for i := range gs.coeffs {
+			gs.coeffs[i] = rng.NormFloat64()
+		}
+		pc := &pcChare{overlap: rng.NormFloat64()}
+
+		var p charm.Packer
+		gs.Pup(&p)
+		pc.Pup(&p)
+
+		gs2, pc2 := &gsChare{}, &pcChare{}
+		u := &charm.Unpacker{Buf: p.Buf}
+		gs2.Pup(u)
+		pc2.Pup(u)
+		if err := u.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if u.Rest() != 0 {
+			t.Fatalf("trial %d: %d bytes left over", trial, u.Rest())
+		}
+		var p2 charm.Packer
+		gs2.Pup(&p2)
+		pc2.Pup(&p2)
+		if !bytes.Equal(p.Buf, p2.Buf) {
+			t.Fatalf("trial %d: repack differs", trial)
+		}
+		if pc2.overlap != pc.overlap {
+			t.Fatalf("trial %d: overlap %v != %v", trial, pc2.overlap, pc.overlap)
+		}
+	}
+}

@@ -69,6 +69,23 @@ type Config struct {
 	// stacks that assume a reliable transport and ignore it. A run broken
 	// by unrecovered faults returns Result.Errors instead of panicking.
 	Chaos *chaos.Scenario
+	// Kill, when set, fires the kill -9 chaos tier after Kill.Step round
+	// trips complete. Pingpong takes no checkpoints — the recovery driver
+	// simply reruns the whole benchmark, which is cheaper than saving it.
+	Kill *chaos.Kill
+}
+
+// endpoint is a pingpong chare-array element. Element 0 counts the
+// remaining round trips; element 1 is the reflector. Pup implements the
+// uniform element-state contract (recovery reruns the benchmark from
+// scratch, so the count is only read by the state-contract tests).
+type endpoint struct {
+	Left int
+}
+
+// Pup packs or restores the endpoint's state.
+func (e *endpoint) Pup(p charm.Puper) {
+	p.Int(&e.Left)
 }
 
 // Result is the measured outcome.
@@ -137,11 +154,11 @@ func runCharm(cfg Config) Result {
 		}
 		return peB
 	})
-	arr.Insert(charm.Idx1(0), nil)
-	arr.Insert(charm.Idx1(1), nil)
+	e0 := &endpoint{Left: cfg.Iters}
+	arr.Insert(charm.Idx1(0), e0)
+	arr.Insert(charm.Idx1(1), &endpoint{})
 
 	var start, end sim.Time
-	left := cfg.Iters
 	var pingEP, pongEP charm.EP
 	// Each endpoint reuses one preallocated message — the Charm++ idiom of
 	// keeping a persistent message for a regular exchange. Strict
@@ -153,8 +170,11 @@ func runCharm(cfg Config) Result {
 		ctx.Send(arr, charm.Idx1(0), pongEP, pongMsg)
 	})
 	pongEP = arr.EntryMethod("pong", func(ctx *charm.Ctx, msg *charm.Message) {
-		left--
-		if left == 0 {
+		e0.Left--
+		// The kill -9 chaos tier fires here: the pong callback is the
+		// benchmark's globally ordered progress observer.
+		cfg.Kill.Fire(cfg.Iters-e0.Left, cfg.Net)
+		if e0.Left == 0 {
 			end = ctx.Now()
 			return
 		}
@@ -203,6 +223,7 @@ func runCkDirect(cfg Config) Result {
 	hBA, err = mgr.CreateHandle(peA, recvA, oob, func(ctx *charm.Ctx) {
 		mgr.Ready(hBA)
 		left--
+		cfg.Kill.Fire(cfg.Iters-left, cfg.Net)
 		if left == 0 {
 			end = ctx.Now()
 			return

@@ -1,0 +1,36 @@
+package pingpong
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/charm"
+)
+
+// TestEndpointPupRoundTrip is the element-state property test: packing
+// an endpoint, unpacking into a fresh one, and repacking must reproduce
+// the bytes and the count exactly.
+func TestEndpointPupRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		src := &endpoint{Left: rng.Intn(1 << 20)}
+		var p charm.Packer
+		src.Pup(&p)
+
+		dst := &endpoint{}
+		u := &charm.Unpacker{Buf: p.Buf}
+		dst.Pup(u)
+		if err := u.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if u.Rest() != 0 || dst.Left != src.Left {
+			t.Fatalf("trial %d: got %d (rest %d), want %d", trial, dst.Left, u.Rest(), src.Left)
+		}
+		var p2 charm.Packer
+		dst.Pup(&p2)
+		if !bytes.Equal(p.Buf, p2.Buf) {
+			t.Fatalf("trial %d: repack differs", trial)
+		}
+	}
+}

@@ -39,9 +39,10 @@ type app struct {
 	rts  *charm.RTS
 	mgr  *ckdirect.Manager
 	arr  *charm.Array
+	ck   *charm.Checkpointer
 
-	iterEP, faceEP charm.EP
-	chares         []*chare
+	iterEP, faceEP, ckptEP charm.EP
+	chares                 []*chare
 
 	barriers     []sim.Time
 	lastResidual float64
@@ -160,12 +161,36 @@ func (a *app) build() {
 		c := ctx.Obj().(*chare)
 		c.onFace(ctx, msg.Tag, msg.Data)
 	})
+	a.ckptEP = a.arr.EntryMethod("ckpt", func(ctx *charm.Ctx, msg *charm.Message) {
+		// One element reaching the cut; the last local one writes this
+		// rank's snapshot. The extra barrier round resumes iteration
+		// only after every rank's snapshot is durable.
+		a.ck.ElementSave(msg.Tag)
+		a.arr.ContributeFrom(ctx.Index(), 1, 0)
+	})
 	a.arr.SetReductionClient(charm.Sum, func(ctx *charm.Ctx, vals []float64) {
+		if a.ck != nil && a.ck.InCheckpoint() {
+			// The checkpoint barrier completed: every rank's snapshot is
+			// on disk, so the commit record may name the step.
+			if _, err := a.ck.Commit(); err != nil {
+				a.rts.ReportError(fmt.Errorf("stencil: checkpoint commit: %w", err))
+				return
+			}
+			a.afterBarrier(ctx, len(a.barriers))
+			return
+		}
 		a.barriers = append(a.barriers, ctx.Now())
 		a.lastResidual = vals[1]
-		if len(a.barriers) < a.totalIters {
-			ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+		step := len(a.barriers)
+		// The kill -9 chaos tier fires here: the root client is the one
+		// place with a globally ordered step count.
+		a.cfg.Kill.Fire(step, a.cfg.Net)
+		if a.ck != nil && a.ck.Due(step) && step < a.totalIters {
+			a.ck.Begin(step)
+			ctx.Broadcast(a.arr, a.ckptEP, &charm.Message{Size: 8, Tag: step})
+			return
 		}
+		a.afterBarrier(ctx, step)
 	})
 
 	if a.cfg.Mode == Ckd {
@@ -235,6 +260,22 @@ func (a *app) neighborOf(c *chare, d int) *chare {
 	nj := c.idx[1] + dirDelta[d][1]
 	nk := c.idx[2] + dirDelta[d][2]
 	return a.arr.Obj(charm.Idx3(ni, nj, nk)).(*chare)
+}
+
+// afterBarrier broadcasts the next iteration (or nothing, ending the
+// run) once step barriers — iterate barriers, not checkpoint rounds —
+// have completed.
+func (a *app) afterBarrier(ctx *charm.Ctx, step int) {
+	if step < a.totalIters {
+		ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+	}
+}
+
+// Pup checkpoints the chare's state: the current field. next is
+// per-iteration scratch, faceVals are re-decoded on the next arrival,
+// and got/sent are zero at every barrier cut.
+func (c *chare) Pup(p charm.Puper) {
+	p.Float64s(&c.cur)
 }
 
 func (a *app) start() {

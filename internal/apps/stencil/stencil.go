@@ -66,6 +66,14 @@ type Config struct {
 	// network faults, recovery machinery). Contract violations then land
 	// in Result.Errors instead of panicking.
 	Chaos *chaos.Scenario
+	// Ckpt enables coordinated checkpointing: every Ckpt.Every barriers
+	// the world cuts a consistent snapshot, and a fresh Run resumes from
+	// the newest committed one (the recovery driver re-runs after a rank
+	// death, rolling everyone back together).
+	Ckpt *charm.CkptOptions
+	// Kill, when set, fires the kill -9 chaos tier from the root
+	// reduction client: the victim rank dies after Kill.Step barriers.
+	Kill *chaos.Kill
 }
 
 // Result reports timing and, in validate mode, the solution.
@@ -168,6 +176,29 @@ func Run(cfg Config) Result {
 	}
 	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
+	if cfg.Ckpt.Enabled() {
+		a.ck = charm.NewCheckpointer(rts, cfg.Ckpt)
+		a.ck.Attach(a.arr)
+		if a.mgr != nil {
+			a.ck.SetRegionHooks(a.mgr)
+		}
+		// Roll back to the newest committed cut (a fresh run finds none
+		// and starts from step zero). Restore happens after build: the
+		// SPMD setup is identical to the checkpointed run's, so element
+		// state and registered-buffer bytes overlay in place.
+		step, err := a.ck.Restore()
+		if err != nil {
+			return Result{
+				Config: cfg, ChareGrid: grid, Chares: total,
+				Errors:   []error{fmt.Errorf("stencil: restore checkpoint: %w", err)},
+				Counters: rts.Recorder().Counters(),
+			}
+		}
+		// Barrier count is the global step cursor: pre-seeding it makes
+		// the next completed barrier step+1. (Recovered runs report no
+		// meaningful timing — the pre-seeded entries are zero.)
+		a.barriers = make([]sim.Time, step)
+	}
 	a.start()
 	rts.Run()
 	errs := rts.Errors()

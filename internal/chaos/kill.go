@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Killer destroys a rank's process. *netrt.Node implements it
+// (KillWorker SIGKILLs a self-spawned child); in-process recovery tests
+// substitute a closure that hard-kills the victim's Node.
+type Killer interface {
+	KillWorker(rank int) error
+}
+
+// KillerFunc adapts a closure to Killer.
+type KillerFunc func(rank int) error
+
+// KillWorker implements Killer.
+func (f KillerFunc) KillWorker(rank int) error { return f(rank) }
+
+// Kill is the kill -9 chaos tier: destroy one rank's process after a
+// given application step completes, exercising the checkpoint/rejoin
+// recovery path end to end. The trigger fires from the root rank's
+// progress observer (the reduction client, or pingpong's completion
+// callback), which is the one place with a globally ordered step count.
+type Kill struct {
+	// Rank is the victim (must not be 0 — the coordinator's death is
+	// not recoverable).
+	Rank int
+	// Step fires the kill after this 1-based step completes.
+	Step int
+	// Via overrides how the victim dies; nil uses the node itself
+	// (SIGKILL of the spawned child).
+	Via Killer
+
+	fired atomic.Bool
+}
+
+// ParseKill parses the -chaos.kill flag grammar "RANK@STEP", e.g.
+// "2@5" — kill rank 2 after step 5. Empty means no kill.
+func ParseKill(s string) (*Kill, error) {
+	if s == "" {
+		return nil, nil
+	}
+	rankS, stepS, ok := strings.Cut(s, "@")
+	if !ok {
+		return nil, fmt.Errorf("chaos: kill spec %q is not RANK@STEP", s)
+	}
+	rank, err := strconv.Atoi(rankS)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: kill spec rank %q: %v", rankS, err)
+	}
+	step, err := strconv.Atoi(stepS)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: kill spec step %q: %v", stepS, err)
+	}
+	if rank <= 0 {
+		return nil, fmt.Errorf("chaos: kill rank must be a worker (got %d; rank 0 is the unrecoverable coordinator)", rank)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("chaos: kill step must be >= 1 (got %d)", step)
+	}
+	return &Kill{Rank: rank, Step: step}, nil
+}
+
+// Fire triggers the kill when step matches, at most once per process
+// lifetime — after recovery the run re-reaches the step, and a kill
+// that re-fired every time would livelock the recovery loop. fallback
+// is used when Via is nil. Fire reports whether it killed. A nil
+// receiver never fires, so call sites need no guard.
+func (k *Kill) Fire(step int, fallback Killer) bool {
+	if k == nil || step != k.Step || !k.fired.CompareAndSwap(false, true) {
+		return false
+	}
+	via := k.Via
+	if via == nil {
+		via = fallback
+	}
+	if via == nil {
+		return false
+	}
+	// The victim dying severs sockets; the caller's own run will abort
+	// through the normal peer-loss path, so the error is advisory only.
+	via.KillWorker(k.Rank)
+	return true
+}

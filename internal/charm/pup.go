@@ -1,0 +1,239 @@
+package charm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Puper is the pack/unpack visitor of the pup (pack-unpack) contract:
+// one Pup method describes an element's state once, and the same code
+// path serializes (packing) and deserializes (unpacking) it — mirroring
+// Charm++'s PUP framework, scoped to what checkpointing needs. Calls
+// must happen in the same order on both sides; the wire format is the
+// field sequence itself, so there is no per-field tagging.
+type Puper interface {
+	// Packing reports the direction: true while serializing.
+	Packing() bool
+	Int(v *int)
+	Int64(v *int64)
+	Float64(v *float64)
+	Bool(v *bool)
+	// Bytes pups a byte slice, length-prefixed. Unpacking fills the
+	// existing slice in place when its length already matches (so
+	// buffers aliased by registered regions keep their identity) and
+	// reallocates otherwise.
+	Bytes(v *[]byte)
+	// Float64s pups a []float64 with the same in-place rule as Bytes.
+	Float64s(v *[]float64)
+	// Err returns the first error encountered (truncated or oversized
+	// input while unpacking). After an error every further call is a
+	// no-op that leaves targets untouched.
+	Err() error
+}
+
+// Pupable is implemented by chare objects that can checkpoint their
+// state.
+type Pupable interface {
+	Pup(p Puper)
+}
+
+// maxPupSlice bounds a decoded slice length so corrupt input cannot
+// force an unbounded allocation (1 << 31 elements is far beyond any
+// element state in this repository).
+const maxPupSlice = 1 << 31
+
+// Packer is the serializing Puper: every visited field appends to Buf.
+type Packer struct {
+	Buf []byte
+}
+
+func (p *Packer) Packing() bool { return true }
+func (p *Packer) Err() error    { return nil }
+
+func (p *Packer) Int(v *int)     { p.Buf = binary.LittleEndian.AppendUint64(p.Buf, uint64(int64(*v))) }
+func (p *Packer) Int64(v *int64) { p.Buf = binary.LittleEndian.AppendUint64(p.Buf, uint64(*v)) }
+func (p *Packer) Float64(v *float64) {
+	p.Buf = binary.LittleEndian.AppendUint64(p.Buf, math.Float64bits(*v))
+}
+func (p *Packer) Bool(v *bool) {
+	b := byte(0)
+	if *v {
+		b = 1
+	}
+	p.Buf = append(p.Buf, b)
+}
+func (p *Packer) Bytes(v *[]byte) {
+	p.Buf = binary.LittleEndian.AppendUint64(p.Buf, uint64(len(*v)))
+	p.Buf = append(p.Buf, *v...)
+}
+func (p *Packer) Float64s(v *[]float64) {
+	p.Buf = binary.LittleEndian.AppendUint64(p.Buf, uint64(len(*v)))
+	for _, f := range *v {
+		p.Buf = binary.LittleEndian.AppendUint64(p.Buf, math.Float64bits(f))
+	}
+}
+
+// Unpacker is the deserializing Puper: every visited field reads from
+// Buf in order. Errors are sticky.
+type Unpacker struct {
+	Buf []byte
+	off int
+	err error
+}
+
+func (u *Unpacker) Packing() bool { return false }
+func (u *Unpacker) Err() error    { return u.err }
+
+// Rest returns how many input bytes remain unconsumed — a restore that
+// finishes with bytes left over read a layout it did not expect.
+func (u *Unpacker) Rest() int { return len(u.Buf) - u.off }
+
+func (u *Unpacker) take(n int) []byte {
+	if u.err != nil {
+		return nil
+	}
+	if n < 0 || len(u.Buf)-u.off < n {
+		u.err = fmt.Errorf("charm: pup underflow: need %d bytes, have %d", n, len(u.Buf)-u.off)
+		return nil
+	}
+	b := u.Buf[u.off : u.off+n]
+	u.off += n
+	return b
+}
+
+func (u *Unpacker) u64() uint64 {
+	b := u.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (u *Unpacker) Int(v *int) {
+	x := int64(u.u64())
+	if u.err == nil {
+		*v = int(x)
+	}
+}
+func (u *Unpacker) Int64(v *int64) {
+	x := int64(u.u64())
+	if u.err == nil {
+		*v = x
+	}
+}
+func (u *Unpacker) Float64(v *float64) {
+	x := math.Float64frombits(u.u64())
+	if u.err == nil {
+		*v = x
+	}
+}
+func (u *Unpacker) Bool(v *bool) {
+	b := u.take(1)
+	if b != nil {
+		*v = b[0] != 0
+	}
+}
+
+func (u *Unpacker) sliceLen() (int, bool) {
+	n := u.u64()
+	if u.err != nil {
+		return 0, false
+	}
+	if n > maxPupSlice {
+		u.err = fmt.Errorf("charm: pup slice length %d exceeds cap", n)
+		return 0, false
+	}
+	return int(n), true
+}
+
+func (u *Unpacker) Bytes(v *[]byte) {
+	n, ok := u.sliceLen()
+	if !ok {
+		return
+	}
+	b := u.take(n)
+	if b == nil {
+		return
+	}
+	if len(*v) == n {
+		copy(*v, b)
+		return
+	}
+	*v = append([]byte(nil), b...)
+}
+
+func (u *Unpacker) Float64s(v *[]float64) {
+	n, ok := u.sliceLen()
+	if !ok {
+		return
+	}
+	b := u.take(8 * n)
+	if b == nil {
+		return
+	}
+	dst := *v
+	if len(dst) != n {
+		dst = make([]float64, n)
+		*v = dst
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// pupHosted pups the locally hosted elements of the array in the
+// deterministic perPE insertion order — identical on every rank under
+// the SPMD setup, so pack and unpack walk the same sequence. Elements
+// with a nil chare object (state held elsewhere) are skipped; a non-nil
+// object that does not implement Pupable is a contract violation.
+func (a *Array) pupHosted(p Puper) error {
+	for pe, els := range a.perPE {
+		if !a.rts.HostsPE(pe) {
+			continue
+		}
+		for _, el := range els {
+			if el.obj == nil {
+				continue
+			}
+			pb, ok := el.obj.(Pupable)
+			if !ok {
+				return fmt.Errorf("charm: %s[%s] chare (%T) does not implement Pupable", a.name, el.idx, el.obj)
+			}
+			pb.Pup(p)
+			if err := p.Err(); err != nil {
+				return fmt.Errorf("charm: pup %s[%s]: %w", a.name, el.idx, err)
+			}
+		}
+	}
+	return nil
+}
+
+// hostedPupables counts the locally hosted elements pupHosted would
+// visit.
+func (a *Array) hostedPupables() int {
+	n := 0
+	for pe, els := range a.perPE {
+		if !a.rts.HostsPE(pe) {
+			continue
+		}
+		for _, el := range els {
+			if el.obj != nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// hostedElements counts all locally hosted elements (pupable or not) —
+// the contribution count a whole-array checkpoint barrier waits for.
+func (a *Array) hostedElements() int {
+	n := 0
+	for pe, els := range a.perPE {
+		if a.rts.HostsPE(pe) {
+			n += len(els)
+		}
+	}
+	return n
+}

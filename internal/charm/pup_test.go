@@ -1,0 +1,121 @@
+package charm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// pupEverything visits one field of every Puper type.
+type pupState struct {
+	i  int
+	i6 int64
+	f  float64
+	b  bool
+	bs []byte
+	fs []float64
+}
+
+func (s *pupState) Pup(p Puper) {
+	p.Int(&s.i)
+	p.Int64(&s.i6)
+	p.Float64(&s.f)
+	p.Bool(&s.b)
+	p.Bytes(&s.bs)
+	p.Float64s(&s.fs)
+}
+
+func TestPupRoundTrip(t *testing.T) {
+	src := &pupState{
+		i: -42, i6: 1 << 40, f: math.Pi, b: true,
+		bs: []byte{1, 2, 3, 0xFF},
+		fs: []float64{0, -1.5, math.Inf(1)},
+	}
+	var p Packer
+	src.Pup(&p)
+
+	dst := &pupState{}
+	u := &Unpacker{Buf: p.Buf}
+	dst.Pup(u)
+	if err := u.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Rest() != 0 {
+		t.Fatalf("%d bytes left over", u.Rest())
+	}
+	var p2 Packer
+	dst.Pup(&p2)
+	if !bytes.Equal(p.Buf, p2.Buf) {
+		t.Fatal("repack differs from the original pack")
+	}
+	if dst.i != src.i || dst.i6 != src.i6 || dst.f != src.f || dst.b != src.b {
+		t.Fatalf("scalar mismatch: %+v != %+v", dst, src)
+	}
+}
+
+// TestPupInPlace asserts the property checkpoint restore relies on:
+// unpacking into a slice of matching length fills it in place, so
+// buffers aliased by registered regions keep their identity.
+func TestPupInPlace(t *testing.T) {
+	src := []byte{10, 20, 30, 40}
+	var p Packer
+	p.Bytes(&src)
+
+	dst := make([]byte, 4)
+	alias := dst
+	u := &Unpacker{Buf: p.Buf}
+	u.Bytes(&dst)
+	if u.Err() != nil {
+		t.Fatal(u.Err())
+	}
+	if &dst[0] != &alias[0] {
+		t.Fatal("matching-length unpack reallocated the slice")
+	}
+	if !bytes.Equal(alias, src) {
+		t.Fatalf("alias not filled: %v", alias)
+	}
+
+	// A length mismatch must reallocate, not write short.
+	short := make([]byte, 2)
+	u = &Unpacker{Buf: p.Buf}
+	u.Bytes(&short)
+	if u.Err() != nil {
+		t.Fatal(u.Err())
+	}
+	if len(short) != 4 || !bytes.Equal(short, src) {
+		t.Fatalf("mismatched-length unpack got %v", short)
+	}
+}
+
+func TestPupUnderflow(t *testing.T) {
+	var p Packer
+	v := []float64{1, 2, 3}
+	p.Float64s(&v)
+
+	for cut := 0; cut < len(p.Buf); cut++ {
+		u := &Unpacker{Buf: p.Buf[:cut]}
+		got := []float64{9, 9, 9}
+		u.Float64s(&got)
+		if u.Err() == nil {
+			t.Fatalf("truncation to %d bytes not detected", cut)
+		}
+		// Errors are sticky: further reads must stay no-ops.
+		x := 7
+		u.Int(&x)
+		if x != 7 {
+			t.Fatal("read-after-error modified its target")
+		}
+	}
+}
+
+func TestPupOversizedLength(t *testing.T) {
+	var p Packer
+	huge := int64(maxPupSlice + 1)
+	p.Int64(&huge)
+	u := &Unpacker{Buf: p.Buf}
+	var b []byte
+	u.Bytes(&b)
+	if u.Err() == nil {
+		t.Fatal("oversized slice length accepted")
+	}
+}

@@ -1,0 +1,36 @@
+package charm
+
+import (
+	"fmt"
+
+	"repro/internal/netrt"
+)
+
+// DefaultRecoveryAttempts bounds how many times a run is retried after
+// rank deaths before the failure surfaces as today's clean typed abort.
+const DefaultRecoveryAttempts = 2
+
+// RunWithRecovery executes run() with bounded rank-failure recovery.
+// run must be the complete SPMD run closure: build the runtime and
+// arrays from scratch, restore from the newest committed checkpoint
+// (Checkpointer.Restore), execute, and return the run's errors. When a
+// run fails purely with recoverable peer-loss NetErrors, the mesh is
+// rebuilt via node.Rejoin — which respawns the dead rank — and run()
+// re-executes; every rank's driver does the same, so the whole world
+// rolls back to the checkpoint together. Any other failure (or attempts
+// running out, or a rejoin that itself fails) returns the errors
+// unchanged: the caller sees exactly the abort it would have seen
+// without recovery.
+func RunWithRecovery(node *netrt.Node, attempts int, run func() []error) []error {
+	errs := run()
+	for try := 0; try < attempts; try++ {
+		if len(errs) == 0 || node == nil || !netrt.Recoverable(errs) {
+			return errs
+		}
+		if err := node.Rejoin(); err != nil {
+			return append(errs, fmt.Errorf("recovery attempt %d: %w", try+1, err))
+		}
+		errs = run()
+	}
+	return errs
+}

@@ -1,0 +1,36 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCkptCodec drives arbitrary bytes through Decode (it must never
+// panic, and anything it accepts must re-encode byte-identically) and
+// arbitrary snapshots through Encode->Decode (which must round-trip).
+func FuzzCkptCodec(f *testing.F) {
+	seed, _ := Encode(&Snapshot{Rank: 1, World: 4, Step: 20, Payload: []byte("state")})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, magic2, magic3, Version, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("re-encode differs from accepted input")
+		}
+		s2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if s2.Rank != s.Rank || s2.World != s.World || s2.Step != s.Step || !bytes.Equal(s2.Payload, s.Payload) {
+			t.Fatalf("round trip mismatch")
+		}
+	})
+}

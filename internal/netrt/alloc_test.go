@@ -48,6 +48,7 @@ func TestEagerSendAllocs(t *testing.T) {
 	n.peers = make([]*peerConn, 2)
 	p := newPeerConn(n, 1, conn)
 	n.peers[1] = p
+	n.publishPeers()
 	go p.writer()
 	defer p.shutdown()
 

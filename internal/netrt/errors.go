@@ -1,6 +1,9 @@
 package netrt
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // NetError is a typed network failure: a peer process died, a
 // connection broke, or a keepalive window expired. It surfaces through
@@ -26,3 +29,23 @@ func (e *NetError) Error() string {
 
 // Unwrap exposes the cause to errors.Is/As.
 func (e *NetError) Unwrap() error { return e.Err }
+
+// Recoverable reports whether a run's failure set is a rank-death the
+// recovery driver can handle: at least one error, every error a typed
+// NetError concerning a concrete peer (Peer >= 0), and none of them a
+// bootstrap failure — a world that never formed has nothing to rejoin.
+func Recoverable(errs []error) bool {
+	if len(errs) == 0 {
+		return false
+	}
+	for _, err := range errs {
+		var ne *NetError
+		if !errors.As(err, &ne) {
+			return false
+		}
+		if ne.Peer < 0 || ne.Op == "bootstrap" {
+			return false
+		}
+	}
+	return true
+}

@@ -10,8 +10,17 @@ import "sync"
 // serve tests and single-host experiments that want the complete wire
 // stack without process management.
 func StartLocal(world int) ([]*Node, error) {
+	return StartLocalConfig(world, Config{})
+}
+
+// StartLocalConfig is StartLocal with extra settings applied to every
+// rank — recovery tests set Recover and OnRespawn. Rank, World, Coord
+// and OnListen belong to the bootstrap and are overwritten.
+func StartLocalConfig(world int, base Config) ([]*Node, error) {
 	if world <= 1 {
-		n, err := Start(Config{World: 1})
+		cfg := base
+		cfg.Rank, cfg.World = 0, 1
+		n, err := Start(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -23,8 +32,10 @@ func StartLocal(world int) ([]*Node, error) {
 	done0 := make(chan struct{})
 	go func() {
 		defer close(done0)
-		nodes[0], errs[0] = Start(Config{Rank: 0, World: world, Coord: "127.0.0.1:0",
-			OnListen: func(a string) { addrC <- a }})
+		cfg := base
+		cfg.Rank, cfg.World, cfg.Coord = 0, world, "127.0.0.1:0"
+		cfg.OnListen = func(a string) { addrC <- a }
+		nodes[0], errs[0] = Start(cfg)
 	}()
 	var addr string
 	select {
@@ -39,7 +50,10 @@ func StartLocal(world int) ([]*Node, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			nodes[r], errs[r] = Start(Config{Rank: r, World: world, Coord: addr})
+			cfg := base
+			cfg.Rank, cfg.World, cfg.Coord = r, world, addr
+			cfg.OnListen = nil
+			nodes[r], errs[r] = Start(cfg)
 		}()
 	}
 	wg.Wait()

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bufpool"
@@ -17,6 +18,12 @@ import (
 // bigger negotiates an RTS/CTS exchange first — the same protocol split
 // the netmodel personalities price for the simulator.
 const DefaultEagerMax = 4096
+
+// closeFlushGrace bounds how long Close waits for the connection
+// writers to flush the FLeave goodbyes before the sockets (and likely
+// the process) go away. A live writer drains the goodbye in
+// microseconds; the grace only matters when a peer has stopped reading.
+const closeFlushGrace = 5 * time.Second
 
 // Config describes this process's membership in a net-backend world.
 type Config struct {
@@ -43,6 +50,15 @@ type Config struct {
 	// OnListen, when set, observes the local listen address as soon as
 	// it is bound (tests coordinate in-process worlds with it).
 	OnListen func(addr string)
+	// Recover keeps every rank's listener open past bootstrap so a dead
+	// rank can be respawned and the mesh rebuilt via Rejoin.
+	Recover bool
+	// OnRespawn, when set, replaces process respawn during Rejoin: the
+	// coordinator calls it (on its own goroutine) for each dead rank,
+	// and the hook is responsible for bringing a replacement rank into
+	// the world via Start. In-process recovery tests use it; spawned
+	// worlds re-exec the dead worker instead.
+	OnRespawn func(rank int)
 }
 
 // Node is one process's membership in the distributed world: the full
@@ -53,9 +69,16 @@ type Config struct {
 type Node struct {
 	rank, world int
 	eagerMax    int
-	peers       []*peerConn // by rank; nil at our own slot
-	ln          net.Listener
-	children    []*spawnedWorker
+	// peers is the connection table under construction: bootstrap and
+	// Rejoin fill it on a single goroutine, then publish it wholesale
+	// into live. Everything that runs concurrently with a possible
+	// Rejoin (senders, teardown, the Bye cascade) must read the
+	// published snapshot via peerTable, never this field.
+	peers    []*peerConn // by rank; nil at our own slot
+	live     atomic.Pointer[[]*peerConn]
+	ln       net.Listener
+	children []*spawnedWorker
+	cfg      Config // retained for Rejoin (recovery mode only)
 
 	mu           sync.Mutex
 	attached     *Runtime
@@ -64,6 +87,23 @@ type Node struct {
 	completedGen int64 // highest run generation whose Run() returned
 	deadErr      error // a peer is gone; further runs abort immediately
 	closing      bool
+	// epoch counts mesh incarnations: it bumps on every Rejoin (under
+	// mu, with the rest of the mesh reset), and everything a connection
+	// of an earlier epoch produces afterwards is stale — its teardown
+	// already happened. peerDown ignores stale failure reports, and
+	// dispatch drops stale frames outright (an old connection's reader
+	// stays alive until its socket drains, long enough to deliver an
+	// FLeave or FBye from the torn-down mesh AFTER the rejoin reset
+	// cleared deadErr — adopting it would poison the fresh mesh and
+	// abort the re-run at creation). Atomic so dispatch reads it
+	// lock-free on the per-frame hot path.
+	epoch atomic.Int64
+	// dead records peers whose connection broke in the current epoch —
+	// direct socket observations only (every rank has a direct edge to
+	// every other, so a crashed peer is seen firsthand; an FBye names
+	// the messenger, not the dead rank, and is deliberately not
+	// recorded here).
+	dead map[int]bool
 }
 
 // bufFrame is an app frame that arrived for a run generation this
@@ -98,7 +138,8 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.EagerMax <= 0 {
 		cfg.EagerMax = DefaultEagerMax
 	}
-	n := &Node{rank: cfg.Rank, world: world, eagerMax: cfg.EagerMax, completedGen: -1}
+	n := &Node{rank: cfg.Rank, world: world, eagerMax: cfg.EagerMax, completedGen: -1,
+		cfg: cfg, dead: make(map[int]bool)}
 	if world == 1 {
 		// Degenerate single-process world: no sockets, no coordinator —
 		// useful for flag plumbing tests and as the safe default.
@@ -132,6 +173,7 @@ func Start(cfg Config) (*Node, error) {
 			err = n.bootstrapWorker(cfg)
 		}
 	}
+	n.publishPeers()
 	if err != nil {
 		n.Close()
 		return nil, &NetError{Rank: n.rank, Peer: -1, Op: "bootstrap", Err: err}
@@ -142,6 +184,25 @@ func Start(cfg Config) (*Node, error) {
 		}
 	}
 	return n, nil
+}
+
+// publishPeers makes the constructed connection table visible to
+// lock-free readers. Bootstrap and Rejoin call it once construction is
+// complete; until then, concurrent senders keep using the previous
+// table (whose connections are down during a rejoin, so their sends
+// drop — the run is aborting anyway).
+func (n *Node) publishPeers() {
+	t := n.peers
+	n.live.Store(&t)
+}
+
+// peerTable returns the last published connection table (nil before
+// bootstrap publishes).
+func (n *Node) peerTable() []*peerConn {
+	if t := n.live.Load(); t != nil {
+		return *t
+	}
+	return nil
 }
 
 // Rank returns this process's rank.
@@ -156,6 +217,16 @@ func (n *Node) IsWorker() bool { return n.rank != 0 }
 
 // EagerMax returns the eager/rendezvous threshold in effect.
 func (n *Node) EagerMax() int { return n.eagerMax }
+
+// Addr returns this node's listen address, or "" when no listener is
+// retained. Under Config.Recover the address stays valid for the whole
+// run — a respawned rank dials the coordinator's to rejoin.
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
 
 // listen binds the local listener and publishes its address.
 func (n *Node) listen(addr string, onListen func(string)) error {
@@ -220,9 +291,19 @@ func (n *Node) acceptHigher() error {
 		p.rank = r
 		n.peers[r] = p
 	}
+	n.closeListener()
+	return nil
+}
+
+// closeListener drops the bootstrap listener — unless recovery is on,
+// in which case it stays open so a rebuilt mesh can re-accept on the
+// same address after a rank death.
+func (n *Node) closeListener() {
+	if n.cfg.Recover {
+		return
+	}
 	n.ln.Close()
 	n.ln = nil
-	return nil
 }
 
 // bootstrapCoordinator runs rank 0's side of the dial-in protocol:
@@ -269,8 +350,7 @@ func (n *Node) bootstrapCoordinator(cfg Config, addr string, spawn bool) error {
 			return err
 		}
 	}
-	n.ln.Close()
-	n.ln = nil
+	n.closeListener()
 	return nil
 }
 
@@ -316,7 +396,7 @@ func (n *Node) bootstrapWorker(cfg Config) error {
 // simply drop the frame. The wire bytes live in a pooled buffer owned
 // by the peer writer from the moment send accepts it.
 func (n *Node) sendTo(rank int, f *Frame) bool {
-	p := n.peers[rank]
+	p := n.peerTable()[rank]
 	if p == nil {
 		return false
 	}
@@ -336,7 +416,7 @@ func (n *Node) sendTo(rank int, f *Frame) bool {
 // and envelope encode in a single pass into one pooled buffer, so an
 // eager send costs no intermediate slice.
 func (n *Node) sendEnv(rank int, typ byte, run int64, env *Env) bool {
-	p := n.peers[rank]
+	p := n.peerTable()[rank]
 	if p == nil {
 		return false
 	}
@@ -358,6 +438,12 @@ func (n *Node) sendEnv(rank int, typ byte, run int64, env *Env) bool {
 // means the reader still owns it and reclaims it when dispatch returns.
 // Control frames always finish with the payload synchronously.
 func (n *Node) dispatch(p *peerConn, f Frame) bool {
+	if p.epoch != n.epoch.Load() {
+		// A frame from a pre-Rejoin mesh incarnation, raced out by the
+		// epoch bump: that mesh's runs are gone and its failures were
+		// already handled, so nothing it says is actionable.
+		return false
+	}
 	switch f.Type {
 	case FPing:
 		return false
@@ -452,7 +538,10 @@ func (n *Node) streamPut(p *peerConn, m frameMeta) (bool, error) {
 	n.mu.Lock()
 	rt := n.attached
 	var sink func(id int64, size int, r io.Reader) error
-	if rt != nil && rt.gen == m.run {
+	// The epoch check matters here more than anywhere: generations reset
+	// to zero on Rejoin, so without it a stale connection's late FPut
+	// could stream into the NEW gen-0 run's registered buffer.
+	if rt != nil && rt.gen == m.run && p.epoch == n.epoch.Load() && !rt.aborted.Load() {
 		sink = rt.putStream
 	}
 	n.mu.Unlock()
@@ -474,10 +563,19 @@ func (n *Node) streamPut(p *peerConn, m frameMeta) (bool, error) {
 func (n *Node) peerDown(p *peerConn, op string, err error) {
 	ne := &NetError{Rank: n.rank, Peer: p.rank, Op: op, Err: err}
 	n.mu.Lock()
+	if p.epoch != n.epoch.Load() {
+		// A connection from a pre-Rejoin mesh incarnation: its loss was
+		// already handled (or deliberately caused) by the rejoin.
+		n.mu.Unlock()
+		return
+	}
 	closing := n.closing
 	rt := n.attached
 	if n.deadErr == nil {
 		n.deadErr = ne
+	}
+	if !closing && p.rank >= 0 {
+		n.dead[p.rank] = true
 	}
 	n.mu.Unlock()
 	if rt != nil {
@@ -512,7 +610,7 @@ func (n *Node) onBye(p *peerConn, f Frame) {
 // broadcastBye tells every other live rank the run is dead.
 func (n *Node) broadcastBye(exceptRank int, ne *NetError) {
 	f := Frame{Type: FBye, A: int64(n.rank), Payload: []byte(ne.Error())}
-	for r, p := range n.peers {
+	for r, p := range n.peerTable() {
 		if p == nil || r == exceptRank || p.failed.Load() {
 			continue
 		}
@@ -584,10 +682,11 @@ func (n *Node) onLeave(p *peerConn, f Frame) {
 // as they would a crashed process, so tests can drive the peer-loss path
 // (abort with a typed NetError, FBye cascade) without killing a process.
 func (n *Node) Sever(rank int) {
-	if rank == n.rank || n.peers == nil || n.peers[rank] == nil {
+	peers := n.peerTable()
+	if rank == n.rank || peers == nil || peers[rank] == nil {
 		return
 	}
-	n.peers[rank].conn.Close()
+	peers[rank].conn.Close()
 }
 
 // Close tears the node down: connections close gracefully and, for a
@@ -603,7 +702,7 @@ func (n *Node) Close() error {
 		n.ln.Close()
 		n.ln = nil
 	}
-	for r, p := range n.peers {
+	for r, p := range n.peerTable() {
 		if p == nil {
 			continue
 		}
@@ -612,6 +711,26 @@ func (n *Node) Close() error {
 		// teardown from a lost peer.
 		n.sendTo(r, &Frame{Type: FLeave, A: completed})
 		p.close()
+	}
+	// Wait (bounded) for the writers to put those goodbyes on the wire.
+	// Returning with an FLeave still queued lets the process exit with
+	// it unsent, and the bare FIN the peer then reads is exactly the
+	// signature of a rank death: a peer a halt-round behind in its final
+	// run would abort — and, under recovery, try to rejoin a world that
+	// is already gone. close() guarantees each connection's down latch
+	// eventually closes (the writer shuts down after draining everything
+	// ahead of the close marker), so this wait is normally instant.
+	deadline := time.After(closeFlushGrace)
+	for _, p := range n.peerTable() {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.down:
+			continue
+		case <-deadline:
+		}
+		break // grace exhausted: give up on the stragglers
 	}
 	var err error
 	for _, w := range n.children {

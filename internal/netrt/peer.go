@@ -36,6 +36,17 @@ const (
 	dialAttempts  = 10
 	dialBaseDelay = 25 * time.Millisecond
 	dialTimeout   = 3 * time.Second
+	// dialMaxDelay caps the backoff window: without it the doubling
+	// grows without bound, and a restarting rank that retries long
+	// enough ends up sleeping for minutes between attempts. The cap
+	// also keeps the jittered sleeps of many simultaneous re-dialers
+	// spread across a bounded window instead of an ever-wider one.
+	dialMaxDelay = 2 * time.Second
+	// rejoinDialAttempts stretches the retry budget for Rejoin: the
+	// coordinator may spend several seconds reaping and respawning a
+	// dead rank before it starts accepting, and with the capped backoff
+	// this is roughly a 30-second window.
+	rejoinDialAttempts = 20
 )
 
 // peerConn is one live connection to a peer rank: a batching writer
@@ -43,10 +54,11 @@ const (
 // frames into the node's dispatch, and a keepalive ticker that doubles
 // as the health monitor.
 type peerConn struct {
-	node *Node
-	rank int
-	conn net.Conn
-	br   *bufio.Reader
+	node  *Node
+	rank  int
+	epoch int64 // mesh incarnation this connection belongs to
+	conn  net.Conn
+	br    *bufio.Reader
 
 	out  chan []byte
 	down chan struct{}
@@ -64,12 +76,13 @@ func newPeerConn(n *Node, rank int, conn net.Conn) *peerConn {
 		tc.SetNoDelay(true)
 	}
 	p := &peerConn{
-		node: n,
-		rank: rank,
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, ioBufBytes),
-		out:  make(chan []byte, outboxCap),
-		down: make(chan struct{}),
+		node:  n,
+		rank:  rank,
+		epoch: n.epoch.Load(),
+		conn:  conn,
+		br:    bufio.NewReaderSize(conn, ioBufBytes),
+		out:   make(chan []byte, outboxCap),
+		down:  make(chan struct{}),
 	}
 	p.lastRecv.Store(time.Now().UnixNano())
 	return p
@@ -87,13 +100,30 @@ func (p *peerConn) start() {
 // send queues an encoded frame, blocking on a full outbox. It reports
 // false when the peer is down; the caller's failure handling already
 // ran (or is running) via peerDown, so dropping the frame is correct —
-// the run is aborting.
+// the run is aborting. On true the frame belongs to the connection:
+// either the writer writes-and-Puts it, or the teardown drain Puts it.
 func (p *peerConn) send(b []byte) bool {
 	select {
 	case p.out <- b:
-		return true
 	case <-p.down:
 		return false
+	}
+	p.reclaimIfDown()
+	return true
+}
+
+// reclaimIfDown closes the enqueue/teardown race: when down is closed
+// and the outbox has capacity, the enqueuing select may pick the send
+// case even though the writer — and its drain — already exited, which
+// would strand the frame (a pool leak). Re-checking down after the
+// enqueue catches that ordering; each stranded frame is drained by
+// exactly one goroutine (channel receive is exclusive), so no double
+// Put is possible.
+func (p *peerConn) reclaimIfDown() {
+	select {
+	case <-p.down:
+		p.drainOutbox()
+	default:
 	}
 }
 
@@ -231,6 +261,7 @@ func (p *peerConn) keepalive() {
 		ping := appendFrameHeader(bufpool.Get(frameWireLen(0))[:0], FPing, 0, 0, 0, 0, 0, 0)
 		select {
 		case p.out <- ping:
+			p.reclaimIfDown()
 		default: // outbox full: traffic is flowing, no ping needed
 			bufpool.Put(ping)
 		}
@@ -293,9 +324,18 @@ func (p *peerConn) close() {
 // processes race the coordinator's listen during bootstrap, and a
 // refused connection a few milliseconds in is expected, not fatal.
 func dialRetry(addr string) (net.Conn, error) {
+	return dialRetryN(addr, dialAttempts)
+}
+
+// dialRetryN is dialRetry with a caller-chosen attempt budget (Rejoin
+// uses a longer one). The backoff doubles up to dialMaxDelay and never
+// past it, so many ranks re-dialing a restarting coordinator stay
+// jittered across a bounded window instead of thundering in ever-wider
+// synchronized bursts.
+func dialRetryN(addr string, attempts int) (net.Conn, error) {
 	var lastErr error
 	delay := dialBaseDelay
-	for attempt := 0; attempt < dialAttempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 		if err == nil {
 			return conn, nil
@@ -304,7 +344,12 @@ func dialRetry(addr string) (net.Conn, error) {
 		// Full jitter: sleep a uniform fraction of the doubling window
 		// so simultaneous dialers do not reconverge on the same instant.
 		time.Sleep(time.Duration(rand.Int63n(int64(delay))) + delay/2)
-		delay *= 2
+		if delay < dialMaxDelay {
+			delay *= 2
+			if delay > dialMaxDelay {
+				delay = dialMaxDelay
+			}
+		}
 	}
 	return nil, lastErr
 }

@@ -1,0 +1,281 @@
+package netrt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bufpool"
+)
+
+// rejoinAcceptWindow bounds how long the coordinator waits for every
+// rank (survivors plus respawned replacements) to dial back in during
+// Rejoin, and how long a worker waits for the coordinator's FPeers.
+const rejoinAcceptWindow = 60 * time.Second
+
+// reapGrace is how long Rejoin waits for a reportedly dead child
+// process to be collectable. A kill -9'd child exits immediately; a
+// child that outlives the grace is alive after all (a spurious dead
+// observation — e.g. a goodbye lost in a hard teardown) and must not be
+// respawned on top of.
+const reapGrace = 10 * time.Second
+
+// probeGrace is the exit probe applied to children NOT reported dead by
+// a broken socket. A rank's death can reach the coordinator only as a
+// relayed FBye cascade — the abort fires before the coordinator's own
+// connection to the victim breaks — leaving the dead snapshot empty. An
+// already-exited child trips its done latch instantly regardless of the
+// grace (the waiter goroutine runs from spawn), so this only needs to
+// cover a death racing the probe itself; a live child costs the full
+// grace, which bounds added rejoin latency at world × probeGrace.
+const probeGrace = 200 * time.Millisecond
+
+// Rejoin rebuilds the mesh after a rank death, under Config.Recover.
+// Every surviving rank calls it (the recovery driver does) between the
+// aborted run and the retry:
+//
+//   - The old mesh is invalidated wholesale: the epoch bump makes every
+//     old connection's failure report stale, generations reset to zero
+//     (the respawned process starts at zero, and generations must match
+//     across ranks — resetting everyone keeps them in lockstep), and
+//     buffered frames and the dead-peer latch are cleared.
+//   - The coordinator reaps and respawns dead child ranks (self-spawn
+//     mode) or hands them to Config.OnRespawn (in-process tests), then
+//     re-runs the dial-in bootstrap on its retained listener: world-1
+//     FJoins, each carrying the rank's stable identity and fresh listen
+//     address, answered by a broadcast FPeers table.
+//   - Workers re-dial the coordinator (with the capped, jittered retry)
+//     and rebuild their mesh edges exactly as at bootstrap.
+//
+// The protocol is the bootstrap handshake verbatim — rejoin needs no
+// new frame types, only listeners that outlive bootstrap. A respawned
+// worker needs no special handling here: it re-runs its own Start,
+// which dials into the same accept loop.
+func (n *Node) Rejoin() error {
+	if !n.cfg.Recover {
+		return errors.New("netrt: Rejoin needs Config.Recover")
+	}
+	if n.world <= 1 || n.ln == nil {
+		return errors.New("netrt: nothing to rejoin")
+	}
+
+	// Snapshot who died before the reset clears the record. Only direct
+	// socket observations land in n.dead, so in a full mesh this names
+	// the crashed rank(s), not the messengers of the abort cascade.
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return errors.New("netrt: node is closing")
+	}
+	dead := make(map[int]bool, len(n.dead))
+	for r := range n.dead {
+		dead[r] = true
+	}
+	completed := n.completedGen
+
+	// Invalidate the old mesh. The epoch bump must happen under the
+	// same lock acquisition as the state reset: from here on, any
+	// failure report from an old connection is stale and ignored.
+	n.epoch.Add(1)
+	oldPeers := n.peers
+	n.peers = make([]*peerConn, n.world)
+	n.buffered = nil
+	n.deadErr = nil
+	n.dead = make(map[int]bool)
+	n.nextGen = 0
+	n.completedGen = -1
+	n.mu.Unlock()
+
+	// Tear the old connections down gracefully: the FLeave flushes
+	// ahead of the FIN, so a peer that has not entered its own Rejoin
+	// yet reads a planned goodbye, not a second rank death.
+	for _, p := range oldPeers {
+		if p == nil {
+			continue
+		}
+		b, err := encodeFramePooled(&Frame{Type: FLeave, A: completed})
+		if err == nil && !p.send(b) {
+			bufpool.Put(b)
+		}
+		p.close()
+	}
+
+	if n.rank == 0 {
+		return n.rejoinCoordinator(dead)
+	}
+	return n.rejoinWorker()
+}
+
+// rejoinCoordinator is rank 0's side: respawn the dead, re-accept
+// everyone, broadcast the fresh address table.
+func (n *Node) rejoinCoordinator(dead map[int]bool) error {
+	if len(n.children) > 0 {
+		// Self-spawn mode: probe every child for exit — not just the
+		// socket-observed dead — and launch replacements with the
+		// identical command line. The dead snapshot can miss the victim
+		// entirely when its death reached us only as a relayed FBye
+		// cascade, so the exit probe is the authority here; the socket
+		// observation merely buys the victim a longer reap grace. A
+		// replacement re-runs its whole program; the shared checkpoint
+		// directory tells it where to resume.
+		for i, w := range n.children {
+			grace := probeGrace
+			if dead[w.rank] {
+				grace = reapGrace
+			}
+			if !w.exited(grace) {
+				// Still alive: either healthy, or the death report was
+				// spurious (its connection broke, the process did not).
+				// It will re-dial on its own.
+				continue
+			}
+			nw, err := spawnOne(n.cfg, w.rank, n.world, n.ln.Addr().String())
+			if err != nil {
+				return fmt.Errorf("netrt: respawn rank %d: %w", w.rank, err)
+			}
+			n.children[i] = nw
+		}
+	} else if n.cfg.OnRespawn != nil {
+		for r := range dead {
+			// Off this goroutine: the hook typically calls Start, which
+			// blocks until the accept loop below answers it.
+			go n.cfg.OnRespawn(r)
+		}
+	}
+	// No spawn machinery and no hook: an externally launched world. The
+	// accept window below still gives an operator-restarted rank time
+	// to dial back in.
+
+	deadline := time.Now().Add(rejoinAcceptWindow)
+	addrs := make([]string, n.world)
+	addrs[0] = n.ln.Addr().String()
+	for joined := 0; joined < n.world-1; joined++ {
+		if tl, ok := n.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("netrt: rejoin waiting for ranks (%d/%d rejoined): %w", joined, n.world-1, err)
+		}
+		conn.SetReadDeadline(deadline)
+		p := newPeerConn(n, -1, conn)
+		f, err := readFrame(p.br)
+		if err != nil || f.Type != FJoin {
+			conn.Close()
+			return fmt.Errorf("netrt: expected JOIN on rejoin connection: %v", err)
+		}
+		conn.SetReadDeadline(time.Time{})
+		r := int(f.A)
+		if r <= 0 || r >= n.world || n.peers[r] != nil {
+			conn.Close()
+			return fmt.Errorf("netrt: bad rejoin JOIN rank %d", r)
+		}
+		p.rank = r
+		n.peers[r] = p
+		addrs[r] = string(f.Payload)
+	}
+	table := strings.Join(addrs, "\n")
+	for r := 1; r < n.world; r++ {
+		if err := writeFrame(n.peers[r].conn, &Frame{Type: FPeers, Payload: []byte(table)}); err != nil {
+			return err
+		}
+	}
+	n.startPeers()
+	return nil
+}
+
+// rejoinWorker is a surviving worker's side: re-dial the coordinator
+// with the stretched retry budget (the coordinator may be reaping and
+// respawning for a while before it accepts), then rebuild the mesh
+// edges exactly as at bootstrap.
+func (n *Node) rejoinWorker() error {
+	conn, err := dialRetryN(n.cfg.Coord, rejoinDialAttempts)
+	if err != nil {
+		return fmt.Errorf("netrt: rejoin dial coordinator at %s: %w", n.cfg.Coord, err)
+	}
+	p := newPeerConn(n, 0, conn)
+	if err := writeFrame(conn, &Frame{Type: FJoin, A: int64(n.rank), Payload: []byte(n.ln.Addr().String())}); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(rejoinAcceptWindow))
+	f, err := readFrame(p.br)
+	if err != nil || f.Type != FPeers {
+		conn.Close()
+		return fmt.Errorf("netrt: expected PEERS from coordinator on rejoin: %v", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	n.peers[0] = p
+	addrs := strings.Split(string(f.Payload), "\n")
+	if len(addrs) != n.world {
+		return fmt.Errorf("netrt: coordinator sent %d peer addresses on rejoin, world is %d", len(addrs), n.world)
+	}
+	for s := 1; s < n.rank; s++ {
+		conn, err := dialRetry(addrs[s])
+		if err != nil {
+			return fmt.Errorf("netrt: rejoin dial rank %d at %s: %w", s, addrs[s], err)
+		}
+		if err := writeFrame(conn, &Frame{Type: FHello, A: int64(n.rank)}); err != nil {
+			return err
+		}
+		n.peers[s] = newPeerConn(n, s, conn)
+	}
+	if err := n.acceptHigher(); err != nil {
+		return err
+	}
+	n.startPeers()
+	return nil
+}
+
+// startPeers publishes the rebuilt connection table and launches the
+// connection goroutines of every mesh edge.
+func (n *Node) startPeers() {
+	n.publishPeers()
+	for _, p := range n.peers {
+		if p != nil && !p.started {
+			p.start()
+		}
+	}
+}
+
+// Die abruptly destroys this node — the in-process analogue of kill -9
+// for recovery tests: every connection and the listener close with no
+// goodbye (peers observe an unplanned EOF, exactly as for a crashed
+// process), and any attached run aborts locally without a Bye cascade
+// (a killed process cannot announce its own death).
+func (n *Node) Die() {
+	ne := &NetError{Rank: n.rank, Peer: n.rank, Op: "killed",
+		Err: errors.New("rank killed by fault injection")}
+	n.mu.Lock()
+	n.closing = true
+	if n.deadErr == nil {
+		n.deadErr = ne
+	}
+	rt := n.attached
+	n.mu.Unlock()
+	if rt != nil {
+		rt.abort(ne)
+	}
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, p := range n.peerTable() {
+		if p != nil {
+			p.shutdown()
+		}
+	}
+}
+
+// DeadRanks lists the peers whose connections broke in the current mesh
+// epoch, in rank order.
+func (n *Node) DeadRanks() []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]int, 0, len(n.dead))
+	for r := range n.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -242,6 +242,13 @@ func (rt *Runtime) SendPut(dstPE int, handleID int64, payload []byte) {
 // (an eager deliver whose consumer will Put it back). Replayed buffered
 // frames arrive with pooled=false and plain heap payloads.
 func (rt *Runtime) handleApp(rank int, f Frame, pooled bool) bool {
+	if rt.aborted.Load() {
+		// An aborting run must not create local work: releasing the hold
+		// credit lets the scheduler observe quiescence and unwind, and a
+		// late frame from a peer that has not noticed the failure yet
+		// would Enqueue onto workers that may already have exited.
+		return false
+	}
 	switch f.Type {
 	case FEager, FData:
 		// FData is a granted rendezvous body; the RTS was counted at

@@ -85,6 +85,17 @@ type Runtime struct {
 	onStall func(msg string)
 
 	running atomic.Bool
+
+	// done latches the first observation of global quiescence, making it
+	// terminal: every worker exits once it is set, even if the work
+	// counter rises again afterwards. In a closed system the counter
+	// never rises after zero, but the distributed backend is not closed
+	// during an abort — connection readers of still-live peers can
+	// deliver frames (and Enqueue tasks) after the hold credit's release
+	// let the counter hit zero. Without the latch such a late Enqueue
+	// lands on a worker that already returned, and the remaining workers
+	// wedge forever on a credit nobody can retire.
+	done atomic.Bool
 }
 
 // New builds a runtime for npes processing elements. The wall clock
@@ -224,6 +235,9 @@ func (rt *Runtime) worker(pe int, wg *sync.WaitGroup) {
 	spins := 0
 	fullPoll := false
 	for {
+		if rt.done.Load() {
+			return
+		}
 		if task := q.pop(); task != nil {
 			task()
 			rt.executed.Add(1)
@@ -237,6 +251,7 @@ func (rt *Runtime) worker(pe int, wg *sync.WaitGroup) {
 		}
 		fullPoll = false
 		if rt.work.Load() == 0 {
+			rt.quiesce()
 			return
 		}
 		spins++
@@ -251,6 +266,14 @@ func (rt *Runtime) worker(pe int, wg *sync.WaitGroup) {
 	}
 }
 
+// quiesce latches terminal quiescence and broadcasts wake tokens so
+// every parked peer observes it and exits.
+func (rt *Runtime) quiesce() {
+	if rt.done.CompareAndSwap(false, true) {
+		rt.wakeAll()
+	}
+}
+
 // park blocks the worker until a producer kicks its notifier. Publishing
 // the parked flag first and then re-checking every wake source closes the
 // missed-wakeup race: a producer that made work visible before observing
@@ -260,7 +283,7 @@ func (rt *Runtime) worker(pe int, wg *sync.WaitGroup) {
 func (rt *Runtime) park(pe int) {
 	n := rt.notes[pe]
 	n.parked.Store(1)
-	if !rt.pes[pe].empty() || (rt.poll != nil && rt.poll(pe, true)) || rt.work.Load() == 0 {
+	if !rt.pes[pe].empty() || (rt.poll != nil && rt.poll(pe, true)) || rt.work.Load() == 0 || rt.done.Load() {
 		n.parked.Store(0)
 		return
 	}
