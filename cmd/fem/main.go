@@ -16,6 +16,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 )
 
 func main() {
@@ -29,13 +30,17 @@ func main() {
 		modeName    = flag.String("mode", "ckd", "msg | ckd")
 		compare     = flag.Bool("compare", false, "run both modes and report the improvement")
 		validate    = flag.Bool("validate", false, "move real vertex data and verify against the serial reference (small meshes)")
-		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory); net hosts the pingpong/stencil workloads")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory) | net (multiple OS processes over TCP)")
 		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		ckptEvery   = flag.Int("ckpt.every", 0, "checkpoint every N reduction barriers, 0 disables (net backend only)")
+		ckptDir     = flag.String("ckpt.dir", "", "checkpoint directory, shared by every rank (net backend only)")
+		killSpec    = flag.String("chaos.kill", "", `kill -9 a worker rank mid-run: "RANK@STEP" (net backend only; the world recovers and reruns)`)
 	)
+	netCfg := netrt.RegisterFlags()
 	flag.Parse()
 
 	var plat *netmodel.Platform
@@ -60,10 +65,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if be == charm.NetBackend {
-		fatal(fmt.Errorf("the distributed net backend hosts the pingpong and stencil workloads; run this study with -backend=sim or -backend=real (see DESIGN.md §8)"))
-	}
-	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
+	if be != charm.SimBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
 		fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))
 	}
 	sc, err := chaos.Options{
@@ -73,6 +75,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	kill, err := chaos.ParseKill(*killSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if (*ckptEvery > 0) != (*ckptDir != "") {
+		fatal(fmt.Errorf("-ckpt.every and -ckpt.dir go together (got every=%d, dir=%q)", *ckptEvery, *ckptDir))
+	}
+	recovery := *ckptEvery > 0 || kill != nil
+	if recovery {
+		if be != charm.NetBackend {
+			fatal(fmt.Errorf("-ckpt.* and -chaos.kill exercise rank-death recovery and need -backend=net"))
+		}
+		if *compare {
+			fatal(fmt.Errorf("-compare reruns both modes on one mesh and cannot combine with recovery flags (pick one -mode)"))
+		}
+		// Keep every rank's listener open past bootstrap so Rejoin can
+		// rebuild the mesh around a respawned rank.
+		netCfg.Recover = true
+	}
+	var node *netrt.Node
+	if be == charm.NetBackend {
+		if node, err = netrt.Start(*netCfg); err != nil {
+			fatal(err)
+		}
+	}
+	// Worker ranks compute and validate their hosted parts; the report
+	// (and the exit status of the whole world) belongs to rank 0.
+	quiet := node != nil && node.IsWorker()
 	cfg := fem.Config{
 		Platform: plat,
 		PEs:      *pes, Virtualization: *vr,
@@ -80,16 +110,23 @@ func main() {
 		Iters: *iters, Warmup: *warmup,
 		Validate: *validate,
 		Backend:  be,
+		Net:      node,
 		Chaos:    sc,
+		Kill:     kill,
+	}
+	if *ckptEvery > 0 {
+		cfg.Ckpt = &charm.CkptOptions{Dir: *ckptDir, Every: *ckptEvery}
 	}
 	if *compare {
 		msg, ckd, pct := fem.Improvement(cfg)
-		fmt.Printf("fem %s (%d triangles) on %d PEs of %s, %d partitions (%dx%d)\n",
-			*mesh, 2*nx*ny, *pes, plat.Name, msg.Parts, msg.PartGrid[0], msg.PartGrid[1])
-		fmt.Printf("  msg: %v per iteration\n", msg.IterTime)
-		fmt.Printf("  ckd: %v per iteration (%d channels)\n", ckd.IterTime, ckd.Channels)
-		fmt.Printf("  improvement: %.2f%%\n", pct)
-		reportErrors("fem", append(msg.Errors, ckd.Errors...))
+		if !quiet {
+			fmt.Printf("fem %s (%d triangles) on %d PEs of %s, %d partitions (%dx%d)\n",
+				*mesh, 2*nx*ny, *pes, plat.Name, msg.Parts, msg.PartGrid[0], msg.PartGrid[1])
+			fmt.Printf("  msg: %v per iteration\n", msg.IterTime)
+			fmt.Printf("  ckd: %v per iteration (%d channels)\n", ckd.IterTime, ckd.Channels)
+			fmt.Printf("  improvement: %.2f%%\n", pct)
+		}
+		reportErrors("fem", closeNode(node, append(msg.Errors, ckd.Errors...)))
 		return
 	}
 	switch *modeName {
@@ -100,13 +137,42 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
-	res := fem.Run(cfg)
-	fmt.Printf("fem %s, mode %v, %d PEs: %v per iteration (%d partitions, %d channels)\n",
-		*mesh, cfg.Mode, *pes, res.IterTime, res.Parts, res.Channels)
-	if *validate {
-		fmt.Printf("  residual %.6g, shared-vertex consistency: %v\n", res.Residual, res.SharedConsistent)
+	var res fem.Result
+	if recovery {
+		// Every rank's driver retries through the same recovery loop: on
+		// a recoverable rank death the mesh rebuilds (respawning the
+		// victim), and the re-run resumes from the newest committed
+		// checkpoint — or from scratch when none was taken.
+		res.Errors = charm.RunWithRecovery(node, charm.DefaultRecoveryAttempts, func() []error {
+			res = fem.Run(cfg)
+			return res.Errors
+		})
+	} else {
+		res = fem.Run(cfg)
 	}
-	reportErrors("fem", res.Errors)
+	if !quiet {
+		fmt.Printf("fem %s, mode %v, %d PEs: %v per iteration (%d partitions, %d channels)\n",
+			*mesh, cfg.Mode, *pes, res.IterTime, res.Parts, res.Channels)
+		if *validate {
+			// Under net each rank validates only the parts it hosts
+			// against the shared serial reference.
+			fmt.Printf("  residual %.6g, shared-vertex consistency: %v\n", res.Residual, res.SharedConsistent)
+		}
+	}
+	reportErrors("fem", closeNode(node, res.Errors))
+}
+
+// closeNode tears the net-backend mesh down (reaping self-spawned
+// workers) and folds any teardown failure — e.g. a worker whose local
+// validation exited non-zero — into the run's error list.
+func closeNode(node *netrt.Node, errs []error) []error {
+	if node == nil {
+		return errs
+	}
+	if err := node.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errs
 }
 
 // reportErrors surfaces runtime contract violations and unrecovered

@@ -36,8 +36,15 @@ func main() {
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		ckptEvery   = flag.Int("ckpt.every", 0, "checkpoint every N reduction barriers (net-backend apps only; openatom rejects it)")
+		ckptDir     = flag.String("ckpt.dir", "", "checkpoint directory (net-backend apps only; openatom rejects it)")
+		killSpec    = flag.String("chaos.kill", "", `kill -9 a worker rank mid-run: "RANK@STEP" (net-backend apps only; openatom rejects it)`)
 	)
 	flag.Parse()
+
+	if *ckptEvery != 0 || *ckptDir != "" || *killSpec != "" {
+		fatal(fmt.Errorf("-ckpt.every/-ckpt.dir/-chaos.kill exercise rank-death recovery on the net backend, which openatom does not run on; use pingpong, stencil, matmul or fem (see DESIGN.md §10)"))
+	}
 
 	var plat *netmodel.Platform
 	switch *platName {
@@ -62,7 +69,7 @@ func main() {
 		fatal(err)
 	}
 	if be == charm.NetBackend {
-		fatal(fmt.Errorf("the distributed net backend hosts the pingpong and stencil workloads; run this study with -backend=sim or -backend=real (see DESIGN.md §8)"))
+		fatal(fmt.Errorf("the distributed net backend hosts the pingpong, stencil, matmul and fem workloads; run this study with -backend=sim or -backend=real (see DESIGN.md §8)"))
 	}
 	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
 		fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))

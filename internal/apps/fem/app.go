@@ -2,6 +2,7 @@ package fem
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"sort"
 
@@ -21,13 +22,14 @@ type app struct {
 	rts  *charm.RTS
 	mgr  *ckdirect.Manager
 	arr  *charm.Array
+	ck   *charm.Checkpointer
 
-	iterEP, partialEP charm.EP
-	chares            []*chare
-	barriers          []sim.Time
-	lastResidual      float64
-	totalIters        int
-	channels          int
+	iterEP, partialEP, ckptEP charm.EP
+	chares                    []*chare
+	barriers                  []sim.Time
+	lastResidual              float64
+	totalIters                int
+	channels                  int
 }
 
 // contributor identifies one source of a shared vertex's sum: the owning
@@ -88,15 +90,48 @@ func (a *app) build() {
 	a.partialEP = a.arr.EntryMethod("partial", func(ctx *charm.Ctx, msg *charm.Message) {
 		ctx.Obj().(*chare).onPartial(ctx, msg.Tag, msg.Data)
 	})
+	a.ckptEP = a.arr.EntryMethod("ckpt", func(ctx *charm.Ctx, msg *charm.Message) {
+		// One element reaching the cut; the last local one writes this
+		// rank's snapshot. The extra barrier round resumes iteration
+		// only after every rank's snapshot is durable.
+		a.ck.ElementSave(msg.Tag)
+		a.arr.ContributeFrom(ctx.Index(), 1, 0)
+	})
 	a.arr.SetReductionClient(charm.Sum, func(ctx *charm.Ctx, vals []float64) {
+		if a.ck != nil && a.ck.InCheckpoint() {
+			// The checkpoint barrier completed: every rank's snapshot is
+			// on disk, so the commit record may name the step.
+			if _, err := a.ck.Commit(); err != nil {
+				a.rts.ReportError(fmt.Errorf("fem: checkpoint commit: %w", err))
+				return
+			}
+			a.afterBarrier(ctx, len(a.barriers))
+			return
+		}
 		a.barriers = append(a.barriers, ctx.Now())
 		a.lastResidual = vals[1]
-		if len(a.barriers) < a.totalIters {
-			ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
+		step := len(a.barriers)
+		// The kill -9 chaos tier fires here: the root client is the one
+		// place with a globally ordered step count.
+		a.cfg.Kill.Fire(step, a.cfg.Net)
+		if a.ck != nil && a.ck.Due(step) && step < a.totalIters {
+			a.ck.Begin(step)
+			ctx.Broadcast(a.arr, a.ckptEP, &charm.Message{Size: 8, Tag: step})
+			return
 		}
+		a.afterBarrier(ctx, step)
 	})
 	if a.cfg.Mode == Ckd {
 		a.buildChannels()
+	}
+}
+
+// afterBarrier broadcasts the next iteration (or nothing, ending the
+// run) once step barriers — iteration barriers, not checkpoint rounds —
+// have completed.
+func (a *app) afterBarrier(ctx *charm.Ctx, step int) {
+	if step < a.totalIters {
+		ctx.Broadcast(a.arr, a.iterEP, &charm.Message{Size: 8})
 	}
 }
 
@@ -135,9 +170,9 @@ func (a *app) buildChare(p int) *chare {
 			locals[i] = lidx[g]
 		}
 		c.sharedOut[nb] = locals
-		if a.cfg.Validate || a.cfg.Backend == charm.RealBackend {
-			// The real backend moves actual bytes even in model mode, so the
-			// send buffers must exist.
+		if a.cfg.Validate || a.cfg.Backend != charm.SimBackend {
+			// The real and net backends move actual bytes even in model
+			// mode, so the send buffers must exist.
 			c.sendBuf[nb] = make([]byte, len(shared)*8)
 		}
 	}
@@ -162,7 +197,7 @@ func (a *app) buildChare(p int) *chare {
 // buildChannels wires one CkDirect channel per (part, neighbour) pair.
 func (a *app) buildChannels() {
 	mach := a.rts.Machine()
-	virtual := !a.cfg.Validate && a.cfg.Backend != charm.RealBackend
+	virtual := !a.cfg.Validate && a.cfg.Backend == charm.SimBackend
 	for _, c := range a.chares {
 		c.in = make(map[int]*ckdirect.Handle, len(c.nbrs))
 		c.out = make(map[int]*ckdirect.Handle, len(c.nbrs))
@@ -315,11 +350,21 @@ func (c *chare) maybeUpdate(ctx *charm.Ctx) {
 }
 
 // gather assembles the global vertex field (every part holds identical
-// values for shared vertices, asserted by tests).
+// values for shared vertices, asserted by tests). Under the net backend
+// only hosted parts hold live data; the other vertices are marked NaN
+// so a comparison cannot silently pass on never-computed values.
 func (a *app) gather() []float64 {
 	out := make([]float64, a.mesh.NumVerts)
 	seen := make([]bool, a.mesh.NumVerts)
+	if a.cfg.Backend == charm.NetBackend {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+	}
 	for _, c := range a.chares {
+		if !a.rts.HostsPE(c.pe) {
+			continue
+		}
 		for l, g := range c.gids {
 			if !seen[g] {
 				seen[g] = true
@@ -331,10 +376,15 @@ func (a *app) gather() []float64 {
 }
 
 // sharedConsistent verifies that every part holds the same value for
-// every shared vertex (tests).
+// every shared vertex (tests). Under the net backend the check covers
+// the hosted parts — a remote part's copy is checked by its own rank
+// against the same serial reference.
 func (a *app) sharedConsistent() bool {
 	vals := make(map[int]float64)
 	for _, c := range a.chares {
+		if !a.rts.HostsPE(c.pe) {
+			continue
+		}
 		for l, g := range c.gids {
 			if v, ok := vals[g]; ok {
 				if v != c.u[l] {
@@ -346,4 +396,29 @@ func (a *app) sharedConsistent() bool {
 		}
 	}
 	return true
+}
+
+// validateLocal checks the hosted parts' vertex values against the
+// serial reference — the distributed backend's validation path, where
+// no single process holds the whole field but every process shares the
+// oracle.
+func (a *app) validateLocal() []error {
+	ref := SerialReference(a.mesh, a.part, a.cfg.DT, a.totalIters)
+	var errs []error
+	for _, c := range a.chares {
+		if !a.rts.HostsPE(c.pe) {
+			continue
+		}
+		for l, g := range c.gids {
+			if c.u[l] != ref[g] {
+				errs = append(errs, fmt.Errorf(
+					"fem: part %d vertex %d = %v, serial reference %v",
+					c.part, g, c.u[l], ref[g]))
+				if len(errs) >= 5 {
+					return errs
+				}
+			}
+		}
+	}
+	return errs
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/charm"
 	"repro/internal/ckdirect"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -43,16 +44,26 @@ type Config struct {
 	// Validate moves real vertex data and checks against the serial
 	// reference.
 	Validate bool
-	// Backend selects simulated virtual time (default) or real
-	// goroutine-per-PE execution with wall-clock timing. The real backend
-	// always allocates real payload buffers.
+	// Backend selects simulated virtual time (default), real
+	// goroutine-per-PE execution, or distributed multi-process execution,
+	// both with wall-clock timing. The real and net backends always
+	// allocate real payload buffers.
 	Backend charm.Backend
+	// Net is the started netrt node (required under the net backend).
+	Net *netrt.Node
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
 	// Chaos, when set, runs the configuration under adversity (CPU noise,
 	// network faults, recovery machinery). Contract violations then land
 	// in Result.Errors instead of panicking.
 	Chaos *chaos.Scenario
+	// Ckpt enables coordinated checkpointing: every Ckpt.Every barriers
+	// the world cuts a consistent snapshot, and a fresh Run resumes from
+	// the newest committed one.
+	Ckpt *charm.CkptOptions
+	// Kill, when set, fires the kill -9 chaos tier from the root
+	// reduction client after Kill.Step barriers.
+	Kill *chaos.Kill
 }
 
 // Result reports timing and validation data.
@@ -123,7 +134,7 @@ func Run(cfg Config) Result {
 	mesh := NewRectMesh(cfg.NX, cfg.NY)
 	part := PartitionRect(mesh, cfg.NX, cfg.NY, grid[0], grid[1])
 
-	if cfg.Backend == charm.RealBackend {
+	if cfg.Backend != charm.SimBackend {
 		if cfg.Chaos != nil {
 			panic("fem: chaos scenarios are sim-only")
 		}
@@ -131,13 +142,17 @@ func Run(cfg Config) Result {
 			panic("fem: timeline recording is sim-only")
 		}
 	}
+	if cfg.Backend == charm.NetBackend && cfg.Net == nil {
+		panic("fem: net backend needs Config.Net (a started netrt node)")
+	}
 	eng := sim.NewEngine()
 	mach, net := cfg.Platform.BuildMachine(eng, cfg.PEs)
 	rts := charm.NewRTS(eng, mach, net, cfg.Platform, trace.NewRecorder(),
 		charm.Options{
 			Checked:         true,
-			VirtualPayloads: !cfg.Validate && cfg.Backend != charm.RealBackend,
+			VirtualPayloads: !cfg.Validate && cfg.Backend == charm.SimBackend,
 			Backend:         cfg.Backend,
+			Net:             cfg.Net,
 		})
 	if cfg.Timeline != nil {
 		rts.SetTimeline(cfg.Timeline)
@@ -148,11 +163,53 @@ func Run(cfg Config) Result {
 	}
 	cfg.Chaos.Apply(rts, a.mgr)
 	a.build()
+	if cfg.Ckpt.Enabled() {
+		a.ck = charm.NewCheckpointer(rts, cfg.Ckpt)
+		a.ck.Attach(a.arr)
+		if a.mgr != nil {
+			a.ck.SetRegionHooks(a.mgr)
+		}
+		// Roll back to the newest committed cut (a fresh run finds none
+		// and starts from step zero). Restore happens after build: the
+		// SPMD setup is identical to the checkpointed run's, so element
+		// state overlays in place.
+		step, err := a.ck.Restore()
+		if err != nil {
+			return Result{
+				Config: cfg, Parts: part.Parts, PartGrid: grid,
+				Errors:   []error{fmt.Errorf("fem: restore checkpoint: %w", err)},
+				Counters: rts.Recorder().Counters(),
+			}
+		}
+		a.barriers = make([]sim.Time, step)
+	}
 	a.start()
 	rts.Run()
 	errs := rts.Errors()
-	if len(errs) > 0 && cfg.Chaos == nil {
+	if len(errs) > 0 && cfg.Chaos == nil && cfg.Backend != charm.NetBackend {
+		// Under net, failures (including a dead peer's NetError) return
+		// through Result.Errors — the launcher decides, not a panic.
 		panic(fmt.Sprintf("fem: runtime contract violation: %v", errs[0]))
+	}
+	if cfg.Backend == charm.NetBackend && cfg.Validate && len(errs) == 0 {
+		// Each process can check exactly the parts it hosts; the serial
+		// reference is the shared oracle.
+		errs = append(errs, a.validateLocal()...)
+	}
+	if cfg.Backend == charm.NetBackend && !rts.HostsPE(0) {
+		// A worker process: barriers and timing live on PE 0's rank.
+		// Local validation already ran; report what this rank knows — its
+		// own parts' vertices (the rest NaN).
+		res := Result{
+			Config: cfg, Parts: part.Parts, PartGrid: grid,
+			Errors: errs, Counters: rts.Recorder().Counters(),
+			TotalEvents: rts.Executed(),
+		}
+		if cfg.Validate && len(errs) == 0 {
+			res.Field = a.gather()
+			res.SharedConsistent = a.sharedConsistent()
+		}
+		return res
 	}
 	want := cfg.Warmup + cfg.Iters + 1
 	if len(a.barriers) < want {

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/netrt"
+	"repro/internal/serve"
+)
+
+// ServeBench prices what the ckserve daemon exists to amortize: job
+// throughput against a warmed, long-lived world versus paying the boot
+// cost on every run. The warmed passes submit a stream of jobs to one
+// live server; the cold passes boot the backend (and, under net, the
+// whole 3-rank mesh), run a single job and tear everything down, per
+// job — the workflow every one-shot cmd run implies. Passes alternate
+// warm/cold and each cell reports the median, so process warm-up drift
+// cancels instead of crediting whichever cell runs later. In-process
+// worlds understate the cold cost (no exec, no remote dial), so the
+// warmed advantage shown here is a lower bound.
+func ServeBench(scale Scale) []*Table {
+	// The real backend clears thousands of jobs/s, so its rows need far
+	// more jobs than the net rows to give each timed pass a window long
+	// enough to ride out scheduler noise on a shared box.
+	realJobs, netJobs, reps := 50, 8, 3
+	if scale == Paper {
+		realJobs, netJobs, reps = 300, 30, 5
+	}
+	// Two job weights: pingpong is light enough that boot cost
+	// dominates a cold run (the daemon's headline win), while the
+	// validated stencil shows the advantage persists under real work.
+	light := serve.Spec{Kind: "pingpong", Iters: 20}
+	heavy := serve.Spec{Kind: "stencil", Validate: true}
+
+	t := &Table{
+		ID:      "serve-throughput",
+		Title:   "ckserve job throughput: warmed daemon vs boot-per-run",
+		ColHead: "Serving model",
+		Columns: []string{"warmed", "cold-boot"},
+		Unit:    "jobs/s, wall clock",
+		Notes: []string{
+			fmt.Sprintf("median of %d alternating passes (%d jobs each on real, %d on net); cold-boot builds the server (and under net the whole 3-rank mesh) per job", reps, realJobs, netJobs),
+			"the amortization claim lives in the net rows: mesh boot (listeners, dials, handshakes) dominates a cold run there",
+			"the real backend has no mesh to warm — its server boot is ~2.5us against ~100us jobs, so its warm/cold delta sits inside scheduler noise",
+			"in-process net worlds understate cold cost (no exec/remote dial), so the warmed-mesh advantage is a lower bound",
+		},
+	}
+
+	rows := []struct {
+		label string
+		net   bool
+		spec  serve.Spec
+	}{
+		{"real/pingpong", false, light},
+		{"real/stencil+validate", false, heavy},
+		{"net(3)/pingpong", true, light},
+		{"net(3)/stencil+validate", true, heavy},
+	}
+	for _, row := range rows {
+		jobs := realJobs
+		if row.net {
+			jobs = netJobs
+		}
+		warm, cold := serveRow(row.net, jobs, reps, row.spec)
+		t.AddRow(row.label, warm, cold)
+	}
+	return []*Table{t}
+}
+
+// serveRow measures one backend/spec pair: reps alternating warm and
+// cold passes, median of each.
+func serveRow(net bool, jobs, reps int, spec serve.Spec) (warm, cold float64) {
+	boot := serveRealWorld
+	if net {
+		boot = serveNetWorld
+	}
+	var warms, colds []float64
+	for r := 0; r < reps; r++ {
+		warms = append(warms, serveWarmPass(boot, jobs, spec))
+		colds = append(colds, serveColdPass(boot, jobs, spec))
+	}
+	return median(warms), median(colds)
+}
+
+// serveWarmPass times jobs against one live server; the boot, the
+// teardown and one priming job stay outside the timed region.
+func serveWarmPass(boot func() (*serve.Server, func()), jobs int, spec serve.Spec) float64 {
+	srv, stop := boot()
+	defer stop()
+	serveJob(srv, spec)
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		serveJob(srv, spec)
+	}
+	return float64(jobs) / time.Since(start).Seconds()
+}
+
+// serveColdPass pays boot and teardown on every job.
+func serveColdPass(boot func() (*serve.Server, func()), jobs int, spec serve.Spec) float64 {
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		srv, stop := boot()
+		serveJob(srv, spec)
+		stop()
+	}
+	return float64(jobs) / time.Since(start).Seconds()
+}
+
+func serveJob(srv *serve.Server, spec serve.Spec) {
+	job, err := srv.Submit(spec)
+	if err != nil {
+		panic(fmt.Sprintf("bench: serve submit: %v", err))
+	}
+	final, done := srv.Wait(job.ID, 5*time.Minute)
+	if !done || final.State != serve.StateDone {
+		panic(fmt.Sprintf("bench: serve job %d: done=%v state %s local %+v error %q",
+			job.ID, done, final.State, final.Local, final.Error))
+	}
+}
+
+func serveRealWorld() (*serve.Server, func()) {
+	srv, err := serve.New(serve.Options{
+		Env: serve.Env{Backend: charm.RealBackend, Platform: netmodel.AbeIB},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: serve real: %v", err))
+	}
+	return srv, srv.Close
+}
+
+// serveNetWorld boots a 3-rank in-process serving mesh: followers on
+// the worker ranks, the server core on rank 0. stop tears the whole
+// thing down in the daemon's shutdown order.
+func serveNetWorld() (*serve.Server, func()) {
+	const world = 3
+	nodes, err := netrt.StartLocal(world)
+	if err != nil {
+		panic(fmt.Sprintf("bench: serve net world: %v", err))
+	}
+	envFor := func(n *netrt.Node) serve.Env {
+		return serve.Env{Backend: charm.NetBackend, Net: n, Platform: netmodel.AbeIB}
+	}
+	for _, n := range nodes[1:] {
+		n := n
+		go serve.Follow(envFor(n), charm.DefaultRecoveryAttempts)
+	}
+	srv, err := serve.New(serve.Options{Env: envFor(nodes[0])})
+	if err != nil {
+		panic(fmt.Sprintf("bench: serve net server: %v", err))
+	}
+	stop := func() {
+		srv.Close()
+		serve.AnnounceShutdown(envFor(nodes[0]))
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+	return srv, stop
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -81,6 +81,15 @@ const (
 	// lost peer. A run the sender has NOT finished (generation > A)
 	// can no longer complete and aborts on receipt.
 	FLeave
+	// FJob is the coordinator's job announcement in service mode
+	// (internal/serve): A = job sequence number, payload = the encoded
+	// job spec every rank must execute next. Control traffic — it rides
+	// between run generations and is never counted by termination
+	// detection.
+	FJob
+	// FJobDone is a worker's job report back to the coordinator: A = job
+	// sequence number, payload = the encoded per-rank outcome.
+	FJobDone
 	frameTypeMax
 )
 

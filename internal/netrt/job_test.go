@@ -1,0 +1,92 @@
+package netrt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestJobFrameRoundTrip drives the service-mode control path over a
+// real in-process mesh: the coordinator broadcasts a job announcement,
+// every worker receives it on its job channel and reports back, and the
+// coordinator collects one FJobDone per worker.
+func TestJobFrameRoundTrip(t *testing.T) {
+	const world = 3
+	nodes, err := StartLocal(world)
+	if err != nil {
+		t.Fatalf("StartLocal: %v", err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	// Workers must be draining before the broadcast: job frames are
+	// control traffic with a non-blocking push, so a never-created
+	// channel counts the frame dropped rather than buffering it.
+	type report struct {
+		rank int
+		seq  int64
+		body string
+	}
+	reports := make(chan report, world)
+	for r := 1; r < world; r++ {
+		n := nodes[r]
+		go func() {
+			for jf := range n.JobFrames() {
+				if jf.Done {
+					continue
+				}
+				reports <- report{rank: n.Rank(), seq: jf.Seq, body: string(jf.Payload)}
+				n.SendJobDone(jf.Seq, []byte(fmt.Sprintf("ok from %d", n.Rank())))
+			}
+		}()
+	}
+	coordC := nodes[0].JobFrames()
+
+	spec := []byte(`{"kind":"pingpong"}`)
+	if sent := nodes[0].BroadcastJob(7, spec); sent != world-1 {
+		t.Fatalf("BroadcastJob sent to %d ranks, want %d", sent, world-1)
+	}
+
+	seen := map[int]bool{}
+	deadline := time.After(5 * time.Second)
+	for len(seen) < world-1 {
+		select {
+		case rep := <-reports:
+			if rep.seq != 7 || rep.body != `{"kind":"pingpong"}` {
+				t.Fatalf("worker %d got seq=%d body=%q", rep.rank, rep.seq, rep.body)
+			}
+			seen[rep.rank] = true
+		case <-deadline:
+			t.Fatalf("workers that saw the job: %v", seen)
+		}
+	}
+
+	done := map[int]bool{}
+	for len(done) < world-1 {
+		select {
+		case jf := <-coordC:
+			if !jf.Done {
+				t.Fatalf("coordinator got a non-done job frame: %+v", jf)
+			}
+			if jf.Seq != 7 {
+				t.Fatalf("done report for seq %d, want 7", jf.Seq)
+			}
+			if want := fmt.Sprintf("ok from %d", jf.Rank); string(jf.Payload) != want {
+				t.Fatalf("done payload %q, want %q", jf.Payload, want)
+			}
+			done[jf.Rank] = true
+		case <-deadline:
+			t.Fatalf("coordinator saw done reports from: %v", done)
+		}
+	}
+
+	for _, n := range nodes {
+		if d := atomic.LoadInt64(&n.jobDrop); d != 0 {
+			t.Errorf("rank %d dropped %d job frames", n.Rank(), d)
+		}
+	}
+}

@@ -104,6 +104,23 @@ type Node struct {
 	// the messenger, not the dead rank, and is deliberately not
 	// recorded here).
 	dead map[int]bool
+
+	// jobC carries service-mode job traffic (FJob announcements on a
+	// worker, FJobDone reports on the coordinator) from the connection
+	// readers to the serving loop. Created lazily by JobFrames.
+	jobMu   sync.Mutex
+	jobC    chan JobFrame
+	jobDrop int64 // frames dropped because jobC was full (consumer wedged)
+}
+
+// JobFrame is one piece of service-mode job traffic: a coordinator's
+// job announcement (Done=false) or a worker's completion report
+// (Done=true). Seq orders jobs globally; Rank is the sender.
+type JobFrame struct {
+	Seq     int64
+	Rank    int
+	Done    bool
+	Payload []byte
 }
 
 // bufFrame is an app frame that arrived for a run generation this
@@ -461,6 +478,8 @@ func (n *Node) dispatch(p *peerConn, f Frame) bool {
 		n.onBye(p, f)
 	case FLeave:
 		n.onLeave(p, f)
+	case FJob, FJobDone:
+		n.onJob(p, f)
 	case FEager, FRTS, FCTS, FData, FPut, FCast:
 		return n.dispatchApp(p, f)
 	default:
@@ -675,6 +694,70 @@ func (n *Node) onLeave(p *peerConn, f Frame) {
 	if rt != nil && rt.gen > f.A {
 		rt.abort(ne)
 	}
+}
+
+// JobFrames returns the channel carrying service-mode job traffic for
+// this node: FJob announcements when this rank is a worker, FJobDone
+// reports when it is the coordinator. The channel is buffered; the
+// serving loop must keep draining it.
+func (n *Node) JobFrames() <-chan JobFrame {
+	n.jobMu.Lock()
+	defer n.jobMu.Unlock()
+	if n.jobC == nil {
+		n.jobC = make(chan JobFrame, 256)
+	}
+	return n.jobC
+}
+
+// onJob routes one piece of job traffic onto the job channel. It runs
+// on a connection reader goroutine, so the push is non-blocking: with a
+// wedged consumer the frame is counted dropped rather than stalling the
+// reader (the serving protocol tolerates a lost report — the
+// coordinator's wait is bounded — and a lost announcement is re-sent
+// after recovery).
+func (n *Node) onJob(p *peerConn, f Frame) {
+	jf := JobFrame{Seq: f.A, Rank: p.rank, Done: f.Type == FJobDone}
+	// The reader reclaims its pooled payload buffer when dispatch
+	// returns; a job frame outlives that, so it owns a plain copy.
+	jf.Payload = append([]byte(nil), f.Payload...)
+	n.jobMu.Lock()
+	if n.jobC == nil {
+		n.jobC = make(chan JobFrame, 256)
+	}
+	c := n.jobC
+	n.jobMu.Unlock()
+	select {
+	case c <- jf:
+	default:
+		atomic.AddInt64(&n.jobDrop, 1)
+	}
+}
+
+// SendJob announces job seq to one rank (coordinator side).
+func (n *Node) SendJob(rank int, seq int64, spec []byte) bool {
+	return n.sendTo(rank, &Frame{Type: FJob, A: seq, Payload: spec})
+}
+
+// BroadcastJob announces job seq to every other rank. It reports how
+// many ranks accepted the frame; a down peer simply misses it (the
+// recovery path re-announces after the mesh rebuilds).
+func (n *Node) BroadcastJob(seq int64, spec []byte) int {
+	sent := 0
+	for r := 0; r < n.world; r++ {
+		if r == n.rank {
+			continue
+		}
+		if n.SendJob(r, seq, spec) {
+			sent++
+		}
+	}
+	return sent
+}
+
+// SendJobDone reports this worker's outcome for job seq to the
+// coordinator.
+func (n *Node) SendJobDone(seq int64, report []byte) bool {
+	return n.sendTo(0, &Frame{Type: FJobDone, A: seq, Payload: report})
 }
 
 // Sever forcibly breaks the connection to a peer rank with no goodbye —

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/charm"
+)
+
+// shutdownSeq is the control announcement that ends the follower loop:
+// rank 0 broadcasts it when the daemon exits.
+const shutdownSeq = -1
+
+// Follow is a worker rank's serving loop: execute every job rank 0
+// announces, with the same recovery budget rank 0 uses, and report the
+// outcome back. It returns nil on an orderly shutdown announcement.
+//
+// Jobs are deduplicated by sequence number: after a rank death, rank
+// 0's retry closure re-announces the in-flight job so the respawned
+// worker (whose history is empty) picks it up, while survivors — whose
+// own recovery loop is already rerunning it — drop the duplicate.
+func Follow(env Env, attempts int) error {
+	node := env.Net
+	if node == nil || !node.IsWorker() {
+		return fmt.Errorf("serve: Follow runs on net-backend worker ranks")
+	}
+	if attempts <= 0 {
+		attempts = charm.DefaultRecoveryAttempts
+	}
+	var last int64
+	for jf := range node.JobFrames() {
+		if jf.Done {
+			continue // worker-to-coordinator traffic; not ours
+		}
+		if jf.Seq == shutdownSeq {
+			return nil
+		}
+		if jf.Seq <= last {
+			continue // re-announcement of a job this rank already ran
+		}
+		last = jf.Seq
+
+		var spec Spec
+		var out Outcome
+		if err := json.Unmarshal(jf.Payload, &spec); err != nil {
+			out = Outcome{Rank: node.Rank(), OK: false,
+				Errors: []string{fmt.Sprintf("undecodable job spec: %v", err)}}
+		} else {
+			spec.PrepareKill(env)
+			errs := charm.RunWithRecovery(node, attempts, func() []error {
+				var raw []error
+				out, raw = Execute(env, spec)
+				return raw
+			})
+			if len(errs) > 0 {
+				out.OK = false
+				out.Errors = errStrings(errs)
+			}
+		}
+		report, err := json.Marshal(out)
+		if err != nil {
+			report = []byte(fmt.Sprintf(`{"rank":%d,"ok":false,"errors":["encode report: %v"]}`,
+				node.Rank(), err))
+		}
+		node.SendJobDone(jf.Seq, report)
+	}
+	return fmt.Errorf("serve: job channel drained without a shutdown announcement")
+}
+
+// AnnounceShutdown tells every follower to exit its serving loop. Rank
+// 0 calls it before tearing the mesh down.
+func AnnounceShutdown(env Env) {
+	if env.Net != nil && env.Net.Rank() == 0 {
+		env.Net.BroadcastJob(shutdownSeq, nil)
+	}
+}
