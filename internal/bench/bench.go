@@ -162,6 +162,7 @@ func All() []Experiment {
 		{"faults", "Supplementary: recovery cost under transfer loss", func(s Scale) []*Table { return []*Table{FaultFigure(s)} }},
 		{"realhw", "Real-execution backend: wall-clock pingpong + stencil on goroutines", func(s Scale) []*Table { return RealHW(s) }},
 		{"nethw", "Distributed net backend: wall-clock pingpong + stencil across a socket mesh", func(s Scale) []*Table { return NetHW(s) }},
+		{"nethw-shm", "Shared-memory transport between co-located ranks: pingpong + stencil over memfd rings (DESIGN.md §12)", func(s Scale) []*Table { return NetHWShm(s) }},
 		{"allocs", "Allocator pressure of the live backends vs pre-pool baselines (DESIGN.md §9)", func(s Scale) []*Table { return Allocs(s) }},
 		{"serve", "ckserve daemon throughput: warmed mesh vs boot-per-run (DESIGN.md §11)", func(s Scale) []*Table { return ServeBench(s) }},
 	}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/apps/pingpong"
@@ -17,14 +18,45 @@ import (
 // processes, minus exec). Charm messages cross rank boundaries as eager
 // or rendezvous frames and CkDirect puts as registered-buffer writes,
 // so these numbers price the full framing/TCP path the simulator's
-// netmodel personalities only model.
+// netmodel personalities only model. Both transports run: the plain
+// loopback-TCP tables first, then the shared-memory transport the
+// co-located ranks negotiate by default (NetHWShm), so one experiment
+// archives the direct comparison.
 func NetHW(scale Scale) []*Table {
-	return []*Table{netHWPingpong(scale), netHWStencil(scale)}
+	return []*Table{
+		netHWPingpong(scale, false), netHWStencil(scale, false),
+		netHWPingpong(scale, true), netHWStencil(scale, true),
+	}
 }
 
-// netHWNote reminds readers these are loopback-TCP wall-clock numbers.
-func netHWNote() string {
-	return fmt.Sprintf("wall-clock over loopback TCP between ranks of an in-process world; eager/rendezvous threshold %d B — expect run-to-run variance", netrt.DefaultEagerMax)
+// NetHWShm is the shared-memory half of NetHW alone — the CI smoke
+// target: co-located ranks exchange app frames over memfd-backed SPSC
+// rings and CkDirect puts become cross-process memcpy + doorbell.
+func NetHWShm(scale Scale) []*Table {
+	return []*Table{netHWPingpong(scale, true), netHWStencil(scale, true)}
+}
+
+// netHWNote reminds readers these are single-host wall-clock numbers.
+func netHWNote(shm bool) string {
+	transport := "loopback TCP"
+	if shm {
+		transport = "the shared-memory transport (memfd rings, -net.shm)"
+	}
+	return fmt.Sprintf("wall-clock over %s between ranks of an in-process world; eager/rendezvous threshold %d B — expect run-to-run variance", transport, netrt.DefaultEagerMax)
+}
+
+// netHWConfig is the per-rank netrt configuration of one transport arm.
+func netHWConfig(shm bool) netrt.Config {
+	return netrt.Config{ShmOff: !shm}
+}
+
+// tableID prefixes the shm arm's table ids so both arms archive side by
+// side in one report.
+func netHWTableID(base string, shm bool) string {
+	if shm {
+		return "nethw-shm-" + strings.TrimPrefix(base, "nethw-")
+	}
+	return base
 }
 
 // runNetWorld executes one configuration on every rank of a world
@@ -58,9 +90,16 @@ func runNetWorld(nodes []*netrt.Node, cfg pingpong.Config) []pingpong.Result {
 // straddles the eager/rendezvous threshold — charm-msg pays the RTS/CTS
 // exchange above it, while the ckdirect row stays a single FPut frame
 // deposited into the registered buffer at every size.
-func netHWPingpong(scale Scale) *Table {
+func netHWPingpong(scale Scale, shm bool) *Table {
 	plat := *netmodel.AbeIB
 	plat.Name = "host(tcp)"
+	transport := "loopback TCP"
+	ckdNote := "ckdirect row is one FPut frame per trip: payload deposited into the registered buffer, sentinel release-stored, no callback message"
+	if shm {
+		plat.Name = "host(shm)"
+		transport = "shared memory"
+		ckdNote = "ckdirect row is one arena memcpy + 48-byte ring doorbell per trip: the receive buffer lives in the shared segment, so the put never enters the kernel"
+	}
 	plat.CoresPerNode = 1
 
 	sizes := []int{1024, 8192, 65536}
@@ -74,17 +113,17 @@ func netHWPingpong(scale Scale) *Table {
 		cols[i] = fmt.Sprintf("%d", s)
 	}
 	t := &Table{
-		ID:      "nethw-pingpong",
-		Title:   "Pingpong RTT on the net backend (two ranks over loopback TCP)",
+		ID:      netHWTableID("nethw-pingpong", shm),
+		Title:   fmt.Sprintf("Pingpong RTT on the net backend (two ranks over %s)", transport),
 		ColHead: "Message Size (B)",
 		Columns: cols,
 		Unit:    "us RTT, wall clock",
 		Notes: []string{
-			netHWNote(),
-			"ckdirect row is one FPut frame per trip: payload deposited into the registered buffer, sentinel release-stored, no callback message",
+			netHWNote(shm),
+			ckdNote,
 		},
 	}
-	nodes, err := netrt.StartLocal(2)
+	nodes, err := netrt.StartLocalConfig(2, netHWConfig(shm))
 	if err != nil {
 		panic(fmt.Sprintf("bench: nethw world: %v", err))
 	}
@@ -115,7 +154,7 @@ func netHWPingpong(scale Scale) *Table {
 // crossing process boundaries. Every rank runs Improvement concurrently
 // (msg generation, then ckd — run generations keep them apart on the
 // shared mesh); rank 0 owns the timing.
-func netHWStencil(scale Scale) *Table {
+func netHWStencil(scale Scale, shm bool) *Table {
 	worlds := []int{2, 4}
 	pes := 4
 	nx, ny, nz := 16, 16, 8
@@ -128,14 +167,18 @@ func netHWStencil(scale Scale) *Table {
 	for i, w := range worlds {
 		cols[i] = fmt.Sprintf("%d", w)
 	}
+	title := "Stencil halo exchange on the net backend, messages vs CkDirect"
+	if shm {
+		title = "Stencil halo exchange on the net backend over shared memory, messages vs CkDirect"
+	}
 	t := &Table{
-		ID:      "nethw-stencil",
-		Title:   "Stencil halo exchange on the net backend, messages vs CkDirect",
+		ID:      netHWTableID("nethw-stencil", shm),
+		Title:   title,
 		ColHead: "Processes",
 		Columns: cols,
 		Unit:    "ms per iteration / percent, wall clock",
 		Notes: []string{
-			netHWNote(),
+			netHWNote(shm),
 			fmt.Sprintf("domain %dx%dx%d on %d PEs split across the ranks, virtualization 2; payloads are real and validated against the serial reference", nx, ny, nz, pes),
 		},
 	}
@@ -143,7 +186,7 @@ func netHWStencil(scale Scale) *Table {
 	ckdT := make([]float64, len(worlds))
 	imp := make([]float64, len(worlds))
 	for i, world := range worlds {
-		nodes, err := netrt.StartLocal(world)
+		nodes, err := netrt.StartLocalConfig(world, netHWConfig(shm))
 		if err != nil {
 			panic(fmt.Sprintf("bench: nethw world of %d: %v", world, err))
 		}

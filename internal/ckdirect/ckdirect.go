@@ -237,6 +237,7 @@ func NewManager(rts *charm.RTS) *Manager {
 		nrt.SetPoll(m.realPoll)
 		nrt.SetPutSink(m.netPutSink)
 		nrt.SetPutStream(m.netPutStream)
+		nrt.SetPutDoorbell(m.netPutDoorbell)
 		return m
 	}
 	plat := rts.Platform()
@@ -373,6 +374,12 @@ func (m *Manager) AssocLocal(h *Handle, pe int, src *machine.Region) error {
 	}
 	m.rts.ChargeOn(pe, sim.Microseconds(assocCPUUS))
 	src.SetRegistered(true)
+	if m.net != nil {
+		// Now that the channel knows its sender, the receiving rank can
+		// move its destination buffer into the shm arena shared with
+		// that sender (no-op when there is no such arena).
+		m.placeRecvInShm(h)
+	}
 	return nil
 }
 

@@ -132,3 +132,62 @@ func discardPut(r io.Reader, size int) error {
 	_, err := io.CopyN(io.Discard, r, int64(size))
 	return err
 }
+
+// netPutDoorbell completes a direct-deposit put: the sender already
+// memcpy'd the body into this handle's receive buffer through the
+// shared-memory arena, so all that remains is the sentinel
+// release-store — the exact store a real RDMA NIC's last write would
+// be. The work credit is taken before the publishing store, same as
+// every other inbound-put path, so termination cannot race a
+// landed-but-undetected put.
+func (m *Manager) netPutDoorbell(id int64, last uint64) {
+	if id < 0 || id >= int64(len(m.handles)) {
+		m.rts.ReportError(fmt.Errorf("ckdirect: shm doorbell for unknown handle %d (have %d)", id, len(m.handles)))
+		return
+	}
+	h := m.handles[id]
+	if !m.rts.HostsPE(h.recvPE) {
+		m.rts.ReportError(fmt.Errorf("ckdirect: shm doorbell for handle %d on PE %d, not hosted here", id, h.recvPE))
+		return
+	}
+	m.net.PutIssued()
+	atomic.StoreUint64(h.sw, last)
+	m.net.Kick(h.recvPE)
+}
+
+// placeRecvInShm moves a handle's receive buffer into the shm arena
+// shared with the sending rank, so that rank's puts become one memcpy
+// plus a doorbell instead of a framed payload. Runs on the receiving
+// rank at AssocLocal time (SPMD setup executes AssocLocal everywhere,
+// so by then the handle knows its sender). Best-effort: any reason not
+// to — strided layout, in-process sender, no shm link, arena full —
+// leaves the handle on its heap buffer and every transport path still
+// works, just without the zero-frame deposit.
+func (m *Manager) placeRecvInShm(h *Handle) {
+	if m.net == nil || h.strided != nil || !m.rts.HostsPE(h.recvPE) || m.rts.HostsPE(h.sendPE) {
+		return
+	}
+	size := h.recvBuf.Size()
+	if size < 8 || size%8 != 0 || !h.recvBuf.Rebindable() {
+		return
+	}
+	rank := m.net.RankOf(h.sendPE)
+	buf, off, ok := m.net.AllocPutRegion(rank, size)
+	if !ok {
+		return
+	}
+	if err := h.recvBuf.Rebind(buf); err != nil {
+		return
+	}
+	// The sentinel pointer still aims at the old backing array; rebuild
+	// it over the arena bytes and re-stamp, then tell the sender where
+	// the buffer lives. A put racing ahead of the registration just
+	// takes the frame path — into this same rebound buffer.
+	sw, err := h.recvBuf.Uint64At(size - 8)
+	if err != nil {
+		return
+	}
+	h.sw = sw
+	m.writeSentinel(h)
+	m.net.RegisterPutBuffer(rank, int64(h.id), off, int64(size))
+}

@@ -23,6 +23,12 @@ type Region struct {
 	size       int
 	buf        []byte
 	registered bool
+	// owned marks storage the region allocated itself (AllocRegion).
+	// Only owned storage may be transparently migrated by Rebind: a
+	// wrapped region aliases a caller-held slice, and the caller reads
+	// that slice directly — moving the bytes out from under it would
+	// silently decouple the two views.
+	owned bool
 }
 
 // AllocRegion allocates a memory region of size bytes on PE pe. When
@@ -37,6 +43,7 @@ func (m *Machine) AllocRegion(pe int, size int, virtual bool) *Region {
 	r := &Region{pe: m.pes[pe], size: size}
 	if !virtual {
 		r.buf = make([]byte, size)
+		r.owned = true
 	}
 	return r
 }
@@ -52,6 +59,33 @@ func (m *Machine) WrapRegion(pe int, buf []byte) *Region {
 	}
 	return &Region{pe: m.pes[pe], size: len(buf), buf: buf}
 }
+
+// Rebind migrates the region onto different backing storage of the same
+// size, copying the current contents across. This is how a registered
+// receive buffer moves into a shared-memory arena after allocation: the
+// application's held *Region keeps working — every Bytes()/Uint64At view
+// resolves through r.buf — while the bytes themselves become addressable
+// by a co-located peer process. Only regions that own their storage
+// (AllocRegion) are eligible; a WrapRegion'd buffer stays put because
+// its caller reads the wrapped slice directly.
+func (r *Region) Rebind(buf []byte) error {
+	if r.buf == nil {
+		return fmt.Errorf("machine: Rebind of a virtual region")
+	}
+	if !r.owned {
+		return fmt.Errorf("machine: Rebind of a wrapped region (caller aliases the storage)")
+	}
+	if len(buf) != r.size {
+		return fmt.Errorf("machine: Rebind size %d, region is %d", len(buf), r.size)
+	}
+	copy(buf, r.buf)
+	r.buf = buf
+	r.owned = false
+	return nil
+}
+
+// Rebindable reports whether Rebind may migrate this region's storage.
+func (r *Region) Rebindable() bool { return r.owned && r.buf != nil }
 
 // PE returns the processing element owning this region.
 func (r *Region) PE() *PE { return r.pe }

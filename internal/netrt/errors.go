@@ -16,10 +16,21 @@ type NetError struct {
 	// Peer is the remote rank the failure concerns.
 	Peer int
 	// Op names the operation that failed: "dial", "read", "write",
-	// "keepalive", "peer-abort", "bootstrap".
+	// "keepalive", "peer-abort", "bootstrap", "config".
 	Op string
 	// Err is the underlying cause.
 	Err error
+}
+
+// ErrBadConfig is the sentinel under every configuration rejection:
+// errors.Is(err, ErrBadConfig) distinguishes "you asked for an
+// impossible world" from a world that failed to form.
+var ErrBadConfig = errors.New("invalid netrt configuration")
+
+// badConfig wraps a configuration defect as a typed, non-recoverable
+// NetError (Peer -1 keeps it outside Recoverable's rank-death shape).
+func badConfig(rank int, err error) error {
+	return &NetError{Rank: rank, Peer: -1, Op: "config", Err: fmt.Errorf("%w: %v", ErrBadConfig, err)}
 }
 
 // Error formats the failure.

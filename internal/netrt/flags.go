@@ -1,6 +1,9 @@
 package netrt
 
-import "flag"
+import (
+	"flag"
+	"strconv"
+)
 
 // RegisterFlags binds the standard -net.* flag set and returns the
 // Config they populate. Call before flag.Parse; pass the filled Config
@@ -11,6 +14,10 @@ import "flag"
 //	-net.peers  static launch: comma-separated listen addresses by rank
 //	-net.coord  coordinator address (rank 0 listens, workers dial)
 //	-net.eager  eager/rendezvous threshold in bytes
+//	-net.shm    shared-memory transport for co-located ranks (default on)
+//	-net.shmring   per-direction shm ring bytes (rounded up to a power of two)
+//	-net.shmarena  per-direction shm put-arena bytes
+//	-net.seed   base seed for the node's deterministic RNG streams
 func RegisterFlags() *Config {
 	cfg := &Config{}
 	flag.IntVar(&cfg.Rank, "net.rank", -1, "net backend: this process's rank (-1 = self-spawn workers)")
@@ -18,5 +25,14 @@ func RegisterFlags() *Config {
 	flag.StringVar(&cfg.PeersCSV, "net.peers", "", "net backend: comma-separated listen addresses, one per rank (static launch)")
 	flag.StringVar(&cfg.Coord, "net.coord", "", "net backend: coordinator address (rank 0 listens, workers dial in)")
 	flag.IntVar(&cfg.EagerMax, "net.eager", DefaultEagerMax, "net backend: eager/rendezvous threshold in bytes")
+	// Config's zero value enables shm, so the flag inverts into ShmOff.
+	flag.BoolFunc("net.shm", "net backend: shared-memory transport between co-located ranks (default true)", func(s string) error {
+		v, err := strconv.ParseBool(s)
+		cfg.ShmOff = !v
+		return err
+	})
+	flag.IntVar(&cfg.ShmRingBytes, "net.shmring", 0, "net backend: per-direction shm ring bytes (0 = 1 MiB default)")
+	flag.IntVar(&cfg.ShmArenaBytes, "net.shmarena", 0, "net backend: per-direction shm put-arena bytes (0 = 4 MiB default)")
+	flag.Uint64Var(&cfg.Seed, "net.seed", 0, "net backend: base RNG seed for backoff jitter and shm tokens (0 = built-in)")
 	return cfg
 }

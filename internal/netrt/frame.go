@@ -90,6 +90,23 @@ const (
 	// FJobDone is a worker's job report back to the coordinator: A = job
 	// sequence number, payload = the encoded per-rank outcome.
 	FJobDone
+	// FShmOffer proposes a shared-memory link for this edge during
+	// bootstrap: payload = "unixName\ntoken\nhostID", A = ring bytes,
+	// B = arena bytes. An empty payload is an explicit decline (shm
+	// disabled or unsupported on the offering side). Exchanged
+	// synchronously on the raw socket before the frame goroutines
+	// start, so it never interleaves with app traffic.
+	FShmOffer
+	// FShmAck answers an offer: A = 1 when the receiver mapped the
+	// segment and the edge switches its app frames to the shm rings,
+	// A = 0 when it stays on TCP.
+	FShmAck
+	// FShmReg advertises a CkDirect destination buffer placed inside
+	// the shm arena, receiver → sender: Run = generation, A = handle
+	// id, B = arena offset, C = byte size. Control traffic on the TCP
+	// stream; a sender holding a registration deposits puts straight
+	// into the mapped arena and sends only a doorbell.
+	FShmReg
 	frameTypeMax
 )
 

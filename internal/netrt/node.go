@@ -1,6 +1,7 @@
 package netrt
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/rng"
 )
 
 // DefaultEagerMax is the eager/rendezvous threshold: an encoded message
@@ -59,6 +61,21 @@ type Config struct {
 	// the world via Start. In-process recovery tests use it; spawned
 	// worlds re-exec the dead worker instead.
 	OnRespawn func(rank int)
+	// ShmOff disables the shared-memory transport for co-located ranks.
+	// The zero value leaves it ON: every pair of ranks that proves
+	// co-location during bootstrap maps a shared segment and moves its
+	// app frames (and CkDirect put deposits) off the kernel entirely,
+	// falling back to TCP per edge when the handshake declines.
+	ShmOff bool
+	// ShmRingBytes and ShmArenaBytes override the per-direction ring and
+	// put-arena sizes of a shared segment (0 = defaults). The ring
+	// rounds up to a power of two.
+	ShmRingBytes  int
+	ShmArenaBytes int
+	// Seed seeds this node's private randomness (dial-retry jitter, shm
+	// handshake tokens); 0 selects a fixed default. Each rank derives
+	// its own stream, so chaos runs replay from the run seed.
+	Seed uint64
 }
 
 // Node is one process's membership in the distributed world: the full
@@ -111,6 +128,26 @@ type Node struct {
 	jobMu   sync.Mutex
 	jobC    chan JobFrame
 	jobDrop int64 // frames dropped because jobC was full (consumer wedged)
+
+	// rng is the node's private randomness — dial-retry jitter and shm
+	// handshake tokens — seeded from Config.Seed and the rank so
+	// simultaneous re-dialers decorrelate and chaos runs replay from
+	// the run seed. rngMu guards it (the consumers are cold paths).
+	rng   *rng.RNG
+	rngMu sync.Mutex
+
+	// shmSrv is the fd-passing endpoint for the shared-memory
+	// handshake, created lazily at the first offered segment and living
+	// for the node's lifetime (it serves every mesh epoch).
+	shmMu  sync.Mutex
+	shmSrv *shmServer
+}
+
+// rand64 draws from the node's private generator.
+func (n *Node) rand64() uint64 {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Uint64()
 }
 
 // JobFrame is one piece of service-mode job traffic: a coordinator's
@@ -133,7 +170,8 @@ type bufFrame struct {
 
 // Start brings this process into the world: bootstraps membership
 // (static peer table, coordinator dial-in, or self-spawn), establishes
-// the full connection mesh, and returns once every peer is connected.
+// the full connection mesh — negotiating a shared-memory segment per
+// co-located edge — and returns once every peer is connected.
 func Start(cfg Config) (*Node, error) {
 	if cfg.PeersCSV != "" && len(cfg.Peers) == 0 {
 		for _, a := range strings.Split(cfg.PeersCSV, ",") {
@@ -145,54 +183,70 @@ func Start(cfg Config) (*Node, error) {
 	world := cfg.World
 	if len(cfg.Peers) > 0 {
 		if world > 1 && world != len(cfg.Peers) {
-			return nil, fmt.Errorf("netrt: -net.world=%d but -net.peers lists %d addresses", world, len(cfg.Peers))
+			return nil, badConfig(cfg.Rank,
+				fmt.Errorf("-net.world=%d but -net.peers lists %d addresses", world, len(cfg.Peers)))
 		}
 		world = len(cfg.Peers)
 	}
-	if world <= 0 {
-		world = 1
+	if err := validateConfig(cfg, world); err != nil {
+		return nil, err
 	}
-	if cfg.EagerMax <= 0 {
+	if cfg.EagerMax == 0 {
 		cfg.EagerMax = DefaultEagerMax
 	}
 	n := &Node{rank: cfg.Rank, world: world, eagerMax: cfg.EagerMax, completedGen: -1,
 		cfg: cfg, dead: make(map[int]bool)}
+	if n.rank < 0 {
+		n.rank = 0 // self-spawn: this process becomes rank 0
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x636b646972656374 // "ckdirect"
+	}
+	n.rng = rng.New(seed ^ uint64(n.rank+1)*0x9e3779b97f4a7c15)
 	if world == 1 {
 		// Degenerate single-process world: no sockets, no coordinator —
 		// useful for flag plumbing tests and as the safe default.
-		n.rank = 0
 		return n, nil
 	}
 	n.peers = make([]*peerConn, world)
 	var err error
 	switch {
 	case len(cfg.Peers) > 0:
-		if n.rank < 0 || n.rank >= world {
-			err = fmt.Errorf("static launch needs -net.rank in [0,%d)", world)
+		if cfg.Rank < 0 {
+			err = badConfig(cfg.Rank, fmt.Errorf("static launch needs -net.rank in [0,%d)", world))
 		} else {
 			err = n.bootstrapStatic(cfg)
 		}
 	case cfg.Rank < 0:
-		// Self-spawn: become rank 0, coordinate on an ephemeral port,
-		// launch the other ranks as copies of this process.
-		n.rank = 0
+		// Self-spawn: coordinate on an ephemeral port and launch the
+		// other ranks as copies of this process.
 		err = n.bootstrapCoordinator(cfg, "127.0.0.1:0", true)
 	case cfg.Rank == 0:
 		if cfg.Coord == "" {
-			err = errors.New("rank 0 needs -net.coord (its listen address) or -net.peers")
+			err = badConfig(cfg.Rank, errors.New("rank 0 needs -net.coord (its listen address) or -net.peers"))
 		} else {
 			err = n.bootstrapCoordinator(cfg, cfg.Coord, false)
 		}
 	default:
 		if cfg.Coord == "" {
-			err = errors.New("workers need -net.coord or -net.peers")
+			err = badConfig(cfg.Rank, errors.New("workers need -net.coord or -net.peers"))
 		} else {
 			err = n.bootstrapWorker(cfg)
 		}
 	}
+	if err == nil {
+		// Mesh complete, connection goroutines not yet running: negotiate
+		// the per-edge shared segments synchronously on the raw conns.
+		err = n.setupShm()
+	}
 	n.publishPeers()
 	if err != nil {
 		n.Close()
+		var ne *NetError
+		if errors.As(err, &ne) {
+			return nil, err
+		}
 		return nil, &NetError{Rank: n.rank, Peer: -1, Op: "bootstrap", Err: err}
 	}
 	for _, p := range n.peers {
@@ -201,6 +255,27 @@ func Start(cfg Config) (*Node, error) {
 		}
 	}
 	return n, nil
+}
+
+// validateConfig is the early, typed gate on a Start configuration —
+// every rejected shape here used to surface as a late panic or a hung
+// bootstrap. World and rank are checked against the world size actually
+// in effect (the peers table wins over -net.world when both are given).
+func validateConfig(cfg Config, world int) error {
+	switch {
+	case world <= 0:
+		return badConfig(cfg.Rank, fmt.Errorf("world must be at least 1, got %d", world))
+	case cfg.Rank < -1:
+		return badConfig(cfg.Rank, fmt.Errorf("rank %d is negative (-1 means self-spawn)", cfg.Rank))
+	case cfg.Rank >= world:
+		return badConfig(cfg.Rank, fmt.Errorf("rank %d outside world [0,%d)", cfg.Rank, world))
+	case cfg.EagerMax < 0:
+		return badConfig(cfg.Rank, fmt.Errorf("eager threshold %d bytes is negative", cfg.EagerMax))
+	case cfg.ShmRingBytes < 0 || cfg.ShmArenaBytes < 0:
+		return badConfig(cfg.Rank, fmt.Errorf("negative shm sizing (ring %d, arena %d)",
+			cfg.ShmRingBytes, cfg.ShmArenaBytes))
+	}
+	return nil
 }
 
 // publishPeers makes the constructed connection table visible to
@@ -274,7 +349,7 @@ func (n *Node) bootstrapStatic(cfg Config) error {
 		return err
 	}
 	for s := 0; s < n.rank; s++ {
-		conn, err := dialRetry(cfg.Peers[s])
+		conn, err := n.dialRetry(cfg.Peers[s])
 		if err != nil {
 			return fmt.Errorf("dial rank %d at %s: %w", s, cfg.Peers[s], err)
 		}
@@ -378,7 +453,7 @@ func (n *Node) bootstrapWorker(cfg Config) error {
 	if err := n.listen("127.0.0.1:0", cfg.OnListen); err != nil {
 		return err
 	}
-	conn, err := dialRetry(cfg.Coord)
+	conn, err := n.dialRetry(cfg.Coord)
 	if err != nil {
 		return fmt.Errorf("dial coordinator at %s: %w", cfg.Coord, err)
 	}
@@ -396,7 +471,7 @@ func (n *Node) bootstrapWorker(cfg Config) error {
 		return fmt.Errorf("coordinator sent %d peer addresses, world is %d", len(addrs), n.world)
 	}
 	for s := 1; s < n.rank; s++ {
-		conn, err := dialRetry(addrs[s])
+		conn, err := n.dialRetry(addrs[s])
 		if err != nil {
 			return fmt.Errorf("dial rank %d at %s: %w", s, addrs[s], err)
 		}
@@ -480,6 +555,8 @@ func (n *Node) dispatch(p *peerConn, f Frame) bool {
 		n.onLeave(p, f)
 	case FJob, FJobDone:
 		n.onJob(p, f)
+	case FShmReg:
+		p.noteShmReg(f)
 	case FEager, FRTS, FCTS, FData, FPut, FCast:
 		return n.dispatchApp(p, f)
 	default:
@@ -544,16 +621,17 @@ func (n *Node) dispatchApp(p *peerConn, f Frame) bool {
 }
 
 // streamPut is the zero-copy inbound put path: the reader has decoded
-// an FPut's meta and its payload is still on the stream. When the
-// matching run is attached and has a streaming sink installed, the
-// payload is read directly into the preregistered destination buffer —
-// no intermediate slice exists anywhere. It returns handled=false when
-// no such sink applies (runtime not attached yet, generation mismatch,
-// no CkDirect manager), in which case the reader falls back to the
-// buffered-frame path; a non-nil error is a stream failure and kills
-// the connection (the sink consumed an unknown number of payload
-// bytes, so no resynchronization is possible).
-func (n *Node) streamPut(p *peerConn, m frameMeta) (bool, error) {
+// an FPut's meta and its payload is still on the stream br (the TCP
+// socket's reader or a shared-memory ring's — the path is transport-
+// blind). When the matching run is attached and has a streaming sink
+// installed, the payload is read directly into the preregistered
+// destination buffer — no intermediate slice exists anywhere. It
+// returns handled=false when no such sink applies (runtime not attached
+// yet, generation mismatch, no CkDirect manager), in which case the
+// reader falls back to the buffered-frame path; a non-nil error is a
+// stream failure and kills the connection (the sink consumed an unknown
+// number of payload bytes, so no resynchronization is possible).
+func (n *Node) streamPut(p *peerConn, br *bufio.Reader, m frameMeta) (bool, error) {
 	n.mu.Lock()
 	rt := n.attached
 	var sink func(id int64, size int, r io.Reader) error
@@ -567,7 +645,7 @@ func (n *Node) streamPut(p *peerConn, m frameMeta) (bool, error) {
 	if sink == nil {
 		return false, nil
 	}
-	if err := sink(m.a, m.payloadLen, p.br); err != nil {
+	if err := sink(m.a, m.payloadLen, br); err != nil {
 		return true, err
 	}
 	rt.recv.Add(1)
@@ -815,6 +893,14 @@ func (n *Node) Close() error {
 		}
 		break // grace exhausted: give up on the stragglers
 	}
+	// Every connection is down, so the ring readers are exiting and the
+	// senders can no longer enter a link: unmap the shared segments and
+	// retire the fd server. A segment whose peer still maps it stays
+	// alive on the peer's side — munmap only drops this process's view.
+	teardownShmLinks(n.peerTable())
+	n.shmMu.Lock()
+	n.shmSrv.close()
+	n.shmMu.Unlock()
 	var err error
 	for _, w := range n.children {
 		if werr := w.wait(); werr != nil && err == nil {

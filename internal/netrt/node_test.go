@@ -52,20 +52,47 @@ func TestSingleProcessWorldIsDegenerate(t *testing.T) {
 	}
 }
 
+// TestStartRejectsBadConfigs pins the typed validation gate: every
+// impossible configuration must come back as an ErrBadConfig-wrapping
+// NetError from Start itself — not a late panic, not a hung bootstrap —
+// and must not be Recoverable (there is no world to rejoin).
 func TestStartRejectsBadConfigs(t *testing.T) {
-	if _, err := Start(Config{Rank: 0, World: 2}); err == nil {
-		t.Error("rank 0 without coord or peers accepted")
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero world", Config{Rank: 0, World: 0, Coord: "127.0.0.1:0"}},
+		{"negative world", Config{Rank: 0, World: -3, Coord: "127.0.0.1:0"}},
+		{"rank below -1", Config{Rank: -2, World: 2, Coord: "127.0.0.1:0"}},
+		{"rank at world", Config{Rank: 2, World: 2, Coord: "127.0.0.1:0"}},
+		{"rank past world", Config{Rank: 7, World: 2, Coord: "127.0.0.1:0"}},
+		{"out-of-range static rank", Config{Rank: 5, World: 2, PeersCSV: "127.0.0.1:1,127.0.0.1:2"}},
+		{"self-spawn rank with static peers", Config{Rank: -1, World: 2, PeersCSV: "127.0.0.1:1,127.0.0.1:2"}},
+		{"negative eager threshold", Config{Rank: 0, World: 2, Coord: "127.0.0.1:0", EagerMax: -1}},
+		{"negative shm ring", Config{Rank: 0, World: 2, Coord: "127.0.0.1:0", ShmRingBytes: -4096}},
+		{"negative shm arena", Config{Rank: 0, World: 2, Coord: "127.0.0.1:0", ShmArenaBytes: -1}},
+		{"rank 0 without coord or peers", Config{Rank: 0, World: 2}},
+		{"worker without coord or peers", Config{Rank: 1, World: 2}},
+		{"world/peers mismatch", Config{Rank: 0, World: 3, PeersCSV: "a:1,b:2"}},
 	}
-	if _, err := Start(Config{Rank: 1, World: 2}); err == nil {
-		t.Error("worker without coord or peers accepted")
-	}
-	if _, err := Start(Config{Rank: 0, World: 3, PeersCSV: "a:1,b:2"}); err == nil {
-		t.Error("world/peers mismatch accepted")
-	}
-	var ne *NetError
-	_, err := Start(Config{Rank: 5, World: 2, PeersCSV: "127.0.0.1:1,127.0.0.1:2"})
-	if !errors.As(err, &ne) || ne.Op != "bootstrap" {
-		t.Errorf("out-of-range static rank: got %v, want a bootstrap NetError", err)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := Start(tc.cfg)
+			if err == nil {
+				n.Close()
+				t.Fatal("accepted")
+			}
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("got %v, want ErrBadConfig", err)
+			}
+			var ne *NetError
+			if !errors.As(err, &ne) || ne.Op != "config" || ne.Peer != -1 {
+				t.Fatalf("got %v, want a typed config NetError with Peer -1", err)
+			}
+			if Recoverable([]error{err}) {
+				t.Fatal("config rejection must not be Recoverable")
+			}
+		})
 	}
 }
 

@@ -3,8 +3,8 @@ package netrt
 import (
 	"bufio"
 	"io"
-	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +67,25 @@ type peerConn struct {
 	failed   atomic.Bool
 	quiet    atomic.Bool // graceful close: suppress the read-error report
 	lastRecv atomic.Int64
+
+	// shm, when set, is the shared-memory link negotiated for this edge
+	// at bootstrap: app frames ride its ring (the TCP connection keeps
+	// carrying control traffic, whose EOF is the death signal), and
+	// registered puts deposit into its arena.
+	shm atomic.Pointer[shmLink]
+
+	// regs records the peer's FShmReg put-buffer registrations (by
+	// handle id); directPut consults them.
+	regMu sync.Mutex
+	regs  map[int64]shmPutReg
+
+	// arenaGen/arenaOff are the bump allocator over the inbound arena —
+	// where THIS process places registered receive buffers for the peer
+	// to deposit into. The bump resets when a new run generation first
+	// allocates (termination proved the old puts drained).
+	arenaMu  sync.Mutex
+	arenaGen int64
+	arenaOff int
 }
 
 func newPeerConn(n *Node, rank int, conn net.Conn) *peerConn {
@@ -89,12 +108,31 @@ func newPeerConn(n *Node, rank int, conn net.Conn) *peerConn {
 }
 
 // start launches the connection goroutines. Called once bootstrap
-// handshakes on this connection are complete.
+// handshakes on this connection are complete. An edge with a shared
+// segment gets a fourth goroutine: the ring reader, running the same
+// frame loop as the TCP reader over the inbound ring.
 func (p *peerConn) start() {
 	p.started = true
 	go p.writer()
 	go p.reader()
 	go p.keepalive()
+	if l := p.shm.Load(); l != nil {
+		go p.ringReader(l)
+	}
+}
+
+// isAppFrame reports whether a frame type carries program traffic —
+// the classes that ride the shared-memory ring when the edge has one.
+// Control traffic stays on TCP: its relative order against app frames
+// is immaterial (termination is counter-based, probes are idempotent,
+// and FHalt/FLeave only fire after the counters prove app traffic
+// drained), while the socket's EOF remains the instant death signal.
+func isAppFrame(t byte) bool {
+	switch t {
+	case FEager, FRTS, FCTS, FData, FPut, FCast:
+		return true
+	}
+	return false
 }
 
 // send queues an encoded frame, blocking on a full outbox. It reports
@@ -102,7 +140,19 @@ func (p *peerConn) start() {
 // ran (or is running) via peerDown, so dropping the frame is correct —
 // the run is aborting. On true the frame belongs to the connection:
 // either the writer writes-and-Puts it, or the teardown drain Puts it.
+//
+// App frames on an shm edge take the ring instead: the bytes are
+// copied into the segment synchronously (the ring write IS the wire
+// write — no goroutine handoff, no syscall) and the pooled buffer is
+// reclaimed here, keeping the pool ledger identical across transports.
 func (p *peerConn) send(b []byte) bool {
+	if l := p.shm.Load(); l != nil && isAppFrame(b[3]) {
+		if !l.writeFrame(b, p.down) {
+			return false
+		}
+		bufpool.Put(b)
+		return true
+	}
 	select {
 	case p.out <- b:
 	case <-p.down:
@@ -205,24 +255,41 @@ func (p *peerConn) drainOutbox() {
 	}
 }
 
-// reader decodes frames and hands them to the node. Only the fixed
-// header+meta is read into stack scratch; the payload lands either
-// directly in the preregistered destination region (streamed FPut — no
-// intermediate copy anywhere) or in a pooled buffer whose ownership
-// passes to dispatch when dispatch reports the payload consumed.
+// reader runs the frame loop over the TCP socket.
 func (p *peerConn) reader() {
+	p.fail("read", p.readLoop(p.br))
+}
+
+// ringReader runs the identical frame loop over the inbound shm ring,
+// so a frame dispatches byte-for-byte the same whichever transport
+// carried it. The ring yields io.EOF once the connection's down latch
+// closes, which is the planned exit: by then the edge's failure (or
+// graceful teardown) was already handled on the TCP side, and fail()
+// is a no-op. A real protocol error on the ring (corrupt frame) kills
+// the edge exactly as a corrupt TCP stream would.
+func (p *peerConn) ringReader(l *shmLink) {
+	defer l.markReaderDone()
+	br := bufio.NewReaderSize(&shmRingReader{ring: l.in, down: p.down}, ioBufBytes)
+	p.fail("read", p.readLoop(br))
+}
+
+// readLoop decodes frames from one transport stream and hands them to
+// the node until the stream errors. Only the fixed header+meta is read
+// into stack scratch; the payload lands either directly in the
+// preregistered destination region (streamed FPut — no intermediate
+// copy anywhere) or in a pooled buffer whose ownership passes to
+// dispatch when dispatch reports the payload consumed.
+func (p *peerConn) readLoop(br *bufio.Reader) error {
 	for {
-		m, err := readFrameMeta(p.br)
+		m, err := readFrameMeta(br)
 		if err != nil {
-			p.fail("read", err)
-			return
+			return err
 		}
 		p.lastRecv.Store(time.Now().UnixNano())
 		if m.typ == FPut && m.payloadLen > 0 {
-			handled, err := p.node.streamPut(p, m)
+			handled, err := p.node.streamPut(p, br, m)
 			if err != nil {
-				p.fail("read", err)
-				return
+				return err
 			}
 			if handled {
 				continue
@@ -232,10 +299,9 @@ func (p *peerConn) reader() {
 		var pooled []byte
 		if m.payloadLen > 0 {
 			pooled = bufpool.Get(m.payloadLen)
-			if _, err := io.ReadFull(p.br, pooled); err != nil {
+			if _, err := io.ReadFull(br, pooled); err != nil {
 				bufpool.Put(pooled)
-				p.fail("read", err)
-				return
+				return err
 			}
 			f.Payload = pooled
 		}
@@ -323,16 +389,19 @@ func (p *peerConn) close() {
 // dialRetry dials addr with exponential backoff and jitter — worker
 // processes race the coordinator's listen during bootstrap, and a
 // refused connection a few milliseconds in is expected, not fatal.
-func dialRetry(addr string) (net.Conn, error) {
-	return dialRetryN(addr, dialAttempts)
+func (n *Node) dialRetry(addr string) (net.Conn, error) {
+	return n.dialRetryN(addr, dialAttempts)
 }
 
 // dialRetryN is dialRetry with a caller-chosen attempt budget (Rejoin
 // uses a longer one). The backoff doubles up to dialMaxDelay and never
 // past it, so many ranks re-dialing a restarting coordinator stay
 // jittered across a bounded window instead of thundering in ever-wider
-// synchronized bursts.
-func dialRetryN(addr string, attempts int) (net.Conn, error) {
+// synchronized bursts. Jitter draws from the node's seeded per-rank
+// stream, not the global math/rand source: every rank of a world gets
+// an independent, reproducible schedule instead of whatever the
+// process-wide generator happens to hold.
+func (n *Node) dialRetryN(addr string, attempts int) (net.Conn, error) {
 	var lastErr error
 	delay := dialBaseDelay
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -343,7 +412,7 @@ func dialRetryN(addr string, attempts int) (net.Conn, error) {
 		lastErr = err
 		// Full jitter: sleep a uniform fraction of the doubling window
 		// so simultaneous dialers do not reconverge on the same instant.
-		time.Sleep(time.Duration(rand.Int63n(int64(delay))) + delay/2)
+		time.Sleep(time.Duration(n.rand64()%uint64(delay)) + delay/2)
 		if delay < dialMaxDelay {
 			delay *= 2
 			if delay > dialMaxDelay {

@@ -9,12 +9,17 @@ import (
 )
 
 // TestAbortedRunDrainsPool audits the abort cascade for pooled-buffer
-// leaks: a two-rank mesh with an endless eager chain in flight loses
-// rank 1 to Die() (the in-process kill -9), both runs unwind with
-// errors, and once every connection goroutine has drained, the pool's
-// ledger over the test must balance — every Get matched by a Put or a
-// Dropped. Under -race the pool's debug tracking is on, so a leak also
-// shows up as a named outstanding buffer.
+// leaks, once per transport: a two-rank mesh with an endless eager
+// chain in flight loses rank 1 to Die() (the in-process kill -9), both
+// runs unwind with errors, and once every connection goroutine has
+// drained, the pool's ledger over the test must balance — every Get
+// matched by a Put or a Dropped. Under -race the pool's debug tracking
+// is on, so a leak also shows up as a named outstanding buffer.
+//
+// The shm variant is the satellite assertion for the ring transport:
+// frames ride the shared rings (a producer that Puts its buffer the
+// moment the ring accepted the copy) instead of the TCP outbox, and an
+// aborted run must leave the ledger just as balanced.
 //
 // The deliver handler releases the pooled wire buffer on the reader
 // goroutine, before enqueueing follow-on work: buffer ownership then
@@ -22,9 +27,26 @@ import (
 // paths (writer outbox drain, reader dispatch-refused Puts, goodbye
 // frames on dead connections) that the abort cascade exercises.
 func TestAbortedRunDrainsPool(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		shmOff bool
+	}{{"shm", false}, {"tcp", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			if !tc.shmOff && !shmSupported {
+				t.Skip("shm transport unsupported on this platform")
+			}
+			testAbortedRunDrainsPool(t, Config{ShmOff: tc.shmOff})
+		})
+	}
+}
+
+func testAbortedRunDrainsPool(t *testing.T, base Config) {
 	before := bufpool.Default.Stats()
 
-	nodes := startWorld(t, 2)
+	nodes, err := StartLocalConfig(2, base)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
 	rts := make([]*Runtime, 2)
 	for i, n := range nodes {
 		rt, err := n.NewRuntime(4)

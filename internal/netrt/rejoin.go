@@ -101,6 +101,11 @@ func (n *Node) Rejoin() error {
 		}
 		p.close()
 	}
+	// Unmap the old epoch's shm segments off the critical path: the
+	// teardown waits for each ring reader to drain out, which needs the
+	// down latches just closed above to propagate. The new mesh maps
+	// fresh segments; nothing here is reused.
+	go teardownShmLinks(oldPeers)
 
 	if n.rank == 0 {
 		return n.rejoinCoordinator(dead)
@@ -182,8 +187,7 @@ func (n *Node) rejoinCoordinator(dead map[int]bool) error {
 			return err
 		}
 	}
-	n.startPeers()
-	return nil
+	return n.startPeers()
 }
 
 // rejoinWorker is a surviving worker's side: re-dial the coordinator
@@ -191,7 +195,7 @@ func (n *Node) rejoinCoordinator(dead map[int]bool) error {
 // respawning for a while before it accepts), then rebuild the mesh
 // edges exactly as at bootstrap.
 func (n *Node) rejoinWorker() error {
-	conn, err := dialRetryN(n.cfg.Coord, rejoinDialAttempts)
+	conn, err := n.dialRetryN(n.cfg.Coord, rejoinDialAttempts)
 	if err != nil {
 		return fmt.Errorf("netrt: rejoin dial coordinator at %s: %w", n.cfg.Coord, err)
 	}
@@ -212,7 +216,7 @@ func (n *Node) rejoinWorker() error {
 		return fmt.Errorf("netrt: coordinator sent %d peer addresses on rejoin, world is %d", len(addrs), n.world)
 	}
 	for s := 1; s < n.rank; s++ {
-		conn, err := dialRetry(addrs[s])
+		conn, err := n.dialRetry(addrs[s])
 		if err != nil {
 			return fmt.Errorf("netrt: rejoin dial rank %d at %s: %w", s, addrs[s], err)
 		}
@@ -224,19 +228,26 @@ func (n *Node) rejoinWorker() error {
 	if err := n.acceptHigher(); err != nil {
 		return err
 	}
-	n.startPeers()
-	return nil
+	return n.startPeers()
 }
 
-// startPeers publishes the rebuilt connection table and launches the
-// connection goroutines of every mesh edge.
-func (n *Node) startPeers() {
+// startPeers runs the shm handshakes over the fresh sockets, publishes
+// the rebuilt connection table, and launches the connection goroutines
+// of every mesh edge. The handshake must precede start(): it speaks
+// synchronously on the raw sockets, which only works while no reader
+// goroutine is competing for them.
+func (n *Node) startPeers() error {
+	err := n.setupShm()
 	n.publishPeers()
+	if err != nil {
+		return err
+	}
 	for _, p := range n.peers {
 		if p != nil && !p.started {
 			p.start()
 		}
 	}
+	return nil
 }
 
 // Die abruptly destroys this node — the in-process analogue of kill -9
@@ -260,6 +271,15 @@ func (n *Node) Die() {
 	if n.ln != nil {
 		n.ln.Close()
 	}
+	// The fd-passing server dies with the process; the shm mappings are
+	// deliberately NOT unmapped — an in-process "killed" rank may still
+	// have pollers touching arena memory, and a mapping (unlike an fd)
+	// is reclaimed wholesale when the real process exits.
+	n.shmMu.Lock()
+	srv := n.shmSrv
+	n.shmSrv = nil
+	n.shmMu.Unlock()
+	srv.close()
 	for _, p := range n.peerTable() {
 		if p != nil {
 			p.shutdown()

@@ -32,10 +32,11 @@ type Runtime struct {
 	holdReleased atomic.Bool
 	aborted      atomic.Bool
 
-	deliver   func(env Env, pooled []byte)
-	putSink   func(id int64, payload []byte)
-	putStream func(id int64, size int, r io.Reader) error
-	eagerMax  int
+	deliver     func(env Env, pooled []byte)
+	putSink     func(id int64, payload []byte)
+	putStream   func(id int64, size int, r io.Reader) error
+	putDoorbell func(id int64, last uint64)
+	eagerMax    int
 
 	xferMu   sync.Mutex
 	xfers    map[int64]*pendingXfer
@@ -157,6 +158,12 @@ func (rt *Runtime) SetPutSink(fn func(id int64, payload []byte)) { rt.putSink = 
 // means the stream itself failed and the connection dies.
 func (rt *Runtime) SetPutStream(fn func(id int64, size int, r io.Reader) error) { rt.putStream = fn }
 
+// SetPutDoorbell installs the handler for shm direct-deposit doorbells:
+// the sender already memcpy'd the put body into the receiver's
+// registered buffer through the shared mapping, and the doorbell
+// carries only the handle id and the sentinel word to release-store.
+func (rt *Runtime) SetPutDoorbell(fn func(id int64, last uint64)) { rt.putDoorbell = fn }
+
 // SetPoll installs the CkDirect poll hook, translating the local PE
 // index the scheduler passes back to the global PE space.
 func (rt *Runtime) SetPoll(fn func(pe int, full bool) bool) {
@@ -228,8 +235,43 @@ func (rt *Runtime) SendCast(env *Env) {
 // buffer as soon as SendPut returns — matching the local-completion
 // semantics of the real backend's put.
 func (rt *Runtime) SendPut(dstPE int, handleID int64, payload []byte) {
+	rank := rt.RankOf(dstPE)
+	if t := rt.node.peerTable(); t != nil && t[rank] != nil && t[rank].directPut(rt.gen, handleID, payload) {
+		// Direct deposit: the body is already in the receiver's
+		// registered buffer through the shared mapping and only a
+		// 48-byte doorbell rode the ring. The doorbell is a counted
+		// app frame, same as the full put it replaces.
+		rt.sent.Add(1)
+		return
+	}
 	rt.sent.Add(1)
-	rt.node.sendTo(rt.RankOf(dstPE), &Frame{Type: FPut, Run: rt.gen, A: handleID, Payload: payload})
+	rt.node.sendTo(rank, &Frame{Type: FPut, Run: rt.gen, A: handleID, Payload: payload})
+}
+
+// AllocPutRegion carves a CkDirect destination buffer out of the shm
+// arena shared with rank (the sender-to-be), so that sender's puts can
+// land by plain memcpy. Returns the arena-backed slice, its offset for
+// registration, and ok=false when no shm link (or arena space) exists
+// toward that rank — the caller then keeps its ordinary heap buffer.
+func (rt *Runtime) AllocPutRegion(rank, size int) ([]byte, int64, bool) {
+	if rank == rt.node.rank || size < 8 || size%8 != 0 {
+		return nil, 0, false
+	}
+	t := rt.node.peerTable()
+	if t == nil || rank < 0 || rank >= len(t) || t[rank] == nil {
+		return nil, 0, false
+	}
+	return t[rank].allocArena(rt.gen, size)
+}
+
+// RegisterPutBuffer advertises an arena-resident destination buffer to
+// the sending rank: puts into handle id may henceforth be deposited at
+// arena offset off (size bytes, sentinel in the last 8). Control
+// traffic on the TCP stream — uncounted, ordered before nothing; a put
+// that races ahead of the registration simply takes the frame path
+// into the very same rebound buffer.
+func (rt *Runtime) RegisterPutBuffer(rank int, id, off, size int64) bool {
+	return rt.node.sendTo(rank, &Frame{Type: FShmReg, Run: rt.gen, A: id, B: off, C: size})
 }
 
 // handleApp processes one app frame for this run. It runs on connection
@@ -287,6 +329,16 @@ func (rt *Runtime) handleApp(rank int, f Frame, pooled bool) bool {
 			go rt.node.sendTo(x.rank, &Frame{Type: FData, Run: rt.gen, A: f.A, Payload: x.payload})
 		}
 	case FPut:
+		if f.B == shmPutDoorbell {
+			// Direct-deposit doorbell: the body already sits in the
+			// registered buffer via the shared mapping; only the
+			// sentinel release remains. C carries the sentinel word.
+			if rt.putDoorbell != nil {
+				rt.putDoorbell(f.A, uint64(f.C))
+			}
+			rt.recv.Add(1)
+			return false
+		}
 		// Non-streamed put (replayed buffered frame, or no streaming sink
 		// installed): the sink deposits synchronously, so the payload is
 		// done with when it returns and the reader reclaims it.

@@ -1,0 +1,543 @@
+package netrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Shared-memory transport defaults and handshake tuning.
+const (
+	// defaultShmRingBytes sizes each direction's eager-frame ring. Frames
+	// larger than the ring stream through in chunks, so this bounds
+	// batching, not frame size.
+	defaultShmRingBytes = 1 << 20
+	// defaultShmArenaBytes sizes each direction's registered-buffer
+	// arena — where CkDirect receive buffers are placed so a put becomes
+	// a cross-process memcpy. Handles that do not fit fall back to ring
+	// frames, which still avoid the kernel.
+	defaultShmArenaBytes = 4 << 20
+	// maxShmBytes bounds what an offer may ask this process to map.
+	maxShmBytes = 1 << 30
+	// shmHandshakeTimeout bounds each step of the per-edge bootstrap
+	// exchange; the edges handshake serially in rank order, so a wedged
+	// peer surfaces as a typed bootstrap error instead of a hang.
+	shmHandshakeTimeout = 10 * time.Second
+)
+
+// shmLink is one live shared segment between this process and a peer:
+// an outbound ring (frames we produce), an inbound ring (frames the
+// peer produces, drained by this peer's ring-reader goroutine), and the
+// two put arenas. mu serializes every producer-side touch of the
+// mapping — ring writes and direct-put deposits — and is also what
+// makes unmapping safe: teardown takes mu, sets dead, and only then
+// unmaps, so no writer can dereference freed pages.
+type shmLink struct {
+	seg      []byte // the whole mapping (nil after teardown)
+	out, in  *shmRing
+	outArena []byte // we deposit puts here; peer's registered recv buffers
+	inArena  []byte // peer deposits here; our registered recv buffers
+
+	mu   sync.Mutex
+	dead bool
+
+	// readerDone closes when the ring-reader goroutine exits (or is
+	// known never to start); teardown waits on it so the consumer side
+	// cannot touch the mapping either.
+	readerDone chan struct{}
+	readerOnce sync.Once
+}
+
+// markReaderDone records that the ring reader has exited or will never
+// start; safe to call from multiple teardown paths.
+func (l *shmLink) markReaderDone() {
+	l.readerOnce.Do(func() { close(l.readerDone) })
+}
+
+// shmSegBytes is the total segment size for the given ring and arena
+// budgets: two rings (header + data each) and two arenas.
+func shmSegBytes(ringBytes, arenaBytes int) int {
+	return 2*(shmRingHdrBytes+ringBytes) + 2*arenaBytes
+}
+
+// newShmLink overlays the link structure on a mapped segment. lower
+// reports whether this process is the lower rank of the edge: the
+// layout is fixed — [ring lo→hi][ring hi→lo][arena lo deposits][arena
+// hi deposits] — and each side picks its directions accordingly, so
+// both mappings agree without any further negotiation.
+func newShmLink(seg []byte, ringBytes, arenaBytes int, lower bool) (*shmLink, error) {
+	ringLen := shmRingHdrBytes + ringBytes
+	loHi, err := newShmRing(seg[0:ringLen])
+	if err != nil {
+		return nil, err
+	}
+	hiLo, err := newShmRing(seg[ringLen : 2*ringLen])
+	if err != nil {
+		return nil, err
+	}
+	loArena := seg[2*ringLen : 2*ringLen+arenaBytes]
+	hiArena := seg[2*ringLen+arenaBytes : 2*ringLen+2*arenaBytes]
+	l := &shmLink{seg: seg, readerDone: make(chan struct{})}
+	if lower {
+		l.out, l.in = loHi, hiLo
+		l.outArena, l.inArena = loArena, hiArena
+	} else {
+		l.out, l.in = hiLo, loHi
+		l.outArena, l.inArena = hiArena, loArena
+	}
+	return l, nil
+}
+
+// writeFrame publishes one encoded frame to the peer through the ring.
+// The bytes are fully copied before it returns, so the caller reclaims
+// its buffer immediately. False means the link (or the peer) is down
+// and the frame was dropped — the same contract as a send on a dead
+// TCP connection.
+func (l *shmLink) writeFrame(b []byte, down <-chan struct{}) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return false
+	}
+	return l.out.write(b, down)
+}
+
+// teardown unmaps this process's view of the segment. It must only run
+// after the link's consumer is gone: the caller waits for the
+// ring-reader goroutine (readerDone), and the mu/dead pair fences out
+// producers. Safe to call more than once.
+func (l *shmLink) teardown() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return
+	}
+	l.dead = true
+	// Raise the closed flags in the shared header before dropping the
+	// mapping: the peer's writer and reader observe them on their next
+	// poll and exit immediately, instead of waiting for the TCP-side
+	// EOF to close their down latch.
+	l.out.closed.store(1)
+	l.in.closed.store(1)
+	seg := l.seg
+	l.seg, l.outArena, l.inArena = nil, nil, nil
+	unmapShm(seg)
+}
+
+// shmServer is this node's fd-passing endpoint: an abstract-namespace
+// unix listener (auto-reclaimed by the kernel when the process dies, so
+// a kill -9 leaves no socket litter) serving token→memfd lookups during
+// the per-edge handshakes. One server outlives all mesh epochs; tokens
+// are single-use and unregistered as soon as the edge's handshake ends.
+type shmServer struct {
+	name string
+	ln   *net.UnixListener
+
+	mu      sync.Mutex
+	pending map[string]int // token -> fd
+}
+
+func (s *shmServer) add(token string, fd int) {
+	s.mu.Lock()
+	s.pending[token] = fd
+	s.mu.Unlock()
+}
+
+func (s *shmServer) remove(token string) {
+	s.mu.Lock()
+	delete(s.pending, token)
+	s.mu.Unlock()
+}
+
+func (s *shmServer) lookup(token string) (int, bool) {
+	s.mu.Lock()
+	fd, ok := s.pending[token]
+	s.mu.Unlock()
+	return fd, ok
+}
+
+func (s *shmServer) close() {
+	if s != nil && s.ln != nil {
+		s.ln.Close()
+	}
+}
+
+// serveLoop accepts fd requests until the listener closes.
+func (s *shmServer) serveLoop() {
+	for {
+		c, err := s.ln.AcceptUnix()
+		if err != nil {
+			return
+		}
+		go s.serveOne(c)
+	}
+}
+
+// serveOne answers one token lookup: read the token line, pass the
+// registered fd via SCM_RIGHTS. The requester is the co-located peer
+// mid-handshake, so the deadline only guards against a wedged client.
+func (s *shmServer) serveOne(c *net.UnixConn) {
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(shmHandshakeTimeout))
+	tok, err := bufio.NewReaderSize(c, 256).ReadString('\n')
+	if err != nil {
+		return
+	}
+	fd, ok := s.lookup(strings.TrimSuffix(tok, "\n"))
+	if !ok {
+		return
+	}
+	sendFd(c, fd)
+}
+
+// shmServerLazy returns the node's fd server, creating it on first use.
+func (n *Node) shmServerLazy() (*shmServer, error) {
+	n.shmMu.Lock()
+	defer n.shmMu.Unlock()
+	if n.shmSrv != nil {
+		return n.shmSrv, nil
+	}
+	name := fmt.Sprintf("@ckshm-%d-%d-%x", os.Getpid(), n.rank, n.rand64())
+	ln, err := net.ListenUnix("unix", &net.UnixAddr{Name: name, Net: "unix"})
+	if err != nil {
+		return nil, err
+	}
+	s := &shmServer{name: name, ln: ln, pending: make(map[string]int)}
+	go s.serveLoop()
+	n.shmSrv = s
+	return s, nil
+}
+
+// shmSizes resolves the configured ring and arena budgets, rounding the
+// ring to a power of two (the ring masks positions) and both to page
+// multiples (so every ring header in the shared layout stays aligned).
+func (n *Node) shmSizes() (ringBytes, arenaBytes int) {
+	ringBytes = n.cfg.ShmRingBytes
+	if ringBytes <= 0 {
+		ringBytes = defaultShmRingBytes
+	}
+	p := 4096
+	for p < ringBytes {
+		p <<= 1
+	}
+	ringBytes = p
+	arenaBytes = n.cfg.ShmArenaBytes
+	if arenaBytes <= 0 {
+		arenaBytes = defaultShmArenaBytes
+	}
+	arenaBytes = (arenaBytes + 4095) &^ 4095
+	return ringBytes, arenaBytes
+}
+
+// shmEnabled reports whether this node may offer or accept segments.
+func (n *Node) shmEnabled() bool { return shmSupported && !n.cfg.ShmOff }
+
+// setupShm runs the per-edge shared-memory handshake across the whole
+// freshly built mesh, synchronously, before any connection goroutine
+// starts — the frames ride the raw bootstrap conns. Edges are processed
+// in increasing peer-rank order and the LOWER rank of each edge offers
+// while the higher accepts; a blocked node is always waiting on a peer
+// busy with a strictly lower-ranked edge, so the wait graph is acyclic
+// and the exchange cannot deadlock.
+//
+// The exchange always happens, even when shm is disabled or
+// unsupported: the offer is then empty and the answer a decline, which
+// keeps a world with mixed -net.shm settings in protocol instead of
+// hanging half the ranks.
+func (n *Node) setupShm() error {
+	for r := 0; r < n.world; r++ {
+		p := n.peers[r]
+		if p == nil || r == n.rank {
+			continue
+		}
+		var err error
+		if n.rank < r {
+			err = n.shmOffer(p)
+		} else {
+			err = n.shmAccept(p)
+		}
+		if err != nil {
+			return fmt.Errorf("shm handshake with rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// shmOffer runs the lower rank's side of one edge: create the segment,
+// park its fd with the node's fd server under a one-shot token, send
+// the FShmOffer (payload: fd-server address, token, host identity;
+// A/B: ring and arena bytes), and wait for the peer's FShmAck. The fd
+// closes as soon as the ack arrives — accepted or not, by then the peer
+// has either mapped the segment or walked away, and the mapping (not
+// the fd) is what keeps the memory alive. That discipline is what the
+// /proc/self/fd leak assertion in the tests pins down.
+func (n *Node) shmOffer(p *peerConn) error {
+	offer := &Frame{Type: FShmOffer}
+	ringBytes, arenaBytes := n.shmSizes()
+	fd := -1
+	var seg []byte
+	var token string
+	var srv *shmServer
+	if n.shmEnabled() {
+		if s, err := n.shmServerLazy(); err == nil {
+			if f, err := createShmFd(shmSegBytes(ringBytes, arenaBytes)); err == nil {
+				if m, err := mapShmFd(f, shmSegBytes(ringBytes, arenaBytes)); err == nil {
+					fd, seg, srv = f, m, s
+					token = strconv.FormatUint(n.rand64(), 16)
+					srv.add(token, fd)
+					offer.A, offer.B = int64(ringBytes), int64(arenaBytes)
+					offer.Payload = []byte(srv.name + "\n" + token + "\n" + hostID())
+				} else {
+					closeFd(f)
+				}
+			}
+		}
+	}
+	release := func() {
+		if srv != nil {
+			srv.remove(token)
+		}
+		closeFd(fd)
+	}
+	p.conn.SetDeadline(time.Now().Add(shmHandshakeTimeout))
+	defer p.conn.SetDeadline(time.Time{})
+	if err := writeFrame(p.conn, offer); err != nil {
+		release()
+		unmapShm(seg)
+		return err
+	}
+	ack, err := readFrame(p.br)
+	release()
+	if err != nil || ack.Type != FShmAck {
+		unmapShm(seg)
+		if err == nil {
+			err = fmt.Errorf("expected SHMACK, got frame type %d", ack.Type)
+		}
+		return err
+	}
+	if ack.A != 1 || seg == nil {
+		unmapShm(seg)
+		return nil // declined: the edge stays on TCP
+	}
+	link, err := newShmLink(seg, ringBytes, arenaBytes, true)
+	if err != nil {
+		unmapShm(seg)
+		return nil
+	}
+	p.shm.Store(link)
+	return nil
+}
+
+// shmAccept runs the higher rank's side: read the offer, and — when shm
+// is enabled here, the peer proved co-location, and the sizes are sane —
+// dial the peer's fd server, redeem the token for the memfd, map it,
+// and ack acceptance. Every failure path acks a decline instead, so
+// both sides always agree on whether the link exists.
+func (n *Node) shmAccept(p *peerConn) error {
+	p.conn.SetDeadline(time.Now().Add(shmHandshakeTimeout))
+	defer p.conn.SetDeadline(time.Time{})
+	f, err := readFrame(p.br)
+	if err != nil {
+		return err
+	}
+	if f.Type != FShmOffer {
+		return fmt.Errorf("expected SHMOFFER, got frame type %d", f.Type)
+	}
+	ringBytes, arenaBytes := int(f.A), int(f.B)
+	var link *shmLink
+	if n.shmEnabled() && len(f.Payload) > 0 &&
+		ringBytes > 0 && arenaBytes > 0 && shmSegBytes(ringBytes, arenaBytes) <= maxShmBytes {
+		if seg := n.shmRedeem(string(f.Payload), shmSegBytes(ringBytes, arenaBytes)); seg != nil {
+			if l, err := newShmLink(seg, ringBytes, arenaBytes, false); err == nil {
+				link = l
+			} else {
+				unmapShm(seg)
+			}
+		}
+	}
+	ack := &Frame{Type: FShmAck}
+	if link != nil {
+		ack.A = 1
+	}
+	if err := writeFrame(p.conn, ack); err != nil {
+		if link != nil {
+			link.teardownNoReader()
+		}
+		return err
+	}
+	if link != nil {
+		p.shm.Store(link)
+	}
+	return nil
+}
+
+// teardownNoReader is teardown for a link whose ring reader never
+// started (handshake failures only).
+func (l *shmLink) teardownNoReader() {
+	l.markReaderDone()
+	l.teardown()
+}
+
+// shmRedeem turns an offer payload into a mapped segment: verify the
+// peer is on this machine, dial its abstract-namespace fd server, trade
+// the token for the memfd over SCM_RIGHTS, check the file is as big as
+// promised, map it, and close the fd (the mapping holds the memory).
+// Any failure returns nil and the edge stays on TCP.
+func (n *Node) shmRedeem(payload string, total int) []byte {
+	parts := strings.SplitN(payload, "\n", 3)
+	if len(parts) != 3 || parts[2] != hostID() || hostID() == "" {
+		return nil
+	}
+	d := net.Dialer{Timeout: shmHandshakeTimeout}
+	c, err := d.Dial("unix", parts[0])
+	if err != nil {
+		return nil
+	}
+	uc, ok := c.(*net.UnixConn)
+	if !ok {
+		c.Close()
+		return nil
+	}
+	defer uc.Close()
+	uc.SetDeadline(time.Now().Add(shmHandshakeTimeout))
+	if _, err := uc.Write([]byte(parts[1] + "\n")); err != nil {
+		return nil
+	}
+	fd, err := recvFd(uc)
+	if err != nil {
+		return nil
+	}
+	defer closeFd(fd)
+	if sz, err := fdSize(fd); err != nil || sz < int64(total) {
+		return nil
+	}
+	seg, err := mapShmFd(fd, total)
+	if err != nil {
+		return nil
+	}
+	return seg
+}
+
+// teardownShmLinks unmaps every link in the given connection table. It
+// runs only when the mesh (epoch) those connections belong to is
+// finished — Close after the final run, or Rejoin after the aborted run
+// unwound — and waits (bounded) for each link's ring reader to exit
+// before touching the mapping. Die deliberately does NOT call this: an
+// in-process "kill -9" leaves application goroutines mid-flight that
+// may still be polling sentinels inside the arena, and a few MiB of
+// mapping held until process exit is exactly what a real killed process
+// would pin.
+func teardownShmLinks(peers []*peerConn) {
+	deadline := time.After(closeFlushGrace)
+	for _, p := range peers {
+		if p == nil {
+			continue
+		}
+		l := p.shm.Load()
+		if l == nil {
+			continue
+		}
+		if !p.started {
+			l.markReaderDone()
+		}
+		select {
+		case <-l.readerDone:
+		case <-deadline:
+			continue // reader wedged: leak the mapping rather than fault it
+		}
+		l.teardown()
+	}
+}
+
+// directPut attempts the one-sided fast path for an FPut: when the peer
+// registered this handle's receive buffer (FShmReg) for the current run
+// and the link is up, the payload body is memcpy'd straight into the
+// shared arena and a 48-byte doorbell frame — carrying the sentinel
+// word in C — rides the ring. Zero kernel crossings, zero pooled
+// buffers. False means the caller must fall back to the ordinary frame
+// path (which itself rides the ring when the link is up).
+func (p *peerConn) directPut(run, id int64, payload []byte) bool {
+	l := p.shm.Load()
+	if l == nil || len(payload) < 8 {
+		return false
+	}
+	p.regMu.Lock()
+	reg, ok := p.regs[id]
+	p.regMu.Unlock()
+	if !ok || reg.run != run || reg.size != int64(len(payload)) {
+		return false
+	}
+	last := binary.LittleEndian.Uint64(payload[len(payload)-8:])
+	var hdr [frameHeaderLen + frameFixedBody]byte
+	db := appendFrameHeader(hdr[:0], FPut, run, id, shmPutDoorbell, int64(last), 0, 0)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead || reg.off+reg.size > int64(len(l.outArena)) {
+		return false
+	}
+	// Deposit everything but the sentinel word; the word travels in the
+	// doorbell and is release-stored by the receiver AFTER it takes a
+	// work credit, so the poll loop cannot observe completion before the
+	// credit exists (the same PutIssued-before-publish discipline the
+	// streamed TCP path follows).
+	copy(l.outArena[reg.off:reg.off+reg.size-8], payload[:len(payload)-8])
+	return l.out.write(db, p.down)
+}
+
+// shmPutDoorbell in an FPut's B field marks a doorbell: the payload is
+// already in the receiver's registered buffer via the shared arena, and
+// only the sentinel word (in C) still needs publishing.
+const shmPutDoorbell = 1
+
+// shmPutReg is one registered put target: where in the outbound arena
+// this handle's receive buffer lives on the peer.
+type shmPutReg struct {
+	run, off, size int64
+}
+
+// noteShmReg records a peer's FShmReg registration. Registrations are
+// per (handle, run): a new run's registration overwrites the old, and
+// directPut checks the run before trusting one.
+func (p *peerConn) noteShmReg(f Frame) {
+	if f.C < 8 || f.B < 0 || f.B+f.C > int64(maxShmBytes) {
+		return
+	}
+	p.regMu.Lock()
+	if p.regs == nil {
+		p.regs = make(map[int64]shmPutReg)
+	}
+	p.regs[f.A] = shmPutReg{run: f.Run, off: f.B, size: f.C}
+	p.regMu.Unlock()
+}
+
+// allocArena carves size bytes (64-aligned) for one of this process's
+// registered receive buffers out of the arena the peer deposits into.
+// The bump state resets when a new run generation first allocates:
+// termination of the previous generation proved no put is still in
+// flight, so the whole arena is reusable.
+func (p *peerConn) allocArena(gen int64, size int) ([]byte, int64, bool) {
+	l := p.shm.Load()
+	if l == nil || size < 8 {
+		return nil, 0, false
+	}
+	p.arenaMu.Lock()
+	defer p.arenaMu.Unlock()
+	if p.arenaGen != gen {
+		p.arenaGen, p.arenaOff = gen, 0
+	}
+	off := (p.arenaOff + 63) &^ 63
+	l.mu.Lock()
+	arena := l.inArena
+	l.mu.Unlock()
+	if arena == nil || off+size > len(arena) {
+		return nil, 0, false
+	}
+	p.arenaOff = off + size
+	return arena[off : off+size : off+size], int64(off), true
+}

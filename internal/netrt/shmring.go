@@ -1,0 +1,184 @@
+package netrt
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// The shared-memory ring is an SPSC byte stream laid out inside a
+// mapped segment both processes see:
+//
+//	offset   0: head (uint64, consumer-owned, free-running position)
+//	offset  64: tail (uint64, producer-owned, free-running position)
+//	offset 128: closed flag (uint64)
+//	offset 192: data[capacity]  (capacity is a power of two)
+//
+// head and tail live on separate cache lines so the producer's store
+// and the consumer's store never contend. Positions run free and are
+// masked into the data array, so full (tail-head == capacity) and empty
+// (tail-head == 0) are unambiguous without a wasted slot.
+//
+// The memory-ordering contract is the whole point: the producer copies
+// frame bytes into data and THEN release-stores tail; the consumer
+// acquire-loads tail and therefore observes the bytes the store
+// published. Go's sync/atomic operations are sequentially consistent,
+// which subsumes the release/acquire pairing — and, equally important,
+// the race detector understands them, so the in-process worlds the
+// tests run stay warning-free. This is the same publish discipline the
+// CkDirect sentinel itself uses (memcpy, then release-store the final
+// word), applied to a byte stream.
+const (
+	shmRingHdrBytes = 192
+	shmHeadOff      = 0
+	shmTailOff      = 64
+	shmClosedOff    = 128
+)
+
+// shmRing wires the header atomics and data window of one direction of
+// a shared segment. Both processes build their own shmRing over their
+// own mapping of the same pages.
+type shmRing struct {
+	head   *atomicU64Ptr
+	tail   *atomicU64Ptr
+	closed *atomicU64Ptr
+	data   []byte
+	mask   uint64
+}
+
+// atomicU64Ptr is an atomic word living inside the mapped segment (not
+// Go heap memory), accessed through unsafe pointer casts. A named type
+// keeps the casts in one place.
+type atomicU64Ptr struct{ v uint64 }
+
+func (a *atomicU64Ptr) load() uint64   { return atomic.LoadUint64(&a.v) }
+func (a *atomicU64Ptr) store(x uint64) { atomic.StoreUint64(&a.v, x) }
+
+// newShmRing overlays a ring on region, whose length must be
+// shmRingHdrBytes plus a power-of-two capacity and whose base must be
+// 8-byte aligned (mmap returns page-aligned memory; the heap slices the
+// unit tests use are checked here).
+func newShmRing(region []byte) (*shmRing, error) {
+	if len(region) <= shmRingHdrBytes {
+		return nil, fmt.Errorf("netrt: shm ring region of %d bytes is too small", len(region))
+	}
+	capacity := len(region) - shmRingHdrBytes
+	if capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("netrt: shm ring capacity %d is not a power of two", capacity)
+	}
+	if uintptr(unsafe.Pointer(&region[0]))%8 != 0 {
+		return nil, fmt.Errorf("netrt: shm ring region is not 8-byte aligned")
+	}
+	return &shmRing{
+		head:   (*atomicU64Ptr)(unsafe.Pointer(&region[shmHeadOff])),
+		tail:   (*atomicU64Ptr)(unsafe.Pointer(&region[shmTailOff])),
+		closed: (*atomicU64Ptr)(unsafe.Pointer(&region[shmClosedOff])),
+		data:   region[shmRingHdrBytes:],
+		mask:   uint64(capacity - 1),
+	}, nil
+}
+
+// spinStep paces a poll loop that is waiting on the other process. The
+// benchmark hosts run GOMAXPROCS=1, so every iteration MUST yield —
+// a raw spin would starve the very goroutine that will produce (or
+// consume) the bytes being waited for. After enough fruitless yields
+// the wait escalates to short sleeps: an idle link between runs must
+// not burn the only CPU.
+func spinStep(spins int) int {
+	switch {
+	case spins < 1024:
+		runtime.Gosched()
+	case spins < 2048:
+		time.Sleep(5 * time.Microsecond)
+	case spins < 4096:
+		time.Sleep(50 * time.Microsecond)
+	default:
+		time.Sleep(500 * time.Microsecond)
+	}
+	return spins + 1
+}
+
+// write copies all of b into the ring, blocking (with yields) while the
+// ring is full. Writes larger than the ring capacity stream through in
+// chunks as the consumer drains — a 64 MiB rendezvous body crosses a
+// 1 MiB ring fine. It returns false when the link died (down closed or
+// the ring's closed flag set) before the last byte was accepted; the
+// frame is then dropped, which is correct because the only paths that
+// close a link are already aborting or tearing down the run.
+func (r *shmRing) write(b []byte, down <-chan struct{}) bool {
+	spins := 0
+	for len(b) > 0 {
+		tail := r.tail.load()
+		space := uint64(len(r.data)) - (tail - r.head.load())
+		if space == 0 {
+			if r.closed.load() != 0 {
+				return false
+			}
+			select {
+			case <-down:
+				return false
+			default:
+			}
+			spins = spinStep(spins)
+			continue
+		}
+		spins = 0
+		n := len(b)
+		if uint64(n) > space {
+			n = int(space)
+		}
+		idx := tail & r.mask
+		c := copy(r.data[idx:], b[:n])
+		if c < n {
+			copy(r.data, b[c:n])
+		}
+		r.tail.store(tail + uint64(n))
+		b = b[n:]
+	}
+	return true
+}
+
+// shmRingReader adapts the consumer side to io.Reader so the exact
+// same bufio-fed frame loop that serves a TCP socket serves the ring —
+// byte-identical dispatch across transports by construction. A read
+// blocks (with yields, then sleeps) until at least one byte is
+// available, and reports io.EOF once the link is down or closed with
+// the ring drained.
+type shmRingReader struct {
+	ring *shmRing
+	down <-chan struct{}
+}
+
+func (rr *shmRingReader) Read(p []byte) (int, error) {
+	r := rr.ring
+	spins := 0
+	for {
+		head := r.head.load()
+		avail := r.tail.load() - head
+		if avail > 0 {
+			n := len(p)
+			if uint64(n) > avail {
+				n = int(avail)
+			}
+			idx := head & r.mask
+			c := copy(p[:n], r.data[idx:])
+			if c < n {
+				copy(p[c:n], r.data)
+			}
+			r.head.store(head + uint64(n))
+			return n, nil
+		}
+		if r.closed.load() != 0 {
+			return 0, io.EOF
+		}
+		select {
+		case <-rr.down:
+			return 0, io.EOF
+		default:
+		}
+		spins = spinStep(spins)
+	}
+}

@@ -1,0 +1,129 @@
+package netrt
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// testRing builds a ring over heap memory — the unit-test stand-in for
+// a mapped segment; the atomics work identically either way.
+func testRing(t *testing.T, capacity int) *shmRing {
+	t.Helper()
+	r, err := newShmRing(make([]byte, shmRingHdrBytes+capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestShmRingRejectsBadRegions(t *testing.T) {
+	if _, err := newShmRing(make([]byte, shmRingHdrBytes)); err == nil {
+		t.Error("accepted a region with no data window")
+	}
+	if _, err := newShmRing(make([]byte, shmRingHdrBytes+100)); err == nil {
+		t.Error("accepted a non-power-of-two capacity")
+	}
+	if _, err := newShmRing(make([]byte, shmRingHdrBytes+4096)); err != nil {
+		t.Errorf("rejected a valid region: %v", err)
+	}
+}
+
+// TestShmRingRoundtrip streams a mixed batch of frames through a small
+// ring with a concurrent consumer and checks the byte stream arrives
+// intact and in order — including frames larger than the ring, which
+// must chunk through as the consumer drains.
+func TestShmRingRoundtrip(t *testing.T) {
+	const capacity = 4096
+	ring := testRing(t, capacity)
+	down := make(chan struct{})
+	defer close(down)
+
+	rng := rand.New(rand.NewSource(7))
+	var want bytes.Buffer
+	sizes := []int{1, 8, 48, capacity - 1, capacity, capacity + 1, 3 * capacity, 5, 64 << 10}
+	var chunks [][]byte
+	for i, s := range sizes {
+		b := make([]byte, s)
+		rng.Read(b)
+		b[0] = byte(i)
+		want.Write(b)
+		chunks = append(chunks, b)
+	}
+
+	got := make([]byte, want.Len())
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(bufio.NewReaderSize(&shmRingReader{ring: ring, down: down}, 4096), got)
+		readDone <- err
+	}()
+	for _, c := range chunks {
+		if !ring.write(c, down) {
+			t.Error("write reported a dead link")
+		}
+	}
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer hung")
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("byte stream corrupted through the ring")
+	}
+}
+
+// TestShmRingWriterUnblocksOnDown fills the ring with no consumer, then
+// closes the down latch: the blocked writer must return false instead
+// of spinning forever.
+func TestShmRingWriterUnblocksOnDown(t *testing.T) {
+	ring := testRing(t, 4096)
+	down := make(chan struct{})
+	if !ring.write(make([]byte, 4096), down) {
+		t.Fatal("fill write failed on a live ring")
+	}
+	res := make(chan bool, 1)
+	go func() { res <- ring.write([]byte{1}, down) }()
+	time.Sleep(10 * time.Millisecond)
+	close(down)
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("write claimed success after down")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer still blocked after down")
+	}
+}
+
+// TestShmRingClosedFlag checks the shared closed flag both ways: a
+// blocked writer aborts, and a reader returns EOF only after draining
+// what was already published (a close must not eat delivered frames).
+func TestShmRingClosedFlag(t *testing.T) {
+	ring := testRing(t, 4096)
+	down := make(chan struct{})
+	defer close(down)
+	if !ring.write([]byte{1, 2, 3}, down) {
+		t.Fatal("write failed on a live ring")
+	}
+	ring.closed.store(1)
+	if !ring.write(make([]byte, 4093), down) {
+		t.Fatal("fitting write must still land on a closed ring")
+	}
+	if ring.write([]byte{9}, down) {
+		t.Fatal("blocked write claimed success on a closed full ring")
+	}
+	rr := &shmRingReader{ring: ring, down: down}
+	got := make([]byte, 4096)
+	if _, err := io.ReadFull(rr, got); err != nil || !bytes.Equal(got[:3], []byte{1, 2, 3}) {
+		t.Fatalf("drain after close: got %v, %v", got[:3], err)
+	}
+	if _, err := rr.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read on drained closed ring: %v, want EOF", err)
+	}
+}

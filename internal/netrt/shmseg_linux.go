@@ -1,0 +1,152 @@
+//go:build linux
+
+package netrt
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// shmSupported gates the shared-memory transport at build level; the
+// handshake frames still flow on unsupported platforms (the offer is
+// empty and the answer is a decline), so mixed worlds stay in protocol.
+const shmSupported = true
+
+const mfdCloexec = 0x0001 // MFD_CLOEXEC
+
+// createShmFd allocates an anonymous shared-memory file of the given
+// size and returns its file descriptor, ready to be passed to the peer
+// over SCM_RIGHTS. memfd_create is the primary path: the file lives
+// only as long as some process holds an fd or a mapping, so a kill -9
+// anywhere frees it with no tmpfs litter. Kernels without memfd fall
+// back to an unlinked temp file, which has the same
+// last-reference-frees-it lifecycle. CLOEXEC matters on both paths:
+// self-spawned worker processes must not inherit every segment their
+// parent ever created — that would leak fds across respawns and
+// defeat the /proc/self/fd accounting the leak test asserts.
+func createShmFd(size int) (int, error) {
+	if sysMemfdCreate != 0 {
+		name, err := syscall.BytePtrFromString("ckshm")
+		if err == nil {
+			r0, _, errno := syscall.Syscall(sysMemfdCreate,
+				uintptr(unsafe.Pointer(name)), uintptr(mfdCloexec), 0)
+			if errno == 0 {
+				fd := int(r0)
+				if err := syscall.Ftruncate(fd, int64(size)); err != nil {
+					syscall.Close(fd)
+					return -1, err
+				}
+				return fd, nil
+			}
+			if errno != syscall.ENOSYS {
+				return -1, errno
+			}
+		}
+	}
+	// Fallback: an unlinked temp file. Dup the fd out of the *os.File so
+	// the file object can close without tearing down the descriptor we
+	// hand to the peer.
+	f, err := os.CreateTemp("", "ckshm-*")
+	if err != nil {
+		return -1, err
+	}
+	os.Remove(f.Name())
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		return -1, err
+	}
+	fd, err := syscall.Dup(int(f.Fd()))
+	f.Close()
+	if err != nil {
+		return -1, err
+	}
+	syscall.CloseOnExec(fd)
+	return fd, nil
+}
+
+// mapShmFd maps size bytes of the shared file into this process. The
+// returned memory is page-aligned (so the ring header atomics are
+// naturally aligned) and shared: stores made through one process's
+// mapping are the other process's loads.
+func mapShmFd(fd, size int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+// unmapShm releases one process's mapping; the segment itself lives
+// until every mapping and fd is gone.
+func unmapShm(b []byte) {
+	if b != nil {
+		syscall.Munmap(b)
+	}
+}
+
+func closeFd(fd int) {
+	if fd >= 0 {
+		syscall.Close(fd)
+	}
+}
+
+// fdSize reports the size of the shared file behind fd — the acceptor
+// verifies the segment is as large as the offer claims before mapping.
+func fdSize(fd int) (int64, error) {
+	var st syscall.Stat_t
+	if err := syscall.Fstat(fd, &st); err != nil {
+		return 0, err
+	}
+	return st.Size, nil
+}
+
+var (
+	hostIDOnce sync.Once
+	hostIDVal  string
+)
+
+// hostID identifies this machine for the co-location check: two ranks
+// exchange it during the shm handshake and only map a segment when they
+// match. The kernel boot ID is unique per boot per machine (containers
+// sharing a kernel share it, which is correct — they can share memory);
+// the hostname is appended as a tiebreaker for environments that mask
+// the boot ID.
+func hostID() string {
+	hostIDOnce.Do(func() {
+		b, _ := os.ReadFile("/proc/sys/kernel/random/boot_id")
+		hn, _ := os.Hostname()
+		hostIDVal = strings.TrimSpace(string(b)) + "/" + hn
+	})
+	return hostIDVal
+}
+
+// sendFd passes fd over a unix socket via SCM_RIGHTS, with a 1-byte
+// in-band payload so the receiver has something to block on.
+func sendFd(conn *net.UnixConn, fd int) error {
+	rights := syscall.UnixRights(fd)
+	_, _, err := conn.WriteMsgUnix([]byte{1}, rights, nil)
+	return err
+}
+
+// recvFd receives one fd passed via SCM_RIGHTS.
+func recvFd(conn *net.UnixConn) (int, error) {
+	buf := make([]byte, 1)
+	oob := make([]byte, syscall.CmsgSpace(4))
+	_, oobn, _, _, err := conn.ReadMsgUnix(buf, oob)
+	if err != nil {
+		return -1, err
+	}
+	msgs, err := syscall.ParseSocketControlMessage(oob[:oobn])
+	if err != nil {
+		return -1, err
+	}
+	for _, m := range msgs {
+		fds, err := syscall.ParseUnixRights(&m)
+		if err == nil && len(fds) == 1 {
+			syscall.CloseOnExec(fds[0])
+			return fds[0], nil
+		}
+	}
+	return -1, fmt.Errorf("netrt: no fd in SCM_RIGHTS message")
+}

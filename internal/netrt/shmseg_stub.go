@@ -1,0 +1,24 @@
+//go:build !linux
+
+package netrt
+
+import (
+	"errors"
+	"net"
+)
+
+// Non-linux builds keep the shm transport permanently declined: the
+// handshake frames still flow (an empty offer, a decline answer), every
+// peer stays on TCP, and none of the fd-passing machinery is reachable.
+const shmSupported = false
+
+var errShmUnsupported = errors.New("netrt: shared-memory transport requires linux")
+
+func createShmFd(size int) (int, error)       { return -1, errShmUnsupported }
+func mapShmFd(fd, size int) ([]byte, error)   { return nil, errShmUnsupported }
+func unmapShm(b []byte)                       {}
+func closeFd(fd int)                          {}
+func fdSize(fd int) (int64, error)            { return 0, errShmUnsupported }
+func hostID() string                          { return "" }
+func sendFd(conn *net.UnixConn, fd int) error { return errShmUnsupported }
+func recvFd(conn *net.UnixConn) (int, error)  { return -1, errShmUnsupported }

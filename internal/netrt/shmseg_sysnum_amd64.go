@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package netrt
+
+// memfd_create's syscall number is arch-specific and postdates the
+// frozen syscall package's tables, so it is spelled out per arch.
+const sysMemfdCreate = 319

@@ -1,0 +1,5 @@
+//go:build linux && arm64
+
+package netrt
+
+const sysMemfdCreate = 279

@@ -1,0 +1,7 @@
+//go:build linux && !amd64 && !arm64
+
+package netrt
+
+// Unknown arch: 0 routes createShmFd to the unlinked-temp-file
+// fallback, which needs no syscall table.
+const sysMemfdCreate = 0
