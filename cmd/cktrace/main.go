@@ -26,6 +26,7 @@ import (
 	"repro/internal/apps/stencil"
 	"repro/internal/chaos"
 	"repro/internal/charm"
+	"repro/internal/lb"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -44,6 +45,9 @@ func main() {
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		lbEvery     = flag.Int("lb.every", 0, "run a load-balancing round every N barriers (stencil only; 0 disables)")
+		lbStrategy  = flag.String("lb.strategy", "greedy", "rebalancing strategy: greedy | none")
+		skew        = flag.Float64("skew", 0, "artificial imbalance: the first half of the chare array wastes this many times extra compute (stencil only)")
 	)
 	flag.Parse()
 
@@ -79,6 +83,16 @@ func main() {
 	if !ckd && *modeName != "msg" {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
+	if (*lbEvery > 0 || *skew > 0) && *appName != "stencil" {
+		fatal(fmt.Errorf("-lb.every/-skew trace the stencil workload only"))
+	}
+	if *lbEvery > 0 {
+		if s, err := lb.ParseStrategy(*lbStrategy); err != nil {
+			fatal(err)
+		} else if s == nil {
+			fatal(fmt.Errorf("-lb.every needs a strategy (try -lb.strategy=greedy)"))
+		}
+	}
 
 	sc, err := chaos.Options{
 		Seed: *faultSeed, Noise: *noise, Faults: *faultSpec,
@@ -105,6 +119,8 @@ func main() {
 			Platform: plat, Mode: mode, PEs: *pes, Virtualization: 4,
 			NX: 128, NY: 128, NZ: 64, Iters: 3, Warmup: 1,
 			Backend: be, Timeline: tl, Chaos: sc,
+			LBEvery: *lbEvery, LBStrategy: *lbStrategy,
+			Skew: *skew,
 		})
 		total = res.IterTime * sim.Time(res.Iters)
 		errs, counters = res.Errors, res.Counters
@@ -226,9 +242,11 @@ func printCounters(counters map[string]int64) {
 	if gets, misses := counters["pool.gets"], counters["pool.misses"]; gets > 0 {
 		fmt.Printf("  %-18s %11.1f%%\n", "hit rate", 100*float64(gets-misses)/float64(gets))
 	}
+	group("load balancing", "lb.")
 	var rest []string
 	for k := range counters {
-		if !strings.HasPrefix(k, "mem.") && !strings.HasPrefix(k, "pool.") && counters[k] != 0 {
+		if !strings.HasPrefix(k, "mem.") && !strings.HasPrefix(k, "pool.") &&
+			!strings.HasPrefix(k, "lb.") && counters[k] != 0 {
 			rest = append(rest, k)
 		}
 	}

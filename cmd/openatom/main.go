@@ -13,6 +13,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/charm"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 )
 
 func main() {
@@ -30,20 +31,21 @@ func main() {
 		scopeName   = flag.String("scope", "full", "full | pc-only")
 		modeName    = flag.String("mode", "ckd", "msg | ckd | ckd-naive")
 		compare     = flag.Bool("compare", false, "run msg and ckd and report the improvement")
-		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory); net hosts the pingpong/stencil workloads")
+		backendName = flag.String("backend", "sim", "sim (modelled network) | real (goroutines + shared memory) | net (multiple OS processes over TCP)")
 		faultSpec   = flag.String("faults", "", `fault-plan spec, e.g. "drop:rate=0.01" (see internal/faults)`)
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for noise and fault randomness")
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
-		ckptEvery   = flag.Int("ckpt.every", 0, "checkpoint every N reduction barriers (net-backend apps only; openatom rejects it)")
-		ckptDir     = flag.String("ckpt.dir", "", "checkpoint directory (net-backend apps only; openatom rejects it)")
-		killSpec    = flag.String("chaos.kill", "", `kill -9 a worker rank mid-run: "RANK@STEP" (net-backend apps only; openatom rejects it)`)
+		ckptEvery   = flag.Int("ckpt.every", 0, "checkpoint every N reduction barriers (openatom does not checkpoint; rejected)")
+		ckptDir     = flag.String("ckpt.dir", "", "checkpoint directory (openatom does not checkpoint; rejected)")
+		killSpec    = flag.String("chaos.kill", "", `kill -9 a worker rank mid-run: "RANK@STEP" (needs checkpointing; rejected)`)
 	)
+	netCfg := netrt.RegisterFlags()
 	flag.Parse()
 
 	if *ckptEvery != 0 || *ckptDir != "" || *killSpec != "" {
-		fatal(fmt.Errorf("-ckpt.every/-ckpt.dir/-chaos.kill exercise rank-death recovery on the net backend, which openatom does not run on; use pingpong, stencil, matmul or fem (see DESIGN.md §10)"))
+		fatal(fmt.Errorf("-ckpt.every/-ckpt.dir/-chaos.kill exercise checkpoint-based rank-death recovery, which the openatom proxy does not implement; use pingpong, stencil, matmul or fem (see DESIGN.md §10)"))
 	}
 
 	var plat *netmodel.Platform
@@ -68,10 +70,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if be == charm.NetBackend {
-		fatal(fmt.Errorf("the distributed net backend hosts the pingpong, stencil, matmul and fem workloads; run this study with -backend=sim or -backend=real (see DESIGN.md §8)"))
-	}
-	if be == charm.RealBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
+	if be != charm.SimBackend && (*faultSpec != "" || *noise || *reliable || *watchdog != "off") {
 		fatal(fmt.Errorf("-faults/-noise/-reliable/-watchdog model simulated failures and are sim-only (drop them or use -backend=sim)"))
 	}
 	sc, err := chaos.Options{
@@ -81,6 +80,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var node *netrt.Node
+	if be == charm.NetBackend {
+		if node, err = netrt.Start(*netCfg); err != nil {
+			fatal(err)
+		}
+	}
+	// Worker ranks compute their hosted elements; the report (and the
+	// exit status of the whole world) belongs to rank 0.
+	quiet := node != nil && node.IsWorker()
 	cfg := openatom.Config{
 		Platform: plat,
 		Scope:    scope,
@@ -89,16 +97,19 @@ func main() {
 		FFTWeight: *fftWeight,
 		Steps:     *steps, Warmup: *warmup,
 		Backend: be,
+		Net:     node,
 		Chaos:   sc,
 	}
 	if *compare {
 		msg, ckd, pct := openatom.Improvement(cfg)
-		fmt.Printf("openatom proxy on %d PEs of %s, scope %v (%d CkDirect channels)\n",
-			*pes, plat.Name, scope, ckd.Channels)
-		fmt.Printf("  msg: %v per step\n", msg.StepTime)
-		fmt.Printf("  ckd: %v per step\n", ckd.StepTime)
-		fmt.Printf("  improvement: %.2f%%\n", pct)
-		reportErrors(append(msg.Errors, ckd.Errors...))
+		if !quiet {
+			fmt.Printf("openatom proxy on %d PEs of %s, scope %v (%d CkDirect channels)\n",
+				*pes, plat.Name, scope, ckd.Channels)
+			fmt.Printf("  msg: %v per step\n", msg.StepTime)
+			fmt.Printf("  ckd: %v per step\n", ckd.StepTime)
+			fmt.Printf("  improvement: %.2f%%\n", pct)
+		}
+		reportErrors(closeNode(node, append(msg.Errors, ckd.Errors...)))
 		return
 	}
 	switch *modeName {
@@ -112,9 +123,23 @@ func main() {
 		fatal(fmt.Errorf("unknown mode %q", *modeName))
 	}
 	res := openatom.Run(cfg)
-	fmt.Printf("openatom proxy, mode %v, scope %v, %d PEs: %v per step (%d channels)\n",
-		cfg.Mode, scope, *pes, res.StepTime, res.Channels)
-	reportErrors(res.Errors)
+	if !quiet {
+		fmt.Printf("openatom proxy, mode %v, scope %v, %d PEs: %v per step (%d channels)\n",
+			cfg.Mode, scope, *pes, res.StepTime, res.Channels)
+	}
+	reportErrors(closeNode(node, res.Errors))
+}
+
+// closeNode tears the net-backend mesh down (reaping self-spawned
+// workers) and folds any teardown failure into the run's error list.
+func closeNode(node *netrt.Node, errs []error) []error {
+	if node == nil {
+		return errs
+	}
+	if err := node.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errs
 }
 
 // reportErrors surfaces runtime contract violations and unrecovered

@@ -14,6 +14,7 @@ import (
 	"repro/internal/apps/stencil"
 	"repro/internal/chaos"
 	"repro/internal/charm"
+	"repro/internal/lb"
 	"repro/internal/netmodel"
 	"repro/internal/netrt"
 	"repro/internal/trace"
@@ -37,6 +38,9 @@ func main() {
 		noise       = flag.Bool("noise", false, "inject CPU-noise bursts")
 		reliable    = flag.Bool("reliable", false, "enable ack/retransmit message reliability")
 		watchdog    = flag.String("watchdog", "off", "CkDirect stall watchdog: off | report | recover")
+		lbEvery     = flag.Int("lb.every", 0, "run a load-balancing round every N reduction barriers, 0 disables")
+		lbStrategy  = flag.String("lb.strategy", "greedy", "rebalancing strategy: greedy | none")
+		skew        = flag.Float64("skew", 0, "artificial imbalance: the first half of the chare array wastes this many times extra compute")
 		ckptEvery   = flag.Int("ckpt.every", 0, "checkpoint every N reduction barriers, 0 disables (net backend only)")
 		ckptDir     = flag.String("ckpt.dir", "", "checkpoint directory, shared by every rank (net backend only)")
 		killSpec    = flag.String("chaos.kill", "", `kill -9 a worker rank mid-run: "RANK@STEP" (net backend only; the world recovers and reruns)`)
@@ -75,6 +79,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *lbEvery > 0 {
+		s, err := lb.ParseStrategy(*lbStrategy)
+		if err != nil {
+			fatal(err)
+		}
+		if s == nil {
+			fatal(fmt.Errorf("-lb.every needs a real -lb.strategy (got %q)", *lbStrategy))
+		}
+	}
 	if (*ckptEvery > 0) != (*ckptDir != "") {
 		fatal(fmt.Errorf("-ckpt.every and -ckpt.dir go together (got every=%d, dir=%q)", *ckptEvery, *ckptDir))
 	}
@@ -109,6 +122,8 @@ func main() {
 		Net:      node,
 		Chaos:    sc,
 		Kill:     kill,
+		LBEvery:  *lbEvery, LBStrategy: *lbStrategy,
+		Skew: *skew,
 	}
 	if *ckptEvery > 0 {
 		cfg.Ckpt = &charm.CkptOptions{Dir: *ckptDir, Every: *ckptEvery}
@@ -179,6 +194,15 @@ func main() {
 				label = fmt.Sprintf("rank %d field checksum share", node.Rank())
 			}
 			fmt.Printf("  residual %.6g, %s %.6f\n", res.Residual, label, res.FieldSum)
+		}
+		if *lbEvery > 0 {
+			// The planner runs on PE 0, so these counters live on rank 0's
+			// recorder; scripted runs (CI's lb-smoke job) grep this line to
+			// prove the balancer actually moved something.
+			fmt.Printf("  lb: %d rounds, %d migrations, %d straggler forwards\n",
+				res.Counters[trace.CntLBRounds],
+				res.Counters[trace.CntLBMigrations],
+				res.Counters[trace.CntLBForwards])
 		}
 	}
 	reportErrors("stencil", closeNode(node, res.Errors))

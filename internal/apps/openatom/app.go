@@ -111,8 +111,8 @@ func (a *app) build() {
 					g.coeffs[i] = seedCoeff(s, p, i)
 				}
 			}
-			if cfg.Validate || cfg.Backend == charm.RealBackend {
-				// The real backend moves actual bytes even in model mode,
+			if cfg.Validate || cfg.Backend != charm.SimBackend {
+				// The live backends move actual bytes even in model mode,
 				// so the send buffer must exist.
 				g.sendBuf = make([]byte, a.transferBytes())
 			}
@@ -209,7 +209,7 @@ func (a *app) registerPCEntries() {
 func (a *app) buildChannels() {
 	mach := a.rts.Machine()
 	cfg := &a.cfg
-	virtual := !cfg.Validate && cfg.Backend != charm.RealBackend
+	virtual := !cfg.Validate && cfg.Backend == charm.SimBackend
 	bytes := a.transferBytes()
 
 	for s := 0; s < cfg.NStates; s++ {
@@ -471,7 +471,9 @@ func (c *pcChare) onCorrection(ctx *charm.Ctx, lambda float64) {
 	}
 }
 
-// checksum sums all GS coefficients (validate mode).
+// checksum sums the GS coefficients this process hosts (validate mode).
+// Under sim and real that is the whole array; under net each rank's
+// non-hosted mirrors never execute and keep their seed values.
 func (a *app) checksum() float64 {
 	if !a.cfg.Validate {
 		return 0
@@ -480,12 +482,38 @@ func (a *app) checksum() float64 {
 	for st := 0; st < a.cfg.NStates; st++ {
 		for p := 0; p < a.cfg.NPlanes; p++ {
 			g := a.gs.Obj(charm.Idx2(st, p)).(*gsChare)
+			if !a.rts.HostsPE(g.pe) {
+				continue
+			}
 			for _, v := range g.coeffs {
 				s += v
 			}
 		}
 	}
 	return s
+}
+
+// gather returns one coefficient sum per (state, plane) element in
+// linearized order, NaN for elements this process does not host — the
+// vector the cross-backend and cross-rank oracles compare bit for bit.
+func (a *app) gather() []float64 {
+	out := make([]float64, a.cfg.NStates*a.cfg.NPlanes)
+	for st := 0; st < a.cfg.NStates; st++ {
+		for p := 0; p < a.cfg.NPlanes; p++ {
+			g := a.gs.Obj(charm.Idx2(st, p)).(*gsChare)
+			lin := st*a.cfg.NPlanes + p
+			if !a.rts.HostsPE(g.pe) {
+				out[lin] = math.NaN()
+				continue
+			}
+			s := 0.0
+			for _, v := range g.coeffs {
+				s += v
+			}
+			out[lin] = s
+		}
+	}
+	return out
 }
 
 func seedCoeff(s, p, i int) float64 {

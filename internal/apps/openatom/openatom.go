@@ -40,6 +40,7 @@ import (
 	"repro/internal/ckdirect"
 	"repro/internal/machine"
 	"repro/internal/netmodel"
+	"repro/internal/netrt"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -110,10 +111,13 @@ type Config struct {
 
 	Steps, Warmup int
 	Validate      bool
-	// Backend selects simulated virtual time (default) or real
-	// goroutine-per-PE execution with wall-clock timing. The real backend
-	// always allocates real payload buffers.
+	// Backend selects simulated virtual time (default), real
+	// goroutine-per-PE execution, or distributed multi-process execution,
+	// both with wall-clock timing. The real and net backends always
+	// allocate real payload buffers.
 	Backend charm.Backend
+	// Net is the started netrt node (required under the net backend).
+	Net *netrt.Node
 	// Timeline, when set, records Projections-style execution spans.
 	Timeline *trace.Timeline
 	// Chaos, when set, runs the configuration under adversity (CPU noise,
@@ -149,10 +153,16 @@ func (c *Config) fillDefaults() {
 // Result reports the measured step time and validation data.
 type Result struct {
 	Config
-	StepTime    sim.Time
-	Overlap     float64 // last step's global overlap reduction value
-	Checksum    float64 // final GS coefficient checksum (validate mode)
-	Channels    int     // CkDirect channels created (0 for Msg)
+	StepTime sim.Time
+	Overlap  float64 // last step's global overlap reduction value
+	// Checksum sums the final GS coefficients this process hosts
+	// (validate mode); under sim and real that is every element.
+	Checksum float64
+	// Field holds one coefficient sum per (state, plane) element in
+	// linearized order, NaN for elements this process does not host
+	// (validate mode) — the cross-rank comparison vector.
+	Field       []float64
+	Channels    int // CkDirect channels created (0 for Msg)
 	TotalEvents uint64
 	// Errors holds runtime contract violations and unrecovered faults
 	// (chaos runs only; fault-free runs panic instead).
@@ -183,13 +193,16 @@ func Run(cfg Config) Result {
 	if cfg.PEs <= 0 {
 		panic("openatom: PEs must be positive")
 	}
-	if cfg.Backend == charm.RealBackend {
+	if cfg.Backend != charm.SimBackend {
 		if cfg.Chaos != nil {
 			panic("openatom: chaos scenarios are sim-only")
 		}
 		if cfg.Timeline != nil {
 			panic("openatom: timeline recording is sim-only")
 		}
+	}
+	if cfg.Backend == charm.NetBackend && cfg.Net == nil {
+		panic("openatom: net backend needs Config.Net (a started netrt node)")
 	}
 	eng := sim.NewEngine()
 	plat := cfg.Platform
@@ -201,8 +214,9 @@ func Run(cfg Config) Result {
 	rts := charm.NewRTS(eng, mach, net, plat, trace.NewRecorder(),
 		charm.Options{
 			Checked:         true,
-			VirtualPayloads: !cfg.Validate && cfg.Backend != charm.RealBackend,
+			VirtualPayloads: !cfg.Validate && cfg.Backend == charm.SimBackend,
 			Backend:         cfg.Backend,
+			Net:             cfg.Net,
 		})
 
 	if cfg.Timeline != nil {
@@ -220,8 +234,25 @@ func Run(cfg Config) Result {
 	a.start()
 	rts.Run()
 	errs := rts.Errors()
-	if len(errs) > 0 && cfg.Chaos == nil {
+	if len(errs) > 0 && cfg.Chaos == nil && cfg.Backend != charm.NetBackend {
+		// Under net, failures (including a dead peer's NetError) return
+		// through Result.Errors — the launcher decides, not a panic.
 		panic(fmt.Sprintf("openatom: runtime contract violation: %v", errs[0]))
+	}
+	if cfg.Backend == charm.NetBackend && !rts.HostsPE(0) {
+		// A worker process: step times and the overlap live on PE 0's
+		// rank. Report what this rank knows — its hosted elements'
+		// coefficient sums (the rest NaN).
+		res := Result{
+			Config: cfg, Channels: a.channels,
+			Errors: errs, Counters: rts.Recorder().Counters(),
+			TotalEvents: rts.Executed(),
+		}
+		if cfg.Validate && len(errs) == 0 {
+			res.Field = a.gather()
+			res.Checksum = a.checksum()
+		}
+		return res
 	}
 	want := cfg.Warmup + cfg.Steps + 1
 	if len(a.stepTimes) < want {
@@ -239,7 +270,7 @@ func Run(cfg Config) Result {
 		}
 	}
 	measured := a.stepTimes[cfg.Warmup+cfg.Steps] - a.stepTimes[cfg.Warmup]
-	return Result{
+	res := Result{
 		Config:      cfg,
 		StepTime:    measured / sim.Time(cfg.Steps),
 		Overlap:     a.lastOverlap,
@@ -249,6 +280,10 @@ func Run(cfg Config) Result {
 		Errors:      errs,
 		Counters:    rts.Recorder().Counters(),
 	}
+	if cfg.Validate {
+		res.Field = a.gather()
+	}
+	return res
 }
 
 func buildMachine(eng *sim.Engine, plat *netmodel.Platform, pes, cores int) (*machine.Machine, *netmodel.Net) {

@@ -4,9 +4,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"repro/internal/charm"
 	"repro/internal/ckdirect"
+	"repro/internal/lb"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -40,6 +43,7 @@ type app struct {
 	mgr  *ckdirect.Manager
 	arr  *charm.Array
 	ck   *charm.Checkpointer
+	bal  *lb.Balancer
 
 	iterEP, faceEP, ckptEP charm.EP
 	chares                 []*chare
@@ -59,6 +63,7 @@ type chare struct {
 
 	neighbors [nDirs]bool
 	nNbr      int
+	hot       bool // in the skewed (artificially loaded) half
 
 	// Validate-mode field data (nil in model mode).
 	cur, next []float64
@@ -134,6 +139,7 @@ func (a *app) build() {
 				c.by, c.gy0 = split(a.cfg.NY, cy, j)
 				c.bz, c.gz0 = split(a.cfg.NZ, cz, k)
 				c.pe = a.peOf(c.idx)
+				c.hot = a.cfg.Skew > 0 && 2*a.lin(i, j, k) < cx*cy*cz
 				for d := 0; d < nDirs; d++ {
 					ni := i + dirDelta[d][0]
 					nj := j + dirDelta[d][1]
@@ -179,6 +185,14 @@ func (a *app) build() {
 			a.afterBarrier(ctx, len(a.barriers))
 			return
 		}
+		if a.bal != nil && a.bal.InBalance() {
+			// The balancing round's extra reduction completed: every
+			// move is applied and every channel rehomed, globally.
+			// Resume the interrupted step; it is not a barrier.
+			a.bal.Finish()
+			a.afterBarrier(ctx, len(a.barriers))
+			return
+		}
 		a.barriers = append(a.barriers, ctx.Now())
 		a.lastResidual = vals[1]
 		step := len(a.barriers)
@@ -190,11 +204,72 @@ func (a *app) build() {
 			ctx.Broadcast(a.arr, a.ckptEP, &charm.Message{Size: 8, Tag: step})
 			return
 		}
+		if a.bal != nil && a.bal.Due(step) && step < a.totalIters {
+			// A checkpoint due at the same step won above; the balancer
+			// waits for its next period.
+			a.bal.Begin(ctx)
+			return
+		}
 		a.afterBarrier(ctx, step)
 	})
 
 	if a.cfg.Mode == Ckd {
 		a.buildChannels()
+	}
+
+	if a.cfg.LBEvery > 0 {
+		strat, err := lb.ParseStrategy(a.cfg.LBStrategy)
+		if err != nil {
+			panic(err)
+		}
+		if strat == nil {
+			panic("stencil: LBEvery set without an LBStrategy")
+		}
+		bal, err := lb.New(a.rts, lb.Options{
+			Every:    a.cfg.LBEvery,
+			Strategy: strat,
+			// The app's contributions are {1, residual}; the balancing
+			// round's must match that width.
+			Contrib:   []float64{1, 0},
+			OnMigrate: a.onMigrate,
+		})
+		if err != nil {
+			panic(err)
+		}
+		bal.Attach(a.arr)
+		a.bal = bal
+	}
+}
+
+// onMigrate follows one chare to its new PE: placement bookkeeping plus
+// rehoming the six CkDirect channels touching it. Called on every rank
+// for every move (SPMD, like the location update itself); done fires
+// once the receive-side rehomes — which chain through scheduler tasks
+// on live backends — have all completed.
+func (a *app) onMigrate(array int, idx charm.Index, from, to int, done func()) {
+	c := a.arr.Obj(idx).(*chare)
+	c.pe = to
+	if a.mgr == nil || c.nNbr == 0 {
+		done()
+		return
+	}
+	var mu sync.Mutex
+	left := c.nNbr
+	sub := func() {
+		mu.Lock()
+		left--
+		fin := left == 0
+		mu.Unlock()
+		if fin {
+			done()
+		}
+	}
+	for d := 0; d < nDirs; d++ {
+		if !c.neighbors[d] {
+			continue
+		}
+		a.mgr.RehomeSend(c.outHandles[d], to)
+		a.mgr.RehomeRecv(c.inHandles[d], to, sub)
 	}
 }
 
@@ -348,6 +423,21 @@ func (c *chare) computeAndBarrier(ctx *charm.Ctx) {
 	a := c.app
 	elems := c.bx * c.by * c.bz
 	ctx.Charge(sim.Nanoseconds(a.cfg.Platform.StencilPerElementNS * float64(elems)))
+	if c.hot {
+		// Artificial imbalance: the hot half wastes Skew times extra
+		// compute. Charged under sim, spun under the live backends
+		// (Charge is a no-op there), and accounted to the balancer
+		// explicitly — the compute may run inside a CkDirect arrival
+		// callback, which the dispatch meter never sees.
+		extra := sim.Nanoseconds(a.cfg.Platform.StencilPerElementNS * a.cfg.Skew * float64(elems))
+		ctx.Charge(extra)
+		if a.cfg.Backend != charm.SimBackend {
+			spinFor(extra)
+		}
+		if a.bal != nil {
+			a.bal.Account(a.arr.Ord(), c.idx, c.pe, extra)
+		}
+	}
 	residual := 0.0
 	if a.cfg.Validate {
 		residual = c.jacobi()
@@ -363,6 +453,14 @@ func (c *chare) computeAndBarrier(ctx *charm.Ctx) {
 		}
 	}
 	a.arr.ContributeFrom(c.idx, 1, residual)
+}
+
+// spinFor burns real CPU for roughly d — the live backends' stand-in
+// for Charge, whose modelled cost they ignore.
+func spinFor(d sim.Time) {
+	deadline := time.Now().Add(time.Duration(d))
+	for time.Now().Before(deadline) {
+	}
 }
 
 // initField seeds the interior with a deterministic pattern shared with

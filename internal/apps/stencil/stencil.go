@@ -74,6 +74,23 @@ type Config struct {
 	// Kill, when set, fires the kill -9 chaos tier from the root
 	// reduction client: the victim rank dies after Kill.Step barriers.
 	Kill *chaos.Kill
+	// LBEvery runs a measurement-based load-balancing round every
+	// LBEvery reduction barriers (0 disables). Chares migrate between
+	// PEs — and between ranks under net — with their CkDirect channels
+	// rehomed in place. When a checkpoint is due at the same barrier the
+	// checkpoint wins and that round is skipped.
+	LBEvery int
+	// LBStrategy names the rebalancing strategy ("greedy"; "none" or ""
+	// disables). Required when LBEvery is set.
+	LBStrategy string
+	// Skew, when positive, makes every chare in the first half of the
+	// linearized chare order perform Skew times extra (wasted) compute
+	// per iteration — a deterministic artificial imbalance for
+	// load-balancing studies, concentrated on the low PEs (and, under
+	// net, on the low ranks) by the block placement map. Field values
+	// are never touched, so skewed runs stay bit-identical with or
+	// without balancing.
+	Skew float64
 }
 
 // Result reports timing and, in validate mode, the solution.

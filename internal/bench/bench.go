@@ -165,6 +165,7 @@ func All() []Experiment {
 		{"nethw-shm", "Shared-memory transport between co-located ranks: pingpong + stencil over memfd rings (DESIGN.md §12)", func(s Scale) []*Table { return NetHWShm(s) }},
 		{"allocs", "Allocator pressure of the live backends vs pre-pool baselines (DESIGN.md §9)", func(s Scale) []*Table { return Allocs(s) }},
 		{"serve", "ckserve daemon throughput: warmed mesh vs boot-per-run (DESIGN.md §11)", func(s Scale) []*Table { return ServeBench(s) }},
+		{"lb", "Skewed stencil under measurement-based load balancing (DESIGN.md §13)", func(s Scale) []*Table { return LBBench(s) }},
 	}
 }
 

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/stencil"
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// LBBench measures the migration + load-balancing subsystem on the real
+// backend: a skewed stencil (the first half of the chare order spins
+// Skew times extra wall-clock compute, concentrated on the low PEs by
+// the block map) with balancing off, then with the greedy strategy
+// migrating chares between live worker goroutines.
+//
+// Wall clock on an oversubscribed host stays roughly flat — goroutines
+// time-share, so the total spin is conserved — which is why the table
+// leads with the metered per-PE load spread: the max/mean ratio the
+// planner measured before its moves and the one it predicts after them.
+// Physics must be bit-identical between the two runs, recorded as its
+// own row.
+func LBBench(scale Scale) []*Table {
+	nx, ny, nz := 16, 16, 8
+	iters, warmup := 4, 1
+	skew := 40.0
+	if scale == Paper {
+		nx, ny, nz = 24, 24, 12
+		iters, warmup = 6, 2
+	}
+	base := stencil.Config{
+		Platform: netmodel.AbeIB,
+		Mode:     stencil.Ckd,
+		PEs:      4, Virtualization: 2,
+		NX: nx, NY: ny, NZ: nz,
+		Iters: iters, Warmup: warmup,
+		Validate: true,
+		Backend:  charm.RealBackend,
+		Skew:     skew,
+	}
+	off := stencil.Run(base)
+
+	balanced := base
+	balanced.LBEvery = 2
+	balanced.LBStrategy = "greedy"
+	on := stencil.Run(balanced)
+	if len(off.Errors) > 0 || len(on.Errors) > 0 {
+		panic(fmt.Sprintf("bench: lb runs failed: %v %v", off.Errors, on.Errors))
+	}
+
+	identical := 1.0
+	if off.Residual != on.Residual || off.FieldSum != on.FieldSum {
+		identical = 0
+	}
+	for i := range off.Field {
+		if off.Field[i] != on.Field[i] {
+			identical = 0
+			break
+		}
+	}
+	rounds := on.Counters[trace.CntLBRounds]
+	spreadBefore, spreadAfter := 0.0, 0.0
+	if rounds > 0 {
+		spreadBefore = float64(on.Counters[trace.CntLBSpreadBefore]) / float64(rounds)
+		spreadAfter = float64(on.Counters[trace.CntLBSpreadAfter]) / float64(rounds)
+	}
+
+	t := &Table{
+		ID:      "lb-stencil",
+		Title:   "Skewed stencil under measurement-based load balancing (real backend, greedy strategy)",
+		ColHead: "Balancing",
+		Columns: []string{"off", "greedy"},
+		Unit:    "mixed (per row)",
+		Notes: []string{
+			realHWNote(),
+			fmt.Sprintf("domain %dx%dx%d, virtualization 2, skew %gx on the first half of the chare order, LB every 2 barriers",
+				nx, ny, nz, skew),
+			"spread rows are the max/mean per-PE busy-time ratio in permille, averaged over balancing rounds (1000 = perfectly balanced)",
+		},
+	}
+	t.AddRow("wall ms per iteration", off.IterTime.Millis(), on.IterTime.Millis())
+	t.AddRow("balancing rounds", 0, float64(rounds))
+	t.AddRow("migrations", 0, float64(on.Counters[trace.CntLBMigrations]))
+	t.AddRow("rehomed channel endpoints", 0,
+		float64(on.Counters[trace.CntLBRehomedRecv]+on.Counters[trace.CntLBRehomedSend]))
+	t.AddRow("load spread before plan (permille)", 0, spreadBefore)
+	t.AddRow("load spread after plan (permille)", 0, spreadAfter)
+	t.AddRow("fields bit-identical (1=yes)", 1, identical)
+	return []*Table{t}
+}

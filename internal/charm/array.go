@@ -125,8 +125,37 @@ func (a *Array) NumElements() int { return len(a.elems) }
 // ElementsOn returns how many elements live on a PE.
 func (a *Array) ElementsOn(pe int) int { return len(a.perPE[pe]) }
 
-// PEOf returns the PE hosting idx.
+// PEOf returns the PE the array map assigns idx — its birth placement.
+// After migration the element may live elsewhere; see CurrentPE.
 func (a *Array) PEOf(idx Index) int { return a.mapFn(idx) }
+
+// CurrentPE returns the PE currently hosting idx (-1 if absent). It
+// tracks migrations, unlike PEOf.
+func (a *Array) CurrentPE(idx Index) int {
+	if el, ok := a.elems[idx]; ok {
+		return el.pe
+	}
+	return -1
+}
+
+// Ord returns the array's registration ordinal — its wire identity and
+// the array id in migration plans.
+func (a *Array) Ord() int { return a.ord }
+
+// EachHosted calls fn for every locally hosted element in the
+// deterministic per-PE insertion order (every element under sim/real;
+// this rank's block under net). The load balancer drives barrier
+// contributions and load reports through it.
+func (a *Array) EachHosted(fn func(idx Index, pe int)) {
+	for pe, els := range a.perPE {
+		if !a.rts.HostsPE(pe) {
+			continue
+		}
+		for _, el := range els {
+			fn(el.idx, pe)
+		}
+	}
+}
 
 // Obj returns the chare object at idx (nil if absent) — used by drivers
 // and tests for validation.
@@ -175,9 +204,10 @@ func (a *Array) Send(srcPE int, idx Index, ep EP, msg *Message) {
 		return
 	}
 	msg = a.rts.cloneForReal(msg)
-	a.rts.transport(srcPE, el.pe, msg.Size, func() {
-		a.rts.enqueue(el.pe, func() {
-			h(a.ctxFor(el), msg)
+	dst := el.pe
+	a.rts.transport(srcPE, dst, msg.Size, func() {
+		a.rts.enqueue(dst, func() {
+			a.rts.invoke(h, a.ctxFor(el), msg)
 		})
 	})
 }
@@ -204,7 +234,7 @@ func (a *Array) Broadcast(srcPE int, ep EP, msg *Message) {
 		for _, el := range a.perPE[pe] {
 			el := el
 			a.rts.enqueue(pe, func() {
-				a.eps[ep](a.ctxFor(el), msg)
+				a.rts.invoke(a.eps[ep], a.ctxFor(el), msg)
 			})
 		}
 	}, msg.Size)
@@ -227,7 +257,7 @@ func (a *Array) netCast(srcPE int, ep EP, msg *Message) {
 		for _, el := range a.perPE[pe] {
 			el := el
 			a.rts.enqueue(pe, func() {
-				a.eps[ep](a.ctxFor(el), msg)
+				a.rts.invoke(a.eps[ep], a.ctxFor(el), msg)
 			})
 		}
 	}

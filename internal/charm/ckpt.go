@@ -69,7 +69,6 @@ type Checkpointer struct {
 	mu       sync.Mutex
 	saveStep int // step currently being collected
 	saved    int // local elements that reached ElementSave for saveStep
-	need     int // local elements expected per checkpoint
 
 	// Root-side barrier state: which step's checkpoint barrier is in
 	// flight. Only the root reduction client touches it.
@@ -97,10 +96,18 @@ func NewCheckpointer(rts *RTS, opts *CkptOptions) *Checkpointer {
 // inserts; registration order must be SPMD-identical (it defines the
 // snapshot layout).
 func (ck *Checkpointer) Attach(arrays ...*Array) {
-	for _, a := range arrays {
-		ck.arrays = append(ck.arrays, a)
-		ck.need += a.hostedElements()
+	ck.arrays = append(ck.arrays, arrays...)
+}
+
+// need counts the local elements a checkpoint barrier waits for. It is
+// computed live, not cached at Attach: migration changes which elements
+// a rank hosts mid-run.
+func (ck *Checkpointer) need() int {
+	n := 0
+	for _, a := range ck.arrays {
+		n += a.hostedElements()
 	}
+	return n
 }
 
 // SetRegionHooks installs the CkDirect drain/region seam (nil when the
@@ -138,7 +145,7 @@ func (ck *Checkpointer) ElementSave(step int) {
 		ck.saved = 0
 	}
 	ck.saved++
-	last := ck.saved == ck.need
+	last := ck.saved == ck.need()
 	ck.mu.Unlock()
 	if !last {
 		return
@@ -216,7 +223,7 @@ func (ck *Checkpointer) Restore() (int, error) {
 	if err != nil || !ok {
 		return 0, err
 	}
-	if ck.need == 0 && !ckpt.HasSnapshot(ck.dir, ck.rank, step) {
+	if ck.need() == 0 && !ckpt.HasSnapshot(ck.dir, ck.rank, step) {
 		// A rank hosting no elements never writes a snapshot — there is
 		// nothing to restore either.
 		return step, nil

@@ -1,0 +1,146 @@
+package charm
+
+import "fmt"
+
+// Element migration primitives. The load balancer (internal/lb) drives
+// them at a quiescent barrier cut; none of this is safe while entry
+// methods or puts are in flight.
+//
+// Under the SPMD setup every process holds every element (only a
+// hosted element's object carries live state), so migration splits
+// into two halves:
+//
+//   - MoveElement is pure location bookkeeping — placement, delivery
+//     context, per-PE dispatch lists, reduction generation shards —
+//     and every rank applies the identical move, keeping the ordinal
+//     identities that cross the wire meaningful everywhere.
+//   - PackElement/UnpackElement ship the element's live state (its
+//     reduction generation counters and pupped chare fields) from the
+//     old hosting rank to the new one; in a single-process world the
+//     object pointer never moved and no state transfer is needed.
+//
+// Reduction trees are frozen against birth placement; a migrated
+// element keeps its frozen slot and forwards contributions to its home
+// PE (see reducer.home), so MoveElement never re-shapes a tree.
+
+// resolveElement looks up an array by registration ordinal and its
+// element by index.
+func (rts *RTS) resolveElement(array int, idx Index) (*Array, *element, error) {
+	if array < 0 || array >= len(rts.arrays) {
+		return nil, nil, fmt.Errorf("charm: migrate: unknown array ordinal %d", array)
+	}
+	a := rts.arrays[array]
+	el, ok := a.elems[idx]
+	if !ok {
+		return nil, nil, fmt.Errorf("charm: migrate: missing element %s[%s]", a.name, idx)
+	}
+	return a, el, nil
+}
+
+// MoveElement rehomes element idx of the array with registration
+// ordinal array onto PE to, updating location bookkeeping only. The
+// element keeps its position-independent identity: it is removed from
+// its old PE's dispatch list preserving order and appended to the new
+// PE's — every rank applying the same move sequence therefore keeps
+// SPMD-identical per-PE orderings.
+func (rts *RTS) MoveElement(array int, idx Index, to int) error {
+	a, el, err := rts.resolveElement(array, idx)
+	if err != nil {
+		return err
+	}
+	if to < 0 || to >= rts.mach.NumPEs() {
+		return fmt.Errorf("charm: migrate: %s[%s] to invalid PE %d", a.name, idx, to)
+	}
+	from := el.pe
+	if from == to {
+		return nil
+	}
+	list := a.perPE[from]
+	pos := -1
+	for i, e := range list {
+		if e == el {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return fmt.Errorf("charm: migrate: %s[%s] missing from PE %d list", a.name, idx, from)
+	}
+	a.perPE[from] = append(list[:pos], list[pos+1:]...)
+	a.perPE[to] = append(a.perPE[to], el)
+	el.pe = to
+	el.ctx = &Ctx{rts: rts, pe: to, arr: a, idx: idx, obj: el.obj, elem: el}
+	for _, r := range rts.reducers {
+		r.migrateSeq(el, from, to)
+	}
+	return nil
+}
+
+// PackElement serializes a migrating element's live state: one
+// reduction generation counter per registered reducer (registration
+// order), then the pupped chare fields. Call on the rank that hosted
+// the element, after MoveElement applied (the generation shard moved
+// with it).
+func (rts *RTS) PackElement(array int, idx Index) ([]byte, error) {
+	a, el, err := rts.resolveElement(array, idx)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packer{}
+	n := len(rts.reducers)
+	p.Int(&n)
+	for _, r := range rts.reducers {
+		g := r.elementGen(el)
+		p.Int(&g)
+	}
+	if el.obj != nil {
+		pb, ok := el.obj.(Pupable)
+		if !ok {
+			return nil, fmt.Errorf("charm: migrate: %s[%s] chare (%T) does not implement Pupable", a.name, idx, el.obj)
+		}
+		pb.Pup(p)
+	}
+	return p.Buf, nil
+}
+
+// UnpackElement installs a migrated element's packed state on the rank
+// that now hosts it. Run it on (or before handing work to) the
+// element's new PE: it seeds the reduction generation shards and
+// overwrites the chare object's pupped fields in place.
+func (rts *RTS) UnpackElement(array int, idx Index, data []byte) error {
+	a, el, err := rts.resolveElement(array, idx)
+	if err != nil {
+		return err
+	}
+	u := &Unpacker{Buf: data}
+	var n int
+	u.Int(&n)
+	if err := u.Err(); err != nil {
+		return err
+	}
+	if n != len(rts.reducers) {
+		return fmt.Errorf("charm: migrate: %s[%s] packed with %d reducers, this setup has %d",
+			a.name, idx, n, len(rts.reducers))
+	}
+	for _, r := range rts.reducers {
+		var g int
+		u.Int(&g)
+		if g != 0 {
+			r.setElementGen(el, g)
+		}
+	}
+	if el.obj != nil {
+		pb, ok := el.obj.(Pupable)
+		if !ok {
+			return fmt.Errorf("charm: migrate: %s[%s] chare (%T) does not implement Pupable", a.name, idx, el.obj)
+		}
+		pb.Pup(u)
+	}
+	if err := u.Err(); err != nil {
+		return fmt.Errorf("charm: migrate: unpack %s[%s]: %w", a.name, idx, err)
+	}
+	if rest := u.Rest(); rest != 0 {
+		return fmt.Errorf("charm: migrate: unpack %s[%s]: %d trailing bytes", a.name, idx, rest)
+	}
+	return nil
+}

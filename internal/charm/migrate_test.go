@@ -1,0 +1,157 @@
+package charm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+type migChare struct {
+	vals []float64
+	n    int
+	flag bool
+}
+
+func (c *migChare) Pup(p Puper) {
+	p.Float64s(&c.vals)
+	p.Int(&c.n)
+	p.Bool(&c.flag)
+}
+
+func TestMoveElementRelocates(t *testing.T) {
+	_, rts := newTestRTS(4)
+	a := rts.NewArray("grid", BlockMap1D(8, 4))
+	for i := 0; i < 8; i++ {
+		a.Insert(Idx1(i), &migChare{})
+	}
+	if err := rts.MoveElement(a.Ord(), Idx1(0), 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.CurrentPE(Idx1(0)); got != 3 {
+		t.Fatalf("CurrentPE = %d, want 3", got)
+	}
+	// The old PE's dispatch list keeps its order minus the migrant; the
+	// new PE's gains it at the tail.
+	if len(a.perPE[0]) != 1 || a.perPE[0][0] != a.elems[Idx1(1)] {
+		t.Fatalf("PE 0 list broken after move: %d entries", len(a.perPE[0]))
+	}
+	last := a.perPE[3][len(a.perPE[3])-1]
+	if last != a.elems[Idx1(0)] {
+		t.Fatal("migrant not appended to PE 3's list")
+	}
+	// Moving to the current PE is a no-op.
+	if err := rts.MoveElement(a.Ord(), Idx1(0), 3); err != nil {
+		t.Fatal(err)
+	}
+	hosted := 0
+	a.EachHosted(func(Index, int) { hosted++ })
+	if hosted != 8 {
+		t.Fatalf("EachHosted sees %d elements, want 8", hosted)
+	}
+}
+
+func TestMoveElementValidation(t *testing.T) {
+	_, rts := newTestRTS(2)
+	a := rts.NewArray("grid", BlockMap1D(4, 2))
+	a.Insert(Idx1(0), &migChare{})
+	if err := rts.MoveElement(99, Idx1(0), 1); err == nil {
+		t.Error("unknown array ordinal accepted")
+	}
+	if err := rts.MoveElement(a.Ord(), Idx1(3), 1); err == nil {
+		t.Error("missing element accepted")
+	}
+	if err := rts.MoveElement(a.Ord(), Idx1(0), 7); err == nil {
+		t.Error("out-of-range PE accepted")
+	}
+}
+
+// TestMigrateStateRoundTrip is the migrated-state property test: for
+// arbitrary chare contents and reduction generations, PackElement's
+// bytes must rebuild the element exactly — same pupped fields, same
+// generation counter — and a repack must reproduce the bytes.
+func TestMigrateStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		_, rts := newTestRTS(4)
+		a := rts.NewArray("grid", BlockMap1D(8, 4))
+		objs := make([]*migChare, 8)
+		for i := 0; i < 8; i++ {
+			objs[i] = &migChare{
+				vals: make([]float64, rng.Intn(32)),
+				n:    rng.Intn(1000),
+				flag: rng.Intn(2) == 0,
+			}
+			for j := range objs[i].vals {
+				objs[i].vals[j] = rng.NormFloat64()
+			}
+			a.Insert(Idx1(i), objs[i])
+		}
+		a.SetReductionClient(Sum, func(*Ctx, []float64) {})
+		idx := Idx1(rng.Intn(8))
+		el := a.elems[idx]
+		gen := 1 + rng.Intn(50)
+		rts.reducers[0].setElementGen(el, gen)
+
+		if err := rts.MoveElement(a.Ord(), idx, rng.Intn(4)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := rts.PackElement(a.Ord(), idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scramble the live object and the generation shard — the unpack
+		// must restore every packed byte's worth of state.
+		obj := a.Obj(idx).(*migChare)
+		want := &migChare{vals: append([]float64(nil), obj.vals...), n: obj.n, flag: obj.flag}
+		obj.vals = make([]float64, rng.Intn(16))
+		obj.n = -1
+		obj.flag = !obj.flag
+		rts.reducers[0].setElementGen(el, gen+7)
+
+		if err := rts.UnpackElement(a.Ord(), idx, data); err != nil {
+			t.Fatal(err)
+		}
+		if got := rts.reducers[0].elementGen(el); got != gen {
+			t.Fatalf("trial %d: generation %d after unpack, want %d", trial, got, gen)
+		}
+		if len(obj.vals) != len(want.vals) || obj.n != want.n || obj.flag != want.flag {
+			t.Fatalf("trial %d: state not restored: %+v vs %+v", trial, obj, want)
+		}
+		for j := range want.vals {
+			if obj.vals[j] != want.vals[j] {
+				t.Fatalf("trial %d: vals[%d] = %v, want %v", trial, j, obj.vals[j], want.vals[j])
+			}
+		}
+		data2, err := rts.PackElement(a.Ord(), idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("trial %d: repack differs", trial)
+		}
+	}
+}
+
+// TestUnpackElementRejectsGarbage pins the failure modes: truncated
+// payloads and reducer-count mismatches must error, not corrupt.
+func TestUnpackElementRejectsGarbage(t *testing.T) {
+	_, rts := newTestRTS(2)
+	a := rts.NewArray("grid", BlockMap1D(2, 2))
+	a.Insert(Idx1(0), &migChare{vals: []float64{1, 2, 3}})
+	data, err := rts.PackElement(a.Ord(), Idx1(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rts.UnpackElement(a.Ord(), Idx1(0), data[:len(data)-2]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if err := rts.UnpackElement(a.Ord(), Idx1(0), append(append([]byte(nil), data...), 0, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// A second array registers a second reducer; state packed under the
+	// one-reducer setup must now be rejected.
+	rts.NewArray("other", BlockMap1D(2, 2))
+	if err := rts.UnpackElement(a.Ord(), Idx1(0), data); err == nil {
+		t.Error("reducer-count mismatch accepted")
+	}
+}

@@ -86,7 +86,16 @@ type reducer struct {
 	entries      []map[int]*redEntry
 	// seq holds per-element generation counters, sharded by PE: each map
 	// is touched only by its PE's goroutine under the real backend.
+	// Migration moves an element's counter between shards at the
+	// quiescent cut (migrateSeq).
 	seq []map[*element]int
+	// home records each element's PE at freeze time. The tree, ranks and
+	// ordinals are frozen against this placement; an element that later
+	// migrates keeps its frozen slot and forwards contributions to its
+	// home PE (fwdEP) instead of re-shaping the tree mid-run — fold
+	// order, and therefore the floating-point result, never changes.
+	home  map[*element]int
+	fwdEP EP
 }
 
 type redEntry struct {
@@ -102,6 +111,9 @@ func newReducer(rts *RTS, name string, member func() [][]*element) *reducer {
 		seq: make([]map[*element]int, rts.mach.NumPEs())}
 	r.ep = rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
 		r.onPartial(ctx.pe, int(msg.Val), msg.Tag, msg.Vals)
+	})
+	r.fwdEP = rts.RegisterPEHandler(func(ctx *Ctx, msg *Message) {
+		r.onForwarded(ctx.pe, int(msg.Val), msg.Tag, msg.Vals)
 	})
 	rts.reducers = append(rts.reducers, r)
 	return r
@@ -166,9 +178,11 @@ func (r *reducer) freeze() {
 		}
 	}
 	r.ord = make(map[*element]int)
+	r.home = make(map[*element]int)
 	for _, pe := range r.participants {
 		for i, el := range perPE[pe] {
 			r.ord[el] = i
+			r.home[el] = pe
 		}
 	}
 	r.entries = make([]map[int]*redEntry, n)
@@ -201,6 +215,18 @@ func (r *reducer) contributeEl(el *element, vals []float64) {
 	}
 	gen := m[el]
 	m[el] = gen + 1
+	if home, ok := r.home[el]; ok && home != el.pe {
+		// The element migrated after the tree froze: its slot still
+		// lives on its home PE. Forward the contribution there with the
+		// frozen rank-local ordinal, so the home fold is untouched.
+		r.rts.SendPE(el.pe, home, r.fwdEP, &Message{
+			Size: controlSize(len(vals)),
+			Tag:  gen,
+			Val:  float64(r.ord[el]),
+			Vals: vals,
+		})
+		return
+	}
 	rank, ok := r.rankOf[el.pe]
 	if !ok {
 		panic(fmt.Sprintf("charm: contribution from non-participant PE %d", el.pe))
@@ -218,6 +244,76 @@ func (r *reducer) contributeEl(el *element, vals []float64) {
 	e.locals[r.ord[el]] = vals
 	e.localGot++
 	r.maybeForward(rank, gen, e)
+}
+
+// onForwarded lands a migrated element's contribution on its home PE:
+// the ordinal rides the message, so the entry fills exactly the slot
+// the element held before it moved.
+func (r *reducer) onForwarded(pe, ordinal, gen int, vals []float64) {
+	rank, ok := r.rankOf[pe]
+	if !ok {
+		panic(fmt.Sprintf("charm: forwarded contribution to non-participant PE %d", pe))
+	}
+	e := r.entry(rank, gen, len(vals))
+	if len(vals) != e.width {
+		err := fmt.Errorf("charm: reduction width mismatch on %s gen %d: %d vs %d",
+			r.name, gen, e.width, len(vals))
+		if r.rts.opts.Checked {
+			r.rts.ReportError(err)
+			return
+		}
+		panic(err)
+	}
+	if ordinal < 0 || ordinal >= len(e.locals) {
+		r.rts.ReportError(fmt.Errorf("charm: forwarded contribution ordinal %d outside [0,%d) on %s",
+			ordinal, len(e.locals), r.name))
+		return
+	}
+	e.locals[ordinal] = vals
+	e.localGot++
+	r.maybeForward(rank, gen, e)
+}
+
+// migrateSeq moves an element's generation counter between PE shards
+// when the element rehomes. Runs only at the quiescent migration cut,
+// where neither shard's PE goroutine is touching its map.
+func (r *reducer) migrateSeq(el *element, from, to int) {
+	m := r.seq[from]
+	if m == nil {
+		return
+	}
+	g, ok := m[el]
+	if !ok {
+		return
+	}
+	delete(m, el)
+	d := r.seq[to]
+	if d == nil {
+		d = make(map[*element]int)
+		r.seq[to] = d
+	}
+	d[el] = g
+}
+
+// elementGen reads an element's next reduction generation (0 if it has
+// never contributed).
+func (r *reducer) elementGen(el *element) int {
+	if m := r.seq[el.pe]; m != nil {
+		return m[el]
+	}
+	return 0
+}
+
+// setElementGen seeds an element's generation counter on its current
+// PE's shard — the receiving side of a cross-rank migration, where the
+// counter arrived in the element's packed state.
+func (r *reducer) setElementGen(el *element, g int) {
+	m := r.seq[el.pe]
+	if m == nil {
+		m = make(map[*element]int)
+		r.seq[el.pe] = m
+	}
+	m[el] = g
 }
 
 func (r *reducer) onPartial(pe, childPE, gen int, vals []float64) {

@@ -53,6 +53,10 @@ type RTS struct {
 	// (the hook used by the CkDirect channel learner).
 	sendObserver func(srcPE, dstPE int, array string, ep EP, size int)
 
+	// loadMeter, when installed, observes every element entry-method
+	// dispatch (the hook the load balancer's per-element metering uses).
+	loadMeter LoadMeter
+
 	// quiescence detection state (see quiescence.go).
 	qdCounter int64
 	qdWaiters []func()
@@ -77,6 +81,50 @@ func (rts *RTS) SetTimeline(tl *trace.Timeline) { rts.timeline = tl }
 func (rts *RTS) SetSendObserver(fn func(srcPE, dstPE int, array string, ep EP, size int)) {
 	rts.sendObserver = fn
 }
+
+// LoadMeter observes chare-array entry-method dispatches — the seam the
+// load balancer (internal/lb) hooks to attribute compute and message
+// volume to individual elements. busy is virtual time under sim
+// (capturing what the handler Charged) and wall-clock under the live
+// backends. Implementations must tolerate concurrent calls from
+// different PE goroutines.
+type LoadMeter interface {
+	ElementRan(array int, idx Index, pe int, busy sim.Time, msgBytes int)
+}
+
+// SetLoadMeter installs the element dispatch observer; nil removes it.
+// Install before the run starts — the dispatch path reads it unlocked.
+func (rts *RTS) SetLoadMeter(m LoadMeter) { rts.loadMeter = m }
+
+// invoke runs an element entry method, metering the dispatch when a
+// LoadMeter is installed. Non-element handlers (PE handlers, reduction
+// clients) bypass the meter.
+func (rts *RTS) invoke(h Handler, ctx *Ctx, msg *Message) {
+	lm := rts.loadMeter
+	if lm == nil || ctx.elem == nil {
+		h(ctx, msg)
+		return
+	}
+	if rts.opts.Backend == SimBackend {
+		// The PE's free point advances by exactly what the handler
+		// charges, so the delta is the element's modelled compute —
+		// deterministic across runs, unlike wall-clock.
+		pe := rts.pes[ctx.pe].pe
+		start := pe.FreeAt()
+		h(ctx, msg)
+		lm.ElementRan(ctx.arr.ord, ctx.idx, ctx.pe, pe.FreeAt()-start, msg.Size)
+		return
+	}
+	start := rts.be.now()
+	h(ctx, msg)
+	lm.ElementRan(ctx.arr.ord, ctx.idx, ctx.pe, rts.be.now()-start, msg.Size)
+}
+
+// EnqueueOn places fn on a hosted PE's scheduler queue as a plain task
+// (paying scheduler overhead under sim). Runtime extensions use it to
+// run work on the goroutine that owns a PE's state; pe must be hosted
+// by this process.
+func (rts *RTS) EnqueueOn(pe int, fn func()) { rts.enqueue(pe, fn) }
 
 // peSched is the per-PE scheduler state: a FIFO of pending deliveries and
 // a flag indicating whether a scheduler pass is in flight.
@@ -309,7 +357,7 @@ func getDelivery() *delivery {
 	}
 	d := &delivery{}
 	d.run = func() {
-		d.h(d.ctx, &d.msg)
+		d.ctx.rts.invoke(d.h, d.ctx, &d.msg)
 		bufpool.Put(d.pooled)
 		run := d.run
 		*d = delivery{run: run} // drop references so the pool pins nothing
@@ -357,8 +405,27 @@ func (rts *RTS) deliverWire(env netrt.Env, pooled []byte) {
 			return
 		}
 		if !rts.HostsPE(el.pe) {
-			rts.ReportError(fmt.Errorf("charm: wire message for %s[%s] on PE %d, not hosted here", a.name, el.idx, el.pe))
+			// Straggler: the element migrated and this frame raced the
+			// location update to its old host. Re-route to the current
+			// host. The payload must be copied out of the pooled wire
+			// buffer first — a rendezvous re-send parks it past this
+			// frame's lifetime.
+			fwd := &netrt.Env{
+				Kind: netrt.EnvArray, Array: a.ord, EP: env.EP, Index: env.Index,
+				SrcPE: env.SrcPE, DstPE: el.pe,
+				Size: env.Size, Tag: env.Tag, Val: env.Val,
+			}
+			if env.Vals != nil {
+				fwd.Vals = append([]float64(nil), env.Vals...)
+			}
+			if env.Data != nil {
+				fwd.Data = append([]byte(nil), env.Data...)
+			}
 			bufpool.Put(pooled)
+			rts.netrt.SendMsg(fwd)
+			if rts.rec != nil {
+				rts.rec.Incr(trace.CntLBForwards, 1)
+			}
 			return
 		}
 		d := getDelivery()
@@ -395,7 +462,7 @@ func (rts *RTS) deliverWire(env netrt.Env, pooled []byte) {
 			for _, el := range a.perPE[pe] {
 				el := el
 				rts.netrt.Enqueue(pe, func() {
-					h(a.ctxFor(el), msg)
+					rts.invoke(h, a.ctxFor(el), msg)
 				})
 			}
 		}

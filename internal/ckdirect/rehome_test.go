@@ -1,0 +1,178 @@
+package ckdirect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// TestRehomeRecvMovesEndpoint drives a full migrate cycle on a drained
+// channel: the endpoint moves PEs, the polling queue follows, the
+// delivery counters reset, and the next put lands at the new PE.
+func TestRehomeRecvMovesEndpoint(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 3, true)
+	var deliveries []int
+	var h *Handle
+	var send *machine.Region
+	rehomed := false
+	h, send, _ = mkChannel(t, rts, m, 256, func(ctx *charm.Ctx) {
+		deliveries = append(deliveries, ctx.PE())
+		if len(deliveries) == 1 {
+			m.Ready(h)
+			m.RehomeRecv(h, 2, func() { rehomed = true })
+			if err := m.Put(h); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	rng.New(3).Fill(send.Bytes())
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.Put(h); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if errs := rts.Errors(); len(errs) > 0 {
+		t.Fatalf("clean rehome reported errors: %v", errs)
+	}
+	if !rehomed {
+		t.Fatal("rehome completion callback never fired")
+	}
+	if len(deliveries) != 2 || deliveries[0] != 1 || deliveries[1] != 2 {
+		t.Fatalf("deliveries on PEs %v, want [1 2]", deliveries)
+	}
+	if h.recvPE != 2 {
+		t.Fatalf("recvPE = %d, want 2", h.recvPE)
+	}
+	if m.PolledOn(1) != 0 {
+		t.Fatalf("old PE still polls %d handles", m.PolledOn(1))
+	}
+	if got := rts.Recorder().Counters()[trace.CntLBRehomedRecv]; got != 1 {
+		t.Fatalf("%s = %d, want 1", trace.CntLBRehomedRecv, got)
+	}
+	// The joint counter reset: the post-rehome put was sequence 1 again.
+	if h.puts != 1 || h.delivered != 1 {
+		t.Fatalf("counters after rehome+put: puts %d delivered %d, want 1/1", h.puts, h.delivered)
+	}
+}
+
+// TestRehomeRecvRefusesMidPut is the drain-guard test: a put is on the
+// wire when the rehome arrives, so the move must be refused — the
+// endpoint stays, the sentinel still guards the region the put will
+// land in, and the delivery publishes against the original PE.
+func TestRehomeRecvRefusesMidPut(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 3, true)
+	var deliveries []int
+	var h *Handle
+	var send *machine.Region
+	done := false
+	h, send, _ = mkChannel(t, rts, m, 256, func(ctx *charm.Ctx) {
+		deliveries = append(deliveries, ctx.PE())
+	})
+	rng.New(4).Fill(send.Bytes())
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.Put(h); err != nil {
+			t.Error(err)
+		}
+		// The put is in flight right now; migrating the receive endpoint
+		// would re-stamp the sentinel over a region the transfer no
+		// longer targets.
+		m.RehomeRecv(h, 2, func() { done = true })
+	})
+	eng.Run()
+	errs := rts.Errors()
+	if len(errs) == 0 {
+		t.Fatal("mid-put rehome was not refused")
+	}
+	if !strings.Contains(errs[0].Error(), "in flight") {
+		t.Fatalf("unhelpful refusal: %v", errs[0])
+	}
+	if !done {
+		t.Fatal("refused rehome must still fire done (the balancer counts it)")
+	}
+	if h.recvPE != 1 {
+		t.Fatalf("refused rehome moved the endpoint to PE %d", h.recvPE)
+	}
+	if len(deliveries) != 1 || deliveries[0] != 1 {
+		t.Fatalf("deliveries on PEs %v, want [1]: the put must land at its original target", deliveries)
+	}
+	if h.state != Fired {
+		t.Fatalf("state %v after delivery, want Fired — the original channel kept working", h.state)
+	}
+}
+
+// TestRehomeRecvRefusesUnconsumedDelivery: a delivery the receiver has
+// not re-armed past (state Fired) equally blocks the move.
+func TestRehomeRecvRefusesUnconsumedDelivery(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 3, true)
+	var h *Handle
+	var send *machine.Region
+	h, send, _ = mkChannel(t, rts, m, 256, func(ctx *charm.Ctx) {
+		// No Ready: the channel stays Fired with the payload unconsumed.
+		m.RehomeRecv(h, 2, func() {})
+	})
+	rng.New(5).Fill(send.Bytes())
+	rts.StartAt(0, func(ctx *charm.Ctx) {
+		if err := m.Put(h); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	errs := rts.Errors()
+	if len(errs) == 0 {
+		t.Fatal("rehome of an unconsumed channel was not refused")
+	}
+	if h.recvPE != 1 {
+		t.Fatalf("refused rehome moved the endpoint to PE %d", h.recvPE)
+	}
+}
+
+// TestRehomeSendMovesSource: the send endpoint is pure bookkeeping; the
+// next put must flow from the new PE and still deliver.
+func TestRehomeSendMovesSource(t *testing.T) {
+	eng, rts, m := newRig(t, netmodel.AbeIB, 3, true)
+	fired := 0
+	var h *Handle
+	var send *machine.Region
+	h, send, _ = mkChannel(t, rts, m, 256, func(ctx *charm.Ctx) { fired++ })
+	rng.New(6).Fill(send.Bytes())
+	m.RehomeSend(h, 2)
+	if h.sendPE != 2 {
+		t.Fatalf("sendPE = %d, want 2", h.sendPE)
+	}
+	rts.StartAt(2, func(ctx *charm.Ctx) {
+		if err := m.Put(h); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	if errs := rts.Errors(); len(errs) > 0 {
+		t.Fatal(errs)
+	}
+	if fired != 1 {
+		t.Fatalf("put after send rehome delivered %d times", fired)
+	}
+	if got := rts.Recorder().Counters()[trace.CntLBRehomedSend]; got != 1 {
+		t.Fatalf("%s = %d, want 1", trace.CntLBRehomedSend, got)
+	}
+}
+
+// TestRehomeRecvSamePEIsNoop: a move to the current PE completes
+// immediately without disturbing anything.
+func TestRehomeRecvSamePEIsNoop(t *testing.T) {
+	_, rts, m := newRig(t, netmodel.AbeIB, 3, true)
+	h, _, _ := mkChannel(t, rts, m, 256, func(ctx *charm.Ctx) {})
+	done := false
+	m.RehomeRecv(h, 1, func() { done = true })
+	if !done {
+		t.Fatal("same-PE rehome did not complete synchronously")
+	}
+	if m.PolledOn(1) != 1 {
+		t.Fatalf("same-PE rehome disturbed the poll set: %d", m.PolledOn(1))
+	}
+}

@@ -1,0 +1,205 @@
+// Package lb provides measurement-based dynamic load balancing for
+// chare arrays: per-element load metering hooked into the runtime's
+// dispatch path, a pluggable rebalancing strategy, and a barrier-driven
+// migration protocol that rides the same reduction seam the
+// checkpointer uses (Balancer, lb.go).
+package lb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/charm"
+)
+
+// ElementLoad is one element's measured load over the current LB
+// period, as reported at the balancing barrier.
+type ElementLoad struct {
+	Array  int // array registration ordinal
+	Index  charm.Index
+	PE     int   // current placement
+	BusyNS int64 // wall-clock (real/net) or virtual (sim) busy time
+	Msgs   int64 // entry-method dispatches
+	Bytes  int64 // message bytes delivered
+}
+
+// Move is one planned migration.
+type Move struct {
+	Array  int
+	Index  charm.Index
+	FromPE int
+	ToPE   int
+}
+
+// Strategy plans migrations from a complete load picture. Plan must be
+// deterministic in its inputs: every rank trusts the root's plan, and
+// the simulator's counter determinism depends on it.
+type Strategy interface {
+	Name() string
+	Plan(pes int, loads []ElementLoad) []Move
+}
+
+// Greedy moves the heaviest movable element off the most loaded PE onto
+// the least loaded one, repeating while the maximum PE load exceeds the
+// mean by more than Tol. Ties break deterministically (lowest PE,
+// then lowest (array, index)), and an element moves at most once per
+// round.
+type Greedy struct {
+	// Tol is the tolerated relative imbalance: rebalancing stops once
+	// max <= mean*(1+Tol). Zero means the 0.10 default.
+	Tol float64
+}
+
+// Name identifies the strategy in flags and logs.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Plan implements Strategy.
+func (g *Greedy) Plan(pes int, loads []ElementLoad) []Move {
+	if pes <= 1 || len(loads) == 0 {
+		return nil
+	}
+	tol := g.Tol
+	if tol <= 0 {
+		tol = 0.10
+	}
+	tot := make([]int64, pes)
+	byPE := make([][]int, pes)
+	var total int64
+	for i, l := range loads {
+		if l.PE < 0 || l.PE >= pes {
+			continue
+		}
+		tot[l.PE] += l.BusyNS
+		byPE[l.PE] = append(byPE[l.PE], i)
+		total += l.BusyNS
+	}
+	if total == 0 {
+		return nil
+	}
+	for pe := range byPE {
+		idx := byPE[pe]
+		sort.Slice(idx, func(x, y int) bool {
+			a, b := loads[idx[x]], loads[idx[y]]
+			if a.BusyNS != b.BusyNS {
+				return a.BusyNS > b.BusyNS
+			}
+			if a.Array != b.Array {
+				return a.Array < b.Array
+			}
+			return lessIndex(a.Index, b.Index)
+		})
+	}
+	avg := float64(total) / float64(pes)
+	moved := make(map[int]bool)
+	var moves []Move
+	for range loads {
+		src := argExtreme(tot, true)
+		if float64(tot[src]) <= avg*(1+tol) {
+			break
+		}
+		dst := argExtreme(tot, false)
+		if dst == src {
+			break
+		}
+		pick := -1
+		for _, i := range byPE[src] {
+			if moved[i] || loads[i].BusyNS <= 0 {
+				continue
+			}
+			// Only a move that strictly shrinks the pair's maximum helps;
+			// the heaviest element that fits wins.
+			if tot[dst]+loads[i].BusyNS < tot[src] {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		w := loads[pick].BusyNS
+		moves = append(moves, Move{Array: loads[pick].Array, Index: loads[pick].Index, FromPE: src, ToPE: dst})
+		moved[pick] = true
+		tot[src] -= w
+		tot[dst] += w
+	}
+	return moves
+}
+
+// argExtreme returns the index of the maximum (or minimum) entry,
+// lowest index on ties.
+func argExtreme(tot []int64, max bool) int {
+	best := 0
+	for i := 1; i < len(tot); i++ {
+		if (max && tot[i] > tot[best]) || (!max && tot[i] < tot[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func lessIndex(a, b charm.Index) bool {
+	for d := 0; d < 4; d++ {
+		if a[d] != b[d] {
+			return a[d] < b[d]
+		}
+	}
+	return false
+}
+
+// SpreadPermille computes the max/mean per-PE load ratio in per-mille,
+// before and after hypothetically applying moves — the imbalance the
+// strategy saw and the one it predicts. Returns zeros when no load was
+// measured.
+func SpreadPermille(pes int, loads []ElementLoad, moves []Move) (before, after int64) {
+	if pes <= 0 {
+		return 0, 0
+	}
+	tot := make([]int64, pes)
+	var total int64
+	for _, l := range loads {
+		if l.PE >= 0 && l.PE < pes {
+			tot[l.PE] += l.BusyNS
+			total += l.BusyNS
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	mean := float64(total) / float64(pes)
+	permille := func() int64 {
+		return int64(float64(tot[argExtreme(tot, true)]) / mean * 1000)
+	}
+	before = permille()
+	loc := make(map[[5]int]int, len(loads))
+	for i, l := range loads {
+		loc[loadKey(l.Array, l.Index)] = i
+	}
+	for _, mv := range moves {
+		i, ok := loc[loadKey(mv.Array, mv.Index)]
+		if !ok {
+			continue
+		}
+		w := loads[i].BusyNS
+		if mv.FromPE >= 0 && mv.FromPE < pes && mv.ToPE >= 0 && mv.ToPE < pes {
+			tot[mv.FromPE] -= w
+			tot[mv.ToPE] += w
+		}
+	}
+	return before, permille()
+}
+
+func loadKey(array int, idx charm.Index) [5]int {
+	return [5]int{array, idx[0], idx[1], idx[2], idx[3]}
+}
+
+// ParseStrategy maps a -lb.strategy flag value to a Strategy. Empty and
+// "none" mean disabled (nil strategy).
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "greedy":
+		return &Greedy{}, nil
+	}
+	return nil, fmt.Errorf("lb: unknown strategy %q (have: greedy, none)", name)
+}

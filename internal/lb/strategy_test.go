@@ -1,0 +1,140 @@
+package lb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/charm"
+)
+
+func el(array, i, pe int, busy int64) ElementLoad {
+	return ElementLoad{Array: array, Index: charm.Idx1(i), PE: pe, BusyNS: busy}
+}
+
+func TestGreedyMovesOffTheHotPE(t *testing.T) {
+	g := &Greedy{}
+	loads := []ElementLoad{
+		el(0, 0, 0, 100), el(0, 1, 0, 90), el(0, 2, 0, 80),
+		el(0, 3, 1, 10),
+	}
+	moves := g.Plan(2, loads)
+	if len(moves) == 0 {
+		t.Fatal("a 270-vs-10 split produced no moves")
+	}
+	seen := map[[5]int]bool{}
+	for _, mv := range moves {
+		if mv.FromPE != 0 || mv.ToPE != 1 {
+			t.Fatalf("move %+v goes the wrong way", mv)
+		}
+		k := loadKey(mv.Array, mv.Index)
+		if seen[k] {
+			t.Fatalf("element %v moved twice in one round", mv.Index)
+		}
+		seen[k] = true
+	}
+	before, after := SpreadPermille(2, loads, moves)
+	if after >= before {
+		t.Fatalf("spread grew: before %d after %d", before, after)
+	}
+}
+
+func TestGreedyLeavesBalanceAlone(t *testing.T) {
+	g := &Greedy{}
+	loads := []ElementLoad{
+		el(0, 0, 0, 100), el(0, 1, 1, 100), el(0, 2, 2, 100), el(0, 3, 3, 100),
+	}
+	if moves := g.Plan(4, loads); len(moves) != 0 {
+		t.Fatalf("balanced loads produced %d moves", len(moves))
+	}
+}
+
+func TestGreedyDegenerateInputs(t *testing.T) {
+	g := &Greedy{}
+	if moves := g.Plan(1, []ElementLoad{el(0, 0, 0, 100)}); moves != nil {
+		t.Fatal("single PE produced moves")
+	}
+	if moves := g.Plan(4, nil); moves != nil {
+		t.Fatal("no loads produced moves")
+	}
+	zero := []ElementLoad{el(0, 0, 0, 0), el(0, 1, 1, 0)}
+	if moves := g.Plan(2, zero); moves != nil {
+		t.Fatal("zero total load produced moves")
+	}
+	// A lone monster element cannot be split: moving it just swaps the
+	// imbalance, so the plan must be empty.
+	lone := []ElementLoad{el(0, 0, 0, 1000), el(0, 1, 1, 1)}
+	if moves := g.Plan(2, lone); len(moves) != 0 {
+		t.Fatalf("unsplittable imbalance produced %v", moves)
+	}
+}
+
+// TestGreedyIsDeterministic pins the SPMD requirement: the plan is a
+// pure function of the (canonically ordered) loads.
+func TestGreedyIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		pes := 2 + rng.Intn(6)
+		var loads []ElementLoad
+		for i := 0; i < 4*pes; i++ {
+			loads = append(loads, el(0, i, rng.Intn(pes), int64(rng.Intn(1000))))
+		}
+		a := (&Greedy{}).Plan(pes, loads)
+		b := (&Greedy{}).Plan(pes, loads)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: identical inputs planned differently:\n%v\n%v", trial, a, b)
+		}
+	}
+}
+
+// TestGreedyNeverWorsensSpread is the strategy's safety property over
+// random load pictures: whatever it plans, the predicted max/mean
+// spread must not grow, no element moves twice, and every move starts
+// at the element's reported PE.
+func TestGreedyNeverWorsensSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		pes := 2 + rng.Intn(7)
+		n := 1 + rng.Intn(5*pes)
+		loads := make([]ElementLoad, n)
+		loc := map[[5]int]int{}
+		for i := range loads {
+			loads[i] = el(0, i, rng.Intn(pes), int64(rng.Intn(5000)))
+			loc[loadKey(0, charm.Idx1(i))] = i
+		}
+		moves := (&Greedy{}).Plan(pes, loads)
+		seen := map[[5]int]bool{}
+		for _, mv := range moves {
+			k := loadKey(mv.Array, mv.Index)
+			if seen[k] {
+				t.Fatalf("trial %d: element %v moved twice", trial, mv.Index)
+			}
+			seen[k] = true
+			i, ok := loc[k]
+			if !ok {
+				t.Fatalf("trial %d: move names unknown element %v", trial, mv.Index)
+			}
+			if loads[i].PE != mv.FromPE {
+				t.Fatalf("trial %d: move says from %d, element lives on %d", trial, mv.FromPE, loads[i].PE)
+			}
+		}
+		before, after := SpreadPermille(pes, loads, moves)
+		if after > before {
+			t.Fatalf("trial %d: plan worsened spread %d -> %d (moves %v)", trial, before, after, moves)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	if s, err := ParseStrategy("greedy"); err != nil || s == nil || s.Name() != "greedy" {
+		t.Fatalf("greedy: %v %v", s, err)
+	}
+	for _, off := range []string{"", "none"} {
+		if s, err := ParseStrategy(off); err != nil || s != nil {
+			t.Fatalf("%q: %v %v", off, s, err)
+		}
+	}
+	if _, err := ParseStrategy("psychic"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

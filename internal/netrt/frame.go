@@ -107,6 +107,17 @@ const (
 	// stream; a sender holding a registration deposits puts straight
 	// into the mapped arena and sends only a doorbell.
 	FShmReg
+	// FMove ships a migrating array element's packed state from its old
+	// hosting rank to its new one: A = array ordinal, payload = the
+	// element index (four little-endian int64s) followed by the packed
+	// state (charm.PackElement). A counted app frame — termination must
+	// not conclude around an element in flight.
+	FMove
+	// FLoc broadcasts a load-balancing plan from the root rank:
+	// payload = the encoded move list. Every receiver applies the
+	// identical location updates (SPMD bookkeeping). A counted app
+	// frame, like the FCast it is morally a specialization of.
+	FLoc
 	frameTypeMax
 )
 

@@ -557,7 +557,7 @@ func (n *Node) dispatch(p *peerConn, f Frame) bool {
 		n.onJob(p, f)
 	case FShmReg:
 		p.noteShmReg(f)
-	case FEager, FRTS, FCTS, FData, FPut, FCast:
+	case FEager, FRTS, FCTS, FData, FPut, FCast, FMove, FLoc:
 		return n.dispatchApp(p, f)
 	default:
 		// Bootstrap frames after bootstrap, or future types from a

@@ -36,6 +36,8 @@ type Runtime struct {
 	putSink     func(id int64, payload []byte)
 	putStream   func(id int64, size int, r io.Reader) error
 	putDoorbell func(id int64, last uint64)
+	moveSink    func(array int64, payload []byte)
+	locSink     func(payload []byte)
 	eagerMax    int
 
 	xferMu   sync.Mutex
@@ -164,6 +166,21 @@ func (rt *Runtime) SetPutStream(fn func(id int64, size int, r io.Reader) error) 
 // carries only the handle id and the sentinel word to release-store.
 func (rt *Runtime) SetPutDoorbell(fn func(id int64, last uint64)) { rt.putDoorbell = fn }
 
+// SetMoveSink installs the handler for inbound element-migration
+// frames (array = ordinal, payload = index + packed state). It runs on
+// connection reader goroutines; the payload is only valid during the
+// call, so the sink must copy what it keeps and re-enqueue the actual
+// application onto a local PE — that Enqueue is also the work credit
+// that keeps termination honest (taken before the frame's receipt is
+// counted).
+func (rt *Runtime) SetMoveSink(fn func(array int64, payload []byte)) { rt.moveSink = fn }
+
+// SetLocSink installs the handler for inbound location-update (load
+// balancing plan) broadcasts. Same contract as SetMoveSink: reader
+// goroutine, payload valid only during the call, credit work before
+// returning.
+func (rt *Runtime) SetLocSink(fn func(payload []byte)) { rt.locSink = fn }
+
 // SetPoll installs the CkDirect poll hook, translating the local PE
 // index the scheduler passes back to the global PE space.
 func (rt *Runtime) SetPoll(fn func(pe int, full bool) bool) {
@@ -248,6 +265,26 @@ func (rt *Runtime) SendPut(dstPE int, handleID int64, payload []byte) {
 	rt.node.sendTo(rank, &Frame{Type: FPut, Run: rt.gen, A: handleID, Payload: payload})
 }
 
+// SendMove ships a migrating element's packed state to the rank that
+// now hosts it. The frame copies the payload at encode time, so the
+// caller's buffer is free on return.
+func (rt *Runtime) SendMove(rank int, array int64, payload []byte) {
+	rt.sent.Add(1)
+	rt.node.sendTo(rank, &Frame{Type: FMove, Run: rt.gen, A: array, Payload: payload})
+}
+
+// SendLoc broadcasts an encoded load-balancing plan to every other
+// rank; each receiver applies the identical location updates.
+func (rt *Runtime) SendLoc(payload []byte) {
+	for r := 0; r < rt.node.world; r++ {
+		if r == rt.node.rank {
+			continue
+		}
+		rt.sent.Add(1)
+		rt.node.sendTo(r, &Frame{Type: FLoc, Run: rt.gen, Payload: payload})
+	}
+}
+
 // AllocPutRegion carves a CkDirect destination buffer out of the shm
 // arena shared with rank (the sender-to-be), so that sender's puts can
 // land by plain memcpy. Returns the arena-backed slice, its offset for
@@ -272,6 +309,23 @@ func (rt *Runtime) AllocPutRegion(rank, size int) ([]byte, int64, bool) {
 // into the very same rebound buffer.
 func (rt *Runtime) RegisterPutBuffer(rank int, id, off, size int64) bool {
 	return rt.node.sendTo(rank, &Frame{Type: FShmReg, Run: rt.gen, A: id, B: off, C: size})
+}
+
+// DropPutBuffer invalidates any shared-memory put registration this
+// process holds for handle id, toward every peer: subsequent puts on
+// that channel take the framed path. Called on every rank when a
+// channel's receive endpoint migrates (SPMD bookkeeping) — the old
+// arena slot must stop accepting deposits the moment the cut applies.
+func (rt *Runtime) DropPutBuffer(id int64) {
+	t := rt.node.peerTable()
+	if t == nil {
+		return
+	}
+	for _, p := range t {
+		if p != nil {
+			p.dropReg(id)
+		}
+	}
 }
 
 // handleApp processes one app frame for this run. It runs on connection
@@ -357,6 +411,18 @@ func (rt *Runtime) handleApp(rank int, f Frame, pooled bool) bool {
 		}
 		if rt.deliver != nil {
 			rt.deliver(env, nil)
+		}
+		rt.recv.Add(1)
+	case FMove:
+		// The sink copies the payload and enqueues the unpack onto a
+		// local PE before returning — the credit-before-recv discipline.
+		if rt.moveSink != nil {
+			rt.moveSink(f.A, f.Payload)
+		}
+		rt.recv.Add(1)
+	case FLoc:
+		if rt.locSink != nil {
+			rt.locSink(f.Payload)
 		}
 		rt.recv.Add(1)
 	}

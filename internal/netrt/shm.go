@@ -516,6 +516,15 @@ func (p *peerConn) noteShmReg(f Frame) {
 	p.regMu.Unlock()
 }
 
+// dropReg forgets a put-buffer registration (the channel's receive
+// endpoint migrated away from this edge); subsequent puts on the
+// handle fall back to the framed path.
+func (p *peerConn) dropReg(id int64) {
+	p.regMu.Lock()
+	delete(p.regs, id)
+	p.regMu.Unlock()
+}
+
 // allocArena carves size bytes (64-aligned) for one of this process's
 // registered receive buffers out of the arena the peer deposits into.
 // The bump state resets when a new run generation first allocates:

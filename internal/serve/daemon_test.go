@@ -342,3 +342,61 @@ func TestHTTPAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestLBJobSurfacesCounters runs a skewed stencil job with balancing on
+// and checks the lb.* counters ride the existing plumbing end to end:
+// into the job's Outcome, and from there into the daemon's cumulative
+// /metrics report.
+func TestLBJobSurfacesCounters(t *testing.T) {
+	srv, err := New(Options{Env: realEnv(), QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	job := submitWait(t, srv, Spec{
+		Kind: "stencil", Validate: true,
+		Iters: 4, Warmup: 1,
+		// The spin must dominate per-dispatch overhead even under -race,
+		// or the wall-clock plan may move nothing.
+		Skew: 100, LBEvery: 2,
+	}, time.Minute)
+	if job.State != StateDone {
+		t.Fatalf("lb job failed: %+v", job)
+	}
+	if job.Local.Counters["lb.rounds"] == 0 {
+		t.Fatal("no balancing rounds in the job's counters")
+	}
+	if job.Local.Counters["lb.migrations"] == 0 {
+		t.Fatal("skewed lb job migrated nothing")
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf strings.Builder
+	var out [65536]byte
+	for {
+		n, err := mr.Body.Read(out[:])
+		mbuf.Write(out[:n])
+		if err != nil {
+			break
+		}
+	}
+	mr.Body.Close()
+	metrics := mbuf.String()
+	for _, want := range []string{"lb.rounds", "lb.migrations", "lb.spread_before_permille", "lb.rehomed_recv_handles"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The lb fields are stencil-only; every other kind must refuse them.
+	for _, k := range []string{"pingpong", "matmul", "fem"} {
+		if _, err := srv.Submit(Spec{Kind: k, LBEvery: 2}); err == nil {
+			t.Errorf("%s accepted lb_every", k)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps/stencil"
 	"repro/internal/chaos"
 	"repro/internal/charm"
+	"repro/internal/lb"
 	"repro/internal/netmodel"
 	"repro/internal/netrt"
 )
@@ -203,7 +204,7 @@ func normalizePingpong(env Env, s *Spec) error {
 	if s.Validate {
 		return fmt.Errorf("pingpong has no validate oracle (its check is completing the round trips)")
 	}
-	if s.NX != 0 || s.NY != 0 || s.NZ != 0 || s.N != 0 || s.Virtualization != 0 || s.PEs != 0 {
+	if s.NX != 0 || s.NY != 0 || s.NZ != 0 || s.N != 0 || s.Virtualization != 0 || s.PEs != 0 || s.LBEvery != 0 || s.LBStrategy != "" || s.Skew != 0 {
 		return fmt.Errorf("pingpong takes size/iters/mode only")
 	}
 	return nil
@@ -253,7 +254,23 @@ func normalizeStencil(env Env, s *Spec) error {
 		s.Iters = 3
 	}
 	if s.Size != 0 || s.N != 0 {
-		return fmt.Errorf("stencil takes pes/nx/ny/nz/vr/iters/warmup/validate/mode only")
+		return fmt.Errorf("stencil takes pes/nx/ny/nz/vr/iters/warmup/validate/mode/lb_*/skew only")
+	}
+	if s.LBEvery < 0 || s.LBEvery > maxIters {
+		return fmt.Errorf("lb_every out of range [0, %d]", maxIters)
+	}
+	if s.LBEvery > 0 && s.LBStrategy == "" {
+		s.LBStrategy = "greedy"
+	}
+	strat, err := lb.ParseStrategy(s.LBStrategy)
+	if err != nil {
+		return err
+	}
+	if s.LBEvery > 0 && strat == nil {
+		return fmt.Errorf("lb_every needs a strategy (have: greedy)")
+	}
+	if s.Skew < 0 || s.Skew > 1e6 {
+		return fmt.Errorf("skew out of range [0, 1e6]")
 	}
 	return nil
 }
@@ -273,6 +290,8 @@ func runStencil(env Env, s Spec) (Outcome, []error) {
 		Backend:  env.Backend,
 		Net:      env.Net,
 		Kill:     s.chaosKill,
+		LBEvery:  s.LBEvery, LBStrategy: s.LBStrategy,
+		Skew: s.Skew,
 	})
 	out := Outcome{
 		OK:       len(res.Errors) == 0,
@@ -316,7 +335,7 @@ func normalizeMatmul(env Env, s *Spec) error {
 	if (s.N/g[0])%g[1] != 0 || (s.N/g[2])%g[0] != 0 || (s.N/g[0])%g[2] != 0 {
 		return fmt.Errorf("n=%d incompatible with the PE grid %v shard split (try a power of two)", s.N, g)
 	}
-	if s.Size != 0 || s.NX != 0 || s.NY != 0 || s.NZ != 0 || s.Virtualization != 0 {
+	if s.Size != 0 || s.NX != 0 || s.NY != 0 || s.NZ != 0 || s.Virtualization != 0 || s.LBEvery != 0 || s.LBStrategy != "" || s.Skew != 0 {
 		return fmt.Errorf("matmul takes pes/n/iters/warmup/validate/mode only")
 	}
 	return nil
@@ -371,7 +390,7 @@ func normalizeFem(env Env, s *Spec) error {
 	if s.Iters == 0 {
 		s.Iters = 3
 	}
-	if s.Size != 0 || s.N != 0 {
+	if s.Size != 0 || s.N != 0 || s.LBEvery != 0 || s.LBStrategy != "" || s.Skew != 0 {
 		return fmt.Errorf("fem takes pes/nx/ny/vr/iters/warmup/validate/mode only")
 	}
 	return nil

@@ -82,9 +82,9 @@ type Server struct {
 // latStats is a fixed-bucket latency histogram plus running moments,
 // per job kind.
 type latStats struct {
-	count, errs          int64
-	sumMS, minMS, maxMS  float64
-	buckets              [len(latBounds) + 1]int64
+	count, errs         int64
+	sumMS, minMS, maxMS float64
+	buckets             [len(latBounds) + 1]int64
 }
 
 // latBounds are the histogram upper bounds in milliseconds.

@@ -52,6 +52,14 @@ type Spec struct {
 	// Kill fires the kill -9 chaos tier mid-job: "RANK@STEP" (net
 	// backend only). The daemon recovers and the job retries.
 	Kill string `json:"kill,omitempty"`
+	// LBEvery runs a measurement-based load-balancing round every
+	// LBEvery reduction barriers, LBStrategy names the rebalancer
+	// (default "greedy" when LBEvery is set), and Skew makes the first
+	// half of the chare order perform Skew times extra compute so the
+	// balancer has something to move (stencil only).
+	LBEvery    int     `json:"lb_every,omitempty"`
+	LBStrategy string  `json:"lb_strategy,omitempty"`
+	Skew       float64 `json:"skew,omitempty"`
 
 	// chaosKill is Kill parsed once per job by PrepareKill. One object
 	// must span all recovery attempts: Kill.Fire is one-shot per

@@ -49,6 +49,21 @@ const (
 	CntPoolPuts     = "pool.puts"
 	CntPoolMisses   = "pool.misses"
 	CntPoolOversize = "pool.oversize"
+
+	// Load balancer (internal/lb). Migrations counts elements actually
+	// moved, bytes the pupped state shipped, rounds the LB barriers run.
+	// The spread counters record per-mille max/mean load imbalance as
+	// observed at the decision point, before and after applying the plan
+	// (predicted), so a bench or /metrics scrape can see what the
+	// balancer thought it improved.
+	CntLBRounds       = "lb.rounds"
+	CntLBMigrations   = "lb.migrations"
+	CntLBBytesMoved   = "lb.bytes_moved"
+	CntLBForwards     = "lb.forwards"
+	CntLBSpreadBefore = "lb.spread_before_permille"
+	CntLBSpreadAfter  = "lb.spread_after_permille"
+	CntLBRehomedRecv  = "lb.rehomed_recv_handles"
+	CntLBRehomedSend  = "lb.rehomed_send_handles"
 )
 
 // Recorder accumulates named statistics. The zero value is not usable;
