@@ -157,6 +157,7 @@ func main() {
 			fmt.Printf("  ckd: %v per iteration\n", ckd.IterTime)
 			fmt.Printf("  improvement: %.2f%%\n", pct)
 		}
+		printNetStats(node)
 		reportErrors("stencil", closeNode(node, append(msg.Errors, ckd.Errors...)))
 		return
 	}
@@ -205,7 +206,26 @@ func main() {
 				res.Counters[trace.CntLBForwards])
 		}
 	}
+	printNetStats(node)
 	reportErrors("stencil", closeNode(node, res.Errors))
+}
+
+// printNetStats emits one machine-readable mesh-counter line per rank
+// on stderr before teardown. Every rank prints (stderr is shared by
+// self-spawned workers), so a script can sum conns_opened across the
+// world — CI's scale-smoke job greps these lines to assert that a
+// 16-rank stencil halo opens far fewer sockets than the N·(N−1) full
+// mesh and that rank 0's termination probe fan-in respects the tree.
+func printNetStats(node *netrt.Node) {
+	if node == nil {
+		return
+	}
+	s := node.Stats()
+	fmt.Fprintf(os.Stderr,
+		"stencil: net-stats rank=%d world=%d conns_opened=%d dialed=%d accepted=%d term_fanout=%d probe_rounds=%d probe_reports=%d dialreqs=%d\n",
+		node.Rank(), node.World(), s.ConnsDialed+s.ConnsAccepted,
+		s.ConnsDialed, s.ConnsAccepted, s.TermFanout,
+		s.TermProbeRounds, s.TermProbeReports, s.DialReqs)
 }
 
 // closeNode tears the net-backend mesh down (reaping self-spawned

@@ -166,6 +166,7 @@ func All() []Experiment {
 		{"allocs", "Allocator pressure of the live backends vs pre-pool baselines (DESIGN.md §9)", func(s Scale) []*Table { return Allocs(s) }},
 		{"serve", "ckserve daemon throughput: warmed mesh vs boot-per-run (DESIGN.md §11)", func(s Scale) []*Table { return ServeBench(s) }},
 		{"lb", "Skewed stencil under measurement-based load balancing (DESIGN.md §13)", func(s Scale) []*Table { return LBBench(s) }},
+		{"scale", "World-size sweep: lazy dialing, tree termination, adaptive batching (DESIGN.md §14)", func(s Scale) []*Table { return ScaleBench(s) }},
 	}
 }
 

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/apps/pingpong"
+	"repro/internal/apps/stencil"
+	"repro/internal/charm"
+	"repro/internal/netmodel"
+	"repro/internal/netrt"
+	"repro/internal/serve"
+)
+
+// ScaleBench sweeps world size on the net backend and archives the two
+// things the scale work claims: the applications keep working (and
+// their wall-clock numbers stay sane) as ranks grow, and the mesh's
+// bookkeeping grows like the communication pattern, not like the world
+// squared. Each world boots one in-process mesh, runs pingpong across
+// its full rank span, a validated stencil over one PE per rank, and a
+// ckserve job stream, then snapshots the netrt scale counters: total
+// sockets opened under lazy dialing versus the N·(N−1) a full mesh
+// would have opened, and the termination-tree root's per-round probe
+// fan-in versus its -net.termfanout bound.
+func ScaleBench(scale Scale) []*Table {
+	worlds := []int{4, 8, 16}
+	ppIters, stIters, stWarm := 50, 2, 1
+	nx, ny, nz := 16, 16, 8
+	serveJobs := 4
+	if scale == Paper {
+		worlds = []int{8, 16, 32, 64}
+		ppIters, stIters, stWarm = 200, 4, 2
+		nx, ny, nz = 24, 24, 12
+		serveJobs = 8
+	}
+	cols := make([]string, len(worlds))
+	for i, w := range worlds {
+		cols[i] = fmt.Sprintf("%d", w)
+	}
+
+	apps := &Table{
+		ID:      "scale-apps",
+		Title:   "Application wall clock vs world size on the net backend",
+		ColHead: "Ranks",
+		Columns: cols,
+		Unit:    "see row labels, wall clock",
+		Notes: []string{
+			"every rank is a goroutine world in ONE process on one host: past a few ranks the CPUs are heavily oversubscribed, so absolute times measure the runtime's behavior under oversubscription, not cluster speed — the honest reading is \"does it degrade gracefully\", not \"does it scale linearly\"",
+			"the realrt no-progress watchdog is widened to 4s per rank (Config.StallTimeout): on an oversubscribed host a starved-but-healthy PE can wait past the 30s default for a peer that is merely time-slicing, and the default would misread that as deadlock",
+			fmt.Sprintf("pingpong is ckdirect mode between rank 0 and the highest rank (one PE per rank), %d round trips of 8 KiB", ppIters),
+			fmt.Sprintf("stencil is the validated halo exchange, domain %dx%dx%d, one PE per rank, virtualization 2", nx, ny, nz),
+			fmt.Sprintf("ckserve is %d validated stencil jobs against a warmed world-sized mesh, reported as jobs/s", serveJobs),
+		},
+	}
+	mesh := &Table{
+		ID:      "scale-mesh",
+		Title:   "Mesh bookkeeping vs world size: lazy dialing and the termination tree",
+		ColHead: "Ranks",
+		Columns: cols,
+		Unit:    "counts",
+		Notes: []string{
+			"sockets are summed over all ranks, so every TCP edge counts twice (dialer + acceptor); the full-mesh reference N·(N−1) counts the same way",
+			"pingpong's span edge plus the stencil's neighbor halo touch a sliver of the possible edges: lazy dialing must keep sockets near the star's 2·(N−1), far under the full mesh",
+			"root probe fan-in is rank 0's termination-tree reports per probe round, bounded by -net.termfanout regardless of world size",
+			fmt.Sprintf("shm rings are shrunk to 64 KiB (arena 128 KiB) so a 64-rank in-process world maps bounded memory; term fanout is the default %d", netrt.DefaultTermFanout),
+		},
+	}
+
+	ppRow := make([]float64, len(worlds))
+	stRow := make([]float64, len(worlds))
+	svRow := make([]float64, len(worlds))
+	connRow := make([]float64, len(worlds))
+	fullRow := make([]float64, len(worlds))
+	fanRow := make([]float64, len(worlds))
+	dialReqRow := make([]float64, len(worlds))
+
+	for i, world := range worlds {
+		fmt.Fprintf(os.Stderr, "scale: world %d: boot\n", world)
+		// Every rank time-slices the same host CPUs, so a PE can
+		// legitimately wait far past realrt's 30s no-progress default
+		// for a peer's halo face while dozens of sibling ranks run.
+		// Widen the deadlock watchdog in proportion to the
+		// oversubscription; a real hang still trips it.
+		cfg := netrt.Config{
+			ShmRingBytes:  64 << 10,
+			ShmArenaBytes: 128 << 10,
+			StallTimeout:  time.Duration(world) * 4 * time.Second,
+		}
+		nodes, err := netrt.StartLocalConfig(world, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: scale world of %d: %v", world, err))
+		}
+		fmt.Fprintf(os.Stderr, "scale: world %d: pingpong\n", world)
+		ppRow[i] = scalePingpong(nodes, ppIters)
+		fmt.Fprintf(os.Stderr, "scale: world %d: stencil\n", world)
+		stRow[i] = scaleStencil(nodes, nx, ny, nz, stIters, stWarm)
+
+		var conns int64
+		for _, n := range nodes {
+			conns += n.ConnsOpened()
+		}
+		root := nodes[0].Stats()
+		connRow[i] = float64(conns)
+		fullRow[i] = float64(world * (world - 1))
+		if root.TermProbeRounds > 0 {
+			fanRow[i] = float64(root.TermProbeReports) / float64(root.TermProbeRounds)
+		}
+		var reqs int64
+		for _, n := range nodes {
+			reqs += n.Stats().DialReqs
+		}
+		dialReqRow[i] = float64(reqs)
+		for _, n := range nodes {
+			n.Close()
+		}
+
+		svRow[i] = scaleServe(world, serveJobs, cfg)
+	}
+
+	apps.AddRow("pingpong (us RTT)", ppRow...)
+	apps.AddRow("stencil (ms/iter)", stRow...)
+	apps.AddRow("ckserve (jobs/s)", svRow...)
+	mesh.AddRow("sockets opened (2x per edge)", connRow...)
+	mesh.AddRow("full-mesh sockets N(N-1)", fullRow...)
+	mesh.AddRow("root probe fan-in", fanRow...)
+	mesh.AddRow("dial requests relayed", dialReqRow...)
+	return []*Table{apps, mesh}
+}
+
+// scalePingpong runs the ckdirect pingpong between the world's first
+// and last rank: CoresPerNode of world−1 places the two endpoint PEs at
+// 0 and world−1 with one PE per rank, so the round trip crosses the
+// longest lazy edge the world has — an edge no bootstrap opened.
+func scalePingpong(nodes []*netrt.Node, iters int) float64 {
+	plat := *netmodel.AbeIB
+	plat.Name = "host(scale)"
+	plat.CoresPerNode = len(nodes) - 1
+	results := runNetWorld(nodes, pingpong.Config{
+		Platform: &plat,
+		Mode:     pingpong.CkDirect,
+		Size:     8192,
+		Iters:    iters,
+		Backend:  charm.NetBackend,
+	})
+	return results[0].RTTMicros()
+}
+
+// scaleStencil runs the validated halo exchange with one PE per rank.
+func scaleStencil(nodes []*netrt.Node, nx, ny, nz, iters, warmup int) float64 {
+	world := len(nodes)
+	results := make([]stencil.Result, world)
+	var wg sync.WaitGroup
+	for r, n := range nodes {
+		r, n := r, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[r] = stencil.Run(stencil.Config{
+				Platform: netmodel.AbeIB,
+				Mode:     stencil.Ckd,
+				PEs:      world, Virtualization: 2,
+				NX: nx, NY: ny, NZ: nz,
+				Iters: iters, Warmup: warmup,
+				Validate: true,
+				Backend:  charm.NetBackend,
+				Net:      n,
+			})
+		}()
+	}
+	wg.Wait()
+	for r, res := range results {
+		if len(res.Errors) > 0 {
+			panic(fmt.Sprintf("bench: scale stencil world %d rank %d: %v", world, r, res.Errors))
+		}
+	}
+	return results[0].IterTime.Millis()
+}
+
+// scaleServe times a short validated-stencil job stream against a
+// warmed world-sized serving mesh, one priming job outside the window.
+func scaleServe(world, jobs int, cfg netrt.Config) float64 {
+	srv, stop := serveNetWorldCfg(world, cfg)
+	defer stop()
+	spec := serve.Spec{Kind: "stencil", Validate: true}
+	serveJob(srv, spec)
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		serveJob(srv, spec)
+	}
+	return float64(jobs) / time.Since(start).Seconds()
+}

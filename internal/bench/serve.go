@@ -131,12 +131,23 @@ func serveRealWorld() (*serve.Server, func()) {
 	return srv, srv.Close
 }
 
-// serveNetWorld boots a 3-rank in-process serving mesh: followers on
-// the worker ranks, the server core on rank 0. stop tears the whole
-// thing down in the daemon's shutdown order.
+// serveNetWorld boots the default 3-rank serving mesh.
 func serveNetWorld() (*serve.Server, func()) {
-	const world = 3
-	nodes, err := netrt.StartLocal(world)
+	return serveNetWorldN(3)
+}
+
+// serveNetWorldN boots a world-rank in-process serving mesh: followers
+// on the worker ranks, the server core on rank 0. stop tears the whole
+// thing down in the daemon's shutdown order.
+func serveNetWorldN(world int) (*serve.Server, func()) {
+	return serveNetWorldCfg(world, netrt.Config{})
+}
+
+// serveNetWorldCfg is serveNetWorldN with a base node config — the
+// scale bench uses it to shrink shm segments and widen the stall
+// watchdog for deliberately oversubscribed worlds.
+func serveNetWorldCfg(world int, base netrt.Config) (*serve.Server, func()) {
+	nodes, err := netrt.StartLocalConfig(world, base)
 	if err != nil {
 		panic(fmt.Sprintf("bench: serve net world: %v", err))
 	}

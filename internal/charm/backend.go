@@ -246,6 +246,25 @@ func (b *netBackend) run() sim.Time {
 	for _, err := range b.nrt.Errors() {
 		b.rts.ReportError(err)
 	}
+	if rec := b.rts.rec; rec != nil {
+		// Mesh scale counters. These are cumulative over the node's
+		// lifetime (connections opened at bootstrap included), not
+		// per-run deltas: the recorder is fresh for each app run, and the
+		// absolute values are what the scale claims are about — how many
+		// sockets THIS communication pattern needed in total, and how
+		// wide the termination tree's root fan-in ran.
+		s := b.nrt.NetStats()
+		rec.Incr(trace.CntNetConnsOpened, s.ConnsDialed+s.ConnsAccepted)
+		rec.Incr(trace.CntNetConnsDialed, s.ConnsDialed)
+		rec.Incr(trace.CntNetConnsAccepted, s.ConnsAccepted)
+		rec.Incr(trace.CntNetDialReqs, s.DialReqs)
+		rec.Incr(trace.CntNetProbeRounds, s.TermProbeRounds)
+		rec.Incr(trace.CntNetProbeReports, s.TermProbeReports)
+		rec.Incr(trace.CntNetShmCoalesced, s.ShmFramesCoalesced)
+		rec.Incr(trace.CntNetBatchGrows, s.BatchGrows)
+		rec.Incr(trace.CntNetBatchShrinks, s.BatchShrinks)
+		rec.Incr(trace.CntNetEagerShrinks, s.EagerShrinks)
+	}
 	return t
 }
 

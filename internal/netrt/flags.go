@@ -18,6 +18,8 @@ import (
 //	-net.shmring   per-direction shm ring bytes (rounded up to a power of two)
 //	-net.shmarena  per-direction shm put-arena bytes
 //	-net.seed   base seed for the node's deterministic RNG streams
+//	-net.termfanout  termination-tree fanout (default 8)
+//	-net.lazy   lazy first-contact worker-to-worker dialing (default on)
 func RegisterFlags() *Config {
 	cfg := &Config{}
 	flag.IntVar(&cfg.Rank, "net.rank", -1, "net backend: this process's rank (-1 = self-spawn workers)")
@@ -34,5 +36,14 @@ func RegisterFlags() *Config {
 	flag.IntVar(&cfg.ShmRingBytes, "net.shmring", 0, "net backend: per-direction shm ring bytes (0 = 1 MiB default)")
 	flag.IntVar(&cfg.ShmArenaBytes, "net.shmarena", 0, "net backend: per-direction shm put-arena bytes (0 = 4 MiB default)")
 	flag.Uint64Var(&cfg.Seed, "net.seed", 0, "net backend: base RNG seed for backoff jitter and shm tokens (0 = built-in)")
+	flag.IntVar(&cfg.TermFanout, "net.termfanout", DefaultTermFanout, "net backend: termination-tree fanout (children per interior rank)")
+	// Like -net.shm, the zero Config enables lazy dialing, so the flag
+	// inverts into LazyOff. Static -net.peers launches stay eager
+	// regardless (they have no coordinator star to relay dial requests).
+	flag.BoolFunc("net.lazy", "net backend: open worker-to-worker connections on first contact (default true)", func(s string) error {
+		v, err := strconv.ParseBool(s)
+		cfg.LazyOff = !v
+		return err
+	})
 	return cfg
 }

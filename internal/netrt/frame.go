@@ -118,6 +118,15 @@ const (
 	// identical location updates (SPMD bookkeeping). A counted app
 	// frame, like the FCast it is morally a specialization of.
 	FLoc
+	// FDialReq asks a lower rank to establish a lazy mesh edge: A = the
+	// rank that should dial, B = the rank asking to be dialed. Under
+	// lazy dialing the connection initiator is always the lower rank
+	// (that convention keeps the shm offer/accept roles of the eager
+	// bootstrap), so when a higher rank needs first contact it relays
+	// this request through the coordinator's always-open star: requester
+	// → rank 0 → rank A, which then dials the requester and flushes both
+	// sides' stashed frames.
+	FDialReq
 	frameTypeMax
 )
 

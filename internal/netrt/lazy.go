@@ -1,0 +1,338 @@
+package netrt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/bufpool"
+)
+
+// Lazy dialing: the coordinator still distributes the full address map
+// at bootstrap, but worker-to-worker sockets open at first contact
+// instead of eagerly, so a world whose communication graph is sparse (a
+// stencil halo, a reduction tree) opens O(N) connections instead of the
+// O(N²) full mesh. The star (rank 0 <-> every worker) stays eager: it
+// carries bootstrap, job traffic, the FBye relay, and dial requests.
+//
+// The connection initiator is ALWAYS the lower rank of an edge — the
+// same convention as the eager bootstrap, which keeps the shm
+// offer/accept roles (lower offers, higher accepts) working verbatim on
+// the raw conn at first contact and makes simultaneous-open glare
+// impossible. When the HIGHER rank needs an edge first, it sends an
+// FDialReq through rank 0's star; the lower rank receives it and dials.
+// Frames sent while the edge is in flight stash, in order, in the
+// sender's per-rank lazySlot and flush before the connection publishes.
+const (
+	// lazyHandshakeTimeout bounds the first-frame read on an inbound
+	// connection (FHello or FJoin), so a port-scanner's idle socket
+	// cannot pin the accept goroutine.
+	lazyHandshakeTimeout = 10 * time.Second
+	// lazyReqTimeout bounds how long a requester waits for the lower
+	// rank to dial back after an FDialReq before declaring the peer
+	// lost. It comfortably exceeds a full dialRetry backoff run.
+	lazyReqTimeout = 45 * time.Second
+)
+
+// lazySlot serializes edge establishment toward one peer rank.
+type lazySlot struct {
+	mu      sync.Mutex
+	stash   [][]byte // encoded frames awaiting the edge, in send order
+	dialing bool     // an establishment attempt (dial or FDialReq) is in flight
+}
+
+// inboundJoin is an FJoin taken off the accept loop, parked for a
+// rejoin in progress.
+type inboundJoin struct {
+	p *peerConn
+	f Frame
+}
+
+// lazyEnqueue stashes one encoded frame for a rank whose edge does not
+// exist yet and kicks establishment. Ownership of b transfers on true.
+func (n *Node) lazyEnqueue(rank int, b []byte) bool {
+	s := &n.lazySlots[rank]
+	s.mu.Lock()
+	// The edge may have published while we took the slot lock.
+	if t := n.peerTable(); t != nil && t[rank] != nil {
+		s.mu.Unlock()
+		return t[rank].send(b)
+	}
+	n.mu.Lock()
+	closing := n.closing
+	dead := n.dead[rank]
+	epoch := n.epoch.Load()
+	n.mu.Unlock()
+	if closing || dead {
+		s.mu.Unlock()
+		return false
+	}
+	s.stash = append(s.stash, b)
+	if !s.dialing {
+		s.dialing = true
+		if n.rank < rank {
+			go n.lazyDial(rank, epoch)
+		} else {
+			// The lower rank must dial: relay the request through the
+			// coordinator's star (off the slot lock — rank 0's outbox
+			// can block) and watchdog the round trip.
+			n.dialReqs.Add(1)
+			req := Frame{Type: FDialReq, A: int64(rank), B: int64(n.rank)}
+			go n.sendTo(0, &req)
+			go n.lazyReqWatchdog(rank, epoch)
+		}
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// lazyDial establishes the edge to a higher rank: dial, FHello, shm
+// offer, then install. Runs on its own goroutine, throttled by the
+// dialSem so an N-edge burst doesn't thundering-herd the accept queues.
+func (n *Node) lazyDial(rank int, epoch int64) {
+	n.dialSem <- struct{}{}
+	defer func() { <-n.dialSem }()
+	n.mu.Lock()
+	var addr string
+	if rank < len(n.addrs) {
+		addr = n.addrs[rank]
+	}
+	n.mu.Unlock()
+	if n.epoch.Load() != epoch {
+		n.lazyAbandon(rank)
+		return
+	}
+	if addr == "" {
+		n.lazyDialFailed(rank, epoch, fmt.Errorf("no address for rank %d", rank))
+		return
+	}
+	conn, err := n.dialRetry(addr)
+	if err != nil {
+		n.lazyDialFailed(rank, epoch, err)
+		return
+	}
+	p := newPeerConn(n, rank, conn)
+	p.epoch = epoch
+	if err := writeFrame(conn, &Frame{Type: FHello, A: int64(n.rank)}); err != nil {
+		conn.Close()
+		n.lazyDialFailed(rank, epoch, err)
+		return
+	}
+	// Lower rank of the edge: offer the shared segment, synchronously on
+	// the raw conn, exactly as the eager bootstrap would have.
+	if err := n.shmOffer(p); err != nil {
+		conn.Close()
+		n.lazyDialFailed(rank, epoch, err)
+		return
+	}
+	n.connsDialed.Add(1)
+	n.installLazy(rank, p)
+}
+
+// installLazy publishes a freshly established edge (dialed or accepted):
+// start the connection goroutines, flush the stash in order, publish
+// the connection table copy-on-write, clear the in-flight flag. The
+// slot lock is held across the flush so concurrent senders keep
+// stashing (or blocking) until order is guaranteed; the started writer
+// drains the outbox concurrently, so the flush cannot deadlock.
+func (n *Node) installLazy(rank int, p *peerConn) {
+	s := &n.lazySlots[rank]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n.mu.Lock()
+	stale := p.epoch != n.epoch.Load() || n.closing || n.peers[rank] != nil
+	n.mu.Unlock()
+	if stale {
+		// A rejoin reset the mesh while this edge was in flight (or a
+		// duplicate raced in): this connection belongs to a dead epoch.
+		// Close it; the stash, if any, drains with the slot reset.
+		if l := p.shm.Load(); l != nil {
+			l.teardownNoReader()
+		}
+		p.quiet.Store(true)
+		p.conn.Close()
+		s.dialing = false
+		return
+	}
+	p.start()
+	for _, b := range s.stash {
+		if !p.send(b) {
+			bufpool.Put(b)
+		}
+	}
+	s.stash = nil
+	n.mu.Lock()
+	if p.epoch == n.epoch.Load() && !n.closing {
+		n.peers[rank] = p
+		n.publishPeers()
+	} else {
+		p.close()
+	}
+	n.mu.Unlock()
+	s.dialing = false
+}
+
+// lazyAbandon clears a slot whose establishment attempt was obsoleted
+// by a mesh epoch bump; the rejoin path already drained the stash.
+func (n *Node) lazyAbandon(rank int) {
+	s := &n.lazySlots[rank]
+	s.mu.Lock()
+	s.dialing = false
+	s.mu.Unlock()
+}
+
+// lazyDialFailed surfaces a failed establishment exactly like a broken
+// live connection: drop the stash, record the dead peer, abort the
+// attached run, cascade the FBye.
+func (n *Node) lazyDialFailed(rank int, epoch int64, err error) {
+	s := &n.lazySlots[rank]
+	s.mu.Lock()
+	for _, b := range s.stash {
+		bufpool.Put(b)
+	}
+	s.stash = nil
+	s.dialing = false
+	s.mu.Unlock()
+	ne := &NetError{Rank: n.rank, Peer: rank, Op: "dial", Err: err}
+	n.mu.Lock()
+	if n.epoch.Load() != epoch || n.closing {
+		n.mu.Unlock()
+		return
+	}
+	rt := n.attached
+	if n.deadErr == nil {
+		n.deadErr = ne
+	}
+	n.dead[rank] = true
+	n.mu.Unlock()
+	if rt != nil {
+		rt.abort(ne)
+		n.broadcastBye(rank, ne)
+	}
+}
+
+// lazyReqWatchdog bounds the FDialReq round trip: if the lower rank has
+// not dialed back within lazyReqTimeout, the peer (or the coordinator
+// relay) is gone and the stashed frames' run must abort rather than
+// hang in termination detection.
+func (n *Node) lazyReqWatchdog(rank int, epoch int64) {
+	deadline := time.Now().Add(lazyReqTimeout)
+	for time.Now().Before(deadline) {
+		time.Sleep(200 * time.Millisecond)
+		if n.epoch.Load() != epoch {
+			return
+		}
+		if t := n.peerTable(); t != nil && t[rank] != nil {
+			return
+		}
+		s := &n.lazySlots[rank]
+		s.mu.Lock()
+		done := !s.dialing
+		s.mu.Unlock()
+		if done {
+			return
+		}
+	}
+	n.lazyDialFailed(rank, epoch, fmt.Errorf("rank %d never dialed back after dial request", rank))
+}
+
+// onDialReq handles an FDialReq: rank 0 relays it to the rank that
+// should dial; that rank kicks (idempotently) a lazyDial toward the
+// requester.
+func (n *Node) onDialReq(f Frame) {
+	dialer, requester := int(f.A), int(f.B)
+	if dialer < 0 || dialer >= n.world || requester <= dialer || requester >= n.world {
+		return
+	}
+	if n.rank == 0 && dialer != 0 {
+		n.sendOpen(dialer, &Frame{Type: FDialReq, A: f.A, B: f.B})
+		return
+	}
+	if dialer != n.rank || !n.lazy {
+		return
+	}
+	s := &n.lazySlots[requester]
+	s.mu.Lock()
+	t := n.peerTable()
+	if (t == nil || t[requester] == nil) && !s.dialing {
+		s.dialing = true
+		go n.lazyDial(requester, n.epoch.Load())
+	}
+	s.mu.Unlock()
+}
+
+// acceptLoop owns the retained listener after bootstrap: inbound
+// connections are first-contact dials (FHello) from lower ranks, or
+// FJoins from respawned ranks rejoining under recovery, which park on
+// joinC for the rejoin coordinator. It exits when the listener closes
+// (Close or Die). The listener is captured by the caller while Start
+// is still single-threaded — Close nils n.ln concurrently.
+func (n *Node) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go n.handleInbound(conn)
+	}
+}
+
+// handleInbound classifies one inbound connection by its first frame.
+func (n *Node) handleInbound(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(lazyHandshakeTimeout))
+	p := newPeerConn(n, -1, conn)
+	f, err := readFrame(p.br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch f.Type {
+	case FHello:
+		n.acceptLazy(p, f)
+	case FJoin:
+		conn.SetReadDeadline(time.Time{})
+		f.Payload = append([]byte(nil), f.Payload...)
+		select {
+		case n.joinC <- inboundJoin{p: p, f: f}:
+		default:
+			conn.Close() // no rejoin in progress could be this far behind
+		}
+	default:
+		conn.Close()
+	}
+}
+
+// acceptLazy runs the higher rank's side of a first-contact edge: the
+// dialer is the lower rank and just offered the shared segment, so
+// accept (or decline) it on the raw conn, then install.
+func (n *Node) acceptLazy(p *peerConn, f Frame) {
+	r := int(f.A)
+	if r < 0 || r >= n.rank || !n.lazy {
+		p.conn.Close()
+		return
+	}
+	p.rank = r
+	if err := n.shmAccept(p); err != nil {
+		p.conn.Close()
+		return
+	}
+	p.conn.SetReadDeadline(time.Time{})
+	n.connsAccepted.Add(1)
+	n.installLazy(r, p)
+}
+
+// drainLazyStashes returns every stashed frame's pooled buffer; Close,
+// Die and Rejoin call it once no flush can happen anymore.
+func (n *Node) drainLazyStashes() {
+	for i := range n.lazySlots {
+		s := &n.lazySlots[i]
+		s.mu.Lock()
+		for _, b := range s.stash {
+			bufpool.Put(b)
+		}
+		s.stash = nil
+		s.dialing = false
+		s.mu.Unlock()
+	}
+}

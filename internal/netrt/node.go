@@ -76,7 +76,38 @@ type Config struct {
 	// handshake tokens); 0 selects a fixed default. Each rank derives
 	// its own stream, so chaos runs replay from the run seed.
 	Seed uint64
+	// TermFanout caps the fan-out of the k-ary termination tree (0 =
+	// DefaultTermFanout). Probe rounds aggregate up this tree, so rank
+	// 0's per-round fan-in is at most TermFanout regardless of world
+	// size; worlds of at most TermFanout+1 ranks degenerate to the flat
+	// star protocol exactly.
+	TermFanout int
+	// StallTimeout widens the hosted runtime's no-progress watchdog (0
+	// = the realrt default). A many-rank in-process world on a few
+	// cores is legitimately slow — a PE can wait minutes for a peer's
+	// halo face while every other rank time-slices the same CPU — so
+	// deliberately oversubscribed runs (the scale bench) widen the
+	// window instead of letting a healthy-but-starved run be declared
+	// deadlocked.
+	StallTimeout time.Duration
+	// LazyOff disables on-demand connection establishment in the
+	// coordinator bootstrap modes: the full worker-to-worker mesh is
+	// dialed at Start, as before lazy dialing existed. Static -net.peers
+	// launches are always eager (their bootstrap is the address
+	// exchange). The coordinator's star (rank 0 <-> every worker) is
+	// eager in every mode.
+	LazyOff bool
 }
+
+// DefaultTermFanout is the default width of the k-ary termination tree.
+// Eight keeps the tree two levels deep up to 72 ranks and three levels
+// to 584 while the root's per-round fan-in stays constant.
+const DefaultTermFanout = 8
+
+// lazyDialBurst caps the number of concurrent lazy dialRetry loops per
+// node, so a collective that suddenly needs many new edges (or a
+// 256-rank bootstrap wave) doesn't thundering-herd the accept queues.
+const lazyDialBurst = 8
 
 // Node is one process's membership in the distributed world: the full
 // connection mesh, the bootstrap state, and the attach point for the
@@ -141,6 +172,43 @@ type Node struct {
 	// for the node's lifetime (it serves every mesh epoch).
 	shmMu  sync.Mutex
 	shmSrv *shmServer
+
+	// Lazy dialing state (nil/unused when lazy is off). addrs is the
+	// address table the coordinator broadcast at bootstrap — the map a
+	// first-contact dial resolves against; mu guards it across Rejoin
+	// rewrites. lazySlots serializes edge establishment per peer rank:
+	// frames sent before the edge exists stash in the slot and flush, in
+	// order, once the connection publishes. joinC carries inbound FJoins
+	// from the accept loop to a rejoin in progress (bootstrap joins are
+	// accepted directly — the loop isn't running yet). dialSem is the
+	// lazyDialBurst semaphore.
+	lazy      bool
+	addrs     []string
+	lazySlots []lazySlot
+	joinC     chan inboundJoin
+	dialSem   chan struct{}
+
+	// termFanout is the k of the termination tree; termAggs holds this
+	// node's in-flight probe aggregations, keyed by (run, probe epoch).
+	// Node-level, not Runtime-level: an interior rank forwards probes
+	// and merges child reports even for a generation it has not attached
+	// yet (it reports itself non-idle with zero counters, exactly as the
+	// flat protocol did).
+	termFanout int
+	termMu     sync.Mutex
+	termAggs   map[termKey]*probeAgg
+
+	// Scaling counters, all cumulative over the node's lifetime (they
+	// span bootstrap, runs, and rejoins). See trace.CntNet* for meaning.
+	connsDialed   atomic.Int64
+	connsAccepted atomic.Int64
+	dialReqs      atomic.Int64
+	probeRounds   atomic.Int64
+	probeReports  atomic.Int64
+	shmCoalesced  atomic.Int64
+	batchGrows    atomic.Int64
+	batchShrinks  atomic.Int64
+	eagerShrinks  atomic.Int64
 }
 
 // rand64 draws from the node's private generator.
@@ -194,10 +262,23 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.EagerMax == 0 {
 		cfg.EagerMax = DefaultEagerMax
 	}
+	if cfg.TermFanout == 0 {
+		cfg.TermFanout = DefaultTermFanout
+	}
 	n := &Node{rank: cfg.Rank, world: world, eagerMax: cfg.EagerMax, completedGen: -1,
-		cfg: cfg, dead: make(map[int]bool)}
+		cfg: cfg, dead: make(map[int]bool),
+		termFanout: cfg.TermFanout, termAggs: make(map[termKey]*probeAgg)}
 	if n.rank < 0 {
 		n.rank = 0 // self-spawn: this process becomes rank 0
+	}
+	// Lazy dialing applies to the coordinator bootstrap modes: the
+	// address table is distributed eagerly, worker-to-worker sockets
+	// open at first contact.
+	n.lazy = world > 1 && len(cfg.Peers) == 0 && !cfg.LazyOff
+	if n.lazy {
+		n.lazySlots = make([]lazySlot, world)
+		n.joinC = make(chan inboundJoin, world)
+		n.dialSem = make(chan struct{}, lazyDialBurst)
 	}
 	seed := cfg.Seed
 	if seed == 0 {
@@ -238,7 +319,7 @@ func Start(cfg Config) (*Node, error) {
 	if err == nil {
 		// Mesh complete, connection goroutines not yet running: negotiate
 		// the per-edge shared segments synchronously on the raw conns.
-		err = n.setupShm()
+		err = n.setupShm(n.peers)
 	}
 	n.publishPeers()
 	if err != nil {
@@ -253,6 +334,12 @@ func Start(cfg Config) (*Node, error) {
 		if p != nil {
 			p.start()
 		}
+	}
+	if n.lazy && n.ln != nil {
+		// The retained listener now serves first-contact dials (FHello)
+		// and, under recovery, rejoin traffic (FJoin) for the node's
+		// lifetime.
+		go n.acceptLoop(n.ln)
 	}
 	return n, nil
 }
@@ -274,6 +361,8 @@ func validateConfig(cfg Config, world int) error {
 	case cfg.ShmRingBytes < 0 || cfg.ShmArenaBytes < 0:
 		return badConfig(cfg.Rank, fmt.Errorf("negative shm sizing (ring %d, arena %d)",
 			cfg.ShmRingBytes, cfg.ShmArenaBytes))
+	case cfg.TermFanout < 0:
+		return badConfig(cfg.Rank, fmt.Errorf("termination fanout %d is negative", cfg.TermFanout))
 	}
 	return nil
 }
@@ -282,9 +371,12 @@ func validateConfig(cfg Config, world int) error {
 // lock-free readers. Bootstrap and Rejoin call it once construction is
 // complete; until then, concurrent senders keep using the previous
 // table (whose connections are down during a rejoin, so their sends
-// drop — the run is aborting anyway).
+// drop — the run is aborting anyway). The published table is always a
+// snapshot copy: lazy dialing keeps mutating n.peers (under mu) as
+// edges open, and in-place writes to a shared slice would race the
+// lock-free readers.
 func (n *Node) publishPeers() {
-	t := n.peers
+	t := append([]*peerConn(nil), n.peers...)
 	n.live.Store(&t)
 }
 
@@ -356,6 +448,7 @@ func (n *Node) bootstrapStatic(cfg Config) error {
 		if err := writeFrame(conn, &Frame{Type: FHello, A: int64(n.rank)}); err != nil {
 			return err
 		}
+		n.connsDialed.Add(1)
 		n.peers[s] = newPeerConn(n, s, conn)
 	}
 	return n.acceptHigher()
@@ -369,6 +462,7 @@ func (n *Node) acceptHigher() error {
 		if err != nil {
 			return err
 		}
+		n.connsAccepted.Add(1)
 		p := newPeerConn(n, -1, conn)
 		f, err := readFrame(p.br)
 		if err != nil || f.Type != FHello {
@@ -387,11 +481,12 @@ func (n *Node) acceptHigher() error {
 	return nil
 }
 
-// closeListener drops the bootstrap listener — unless recovery is on,
-// in which case it stays open so a rebuilt mesh can re-accept on the
-// same address after a rank death.
+// closeListener drops the bootstrap listener — unless recovery or lazy
+// dialing is on: recovery re-accepts on the same address after a rank
+// death, and a lazy mesh takes first-contact dials for the node's whole
+// lifetime.
 func (n *Node) closeListener() {
-	if n.cfg.Recover {
+	if n.cfg.Recover || n.lazy {
 		return
 	}
 	n.ln.Close()
@@ -408,6 +503,12 @@ func (n *Node) bootstrapCoordinator(cfg Config, addr string, spawn bool) error {
 		return err
 	}
 	if spawn {
+		// Surface a too-low fd limit as a typed error up front, not as a
+		// raw EMFILE somewhere mid-dial: the coordinator's star alone
+		// needs a socket per worker, plus listener, shm fds and slack.
+		if err := checkSpawnFDBudget(n.rank, n.world); err != nil {
+			return err
+		}
 		children, err := spawnWorkers(cfg, n.world, n.ln.Addr().String())
 		if err != nil {
 			return err
@@ -421,6 +522,7 @@ func (n *Node) bootstrapCoordinator(cfg Config, addr string, spawn bool) error {
 		if err != nil {
 			return fmt.Errorf("waiting for workers (%d/%d joined): %w", joined, n.world-1, err)
 		}
+		n.connsAccepted.Add(1)
 		p := newPeerConn(n, -1, conn)
 		f, err := readFrame(p.br)
 		if err != nil || f.Type != FJoin {
@@ -436,6 +538,7 @@ func (n *Node) bootstrapCoordinator(cfg Config, addr string, spawn bool) error {
 		n.peers[r] = p
 		addrs[r] = string(f.Payload)
 	}
+	n.addrs = addrs
 	table := strings.Join(addrs, "\n")
 	for r := 1; r < n.world; r++ {
 		if err := writeFrame(n.peers[r].conn, &Frame{Type: FPeers, Payload: []byte(table)}); err != nil {
@@ -457,6 +560,7 @@ func (n *Node) bootstrapWorker(cfg Config) error {
 	if err != nil {
 		return fmt.Errorf("dial coordinator at %s: %w", cfg.Coord, err)
 	}
+	n.connsDialed.Add(1)
 	p := newPeerConn(n, 0, conn)
 	if err := writeFrame(conn, &Frame{Type: FJoin, A: int64(n.rank), Payload: []byte(n.ln.Addr().String())}); err != nil {
 		return err
@@ -470,6 +574,13 @@ func (n *Node) bootstrapWorker(cfg Config) error {
 	if len(addrs) != n.world {
 		return fmt.Errorf("coordinator sent %d peer addresses, world is %d", len(addrs), n.world)
 	}
+	n.addrs = addrs
+	if n.lazy {
+		// Only the coordinator edge opens at bootstrap; worker-to-worker
+		// sockets wait for first contact (acceptLoop takes the inbound
+		// halves for the node's lifetime).
+		return nil
+	}
 	for s := 1; s < n.rank; s++ {
 		conn, err := n.dialRetry(addrs[s])
 		if err != nil {
@@ -478,18 +589,21 @@ func (n *Node) bootstrapWorker(cfg Config) error {
 		if err := writeFrame(conn, &Frame{Type: FHello, A: int64(n.rank)}); err != nil {
 			return err
 		}
+		n.connsDialed.Add(1)
 		n.peers[s] = newPeerConn(n, s, conn)
 	}
 	return n.acceptHigher()
 }
 
-// sendTo queues a frame for a peer rank. A false return means the peer
-// is down; the failure path is already aborting the run, so callers
-// simply drop the frame. The wire bytes live in a pooled buffer owned
-// by the peer writer from the moment send accepts it.
+// sendTo queues a frame for a peer rank, lazily establishing the edge
+// on first contact. A false return means the peer is down; the failure
+// path is already aborting the run, so callers simply drop the frame.
+// The wire bytes live in a pooled buffer owned by the peer writer (or,
+// before the edge exists, the lazy stash) from the moment the send is
+// accepted.
 func (n *Node) sendTo(rank int, f *Frame) bool {
-	p := n.peerTable()[rank]
-	if p == nil {
+	p, stash := n.routePeer(rank)
+	if p == nil && !stash {
 		return false
 	}
 	b, err := encodeFramePooled(f)
@@ -497,7 +611,25 @@ func (n *Node) sendTo(rank int, f *Frame) bool {
 		bufpool.Put(b)
 		panic(fmt.Sprintf("netrt: %v", err))
 	}
-	if !p.send(b) {
+	return n.routeSend(rank, p, b)
+}
+
+// sendOpen queues a frame for a peer rank only if the edge is already
+// open — it never triggers a lazy dial. Teardown traffic (FLeave, the
+// FBye cascade, keepalives) must use this path: opening sockets to
+// ranks we never spoke to, just to say goodbye, would rebuild the full
+// mesh that lazy dialing exists to avoid.
+func (n *Node) sendOpen(rank int, f *Frame) bool {
+	t := n.peerTable()
+	if t == nil || rank < 0 || rank >= len(t) || t[rank] == nil {
+		return false
+	}
+	b, err := encodeFramePooled(f)
+	if err != nil {
+		bufpool.Put(b)
+		panic(fmt.Sprintf("netrt: %v", err))
+	}
+	if !t[rank].send(b) {
 		bufpool.Put(b)
 		return false
 	}
@@ -508,15 +640,43 @@ func (n *Node) sendTo(rank int, f *Frame) bool {
 // and envelope encode in a single pass into one pooled buffer, so an
 // eager send costs no intermediate slice.
 func (n *Node) sendEnv(rank int, typ byte, run int64, env *Env) bool {
-	p := n.peerTable()[rank]
-	if p == nil {
+	p, stash := n.routePeer(rank)
+	if p == nil && !stash {
 		return false
 	}
 	size := EnvWireSize(env)
 	b := bufpool.Get(frameWireLen(size))[:0]
 	b = appendFrameHeader(b, typ, run, 0, 0, 0, 0, size)
 	b = AppendEnv(b, env)
-	if !p.send(b) {
+	return n.routeSend(rank, p, b)
+}
+
+// routePeer resolves a destination rank: an open connection, or
+// (nil, true) when the edge does not exist yet but lazy dialing can
+// create it — the caller encodes the frame and hands it to routeSend.
+func (n *Node) routePeer(rank int) (*peerConn, bool) {
+	t := n.peerTable()
+	if t == nil || rank < 0 || rank >= len(t) {
+		return nil, false
+	}
+	if p := t[rank]; p != nil {
+		return p, false
+	}
+	return nil, n.lazy && rank != n.rank
+}
+
+// routeSend delivers an encoded frame: via the open connection, or into
+// the peer's lazy-dial stash. Ownership of b transfers on true; on
+// false the pooled buffer is returned here.
+func (n *Node) routeSend(rank int, p *peerConn, b []byte) bool {
+	if p != nil {
+		if !p.send(b) {
+			bufpool.Put(b)
+			return false
+		}
+		return true
+	}
+	if !n.lazyEnqueue(rank, b) {
 		bufpool.Put(b)
 		return false
 	}
@@ -542,13 +702,11 @@ func (n *Node) dispatch(p *peerConn, f Frame) bool {
 	case FProbe:
 		n.onProbe(p, f)
 	case FReport:
-		if rt := n.current(f.Run); rt != nil {
-			rt.noteReport(p.rank, f)
-		}
+		n.onReport(p, f)
 	case FHalt:
-		if rt := n.current(f.Run); rt != nil {
-			rt.halt()
-		}
+		n.onHalt(f)
+	case FDialReq:
+		n.onDialReq(f)
 	case FBye:
 		n.onBye(p, f)
 	case FLeave:
@@ -575,22 +733,6 @@ func (n *Node) current(gen int64) *Runtime {
 		return n.attached
 	}
 	return nil
-}
-
-// onProbe answers a termination probe with this process's idle state
-// and frame counters for the probed generation. A generation we have
-// not attached yet reports non-idle — the coordinator cannot halt a
-// run some rank has not even started.
-func (n *Node) onProbe(p *peerConn, f Frame) {
-	rep := Frame{Type: FReport, Run: f.Run, A: f.A}
-	if rt := n.current(f.Run); rt != nil {
-		idle, s, r := rt.localReport()
-		if idle {
-			rep.B = 1
-		}
-		rep.C, rep.D = s, r
-	}
-	n.sendTo(p.rank, &rep)
 }
 
 // dispatchApp delivers an app frame to the matching run, or buffers it
@@ -689,12 +831,16 @@ func (n *Node) peerDown(p *peerConn, op string, err error) {
 }
 
 // onBye handles a peer's abort announcement: adopt the failure and
-// abort the local run. No re-broadcast — in a full mesh every rank
-// hears the origin directly (by FBye or by the broken socket itself).
+// abort the local run. Under lazy dialing the mesh may be sparse — not
+// every rank has an edge to the origin — so rank 0, whose star to every
+// worker is always open, re-broadcasts the first FBye it adopts. The
+// set-once deadErr gate keeps the relay from looping (a relayed FBye
+// arriving back at rank 0 finds deadErr already set).
 func (n *Node) onBye(p *peerConn, f Frame) {
 	ne := &NetError{Rank: n.rank, Peer: int(f.A), Op: "peer-abort", Err: errors.New(string(f.Payload))}
 	n.mu.Lock()
-	if n.deadErr == nil {
+	first := n.deadErr == nil
+	if first {
 		n.deadErr = ne
 	}
 	rt := n.attached
@@ -702,16 +848,28 @@ func (n *Node) onBye(p *peerConn, f Frame) {
 	if rt != nil {
 		rt.abort(ne)
 	}
+	if first && n.rank == 0 {
+		relay := Frame{Type: FBye, A: f.A, Payload: f.Payload}
+		for r, q := range n.peerTable() {
+			if q == nil || r == p.rank || r == int(f.A) || q.failed.Load() {
+				continue
+			}
+			n.sendOpen(r, &relay)
+		}
+	}
 }
 
-// broadcastBye tells every other live rank the run is dead.
+// broadcastBye tells every rank this node can still reach that the run
+// is dead. Deliberately sendOpen: a bye must not lazily open sockets,
+// and it doesn't need to — rank 0 hears it over the always-open star
+// and relays it to the ranks the origin had no edge to (onBye).
 func (n *Node) broadcastBye(exceptRank int, ne *NetError) {
 	f := Frame{Type: FBye, A: int64(n.rank), Payload: []byte(ne.Error())}
 	for r, p := range n.peerTable() {
 		if p == nil || r == exceptRank || p.failed.Load() {
 			continue
 		}
-		n.sendTo(r, &f)
+		n.sendOpen(r, &f)
 	}
 }
 
@@ -833,8 +991,19 @@ func (n *Node) BroadcastJob(seq int64, spec []byte) int {
 }
 
 // SendJobDone reports this worker's outcome for job seq to the
-// coordinator.
+// coordinator. A node whose closing latch is set stays silent: Die sets
+// the latch before it aborts the run, so by the time a killed
+// incarnation's follower unwinds to its report, the check here is
+// definitive — and the report MUST not escape, because the coordinator
+// keys reports by job sequence alone and a dead incarnation's failure
+// would poison a job its respawned successor is about to rerun.
 func (n *Node) SendJobDone(seq int64, report []byte) bool {
+	n.mu.Lock()
+	closing := n.closing
+	n.mu.Unlock()
+	if closing {
+		return false
+	}
 	return n.sendTo(0, &Frame{Type: FJobDone, A: seq, Payload: report})
 }
 
@@ -869,10 +1038,14 @@ func (n *Node) Close() error {
 		}
 		// Say goodbye before closing: the FLeave flushes ahead of the
 		// FIN, so a peer still draining its final run can tell planned
-		// teardown from a lost peer.
-		n.sendTo(r, &Frame{Type: FLeave, A: completed})
+		// teardown from a lost peer. sendOpen — goodbyes go to edges
+		// that exist, never open new ones.
+		n.sendOpen(r, &Frame{Type: FLeave, A: completed})
 		p.close()
 	}
+	// Frames stashed for edges that never opened die with the mesh; give
+	// their pooled buffers back.
+	n.drainLazyStashes()
 	// Wait (bounded) for the writers to put those goodbyes on the wire.
 	// Returning with an FLeave still queued lets the process exit with
 	// it unsent, and the bare FIN the peer then reads is exactly the

@@ -14,8 +14,14 @@ import (
 // startWorld brings up an in-process world via the coordinator
 // bootstrap, failing the test on any rank's error.
 func startWorld(t *testing.T, world int) []*Node {
+	return startWorldConfig(t, world, Config{})
+}
+
+// startWorldConfig boots an in-process world with extra Config applied
+// to every rank and tears it down with the test.
+func startWorldConfig(t *testing.T, world int, base Config) []*Node {
 	t.Helper()
-	nodes, err := StartLocal(world)
+	nodes, err := StartLocalConfig(world, base)
 	if err != nil {
 		t.Fatalf("bootstrap: %v", err)
 	}

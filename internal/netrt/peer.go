@@ -2,6 +2,7 @@ package netrt
 
 import (
 	"bufio"
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -18,13 +19,32 @@ const (
 	outboxCap = 4096
 	// ioBufBytes sizes the per-connection read buffer.
 	ioBufBytes = 64 << 10
-	// maxBatchFrames caps how many queued frames one writev coalesces.
-	// It also bounds the writer's retained state: the batch arrays hold
-	// at most maxBatchFrames slice headers (the frame bytes themselves
-	// are pooled buffers returned right after the writev), so a burst
-	// cannot permanently grow the writer beyond ~2*maxBatchFrames
-	// headers — that fixed cap IS the shrink policy (see DESIGN.md §9).
-	maxBatchFrames = 64
+	// The writev batch window adapts per peer between minBatchFrames
+	// and maxBatchFrames (starting at initBatchFrames): a window that
+	// fills doubles (deep fan-in wants fewer, larger writevs), and
+	// batchShrinkStreak consecutive single-frame batches halve it back
+	// (a latency-bound edge wants the syscall now, and a small window
+	// keeps the kernel from waiting on a batch that will never fill).
+	// maxBatchFrames still bounds the writer's retained state: the
+	// batch arrays hold at most maxBatchFrames slice headers (the frame
+	// bytes themselves are pooled buffers returned right after the
+	// writev), so a burst cannot permanently grow the writer beyond
+	// ~2*maxBatchFrames headers — that fixed cap IS the shrink policy
+	// for memory (see DESIGN.md §9); the window only tunes syscall
+	// coalescing within it.
+	minBatchFrames    = 8
+	initBatchFrames   = 32
+	maxBatchFrames    = 256
+	batchShrinkStreak = 16
+	// eagerFloor and eagerCheckEvery shape the per-peer adaptive eager
+	// threshold (eagerLimit): when an edge's outbox runs deep the
+	// threshold halves toward eagerFloor — mid-size messages divert to
+	// the rendezvous path, whose RTS/CTS round trip is natural flow
+	// control — and recovers toward the configured base once the
+	// backlog clears. The queue depth is sampled every
+	// eagerCheckEvery-th send so the hot path stays two atomic ops.
+	eagerFloor      = 256
+	eagerCheckEvery = 64
 	// keepaliveEvery paces idle FPing frames.
 	keepaliveEvery = 500 * time.Millisecond
 	// peerTimeout is how long a silent peer stays healthy. Keepalives
@@ -86,6 +106,11 @@ type peerConn struct {
 	arenaMu  sync.Mutex
 	arenaGen int64
 	arenaOff int
+
+	// eagerCur/eagerTick drive the adaptive eager threshold for this
+	// edge; see eagerLimit. eagerCur==0 means "at the configured base".
+	eagerCur  atomic.Int64
+	eagerTick atomic.Int64
 }
 
 func newPeerConn(n *Node, rank int, conn net.Conn) *peerConn {
@@ -193,6 +218,8 @@ func (p *peerConn) writer() {
 	owned := make([][]byte, 0, maxBatchFrames)
 	backing := make([][]byte, maxBatchFrames)
 	var batch net.Buffers
+	window := initBatchFrames
+	singles := 0
 	for {
 		var b []byte
 		select {
@@ -211,7 +238,7 @@ func (p *peerConn) writer() {
 				break
 			}
 			owned = append(owned, b)
-			if len(owned) == maxBatchFrames {
+			if len(owned) == window {
 				break
 			}
 			select {
@@ -220,6 +247,22 @@ func (p *peerConn) writer() {
 			default:
 			}
 			break
+		}
+		// Adapt the window to the observed fan-in: a filled window
+		// doubles, a streak of lone frames halves it back.
+		switch {
+		case len(owned) == window && window < maxBatchFrames:
+			window *= 2
+			singles = 0
+			p.node.batchGrows.Add(1)
+		case len(owned) == 1:
+			if singles++; singles >= batchShrinkStreak && window > minBatchFrames {
+				window /= 2
+				singles = 0
+				p.node.batchShrinks.Add(1)
+			}
+		default:
+			singles = 0
 		}
 		if len(owned) > 0 {
 			n := copy(backing, owned)
@@ -262,15 +305,24 @@ func (p *peerConn) reader() {
 
 // ringReader runs the identical frame loop over the inbound shm ring,
 // so a frame dispatches byte-for-byte the same whichever transport
-// carried it. The ring yields io.EOF once the connection's down latch
-// closes, which is the planned exit: by then the edge's failure (or
-// graceful teardown) was already handled on the TCP side, and fail()
-// is a no-op. A real protocol error on the ring (corrupt frame) kills
-// the edge exactly as a corrupt TCP stream would.
+// carried it. Stream end — io.EOF once the connection's down latch
+// closes or the ring's closed flag rises, io.ErrUnexpectedEOF when the
+// close cut a frame mid-body — is NEVER a peer death: the flag can only
+// be raised deliberately (the local latch, or the remote's Rejoin/Close
+// teardown, whose TCP goodbye may still be in flight), and a crashed
+// process cannot raise it at all — its death reaches us as the TCP
+// socket's EOF. Reporting ring stream-end through fail() would race the
+// remote's FLeave and record a live, gracefully-leaving peer as dead.
+// A real protocol error on the ring (corrupt frame) still kills the
+// edge exactly as a corrupt TCP stream would.
 func (p *peerConn) ringReader(l *shmLink) {
 	defer l.markReaderDone()
 	br := bufio.NewReaderSize(&shmRingReader{ring: l.in, down: p.down}, ioBufBytes)
-	p.fail("read", p.readLoop(br))
+	err := p.readLoop(br)
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return
+	}
+	p.fail("read", err)
 }
 
 // readLoop decodes frames from one transport stream and hands them to
@@ -384,6 +436,41 @@ func (p *peerConn) close() {
 		// Outbox jammed mid-teardown: hard close rather than block.
 		p.shutdown()
 	}
+}
+
+// eagerLimit returns the adaptive eager/rendezvous threshold toward
+// this peer, in [eagerFloor, base]. Shared-memory edges always report
+// the base: the ring write is synchronous and has no outbox to run
+// deep. For TCP edges the outbox depth is sampled every
+// eagerCheckEvery-th call; a backlog past half the outbox halves the
+// threshold (diverting mid-size messages to rendezvous, whose CTS
+// round trip throttles the producer to the consumer's pace), and a
+// drained outbox doubles it back toward the configured base.
+func (p *peerConn) eagerLimit(base int) int {
+	if p.shm.Load() != nil {
+		return base
+	}
+	cur := int(p.eagerCur.Load())
+	if cur == 0 || cur > base {
+		cur = base
+	}
+	if p.eagerTick.Add(1)%eagerCheckEvery != 0 {
+		return cur
+	}
+	q := len(p.out)
+	switch {
+	case q > outboxCap/2 && cur > eagerFloor:
+		if cur /= 2; cur < eagerFloor {
+			cur = eagerFloor
+		}
+		p.node.eagerShrinks.Add(1)
+	case q < outboxCap/8 && cur < base:
+		if cur *= 2; cur > base {
+			cur = base
+		}
+	}
+	p.eagerCur.Store(int64(cur))
+	return cur
 }
 
 // dialRetry dials addr with exponential backoff and jitter — worker

@@ -87,6 +87,12 @@ func (n *Node) Rejoin() error {
 	n.nextGen = 0
 	n.completedGen = -1
 	n.mu.Unlock()
+	// Termination-tree windows and stashed first-contact frames belong
+	// to the dead epoch: the aborted run's frames are gone either way.
+	n.termMu.Lock()
+	n.termAggs = make(map[termKey]*probeAgg)
+	n.termMu.Unlock()
+	n.drainLazyStashes()
 
 	// Tear the old connections down gracefully: the FLeave flushes
 	// ahead of the FIN, so a peer that has not entered its own Rejoin
@@ -156,34 +162,74 @@ func (n *Node) rejoinCoordinator(dead map[int]bool) error {
 	deadline := time.Now().Add(rejoinAcceptWindow)
 	addrs := make([]string, n.world)
 	addrs[0] = n.ln.Addr().String()
-	for joined := 0; joined < n.world-1; joined++ {
-		if tl, ok := n.ln.(interface{ SetDeadline(time.Time) error }); ok {
-			tl.SetDeadline(deadline)
+	if n.lazy {
+		// The accept loop owns the retained listener; rejoining ranks'
+		// FJoins park on joinC. Some may predate this Rejoin — a fast
+		// respawn can dial back in before the coordinator noticed the
+		// death — and those connections are perfectly good: the rank on
+		// the other end is blocked reading FPeers. Bad or duplicate
+		// joins are dropped, not fatal (a stale parked join must not
+		// kill a fresh rejoin).
+		epoch := n.epoch.Load()
+		for joined := 0; joined < n.world-1; {
+			var ij inboundJoin
+			select {
+			case ij = <-n.joinC:
+			case <-time.After(time.Until(deadline)):
+				return fmt.Errorf("netrt: rejoin waiting for ranks (%d/%d rejoined): timeout", joined, n.world-1)
+			}
+			r := int(ij.f.A)
+			n.mu.Lock()
+			bad := r <= 0 || r >= n.world || n.peers[r] != nil
+			if !bad {
+				ij.p.rank = r
+				ij.p.epoch = epoch
+				n.peers[r] = ij.p
+			}
+			n.mu.Unlock()
+			if bad {
+				ij.p.conn.Close()
+				continue
+			}
+			addrs[r] = string(ij.f.Payload)
+			n.connsAccepted.Add(1)
+			joined++
 		}
-		conn, err := n.ln.Accept()
-		if err != nil {
-			return fmt.Errorf("netrt: rejoin waiting for ranks (%d/%d rejoined): %w", joined, n.world-1, err)
+	} else {
+		for joined := 0; joined < n.world-1; joined++ {
+			if tl, ok := n.ln.(interface{ SetDeadline(time.Time) error }); ok {
+				tl.SetDeadline(deadline)
+			}
+			conn, err := n.ln.Accept()
+			if err != nil {
+				return fmt.Errorf("netrt: rejoin waiting for ranks (%d/%d rejoined): %w", joined, n.world-1, err)
+			}
+			conn.SetReadDeadline(deadline)
+			p := newPeerConn(n, -1, conn)
+			f, err := readFrame(p.br)
+			if err != nil || f.Type != FJoin {
+				conn.Close()
+				return fmt.Errorf("netrt: expected JOIN on rejoin connection: %v", err)
+			}
+			conn.SetReadDeadline(time.Time{})
+			r := int(f.A)
+			if r <= 0 || r >= n.world || n.peers[r] != nil {
+				conn.Close()
+				return fmt.Errorf("netrt: bad rejoin JOIN rank %d", r)
+			}
+			p.rank = r
+			n.peers[r] = p
+			addrs[r] = string(f.Payload)
+			n.connsAccepted.Add(1)
 		}
-		conn.SetReadDeadline(deadline)
-		p := newPeerConn(n, -1, conn)
-		f, err := readFrame(p.br)
-		if err != nil || f.Type != FJoin {
-			conn.Close()
-			return fmt.Errorf("netrt: expected JOIN on rejoin connection: %v", err)
-		}
-		conn.SetReadDeadline(time.Time{})
-		r := int(f.A)
-		if r <= 0 || r >= n.world || n.peers[r] != nil {
-			conn.Close()
-			return fmt.Errorf("netrt: bad rejoin JOIN rank %d", r)
-		}
-		p.rank = r
-		n.peers[r] = p
-		addrs[r] = string(f.Payload)
 	}
+	n.mu.Lock()
+	n.addrs = addrs
+	star := append([]*peerConn(nil), n.peers...)
+	n.mu.Unlock()
 	table := strings.Join(addrs, "\n")
 	for r := 1; r < n.world; r++ {
-		if err := writeFrame(n.peers[r].conn, &Frame{Type: FPeers, Payload: []byte(table)}); err != nil {
+		if err := writeFrame(star[r].conn, &Frame{Type: FPeers, Payload: []byte(table)}); err != nil {
 			return err
 		}
 	}
@@ -200,6 +246,7 @@ func (n *Node) rejoinWorker() error {
 		return fmt.Errorf("netrt: rejoin dial coordinator at %s: %w", n.cfg.Coord, err)
 	}
 	p := newPeerConn(n, 0, conn)
+	n.connsDialed.Add(1)
 	if err := writeFrame(conn, &Frame{Type: FJoin, A: int64(n.rank), Payload: []byte(n.ln.Addr().String())}); err != nil {
 		return err
 	}
@@ -210,10 +257,18 @@ func (n *Node) rejoinWorker() error {
 		return fmt.Errorf("netrt: expected PEERS from coordinator on rejoin: %v", err)
 	}
 	conn.SetReadDeadline(time.Time{})
-	n.peers[0] = p
 	addrs := strings.Split(string(f.Payload), "\n")
 	if len(addrs) != n.world {
 		return fmt.Errorf("netrt: coordinator sent %d peer addresses on rejoin, world is %d", len(addrs), n.world)
+	}
+	n.mu.Lock()
+	n.peers[0] = p
+	n.addrs = addrs
+	n.mu.Unlock()
+	if n.lazy {
+		// Worker-to-worker edges reopen on demand, exactly as at
+		// bootstrap: the fresh address table above is all they need.
+		return n.startPeers()
 	}
 	for s := 1; s < n.rank; s++ {
 		conn, err := n.dialRetry(addrs[s])
@@ -224,6 +279,7 @@ func (n *Node) rejoinWorker() error {
 			return err
 		}
 		n.peers[s] = newPeerConn(n, s, conn)
+		n.connsDialed.Add(1)
 	}
 	if err := n.acceptHigher(); err != nil {
 		return err
@@ -237,12 +293,21 @@ func (n *Node) rejoinWorker() error {
 // synchronously on the raw sockets, which only works while no reader
 // goroutine is competing for them.
 func (n *Node) startPeers() error {
-	err := n.setupShm()
+	// Snapshot under the lock: in lazy mode the accept loop may install
+	// first-contact edges (under mu) while this rejoin tail runs, and
+	// those arrive already handshaken and started — they are not ours
+	// to touch.
+	n.mu.Lock()
+	peers := append([]*peerConn(nil), n.peers...)
+	n.mu.Unlock()
+	err := n.setupShm(peers)
+	n.mu.Lock()
 	n.publishPeers()
+	n.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	for _, p := range n.peers {
+	for _, p := range peers {
 		if p != nil && !p.started {
 			p.start()
 		}
@@ -285,6 +350,7 @@ func (n *Node) Die() {
 			p.shutdown()
 		}
 	}
+	n.drainLazyStashes()
 }
 
 // DeadRanks lists the peers whose connections broke in the current mesh

@@ -1,0 +1,15 @@
+//go:build linux
+
+package netrt
+
+import "syscall"
+
+// nofileLimit reports the soft RLIMIT_NOFILE, or ok=false when it
+// cannot be read (the caller then skips the budget check).
+func nofileLimit() (uint64, bool) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0, false
+	}
+	return uint64(rl.Cur), true
+}

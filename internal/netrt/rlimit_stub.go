@@ -1,0 +1,6 @@
+//go:build !linux
+
+package netrt
+
+// Non-linux builds skip the fd-budget pre-check.
+func nofileLimit() (uint64, bool) { return 0, false }

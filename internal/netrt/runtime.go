@@ -17,9 +17,10 @@ import (
 // transfer table, and the abort/halt latch.
 //
 // The local realrt runtime is held open by one standing work credit
-// (taken at creation via PutIssued) so its scheduler cannot conclude
-// local quiescence while remote work may still arrive; only the
-// distributed termination decision — or an abort — releases it.
+// (taken at creation via realrt's Hold, so the stall watchdog knows it
+// is a wait, not runnable work) so its scheduler cannot conclude local
+// quiescence while remote work may still arrive; only the distributed
+// termination decision — or an abort — releases it.
 type Runtime struct {
 	node *Node
 	gen  int64
@@ -95,9 +96,12 @@ func (n *Node) NewRuntime(npes int) (*Runtime, error) {
 		reports:  make([]peerReport, n.world),
 		stopC:    make(chan struct{}),
 	}
+	rt.rt.StallTimeout = n.cfg.StallTimeout
 	if n.world > 1 {
-		// The standing hold credit; see the type comment.
-		rt.rt.PutIssued()
+		// The standing hold credit; see the type comment. Taken as a
+		// realrt Hold so the stall watchdog knows an idle rank parked
+		// on it alone is waiting on the world, not deadlocked.
+		rt.rt.Hold()
 	}
 	if dead != nil {
 		rt.abort(dead)
@@ -212,7 +216,15 @@ func (rt *Runtime) PutDetected() { rt.rt.PutDetected() }
 // RTS/CTS/data exchange otherwise.
 func (rt *Runtime) SendMsg(env *Env) {
 	dst := rt.RankOf(env.DstPE)
-	if EnvWireSize(env) <= rt.eagerMax {
+	limit := rt.eagerMax
+	if t := rt.node.peerTable(); t != nil && dst < len(t) && t[dst] != nil {
+		// The per-peer adaptive threshold: a congested edge (deep
+		// outbox) pushes mid-size messages onto the rendezvous path so
+		// its consumer drains, and recovers toward the configured
+		// threshold when the backlog clears.
+		limit = t[dst].eagerLimit(limit)
+	}
+	if EnvWireSize(env) <= limit {
 		// Eager fast path: header and envelope encode in one pass into
 		// one pooled frame buffer (sendEnv) — no intermediate encode.
 		rt.sent.Add(1)
@@ -460,13 +472,16 @@ func (rt *Runtime) Run() sim.Time {
 	return d
 }
 
-// coordinate is rank 0's termination loop: probe every rank each epoch,
-// and halt only after two consecutive epochs in which every rank was
-// idle and the global sent/received sums matched and did not change —
-// the second round proves no frame was in flight past the first.
+// coordinate is rank 0's termination loop: each epoch, probe the root's
+// children in the k-ary termination tree (every other rank's report
+// arrives pre-aggregated up that tree — see term.go), and halt only
+// after two consecutive epochs in which every subtree was idle and the
+// global sent/received sums matched and did not change — the second
+// round proves no frame was in flight past the first.
 func (rt *Runtime) coordinate() {
 	tick := time.NewTicker(1 * time.Millisecond)
 	defer tick.Stop()
+	kids := termChildren(0, rt.node.termFanout, rt.node.world)
 	var epoch int64
 	var stable int
 	var lastS, lastR int64 = -1, -1
@@ -480,14 +495,15 @@ func (rt *Runtime) coordinate() {
 			return
 		}
 		epoch++
+		rt.node.probeRounds.Add(1)
 		probe := Frame{Type: FProbe, Run: rt.gen, A: epoch}
-		for r := 1; r < rt.node.world; r++ {
+		for _, r := range kids {
 			rt.node.sendTo(r, &probe)
 		}
-		// Wait (bounded) for every rank's report for this epoch.
+		// Wait (bounded) for every subtree's report for this epoch.
 		deadline := time.Now().Add(250 * time.Millisecond)
 		for {
-			if rt.epochComplete(epoch) {
+			if rt.epochComplete(epoch, kids) {
 				break
 			}
 			if time.Now().After(deadline) || rt.aborted.Load() {
@@ -495,14 +511,14 @@ func (rt *Runtime) coordinate() {
 			}
 			time.Sleep(100 * time.Microsecond)
 		}
-		if !rt.epochComplete(epoch) {
+		if !rt.epochComplete(epoch, kids) {
 			stable = 0
 			continue
 		}
 		idle, s, r := rt.localReport()
 		allIdle := idle
 		rt.repMu.Lock()
-		for rank := 1; rank < rt.node.world; rank++ {
+		for _, rank := range kids {
 			rep := rt.reports[rank]
 			allIdle = allIdle && rep.idle
 			s += rep.s
@@ -518,18 +534,18 @@ func (rt *Runtime) coordinate() {
 		if stable >= 1 {
 			// Two consecutive matching epochs (this one and the one that
 			// set lastS/lastR): globally terminated.
-			rt.haltAll()
+			rt.haltAll(kids)
 			return
 		}
 	}
 }
 
-// epochComplete reports whether every remote rank has answered the
-// given probe epoch.
-func (rt *Runtime) epochComplete(epoch int64) bool {
+// epochComplete reports whether every root-child subtree has answered
+// the given probe epoch.
+func (rt *Runtime) epochComplete(epoch int64, kids []int) bool {
 	rt.repMu.Lock()
 	defer rt.repMu.Unlock()
-	for rank := 1; rank < rt.node.world; rank++ {
+	for _, rank := range kids {
 		if rt.reports[rank].epoch != epoch {
 			return false
 		}
@@ -537,10 +553,11 @@ func (rt *Runtime) epochComplete(epoch int64) bool {
 	return true
 }
 
-// haltAll announces termination and releases the local hold.
-func (rt *Runtime) haltAll() {
+// haltAll announces termination down the tree and releases the local
+// hold; interior ranks forward the halt to their own children.
+func (rt *Runtime) haltAll(kids []int) {
 	f := Frame{Type: FHalt, Run: rt.gen}
-	for r := 1; r < rt.node.world; r++ {
+	for _, r := range kids {
 		rt.node.sendTo(r, &f)
 	}
 	rt.halt()
@@ -550,7 +567,7 @@ func (rt *Runtime) haltAll() {
 // observe quiescence and return from Run.
 func (rt *Runtime) halt() {
 	if rt.node.world > 1 && rt.holdReleased.CompareAndSwap(false, true) {
-		rt.rt.PutDetected()
+		rt.rt.Release()
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -31,27 +32,69 @@ const (
 	shmHandshakeTimeout = 10 * time.Second
 )
 
+// maxShmPendingBytes bounds the combiner's staging buffer: a producer
+// finding it full spins (briefly) for the flusher instead of growing it
+// without limit.
+const maxShmPendingBytes = 1 << 20
+
 // shmLink is one live shared segment between this process and a peer:
 // an outbound ring (frames we produce), an inbound ring (frames the
 // peer produces, drained by this peer's ring-reader goroutine), and the
-// two put arenas. mu serializes every producer-side touch of the
-// mapping — ring writes and direct-put deposits — and is also what
-// makes unmapping safe: teardown takes mu, sets dead, and only then
-// unmaps, so no writer can dereference freed pages.
+// two put arenas.
+//
+// Producer-side safety is a two-part discipline. mu guards the link's
+// state transitions and the combiner below, but the expensive touches
+// of the mapping — ring writes and arena memcpys — run OUTSIDE mu,
+// covered by the prod WaitGroup: a producer registers under mu (where
+// dead is checked), works on the mapping lock-free, then signals done.
+// Teardown sets dead under mu and waits for prod to drain before
+// unmapping, so no producer can dereference freed pages, yet two 64 KiB
+// put deposits on one edge overlap instead of serializing behind the
+// lock.
+//
+// The ring itself is SPSC, so concurrent frame producers still need an
+// ordering point: the writing/pending pair is a combining lock. The
+// first producer takes the write token and owns the ring; contenders
+// append their encoded frames to pending (one copy — frames are
+// self-delimiting, so the byte stream concatenates) and return
+// immediately, and the token holder flushes the accumulated batch in
+// single ring writes after its own. Consecutive FPut doorbells under
+// fan-in thus coalesce into one ring pass — the doorbell aggregation
+// the scale work wants — and the count lands in coalesced.
 type shmLink struct {
 	seg      []byte // the whole mapping (nil after teardown)
 	out, in  *shmRing
 	outArena []byte // we deposit puts here; peer's registered recv buffers
 	inArena  []byte // peer deposits here; our registered recv buffers
 
-	mu   sync.Mutex
-	dead bool
+	mu      sync.Mutex
+	dead    bool
+	prod    sync.WaitGroup
+	writing bool
+	pending []byte
+
+	// coalesced, when set by the owning node, counts frames that were
+	// staged behind an in-flight ring write instead of paying their own.
+	coalesced *atomic.Int64
 
 	// readerDone closes when the ring-reader goroutine exits (or is
 	// known never to start); teardown waits on it so the consumer side
 	// cannot touch the mapping either.
 	readerDone chan struct{}
 	readerOnce sync.Once
+}
+
+// enter registers a producer touch of the mapping; false means the link
+// is dead. Every true return must be paired with l.prod.Done().
+func (l *shmLink) enter() bool {
+	l.mu.Lock()
+	if l.dead {
+		l.mu.Unlock()
+		return false
+	}
+	l.prod.Add(1)
+	l.mu.Unlock()
+	return true
 }
 
 // markReaderDone records that the ring reader has exited or will never
@@ -95,27 +138,77 @@ func newShmLink(seg []byte, ringBytes, arenaBytes int, lower bool) (*shmLink, er
 }
 
 // writeFrame publishes one encoded frame to the peer through the ring.
-// The bytes are fully copied before it returns, so the caller reclaims
-// its buffer immediately. False means the link (or the peer) is down
-// and the frame was dropped — the same contract as a send on a dead
-// TCP connection.
+// The bytes are fully copied (into the ring or the combiner's staging
+// buffer) before it returns, so the caller reclaims its buffer
+// immediately. False means the link (or the peer) is down and the frame
+// was dropped — the same contract as a send on a dead TCP connection. A
+// staged frame reports true at staging time; it can still die with the
+// link if the flusher finds it dead, which is the same frame-loss class
+// as every other teardown path (only aborting runs close links).
 func (l *shmLink) writeFrame(b []byte, down <-chan struct{}) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.dead {
+	if !l.enter() {
 		return false
 	}
-	return l.out.write(b, down)
+	defer l.prod.Done()
+	spins := 0
+	l.mu.Lock()
+	for {
+		if l.dead {
+			l.mu.Unlock()
+			return false
+		}
+		if !l.writing {
+			break
+		}
+		if len(l.pending) <= maxShmPendingBytes {
+			l.pending = append(l.pending, b...)
+			if l.coalesced != nil {
+				l.coalesced.Add(1)
+			}
+			l.mu.Unlock()
+			return true
+		}
+		// Staging buffer full: wait for the flusher to drain it (or for
+		// the token to free up), with the ring's own backoff curve.
+		l.mu.Unlock()
+		select {
+		case <-down:
+			return false
+		default:
+		}
+		spins = spinStep(spins)
+		l.mu.Lock()
+	}
+	l.writing = true
+	l.mu.Unlock()
+	ok := l.out.write(b, down)
+	l.mu.Lock()
+	for ok && !l.dead && len(l.pending) > 0 {
+		batch := l.pending
+		l.pending = nil
+		l.mu.Unlock()
+		ok = l.out.write(batch, down)
+		l.mu.Lock()
+	}
+	l.pending = nil
+	l.writing = false
+	l.mu.Unlock()
+	return ok
 }
 
 // teardown unmaps this process's view of the segment. It must only run
 // after the link's consumer is gone: the caller waits for the
-// ring-reader goroutine (readerDone), and the mu/dead pair fences out
-// producers. Safe to call more than once.
+// ring-reader goroutine (readerDone). Producers are fenced by the
+// dead flag plus the prod WaitGroup — once dead is visible no new
+// producer enters, the closed ring flags kick the in-flight ones out of
+// their copy loops, and the drain wait below keeps the unmap from
+// racing a producer mid-memcpy. Safe to call more than once (later
+// callers may return while the first is still draining; the mapping
+// only falls once).
 func (l *shmLink) teardown() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.dead {
+		l.mu.Unlock()
 		return
 	}
 	l.dead = true
@@ -123,10 +216,12 @@ func (l *shmLink) teardown() {
 	// mapping: the peer's writer and reader observe them on their next
 	// poll and exit immediately, instead of waiting for the TCP-side
 	// EOF to close their down latch.
-	l.out.closed.store(1)
-	l.in.closed.store(1)
+	l.out.close()
+	l.in.close()
 	seg := l.seg
 	l.seg, l.outArena, l.inArena = nil, nil, nil
+	l.mu.Unlock()
+	l.prod.Wait()
 	unmapShm(seg)
 }
 
@@ -250,10 +345,13 @@ func (n *Node) shmEnabled() bool { return shmSupported && !n.cfg.ShmOff }
 // unsupported: the offer is then empty and the answer a decline, which
 // keeps a world with mixed -net.shm settings in protocol instead of
 // hanging half the ranks.
-func (n *Node) setupShm() error {
-	for r := 0; r < n.world; r++ {
-		p := n.peers[r]
-		if p == nil || r == n.rank {
+func (n *Node) setupShm(peers []*peerConn) error {
+	for r := 0; r < len(peers); r++ {
+		p := peers[r]
+		if p == nil || r == n.rank || p.started {
+			// A started peer is a lazily installed first-contact edge
+			// that raced a rejoin tail: its handshake already happened
+			// on the raw conn at accept time.
 			continue
 		}
 		var err error
@@ -330,6 +428,7 @@ func (n *Node) shmOffer(p *peerConn) error {
 		unmapShm(seg)
 		return nil
 	}
+	link.coalesced = &n.shmCoalesced
 	p.shm.Store(link)
 	return nil
 }
@@ -355,6 +454,7 @@ func (n *Node) shmAccept(p *peerConn) error {
 		ringBytes > 0 && arenaBytes > 0 && shmSegBytes(ringBytes, arenaBytes) <= maxShmBytes {
 		if seg := n.shmRedeem(string(f.Payload), shmSegBytes(ringBytes, arenaBytes)); seg != nil {
 			if l, err := newShmLink(seg, ringBytes, arenaBytes, false); err == nil {
+				l.coalesced = &n.shmCoalesced
 				link = l
 			} else {
 				unmapShm(seg)
@@ -477,17 +577,29 @@ func (p *peerConn) directPut(run, id int64, payload []byte) bool {
 	var hdr [frameHeaderLen + frameFixedBody]byte
 	db := appendFrameHeader(hdr[:0], FPut, run, id, shmPutDoorbell, int64(last), 0, 0)
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.dead || reg.off+reg.size > int64(len(l.outArena)) {
+	arena := l.outArena
+	if l.dead || reg.off+reg.size > int64(len(arena)) {
+		l.mu.Unlock()
 		return false
 	}
+	l.prod.Add(1)
+	l.mu.Unlock()
+	defer l.prod.Done()
 	// Deposit everything but the sentinel word; the word travels in the
 	// doorbell and is release-stored by the receiver AFTER it takes a
 	// work credit, so the poll loop cannot observe completion before the
 	// credit exists (the same PutIssued-before-publish discipline the
-	// streamed TCP path follows).
-	copy(l.outArena[reg.off:reg.off+reg.size-8], payload[:len(payload)-8])
-	return l.out.write(db, p.down)
+	// streamed TCP path follows). The memcpy runs outside the link lock
+	// — registrations are disjoint arena reservations made by the
+	// receiver's bump allocator, so two large puts on one edge overlap;
+	// only the doorbell pays the ring's ordering point, and the combiner
+	// in writeFrame coalesces a doorbell burst into one flush. The
+	// happens-before chain to the receiver is intact either way: memcpy
+	// precedes the ring write (or the mu-ordered staging append that the
+	// flusher's ring write follows), and the ring's release-store tail /
+	// acquire-load head publishes both.
+	copy(arena[reg.off:reg.off+reg.size-8], payload[:len(payload)-8])
+	return l.writeFrame(db, p.down)
 }
 
 // shmPutDoorbell in an FPut's B field marks a doorbell: the payload is

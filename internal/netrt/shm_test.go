@@ -38,7 +38,10 @@ func shmLinkOf(nodes []*Node, a, b int) *shmLink {
 // rings (the ring positions move), and that payloads cross intact.
 func TestShmLinksNegotiated(t *testing.T) {
 	skipNoShm(t)
-	nodes := startWorld(t, 3)
+	// Eager mesh: this test pins the bootstrap-time negotiation on every
+	// edge; first-contact negotiation under lazy dialing is covered in
+	// lazy_test.go.
+	nodes := startWorldConfig(t, 3, Config{LazyOff: true})
 	for a := 0; a < 3; a++ {
 		for b := 0; b < 3; b++ {
 			if a == b {

@@ -1,0 +1,37 @@
+//go:build linux
+
+package netrt
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Futex doorbell for the shm rings: waiters park in the kernel on a
+// 32-bit word inside the shared mapping and the peer process wakes them
+// after publishing, replacing the sleep-backoff ladder's 50–500µs
+// wakeup latency on oversubscribed hosts. Plain FUTEX_WAIT/FUTEX_WAKE —
+// no FUTEX_PRIVATE_FLAG, because the word is shared across processes.
+// The in-process test rings work identically: heap words are futexable
+// too (Go's heap does not move objects).
+const (
+	futexOpWait = 0
+	futexOpWake = 1
+)
+
+// futexWait parks until *addr != val, a wake arrives, or the timeout
+// expires — whichever is first. Spurious returns are fine: every caller
+// re-checks its condition in a loop.
+func futexWait(addr *uint32, val uint32, timeoutNS int64) {
+	ts := syscall.NsecToTimespec(timeoutNS)
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexOpWait, uintptr(val),
+		uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// futexWake wakes every waiter parked on addr.
+func futexWake(addr *uint32) {
+	syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexOpWake, uintptr(1<<30),
+		0, 0, 0)
+}

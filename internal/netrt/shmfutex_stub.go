@@ -1,0 +1,18 @@
+//go:build !linux
+
+package netrt
+
+import "time"
+
+// Non-linux hosts have no futex: the wait degrades to a short sleep
+// (the old backoff behavior, with a tighter bound) and the wake is a
+// no-op — the sleeper notices the published state on its next check.
+func futexWait(addr *uint32, val uint32, timeoutNS int64) {
+	d := time.Duration(timeoutNS)
+	if d > 50*time.Microsecond {
+		d = 50 * time.Microsecond
+	}
+	time.Sleep(d)
+}
+
+func futexWake(addr *uint32) {}

@@ -31,22 +31,47 @@ import (
 // tests run stay warning-free. This is the same publish discipline the
 // CkDirect sentinel itself uses (memcpy, then release-store the final
 // word), applied to a byte stream.
+//
+// The two wait words at offsets 136 and 144 are the futex doorbell: a
+// side that has yielded fruitlessly arms its word (1), re-checks the
+// condition (both operations are seq-cst, so arm-then-check against the
+// peer's publish-then-check-arm cannot BOTH miss), and futex-waits on
+// it; the peer clears the word and wakes after publishing. Cross-
+// process, so no FUTEX_PRIVATE_FLAG. On non-Linux hosts the stub wait
+// degrades to a short sleep — the old backoff behavior.
 const (
-	shmRingHdrBytes = 192
-	shmHeadOff      = 0
-	shmTailOff      = 64
-	shmClosedOff    = 128
+	shmRingHdrBytes  = 192
+	shmHeadOff       = 0
+	shmTailOff       = 64
+	shmClosedOff     = 128
+	shmDataWaitOff   = 136
+	shmSpaceWaitOff  = 144
+	ringSpinYields   = 512               // cheap yields before arming the futex
+	ringFutexWaitNS  = 2 * 1000 * 1000   // first bounded wait: re-check down/closed at 2ms
+	// ringFutexWaitMaxNS caps the exponential escalation of the bounded
+	// wait while nothing arrives. The timeout is only a liveness
+	// fallback — real traffic wakes the futex explicitly — but a parked
+	// waiter that re-arms every 2ms forever is a 500 Hz kernel timer per
+	// ring direction, and a 64-rank in-process world holds hundreds of
+	// idle ring ends: at 2ms flat their timer wakeups alone saturate a
+	// small host and starve the application (observed as a whole-world
+	// no-progress stall at 64 ranks on one CPU). Escalating 2ms → 256ms
+	// keeps wake latency exact for active links and bounds a dead
+	// peer's detection latency, while an idle link costs ~4 syscalls/s.
+	ringFutexWaitMaxNS = 256 * 1000 * 1000
 )
 
 // shmRing wires the header atomics and data window of one direction of
 // a shared segment. Both processes build their own shmRing over their
 // own mapping of the same pages.
 type shmRing struct {
-	head   *atomicU64Ptr
-	tail   *atomicU64Ptr
-	closed *atomicU64Ptr
-	data   []byte
-	mask   uint64
+	head      *atomicU64Ptr
+	tail      *atomicU64Ptr
+	closed    *atomicU64Ptr
+	dataWait  *atomicU32Ptr // armed by a consumer out of bytes
+	spaceWait *atomicU32Ptr // armed by a producer out of space
+	data      []byte
+	mask      uint64
 }
 
 // atomicU64Ptr is an atomic word living inside the mapped segment (not
@@ -56,6 +81,12 @@ type atomicU64Ptr struct{ v uint64 }
 
 func (a *atomicU64Ptr) load() uint64   { return atomic.LoadUint64(&a.v) }
 func (a *atomicU64Ptr) store(x uint64) { atomic.StoreUint64(&a.v, x) }
+
+// atomicU32Ptr is the 32-bit variant — futex words are 32 bits.
+type atomicU32Ptr struct{ v uint32 }
+
+func (a *atomicU32Ptr) load() uint32   { return atomic.LoadUint32(&a.v) }
+func (a *atomicU32Ptr) store(x uint32) { atomic.StoreUint32(&a.v, x) }
 
 // newShmRing overlays a ring on region, whose length must be
 // shmRingHdrBytes plus a power-of-two capacity and whose base must be
@@ -73,12 +104,24 @@ func newShmRing(region []byte) (*shmRing, error) {
 		return nil, fmt.Errorf("netrt: shm ring region is not 8-byte aligned")
 	}
 	return &shmRing{
-		head:   (*atomicU64Ptr)(unsafe.Pointer(&region[shmHeadOff])),
-		tail:   (*atomicU64Ptr)(unsafe.Pointer(&region[shmTailOff])),
-		closed: (*atomicU64Ptr)(unsafe.Pointer(&region[shmClosedOff])),
-		data:   region[shmRingHdrBytes:],
-		mask:   uint64(capacity - 1),
+		head:      (*atomicU64Ptr)(unsafe.Pointer(&region[shmHeadOff])),
+		tail:      (*atomicU64Ptr)(unsafe.Pointer(&region[shmTailOff])),
+		closed:    (*atomicU64Ptr)(unsafe.Pointer(&region[shmClosedOff])),
+		dataWait:  (*atomicU32Ptr)(unsafe.Pointer(&region[shmDataWaitOff])),
+		spaceWait: (*atomicU32Ptr)(unsafe.Pointer(&region[shmSpaceWaitOff])),
+		data:      region[shmRingHdrBytes:],
+		mask:      uint64(capacity - 1),
 	}, nil
+}
+
+// close raises the closed flag and kicks both doorbells so a peer
+// parked in a futex wait notices immediately instead of at its timeout.
+func (r *shmRing) close() {
+	r.closed.store(1)
+	r.dataWait.store(0)
+	futexWake(&r.dataWait.v)
+	r.spaceWait.store(0)
+	futexWake(&r.spaceWait.v)
 }
 
 // spinStep paces a poll loop that is waiting on the other process. The
@@ -110,6 +153,7 @@ func spinStep(spins int) int {
 // close a link are already aborting or tearing down the run.
 func (r *shmRing) write(b []byte, down <-chan struct{}) bool {
 	spins := 0
+	waitNS := int64(ringFutexWaitNS)
 	for len(b) > 0 {
 		tail := r.tail.load()
 		space := uint64(len(r.data)) - (tail - r.head.load())
@@ -122,10 +166,25 @@ func (r *shmRing) write(b []byte, down <-chan struct{}) bool {
 				return false
 			default:
 			}
-			spins = spinStep(spins)
+			if spins < ringSpinYields {
+				spins = spinStep(spins)
+				continue
+			}
+			// Yields exhausted: arm the space doorbell and sleep on it
+			// until the consumer frees room (it clears and wakes after
+			// every head advance while the word is armed).
+			r.spaceWait.store(1)
+			if uint64(len(r.data))-(r.tail.load()-r.head.load()) > 0 || r.closed.load() != 0 {
+				continue
+			}
+			futexWait(&r.spaceWait.v, 1, waitNS)
+			if waitNS < ringFutexWaitMaxNS {
+				waitNS *= 2
+			}
 			continue
 		}
 		spins = 0
+		waitNS = ringFutexWaitNS
 		n := len(b)
 		if uint64(n) > space {
 			n = int(space)
@@ -136,6 +195,10 @@ func (r *shmRing) write(b []byte, down <-chan struct{}) bool {
 			copy(r.data, b[c:n])
 		}
 		r.tail.store(tail + uint64(n))
+		if r.dataWait.load() != 0 {
+			r.dataWait.store(0)
+			futexWake(&r.dataWait.v)
+		}
 		b = b[n:]
 	}
 	return true
@@ -155,6 +218,7 @@ type shmRingReader struct {
 func (rr *shmRingReader) Read(p []byte) (int, error) {
 	r := rr.ring
 	spins := 0
+	waitNS := int64(ringFutexWaitNS)
 	for {
 		head := r.head.load()
 		avail := r.tail.load() - head
@@ -169,6 +233,10 @@ func (rr *shmRingReader) Read(p []byte) (int, error) {
 				copy(p[c:n], r.data)
 			}
 			r.head.store(head + uint64(n))
+			if r.spaceWait.load() != 0 {
+				r.spaceWait.store(0)
+				futexWake(&r.spaceWait.v)
+			}
 			return n, nil
 		}
 		if r.closed.load() != 0 {
@@ -179,6 +247,22 @@ func (rr *shmRingReader) Read(p []byte) (int, error) {
 			return 0, io.EOF
 		default:
 		}
-		spins = spinStep(spins)
+		if spins < ringSpinYields {
+			spins = spinStep(spins)
+			continue
+		}
+		// Yields exhausted: arm the data doorbell and sleep until the
+		// producer publishes (it clears and wakes after every tail
+		// advance while the word is armed). The bounded wait re-checks
+		// closed/down above, so a dead peer that never wakes us still
+		// surfaces within the timeout.
+		r.dataWait.store(1)
+		if r.tail.load() != head || r.closed.load() != 0 {
+			continue
+		}
+		futexWait(&r.dataWait.v, 1, waitNS)
+		if waitNS < ringFutexWaitMaxNS {
+			waitNS *= 2
+		}
 	}
 }

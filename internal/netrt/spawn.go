@@ -18,6 +18,22 @@ type spawnedWorker struct {
 	done chan struct{} // closed when the process has been reaped
 }
 
+// checkSpawnFDBudget pre-checks RLIMIT_NOFILE before a self-spawn
+// bootstrap: the coordinator holds a socket per worker (its star), its
+// listener, pipes to the children, shm handshake fds and stdio — a
+// 256-rank world under the classic 1024-fd default dies as a raw
+// EMFILE somewhere mid-dial, long after the spawn wave started. The
+// typed error names the limit to raise instead.
+func checkSpawnFDBudget(rank, world int) error {
+	need := uint64(2*world + 64)
+	if cur, ok := nofileLimit(); ok && cur < need {
+		return &NetError{Rank: rank, Peer: -1, Op: "spawn",
+			Err: fmt.Errorf("RLIMIT_NOFILE is %d but a %d-rank self-spawned world needs about %d fds on the coordinator; raise it (e.g. ulimit -n %d)",
+				cur, world, need, need)}
+	}
+	return nil
+}
+
 // spawnOne launches one worker rank as a copy of this process's command
 // line, pointing it at the coordinator address. The worker re-parses
 // the same flags plus the injected -net.rank/-net.world/-net.coord

@@ -1,0 +1,162 @@
+package netrt
+
+// Hierarchical termination: the four-counter protocol's probe rounds
+// aggregate up a k-ary tree over the ranks (k = Config.TermFanout)
+// instead of funneling every report straight to rank 0. The root still
+// runs the unchanged stability logic in Runtime.coordinate — two
+// consecutive rounds of all-idle with globally equal, unchanged
+// sent/received counts — but each round now costs the root O(k) frames
+// and O(log_k N) latency rather than O(N) fan-in.
+//
+// Shape: rank r's parent is (r-1)/k, its children are k·r+1 …
+// min(k·r+k, world-1) — the classic array heap layout, so the tree
+// needs no setup traffic and every rank derives it locally. Probes flow
+// root→leaves, reports leaves→root with each interior rank folding its
+// subtree (idle &&=, s +=, r +=) before reporting up; FHalt flows
+// root→leaves down the same edges. Parent < child always, so under lazy
+// dialing the parent is the dialer on every tree edge and the protocol
+// never needs an FDialReq.
+//
+// Correctness is the flat protocol's argument unchanged: counters are
+// monotonic and a report is a snapshot taken at some instant during the
+// round (leaves sample at probe receipt, interior ranks when their last
+// child answers), so two consecutive rounds with all-idle and equal,
+// unchanged global sums still prove no frame was in flight at the
+// second round's start. A generation a rank has not attached yet
+// reports non-idle with zero counters, exactly as before.
+
+// termParent returns rank r's parent in the k-ary termination tree.
+func termParent(r, fanout int) int {
+	return (r - 1) / fanout
+}
+
+// termChildren returns rank r's children in the k-ary tree over world
+// ranks (nil for leaves).
+func termChildren(r, fanout, world int) []int {
+	lo := r*fanout + 1
+	if lo >= world {
+		return nil
+	}
+	hi := lo + fanout
+	if hi > world {
+		hi = world
+	}
+	kids := make([]int, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		kids = append(kids, c)
+	}
+	return kids
+}
+
+// termKey names one in-flight aggregation: a probe round of one run
+// generation in one probe epoch.
+type termKey struct {
+	run   int64
+	epoch int64
+}
+
+// probeAgg accumulates an interior rank's subtree during one round.
+type probeAgg struct {
+	need, got int
+	idle      bool
+	s, r      int64
+}
+
+// localTermFrame builds this rank's own contribution to a round: the
+// attached runtime's idle state and frame counters, or non-idle zeros
+// when generation run has not attached here yet.
+func (n *Node) localTermFrame(run, epoch int64) Frame {
+	rep := Frame{Type: FReport, Run: run, A: epoch}
+	if rt := n.current(run); rt != nil {
+		idle, s, r := rt.localReport()
+		if idle {
+			rep.B = 1
+		}
+		rep.C, rep.D = s, r
+	}
+	return rep
+}
+
+// onProbe handles a termination probe arriving from this rank's tree
+// parent. A leaf answers immediately; an interior rank opens an
+// aggregation window and forwards the probe to its children — their
+// reports cannot overtake this forward (TCP delivers per-edge FIFO), so
+// the window always exists when they arrive.
+func (n *Node) onProbe(p *peerConn, f Frame) {
+	kids := termChildren(n.rank, n.termFanout, n.world)
+	if len(kids) == 0 {
+		rep := n.localTermFrame(f.Run, f.A)
+		n.sendTo(termParent(n.rank, n.termFanout), &rep)
+		return
+	}
+	key := termKey{run: f.Run, epoch: f.A}
+	n.termMu.Lock()
+	// A new round obsoletes older ones (the root abandoned them): prune
+	// so an aborted run's windows don't accumulate.
+	for k := range n.termAggs {
+		if k.run < key.run || (k.run == key.run && k.epoch < key.epoch) {
+			delete(n.termAggs, k)
+		}
+	}
+	n.termAggs[key] = &probeAgg{need: len(kids), idle: true}
+	n.termMu.Unlock()
+	fwd := Frame{Type: FProbe, Run: f.Run, A: f.A}
+	for _, c := range kids {
+		n.sendTo(c, &fwd)
+	}
+}
+
+// onReport handles a child's (possibly already-aggregated) report. At
+// the root it feeds the coordinator's per-child table; at an interior
+// rank it merges into the round's window and, when the last child has
+// answered, folds in the local state and reports the whole subtree up.
+// Reports for pruned windows (an abandoned round) drop silently — the
+// root gave up on that round long ago.
+func (n *Node) onReport(p *peerConn, f Frame) {
+	if n.rank == 0 {
+		n.probeReports.Add(1)
+		if rt := n.current(f.Run); rt != nil {
+			rt.noteReport(p.rank, f)
+		}
+		return
+	}
+	key := termKey{run: f.Run, epoch: f.A}
+	n.termMu.Lock()
+	agg := n.termAggs[key]
+	if agg == nil {
+		n.termMu.Unlock()
+		return
+	}
+	agg.got++
+	agg.idle = agg.idle && f.B == 1
+	agg.s += f.C
+	agg.r += f.D
+	done := agg.got == agg.need
+	if done {
+		delete(n.termAggs, key)
+	}
+	n.termMu.Unlock()
+	if !done {
+		return
+	}
+	rep := n.localTermFrame(f.Run, f.A)
+	if !agg.idle {
+		rep.B = 0
+	}
+	rep.C += agg.s
+	rep.D += agg.r
+	n.sendTo(termParent(n.rank, n.termFanout), &rep)
+}
+
+// onHalt forwards the halt order down this rank's subtree, then halts
+// the local run. Forwarding is unconditional — a rank that never
+// attached the generation still owes its children the halt.
+func (n *Node) onHalt(f Frame) {
+	fwd := Frame{Type: FHalt, Run: f.Run}
+	for _, c := range termChildren(n.rank, n.termFanout, n.world) {
+		n.sendTo(c, &fwd)
+	}
+	if rt := n.current(f.Run); rt != nil {
+		rt.halt()
+	}
+}

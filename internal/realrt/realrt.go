@@ -60,6 +60,15 @@ type Runtime struct {
 	// completes; zero means global quiescence.
 	work atomic.Int64
 
+	// holds counts the subset of work credits that are standing holds
+	// (Hold/Release): credits that keep the scheduler from concluding
+	// quiescence while work may still arrive from outside — the
+	// distributed backend parks one for the whole run until the
+	// termination protocol decides. A runtime whose only outstanding
+	// credits are holds is waiting, not necessarily wedged, so the
+	// stall watchdog gives that state a longer leash (see watch).
+	holds atomic.Int64
+
 	// executed counts completed scheduler tasks (the real-backend analogue
 	// of the simulator's executed-event count).
 	executed atomic.Uint64
@@ -170,6 +179,25 @@ func (rt *Runtime) PutIssued() { rt.work.Add(1) }
 
 // PutDetected returns the credit taken by PutIssued.
 func (rt *Runtime) PutDetected() { rt.noteDone() }
+
+// Hold takes a standing work credit: like PutIssued it keeps the
+// scheduler from concluding quiescence, but it declares the credit a
+// hold — work that is waited on, not work that is runnable here. The
+// stall watchdog treats a runtime whose outstanding credits are all
+// holds as waiting on the outside world and stretches its deadline
+// (an idle rank in a long distributed run makes no local progress for
+// the run's whole lifetime, and that is healthy). The distributed
+// backend parks one hold per run until termination.
+func (rt *Runtime) Hold() {
+	rt.holds.Add(1)
+	rt.work.Add(1)
+}
+
+// Release returns the credit taken by Hold.
+func (rt *Runtime) Release() {
+	rt.holds.Add(-1)
+	rt.noteDone()
+}
 
 // Outstanding returns the current work-credit count (queued tasks,
 // pending timers, undetected puts). The distributed backend reads it to
@@ -304,6 +332,7 @@ func (rt *Runtime) watch(done <-chan struct{}) {
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 	last := rt.progress.Load()
+	lastWork := rt.work.Load()
 	stalled := time.Duration(0)
 	for {
 		select {
@@ -312,16 +341,30 @@ func (rt *Runtime) watch(done <-chan struct{}) {
 		case <-ticker.C:
 		}
 		cur := rt.progress.Load()
-		if cur != last || rt.work.Load() == 0 {
-			last = cur
+		work := rt.work.Load()
+		// Any movement counts as liveness: completed work (progress), or
+		// a change in the outstanding count (new work arriving is a sign
+		// of a live peer even before anything here completes).
+		if cur != last || work != lastWork || work == 0 {
+			last, lastWork = cur, work
 			stalled = 0
 			continue
 		}
 		stalled += tick
-		if stalled >= timeout {
+		// When everything outstanding is a standing hold, this runtime
+		// has no runnable work at all — it is parked waiting for the
+		// network (an idle rank of a big world, or a PE whose next halo
+		// face is minutes away on an oversubscribed host). That state is
+		// indistinguishable from a wedged termination protocol except by
+		// duration, so it gets a stretched deadline rather than a pass.
+		limit := timeout
+		if work <= rt.holds.Load() {
+			limit = 4 * timeout
+		}
+		if stalled >= limit {
 			msg := fmt.Sprintf(
-				"realrt: no progress for %v with %d work units outstanding (%d tasks executed) — deadlocked run",
-				timeout, rt.work.Load(), rt.executed.Load())
+				"realrt: no progress for %v with %d work units outstanding, %d of them standing holds (%d tasks executed) — deadlocked run",
+				limit, work, rt.holds.Load(), rt.executed.Load())
 			if rt.onStall != nil {
 				rt.onStall(msg)
 				return

@@ -64,6 +64,31 @@ const (
 	CntLBSpreadAfter  = "lb.spread_after_permille"
 	CntLBRehomedRecv  = "lb.rehomed_recv_handles"
 	CntLBRehomedSend  = "lb.rehomed_send_handles"
+
+	// Mesh scaling (internal/netrt, recorded by the charm net backend at
+	// the end of each run as the node's cumulative totals — they span
+	// bootstrap as well as the run itself). ConnsOpened counts every TCP
+	// socket this rank opened (dialed + accepted): under lazy dialing a
+	// stencil's 4-neighbor halo stays O(N) per world, not the O(N²) of a
+	// full mesh. DialReqs counts lower-rank dial requests relayed via
+	// the coordinator. The term counters expose the k-ary termination
+	// tree: probe rounds started by the root, and FReport frames
+	// arriving at rank 0 (the root's fan-in — bounded by -net.termfanout
+	// regardless of world size). The batching counters record the
+	// per-peer adaptive writev window and eager-threshold adjustments,
+	// and shm_coalesced the frames (FPut doorbells above all) staged
+	// behind an in-flight shm ring write and flushed in one combined
+	// pass.
+	CntNetConnsOpened   = "net.conns_opened"
+	CntNetConnsDialed   = "net.conns_dialed"
+	CntNetConnsAccepted = "net.conns_accepted"
+	CntNetDialReqs      = "net.dial_reqs"
+	CntNetProbeRounds   = "net.term_probe_rounds"
+	CntNetProbeReports  = "net.term_probe_reports"
+	CntNetShmCoalesced  = "net.shm_coalesced"
+	CntNetBatchGrows    = "net.batch_grows"
+	CntNetBatchShrinks  = "net.batch_shrinks"
+	CntNetEagerShrinks  = "net.eager_shrinks"
 )
 
 // Recorder accumulates named statistics. The zero value is not usable;
